@@ -1,0 +1,29 @@
+//! Figure 3.10: wall-clock overhead of diversity transformations (SDS,
+//! all-loads). One Criterion group per app; within it, the golden build
+//! and each diversity variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_bench::{bench_apps, bench_module, run_clean, transformed};
+use dpmr_core::prelude::*;
+
+fn diversity_overhead(c: &mut Criterion) {
+    for app in bench_apps() {
+        let golden = bench_module(app);
+        let mut group = c.benchmark_group(format!("fig3.10/{app}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        group.bench_function("golden", |b| b.iter(|| run_clean(&golden)));
+        for d in Diversity::paper_set() {
+            let cfg = DpmrConfig::sds()
+                .with_diversity(d)
+                .with_policy(Policy::AllLoads);
+            let t = transformed(&golden, &cfg);
+            group.bench_function(d.name(), |b| b.iter(|| run_clean(&t)));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, diversity_overhead);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 3.15: wall-clock overhead of state comparison policies (SDS,
+//! rearrange-heap diversity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_bench::{bench_apps, bench_module, run_clean, transformed};
+use dpmr_core::prelude::*;
+
+fn policy_overhead(c: &mut Criterion) {
+    for app in bench_apps() {
+        let golden = bench_module(app);
+        let mut group = c.benchmark_group(format!("fig3.15/{app}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        group.bench_function("golden", |b| b.iter(|| run_clean(&golden)));
+        for p in Policy::paper_set() {
+            let cfg = DpmrConfig::sds()
+                .with_diversity(Diversity::RearrangeHeap)
+                .with_policy(p);
+            let t = transformed(&golden, &cfg);
+            group.bench_function(p.name(), |b| b.iter(|| run_clean(&t)));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, policy_overhead);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figures 4.3 and 4.4: side-by-side SDS vs MDS overheads. The expected
+//! shape: MDS <= SDS everywhere, with the largest gap on the
+//! pointer-heavy workloads (equake, mcf).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_bench::{bench_apps, bench_module, run_clean, transformed};
+use dpmr_core::prelude::*;
+
+fn schemes(c: &mut Criterion) {
+    for app in bench_apps() {
+        let golden = bench_module(app);
+        // Fig. 4.3 slice: diversity overheads for both schemes.
+        let mut group = c.benchmark_group(format!("fig4.3/{app}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        for d in [Diversity::None, Diversity::RearrangeHeap] {
+            for (scheme_name, base) in [("sds", DpmrConfig::sds()), ("mds", DpmrConfig::mds())] {
+                let cfg = base.with_diversity(d).with_policy(Policy::AllLoads);
+                let t = transformed(&golden, &cfg);
+                group.bench_function(format!("{}/{}", d.name(), scheme_name), |b| {
+                    b.iter(|| run_clean(&t))
+                });
+            }
+        }
+        group.finish();
+        // Fig. 4.4 slice: policy overheads for both schemes.
+        let mut group = c.benchmark_group(format!("fig4.4/{app}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        for p in [Policy::Static { percent: 10 }, Policy::AllLoads] {
+            for (scheme_name, base) in [("sds", DpmrConfig::sds()), ("mds", DpmrConfig::mds())] {
+                let cfg = base.with_diversity(Diversity::RearrangeHeap).with_policy(p);
+                let t = transformed(&golden, &cfg);
+                group.bench_function(format!("{}/{}", p.name(), scheme_name), |b| {
+                    b.iter(|| run_clean(&t))
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, schemes);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Substrate microbenchmarks: allocator and interpreter throughput.
+//! Not a paper figure; keeps the substrate's performance envelope
+//! visible so workload sizing stays sane.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_vm::alloc::Allocator;
+use dpmr_vm::mem::{Mem, MemConfig};
+
+fn allocator(c: &mut Criterion) {
+    c.bench_function("substrate/malloc-free-cycle", |b| {
+        b.iter(|| {
+            let mut mem = Mem::new(&MemConfig::default());
+            let mut a = Allocator::new();
+            let mut ptrs = Vec::with_capacity(256);
+            for i in 0..256u64 {
+                ptrs.push(a.malloc(&mut mem, 16 + (i % 7) * 24).unwrap());
+            }
+            for p in ptrs.drain(..).rev() {
+                a.free(&mut mem, p);
+            }
+            a.stats.mallocs
+        })
+    });
+    c.bench_function("substrate/interp-throughput", |b| {
+        let m = dpmr_bench::bench_module("bzip2");
+        b.iter(|| dpmr_bench::run_clean(&m))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = allocator
+}
+criterion_main!(benches);

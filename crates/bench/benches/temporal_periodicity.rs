@@ -1,0 +1,34 @@
+//! Figure 3.16: exploiting periodicity to improve temporal load-checking
+//! overhead. Counter-based temporal 1/2 checking (Table 2.9: a global
+//! counter, mask shifts, and a branch at every load) vs compile-time
+//! periodic 1/2 checking (every other load site checked, zero runtime
+//! branching). The periodic variant should be markedly cheaper at the
+//! same checking fraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_bench::{bench_apps, bench_module, run_clean, transformed};
+use dpmr_core::prelude::*;
+
+fn periodicity(c: &mut Criterion) {
+    for app in bench_apps() {
+        let golden = bench_module(app);
+        let mut group = c.benchmark_group(format!("fig3.16/{app}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(900));
+        let counter_cfg = DpmrConfig::sds()
+            .with_diversity(Diversity::RearrangeHeap)
+            .with_policy(Policy::temporal_half());
+        let periodic_cfg = DpmrConfig::sds()
+            .with_diversity(Diversity::RearrangeHeap)
+            .with_policy(Policy::StaticPeriodic { period: 2 });
+        let counter = transformed(&golden, &counter_cfg);
+        let periodic = transformed(&golden, &periodic_cfg);
+        group.bench_function("temporal-1/2-counter", |b| b.iter(|| run_clean(&counter)));
+        group.bench_function("periodic-1/2-unrolled", |b| b.iter(|| run_clean(&periodic)));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, periodicity);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! # dpmr-bench
+//!
+//! Shared helpers for the Criterion benches that regenerate the paper's
+//! overhead figures in wall-clock form (the VM's virtual-cycle overheads
+//! are produced by `dpmr-harness`; these benches confirm the same
+//! orderings hold for real execution time of the simulated runs).
+//!
+//! Bench targets (one per figure family):
+//! * `overhead` — Fig. 3.10 (diversity transformation overheads, SDS)
+//! * `policies` — Fig. 3.15 (state comparison policy overheads, SDS)
+//! * `sds_vs_mds` — Figs. 4.3/4.4 (side-by-side scheme overheads)
+//! * `temporal_periodicity` — Fig. 3.16 (counter-based temporal checking
+//!   vs compile-time periodic checking)
+//! * `substrates` — allocator and interpreter microbenchmarks (substrate
+//!   sanity, not a paper figure)
+
+use dpmr_core::prelude::*;
+use dpmr_ir::module::Module;
+use dpmr_vm::prelude::*;
+use dpmr_workloads::{app_by_name, WorkloadParams};
+use std::rc::Rc;
+
+/// Builds an app module at bench scale.
+///
+/// # Panics
+/// Panics on an unknown app name.
+pub fn bench_module(app: &str) -> Module {
+    let spec = app_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    (spec.build)(&WorkloadParams { scale: 1, seed: 42 })
+}
+
+/// Transforms a module, panicking on error (bench setup).
+///
+/// # Panics
+/// Panics if the transformation fails.
+pub fn transformed(m: &Module, cfg: &DpmrConfig) -> Module {
+    transform(m, cfg).expect("bench transform")
+}
+
+/// Runs a module to completion with the wrapper registry and asserts the
+/// run was clean; returns consumed virtual cycles (so benches can report
+/// both wall time and simulated time).
+///
+/// # Panics
+/// Panics if the run is not clean — a bench must never measure a crashed
+/// run.
+pub fn run_clean(m: &Module) -> u64 {
+    let reg = Rc::new(registry_with_wrappers());
+    let out = run_with_registry(m, &RunConfig::default(), reg);
+    assert!(
+        matches!(out.status, ExitStatus::Normal(0)),
+        "bench run not clean: {:?}",
+        out.status
+    );
+    out.cycles
+}
+
+/// The four apps, in paper order.
+pub fn bench_apps() -> [&'static str; 4] {
+    ["art", "bzip2", "equake", "mcf"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_helpers_round_trip() {
+        let m = bench_module("bzip2");
+        let cycles = run_clean(&m);
+        assert!(cycles > 0);
+        let t = transformed(&m, &DpmrConfig::sds());
+        let tcycles = run_clean(&t);
+        assert!(tcycles > cycles);
+    }
+}

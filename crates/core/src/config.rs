@@ -1,0 +1,249 @@
+//! Configuration of the DPMR transformation: pointer scheme, diversity
+//! transformation, state comparison policy, and the DSA-derived
+//! replication plan.
+
+pub use crate::shadow::Scheme;
+use std::collections::HashSet;
+
+/// A diversity transformation applied to replica heap behaviour
+/// (Table 2.8). Beyond these, intra-process replication already provides
+/// *implicit* diversity (Sec. 2.1, Fig. 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Diversity {
+    /// No explicit diversity; rely on implicit layout diversity.
+    None,
+    /// `pad-malloc-y`: grow every replica heap request by `y` bytes.
+    PadMalloc(u64),
+    /// `zero-before-free`: zero the replica buffer before deallocation.
+    ZeroBeforeFree,
+    /// `rearrange-heap`: give each replica heap object a randomized
+    /// location by allocating and freeing 1..=20 decoy blocks around it.
+    RearrangeHeap,
+}
+
+impl Diversity {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            Diversity::None => "no-diversity".into(),
+            Diversity::PadMalloc(y) => format!("pad-malloc {y}"),
+            Diversity::ZeroBeforeFree => "zero-before-free".into(),
+            Diversity::RearrangeHeap => "rearrange-heap".into(),
+        }
+    }
+
+    /// The set evaluated in Sections 3.7 / 4.5.
+    pub fn paper_set() -> Vec<Diversity> {
+        vec![
+            Diversity::None,
+            Diversity::ZeroBeforeFree,
+            Diversity::RearrangeHeap,
+            Diversity::PadMalloc(8),
+            Diversity::PadMalloc(32),
+            Diversity::PadMalloc(256),
+            Diversity::PadMalloc(1024),
+        ]
+    }
+}
+
+/// A state comparison policy (Sec. 2.7): which loads are replicated and
+/// compared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Replicate and compare every load.
+    AllLoads,
+    /// Temporal load-checking: a global counter walks the bits of `mask`;
+    /// a load is checked when its bit is set (Table 2.9).
+    Temporal {
+        /// 64-bit check mask.
+        mask: u64,
+    },
+    /// Static load-checking: each load *site* is instrumented with the
+    /// given probability, decided at transform time with a seeded RNG.
+    Static {
+        /// Percentage of load sites instrumented (0–100).
+        percent: u8,
+    },
+    /// The Fig. 3.16 ablation: periodic checking with the branch and
+    /// counter eliminated — every `period`-th load site is checked
+    /// round-robin at compile time, so the temporal fraction 1/period is
+    /// achieved with zero per-load branching.
+    StaticPeriodic {
+        /// Check every `period`-th load site.
+        period: u32,
+    },
+}
+
+impl Policy {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            Policy::AllLoads => "all loads".into(),
+            Policy::Temporal { mask } => {
+                let frac = u32::try_from(mask.count_ones()).expect("<=64");
+                format!("temporal {frac}/64")
+            }
+            Policy::Static { percent } => format!("static {percent}%"),
+            Policy::StaticPeriodic { period } => format!("periodic 1/{period}"),
+        }
+    }
+
+    /// Temporal 1/8 (mask `0x8080808080808080`-style; the paper's
+    /// 64-bit masks check 8, 32, and 56 of every 64 loads).
+    pub fn temporal_eighth() -> Policy {
+        Policy::Temporal {
+            mask: 0x8080_8080_8080_8080,
+        }
+    }
+    /// Temporal 1/2.
+    pub fn temporal_half() -> Policy {
+        Policy::Temporal {
+            mask: 0xAAAA_AAAA_AAAA_AAAA,
+        }
+    }
+    /// Temporal 7/8.
+    pub fn temporal_seven_eighths() -> Policy {
+        Policy::Temporal {
+            mask: 0xFEFE_FEFE_FEFE_FEFE,
+        }
+    }
+
+    /// The policy set evaluated in Sections 3.8 / 4.5.
+    pub fn paper_set() -> Vec<Policy> {
+        vec![
+            Policy::AllLoads,
+            Policy::temporal_eighth(),
+            Policy::temporal_half(),
+            Policy::temporal_seven_eighths(),
+            Policy::Static { percent: 10 },
+            Policy::Static { percent: 50 },
+            Policy::Static { percent: 90 },
+        ]
+    }
+}
+
+/// A reference to an instruction site in the *original* module:
+/// `(function index, block index, instruction index)`.
+pub type SiteRef = (u32, u32, u32);
+
+/// The partial-replication refinement produced by Data Structure Analysis
+/// (Chapter 5): allocation sites whose objects cannot be reasoned about
+/// are excluded from replication, loads that would compare unreplicated
+/// memory are left unchecked, and int-to-pointer casts become legal
+/// (their results alias application memory).
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationPlan {
+    /// Allocation sites excluded from replication (their ROP aliases the
+    /// application pointer and their NSOP is null).
+    pub exclude_allocs: HashSet<SiteRef>,
+    /// Load sites that must not be checked (they may observe unreplicated
+    /// memory).
+    pub uncheck_loads: HashSet<SiteRef>,
+    /// Permit int-to-pointer casts (results treated as unreplicated).
+    pub allow_int_to_ptr: bool,
+    /// Permit raw pointer arithmetic under SDS (results lose their shadow
+    /// handle; their NSOP becomes null).
+    pub allow_raw_ptr_arith: bool,
+}
+
+/// Full configuration of one DPMR build variant (the paper's
+/// "configuration" of Sec. 3.5: scheme + diversity + comparison policy).
+#[derive(Debug, Clone)]
+pub struct DpmrConfig {
+    /// Pointer-handling design.
+    pub scheme: Scheme,
+    /// Diversity transformation for replica heap behaviour.
+    pub diversity: Diversity,
+    /// State comparison policy.
+    pub policy: Policy,
+    /// Transform-time seed (static load-checking site selection).
+    pub seed: u64,
+    /// DSA-derived replication refinement.
+    pub plan: ReplicationPlan,
+}
+
+impl DpmrConfig {
+    /// SDS with rearrange-heap and all-loads — the paper's
+    /// best-coverage configuration.
+    pub fn sds() -> DpmrConfig {
+        DpmrConfig {
+            scheme: Scheme::Sds,
+            diversity: Diversity::RearrangeHeap,
+            policy: Policy::AllLoads,
+            seed: 0xD12A,
+            plan: ReplicationPlan::default(),
+        }
+    }
+
+    /// MDS with rearrange-heap and all-loads.
+    pub fn mds() -> DpmrConfig {
+        DpmrConfig {
+            scheme: Scheme::Mds,
+            ..DpmrConfig::sds()
+        }
+    }
+
+    /// Variant display name, e.g. `sds/rearrange-heap/all loads`.
+    pub fn name(&self) -> String {
+        let s = match self.scheme {
+            Scheme::Sds => "sds",
+            Scheme::Mds => "mds",
+        };
+        format!("{s}/{}/{}", self.diversity.name(), self.policy.name())
+    }
+
+    /// Replaces the diversity transformation.
+    pub fn with_diversity(mut self, d: Diversity) -> DpmrConfig {
+        self.diversity = d;
+        self
+    }
+
+    /// Replaces the comparison policy.
+    pub fn with_policy(mut self, p: Policy) -> DpmrConfig {
+        self.policy = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_vocabulary() {
+        assert_eq!(Diversity::None.name(), "no-diversity");
+        assert_eq!(Diversity::PadMalloc(32).name(), "pad-malloc 32");
+        assert_eq!(Policy::AllLoads.name(), "all loads");
+        assert_eq!(Policy::Static { percent: 10 }.name(), "static 10%");
+        assert_eq!(Policy::temporal_half().name(), "temporal 32/64");
+    }
+
+    #[test]
+    fn paper_sets_have_expected_sizes() {
+        assert_eq!(Diversity::paper_set().len(), 7);
+        assert_eq!(Policy::paper_set().len(), 7);
+    }
+
+    #[test]
+    fn temporal_masks_check_expected_fractions() {
+        let m = match Policy::temporal_eighth() {
+            Policy::Temporal { mask } => mask,
+            _ => unreachable!(),
+        };
+        assert_eq!(m.count_ones(), 8);
+        let m = match Policy::temporal_seven_eighths() {
+            Policy::Temporal { mask } => mask,
+            _ => unreachable!(),
+        };
+        assert_eq!(m.count_ones(), 56);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = DpmrConfig::sds()
+            .with_diversity(Diversity::PadMalloc(8))
+            .with_policy(Policy::Static { percent: 50 });
+        assert_eq!(c.name(), "sds/pad-malloc 8/static 50%");
+        assert_eq!(DpmrConfig::mds().scheme, Scheme::Mds);
+    }
+}

@@ -1,0 +1,456 @@
+//! The DPMR external code support library (Sec. 2.8, 3.1.5, 4.3).
+//!
+//! For every external function the input program uses, DPMR substitutes an
+//! *external function wrapper* that (1) performs the original behaviour,
+//! and (2) performs the application-visible DPMR behaviour the external
+//! function would have exhibited had it been transformed: replica stores,
+//! shadow ROP/NSOP updates, load checks on memory it reads, and
+//! ROP/NSOP (or ROP) propagation for pointer return values.
+//!
+//! Wrapper argument conventions (must match `transform.rs`):
+//!
+//! * SDS: `[sdwSize]? [rvSop]? (arg, arg_r, arg_s?)*` — `sdwSize` only for
+//!   the size-carrying externals `qsort`/`memcpy`/`memmove` (Fig. 3.3),
+//!   `rvSop` only when the external returns a pointer, `arg_s` only for
+//!   pointer arguments.
+//! * MDS: `[rvRopPtr]? (arg, arg_r?)*`.
+
+use crate::config::Scheme;
+use crate::transform::wrapper_name;
+use dpmr_vm::external::Registry;
+use dpmr_vm::interp::{Interp, Trap};
+use dpmr_vm::value::Value;
+
+/// Builds a registry containing the native libc subset plus the SDS and
+/// MDS wrapper implementations for all supported externals.
+pub fn registry_with_wrappers() -> Registry {
+    let mut r = Registry::with_base();
+    register_wrappers(&mut r);
+    r
+}
+
+fn vptr(args: &[Value], i: usize) -> Result<u64, Trap> {
+    args.get(i)
+        .map(|v| v.to_bits())
+        .ok_or_else(|| Trap::Invalid(format!("wrapper: missing argument {i}")))
+}
+
+fn vint(args: &[Value], i: usize) -> Result<i64, Trap> {
+    args.get(i)
+        .map(|v| v.to_bits() as i64)
+        .ok_or_else(|| Trap::Invalid(format!("wrapper: missing argument {i}")))
+}
+
+/// Compares `n` bytes of application and replica memory; a mismatch is a
+/// DPMR detection (the wrapper-level load check of Sec. 2.8).
+fn check_bytes(it: &mut Interp<'_>, app: u64, rep: u64, n: u64) -> Result<(), Trap> {
+    it.charge(n / 4 + 1);
+    for k in 0..n {
+        let a = it.mem.read(app + k, 1)?[0];
+        let b = it.mem.read(rep + k, 1)?[0];
+        if a != b {
+            return Err(Trap::Dpmr {
+                got: u64::from(a),
+                replica: u64::from(b),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Reads a NUL-terminated string while simultaneously checking each byte
+/// against replica memory (emulated string parsing, Sec. 3.1.5: only the
+/// bytes actually read are compared).
+fn read_checked_string(it: &mut Interp<'_>, app: u64, rep: u64) -> Result<Vec<u8>, Trap> {
+    let mut out = Vec::new();
+    let mut k = 0u64;
+    loop {
+        let a = it.mem.read(app + k, 1)?[0];
+        let b = it.mem.read(rep + k, 1)?[0];
+        it.charge(2);
+        if a != b {
+            return Err(Trap::Dpmr {
+                got: u64::from(a),
+                replica: u64::from(b),
+            });
+        }
+        if a == 0 {
+            return Ok(out);
+        }
+        out.push(a);
+        k += 1;
+        if out.len() > 1 << 20 {
+            return Err(Trap::Invalid("unterminated string".into()));
+        }
+    }
+}
+
+/// Stores an ROP/NSOP pair through an SDS `rvSop` argument.
+fn store_rv_sop(it: &mut Interp<'_>, rv_sop: u64, rop: u64, nsop: u64) -> Result<(), Trap> {
+    it.mem.write_u64(rv_sop, rop)?;
+    it.mem.write_u64(rv_sop + 8, nsop)?;
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn register_wrappers(r: &mut Registry) {
+    // ---------------- strlen ------------------------------------------
+    // SDS: (p, p_r, p_s) ; MDS: (p, p_r)
+    for scheme in [Scheme::Sds, Scheme::Mds] {
+        r.register(wrapper_name("strlen", scheme), move |it, args| {
+            let p = vptr(args, 0)?;
+            let p_r = vptr(args, 1)?;
+            let s = read_checked_string(it, p, p_r)?;
+            Ok(Some(Value::Int(s.len() as i64)))
+        });
+    }
+
+    // ---------------- strcpy (Fig. 2.11) -------------------------------
+    // SDS: (rvSop, dest, dest_r, dest_s, src, src_r, src_s) -> dest
+    r.register(wrapper_name("strcpy", Scheme::Sds), |it, args| {
+        let rv_sop = vptr(args, 0)?;
+        let dest = vptr(args, 1)?;
+        let dest_r = vptr(args, 2)?;
+        let dest_s = vptr(args, 3)?;
+        let src = vptr(args, 4)?;
+        let src_r = vptr(args, 5)?;
+        // src is read: assert(strcmp(src, src_r) == 0)
+        let s = read_checked_string(it, src, src_r)?;
+        it.charge(2 * s.len() as u64 + 2);
+        // Original behaviour: copy into dest.
+        it.mem.write(dest, &s)?;
+        it.mem.write(dest + s.len() as u64, &[0])?;
+        // dest is written: mimic in replica memory (copy from dest).
+        let written = it.mem.read(dest, s.len() + 1)?.to_vec();
+        it.mem.write(dest_r, &written)?;
+        // Return-value ROP/NSOP.
+        store_rv_sop(it, rv_sop, dest_r, dest_s)?;
+        Ok(Some(Value::Ptr(dest)))
+    });
+    // MDS: (rvRopPtr, dest, dest_r, src, src_r) -> dest
+    r.register(wrapper_name("strcpy", Scheme::Mds), |it, args| {
+        let rv_rop_ptr = vptr(args, 0)?;
+        let dest = vptr(args, 1)?;
+        let dest_r = vptr(args, 2)?;
+        let src = vptr(args, 3)?;
+        let src_r = vptr(args, 4)?;
+        let s = read_checked_string(it, src, src_r)?;
+        it.charge(2 * s.len() as u64 + 2);
+        it.mem.write(dest, &s)?;
+        it.mem.write(dest + s.len() as u64, &[0])?;
+        let written = it.mem.read(dest, s.len() + 1)?.to_vec();
+        it.mem.write(dest_r, &written)?;
+        it.mem.write_u64(rv_rop_ptr, dest_r)?;
+        Ok(Some(Value::Ptr(dest)))
+    });
+
+    // ---------------- strcmp -------------------------------------------
+    // Emulates the parse to know exactly how much was read (Sec. 3.1.5).
+    // SDS: (a, a_r, a_s, b, b_r, b_s); MDS: (a, a_r, b, b_r)
+    for (scheme, b_off) in [(Scheme::Sds, 3usize), (Scheme::Mds, 2usize)] {
+        r.register(wrapper_name("strcmp", scheme), move |it, args| {
+            let a = vptr(args, 0)?;
+            let a_r = vptr(args, 1)?;
+            let b = vptr(args, b_off)?;
+            let b_r = vptr(args, b_off + 1)?;
+            let mut k = 0u64;
+            loop {
+                let ca = it.mem.read(a + k, 1)?[0];
+                let ca_r = it.mem.read(a_r + k, 1)?[0];
+                let cb = it.mem.read(b + k, 1)?[0];
+                let cb_r = it.mem.read(b_r + k, 1)?[0];
+                it.charge(4);
+                if ca != ca_r {
+                    return Err(Trap::Dpmr {
+                        got: u64::from(ca),
+                        replica: u64::from(ca_r),
+                    });
+                }
+                if cb != cb_r {
+                    return Err(Trap::Dpmr {
+                        got: u64::from(cb),
+                        replica: u64::from(cb_r),
+                    });
+                }
+                if ca != cb {
+                    return Ok(Some(Value::Int(i64::from(ca) - i64::from(cb))));
+                }
+                if ca == 0 {
+                    return Ok(Some(Value::Int(0)));
+                }
+                k += 1;
+                if k > 1 << 20 {
+                    return Err(Trap::Invalid("strcmp runaway".into()));
+                }
+            }
+        });
+    }
+
+    // ---------------- memcpy / memmove ---------------------------------
+    // SDS: (sdwBytes, rvSop, dest, dest_r, dest_s, src, src_r, src_s, n)
+    for name in ["memcpy", "memmove"] {
+        r.register(wrapper_name(name, Scheme::Sds), |it, args| {
+            let sdw_bytes = u64::try_from(vint(args, 0)?.max(0)).unwrap_or(0);
+            let rv_sop = vptr(args, 1)?;
+            let dest = vptr(args, 2)?;
+            let dest_r = vptr(args, 3)?;
+            let dest_s = vptr(args, 4)?;
+            let src = vptr(args, 5)?;
+            let src_r = vptr(args, 6)?;
+            let src_s = vptr(args, 7)?;
+            let n = u64::try_from(vint(args, 8)?.max(0)).unwrap_or(0);
+            // src is read: load-check it against its replica.
+            check_bytes(it, src, src_r, n)?;
+            let bytes = it.mem.read(src, n as usize)?.to_vec();
+            it.charge(n / 2 + 4);
+            it.mem.write(dest, &bytes)?;
+            it.mem.write(dest_r, &bytes)?;
+            // Shadow data follow the copy.
+            if sdw_bytes > 0 && dest_s != 0 && src_s != 0 {
+                let sbytes = it.mem.read(src_s, sdw_bytes as usize)?.to_vec();
+                it.mem.write(dest_s, &sbytes)?;
+            }
+            store_rv_sop(it, rv_sop, dest_r, dest_s)?;
+            Ok(Some(Value::Ptr(dest)))
+        });
+        // MDS: (rvRopPtr, dest, dest_r, src, src_r, n) — generic-type
+        // operations apply identically to replica memory (Sec. 4.3); the
+        // replica copy comes from src_r so stored ROPs stay consistent.
+        r.register(wrapper_name(name, Scheme::Mds), |it, args| {
+            let rv_rop_ptr = vptr(args, 0)?;
+            let dest = vptr(args, 1)?;
+            let dest_r = vptr(args, 2)?;
+            let src = vptr(args, 3)?;
+            let src_r = vptr(args, 4)?;
+            let n = u64::try_from(vint(args, 5)?.max(0)).unwrap_or(0);
+            let bytes = it.mem.read(src, n as usize)?.to_vec();
+            let rbytes = it.mem.read(src_r, n as usize)?.to_vec();
+            it.charge(n / 2 + 4);
+            it.mem.write(dest, &bytes)?;
+            it.mem.write(dest_r, &rbytes)?;
+            it.mem.write_u64(rv_rop_ptr, dest_r)?;
+            Ok(Some(Value::Ptr(dest)))
+        });
+    }
+
+    // ---------------- memset -------------------------------------------
+    // SDS: (rvSop, dest, dest_r, dest_s, c, n); MDS: (rvRopPtr, dest, dest_r, c, n)
+    r.register(wrapper_name("memset", Scheme::Sds), |it, args| {
+        let rv_sop = vptr(args, 0)?;
+        let dest = vptr(args, 1)?;
+        let dest_r = vptr(args, 2)?;
+        let dest_s = vptr(args, 3)?;
+        let c = vint(args, 4)? as u8;
+        let n = u64::try_from(vint(args, 5)?.max(0)).unwrap_or(0);
+        it.charge(n / 4 + 2);
+        it.mem.write(dest, &vec![c; n as usize])?;
+        it.mem.write(dest_r, &vec![c; n as usize])?;
+        store_rv_sop(it, rv_sop, dest_r, dest_s)?;
+        Ok(Some(Value::Ptr(dest)))
+    });
+    r.register(wrapper_name("memset", Scheme::Mds), |it, args| {
+        let rv_rop_ptr = vptr(args, 0)?;
+        let dest = vptr(args, 1)?;
+        let dest_r = vptr(args, 2)?;
+        let c = vint(args, 3)? as u8;
+        let n = u64::try_from(vint(args, 4)?.max(0)).unwrap_or(0);
+        it.charge(n / 4 + 2);
+        it.mem.write(dest, &vec![c; n as usize])?;
+        it.mem.write(dest_r, &vec![c; n as usize])?;
+        it.mem.write_u64(rv_rop_ptr, dest_r)?;
+        Ok(Some(Value::Ptr(dest)))
+    });
+
+    // ---------------- atoi ----------------------------------------------
+    // Reads only the characters it consumes (like the atof discussion of
+    // Sec. 3.1.5), checking each against the replica.
+    for scheme in [Scheme::Sds, Scheme::Mds] {
+        r.register(wrapper_name("atoi", scheme), move |it, args| {
+            let p = vptr(args, 0)?;
+            let p_r = vptr(args, 1)?;
+            let mut k = 0u64;
+            let mut sign = 1i64;
+            let mut val = 0i64;
+            let check = |it: &mut Interp<'_>, k: u64| -> Result<u8, Trap> {
+                let a = it.mem.read(p + k, 1)?[0];
+                let b = it.mem.read(p_r + k, 1)?[0];
+                if a != b {
+                    return Err(Trap::Dpmr {
+                        got: u64::from(a),
+                        replica: u64::from(b),
+                    });
+                }
+                Ok(a)
+            };
+            let first = check(it, 0)?;
+            if first == b'-' {
+                sign = -1;
+                k = 1;
+            } else if first == b'+' {
+                k = 1;
+            }
+            loop {
+                let c = check(it, k)?;
+                it.charge(2);
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                val = val.wrapping_mul(10).wrapping_add(i64::from(c - b'0'));
+                k += 1;
+                if k > 32 {
+                    break;
+                }
+            }
+            Ok(Some(Value::Int(sign * val)))
+        });
+    }
+
+    // ---------------- sqrt ----------------------------------------------
+    // No pointer arguments: the wrapper is the original behaviour.
+    for scheme in [Scheme::Sds, Scheme::Mds] {
+        r.register(wrapper_name("sqrt", scheme), |it, args| {
+            let v = f64::from_bits(
+                args.first()
+                    .ok_or_else(|| Trap::Invalid("sqrt: missing argument".into()))?
+                    .to_bits(),
+            );
+            let v = match args.first() {
+                Some(Value::Float(f)) => *f,
+                _ => v,
+            };
+            it.charge(20);
+            Ok(Some(Value::Float(v.sqrt())))
+        });
+    }
+
+    // ---------------- qsort (Fig. 3.3) -----------------------------------
+    // SDS: (sdwSize, base, base_r, base_s, nmemb, size, cmp, cmp_r, cmp_s)
+    r.register(wrapper_name("qsort", Scheme::Sds), |it, args| {
+        let sdw_size = u64::try_from(vint(args, 0)?.max(0)).unwrap_or(0);
+        let base = vptr(args, 1)?;
+        let base_r = vptr(args, 2)?;
+        let base_s = vptr(args, 3)?;
+        let nmemb = u64::try_from(vint(args, 4)?.max(0)).unwrap_or(0);
+        let size = u64::try_from(vint(args, 5)?.max(0)).unwrap_or(0);
+        let cmp = vptr(args, 6)?;
+        qsort_wrapper(
+            it,
+            base,
+            Some(base_r),
+            (base_s != 0 && sdw_size > 0).then_some((base_s, sdw_size)),
+            nmemb,
+            size,
+            cmp,
+            Scheme::Sds,
+        )
+    });
+    // MDS: (base, base_r, nmemb, size, cmp, cmp_r)
+    r.register(wrapper_name("qsort", Scheme::Mds), |it, args| {
+        let base = vptr(args, 0)?;
+        let base_r = vptr(args, 1)?;
+        let nmemb = u64::try_from(vint(args, 2)?.max(0)).unwrap_or(0);
+        let size = u64::try_from(vint(args, 3)?.max(0)).unwrap_or(0);
+        let cmp = vptr(args, 4)?;
+        qsort_wrapper(it, base, Some(base_r), None, nmemb, size, cmp, Scheme::Mds)
+    });
+}
+
+/// In-place insertion sort keeping application, replica, and shadow arrays
+/// in lock-step, calling the *augmented* comparator.
+#[allow(clippy::too_many_arguments)]
+fn qsort_wrapper(
+    it: &mut Interp<'_>,
+    base: u64,
+    base_r: Option<u64>,
+    shadow: Option<(u64, u64)>,
+    nmemb: u64,
+    size: u64,
+    cmp: u64,
+    scheme: Scheme,
+) -> Result<Option<Value>, Trap> {
+    if size == 0 || nmemb <= 1 {
+        return Ok(None);
+    }
+    let base_r = base_r.unwrap_or(base);
+    let elem_args = |j: u64, k: u64| -> Vec<Value> {
+        let a = base + j * size;
+        let b = base + k * size;
+        let a_r = base_r + j * size;
+        let b_r = base_r + k * size;
+        match scheme {
+            Scheme::Sds => {
+                let (a_s, b_s) = match shadow {
+                    Some((sb, ss)) => (sb + j * ss, sb + k * ss),
+                    None => (0, 0),
+                };
+                vec![
+                    Value::Ptr(a),
+                    Value::Ptr(a_r),
+                    Value::Ptr(a_s),
+                    Value::Ptr(b),
+                    Value::Ptr(b_r),
+                    Value::Ptr(b_s),
+                ]
+            }
+            Scheme::Mds => vec![
+                Value::Ptr(a),
+                Value::Ptr(a_r),
+                Value::Ptr(b),
+                Value::Ptr(b_r),
+            ],
+        }
+    };
+    for i in 1..nmemb {
+        let mut j = i;
+        while j > 0 {
+            let r = it.call_fn_ptr(cmp, elem_args(j - 1, j))?;
+            let r = r.map(|v| v.to_bits() as i64).unwrap_or(0);
+            if r <= 0 {
+                break;
+            }
+            // Swap in all three spaces.
+            for (b0, sz) in [(base, size), (base_r, size)] {
+                let a = b0 + (j - 1) * sz;
+                let b = b0 + j * sz;
+                let ab = it.mem.read(a, sz as usize)?.to_vec();
+                let bb = it.mem.read(b, sz as usize)?.to_vec();
+                it.mem.write(a, &bb)?;
+                it.mem.write(b, &ab)?;
+            }
+            if let Some((sb, ss)) = shadow {
+                let a = sb + (j - 1) * ss;
+                let b = sb + j * ss;
+                let ab = it.mem.read(a, ss as usize)?.to_vec();
+                let bb = it.mem.read(b, ss as usize)?.to_vec();
+                it.mem.write(a, &bb)?;
+                it.mem.write(b, &ab)?;
+            }
+            it.charge(size + 6);
+            j -= 1;
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapper_registry_contains_both_schemes() {
+        let r = registry_with_wrappers();
+        for base in [
+            "strlen", "strcpy", "strcmp", "memcpy", "memmove", "memset", "atoi", "qsort", "sqrt",
+        ] {
+            assert!(
+                r.get(&wrapper_name(base, Scheme::Sds)).is_some(),
+                "missing SDS wrapper for {base}"
+            );
+            assert!(
+                r.get(&wrapper_name(base, Scheme::Mds)).is_some(),
+                "missing MDS wrapper for {base}"
+            );
+            assert!(r.get(base).is_some(), "missing base handler for {base}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Static statistics about a DPMR transformation — what the transform
+//! added, for reporting and for tuning decisions (which configurations
+//! instrument how much).
+
+use dpmr_ir::instr::Instr;
+use dpmr_ir::module::Module;
+use std::fmt;
+
+/// Counts of DPMR-relevant instructions in a module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// Total instructions (including terminators).
+    pub instructions: usize,
+    /// `malloc` sites.
+    pub mallocs: usize,
+    /// `alloca` sites.
+    pub allocas: usize,
+    /// `free` sites.
+    pub frees: usize,
+    /// Load sites.
+    pub loads: usize,
+    /// Store sites.
+    pub stores: usize,
+    /// Inserted `dpmr.check` comparisons.
+    pub checks: usize,
+    /// `randint` calls (rearrange-heap decoy counters).
+    pub randints: usize,
+    /// Functions defined.
+    pub functions: usize,
+    /// Global variables.
+    pub globals: usize,
+}
+
+impl ModuleStats {
+    /// Gathers statistics for a module.
+    pub fn of(m: &Module) -> ModuleStats {
+        let mut s = ModuleStats {
+            instructions: m.static_instr_count(),
+            functions: m.funcs.len(),
+            globals: m.globals.len(),
+            ..ModuleStats::default()
+        };
+        for f in &m.funcs {
+            for b in &f.blocks {
+                for i in &b.instrs {
+                    match i {
+                        Instr::Malloc { .. } => s.mallocs += 1,
+                        Instr::Alloca { .. } => s.allocas += 1,
+                        Instr::Free { .. } => s.frees += 1,
+                        Instr::Load { .. } => s.loads += 1,
+                        Instr::Store { .. } => s.stores += 1,
+                        Instr::DpmrCheck { .. } => s.checks += 1,
+                        Instr::RandInt { .. } => s.randints += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Before/after comparison of a transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransformStats {
+    /// Original module statistics.
+    pub before: ModuleStats,
+    /// Transformed module statistics.
+    pub after: ModuleStats,
+}
+
+impl TransformStats {
+    /// Compares an original and a transformed module.
+    pub fn compare(before: &Module, after: &Module) -> TransformStats {
+        TransformStats {
+            before: ModuleStats::of(before),
+            after: ModuleStats::of(after),
+        }
+    }
+
+    /// Static code-growth factor.
+    pub fn code_growth(&self) -> f64 {
+        self.after.instructions as f64 / self.before.instructions.max(1) as f64
+    }
+
+    /// Fraction of original loads that received a check.
+    pub fn check_density(&self) -> f64 {
+        self.after.checks as f64 / self.before.loads.max(1) as f64
+    }
+}
+
+impl fmt::Display for TransformStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "instructions: {} -> {} ({:.2}x)",
+            self.before.instructions,
+            self.after.instructions,
+            self.code_growth()
+        )?;
+        writeln!(
+            f,
+            "allocations:  {} mallocs -> {} (replica/shadow added)",
+            self.before.mallocs, self.after.mallocs
+        )?;
+        writeln!(
+            f,
+            "checks:       {} over {} original loads ({:.0}%)",
+            self.after.checks,
+            self.before.loads,
+            100.0 * self.check_density()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Diversity, DpmrConfig, Policy};
+    use crate::transform::transform;
+    use dpmr_ir::prelude::*;
+
+    fn program() -> Module {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let p = b.malloc(i64t, Const::i64(2).into(), "p");
+        b.store(p.into(), Const::i64(1).into());
+        let v = b.load(i64t, p.into(), "v");
+        b.output(v.into());
+        b.free(p.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+        m
+    }
+
+    #[test]
+    fn stats_count_instruction_classes() {
+        let m = program();
+        let s = ModuleStats::of(&m);
+        assert_eq!(s.mallocs, 1);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.checks, 0);
+        assert_eq!(s.functions, 1);
+    }
+
+    #[test]
+    fn transform_grows_code_and_adds_checks() {
+        let m = program();
+        let t = transform(&m, &DpmrConfig::sds().with_diversity(Diversity::None)).unwrap();
+        let ts = TransformStats::compare(&m, &t);
+        assert!(ts.code_growth() > 1.5, "{}", ts.code_growth());
+        assert_eq!(ts.after.checks, 1);
+        assert!((ts.check_density() - 1.0).abs() < 1e-9);
+        assert_eq!(ts.after.mallocs, 2, "app + replica (scalar: no shadow)");
+        // Display renders all three lines.
+        let txt = ts.to_string();
+        assert!(txt.contains("instructions:"));
+        assert!(txt.contains("checks:"));
+    }
+
+    #[test]
+    fn static_policy_density_tracks_percent() {
+        let m = dpmr_workloads::micro::linked_list(4);
+        let full = transform(&m, &DpmrConfig::sds().with_policy(Policy::AllLoads)).unwrap();
+        let tenth = transform(
+            &m,
+            &DpmrConfig::sds().with_policy(Policy::Static { percent: 10 }),
+        )
+        .unwrap();
+        let d_full = TransformStats::compare(&m, &full).check_density();
+        let d_tenth = TransformStats::compare(&m, &tenth).check_density();
+        assert!(d_full >= 0.99);
+        assert!(d_tenth < d_full);
+    }
+}

@@ -1,0 +1,2129 @@
+//! The DPMR code transformation (Tables 2.6/2.7 for SDS, Tables 4.3/4.4
+//! for MDS), including diversity transformations (Table 2.8), state
+//! comparison policies (Table 2.9 and Sec. 2.7), external-function wrapper
+//! rewiring (Sec. 2.8), `main` handling (Sec. 3.1.1), and global-variable
+//! replication (Sec. 2.4).
+//!
+//! For every virtual register `p` holding a pointer, the transformation
+//! maintains companion registers `p_r` (replica object pointer) and — under
+//! SDS — `p_s` (shadow object pointer). Instructions are rewritten
+//! case-by-case exactly as the paper's tables specify.
+
+use crate::config::{Diversity, DpmrConfig, Policy, Scheme, SiteRef};
+use crate::shadow::TypeAlgebra;
+use dpmr_ir::instr::{
+    BinOp, Block, BlockId, Callee, CastOp, CmpPred, Const, Instr, Operand, RegId, Term,
+};
+use dpmr_ir::module::{
+    ExternalId, FuncId, Function, Global, GlobalId, GlobalInit, Module, RegInfo,
+};
+use dpmr_ir::types::{TypeId, TypeKind};
+use dpmr_ir::verify::{verify_module, VerifyError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Failure modes of the transformation (the input-program restrictions of
+/// Sections 2.9 and 4.4).
+#[derive(Debug)]
+pub enum TransformError {
+    /// Int-to-pointer casts are forbidden under SDS and MDS (both schemes)
+    /// unless a DSA replication plan permits them (Ch. 5).
+    IntToPtrCast {
+        /// Function containing the cast.
+        func: String,
+    },
+    /// Raw (untyped) pointer arithmetic is forbidden under SDS unless the
+    /// plan relaxes it (MDS always allows it, Sec. 4.4).
+    RawPointerArithmetic {
+        /// Function containing the arithmetic.
+        func: String,
+    },
+    /// The entry function's pointer parameters do not match the supported
+    /// argv shape (Sec. 3.1.1).
+    UnsupportedEntrySignature {
+        /// Entry function name.
+        func: String,
+    },
+    /// The transformed module failed verification (an internal bug).
+    Verify(Vec<VerifyError>),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::IntToPtrCast { func } => {
+                write!(f, "int-to-pointer cast in {func} (forbidden, Sec. 2.9)")
+            }
+            TransformError::RawPointerArithmetic { func } => {
+                write!(f, "raw pointer arithmetic in {func} (forbidden under SDS)")
+            }
+            TransformError::UnsupportedEntrySignature { func } => {
+                write!(f, "unsupported entry signature for {func}")
+            }
+            TransformError::Verify(errs) => {
+                write!(f, "transformed module failed verification: {errs:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// External functions that need the extra shadow-size parameter under SDS
+/// (Sec. 3.1.5, Fig. 3.3).
+pub const SIZE_CARRYING_EXTERNALS: &[&str] = &["qsort", "memcpy", "memmove"];
+
+/// Wrapper registry name for an external function under a scheme.
+pub fn wrapper_name(orig: &str, scheme: Scheme) -> String {
+    match scheme {
+        Scheme::Sds => format!("{orig}.sds.efw"),
+        Scheme::Mds => format!("{orig}.mds.efw"),
+    }
+}
+
+/// Suffix appended to the renamed entry function (`main` → `mainAug`).
+pub const MAIN_AUG_SUFFIX: &str = "Aug";
+
+/// Companion registers for one original register.
+#[derive(Debug, Clone, Copy)]
+struct Companions {
+    app: RegId,
+    rop: Option<RegId>,
+    sop: Option<RegId>,
+}
+
+/// Companion operands for one original operand.
+#[derive(Debug, Clone, Copy)]
+struct Ops {
+    app: Operand,
+    rop: Option<Operand>,
+    sop: Option<Operand>,
+}
+
+/// Function-under-construction emitter with block chaining.
+struct Emit {
+    regs: Vec<RegInfo>,
+    blocks: Vec<Block>,
+    cur: usize,
+}
+
+impl Emit {
+    fn reg(&mut self, ty: TypeId, name: String) -> RegId {
+        let id = RegId(self.regs.len() as u32);
+        self.regs.push(RegInfo {
+            ty,
+            name: if name.is_empty() { None } else { Some(name) },
+        });
+        id
+    }
+
+    fn ins(&mut self, i: Instr) {
+        self.blocks[self.cur].instrs.push(i);
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        id
+    }
+
+    fn term(&mut self, t: Term) {
+        self.blocks[self.cur].term = t;
+    }
+
+    fn start(&mut self, b: BlockId) {
+        self.cur = b.0 as usize;
+    }
+
+    fn reg_ty(&self, r: RegId) -> TypeId {
+        self.regs[r.0 as usize].ty
+    }
+}
+
+/// Transforms `module` with DPMR according to `cfg`.
+///
+/// The returned module is fully self-contained: augmented function types,
+/// replica (and shadow) globals, wrapper external declarations, and a
+/// fresh entry wrapper (the paper's `main` handling).
+///
+/// # Errors
+/// Returns a [`TransformError`] when the input violates the scheme's
+/// restrictions or the output fails verification.
+pub fn transform(module: &Module, cfg: &DpmrConfig) -> Result<Module, TransformError> {
+    Transformer::new(module, cfg).run()
+}
+
+struct Transformer<'a> {
+    src: &'a Module,
+    cfg: &'a DpmrConfig,
+    out: Module,
+    alg: TypeAlgebra,
+    rng: StdRng,
+    replica_globals: Vec<GlobalId>,
+    shadow_globals: Vec<Option<GlobalId>>,
+    rearrange_buf: Option<GlobalId>,
+    mask_counter: Option<GlobalId>,
+    ext_map: Vec<ExternalId>,
+    load_site_counter: u64,
+}
+
+impl<'a> Transformer<'a> {
+    fn new(src: &'a Module, cfg: &'a DpmrConfig) -> Self {
+        let mut out = Module::new();
+        out.types = src.types.clone();
+        Transformer {
+            src,
+            cfg,
+            out,
+            alg: TypeAlgebra::new(cfg.scheme),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            replica_globals: Vec::new(),
+            shadow_globals: Vec::new(),
+            rearrange_buf: None,
+            mask_counter: None,
+            ext_map: Vec::new(),
+            load_site_counter: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Module, TransformError> {
+        self.create_globals();
+        self.create_support_globals();
+        self.map_externals();
+        for i in 0..self.src.funcs.len() {
+            let f = self.transform_function(FuncId(i as u32))?;
+            self.out.add_function(f);
+        }
+        if let Some(entry) = self.src.entry {
+            let wrapper = self.build_main_wrapper(entry)?;
+            self.out.entry = Some(wrapper);
+        }
+        verify_module(&self.out).map_err(TransformError::Verify)?;
+        Ok(self.out)
+    }
+
+    // ----- globals ------------------------------------------------------
+
+    fn create_globals(&mut self) {
+        // Application globals keep their ids; types become augmented.
+        let n = self.src.globals.len();
+        for i in 0..n {
+            let g = self.src.globals[i].clone();
+            let aty = self.alg.at(&mut self.out.types, g.ty);
+            self.out.add_global(Global {
+                name: g.name.clone(),
+                ty: aty,
+                init: g.init.clone(),
+            });
+        }
+        // Replica globals.
+        for i in 0..n {
+            let g = self.src.globals[i].clone();
+            let aty = self.alg.at(&mut self.out.types, g.ty);
+            let init = self.replica_init(g.ty, &g.init);
+            let id = self.out.add_global(Global {
+                name: format!("{}.rep", g.name),
+                ty: aty,
+                init,
+            });
+            self.replica_globals.push(id);
+        }
+        // Shadow globals (SDS).
+        for i in 0..n {
+            if self.cfg.scheme != Scheme::Sds {
+                self.shadow_globals.push(None);
+                continue;
+            }
+            let g = self.src.globals[i].clone();
+            let sat = self.alg.sat(&mut self.out.types, g.ty);
+            match sat {
+                Some(sty) => {
+                    let id = self.out.add_global(Global {
+                        name: format!("{}.sdw", g.name),
+                        ty: sty,
+                        init: GlobalInit::Zero, // patched below
+                    });
+                    self.shadow_globals.push(Some(id));
+                }
+                None => self.shadow_globals.push(None),
+            }
+        }
+        // Patch shadow inits now that replica/shadow ids all exist.
+        for i in 0..n {
+            if let Some(id) = self.shadow_globals[i] {
+                let g = self.src.globals[i].clone();
+                let init = self.shadow_init(g.ty, &g.init);
+                self.out.globals[id.0 as usize].init = init;
+            }
+        }
+    }
+
+    /// Replica initializer: identical under SDS (pointers are comparable);
+    /// pointer references retarget to replica globals under MDS.
+    fn replica_init(&mut self, ty: TypeId, init: &GlobalInit) -> GlobalInit {
+        match self.cfg.scheme {
+            Scheme::Sds => init.clone(),
+            Scheme::Mds => self.mds_replica_init(ty, init),
+        }
+    }
+
+    fn mds_replica_init(&mut self, ty: TypeId, init: &GlobalInit) -> GlobalInit {
+        match init {
+            GlobalInit::Ref(g) => GlobalInit::Ref(GlobalId(
+                g.0 + self.src.globals.len() as u32,
+            )),
+            GlobalInit::Composite(items) => {
+                let member_tys: Vec<TypeId> = match self.out.types.kind(ty) {
+                    TypeKind::Struct { fields, .. } => fields.clone(),
+                    TypeKind::Array { elem, .. } => vec![*elem; items.len()],
+                    TypeKind::Union { members, .. } => members.clone(),
+                    _ => vec![ty; items.len()],
+                };
+                GlobalInit::Composite(
+                    items
+                        .iter()
+                        .zip(member_tys)
+                        .map(|(it, t)| self.mds_replica_init(t, it))
+                        .collect(),
+                )
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Shadow initializer for a global of type `ty` with app init `init`.
+    fn shadow_init(&mut self, ty: TypeId, init: &GlobalInit) -> GlobalInit {
+        let kind = self.out.types.kind(ty).clone();
+        match kind {
+            TypeKind::Pointer { .. } => {
+                let (rop, nsop) = match init {
+                    GlobalInit::Ref(g) => {
+                        let rep = self.replica_globals[g.0 as usize];
+                        let nsop = match self.shadow_globals[g.0 as usize] {
+                            Some(s) => GlobalInit::Ref(s),
+                            None => GlobalInit::Null,
+                        };
+                        (GlobalInit::Ref(rep), nsop)
+                    }
+                    GlobalInit::FuncRef(f) => (GlobalInit::FuncRef(*f), GlobalInit::Null),
+                    _ => (GlobalInit::Null, GlobalInit::Null),
+                };
+                GlobalInit::Composite(vec![rop, nsop])
+            }
+            TypeKind::Struct { fields, .. } => {
+                let items: Vec<(usize, TypeId)> = fields
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(_, f)| self.alg.sat(&mut self.out.types, *f).is_some())
+                    .collect();
+                let inits = match init {
+                    GlobalInit::Composite(its) => its.clone(),
+                    _ => vec![GlobalInit::Zero; fields.len()],
+                };
+                GlobalInit::Composite(
+                    items
+                        .into_iter()
+                        .map(|(i, f)| self.shadow_init(f, &inits[i]))
+                        .collect(),
+                )
+            }
+            TypeKind::Array { elem, len } => {
+                let n = len.unwrap_or(0) as usize;
+                let inits = match init {
+                    GlobalInit::Composite(its) => its.clone(),
+                    _ => vec![GlobalInit::Zero; n],
+                };
+                GlobalInit::Composite(
+                    inits
+                        .iter()
+                        .map(|it| self.shadow_init(elem, it))
+                        .collect(),
+                )
+            }
+            _ => GlobalInit::Zero,
+        }
+    }
+
+    fn create_support_globals(&mut self) {
+        if self.cfg.diversity == Diversity::RearrangeHeap {
+            let vp = self.out.types.void_ptr();
+            let arr = self.out.types.array(vp, 20);
+            let id = self.out.add_global(Global {
+                name: "dpmr.rearrangeBuf".into(),
+                ty: arr,
+                init: GlobalInit::Zero,
+            });
+            self.rearrange_buf = Some(id);
+        }
+        if matches!(self.cfg.policy, Policy::Temporal { .. }) {
+            let i64t = self.out.types.int(64);
+            let id = self.out.add_global(Global {
+                name: "dpmr.maskCounter".into(),
+                ty: i64t,
+                init: GlobalInit::Int(0),
+            });
+            self.mask_counter = Some(id);
+        }
+    }
+
+    // ----- externals ------------------------------------------------------
+
+    fn map_externals(&mut self) {
+        for i in 0..self.src.externals.len() {
+            let e = self.src.externals[i].clone();
+            let mut aty = self.alg.at(&mut self.out.types, e.ty);
+            if self.cfg.scheme == Scheme::Sds && SIZE_CARRYING_EXTERNALS.contains(&e.name.as_str())
+            {
+                // Prepend the sdwSize parameter (Fig. 3.3).
+                let (ret, mut params) = match self.out.types.kind(aty).clone() {
+                    TypeKind::Function { ret, params } => (ret, params),
+                    _ => unreachable!("external with non-function type"),
+                };
+                let i64t = self.out.types.int(64);
+                params.insert(0, i64t);
+                aty = self.out.types.function(ret, params);
+            }
+            let name = wrapper_name(&e.name, self.cfg.scheme);
+            let id = self.out.declare_external(name, aty);
+            self.ext_map.push(id);
+        }
+    }
+
+    // ----- functions ------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn transform_function(&mut self, fid: FuncId) -> Result<Function, TransformError> {
+        let f = self.src.func(fid);
+        let fname = f.name.clone();
+        let orig_fty = f.ty;
+        let aug_fty = self.alg.at(&mut self.out.types, orig_fty);
+        let ret_ty = f.ret_ty(&self.src.types);
+        let ret_is_ptr = self.src.types.is_pointer(ret_ty);
+
+        let mut em = Emit {
+            regs: Vec::new(),
+            blocks: (0..f.blocks.len()).map(|_| Block::new()).collect(),
+            cur: 0,
+        };
+        if em.blocks.is_empty() {
+            em.blocks.push(Block::new());
+        }
+
+        // --- parameter registers in augmented order -----------------------
+        let mut params: Vec<RegId> = Vec::new();
+        let mut rv_slot_param: Option<RegId> = None;
+        if ret_is_ptr {
+            let slot_ty = match self.cfg.scheme {
+                Scheme::Sds => {
+                    let sat = self
+                        .alg
+                        .sat(&mut self.out.types, ret_ty)
+                        .expect("pointer sat non-null");
+                    self.out.types.pointer(sat)
+                }
+                Scheme::Mds => {
+                    let aret = self.alg.at(&mut self.out.types, ret_ty);
+                    self.out.types.pointer(aret)
+                }
+            };
+            let name = match self.cfg.scheme {
+                Scheme::Sds => "rvSop",
+                Scheme::Mds => "rvRopPtr",
+            };
+            let r = em.reg(slot_ty, name.into());
+            params.push(r);
+            rv_slot_param = Some(r);
+        }
+
+        // Companion map for all original registers; parameters first so
+        // their ids line up with the augmented parameter order.
+        let mut comps: Vec<Option<Companions>> = vec![None; f.regs.len()];
+        for &p in &f.params {
+            let c = self.make_companions(&mut em, f, p, true, &mut params);
+            comps[p.0 as usize] = Some(c);
+        }
+        for i in 0..f.regs.len() {
+            if comps[i].is_none() {
+                let c = self.make_companions(&mut em, f, RegId(i as u32), false, &mut params);
+                comps[i] = Some(c);
+            }
+        }
+        let comps: Vec<Companions> = comps.into_iter().map(|c| c.expect("filled")).collect();
+
+        // --- rv slots for call sites returning pointers (hoisted allocas) --
+        let mut rv_slots: HashMap<(u32, u32), RegId> = HashMap::new();
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (ii, ins) in block.instrs.iter().enumerate() {
+                if let Instr::Call { callee, .. } = ins {
+                    let cret = self.callee_ret_ty(f, callee);
+                    if self.src.types.is_pointer(cret) {
+                        let (slot_pointee, nm) = match self.cfg.scheme {
+                            Scheme::Sds => (
+                                self.alg
+                                    .sat(&mut self.out.types, cret)
+                                    .expect("pointer sat"),
+                                "csSop",
+                            ),
+                            Scheme::Mds => {
+                                (self.alg.at(&mut self.out.types, cret), "csRopSlot")
+                            }
+                        };
+                        let pty = self.out.types.pointer(slot_pointee);
+                        let slot = em.reg(pty, format!("{nm}.{bi}.{ii}"));
+                        em.start(BlockId(0));
+                        em.ins(Instr::Alloca {
+                            dst: slot,
+                            ty: slot_pointee,
+                            count: None,
+                        });
+                        rv_slots.insert((bi as u32, ii as u32), slot);
+                    }
+                }
+            }
+        }
+
+        // --- instruction-by-instruction transformation --------------------
+        for bi in 0..f.blocks.len() {
+            em.start(BlockId(bi as u32));
+            // Continue after any prologue emitted into block 0.
+            for ii in 0..f.blocks[bi].instrs.len() {
+                let ins = f.blocks[bi].instrs[ii].clone();
+                let site: SiteRef = (fid.0, bi as u32, ii as u32);
+                self.xform_instr(
+                    &mut em, f, &fname, &comps, &ins, site, &rv_slots,
+                )?;
+            }
+            let term = f.blocks[bi].term.clone();
+            self.xform_term(&mut em, f, &comps, term, rv_slot_param, ret_is_ptr);
+        }
+
+        Ok(Function {
+            name: fname,
+            ty: aug_fty,
+            params,
+            regs: em.regs,
+            blocks: em.blocks,
+        })
+    }
+
+    fn make_companions(
+        &mut self,
+        em: &mut Emit,
+        f: &Function,
+        r: RegId,
+        is_param: bool,
+        params: &mut Vec<RegId>,
+    ) -> Companions {
+        let ty = f.reg_ty(r);
+        let aty = self.alg.at(&mut self.out.types, ty);
+        let base = f.regs[r.0 as usize]
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("v{}", r.0));
+        let app = em.reg(aty, base.clone());
+        if is_param {
+            params.push(app);
+        }
+        if !self.src.types.is_pointer(ty) {
+            return Companions {
+                app,
+                rop: None,
+                sop: None,
+            };
+        }
+        let rop = em.reg(aty, format!("{base}_r"));
+        if is_param {
+            params.push(rop);
+        }
+        let sop = if self.cfg.scheme == Scheme::Sds {
+            let pointee = self.src.types.pointee(ty).expect("pointer");
+            let sty = match self.alg.sat(&mut self.out.types, pointee) {
+                Some(s) => self.out.types.pointer(s),
+                None => self.out.types.void_ptr(),
+            };
+            let s = em.reg(sty, format!("{base}_s"));
+            if is_param {
+                params.push(s);
+            }
+            Some(s)
+        } else {
+            None
+        };
+        Companions {
+            app,
+            rop: Some(rop),
+            sop,
+        }
+    }
+
+    fn callee_ret_ty(&self, f: &Function, callee: &Callee) -> TypeId {
+        let fty = match callee {
+            Callee::Direct(id) => self.src.func(*id).ty,
+            Callee::External(id) => self.src.external(*id).ty,
+            Callee::Indirect(op) => {
+                let t = self.orig_operand_ty(f, op);
+                self.src.types.pointee(t).expect("function pointer")
+            }
+        };
+        match self.src.types.kind(fty) {
+            TypeKind::Function { ret, .. } => *ret,
+            _ => unreachable!("callee not of function type"),
+        }
+    }
+
+    fn callee_param_tys(&self, f: &Function, callee: &Callee) -> Vec<TypeId> {
+        let fty = match callee {
+            Callee::Direct(id) => self.src.func(*id).ty,
+            Callee::External(id) => self.src.external(*id).ty,
+            Callee::Indirect(op) => {
+                let t = self.orig_operand_ty(f, op);
+                self.src.types.pointee(t).expect("function pointer")
+            }
+        };
+        match self.src.types.kind(fty) {
+            TypeKind::Function { params, .. } => params.clone(),
+            _ => unreachable!("callee not of function type"),
+        }
+    }
+
+    /// Static type of an operand in the ORIGINAL module.
+    fn orig_operand_ty(&self, f: &Function, op: &Operand) -> TypeId {
+        match op {
+            Operand::Reg(r) => f.reg_ty(*r),
+            Operand::Const(Const::Int { bits, .. }) => self.find_src_ty(&TypeKind::Int { bits: *bits }),
+            Operand::Const(Const::Float { bits, .. }) => {
+                self.find_src_ty(&TypeKind::Float { bits: *bits })
+            }
+            Operand::Const(Const::Null { pointee }) => {
+                self.find_src_ty(&TypeKind::Pointer { pointee: *pointee })
+            }
+            Operand::Global(g) => self.find_src_ty(&TypeKind::Pointer {
+                pointee: self.src.global(*g).ty,
+            }),
+            Operand::Func(fid) => self.find_src_ty(&TypeKind::Pointer {
+                pointee: self.src.func(*fid).ty,
+            }),
+        }
+    }
+
+    fn find_src_ty(&self, kind: &TypeKind) -> TypeId {
+        for i in 0..self.src.types.len() {
+            let id = TypeId(i as u32);
+            if self.src.types.kind(id) == kind {
+                return id;
+            }
+        }
+        panic!("type {kind:?} not interned in source module");
+    }
+
+    /// Maps an original operand to its companions in the new function.
+    fn map_operand(&mut self, f: &Function, comps: &[Companions], op: &Operand) -> Ops {
+        match op {
+            Operand::Reg(r) => {
+                let c = comps[r.0 as usize];
+                Ops {
+                    app: Operand::Reg(c.app),
+                    rop: c.rop.map(Operand::Reg),
+                    sop: c.sop.map(Operand::Reg),
+                }
+            }
+            Operand::Const(Const::Null { pointee }) => {
+                let ap = self.alg.at(&mut self.out.types, *pointee);
+                let void = self.out.types.void();
+                let sop_pointee = self
+                    .alg
+                    .sat(&mut self.out.types, *pointee)
+                    .unwrap_or(void);
+                Ops {
+                    app: Operand::Const(Const::Null { pointee: ap }),
+                    rop: Some(Operand::Const(Const::Null { pointee: ap })),
+                    sop: Some(Operand::Const(Const::Null {
+                        pointee: sop_pointee,
+                    })),
+                }
+            }
+            Operand::Const(c) => Ops {
+                app: Operand::Const(*c),
+                rop: None,
+                sop: None,
+            },
+            Operand::Global(g) => {
+                let rep = self.replica_globals[g.0 as usize];
+                let sop = match self.shadow_globals[g.0 as usize] {
+                    Some(s) => Operand::Global(s),
+                    None => {
+                        let void = self.out.types.void();
+                        Operand::Const(Const::Null { pointee: void })
+                    }
+                };
+                Ops {
+                    app: Operand::Global(*g),
+                    rop: Some(Operand::Global(rep)),
+                    sop: Some(sop),
+                }
+            }
+            Operand::Func(fid) => {
+                // Address of a function: ROP is the same address, NSOP null
+                // (Table 2.6 "address of a function").
+                let void = self.out.types.void();
+                Ops {
+                    app: Operand::Func(*fid),
+                    rop: Some(Operand::Func(*fid)),
+                    sop: Some(Operand::Const(Const::Null { pointee: void })),
+                }
+            }
+            #[allow(unreachable_patterns)]
+            _ => {
+                let _ = f;
+                unreachable!()
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn xform_instr(
+        &mut self,
+        em: &mut Emit,
+        f: &Function,
+        fname: &str,
+        comps: &[Companions],
+        ins: &Instr,
+        site: SiteRef,
+        rv_slots: &HashMap<(u32, u32), RegId>,
+    ) -> Result<(), TransformError> {
+        let sds = self.cfg.scheme == Scheme::Sds;
+        match ins {
+            // ---- allocation (Table 2.7 / 4.4) ----------------------------
+            Instr::Alloca { dst, ty, count } => {
+                let c = comps[dst.0 as usize];
+                let aty = self.alg.at(&mut self.out.types, *ty);
+                let cnt = count.map(|op| self.map_operand(f, comps, &op).app);
+                em.ins(Instr::Alloca {
+                    dst: c.app,
+                    ty: aty,
+                    count: cnt,
+                });
+                if self.excluded(site) {
+                    self.alias_companions(em, c);
+                    return Ok(());
+                }
+                em.ins(Instr::Alloca {
+                    dst: c.rop.expect("alloca yields pointer"),
+                    ty: aty,
+                    count: cnt,
+                });
+                if sds {
+                    self.emit_shadow_alloc(em, c, aty, cnt, false);
+                }
+            }
+            Instr::Malloc { dst, elem, count } => {
+                let c = comps[dst.0 as usize];
+                let aty = self.alg.at(&mut self.out.types, *elem);
+                let cnt = self.map_operand(f, comps, count).app;
+                em.ins(Instr::Malloc {
+                    dst: c.app,
+                    elem: aty,
+                    count: cnt,
+                });
+                if self.excluded(site) {
+                    self.alias_companions(em, c);
+                    return Ok(());
+                }
+                self.emit_replica_malloc(em, c.rop.expect("pointer"), aty, cnt);
+                if sds {
+                    self.emit_shadow_alloc(em, c, aty, Some(cnt), true);
+                }
+            }
+            // ---- heap deallocation (Table 2.6 / 4.3) ----------------------
+            Instr::Free { ptr } => {
+                let o = self.map_operand(f, comps, ptr);
+                em.ins(Instr::Free { ptr: o.app });
+                let rop = o.rop.expect("freeing a pointer");
+                // Under a DSA-refined plan an excluded object's replica
+                // aliases the application object (Ch. 5); freeing it again
+                // would double-free, so the replica free is guarded by a
+                // runtime aliasing check whenever exclusions are in play.
+                if !self.cfg.plan.exclude_allocs.is_empty() {
+                    let i8t = self.out.types.int(8);
+                    let differs = em.reg(i8t, String::new());
+                    em.ins(Instr::Cmp {
+                        dst: differs,
+                        pred: CmpPred::Ne,
+                        lhs: rop,
+                        rhs: o.app,
+                    });
+                    let free_bb = em.new_block();
+                    let cont_bb = em.new_block();
+                    em.term(Term::CondBr {
+                        cond: Operand::Reg(differs),
+                        then_bb: free_bb,
+                        else_bb: cont_bb,
+                    });
+                    em.start(free_bb);
+                    if self.cfg.diversity == Diversity::ZeroBeforeFree {
+                        self.emit_zero_before_free(em, rop);
+                    }
+                    em.ins(Instr::Free { ptr: rop });
+                    em.term(Term::Br(cont_bb));
+                    em.start(cont_bb);
+                } else {
+                    if self.cfg.diversity == Diversity::ZeroBeforeFree {
+                        self.emit_zero_before_free(em, rop);
+                    }
+                    em.ins(Instr::Free { ptr: rop });
+                }
+                if sds {
+                    // if (ps != null) free(ps)
+                    let sop = o.sop.expect("sds companion");
+                    let i8t = self.out.types.int(8);
+                    let cnd = em.reg(i8t, String::new());
+                    let void = self.out.types.void();
+                    em.ins(Instr::Cmp {
+                        dst: cnd,
+                        pred: CmpPred::Ne,
+                        lhs: sop,
+                        rhs: Operand::Const(Const::Null { pointee: void }),
+                    });
+                    let free_bb = em.new_block();
+                    let cont_bb = em.new_block();
+                    em.term(Term::CondBr {
+                        cond: Operand::Reg(cnd),
+                        then_bb: free_bb,
+                        else_bb: cont_bb,
+                    });
+                    em.start(free_bb);
+                    em.ins(Instr::Free { ptr: sop });
+                    em.term(Term::Br(cont_bb));
+                    em.start(cont_bb);
+                }
+            }
+            // ---- store (Table 2.6 / 4.3) ----------------------------------
+            Instr::Store { ptr, value } => {
+                let p = self.map_operand(f, comps, ptr);
+                let v = self.map_operand(f, comps, value);
+                em.ins(Instr::Store {
+                    ptr: p.app,
+                    value: v.app,
+                });
+                let vty = self.orig_operand_ty(f, value);
+                let v_is_ptr = self.src.types.is_pointer(vty);
+                let prop = p.rop.expect("store through pointer");
+                if sds {
+                    // Same value to replica memory (comparable pointers).
+                    em.ins(Instr::Store {
+                        ptr: prop,
+                        value: v.app,
+                    });
+                    if v_is_ptr {
+                        // (ps->rop) <- x_r ; (ps->nsop) <- x_s
+                        let psop = p.sop.expect("sds companion");
+                        let sat_ptr_ty = em.reg_ty(match psop {
+                            Operand::Reg(r) => r,
+                            _ => {
+                                // Shadow of a pointer always exists; a null
+                                // const would mean the program stores a
+                                // pointer through a shadow-less pointer —
+                                // use a typed field address anyway.
+                                return self.store_ptr_via_const_shadow(em, psop, &v);
+                            }
+                        });
+                        let _ = sat_ptr_ty;
+                        let f0 = self.shadow_field_addr(em, psop, 0);
+                        em.ins(Instr::Store {
+                            ptr: f0,
+                            value: v.rop.expect("pointer value rop"),
+                        });
+                        let f1 = self.shadow_field_addr(em, psop, 1);
+                        em.ins(Instr::Store {
+                            ptr: f1,
+                            value: v.sop.expect("pointer value sop"),
+                        });
+                    }
+                } else {
+                    // MDS: replica stores the ROP for pointers, the same
+                    // value otherwise (Table 4.3).
+                    let rep_val = if v_is_ptr {
+                        v.rop.expect("pointer value rop")
+                    } else {
+                        v.app
+                    };
+                    em.ins(Instr::Store {
+                        ptr: prop,
+                        value: rep_val,
+                    });
+                }
+            }
+            // ---- load (Table 2.6 / 4.3) -----------------------------------
+            Instr::Load { dst, ptr } => {
+                let p = self.map_operand(f, comps, ptr);
+                let c = comps[dst.0 as usize];
+                em.ins(Instr::Load {
+                    dst: c.app,
+                    ptr: p.app,
+                });
+                let dty = f.reg_ty(*dst);
+                let d_is_ptr = self.src.types.is_pointer(dty);
+                let prop = p.rop.expect("load through pointer");
+                // Load check (policy-gated). SDS checks pointer loads too;
+                // MDS never checks pointer loads (they differ by design).
+                let checkable = sds || !d_is_ptr;
+                if checkable && !self.cfg.plan.uncheck_loads.contains(&site) {
+                    self.emit_load_check(em, c.app, prop);
+                }
+                if d_is_ptr {
+                    if sds {
+                        let psop = p.sop.expect("sds companion");
+                        let f0 = self.shadow_field_addr(em, psop, 0);
+                        em.ins(Instr::Load {
+                            dst: c.rop.expect("rop"),
+                            ptr: f0,
+                        });
+                        let f1 = self.shadow_field_addr(em, psop, 1);
+                        em.ins(Instr::Load {
+                            dst: c.sop.expect("sop"),
+                            ptr: f1,
+                        });
+                    } else {
+                        em.ins(Instr::Load {
+                            dst: c.rop.expect("rop"),
+                            ptr: prop,
+                        });
+                    }
+                }
+            }
+            // ---- address of a struct field (Table 2.6 / 4.3) --------------
+            Instr::FieldAddr { dst, base, field } => {
+                let b = self.map_operand(f, comps, base);
+                let c = comps[dst.0 as usize];
+                em.ins(Instr::FieldAddr {
+                    dst: c.app,
+                    base: b.app,
+                    field: *field,
+                });
+                em.ins(Instr::FieldAddr {
+                    dst: c.rop.expect("rop"),
+                    base: b.rop.expect("base rop"),
+                    field: *field,
+                });
+                if sds {
+                    let bty = self.orig_operand_ty(f, base);
+                    let pointee = self.src.types.pointee(bty).expect("pointer base");
+                    let apointee = self.alg.at(&mut self.out.types, pointee);
+                    let phi = self.alg.phi(&mut self.out.types, apointee, *field);
+                    match phi {
+                        Some(idx) => {
+                            em.ins(Instr::FieldAddr {
+                                dst: c.sop.expect("sop"),
+                                base: b.sop.expect("base sop"),
+                                field: idx,
+                            });
+                        }
+                        None => {
+                            let void = self.out.types.void();
+                            em.ins(Instr::Copy {
+                                dst: c.sop.expect("sop"),
+                                src: Operand::Const(Const::Null { pointee: void }),
+                            });
+                        }
+                    }
+                }
+            }
+            // ---- address of an array element ------------------------------
+            Instr::IndexAddr { dst, base, index } => {
+                let b = self.map_operand(f, comps, base);
+                let idx = self.map_operand(f, comps, index).app;
+                let c = comps[dst.0 as usize];
+                em.ins(Instr::IndexAddr {
+                    dst: c.app,
+                    base: b.app,
+                    index: idx,
+                });
+                em.ins(Instr::IndexAddr {
+                    dst: c.rop.expect("rop"),
+                    base: b.rop.expect("base rop"),
+                    index: idx,
+                });
+                if sds {
+                    let bty = self.orig_operand_ty(f, base);
+                    let pointee = self.src.types.pointee(bty).expect("pointer base");
+                    let elem = match self.src.types.kind(pointee) {
+                        TypeKind::Array { elem, .. } => *elem,
+                        _ => pointee,
+                    };
+                    let has_shadow = self.alg.sat(&mut self.out.types, elem).is_some();
+                    if has_shadow {
+                        em.ins(Instr::IndexAddr {
+                            dst: c.sop.expect("sop"),
+                            base: b.sop.expect("base sop"),
+                            index: idx,
+                        });
+                    } else {
+                        let void = self.out.types.void();
+                        em.ins(Instr::Copy {
+                            dst: c.sop.expect("sop"),
+                            src: Operand::Const(Const::Null { pointee: void }),
+                        });
+                    }
+                }
+            }
+            // ---- casts (Table 2.7 / 4.4) ----------------------------------
+            Instr::Cast { dst, op, src } => {
+                let s = self.map_operand(f, comps, src);
+                let c = comps[dst.0 as usize];
+                match op {
+                    CastOp::Bitcast => {
+                        em.ins(Instr::Cast {
+                            dst: c.app,
+                            op: CastOp::Bitcast,
+                            src: s.app,
+                        });
+                        em.ins(Instr::Cast {
+                            dst: c.rop.expect("rop"),
+                            op: CastOp::Bitcast,
+                            src: s.rop.expect("src rop"),
+                        });
+                        if sds {
+                            em.ins(Instr::Cast {
+                                dst: c.sop.expect("sop"),
+                                op: CastOp::Bitcast,
+                                src: s.sop.expect("src sop"),
+                            });
+                        }
+                    }
+                    CastOp::IntToPtr => {
+                        if !self.cfg.plan.allow_int_to_ptr {
+                            return Err(TransformError::IntToPtrCast {
+                                func: fname.to_string(),
+                            });
+                        }
+                        // DSA-refined mode: the result aliases application
+                        // memory; its replica is itself, its shadow null.
+                        em.ins(Instr::Cast {
+                            dst: c.app,
+                            op: CastOp::IntToPtr,
+                            src: s.app,
+                        });
+                        em.ins(Instr::Copy {
+                            dst: c.rop.expect("rop"),
+                            src: Operand::Reg(c.app),
+                        });
+                        if sds {
+                            let void = self.out.types.void();
+                            em.ins(Instr::Copy {
+                                dst: c.sop.expect("sop"),
+                                src: Operand::Const(Const::Null { pointee: void }),
+                            });
+                        }
+                    }
+                    _ => {
+                        // Scalar casts (incl. PtrToInt): application only.
+                        em.ins(Instr::Cast {
+                            dst: c.app,
+                            op: *op,
+                            src: s.app,
+                        });
+                    }
+                }
+            }
+            // ---- arithmetic -----------------------------------------------
+            Instr::Bin { dst, op, lhs, rhs } => {
+                let l = self.map_operand(f, comps, lhs);
+                let r = self.map_operand(f, comps, rhs);
+                let c = comps[dst.0 as usize];
+                em.ins(Instr::Bin {
+                    dst: c.app,
+                    op: *op,
+                    lhs: l.app,
+                    rhs: r.app,
+                });
+                if self.src.types.is_pointer(f.reg_ty(*dst)) {
+                    // Raw pointer arithmetic: forbidden under SDS unless the
+                    // DSA plan relaxes it (the result loses its shadow).
+                    if sds && !self.cfg.plan.allow_raw_ptr_arith {
+                        return Err(TransformError::RawPointerArithmetic {
+                            func: fname.to_string(),
+                        });
+                    }
+                    let lr = l.rop.unwrap_or(l.app);
+                    let rr = r.rop.unwrap_or(r.app);
+                    em.ins(Instr::Bin {
+                        dst: c.rop.expect("rop"),
+                        op: *op,
+                        lhs: lr,
+                        rhs: rr,
+                    });
+                    if sds {
+                        let void = self.out.types.void();
+                        em.ins(Instr::Copy {
+                            dst: c.sop.expect("sop"),
+                            src: Operand::Const(Const::Null { pointee: void }),
+                        });
+                    }
+                }
+            }
+            Instr::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                let l = self.map_operand(f, comps, lhs).app;
+                let r = self.map_operand(f, comps, rhs).app;
+                let c = comps[dst.0 as usize];
+                em.ins(Instr::Cmp {
+                    dst: c.app,
+                    pred: *pred,
+                    lhs: l,
+                    rhs: r,
+                });
+            }
+            Instr::Copy { dst, src } => {
+                let s = self.map_operand(f, comps, src);
+                let c = comps[dst.0 as usize];
+                em.ins(Instr::Copy {
+                    dst: c.app,
+                    src: s.app,
+                });
+                if let Some(rop) = c.rop {
+                    em.ins(Instr::Copy {
+                        dst: rop,
+                        src: s.rop.unwrap_or(s.app),
+                    });
+                }
+                if let Some(sop) = c.sop {
+                    let void = self.out.types.void();
+                    em.ins(Instr::Copy {
+                        dst: sop,
+                        src: s
+                            .sop
+                            .unwrap_or(Operand::Const(Const::Null { pointee: void })),
+                    });
+                }
+            }
+            // ---- calls (Table 2.7 / 4.4) ----------------------------------
+            Instr::Call { dst, callee, args } => {
+                self.xform_call(em, f, comps, dst, callee, args, site, rv_slots);
+            }
+            // ---- passthrough ----------------------------------------------
+            Instr::DpmrCheck { a, b } => {
+                let a = self.map_operand(f, comps, a).app;
+                let b = self.map_operand(f, comps, b).app;
+                em.ins(Instr::DpmrCheck { a, b });
+            }
+            Instr::RandInt { dst, lo, hi } => {
+                let lo = self.map_operand(f, comps, lo).app;
+                let hi = self.map_operand(f, comps, hi).app;
+                em.ins(Instr::RandInt {
+                    dst: comps[dst.0 as usize].app,
+                    lo,
+                    hi,
+                });
+            }
+            Instr::HeapBufSize { dst, ptr } => {
+                let p = self.map_operand(f, comps, ptr).app;
+                em.ins(Instr::HeapBufSize {
+                    dst: comps[dst.0 as usize].app,
+                    ptr: p,
+                });
+            }
+            Instr::Output { value } => {
+                let v = self.map_operand(f, comps, value).app;
+                em.ins(Instr::Output { value: v });
+            }
+            Instr::FiMarker { site } => {
+                em.ins(Instr::FiMarker { site: *site });
+            }
+            Instr::Abort { code } => {
+                em.ins(Instr::Abort { code: *code });
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn xform_call(
+        &mut self,
+        em: &mut Emit,
+        f: &Function,
+        comps: &[Companions],
+        dst: &Option<RegId>,
+        callee: &Callee,
+        args: &[Operand],
+        site: SiteRef,
+        rv_slots: &HashMap<(u32, u32), RegId>,
+    ) {
+        let sds = self.cfg.scheme == Scheme::Sds;
+        let cret = self.callee_ret_ty(f, callee);
+        let ret_is_ptr = self.src.types.is_pointer(cret);
+        let param_tys = self.callee_param_tys(f, callee);
+
+        let mut new_args: Vec<Operand> = Vec::new();
+
+        // Extra sdwSize parameter for size-carrying externals (SDS).
+        if sds {
+            if let Callee::External(eid) = callee {
+                let ename = self.src.external(*eid).name.clone();
+                if SIZE_CARRYING_EXTERNALS.contains(&ename.as_str()) {
+                    let sz = self.compute_sdw_size_operand(em, f, comps, &ename, args);
+                    new_args.push(sz);
+                }
+            }
+        }
+
+        let slot = if ret_is_ptr {
+            let slot = rv_slots[&(site.1, site.2)];
+            new_args.push(Operand::Reg(slot));
+            Some(slot)
+        } else {
+            None
+        };
+
+        for (i, a) in args.iter().enumerate() {
+            let o = self.map_operand(f, comps, a);
+            new_args.push(o.app);
+            let pt = param_tys.get(i).copied();
+            let is_ptr_param = pt.map(|t| self.src.types.is_pointer(t)).unwrap_or(false);
+            if is_ptr_param {
+                new_args.push(o.rop.unwrap_or(o.app));
+                if sds {
+                    let void = self.out.types.void();
+                    new_args.push(
+                        o.sop
+                            .unwrap_or(Operand::Const(Const::Null { pointee: void })),
+                    );
+                }
+            }
+        }
+
+        let new_callee = match callee {
+            Callee::Direct(fid) => Callee::Direct(*fid),
+            Callee::Indirect(op) => {
+                Callee::Indirect(self.map_operand(f, comps, op).app)
+            }
+            Callee::External(eid) => Callee::External(self.ext_map[eid.0 as usize]),
+        };
+
+        let c = dst.map(|d| comps[d.0 as usize]);
+        em.ins(Instr::Call {
+            dst: c.map(|c| c.app),
+            callee: new_callee,
+            args: new_args,
+        });
+
+        if ret_is_ptr {
+            if let Some(c) = c {
+                let slot = Operand::Reg(slot.expect("slot for ptr return"));
+                if sds {
+                    let f0 = self.shadow_field_addr(em, slot, 0);
+                    em.ins(Instr::Load {
+                        dst: c.rop.expect("rop"),
+                        ptr: f0,
+                    });
+                    let f1 = self.shadow_field_addr(em, slot, 1);
+                    em.ins(Instr::Load {
+                        dst: c.sop.expect("sop"),
+                        ptr: f1,
+                    });
+                } else {
+                    em.ins(Instr::Load {
+                        dst: c.rop.expect("rop"),
+                        ptr: slot,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Computes the sdwSize operand for qsort/memcpy/memmove (Sec. 3.1.5):
+    /// qsort passes the shadow size of one element; memcpy/memmove pass the
+    /// total shadow bytes for the copied range.
+    fn compute_sdw_size_operand(
+        &mut self,
+        em: &mut Emit,
+        f: &Function,
+        comps: &[Companions],
+        ename: &str,
+        args: &[Operand],
+    ) -> Operand {
+        let elem_of = |me: &mut Self, op: &Operand| -> TypeId {
+            // "The real type of the memory passed" (Sec. 3.1.5): the
+            // argument is usually a void* produced by a bitcast, so trace
+            // single-definition bitcast/copy chains back to a typed
+            // pointer before reading the element type.
+            let traced = me.trace_typed_pointer(f, op, 8);
+            let t = me.orig_operand_ty(f, &traced);
+            let pointee = me.src.types.pointee(t).unwrap_or(t);
+            match me.src.types.kind(pointee) {
+                TypeKind::Array { elem, .. } => *elem,
+                _ => pointee,
+            }
+        };
+        let i64t = self.out.types.int(64);
+        match ename {
+            "qsort" => {
+                let elem = elem_of(self, &args[0]);
+                let aelem = self.alg.at(&mut self.out.types, elem);
+                let ssz = self
+                    .alg
+                    .sat(&mut self.out.types, aelem)
+                    .map(|s| self.out.types.size_of(s).unwrap_or(0))
+                    .unwrap_or(0);
+                Operand::Const(Const::i64(ssz as i64))
+            }
+            _ => {
+                // memcpy/memmove: sdwBytes = n / sizeof(elem) * sizeof(sat).
+                let elem = elem_of(self, &args[0]);
+                let aelem = self.alg.at(&mut self.out.types, elem);
+                let esz = self.out.types.size_of(aelem).unwrap_or(1).max(1);
+                let ssz = self
+                    .alg
+                    .sat(&mut self.out.types, aelem)
+                    .map(|s| self.out.types.size_of(s).unwrap_or(0))
+                    .unwrap_or(0);
+                if ssz == 0 {
+                    return Operand::Const(Const::i64(0));
+                }
+                let n = self.map_operand(f, comps, &args[2]).app;
+                let q = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: q,
+                    op: BinOp::SDiv,
+                    lhs: n,
+                    rhs: Operand::Const(Const::i64(esz as i64)),
+                });
+                let m = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: m,
+                    op: BinOp::Mul,
+                    lhs: Operand::Reg(q),
+                    rhs: Operand::Const(Const::i64(ssz as i64)),
+                });
+                Operand::Reg(m)
+            }
+        }
+    }
+
+    /// Traces an operand back through single-definition bitcasts/copies to
+    /// the most precisely typed pointer available (bounded depth). Used to
+    /// recover element types erased by `void*` casts at size-carrying
+    /// external call sites.
+    fn trace_typed_pointer(&self, f: &Function, op: &Operand, depth: u32) -> Operand {
+        if depth == 0 {
+            return *op;
+        }
+        let Operand::Reg(r) = op else {
+            return *op;
+        };
+        // The current static type is already informative?
+        let t = f.reg_ty(*r);
+        if let Some(p) = self.src.types.pointee(t) {
+            if !matches!(self.src.types.kind(p), TypeKind::Void) {
+                return *op;
+            }
+        }
+        // Find the register's definitions among casts/copies.
+        let mut defs = Vec::new();
+        for b in &f.blocks {
+            for i in &b.instrs {
+                match i {
+                    Instr::Cast {
+                        dst,
+                        op: CastOp::Bitcast,
+                        src,
+                    } if dst == r => defs.push(*src),
+                    Instr::Copy { dst, src } if dst == r => defs.push(*src),
+                    other => {
+                        if other.dst() == Some(*r) {
+                            // Defined by something we cannot see through.
+                            return *op;
+                        }
+                    }
+                }
+            }
+        }
+        match defs.as_slice() {
+            [single] => self.trace_typed_pointer(f, single, depth - 1),
+            _ => *op,
+        }
+    }
+
+    fn xform_term(
+        &mut self,
+        em: &mut Emit,
+        f: &Function,
+        comps: &[Companions],
+        term: Term,
+        rv_slot: Option<RegId>,
+        ret_is_ptr: bool,
+    ) {
+        match term {
+            Term::Br(t) => em.term(Term::Br(t)),
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = self.map_operand(f, comps, &cond).app;
+                em.term(Term::CondBr {
+                    cond: c,
+                    then_bb,
+                    else_bb,
+                });
+            }
+            Term::Ret(v) => {
+                if ret_is_ptr {
+                    let v = v.expect("pointer return has a value");
+                    let o = self.map_operand(f, comps, &v);
+                    let slot = Operand::Reg(rv_slot.expect("rv slot param"));
+                    if self.cfg.scheme == Scheme::Sds {
+                        let f0 = self.shadow_field_addr(em, slot, 0);
+                        em.ins(Instr::Store {
+                            ptr: f0,
+                            value: o.rop.expect("ret rop"),
+                        });
+                        let f1 = self.shadow_field_addr(em, slot, 1);
+                        em.ins(Instr::Store {
+                            ptr: f1,
+                            value: o.sop.expect("ret sop"),
+                        });
+                    } else {
+                        em.ins(Instr::Store {
+                            ptr: slot,
+                            value: o.rop.expect("ret rop"),
+                        });
+                    }
+                    em.term(Term::Ret(Some(o.app)));
+                } else {
+                    let v = v.map(|v| self.map_operand(f, comps, &v).app);
+                    em.term(Term::Ret(v));
+                }
+            }
+            Term::Unreachable => em.term(Term::Unreachable),
+        }
+    }
+
+    // ----- helpers -------------------------------------------------------
+
+    fn excluded(&self, site: SiteRef) -> bool {
+        self.cfg.plan.exclude_allocs.contains(&site)
+    }
+
+    /// For an excluded allocation: replica aliases the app object; shadow
+    /// null (Ch. 5 refinement).
+    fn alias_companions(&mut self, em: &mut Emit, c: Companions) {
+        em.ins(Instr::Copy {
+            dst: c.rop.expect("pointer"),
+            src: Operand::Reg(c.app),
+        });
+        if let Some(sop) = c.sop {
+            let void = self.out.types.void();
+            em.ins(Instr::Copy {
+                dst: sop,
+                src: Operand::Const(Const::Null { pointee: void }),
+            });
+        }
+    }
+
+    /// Emits the shadow allocation for an allocation of `aty` (the
+    /// augmented element type), or a null copy when no shadow is needed.
+    fn emit_shadow_alloc(
+        &mut self,
+        em: &mut Emit,
+        c: Companions,
+        aty: TypeId,
+        count: Option<Operand>,
+        heap: bool,
+    ) {
+        let sop = c.sop.expect("sds companion");
+        match self.alg.sat(&mut self.out.types, aty) {
+            Some(sty) => {
+                if heap {
+                    em.ins(Instr::Malloc {
+                        dst: sop,
+                        elem: sty,
+                        count: count.unwrap_or(Operand::Const(Const::i64(1))),
+                    });
+                } else {
+                    em.ins(Instr::Alloca {
+                        dst: sop,
+                        ty: sty,
+                        count,
+                    });
+                }
+            }
+            None => {
+                let void = self.out.types.void();
+                em.ins(Instr::Copy {
+                    dst: sop,
+                    src: Operand::Const(Const::Null { pointee: void }),
+                });
+            }
+        }
+    }
+
+    /// Emits the replica heap allocation under the configured diversity
+    /// transformation (Table 2.8).
+    fn emit_replica_malloc(&mut self, em: &mut Emit, rop: RegId, aty: TypeId, count: Operand) {
+        match self.cfg.diversity {
+            Diversity::None | Diversity::ZeroBeforeFree => {
+                em.ins(Instr::Malloc {
+                    dst: rop,
+                    elem: aty,
+                    count,
+                });
+            }
+            Diversity::PadMalloc(y) => {
+                // xr <- (at(τ)*) malloc(int8[sizeof(at(τ))*count + y])
+                let i64t = self.out.types.int(64);
+                let i8t = self.out.types.int(8);
+                let esz = self.out.types.size_of(aty).unwrap_or(1);
+                let bytes = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: bytes,
+                    op: BinOp::Mul,
+                    lhs: count,
+                    rhs: Operand::Const(Const::i64(esz as i64)),
+                });
+                let padded = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: padded,
+                    op: BinOp::Add,
+                    lhs: Operand::Reg(bytes),
+                    rhs: Operand::Const(Const::i64(y as i64)),
+                });
+                let i8p = self.out.types.pointer(i8t);
+                let raw = em.reg(i8p, String::new());
+                em.ins(Instr::Malloc {
+                    dst: raw,
+                    elem: i8t,
+                    count: Operand::Reg(padded),
+                });
+                em.ins(Instr::Cast {
+                    dst: rop,
+                    op: CastOp::Bitcast,
+                    src: Operand::Reg(raw),
+                });
+            }
+            Diversity::RearrangeHeap => {
+                // tmp1 <- randint(1,20); allocate tmp1 decoys into B;
+                // xr <- malloc(at(τ), count); free the decoys.
+                let i64t = self.out.types.int(64);
+                let i8t = self.out.types.int(8);
+                let buf = self.rearrange_buf.expect("rearrange buffer global");
+                let n = em.reg(i64t, "rh.n".into());
+                em.ins(Instr::RandInt {
+                    dst: n,
+                    lo: Operand::Const(Const::i64(1)),
+                    hi: Operand::Const(Const::i64(20)),
+                });
+                let i = em.reg(i64t, "rh.i".into());
+                em.ins(Instr::Copy {
+                    dst: i,
+                    src: Operand::Const(Const::i64(0)),
+                });
+                // Allocation loop.
+                let head1 = em.new_block();
+                let body1 = em.new_block();
+                let mid = em.new_block();
+                em.term(Term::Br(head1));
+                em.start(head1);
+                let c1 = em.reg(i8t, String::new());
+                em.ins(Instr::Cmp {
+                    dst: c1,
+                    pred: CmpPred::Slt,
+                    lhs: Operand::Reg(i),
+                    rhs: Operand::Reg(n),
+                });
+                em.term(Term::CondBr {
+                    cond: Operand::Reg(c1),
+                    then_bb: body1,
+                    else_bb: mid,
+                });
+                em.start(body1);
+                let decoy = em.reg(self.out.types.pointer(aty), String::new());
+                em.ins(Instr::Malloc {
+                    dst: decoy,
+                    elem: aty,
+                    count,
+                });
+                let vp = self.out.types.void_ptr();
+                let decoy_v = em.reg(vp, String::new());
+                em.ins(Instr::Cast {
+                    dst: decoy_v,
+                    op: CastOp::Bitcast,
+                    src: Operand::Reg(decoy),
+                });
+                let slot = em.reg(self.out.types.pointer(vp), String::new());
+                em.ins(Instr::IndexAddr {
+                    dst: slot,
+                    base: Operand::Global(buf),
+                    index: Operand::Reg(i),
+                });
+                em.ins(Instr::Store {
+                    ptr: Operand::Reg(slot),
+                    value: Operand::Reg(decoy_v),
+                });
+                let i2 = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: i2,
+                    op: BinOp::Add,
+                    lhs: Operand::Reg(i),
+                    rhs: Operand::Const(Const::i64(1)),
+                });
+                em.ins(Instr::Copy {
+                    dst: i,
+                    src: Operand::Reg(i2),
+                });
+                em.term(Term::Br(head1));
+                // The replica allocation itself.
+                em.start(mid);
+                em.ins(Instr::Malloc {
+                    dst: rop,
+                    elem: aty,
+                    count,
+                });
+                em.ins(Instr::Copy {
+                    dst: i,
+                    src: Operand::Const(Const::i64(0)),
+                });
+                // Free loop.
+                let head2 = em.new_block();
+                let body2 = em.new_block();
+                let done = em.new_block();
+                em.term(Term::Br(head2));
+                em.start(head2);
+                let c2 = em.reg(i8t, String::new());
+                em.ins(Instr::Cmp {
+                    dst: c2,
+                    pred: CmpPred::Slt,
+                    lhs: Operand::Reg(i),
+                    rhs: Operand::Reg(n),
+                });
+                em.term(Term::CondBr {
+                    cond: Operand::Reg(c2),
+                    then_bb: body2,
+                    else_bb: done,
+                });
+                em.start(body2);
+                let slot2 = em.reg(self.out.types.pointer(vp), String::new());
+                em.ins(Instr::IndexAddr {
+                    dst: slot2,
+                    base: Operand::Global(buf),
+                    index: Operand::Reg(i),
+                });
+                let d = em.reg(vp, String::new());
+                em.ins(Instr::Load {
+                    dst: d,
+                    ptr: Operand::Reg(slot2),
+                });
+                em.ins(Instr::Free {
+                    ptr: Operand::Reg(d),
+                });
+                let i3 = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: i3,
+                    op: BinOp::Add,
+                    lhs: Operand::Reg(i),
+                    rhs: Operand::Const(Const::i64(1)),
+                });
+                em.ins(Instr::Copy {
+                    dst: i,
+                    src: Operand::Reg(i3),
+                });
+                em.term(Term::Br(head2));
+                em.start(done);
+            }
+        }
+    }
+
+    /// Emits the zero-before-free loop over the replica buffer
+    /// (Table 2.8).
+    fn emit_zero_before_free(&mut self, em: &mut Emit, rop: Operand) {
+        let i64t = self.out.types.int(64);
+        let i8t = self.out.types.int(8);
+        let size = em.reg(i64t, "zbf.size".into());
+        em.ins(Instr::HeapBufSize {
+            dst: size,
+            ptr: rop,
+        });
+        let arr = self.out.types.unsized_array(i8t);
+        let arrp = self.out.types.pointer(arr);
+        let bytes = em.reg(arrp, String::new());
+        em.ins(Instr::Cast {
+            dst: bytes,
+            op: CastOp::Bitcast,
+            src: rop,
+        });
+        let i = em.reg(i64t, "zbf.i".into());
+        em.ins(Instr::Copy {
+            dst: i,
+            src: Operand::Const(Const::i64(0)),
+        });
+        let head = em.new_block();
+        let body = em.new_block();
+        let done = em.new_block();
+        em.term(Term::Br(head));
+        em.start(head);
+        let c = em.reg(i8t, String::new());
+        em.ins(Instr::Cmp {
+            dst: c,
+            pred: CmpPred::Slt,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Reg(size),
+        });
+        em.term(Term::CondBr {
+            cond: Operand::Reg(c),
+            then_bb: body,
+            else_bb: done,
+        });
+        em.start(body);
+        let slot = em.reg(self.out.types.pointer(i8t), String::new());
+        em.ins(Instr::IndexAddr {
+            dst: slot,
+            base: Operand::Reg(bytes),
+            index: Operand::Reg(i),
+        });
+        em.ins(Instr::Store {
+            ptr: Operand::Reg(slot),
+            value: Operand::Const(Const::i8(0)),
+        });
+        let i2 = em.reg(i64t, String::new());
+        em.ins(Instr::Bin {
+            dst: i2,
+            op: BinOp::Add,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Const(Const::i64(1)),
+        });
+        em.ins(Instr::Copy {
+            dst: i,
+            src: Operand::Reg(i2),
+        });
+        em.term(Term::Br(head));
+        em.start(done);
+    }
+
+    /// Emits the policy-gated load check: replica load + comparison
+    /// (the `assert(x == *pr)` of Table 2.6 under the configured policy).
+    fn emit_load_check(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand) {
+        self.load_site_counter += 1;
+        match self.cfg.policy {
+            Policy::AllLoads => {
+                self.emit_check_now(em, app, rop_ptr);
+            }
+            Policy::Static { percent } => {
+                if self.rng.gen_range(0u32..100) < u32::from(percent) {
+                    self.emit_check_now(em, app, rop_ptr);
+                }
+            }
+            Policy::StaticPeriodic { period } => {
+                if self.load_site_counter % u64::from(period.max(1)) == 0 {
+                    self.emit_check_now(em, app, rop_ptr);
+                }
+            }
+            Policy::Temporal { mask } => {
+                // Table 2.9: bit = (mask << (64 - c - 1)) >> 63.
+                let i64t = self.out.types.int(64);
+                let i8t = self.out.types.int(8);
+                let counter = self.mask_counter.expect("mask counter global");
+                let c = em.reg(i64t, String::new());
+                em.ins(Instr::Load {
+                    dst: c,
+                    ptr: Operand::Global(counter),
+                });
+                let t1 = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: t1,
+                    op: BinOp::Sub,
+                    lhs: Operand::Const(Const::i64(63)),
+                    rhs: Operand::Reg(c),
+                });
+                let t2 = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: t2,
+                    op: BinOp::Shl,
+                    lhs: Operand::Const(Const::i64(mask as i64)),
+                    rhs: Operand::Reg(t1),
+                });
+                let bit = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: bit,
+                    op: BinOp::LShr,
+                    lhs: Operand::Reg(t2),
+                    rhs: Operand::Const(Const::i64(63)),
+                });
+                let cnd = em.reg(i8t, String::new());
+                em.ins(Instr::Cmp {
+                    dst: cnd,
+                    pred: CmpPred::Ne,
+                    lhs: Operand::Reg(bit),
+                    rhs: Operand::Const(Const::i64(0)),
+                });
+                let check_bb = em.new_block();
+                let cont_bb = em.new_block();
+                em.term(Term::CondBr {
+                    cond: Operand::Reg(cnd),
+                    then_bb: check_bb,
+                    else_bb: cont_bb,
+                });
+                em.start(check_bb);
+                self.emit_check_now(em, app, rop_ptr);
+                em.term(Term::Br(cont_bb));
+                em.start(cont_bb);
+                // maskCounter <- (maskCounter + 1) % 64 (always).
+                let c1 = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: c1,
+                    op: BinOp::Add,
+                    lhs: Operand::Reg(c),
+                    rhs: Operand::Const(Const::i64(1)),
+                });
+                let c2 = em.reg(i64t, String::new());
+                em.ins(Instr::Bin {
+                    dst: c2,
+                    op: BinOp::SRem,
+                    lhs: Operand::Reg(c1),
+                    rhs: Operand::Const(Const::i64(64)),
+                });
+                em.ins(Instr::Store {
+                    ptr: Operand::Global(counter),
+                    value: Operand::Reg(c2),
+                });
+            }
+        }
+    }
+
+    fn emit_check_now(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand) {
+        let ty = em.reg_ty(app);
+        let rep = em.reg(ty, String::new());
+        em.ins(Instr::Load {
+            dst: rep,
+            ptr: rop_ptr,
+        });
+        em.ins(Instr::DpmrCheck {
+            a: Operand::Reg(app),
+            b: Operand::Reg(rep),
+        });
+    }
+
+    /// Emits `&(shadow->field)` where `shadow` points to a two-field
+    /// shadow struct `{rop, nsop}`.
+    fn shadow_field_addr(&mut self, em: &mut Emit, shadow: Operand, field: u32) -> Operand {
+        let sty = match shadow {
+            Operand::Reg(r) => em.reg_ty(r),
+            Operand::Const(Const::Null { pointee }) => self.out.types.pointer(pointee),
+            _ => unreachable!("shadow operand shape"),
+        };
+        let pointee = self.out.types.pointee(sty).expect("shadow pointer");
+        let fty = self.out.types.members(pointee)[field as usize];
+        let pfty = self.out.types.pointer(fty);
+        let dst = em.reg(pfty, String::new());
+        em.ins(Instr::FieldAddr {
+            dst,
+            base: shadow,
+            field,
+        });
+        Operand::Reg(dst)
+    }
+
+    fn store_ptr_via_const_shadow(
+        &mut self,
+        _em: &mut Emit,
+        _psop: Operand,
+        _v: &Ops,
+    ) -> Result<(), TransformError> {
+        // Storing a pointer through a pointer whose shadow is a null
+        // constant would violate the SDS store restriction (Sec. 2.9).
+        Err(TransformError::RawPointerArithmetic {
+            func: "<store through shadow-less pointer>".into(),
+        })
+    }
+
+    // ----- main handling (Sec. 3.1.1) -------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn build_main_wrapper(&mut self, entry: FuncId) -> Result<FuncId, TransformError> {
+        let orig_name = self.src.func(entry).name.clone();
+        let orig_ty = self.src.func(entry).ty;
+        // Rename the transformed entry: main -> mainAug.
+        self.out.funcs[entry.0 as usize].name = format!("{orig_name}{MAIN_AUG_SUFFIX}");
+
+        let (ret, param_tys) = match self.src.types.kind(orig_ty) {
+            TypeKind::Function { ret, params } => (*ret, params.clone()),
+            _ => unreachable!("entry with non-function type"),
+        };
+        if self.src.types.is_pointer(ret) {
+            return Err(TransformError::UnsupportedEntrySignature { func: orig_name });
+        }
+
+        // Detect the argv pattern: (int argc, i8[]*[]* argv).
+        let argv_shape = param_tys.len() == 2
+            && self.src.types.is_int(param_tys[0])
+            && self.is_argv_type(param_tys[1]);
+        let all_scalar_nonptr = param_tys
+            .iter()
+            .all(|&t| self.src.types.is_int(t) || self.src.types.is_float(t));
+        if !all_scalar_nonptr && !argv_shape {
+            return Err(TransformError::UnsupportedEntrySignature { func: orig_name });
+        }
+
+        let mut em = Emit {
+            regs: Vec::new(),
+            blocks: vec![Block::new()],
+            cur: 0,
+        };
+        let mut params = Vec::new();
+        for (i, &t) in param_tys.iter().enumerate() {
+            let at = self.alg.at(&mut self.out.types, t);
+            let r = em.reg(at, format!("a{i}"));
+            params.push(r);
+        }
+
+        let mut call_args: Vec<Operand> = Vec::new();
+        if argv_shape {
+            let argc = params[0];
+            let argv = params[1];
+            let (argv_r, argv_s) = self.emit_argv_replication(&mut em, argc, argv);
+            call_args.push(Operand::Reg(argc));
+            call_args.push(Operand::Reg(argv));
+            call_args.push(Operand::Reg(argv_r));
+            if self.cfg.scheme == Scheme::Sds {
+                call_args.push(Operand::Reg(argv_s.expect("sds argv shadow")));
+            }
+        } else {
+            for &p in &params {
+                call_args.push(Operand::Reg(p));
+            }
+        }
+
+        let aret = self.alg.at(&mut self.out.types, ret);
+        let ret_void = matches!(self.out.types.kind(aret), TypeKind::Void);
+        let dst = if ret_void {
+            None
+        } else {
+            Some(em.reg(aret, "rv".into()))
+        };
+        em.ins(Instr::Call {
+            dst,
+            callee: Callee::Direct(entry),
+            args: call_args,
+        });
+        em.term(Term::Ret(dst.map(Operand::Reg)));
+
+        let mapped_params = param_tys_map(&mut self.alg, &mut self.out.types, &param_tys);
+        let fty = self.out.types.function(aret, mapped_params);
+        let id = self.out.add_function(Function {
+            name: orig_name,
+            ty: fty,
+            params,
+            regs: em.regs,
+            blocks: em.blocks,
+        });
+        Ok(id)
+    }
+
+    /// True for `i8[]*[]*`-shaped types (pointer to array of pointers to
+    /// i8 arrays) — the supported argv shape.
+    fn is_argv_type(&self, t: TypeId) -> bool {
+        let Some(arr) = self.src.types.pointee(t) else {
+            return false;
+        };
+        let TypeKind::Array { elem, .. } = self.src.types.kind(arr) else {
+            return false;
+        };
+        let Some(inner_arr) = self.src.types.pointee(*elem) else {
+            return false;
+        };
+        matches!(
+            self.src.types.kind(inner_arr),
+            TypeKind::Array { elem, .. } if matches!(self.src.types.kind(*elem), TypeKind::Int { bits: 8 })
+        )
+    }
+
+    /// Emits the Fig. 3.1 argv replication: a replica argv array and (under
+    /// SDS) a shadow array whose ROPs point at heap replicas of each
+    /// argument string.
+    fn emit_argv_replication(
+        &mut self,
+        em: &mut Emit,
+        argc: RegId,
+        argv: RegId,
+    ) -> (RegId, Option<RegId>) {
+        let sds = self.cfg.scheme == Scheme::Sds;
+        let i64t = self.out.types.int(64);
+        let i8t = self.out.types.int(8);
+        let str_arr = self.out.types.unsized_array(i8t);
+        let strp = self.out.types.pointer(str_arr); // i8[]*
+        let argv_arr = self.out.types.unsized_array(strp);
+        let argv_ty = self.out.types.pointer(argv_arr); // i8[]*[]*
+
+        // Replica argv storage: heap array of argc pointers.
+        let raw_r = em.reg(self.out.types.pointer(strp), String::new());
+        em.ins(Instr::Malloc {
+            dst: raw_r,
+            elem: strp,
+            count: Operand::Reg(argc),
+        });
+        let argv_r = em.reg(argv_ty, "argv_r".into());
+        em.ins(Instr::Cast {
+            dst: argv_r,
+            op: CastOp::Bitcast,
+            src: Operand::Reg(raw_r),
+        });
+
+        // Shadow argv storage (SDS): array of {rop, nsop} pairs.
+        let sat_elem = self.alg.sat(&mut self.out.types, strp);
+        let argv_s = if sds {
+            let se = sat_elem.expect("pointer sat");
+            let sarr = self.out.types.unsized_array(se);
+            let sarrp = self.out.types.pointer(sarr);
+            let raw_s = em.reg(self.out.types.pointer(se), String::new());
+            em.ins(Instr::Malloc {
+                dst: raw_s,
+                elem: se,
+                count: Operand::Reg(argc),
+            });
+            let argv_s = em.reg(sarrp, "argv_s".into());
+            em.ins(Instr::Cast {
+                dst: argv_s,
+                op: CastOp::Bitcast,
+                src: Operand::Reg(raw_s),
+            });
+            Some(argv_s)
+        } else {
+            None
+        };
+
+        // Per-argument loop.
+        let strlen_ty = self.out.types.function(i64t, vec![strp]);
+        let strlen = self.out.declare_external("strlen", strlen_ty);
+        let strcpy_ty = self.out.types.function(strp, vec![strp, strp]);
+        let strcpy = self.out.declare_external("strcpy", strcpy_ty);
+
+        let i = em.reg(i64t, "ar.i".into());
+        em.ins(Instr::Copy {
+            dst: i,
+            src: Operand::Const(Const::i64(0)),
+        });
+        let head = em.new_block();
+        let body = em.new_block();
+        let done = em.new_block();
+        em.term(Term::Br(head));
+        em.start(head);
+        let c = em.reg(self.out.types.int(8), String::new());
+        em.ins(Instr::Cmp {
+            dst: c,
+            pred: CmpPred::Slt,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Reg(argc),
+        });
+        em.term(Term::CondBr {
+            cond: Operand::Reg(c),
+            then_bb: body,
+            else_bb: done,
+        });
+        em.start(body);
+        // ai = argv[i]
+        let slot = em.reg(self.out.types.pointer(strp), String::new());
+        em.ins(Instr::IndexAddr {
+            dst: slot,
+            base: Operand::Reg(argv),
+            index: Operand::Reg(i),
+        });
+        let ai = em.reg(strp, String::new());
+        em.ins(Instr::Load {
+            dst: ai,
+            ptr: Operand::Reg(slot),
+        });
+        // Replica string on the heap.
+        let len = em.reg(i64t, String::new());
+        em.ins(Instr::Call {
+            dst: Some(len),
+            callee: Callee::External(strlen),
+            args: vec![Operand::Reg(ai)],
+        });
+        let len1 = em.reg(i64t, String::new());
+        em.ins(Instr::Bin {
+            dst: len1,
+            op: BinOp::Add,
+            lhs: Operand::Reg(len),
+            rhs: Operand::Const(Const::i64(1)),
+        });
+        let buf_raw = em.reg(self.out.types.pointer(i8t), String::new());
+        em.ins(Instr::Malloc {
+            dst: buf_raw,
+            elem: i8t,
+            count: Operand::Reg(len1),
+        });
+        let buf = em.reg(strp, String::new());
+        em.ins(Instr::Cast {
+            dst: buf,
+            op: CastOp::Bitcast,
+            src: Operand::Reg(buf_raw),
+        });
+        em.ins(Instr::Call {
+            dst: None,
+            callee: Callee::External(strcpy),
+            args: vec![Operand::Reg(buf), Operand::Reg(ai)],
+        });
+        // argv_r[i]: SDS stores the identical pointer (comparable); MDS
+        // stores the replica string pointer (the ROP).
+        let rslot = em.reg(self.out.types.pointer(strp), String::new());
+        em.ins(Instr::IndexAddr {
+            dst: rslot,
+            base: Operand::Reg(argv_r),
+            index: Operand::Reg(i),
+        });
+        let stored = if sds { ai } else { buf };
+        em.ins(Instr::Store {
+            ptr: Operand::Reg(rslot),
+            value: Operand::Reg(stored),
+        });
+        if let Some(argv_s) = argv_s {
+            let sslot = em.reg(
+                self.out.types.pointer(sat_elem.expect("sat")),
+                String::new(),
+            );
+            em.ins(Instr::IndexAddr {
+                dst: sslot,
+                base: Operand::Reg(argv_s),
+                index: Operand::Reg(i),
+            });
+            let f0 = self.shadow_field_addr(em, Operand::Reg(sslot), 0);
+            em.ins(Instr::Store {
+                ptr: f0,
+                value: Operand::Reg(buf),
+            });
+            let f1 = self.shadow_field_addr(em, Operand::Reg(sslot), 1);
+            let void = self.out.types.void();
+            em.ins(Instr::Store {
+                ptr: f1,
+                value: Operand::Const(Const::Null { pointee: void }),
+            });
+        }
+        let i2 = em.reg(i64t, String::new());
+        em.ins(Instr::Bin {
+            dst: i2,
+            op: BinOp::Add,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Const(Const::i64(1)),
+        });
+        em.ins(Instr::Copy {
+            dst: i,
+            src: Operand::Reg(i2),
+        });
+        em.term(Term::Br(head));
+        em.start(done);
+        (argv_r, argv_s)
+    }
+}
+
+fn param_tys_map(
+    alg: &mut TypeAlgebra,
+    tt: &mut dpmr_ir::types::TypeTable,
+    param_tys: &[TypeId],
+) -> Vec<TypeId> {
+    param_tys.iter().map(|&t| alg.at(tt, t)).collect()
+}

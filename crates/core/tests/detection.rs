@@ -1,0 +1,235 @@
+//! Detection-condition tests (Sec. 2.5): programs with real memory errors
+//! must be *detected* by DPMR — by a failing `dpmr.check`, or by crashing
+//! in a way the bare program would not — while the bare program silently
+//! produces corrupt output.
+
+use dpmr_core::prelude::*;
+use dpmr_ir::module::Module;
+use dpmr_vm::prelude::*;
+use dpmr_workloads::micro;
+use std::rc::Rc;
+
+fn run_dpmr_seeded(m: &Module, cfg: &DpmrConfig, seed: u64) -> RunOutcome {
+    let t = transform(m, cfg).expect("transform");
+    let reg = Rc::new(registry_with_wrappers());
+    let mut rc = RunConfig::default();
+    rc.seed = seed;
+    rc.mem.fill_seed = seed.wrapping_mul(0x9e3779b9).wrapping_add(1);
+    run_with_registry(&t, &rc, reg)
+}
+
+fn detected(out: &RunOutcome) -> bool {
+    out.status.is_dpmr_detection() || out.status.is_natural_detection()
+}
+
+#[test]
+fn bare_overflow_is_silent_corruption() {
+    let m = micro::overflow_writer(8, 12);
+    let out = run_with_limits(&m, &RunConfig::default());
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    assert_ne!(out.output, vec![40], "corruption went unnoticed");
+}
+
+#[test]
+fn sds_detects_buffer_overflow() {
+    // Implicit diversity alone covers heap overflows (Sec. 3.7's
+    // no-diversity result): app and replica neighbours differ, so the
+    // victim's values diverge between spaces.
+    let m = micro::overflow_writer(8, 12);
+    for d in Diversity::paper_set() {
+        let out = run_dpmr_seeded(&m, &DpmrConfig::sds().with_diversity(d), 1);
+        assert!(
+            detected(&out),
+            "overflow not detected under SDS {}: {:?}",
+            d.name(),
+            out.status
+        );
+    }
+}
+
+#[test]
+fn mds_detects_buffer_overflow() {
+    let m = micro::overflow_writer(8, 12);
+    for d in Diversity::paper_set() {
+        let out = run_dpmr_seeded(&m, &DpmrConfig::mds().with_diversity(d), 1);
+        assert!(
+            detected(&out),
+            "overflow not detected under MDS {}: {:?}",
+            d.name(),
+            out.status
+        );
+    }
+}
+
+#[test]
+fn rearrange_heap_detects_use_after_free() {
+    // Dangling reads are exactly what rearrange-heap targets: replica
+    // reuse patterns diverge from application reuse patterns.
+    let m = micro::use_after_free();
+    let mut hits = 0;
+    for seed in 0..8 {
+        let out = run_dpmr_seeded(
+            &m,
+            &DpmrConfig::sds().with_diversity(Diversity::RearrangeHeap),
+            seed,
+        );
+        if detected(&out) {
+            hits += 1;
+        }
+    }
+    assert!(
+        hits >= 6,
+        "rearrange-heap detected only {hits}/8 dangling reads"
+    );
+}
+
+#[test]
+fn zero_before_free_detects_read_after_free_before_reuse() {
+    // A dangling read *before* reuse sees zeroed replica data vs live
+    // application data.
+    use dpmr_ir::prelude::*;
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let p = b.malloc(i64t, Const::i64(4).into(), "p");
+    b.store(p.into(), Const::i64(1234).into());
+    b.free(p.into());
+    // Read after free with NO intervening allocation.
+    let v = b.load(i64t, p.into(), "v");
+    b.output(v.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+
+    let out = run_dpmr_seeded(
+        &m,
+        &DpmrConfig::sds().with_diversity(Diversity::ZeroBeforeFree),
+        1,
+    );
+    assert!(
+        detected(&out),
+        "zero-before-free missed the dangling read: {:?}",
+        out.status
+    );
+}
+
+#[test]
+fn dpmr_detects_uninitialized_read() {
+    // Fresh allocations carry address-dependent garbage, so app and
+    // replica uninitialized slots differ (the DieHard-style data
+    // diversity DPMR relies on for uninitialized reads).
+    let m = micro::uninit_read();
+    for cfg in [DpmrConfig::sds(), DpmrConfig::mds()] {
+        let out = run_dpmr_seeded(&m, &cfg, 3);
+        assert!(
+            out.status.is_dpmr_detection(),
+            "uninit read not DPMR-detected under {}: {:?}",
+            cfg.name(),
+            out.status
+        );
+    }
+}
+
+#[test]
+fn pad_malloc_shifts_overflow_damage() {
+    // With a large pad, the replica's own overflow lands in padding; the
+    // application's overflow instead hits the (padded) replica object that
+    // follows it, so the error is covered — either a failing comparison or
+    // an allocator abort when the clobbered replica block is freed. Both
+    // count as coverage (Sec. 3.6).
+    let m = micro::overflow_writer(8, 10);
+    let out = run_dpmr_seeded(
+        &m,
+        &DpmrConfig::sds().with_diversity(Diversity::PadMalloc(1024)),
+        1,
+    );
+    assert!(
+        detected(&out),
+        "pad-malloc 1024 should cover the overflow: {:?}",
+        out.status
+    );
+}
+
+#[test]
+fn detection_is_reported_with_differing_values() {
+    let m = micro::overflow_writer(8, 12);
+    let out = run_dpmr_seeded(&m, &DpmrConfig::sds(), 1);
+    if let ExitStatus::DpmrDetected { got, replica } = out.status {
+        assert_ne!(got, replica, "detection carries the differing values");
+    }
+}
+
+#[test]
+fn reduced_checking_still_detects_repeated_errors() {
+    // Sec. 3.8: coverage is robust under reduced checking because faults
+    // propagate and fault sites re-execute. The overflow here corrupts 4
+    // victim slots read in a loop.
+    let m = micro::overflow_writer(8, 12);
+    for p in [
+        Policy::temporal_half(),
+        Policy::Static { percent: 50 },
+        Policy::StaticPeriodic { period: 2 },
+    ] {
+        let out = run_dpmr_seeded(&m, &DpmrConfig::sds().with_policy(p), 1);
+        assert!(
+            detected(&out),
+            "reduced checking {} missed a repeated error",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn wrapper_load_checks_detect_corrupted_strings() {
+    // Corrupt a string after its replica was made consistent: strcmp's
+    // wrapper compares the bytes it reads against the replica.
+    use dpmr_ir::prelude::*;
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let i8t = m.types.int(8);
+    let str_arr = m.types.unsized_array(i8t);
+    let strp = m.types.pointer(str_arr);
+    let strcmp_ty = m.types.function(i64t, vec![strp, strp]);
+    let strcmp = m.declare_external("strcmp", strcmp_ty);
+
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    // Two heap strings "ab\0".
+    let mk = |b: &mut FunctionBuilder<'_>| {
+        let raw = b.malloc(i8t, Const::i64(3).into(), "s");
+        let s = b.cast(CastOp::Bitcast, strp, raw.into(), "sArr");
+        for (i, ch) in [b'a', b'b', 0u8].iter().enumerate() {
+            let p = b.index_addr(s.into(), Const::i64(i as i64).into(), "p");
+            b.store(p.into(), Const::i8(*ch as i8).into());
+        }
+        s
+    };
+    let s1 = mk(&mut b);
+    let s2 = mk(&mut b);
+    // Overflow out of s1 into s2's memory: write 24 bytes of 'x' through s1.
+    b.for_loop(Const::i64(0).into(), Const::i64(26).into(), |b, i| {
+        let p = b.index_addr(s1.into(), i.into(), "p");
+        b.store(p.into(), Const::i8(0x78).into());
+    });
+    // NUL-terminate somewhere so strcmp terminates.
+    let endp = b.index_addr(s1.into(), Const::i64(26).into(), "endp");
+    b.store(endp.into(), Const::i8(0).into());
+    let r = b
+        .call(
+            Callee::External(strcmp),
+            vec![s1.into(), s2.into()],
+            Some(i64t),
+            "r",
+        )
+        .expect("strcmp");
+    b.output(r.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+
+    let out = run_dpmr_seeded(&m, &DpmrConfig::sds(), 1);
+    assert!(
+        detected(&out),
+        "wrapper must catch the corruption: {:?}",
+        out.status
+    );
+}

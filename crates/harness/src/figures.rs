@@ -1,0 +1,240 @@
+//! Table/figure emitters: one function per paper artifact, printing the
+//! same rows/series the dissertation reports (ASCII renderings of the
+//! stacked-bar figures and latency tables).
+
+use crate::metrics::StudyResults;
+use std::fmt::Write as _;
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(n)
+}
+
+/// Renders a coverage figure (the stacked CO/NatDet/DpmrDet bars of
+/// Figs. 3.6/3.7, 3.11/3.12, 4.7/4.8, 4.11/4.12) for one fault type.
+pub fn coverage_figure(title: &str, res: &StudyResults, fault: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<18} {:<7} {:>6} {:>7} {:>8} {:>9}  stacked (CO=#, Nat=+, Dpmr=*)",
+        "variant", "app", "CO", "NatDet", "DpmrDet", "coverage"
+    );
+    for v in &res.variants {
+        for a in &res.apps {
+            let key = (v.clone(), a.clone(), fault.to_string());
+            let Some(c) = res.coverage.get(&key) else {
+                continue;
+            };
+            let sco = bar(c.co_frac(), 20);
+            let snd = "+".repeat((c.ndet_frac() * 20.0).round() as usize);
+            let sdd = "*".repeat((c.ddet_frac() * 20.0).round() as usize);
+            let _ = writeln!(
+                out,
+                "{:<18} {:<7} {:>6.2} {:>7.2} {:>8.2} {:>9.2}  |{sco}{snd}{sdd}|",
+                v,
+                a,
+                c.co_frac(),
+                c.ndet_frac(),
+                c.ddet_frac(),
+                c.coverage()
+            );
+        }
+    }
+    out
+}
+
+/// Renders a conditional-coverage figure (Figs. 3.8/3.9, 3.13/3.14,
+/// 4.9/4.10, 4.13/4.14): combined across apps, conditioned on
+/// `StdNotAllDet`.
+pub fn conditional_figure(title: &str, res: &StudyResults, fault: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>6} {:>7} {:>8} {:>9}",
+        "variant", "CO", "NatDet", "DpmrDet", "coverage"
+    );
+    for v in &res.variants {
+        let key = (v.clone(), fault.to_string());
+        let Some(c) = res.conditional.get(&key) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6.2} {:>7.2} {:>8.2} {:>9.2}",
+            v,
+            c.co_frac(),
+            c.ndet_frac(),
+            c.ddet_frac(),
+            c.coverage()
+        );
+    }
+    out
+}
+
+/// Renders an overhead figure (Figs. 3.10, 3.15, 4.5, 4.6): execution-time
+/// ratio to the golden build per variant and app.
+pub fn overhead_figure(title: &str, res: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<18}", "variant");
+    for a in &res.apps {
+        let _ = write!(header, " {a:>8}");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = write!(out, "{:<18}", "golden");
+    for _ in &res.apps {
+        let _ = write!(out, " {:>7.2}x", 1.0);
+    }
+    let _ = writeln!(out);
+    for v in &res.variants {
+        if v == "stdapp" {
+            continue;
+        }
+        let _ = write!(out, "{v:<18}");
+        for a in &res.apps {
+            match res.overhead.get(&(v.clone(), a.clone())) {
+                Some(o) => {
+                    let _ = write!(out, " {o:>7.2}x");
+                }
+                None => {
+                    let _ = write!(out, " {:>8}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders side-by-side overheads of two studies (Figs. 4.3 and 4.4).
+pub fn side_by_side_overhead(
+    title: &str,
+    sds: &StudyResults,
+    mds: &StudyResults,
+    variants: &[String],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<18}", "variant");
+    for a in &sds.apps {
+        let _ = write!(header, " {:>8}/sds {:>8}/mds", a, a);
+    }
+    let _ = writeln!(out, "{header}");
+    for v in variants {
+        let _ = write!(out, "{v:<18}");
+        for a in &sds.apps {
+            let s = sds.overhead.get(&(v.clone(), a.clone()));
+            let m = mds.overhead.get(&(v.clone(), a.clone()));
+            match (s, m) {
+                (Some(s), Some(m)) => {
+                    let _ = write!(out, " {s:>11.2} {m:>11.2}");
+                }
+                _ => {
+                    let _ = write!(out, " {:>11} {:>11}", "-", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a mean-time-to-detection table (Tables 3.3, 3.4, 4.5, 4.6):
+/// milliseconds per variant × app, split by fault type.
+pub fn mttd_table(title: &str, res: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for fault in ["heap array resize 50%", "immediate free"] {
+        let _ = writeln!(out, "  [{fault}]");
+        let mut header = format!("  {:<18}", "variant");
+        for a in &res.apps {
+            let _ = write!(header, " {a:>9}");
+        }
+        let _ = writeln!(out, "{header} (msecs)");
+        for v in &res.variants {
+            if v == "stdapp" {
+                continue;
+            }
+            let _ = write!(out, "  {v:<18}");
+            for a in &res.apps {
+                let key = (v.clone(), a.clone(), fault.to_string());
+                match res.coverage.get(&key).and_then(|c| c.mttd_msec()) {
+                    Some(ms) => {
+                        let _ = write!(out, " {ms:>9.2}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>9}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{CovAgg, StudyResults};
+
+    fn fake_results() -> StudyResults {
+        let mut res = StudyResults {
+            variants: vec!["stdapp".into(), "no-diversity".into()],
+            apps: vec!["art".into()],
+            ..StudyResults::default()
+        };
+        let mut agg = CovAgg::default();
+        agg.n = 4;
+        agg.co = 1;
+        agg.ndet = 1;
+        agg.ddet = 2;
+        agg.t2d_cycles = 4_000_000;
+        agg.t2d_n = 2;
+        res.coverage.insert(
+            (
+                "no-diversity".into(),
+                "art".into(),
+                "heap array resize 50%".into(),
+            ),
+            agg,
+        );
+        res.conditional
+            .insert(("no-diversity".into(), "heap array resize 50%".into()), agg);
+        res.overhead.insert(("no-diversity".into(), "art".into()), 3.1);
+        res
+    }
+
+    #[test]
+    fn coverage_figure_renders_rows() {
+        let res = fake_results();
+        let txt = coverage_figure("Fig test", &res, "heap array resize 50%");
+        assert!(txt.contains("no-diversity"));
+        assert!(txt.contains("0.25"));
+        assert!(txt.contains("1.00"));
+    }
+
+    #[test]
+    fn overhead_figure_renders_ratio() {
+        let res = fake_results();
+        let txt = overhead_figure("Fig overhead", &res);
+        assert!(txt.contains("3.10x"));
+        assert!(txt.contains("golden"));
+    }
+
+    #[test]
+    fn mttd_table_converts_to_msec() {
+        let res = fake_results();
+        let txt = mttd_table("Table test", &res);
+        assert!(txt.contains("1.00"), "{txt}"); // 4M cycles / 2 / 2e6 = 1ms
+    }
+
+    #[test]
+    fn conditional_figure_renders() {
+        let res = fake_results();
+        let txt = conditional_figure("Fig cond", &res, "heap array resize 50%");
+        assert!(txt.contains("no-diversity"));
+    }
+}

@@ -1,0 +1,365 @@
+//! # dpmr-harness
+//!
+//! The experimental framework of Chapter 3: variant builds (Sec. 3.5),
+//! fault-injection campaigns (Sec. 3.4), evaluation metrics (Sec. 3.6),
+//! and emitters that regenerate **every table and figure** of the
+//! dissertation's evaluation (Chapters 3 and 4, plus a Chapter 5 DSA
+//! demonstration). See `DESIGN.md` for the experiment index.
+//!
+//! Run everything with:
+//!
+//! ```bash
+//! cargo run -p dpmr-harness --release -- all
+//! ```
+//!
+//! or a single artifact (`fig3.6`, `tab4.5`, ...):
+//!
+//! ```bash
+//! cargo run -p dpmr-harness --release -- fig3.10 tab3.3
+//! ```
+
+pub mod experiment;
+pub mod figures;
+pub mod metrics;
+
+use dpmr_core::prelude::*;
+use dpmr_workloads::all_apps;
+use metrics::{diversity_variants, policy_variants, run_study, CampaignConfig, StudyResults};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// All reproducible artifact ids, in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig3.6", "fig3.7", "fig3.8", "fig3.9", "fig3.10", "tab3.3", "fig3.11", "fig3.12",
+        "fig3.13", "fig3.14", "fig3.15", "tab3.4", "fig4.3", "fig4.4", "fig4.5", "fig4.6",
+        "fig4.7", "fig4.8", "fig4.9", "fig4.10", "fig4.11", "fig4.12", "fig4.13", "fig4.14",
+        "tab4.5", "tab4.6", "ch5",
+    ]
+}
+
+const HEAP_RESIZE: &str = "heap array resize 50%";
+const IMM_FREE: &str = "immediate free";
+
+struct Studies {
+    sds_div: Option<StudyResults>,
+    sds_pol: Option<StudyResults>,
+    mds_div: Option<StudyResults>,
+    mds_pol: Option<StudyResults>,
+}
+
+impl Studies {
+    fn new() -> Studies {
+        Studies {
+            sds_div: None,
+            sds_pol: None,
+            mds_div: None,
+            mds_pol: None,
+        }
+    }
+
+    fn sds_div(&mut self, cc: &CampaignConfig) -> &StudyResults {
+        if self.sds_div.is_none() {
+            eprintln!("[harness] running SDS diversity study...");
+            self.sds_div = Some(run_study(&all_apps(), &diversity_variants(Scheme::Sds), cc));
+        }
+        self.sds_div.as_ref().expect("just set")
+    }
+    fn sds_pol(&mut self, cc: &CampaignConfig) -> &StudyResults {
+        if self.sds_pol.is_none() {
+            eprintln!("[harness] running SDS comparison-policy study...");
+            self.sds_pol = Some(run_study(&all_apps(), &policy_variants(Scheme::Sds), cc));
+        }
+        self.sds_pol.as_ref().expect("just set")
+    }
+    fn mds_div(&mut self, cc: &CampaignConfig) -> &StudyResults {
+        if self.mds_div.is_none() {
+            eprintln!("[harness] running MDS diversity study...");
+            self.mds_div = Some(run_study(&all_apps(), &diversity_variants(Scheme::Mds), cc));
+        }
+        self.mds_div.as_ref().expect("just set")
+    }
+    fn mds_pol(&mut self, cc: &CampaignConfig) -> &StudyResults {
+        if self.mds_pol.is_none() {
+            eprintln!("[harness] running MDS comparison-policy study...");
+            self.mds_pol = Some(run_study(&all_apps(), &policy_variants(Scheme::Mds), cc));
+        }
+        self.mds_pol.as_ref().expect("just set")
+    }
+}
+
+/// Reproduces the requested artifacts (see [`all_ids`]) and returns the
+/// rendered report.
+#[allow(clippy::too_many_lines)]
+pub fn reproduce(ids: &BTreeSet<String>, cc: &CampaignConfig) -> String {
+    let mut studies = Studies::new();
+    let mut out = String::new();
+    let want = |id: &str| ids.contains(id);
+
+    for id in all_ids() {
+        if !want(id) {
+            continue;
+        }
+        let text = match id {
+            "fig3.6" => figures::coverage_figure(
+                "Figure 3.6: Mean heap array resize coverage of diversity transformations (SDS)",
+                studies.sds_div(cc),
+                HEAP_RESIZE,
+            ),
+            "fig3.7" => figures::coverage_figure(
+                "Figure 3.7: Mean immediate free coverage of diversity transformations (SDS)",
+                studies.sds_div(cc),
+                IMM_FREE,
+            ),
+            "fig3.8" => figures::conditional_figure(
+                "Figure 3.8: Mean heap array resize conditional coverage of diversity transformations (SDS)",
+                studies.sds_div(cc),
+                HEAP_RESIZE,
+            ),
+            "fig3.9" => figures::conditional_figure(
+                "Figure 3.9: Mean immediate free conditional coverage of diversity transformations (SDS)",
+                studies.sds_div(cc),
+                IMM_FREE,
+            ),
+            "fig3.10" => figures::overhead_figure(
+                "Figure 3.10: Overhead of diversity transformations (SDS, all loads)",
+                studies.sds_div(cc),
+            ),
+            "tab3.3" => figures::mttd_table(
+                "Table 3.3: Mean time to detection of diversity transformations (SDS)",
+                studies.sds_div(cc),
+            ),
+            "fig3.11" => figures::coverage_figure(
+                "Figure 3.11: Mean heap array resize coverage of state comparison policies (SDS, rearrange-heap)",
+                studies.sds_pol(cc),
+                HEAP_RESIZE,
+            ),
+            "fig3.12" => figures::coverage_figure(
+                "Figure 3.12: Mean immediate free coverage of state comparison policies (SDS, rearrange-heap)",
+                studies.sds_pol(cc),
+                IMM_FREE,
+            ),
+            "fig3.13" => figures::conditional_figure(
+                "Figure 3.13: Mean heap array resize conditional coverage of state comparison policies (SDS)",
+                studies.sds_pol(cc),
+                HEAP_RESIZE,
+            ),
+            "fig3.14" => figures::conditional_figure(
+                "Figure 3.14: Mean immediate free conditional coverage of state comparison policies (SDS)",
+                studies.sds_pol(cc),
+                IMM_FREE,
+            ),
+            "fig3.15" => figures::overhead_figure(
+                "Figure 3.15: Overhead of state comparison policies (SDS, rearrange-heap)",
+                studies.sds_pol(cc),
+            ),
+            "tab3.4" => figures::mttd_table(
+                "Table 3.4: Mean time to detection of state comparison policies (SDS)",
+                studies.sds_pol(cc),
+            ),
+            "fig4.3" => {
+                let variants: Vec<String> = vec![
+                    "no-diversity".into(),
+                    "zero-before-free".into(),
+                    "rearrange-heap".into(),
+                    "pad-malloc 32".into(),
+                ];
+                let sds_snapshot = clone_overheads(studies.sds_div(cc));
+                let mds = studies.mds_div(cc);
+                figures::side_by_side_overhead(
+                    "Figure 4.3: Side-by-side diversity transformation overheads of SDS and MDS",
+                    &sds_snapshot,
+                    mds,
+                    &variants,
+                )
+            }
+            "fig4.4" => {
+                let variants: Vec<String> = vec![
+                    "static 10%".into(),
+                    "static 50%".into(),
+                    "static 90%".into(),
+                    "all loads".into(),
+                ];
+                let sds_snapshot = clone_overheads(studies.sds_pol(cc));
+                let mds = studies.mds_pol(cc);
+                figures::side_by_side_overhead(
+                    "Figure 4.4: Side-by-side comparison policy overheads of SDS and MDS",
+                    &sds_snapshot,
+                    mds,
+                    &variants,
+                )
+            }
+            "fig4.5" => figures::overhead_figure(
+                "Figure 4.5: MDS overhead of diversity transformations",
+                studies.mds_div(cc),
+            ),
+            "fig4.6" => figures::overhead_figure(
+                "Figure 4.6: MDS overhead of state comparison policies",
+                studies.mds_pol(cc),
+            ),
+            "fig4.7" => figures::coverage_figure(
+                "Figure 4.7: Mean MDS heap array resize coverage of diversity transformations",
+                studies.mds_div(cc),
+                HEAP_RESIZE,
+            ),
+            "fig4.8" => figures::coverage_figure(
+                "Figure 4.8: Mean MDS immediate free coverage of diversity transformations",
+                studies.mds_div(cc),
+                IMM_FREE,
+            ),
+            "fig4.9" => figures::conditional_figure(
+                "Figure 4.9: Mean MDS heap array resize conditional coverage of diversity transformations",
+                studies.mds_div(cc),
+                HEAP_RESIZE,
+            ),
+            "fig4.10" => figures::conditional_figure(
+                "Figure 4.10: Mean MDS immediate free conditional coverage of diversity transformations",
+                studies.mds_div(cc),
+                IMM_FREE,
+            ),
+            "fig4.11" => figures::coverage_figure(
+                "Figure 4.11: Mean MDS heap array resize coverage of state comparison policies",
+                studies.mds_pol(cc),
+                HEAP_RESIZE,
+            ),
+            "fig4.12" => figures::coverage_figure(
+                "Figure 4.12: Mean MDS immediate free coverage of state comparison policies",
+                studies.mds_pol(cc),
+                IMM_FREE,
+            ),
+            "fig4.13" => figures::conditional_figure(
+                "Figure 4.13: Mean MDS heap array resize conditional coverage of state comparison policies",
+                studies.mds_pol(cc),
+                HEAP_RESIZE,
+            ),
+            "fig4.14" => figures::conditional_figure(
+                "Figure 4.14: Mean MDS immediate free conditional coverage of state comparison policies",
+                studies.mds_pol(cc),
+                IMM_FREE,
+            ),
+            "tab4.5" => figures::mttd_table(
+                "Table 4.5: Mean time to detection of diversity transformations under MDS",
+                studies.mds_div(cc),
+            ),
+            "tab4.6" => figures::mttd_table(
+                "Table 4.6: Mean time to detection of state comparison policies under MDS",
+                studies.mds_pol(cc),
+            ),
+            "ch5" => chapter5_demo(),
+            _ => continue,
+        };
+        let _ = writeln!(out, "{text}");
+    }
+    out
+}
+
+fn clone_overheads(src: &StudyResults) -> StudyResults {
+    StudyResults {
+        variants: src.variants.clone(),
+        apps: src.apps.clone(),
+        coverage: src.coverage.clone(),
+        conditional: src.conditional.clone(),
+        overhead: src.overhead.clone(),
+        experiments: src.experiments,
+    }
+}
+
+/// Chapter 5 demonstration: DS graphs and `markX` over a program with
+/// int-to-pointer behaviour, and the resulting replication-plan
+/// refinement.
+pub fn chapter5_demo() -> String {
+    use dpmr_ir::prelude::*;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Chapter 5: scope expansion through Data Structure Analysis"
+    );
+
+    // A program mixing clean memory with an int-to-pointer-reconstructed
+    // pointer (Fig. 5.1(a) style).
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let clean = b.malloc(i64t, Const::i64(4).into(), "clean");
+    b.store(clean.into(), Const::i64(11).into());
+    let dirty = b.malloc(i64t, Const::i64(4).into(), "dirty");
+    b.store(dirty.into(), Const::i64(22).into());
+    let as_int = b.cast(CastOp::PtrToInt, i64t, dirty.into(), "asInt");
+    let pty = b.operand_ty(dirty.into());
+    let back = b.cast(CastOp::IntToPtr, pty, as_int.into(), "back");
+    let v1 = b.load(i64t, clean.into(), "v1");
+    let v2 = b.load(i64t, back.into(), "v2");
+    b.output(v1.into());
+    b.output(v2.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+
+    let dsa = dpmr_dsa::analyze(&m);
+    let _ = writeln!(out, "\nDS graph for main():");
+    let _ = writeln!(out, "{}", dsa.graph(f).render());
+    let report = dsa.mark_x();
+    let _ = writeln!(
+        out,
+        "markX: {} of {} nodes excluded; {} alloc site(s) unreplicated, {} load site(s) unchecked",
+        report.x_nodes,
+        report.total_nodes,
+        report.exclude_allocs.len(),
+        report.uncheck_loads.len()
+    );
+
+    // Apply the refinement and run under SDS: the program (illegal under
+    // plain SDS) now transforms and detects nothing spurious.
+    let plan = plan_from_report(&report);
+    let mut cfg = DpmrConfig::sds();
+    cfg.plan = plan;
+    let t = dpmr_core::transform::transform(&m, &cfg).expect("refined transform");
+    let reg = std::rc::Rc::new(registry_with_wrappers());
+    let o = dpmr_vm::interp::run_with_registry(&t, &dpmr_vm::interp::RunConfig::default(), reg);
+    let _ = writeln!(
+        out,
+        "refined SDS run: status {:?}, output {:?} (expected Normal(0), [11, 22])",
+        o.status, o.output
+    );
+    out
+}
+
+/// Converts a DSA [`dpmr_dsa::ExclusionReport`] into a transform
+/// [`ReplicationPlan`] (the Chapter 5 glue).
+pub fn plan_from_report(r: &dpmr_dsa::ExclusionReport) -> ReplicationPlan {
+    ReplicationPlan {
+        exclude_allocs: r.exclude_allocs.iter().copied().collect(),
+        uncheck_loads: r.uncheck_loads.iter().copied().collect(),
+        allow_int_to_ptr: true,
+        allow_raw_ptr_arith: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_complete() {
+        let ids = all_ids();
+        assert_eq!(ids.len(), 27);
+        assert!(ids.contains(&"fig3.6"));
+        assert!(ids.contains(&"tab4.6"));
+        assert!(ids.contains(&"ch5"));
+    }
+
+    #[test]
+    fn chapter5_demo_runs_refined_program() {
+        let txt = chapter5_demo();
+        assert!(txt.contains("markX"));
+        assert!(txt.contains("Normal(0)"));
+        assert!(txt.contains("[11, 22]"));
+    }
+
+    #[test]
+    fn reproduce_single_figure() {
+        let ids: BTreeSet<String> = ["ch5".to_string()].into_iter().collect();
+        let txt = reproduce(&ids, &CampaignConfig::tiny());
+        assert!(txt.contains("Chapter 5"));
+    }
+}

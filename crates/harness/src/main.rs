@@ -1,0 +1,69 @@
+//! CLI: regenerates the paper's tables and figures.
+//!
+//! ```bash
+//! dpmr-harness all                 # every artifact, default campaign
+//! dpmr-harness quick               # every artifact, reduced campaign
+//! dpmr-harness fig3.10 tab3.3      # selected artifacts
+//! dpmr-harness all --runs 3 --scale 2 --max-sites 8
+//! ```
+
+use dpmr_harness::metrics::CampaignConfig;
+use dpmr_harness::{all_ids, reproduce};
+use dpmr_workloads::WorkloadParams;
+use std::collections::BTreeSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: dpmr-harness <all|quick|ids...> [--runs N] [--scale N] [--max-sites N]");
+        eprintln!("known ids: {}", all_ids().join(", "));
+        std::process::exit(2);
+    }
+
+    let mut ids: BTreeSet<String> = BTreeSet::new();
+    let mut cc = CampaignConfig {
+        params: WorkloadParams::quick(),
+        runs: 2,
+        max_sites: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "all" => ids.extend(all_ids().into_iter().map(String::from)),
+            "quick" => {
+                ids.extend(all_ids().into_iter().map(String::from));
+                cc.runs = 1;
+                cc.max_sites = Some(4);
+            }
+            "--runs" => {
+                i += 1;
+                cc.runs = args[i].parse().expect("--runs N");
+            }
+            "--scale" => {
+                i += 1;
+                cc.params.scale = args[i].parse().expect("--scale N");
+            }
+            "--max-sites" => {
+                i += 1;
+                cc.max_sites = Some(args[i].parse().expect("--max-sites N"));
+            }
+            id if all_ids().contains(&id) => {
+                ids.insert(id.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let t0 = std::time::Instant::now();
+    let report = reproduce(&ids, &cc);
+    println!("{report}");
+    eprintln!(
+        "[harness] reproduced {} artifact(s) in {:.1}s",
+        ids.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,332 @@
+//! Metric aggregation (Sec. 3.6): coverage, conditional coverage,
+//! overhead, and detection latency, computed from fault-injection
+//! campaigns across variant builds.
+
+use crate::experiment::{prepare, Experiment, Measurement, Variant, CYCLES_PER_MSEC};
+use dpmr_core::prelude::*;
+use dpmr_fi::FaultType;
+use dpmr_workloads::{AppSpec, WorkloadParams};
+use std::collections::BTreeMap;
+
+/// Coverage accumulator for one (variant, app, fault) population.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CovAgg {
+    /// Successful-injection experiments observed.
+    pub n: u32,
+    /// Correct output.
+    pub co: u32,
+    /// Natural detection without correct output.
+    pub ndet: u32,
+    /// DPMR detection without correct output.
+    pub ddet: u32,
+    /// Sum of detection latencies (cycles) over detected experiments.
+    pub t2d_cycles: u64,
+    /// Number of detected experiments contributing to `t2d_cycles`.
+    pub t2d_n: u32,
+}
+
+impl CovAgg {
+    /// Adds one measurement.
+    pub fn add(&mut self, m: &Measurement) {
+        if !m.sf {
+            return;
+        }
+        self.n += 1;
+        if m.co {
+            self.co += 1;
+        } else if m.ndet {
+            self.ndet += 1;
+        } else if m.ddet {
+            self.ddet += 1;
+        }
+        if !m.co && (m.ndet || m.ddet) {
+            if let Some(t) = m.t2d {
+                self.t2d_cycles += t;
+                self.t2d_n += 1;
+            }
+        }
+    }
+
+    /// Fraction with correct output.
+    pub fn co_frac(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        f64::from(self.co) / f64::from(self.n)
+    }
+    /// Fraction naturally detected (and not CO).
+    pub fn ndet_frac(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        f64::from(self.ndet) / f64::from(self.n)
+    }
+    /// Fraction DPMR-detected (and not CO/NatDet).
+    pub fn ddet_frac(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        f64::from(self.ddet) / f64::from(self.n)
+    }
+    /// Total coverage (Eq. 3.2): CO ∨ NatDet ∨ DpmrDet.
+    pub fn coverage(&self) -> f64 {
+        self.co_frac() + self.ndet_frac() + self.ddet_frac()
+    }
+    /// Mean time to detection in milliseconds (Eq. 3.4), if any.
+    pub fn mttd_msec(&self) -> Option<f64> {
+        if self.t2d_n == 0 {
+            None
+        } else {
+            Some(self.t2d_cycles as f64 / f64::from(self.t2d_n) / CYCLES_PER_MSEC)
+        }
+    }
+}
+
+/// One study: a list of named variants measured over all apps and both
+/// fault types, with conditional aggregates and overheads.
+#[derive(Debug, Default)]
+pub struct StudyResults {
+    /// Variant display names, in presentation order.
+    pub variants: Vec<String>,
+    /// App names, in presentation order.
+    pub apps: Vec<String>,
+    /// Coverage per (variant, app, fault-name).
+    pub coverage: BTreeMap<(String, String, String), CovAgg>,
+    /// Conditional coverage per (variant, fault-name), combined across
+    /// apps (Eq. 3.3: conditioned on `StdNotAllDet`).
+    pub conditional: BTreeMap<(String, String), CovAgg>,
+    /// Overhead per (variant, app) (Eq. 3.1); absent for stdapp.
+    pub overhead: BTreeMap<(String, String), f64>,
+    /// Experiments executed.
+    pub experiments: u64,
+}
+
+/// Campaign sizing.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Workload sizing.
+    pub params: WorkloadParams,
+    /// Runs per (variant, site, fault) setting (RN values).
+    pub runs: u32,
+    /// Optional cap on injection sites per (app, fault) to bound time.
+    pub max_sites: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            params: WorkloadParams::quick(),
+            runs: 2,
+            max_sites: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Small campaign for tests.
+    pub fn tiny() -> CampaignConfig {
+        CampaignConfig {
+            params: WorkloadParams::quick(),
+            runs: 1,
+            max_sites: Some(3),
+        }
+    }
+}
+
+/// Runs a fault-injection study over `apps` × `variants` × both fault
+/// types. The stdapp variant is always included first (it defines
+/// `StdNotAllDet` and the natural-detection baseline).
+pub fn run_study(
+    apps: &[AppSpec],
+    variants: &[(String, DpmrConfig)],
+    cc: &CampaignConfig,
+) -> StudyResults {
+    let mut res = StudyResults {
+        variants: std::iter::once("stdapp".to_string())
+            .chain(variants.iter().map(|(n, _)| n.clone()))
+            .collect(),
+        apps: apps.iter().map(|a| a.name.to_string()).collect(),
+        ..StudyResults::default()
+    };
+    for app in apps {
+        let p = prepare(*app, &cc.params);
+        // Overheads (non-faulty runs).
+        for (vname, cfg) in variants {
+            let o = p.overhead(cfg);
+            res.overhead
+                .insert((vname.clone(), app.name.to_string()), o);
+            res.experiments += 1;
+        }
+        for fault in FaultType::paper_set() {
+            let mut sites = p.manifest_sites(fault);
+            if let Some(cap) = cc.max_sites {
+                sites.truncate(cap);
+            }
+            for site in sites {
+                // stdapp first: establishes StdNotAllDet for this site.
+                let mut std_not_all_det = false;
+                let mut std_measurements = Vec::new();
+                for run in 0..cc.runs {
+                    let m = p.run(&Experiment {
+                        app: app.name,
+                        variant: Variant::FiStdapp,
+                        fault: Some((site, fault)),
+                        run,
+                    });
+                    res.experiments += 1;
+                    if m.sf && !m.co && !m.ndet {
+                        std_not_all_det = true;
+                    }
+                    std_measurements.push(m);
+                }
+                record(
+                    &mut res,
+                    "stdapp",
+                    app.name,
+                    &fault.name(),
+                    &std_measurements,
+                    std_not_all_det,
+                );
+                for (vname, cfg) in variants {
+                    let mut ms = Vec::new();
+                    for run in 0..cc.runs {
+                        let m = p.run(&Experiment {
+                            app: app.name,
+                            variant: Variant::FiDpmr(cfg.clone()),
+                            fault: Some((site, fault)),
+                            run,
+                        });
+                        res.experiments += 1;
+                        ms.push(m);
+                    }
+                    record(&mut res, vname, app.name, &fault.name(), &ms, std_not_all_det);
+                }
+            }
+        }
+    }
+    res
+}
+
+fn record(
+    res: &mut StudyResults,
+    variant: &str,
+    app: &str,
+    fault: &str,
+    ms: &[Measurement],
+    std_not_all_det: bool,
+) {
+    let key = (variant.to_string(), app.to_string(), fault.to_string());
+    let agg = res.coverage.entry(key).or_default();
+    for m in ms {
+        agg.add(m);
+    }
+    if std_not_all_det {
+        let ckey = (variant.to_string(), fault.to_string());
+        let cagg = res.conditional.entry(ckey).or_default();
+        for m in ms {
+            cagg.add(m);
+        }
+    }
+}
+
+/// The diversity-study variant list (Sections 3.7 / 4.5): all seven
+/// diversity transformations under the all-loads policy.
+pub fn diversity_variants(scheme: Scheme) -> Vec<(String, DpmrConfig)> {
+    Diversity::paper_set()
+        .into_iter()
+        .map(|d| {
+            let base = match scheme {
+                Scheme::Sds => DpmrConfig::sds(),
+                Scheme::Mds => DpmrConfig::mds(),
+            };
+            (
+                d.name(),
+                base.with_diversity(d).with_policy(Policy::AllLoads),
+            )
+        })
+        .collect()
+}
+
+/// The policy-study variant list (Sections 3.8 / 4.5): all seven
+/// comparison policies under rearrange-heap (the best diversity).
+pub fn policy_variants(scheme: Scheme) -> Vec<(String, DpmrConfig)> {
+    Policy::paper_set()
+        .into_iter()
+        .map(|pol| {
+            let base = match scheme {
+                Scheme::Sds => DpmrConfig::sds(),
+                Scheme::Mds => DpmrConfig::mds(),
+            };
+            (
+                pol.name(),
+                base.with_diversity(Diversity::RearrangeHeap).with_policy(pol),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_workloads::app_by_name;
+
+    #[test]
+    fn cov_agg_accumulates_components() {
+        let mut a = CovAgg::default();
+        a.add(&Measurement {
+            sf: true,
+            co: true,
+            ndet: false,
+            ddet: false,
+            timeout: false,
+            t2d: None,
+            cycles: 10,
+            instrs: 10,
+        });
+        a.add(&Measurement {
+            sf: true,
+            co: false,
+            ndet: false,
+            ddet: true,
+            timeout: false,
+            t2d: Some(500),
+            cycles: 10,
+            instrs: 10,
+        });
+        a.add(&Measurement {
+            sf: false,
+            co: false,
+            ndet: false,
+            ddet: false,
+            timeout: false,
+            t2d: None,
+            cycles: 1,
+            instrs: 1,
+        });
+        assert_eq!(a.n, 2, "unsuccessful injections are excluded");
+        assert!((a.coverage() - 1.0).abs() < 1e-9);
+        assert!((a.co_frac() - 0.5).abs() < 1e-9);
+        assert!((a.ddet_frac() - 0.5).abs() < 1e-9);
+        assert!(a.mttd_msec().is_some());
+    }
+
+    #[test]
+    fn variant_lists_have_paper_sizes() {
+        assert_eq!(diversity_variants(Scheme::Sds).len(), 7);
+        assert_eq!(policy_variants(Scheme::Mds).len(), 7);
+    }
+
+    #[test]
+    fn tiny_study_runs_end_to_end() {
+        let app = app_by_name("bzip2").expect("bzip2");
+        let variants = vec![(
+            "no-diversity".to_string(),
+            DpmrConfig::sds().with_diversity(Diversity::None),
+        )];
+        let res = run_study(&[app], &variants, &CampaignConfig::tiny());
+        assert!(res.experiments > 0);
+        assert!(!res.coverage.is_empty());
+        let o = res.overhead[&("no-diversity".to_string(), "bzip2".to_string())];
+        assert!(o > 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Small-campaign studies asserting the aggregate shapes the full
+//! reproduction reports (these run a real, reduced fault-injection
+//! campaign, so they are the slowest tests in the workspace).
+
+use dpmr_core::prelude::*;
+use dpmr_harness::metrics::{diversity_variants, policy_variants, run_study, CampaignConfig};
+use dpmr_workloads::{all_apps, app_by_name};
+
+fn tiny() -> CampaignConfig {
+    CampaignConfig {
+        params: dpmr_workloads::WorkloadParams::quick(),
+        runs: 1,
+        max_sites: Some(3),
+    }
+}
+
+#[test]
+fn sds_diversity_study_full_coverage_for_dpmr_variants() {
+    let apps = [app_by_name("bzip2").unwrap(), app_by_name("mcf").unwrap()];
+    let res = run_study(&apps, &diversity_variants(Scheme::Sds), &tiny());
+    for ((variant, app, fault), agg) in &res.coverage {
+        if variant == "stdapp" || agg.n == 0 {
+            continue;
+        }
+        assert!(
+            agg.coverage() > 0.99,
+            "{variant}/{app}/{fault}: DPMR coverage {:.2} < 1.0",
+            agg.coverage()
+        );
+    }
+    assert!(res.experiments > 50, "campaign actually ran");
+}
+
+#[test]
+fn conditional_coverage_shows_dpmr_advantage() {
+    // On injections where the bare app failed silently at least once,
+    // DPMR variants must reach full conditional coverage while stdapp
+    // does not.
+    let apps = [app_by_name("equake").unwrap(), app_by_name("mcf").unwrap()];
+    // All sites, 2 runs: silent stdapp failures concentrate in a few
+    // sites, so the reduced-site cap would miss them.
+    let cc = CampaignConfig {
+        params: dpmr_workloads::WorkloadParams::quick(),
+        runs: 2,
+        max_sites: None,
+    };
+    let res = run_study(&apps, &diversity_variants(Scheme::Sds)[..2].to_vec(), &cc);
+    let mut saw_conditional = false;
+    for ((variant, fault), agg) in &res.conditional {
+        if agg.n == 0 {
+            continue;
+        }
+        saw_conditional = true;
+        if variant == "stdapp" {
+            assert!(
+                agg.coverage() < 1.0,
+                "stdapp conditional coverage must be imperfect by construction"
+            );
+        } else {
+            assert!(
+                agg.coverage() > 0.99,
+                "{variant}/{fault}: conditional coverage {:.2}",
+                agg.coverage()
+            );
+        }
+    }
+    assert!(saw_conditional, "StdNotAllDet cases must exist");
+}
+
+#[test]
+fn policy_study_overheads_are_ordered() {
+    let apps = [app_by_name("art").unwrap()];
+    let res = run_study(&apps, &policy_variants(Scheme::Mds), &tiny());
+    let oh = |v: &str| res.overhead[&(v.to_string(), "art".to_string())];
+    assert!(oh("static 10%") < oh("static 90%"));
+    assert!(oh("static 90%") <= oh("all loads") * 1.01);
+    assert!(oh("temporal 32/64") > oh("all loads"));
+}
+
+#[test]
+fn overheads_exist_for_every_variant_and_app() {
+    let apps = all_apps();
+    let variants = vec![(
+        "no-diversity".to_string(),
+        DpmrConfig::sds().with_diversity(Diversity::None),
+    )];
+    let cc = CampaignConfig {
+        max_sites: Some(1),
+        ..tiny()
+    };
+    let res = run_study(&apps, &variants, &cc);
+    for app in &res.apps {
+        let o = res.overhead[&("no-diversity".to_string(), app.clone())];
+        assert!(o > 1.0 && o < 10.0, "{app}: overhead {o}");
+    }
+}

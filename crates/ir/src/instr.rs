@@ -1,0 +1,390 @@
+//! Instructions of the DPMR register machine.
+//!
+//! Per the paper's program assumptions: virtual registers hold only scalars
+//! (integers, floats, pointers); memory is accessed only through loads and
+//! stores, each of which moves one scalar; programs allocate heap memory via
+//! `malloc`, stack memory via `alloca`, and global-variable memory via global
+//! declarations; functions return at most one scalar and take scalar
+//! parameters.
+
+use crate::module::{ExternalId, FuncId, GlobalId};
+use crate::types::TypeId;
+
+/// Index of a virtual register within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+/// Index of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Const {
+    /// Integer constant of a specific width.
+    Int { value: i64, bits: u16 },
+    /// Float constant of a specific width.
+    Float { value: f64, bits: u16 },
+    /// The null pointer, typed as pointer-to-`pointee`.
+    Null { pointee: TypeId },
+}
+
+impl Const {
+    /// `i64` constant.
+    pub fn i64(v: i64) -> Const {
+        Const::Int { value: v, bits: 64 }
+    }
+    /// `i32` constant.
+    pub fn i32(v: i32) -> Const {
+        Const::Int {
+            value: i64::from(v),
+            bits: 32,
+        }
+    }
+    /// `i8` constant.
+    pub fn i8(v: i8) -> Const {
+        Const::Int {
+            value: i64::from(v),
+            bits: 8,
+        }
+    }
+    /// `f64` constant.
+    pub fn f64(v: f64) -> Const {
+        Const::Float { value: v, bits: 64 }
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Value of a virtual register.
+    Reg(RegId),
+    /// A constant.
+    Const(Const),
+    /// Address of a global variable (globals are pointers to memory).
+    Global(GlobalId),
+    /// Address of a function (for indirect calls).
+    Func(FuncId),
+}
+
+impl From<RegId> for Operand {
+    fn from(r: RegId) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Const> for Operand {
+    fn from(c: Const) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// Binary arithmetic / bitwise operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    UDiv,
+    SRem,
+    URem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+    AShr,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+/// Comparison predicates; results are `i8` (0 or 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    FOlt,
+    FOle,
+    FOgt,
+    FOge,
+    FOeq,
+    FOne,
+}
+
+/// Scalar conversion operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Pointer-to-pointer cast (retype, no bits change).
+    Bitcast,
+    /// Pointer to 64-bit integer.
+    PtrToInt,
+    /// 64-bit integer to pointer (forbidden under SDS/MDS; allowed in
+    /// original programs analysed by DSA).
+    IntToPtr,
+    /// Integer truncation.
+    Trunc,
+    /// Zero extension.
+    Zext,
+    /// Sign extension.
+    Sext,
+    /// Float to signed integer.
+    FpToSi,
+    /// Signed integer to float.
+    SiToFp,
+    /// Float width change.
+    FpCast,
+}
+
+/// Who is being called.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Callee {
+    /// Direct call of a function within the module.
+    Direct(FuncId),
+    /// Indirect call through a function-pointer value.
+    Indirect(Operand),
+    /// Call of an external (non-transformed) function, by registry name.
+    External(ExternalId),
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst <- alloca(ty [, count])` — stack allocation; yields `ty*`
+    /// (with `count`, `ty[count]` elements, still typed `ty*`).
+    Alloca {
+        dst: RegId,
+        ty: TypeId,
+        count: Option<Operand>,
+    },
+    /// `dst <- malloc(elem, count)` — heap allocation of
+    /// `count * sizeof(elem)` bytes; yields `elem*`.
+    Malloc {
+        dst: RegId,
+        elem: TypeId,
+        count: Operand,
+    },
+    /// `free(ptr)` — heap deallocation.
+    Free { ptr: Operand },
+    /// `dst <- *ptr` — loads one scalar; the type of `dst` dictates width
+    /// and interpretation.
+    Load { dst: RegId, ptr: Operand },
+    /// `*ptr <- value` — stores one scalar.
+    Store { ptr: Operand, value: Operand },
+    /// `dst <- &(base->field)` — address of a struct field. `base` must be
+    /// pointer-to-struct (or pointer-to-union, where the address is the
+    /// base for every member).
+    FieldAddr {
+        dst: RegId,
+        base: Operand,
+        field: u32,
+    },
+    /// `dst <- &base[index]` — address of an array element; `base` is a
+    /// pointer to an array type (sized or unsized).
+    IndexAddr {
+        dst: RegId,
+        base: Operand,
+        index: Operand,
+    },
+    /// `dst <- cast(src)`.
+    Cast {
+        dst: RegId,
+        op: CastOp,
+        src: Operand,
+    },
+    /// `dst <- lhs op rhs`.
+    Bin {
+        dst: RegId,
+        op: BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst <- lhs pred rhs` (i8 result, 0 or 1).
+    Cmp {
+        dst: RegId,
+        pred: CmpPred,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// Register copy / constant materialisation (also `dst <- &fun` when
+    /// `src` is [`Operand::Func`]).
+    Copy { dst: RegId, src: Operand },
+    /// Function call; `dst` receives the scalar return value if any.
+    Call {
+        dst: Option<RegId>,
+        callee: Callee,
+        args: Vec<Operand>,
+    },
+    /// DPMR runtime check: compares two scalars bit-exactly; on mismatch the
+    /// VM stops with a DPMR detection. Inserted by the transformation
+    /// (the `assert(x == *pr)` of Table 2.6).
+    DpmrCheck { a: Operand, b: Operand },
+    /// `dst <- randint(lo, hi)` — uniform random integer in `[lo, hi]`
+    /// (inclusive); runtime support for rearrange-heap (Table 2.8).
+    RandInt {
+        dst: RegId,
+        lo: Operand,
+        hi: Operand,
+    },
+    /// `dst <- heapBufSize(ptr)` — usable size of a live heap buffer;
+    /// runtime support for zero-before-free (Table 2.8).
+    HeapBufSize { dst: RegId, ptr: Operand },
+    /// Appends a scalar to the program's output channel (used by the
+    /// correct-output metric and by workloads to report results).
+    Output { value: Operand },
+    /// Fault-injection site marker: records the virtual time of its first
+    /// execution (the experiment's "successful fault injection" signal,
+    /// Sec. 3.6). DPMR passes it through untouched.
+    FiMarker { site: u32 },
+    /// Aborts the program with an application-level error exit code
+    /// (natural detection when nonzero).
+    Abort { code: i64 },
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch; nonzero `cond` takes `then_bb`.
+    CondBr {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Function return, with an optional scalar value.
+    Ret(Option<Operand>),
+    /// Marks unreachable control flow (trap if executed).
+    Unreachable,
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Straight-line body.
+    pub instrs: Vec<Instr>,
+    /// Terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// An empty block terminated by `Unreachable` (builder patches it).
+    pub fn new() -> Block {
+        Block {
+            instrs: Vec::new(),
+            term: Term::Unreachable,
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Instr {
+    /// The destination register, if the instruction defines one.
+    pub fn dst(&self) -> Option<RegId> {
+        match self {
+            Instr::Alloca { dst, .. }
+            | Instr::Malloc { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::FieldAddr { dst, .. }
+            | Instr::IndexAddr { dst, .. }
+            | Instr::Cast { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::RandInt { dst, .. }
+            | Instr::HeapBufSize { dst, .. } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            Instr::Free { .. }
+            | Instr::Store { .. }
+            | Instr::DpmrCheck { .. }
+            | Instr::Output { .. }
+            | Instr::FiMarker { .. }
+            | Instr::Abort { .. } => None,
+        }
+    }
+
+    /// All operands read by the instruction.
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Instr::Alloca { count, .. } => count.iter().copied().collect(),
+            Instr::Malloc { count, .. } => vec![*count],
+            Instr::Free { ptr } => vec![*ptr],
+            Instr::Load { ptr, .. } => vec![*ptr],
+            Instr::Store { ptr, value } => vec![*ptr, *value],
+            Instr::FieldAddr { base, .. } => vec![*base],
+            Instr::IndexAddr { base, index, .. } => vec![*base, *index],
+            Instr::Cast { src, .. } => vec![*src],
+            Instr::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::Copy { src, .. } => vec![*src],
+            Instr::Call { callee, args, .. } => {
+                let mut v = Vec::with_capacity(args.len() + 1);
+                if let Callee::Indirect(op) = callee {
+                    v.push(*op);
+                }
+                v.extend(args.iter().copied());
+                v
+            }
+            Instr::DpmrCheck { a, b } => vec![*a, *b],
+            Instr::RandInt { lo, hi, .. } => vec![*lo, *hi],
+            Instr::HeapBufSize { ptr, .. } => vec![*ptr],
+            Instr::Output { value } => vec![*value],
+            Instr::FiMarker { .. } => vec![],
+            Instr::Abort { .. } => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_helpers_have_expected_widths() {
+        assert_eq!(Const::i8(3), Const::Int { value: 3, bits: 8 });
+        assert_eq!(
+            Const::i32(-1),
+            Const::Int {
+                value: -1,
+                bits: 32
+            }
+        );
+        assert_eq!(Const::i64(7), Const::Int { value: 7, bits: 64 });
+    }
+
+    #[test]
+    fn dst_and_operands_cover_all_cases() {
+        let r0 = RegId(0);
+        let r1 = RegId(1);
+        let add = Instr::Bin {
+            dst: r0,
+            op: BinOp::Add,
+            lhs: Operand::Reg(r1),
+            rhs: Operand::Const(Const::i64(1)),
+        };
+        assert_eq!(add.dst(), Some(r0));
+        assert_eq!(add.operands().len(), 2);
+
+        let st = Instr::Store {
+            ptr: Operand::Reg(r0),
+            value: Operand::Reg(r1),
+        };
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.operands().len(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Functions, globals, external declarations, and the module container.
+
+use crate::instr::{Block, BlockId, RegId};
+use crate::types::{TypeId, TypeKind, TypeTable};
+
+/// Index of a function within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a global variable within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Index of an external function declaration within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExternalId(pub u32);
+
+/// Metadata for one virtual register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegInfo {
+    /// Scalar type held by the register.
+    pub ty: TypeId,
+    /// Optional human-readable name (printer output).
+    pub name: Option<String>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Function type (must be `TypeKind::Function`).
+    pub ty: TypeId,
+    /// Registers that receive the arguments, in order.
+    pub params: Vec<RegId>,
+    /// All virtual registers of the function.
+    pub regs: Vec<RegInfo>,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// The entry block (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Type of a register.
+    ///
+    /// # Panics
+    /// Panics if the register does not belong to this function.
+    pub fn reg_ty(&self, r: RegId) -> TypeId {
+        self.regs[r.0 as usize].ty
+    }
+
+    /// Return type of the function, looked up in `tt`.
+    pub fn ret_ty(&self, tt: &TypeTable) -> TypeId {
+        match tt.kind(self.ty) {
+            TypeKind::Function { ret, .. } => *ret,
+            _ => unreachable!("function with non-function type"),
+        }
+    }
+
+    /// Parameter types of the function, looked up in `tt`.
+    pub fn param_tys(&self, tt: &TypeTable) -> Vec<TypeId> {
+        match tt.kind(self.ty) {
+            TypeKind::Function { params, .. } => params.clone(),
+            _ => unreachable!("function with non-function type"),
+        }
+    }
+}
+
+/// Initial value of a global variable (the compile-time store sequence the
+/// paper describes for global-variable initialization, Sec. 2.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-filled.
+    Zero,
+    /// Integer scalar.
+    Int(i64),
+    /// Float scalar.
+    Float(f64),
+    /// Null pointer.
+    Null,
+    /// Address of another global (a pointer stored in global memory).
+    Ref(GlobalId),
+    /// Address of a function.
+    FuncRef(FuncId),
+    /// Aggregate: one initializer per field/element, in layout order.
+    Composite(Vec<GlobalInit>),
+    /// Raw bytes (e.g. string literals).
+    Bytes(Vec<u8>),
+}
+
+/// A global variable declaration. Per the paper's assumptions, a global
+/// *is a pointer* to memory of type `ty`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Pointee type (the memory allocated for the global).
+    pub ty: TypeId,
+    /// Initial contents.
+    pub init: GlobalInit,
+}
+
+/// Declaration of an external (non-transformed) function, resolved by name
+/// in the VM's external registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternalDecl {
+    /// Registry name.
+    pub name: String,
+    /// Function type.
+    pub ty: TypeId,
+}
+
+/// A whole program: types, globals, external declarations, and functions.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// The type table owning every type referenced by the module.
+    pub types: TypeTable,
+    /// Function definitions.
+    pub funcs: Vec<Function>,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// External function declarations.
+    pub externals: Vec<ExternalDecl>,
+    /// Entry function (`main`).
+    pub entry: Option<FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module {
+            types: TypeTable::new(),
+            funcs: Vec::new(),
+            globals: Vec::new(),
+            externals: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Adds a global and returns its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+
+    /// Declares an external function (idempotent per name).
+    pub fn declare_external(&mut self, name: impl Into<String>, ty: TypeId) -> ExternalId {
+        let name = name.into();
+        if let Some((i, _)) = self
+            .externals
+            .iter()
+            .enumerate()
+            .find(|(_, e)| e.name == name)
+        {
+            return ExternalId(i as u32);
+        }
+        let id = ExternalId(self.externals.len() as u32);
+        self.externals.push(ExternalDecl { name, ty });
+        id
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
+    }
+
+    /// Function reference.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable function reference.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// Global reference.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// External declaration reference.
+    ///
+    /// # Panics
+    /// Panics on a foreign id.
+    pub fn external(&self, id: ExternalId) -> &ExternalDecl {
+        &self.externals[id.0 as usize]
+    }
+
+    /// Total number of instructions across all functions (static size).
+    pub fn static_instr_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.instrs.len() + 1).sum::<usize>())
+            .sum()
+    }
+}
+
+impl Default for Module {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_declaration_is_idempotent() {
+        let mut m = Module::new();
+        let i32t = m.types.int(32);
+        let fty = m.types.function(i32t, vec![]);
+        let a = m.declare_external("strcmp", fty);
+        let b = m.declare_external("strcmp", fty);
+        assert_eq!(a, b);
+        assert_eq!(m.externals.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new();
+        let void = m.types.void();
+        let fty = m.types.function(void, vec![]);
+        let f = Function {
+            name: "main".into(),
+            ty: fty,
+            params: vec![],
+            regs: vec![],
+            blocks: vec![Block::new()],
+        };
+        let id = m.add_function(f);
+        assert_eq!(m.func_by_name("main"), Some(id));
+        assert_eq!(m.func_by_name("other"), None);
+    }
+}

@@ -1,0 +1,918 @@
+//! The IR interpreter with virtual clock, run limits, and detection
+//! accounting.
+//!
+//! The interpreter is the paper's "testbed": it executes original and
+//! DPMR-transformed programs identically, records virtual time (the
+//! `rdtsc`-style measurement of Sec. 3.6), detects natural crashes
+//! (unmapped accesses, allocator aborts, invalid execution), honours
+//! `dpmr.check` comparisons, and records the first execution of
+//! fault-injection markers.
+
+use crate::alloc::{Allocator, AllocStats, FreeOutcome};
+use crate::external::Registry;
+use crate::mem::{Mem, MemConfig, MemFault};
+use crate::value::{load_scalar, normalize_int, scalar_bytes, store_scalar, Value};
+use dpmr_ir::instr::{BinOp, Callee, CastOp, CmpPred, Const, Instr, Operand, Term};
+use dpmr_ir::module::{FuncId, GlobalInit, Module};
+use dpmr_ir::types::{TypeId, TypeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Pseudo-address base for function pointers (inside an unmapped gap, so
+/// dereferencing a function pointer faults like real hardware).
+pub const FUNC_BASE: u64 = 0x0f00_0000;
+
+/// Reasons the simulated process crashed (natural detection).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrashKind {
+    /// Hardware-style memory fault.
+    MemFault(MemFault),
+    /// The heap allocator's error checking fired (e.g. double free).
+    AllocatorAbort(String),
+    /// Invalid execution: bad indirect call, division by zero, use of an
+    /// unset register, argument-count confusion.
+    InvalidExec(String),
+}
+
+/// Final status of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExitStatus {
+    /// `main` returned with the given value.
+    Normal(i64),
+    /// The program self-reported an error (`abort code`); natural
+    /// detection in the paper's metrics.
+    AppError(i64),
+    /// A `dpmr.check` comparison failed: DPMR detected a memory error.
+    DpmrDetected {
+        /// The two differing raw values.
+        got: u64,
+        /// Replica value.
+        replica: u64,
+    },
+    /// The simulated process crashed (natural detection).
+    Crash(CrashKind),
+    /// Instruction budget exhausted.
+    Timeout,
+}
+
+impl ExitStatus {
+    /// True for statuses the evaluation counts as *natural detection*
+    /// (crash or self-reported error; Sec. 3.6).
+    pub fn is_natural_detection(&self) -> bool {
+        matches!(self, ExitStatus::Crash(_) | ExitStatus::AppError(_))
+            || matches!(self, ExitStatus::Normal(code) if *code != 0)
+    }
+
+    /// True when DPMR raised the detection.
+    pub fn is_dpmr_detection(&self) -> bool {
+        matches!(self, ExitStatus::DpmrDetected { .. })
+    }
+}
+
+/// Everything measured during one run (Table 3.2's components).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Final status.
+    pub status: ExitStatus,
+    /// Raw output channel (bit images of `output` operands).
+    pub output: Vec<u64>,
+    /// Virtual cycles consumed.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instrs: u64,
+    /// Virtual cycle of the first executed fault-injection marker
+    /// ("successful fault injection").
+    pub first_fi_cycle: Option<u64>,
+    /// All fault-injection sites that executed.
+    pub fi_sites_hit: BTreeSet<u32>,
+    /// Virtual cycle at which detection (DPMR or crash) occurred.
+    pub detect_cycle: Option<u64>,
+    /// Allocator statistics.
+    pub alloc_stats: AllocStats,
+}
+
+/// Run limits and inputs.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Memory sizing and garbage seed.
+    pub mem: MemConfig,
+    /// Instruction budget (timeout).
+    pub max_instrs: u64,
+    /// Arguments passed to the entry function.
+    pub args: Vec<Value>,
+    /// Seed for the `randint` runtime (rearrange-heap diversity).
+    pub seed: u64,
+    /// Maximum call depth.
+    pub max_depth: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            mem: MemConfig::default(),
+            max_instrs: 200_000_000,
+            args: Vec::new(),
+            seed: 1,
+            // Each simulated call consumes host stack in the recursive
+            // interpreter, and Rust test threads default to 2 MB stacks;
+            // 150 frames stays safe even with large debug-build frames
+            // while still allowing any realistic workload recursion.
+            max_depth: 150,
+        }
+    }
+}
+
+/// Internal control-flow escape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// Memory fault.
+    Mem(MemFault),
+    /// Allocator abort.
+    Alloc(String),
+    /// Invalid execution.
+    Invalid(String),
+    /// DPMR detection.
+    Dpmr { got: u64, replica: u64 },
+    /// Instruction budget exhausted.
+    Timeout,
+    /// Program-issued abort.
+    AppAbort(i64),
+}
+
+impl From<MemFault> for Trap {
+    fn from(f: MemFault) -> Self {
+        Trap::Mem(f)
+    }
+}
+
+/// Approximate cycle costs, coarse-grained in the spirit of a simple
+/// in-order core. Only *relative* costs matter for overhead figures.
+mod cost {
+    pub const ALU: u64 = 1;
+    /// Extra cycles for a simulated L2 cache miss (Table 3.1's 256 KB L2).
+    pub const CACHE_MISS: u64 = 18;
+    pub const MEM: u64 = 3;
+    pub const ADDR: u64 = 1;
+    pub const BRANCH: u64 = 1;
+    pub const CALL: u64 = 6;
+    pub const RET: u64 = 3;
+    pub const MALLOC_BASE: u64 = 60;
+    pub const FREE: u64 = 40;
+    pub const CHECK: u64 = 1;
+    pub const RAND: u64 = 12;
+    pub const OUTPUT: u64 = 12;
+}
+
+/// The interpreter.
+pub struct Interp<'m> {
+    /// Program being executed.
+    pub module: &'m Module,
+    /// Simulated memory.
+    pub mem: Mem,
+    /// Heap allocator.
+    pub alloc: Allocator,
+    global_addrs: Vec<u64>,
+    externals: Rc<Registry>,
+    rng: StdRng,
+    clock: u64,
+    instrs: u64,
+    max_instrs: u64,
+    output: Vec<u64>,
+    first_fi_cycle: Option<u64>,
+    fi_sites_hit: BTreeSet<u32>,
+    depth: u32,
+    max_depth: u32,
+    /// Direct-mapped cache tags: 4096 sets x 64-byte lines = 256 KB,
+    /// matching the testbed's L2 (Table 3.1). Loads and stores that miss
+    /// pay an extra latency, so memory-layout diversity (pad-malloc,
+    /// rearrange-heap) has the locality cost the paper observes.
+    cache_tags: Vec<u64>,
+}
+
+impl<'m> Interp<'m> {
+    /// Creates an interpreter, allocating and initializing all globals.
+    ///
+    /// # Panics
+    /// Panics if the module's globals cannot be laid out (unsized types) —
+    /// a program construction error, not a simulated fault.
+    pub fn new(module: &'m Module, cfg: &RunConfig, externals: Rc<Registry>) -> Self {
+        let mut mem = Mem::new(&cfg.mem);
+        // Pass 1: allocate.
+        let mut global_addrs = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            let size = module
+                .types
+                .size_of(g.ty)
+                .unwrap_or_else(|e| panic!("global {}: {e}", g.name));
+            global_addrs.push(mem.alloc_global(size));
+        }
+        let mut it = Interp {
+            module,
+            mem,
+            alloc: Allocator::new(),
+            global_addrs,
+            externals,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            clock: 0,
+            instrs: 0,
+            max_instrs: cfg.max_instrs,
+            output: Vec::new(),
+            first_fi_cycle: None,
+            fi_sites_hit: BTreeSet::new(),
+            depth: 0,
+            max_depth: cfg.max_depth,
+            cache_tags: vec![u64::MAX; 4096],
+        };
+        // Pass 2: initialize.
+        for (i, g) in module.globals.iter().enumerate() {
+            let addr = it.global_addrs[i];
+            it.init_global(g.ty, &g.init, addr);
+        }
+        it
+    }
+
+    fn init_global(&mut self, ty: TypeId, init: &GlobalInit, addr: u64) {
+        let tt = &self.module.types;
+        match init {
+            GlobalInit::Zero => {
+                let n = tt.size_of(ty).expect("sized global") as usize;
+                self.mem.write(addr, &vec![0u8; n]).expect("global mapped");
+            }
+            GlobalInit::Int(v) => {
+                store_scalar(&mut self.mem, tt, ty, addr, Value::Int(*v)).expect("global mapped");
+            }
+            GlobalInit::Float(f) => {
+                store_scalar(&mut self.mem, tt, ty, addr, Value::Float(*f))
+                    .expect("global mapped");
+            }
+            GlobalInit::Null => {
+                self.mem.write_u64(addr, 0).expect("global mapped");
+            }
+            GlobalInit::Ref(g) => {
+                let target = self.global_addrs[g.0 as usize];
+                self.mem.write_u64(addr, target).expect("global mapped");
+            }
+            GlobalInit::FuncRef(f) => {
+                self.mem
+                    .write_u64(addr, FUNC_BASE + u64::from(f.0))
+                    .expect("global mapped");
+            }
+            GlobalInit::Bytes(b) => {
+                self.mem.write(addr, b).expect("global mapped");
+            }
+            GlobalInit::Composite(items) => match tt.kind(ty) {
+                TypeKind::Struct { fields, .. } => {
+                    let fields = fields.clone();
+                    assert_eq!(fields.len(), items.len(), "composite arity");
+                    for (i, (f, item)) in fields.iter().zip(items).enumerate() {
+                        let off = tt.field_offset(ty, i).expect("layout");
+                        self.init_global(*f, item, addr + off);
+                    }
+                }
+                TypeKind::Array { elem, .. } => {
+                    let elem = *elem;
+                    let esz = tt.size_of(elem).expect("sized elem");
+                    for (i, item) in items.iter().enumerate() {
+                        self.init_global(elem, item, addr + esz * i as u64);
+                    }
+                }
+                other => panic!("composite init of {other:?}"),
+            },
+        }
+    }
+
+    /// Address assigned to a global.
+    pub fn global_addr(&self, g: dpmr_ir::module::GlobalId) -> u64 {
+        self.global_addrs[g.0 as usize]
+    }
+
+    /// Charges virtual cycles (used by external handlers).
+    pub fn charge(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    /// Simulates one cache access; misses cost extra cycles.
+    pub fn touch(&mut self, addr: u64) {
+        let set = ((addr >> 6) & 0xfff) as usize;
+        let tag = addr >> 18;
+        if self.cache_tags[set] != tag {
+            self.cache_tags[set] = tag;
+            self.clock += cost::CACHE_MISS;
+        }
+    }
+
+    /// Appends a scalar to the output channel.
+    pub fn push_output(&mut self, v: Value) {
+        self.output.push(v.to_bits());
+    }
+
+    /// Reads a NUL-terminated byte string from simulated memory.
+    ///
+    /// # Errors
+    /// Traps when the scan runs off mapped memory.
+    pub fn read_c_string(&self, addr: u64) -> Result<Vec<u8>, Trap> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.mem.read(a, 1)?[0];
+            if b == 0 {
+                return Ok(out);
+            }
+            out.push(b);
+            a += 1;
+            if out.len() > 1 << 20 {
+                return Err(Trap::Invalid("unterminated string".into()));
+            }
+        }
+    }
+
+    /// Allocates heap memory (external-handler API).
+    ///
+    /// # Errors
+    /// Traps on allocator-metadata faults.
+    pub fn malloc_bytes(&mut self, size: u64) -> Result<u64, Trap> {
+        self.charge(cost::MALLOC_BASE + size / 16);
+        Ok(self.alloc.malloc(&mut self.mem, size)?)
+    }
+
+    /// Frees heap memory (external-handler API), honouring the allocator's
+    /// crash/corrupt semantics.
+    ///
+    /// # Errors
+    /// Traps on allocator aborts.
+    pub fn free_ptr(&mut self, ptr: u64) -> Result<(), Trap> {
+        self.charge(cost::FREE);
+        match self.alloc.free(&mut self.mem, ptr) {
+            FreeOutcome::Ok | FreeOutcome::SilentCorruption => Ok(()),
+            FreeOutcome::Abort(msg) => Err(Trap::Alloc(msg)),
+        }
+    }
+
+    /// Calls a function through a function-pointer value (external-handler
+    /// API; e.g. `qsort`'s comparator).
+    ///
+    /// # Errors
+    /// Traps if the pointer does not reference a function.
+    pub fn call_fn_ptr(&mut self, fnptr: u64, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        let idx = fnptr.wrapping_sub(FUNC_BASE);
+        if (idx as usize) < self.module.funcs.len() {
+            self.call(FuncId(idx as u32), args)
+        } else {
+            Err(Trap::Invalid(format!(
+                "indirect call of non-function address {fnptr:#x}"
+            )))
+        }
+    }
+
+    /// Uniform random integer in `[lo, hi]` from the run-seeded RNG
+    /// (external-handler API mirroring the `randint` instruction).
+    pub fn rand_range(&mut self, lo: i64, hi: i64) -> i64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Runs the module's entry function with the configured arguments.
+    pub fn run(&mut self, args: Vec<Value>) -> RunOutcome {
+        let entry = match self.module.entry {
+            Some(e) => e,
+            None => {
+                return self.finish(ExitStatus::Crash(CrashKind::InvalidExec(
+                    "module has no entry function".into(),
+                )))
+            }
+        };
+        match self.call(entry, args) {
+            Ok(v) => {
+                let code = match v {
+                    Some(Value::Int(c)) => c,
+                    _ => 0,
+                };
+                self.finish(ExitStatus::Normal(code))
+            }
+            Err(t) => {
+                let status = match t {
+                    Trap::Mem(f) => ExitStatus::Crash(CrashKind::MemFault(f)),
+                    Trap::Alloc(m) => ExitStatus::Crash(CrashKind::AllocatorAbort(m)),
+                    Trap::Invalid(m) => ExitStatus::Crash(CrashKind::InvalidExec(m)),
+                    Trap::Dpmr { got, replica } => ExitStatus::DpmrDetected { got, replica },
+                    Trap::Timeout => ExitStatus::Timeout,
+                    Trap::AppAbort(c) => ExitStatus::AppError(c),
+                };
+                self.finish(status)
+            }
+        }
+    }
+
+    fn finish(&mut self, status: ExitStatus) -> RunOutcome {
+        let detect_cycle = match &status {
+            ExitStatus::DpmrDetected { .. } | ExitStatus::Crash(_) | ExitStatus::AppError(_) => {
+                Some(self.clock)
+            }
+            _ => None,
+        };
+        RunOutcome {
+            status,
+            output: std::mem::take(&mut self.output),
+            cycles: self.clock,
+            instrs: self.instrs,
+            first_fi_cycle: self.first_fi_cycle,
+            fi_sites_hit: std::mem::take(&mut self.fi_sites_hit),
+            detect_cycle,
+            alloc_stats: self.alloc.stats,
+        }
+    }
+
+    /// Calls function `f` with `args` (recursive; external handlers may
+    /// re-enter through this).
+    ///
+    /// # Errors
+    /// Propagates any trap raised during execution.
+    pub fn call(&mut self, f: FuncId, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            self.depth -= 1;
+            return Err(Trap::Mem(MemFault {
+                addr: 0,
+                kind: crate::mem::MemFaultKind::StackOverflow,
+            }));
+        }
+        let func = self.module.func(f);
+        if func.params.len() != args.len() {
+            self.depth -= 1;
+            return Err(Trap::Invalid(format!(
+                "call of {} with {} args (expects {})",
+                func.name,
+                args.len(),
+                func.params.len()
+            )));
+        }
+        let mut regs: Vec<Option<Value>> = vec![None; func.regs.len()];
+        for (&p, a) in func.params.iter().zip(args) {
+            regs[p.0 as usize] = Some(a);
+        }
+        let mark = self.mem.stack_mark();
+        let result = self.exec(f, &mut regs);
+        self.mem.stack_release(mark);
+        self.depth -= 1;
+        result
+    }
+
+    fn eval(&self, regs: &[Option<Value>], op: &Operand) -> Result<Value, Trap> {
+        match op {
+            Operand::Reg(r) => regs[r.0 as usize]
+                .ok_or_else(|| Trap::Invalid(format!("use of unset register r{}", r.0))),
+            Operand::Const(Const::Int { value, bits }) => {
+                Ok(Value::Int(normalize_int(*value, *bits)))
+            }
+            Operand::Const(Const::Float { value, .. }) => Ok(Value::Float(*value)),
+            Operand::Const(Const::Null { .. }) => Ok(Value::Ptr(0)),
+            Operand::Global(g) => Ok(Value::Ptr(self.global_addrs[g.0 as usize])),
+            Operand::Func(fid) => Ok(Value::Ptr(FUNC_BASE + u64::from(fid.0))),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(&mut self, f: FuncId, regs: &mut Vec<Option<Value>>) -> Result<Option<Value>, Trap> {
+        // The module reference outlives `self`'s mutable borrows, so copy
+        // it out once and iterate instructions without cloning them.
+        let module: &'m Module = self.module;
+        let func = module.func(f);
+        let mut bb = 0usize;
+        loop {
+            if bb >= func.blocks.len() {
+                return Err(Trap::Invalid(format!("jump to nonexistent block b{bb}")));
+            }
+            let block = &func.blocks[bb];
+            for ins in &block.instrs {
+                self.instrs += 1;
+                if self.instrs > self.max_instrs {
+                    return Err(Trap::Timeout);
+                }
+                self.step(f, regs, ins)?;
+            }
+            self.instrs += 1;
+            if self.instrs > self.max_instrs {
+                return Err(Trap::Timeout);
+            }
+            self.clock += cost::BRANCH;
+            match &block.term {
+                Term::Br(t) => bb = t.0 as usize,
+                Term::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.eval(regs, cond)?;
+                    bb = if c.is_zero() {
+                        else_bb.0 as usize
+                    } else {
+                        then_bb.0 as usize
+                    };
+                }
+                Term::Ret(v) => {
+                    self.clock += cost::RET;
+                    return match v {
+                        Some(op) => Ok(Some(self.eval(regs, op)?)),
+                        None => Ok(None),
+                    };
+                }
+                Term::Unreachable => {
+                    return Err(Trap::Invalid("executed unreachable".into()));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(
+        &mut self,
+        f: FuncId,
+        regs: &mut Vec<Option<Value>>,
+        ins: &Instr,
+    ) -> Result<(), Trap> {
+        match ins {
+            Instr::Alloca { dst, ty, count } => {
+                let n = match count {
+                    Some(op) => {
+                        let v = self.eval(regs, op)?.as_int();
+                        u64::try_from(v.max(0)).unwrap_or(0)
+                    }
+                    None => 1,
+                };
+                let esz = self
+                    .module
+                    .types
+                    .size_of(*ty)
+                    .map_err(|e| Trap::Invalid(e.to_string()))?;
+                self.clock += cost::ALU + (esz * n) / 64;
+                let addr = self.mem.stack_alloc(esz * n)?;
+                regs[dst.0 as usize] = Some(Value::Ptr(addr));
+            }
+            Instr::Malloc { dst, elem, count } => {
+                let n = self.eval(regs, count)?.as_int();
+                let n = u64::try_from(n.max(0)).unwrap_or(0);
+                let esz = self
+                    .module
+                    .types
+                    .size_of(*elem)
+                    .map_err(|e| Trap::Invalid(e.to_string()))?;
+                let size = esz.saturating_mul(n);
+                self.clock += cost::MALLOC_BASE + size / 16;
+                let p = self.alloc.malloc(&mut self.mem, size)?;
+                self.alloc.stats.peak_brk = self.alloc.stats.peak_brk.max(self.mem.brk() as u64);
+                regs[dst.0 as usize] = Some(Value::Ptr(p));
+            }
+            Instr::Free { ptr } => {
+                let p = self.eval(regs, ptr)?.as_ptr();
+                self.clock += cost::FREE;
+                match self.alloc.free(&mut self.mem, p) {
+                    FreeOutcome::Ok | FreeOutcome::SilentCorruption => {}
+                    FreeOutcome::Abort(m) => return Err(Trap::Alloc(m)),
+                }
+            }
+            Instr::Load { dst, ptr } => {
+                let a = self.eval(regs, ptr)?.as_ptr();
+                let ty = self.module.func(f).reg_ty(*dst);
+                self.clock += cost::MEM;
+                self.touch(a);
+                let v = load_scalar(&self.mem, &self.module.types, ty, a)?;
+                regs[dst.0 as usize] = Some(v);
+            }
+            Instr::Store { ptr, value } => {
+                let a = self.eval(regs, ptr)?.as_ptr();
+                let v = self.eval(regs, value)?;
+                self.clock += cost::MEM;
+                self.touch(a);
+                match value {
+                    Operand::Reg(r) => {
+                        let vty = self.module.func(f).reg_ty(*r);
+                        store_scalar(&mut self.mem, &self.module.types, vty, a, v)?;
+                    }
+                    Operand::Const(Const::Int { bits, .. }) => {
+                        let n = usize::from(*bits).div_ceil(8).max(1);
+                        let raw = (v.to_bits()).to_le_bytes();
+                        self.mem.write(a, &raw[..n])?;
+                    }
+                    Operand::Const(Const::Float { bits: 32, .. }) => {
+                        let fval = v.as_float() as f32;
+                        self.mem.write(a, &fval.to_le_bytes())?;
+                    }
+                    Operand::Const(Const::Float { .. }) => {
+                        self.mem.write(a, &v.as_float().to_le_bytes())?;
+                    }
+                    // Null, Global, Func: pointer-width stores.
+                    _ => self.mem.write_u64(a, v.to_bits())?,
+                }
+            }
+            Instr::FieldAddr { dst, base, field } => {
+                let b = self.eval(regs, base)?.as_ptr();
+                let pointee = self
+                    .operand_pointee_ty(f, base)
+                    .ok_or_else(|| Trap::Invalid("field_addr through non-pointer".into()))?;
+                let off = match self.module.types.kind(pointee) {
+                    TypeKind::Struct { .. } => self
+                        .module
+                        .types
+                        .field_offset(pointee, *field as usize)
+                        .map_err(|e| Trap::Invalid(e.to_string()))?,
+                    TypeKind::Union { .. } => 0,
+                    other => {
+                        return Err(Trap::Invalid(format!("field_addr into {other:?}")));
+                    }
+                };
+                self.clock += cost::ADDR;
+                regs[dst.0 as usize] = Some(Value::Ptr(b.wrapping_add(off)));
+            }
+            Instr::IndexAddr { dst, base, index } => {
+                let b = self.eval(regs, base)?.as_ptr();
+                let i = self.eval(regs, index)?.as_int();
+                let pointee = self
+                    .operand_pointee_ty(f, base)
+                    .ok_or_else(|| Trap::Invalid("index_addr through non-pointer".into()))?;
+                let esz = match self.module.types.kind(pointee) {
+                    TypeKind::Array { elem, .. } => self
+                        .module
+                        .types
+                        .size_of(*elem)
+                        .map_err(|e| Trap::Invalid(e.to_string()))?,
+                    other => {
+                        return Err(Trap::Invalid(format!("index_addr into {other:?}")));
+                    }
+                };
+                self.clock += cost::ADDR;
+                regs[dst.0 as usize] = Some(Value::Ptr(
+                    b.wrapping_add((esz as i64).wrapping_mul(i) as u64),
+                ));
+            }
+            Instr::Cast { dst, op, src } => {
+                let v = self.eval(regs, src)?;
+                let dty = self.module.func(f).reg_ty(*dst);
+                let dbits = match self.module.types.kind(dty) {
+                    TypeKind::Int { bits } | TypeKind::Float { bits } => *bits,
+                    _ => 64,
+                };
+                self.clock += cost::ALU;
+                let out = match op {
+                    CastOp::Bitcast => v,
+                    CastOp::PtrToInt => Value::Int(normalize_int(v.to_bits() as i64, dbits)),
+                    CastOp::IntToPtr => Value::Ptr(v.to_bits()),
+                    CastOp::Trunc | CastOp::Zext | CastOp::Sext => {
+                        let raw = v.as_int();
+                        match op {
+                            CastOp::Trunc | CastOp::Sext => Value::Int(normalize_int(raw, dbits)),
+                            _ => {
+                                // Zext: mask without sign extension, then
+                                // renormalize at destination width.
+                                let masked = if dbits == 64 {
+                                    raw
+                                } else {
+                                    raw & ((1i64 << dbits) - 1)
+                                };
+                                Value::Int(normalize_int(masked, dbits))
+                            }
+                        }
+                    }
+                    CastOp::FpToSi => Value::Int(normalize_int(v.as_float() as i64, dbits)),
+                    CastOp::SiToFp => Value::Float(v.as_int() as f64),
+                    CastOp::FpCast => {
+                        if dbits == 32 {
+                            Value::Float(f64::from(v.as_float() as f32))
+                        } else {
+                            Value::Float(v.as_float())
+                        }
+                    }
+                };
+                regs[dst.0 as usize] = Some(out);
+            }
+            Instr::Bin { dst, op, lhs, rhs } => {
+                let a = self.eval(regs, lhs)?;
+                let b = self.eval(regs, rhs)?;
+                let dty = self.module.func(f).reg_ty(*dst);
+                self.clock += cost::ALU;
+                let out = self.binop(*op, a, b, dty)?;
+                regs[dst.0 as usize] = Some(out);
+            }
+            Instr::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                let a = self.eval(regs, lhs)?;
+                let b = self.eval(regs, rhs)?;
+                self.clock += cost::ALU;
+                regs[dst.0 as usize] = Some(Value::Int(i64::from(cmp(*pred, a, b))));
+            }
+            Instr::Copy { dst, src } => {
+                let v = self.eval(regs, src)?;
+                self.clock += cost::ALU;
+                regs[dst.0 as usize] = Some(v);
+            }
+            Instr::Call { dst, callee, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(regs, a)?);
+                }
+                self.clock += cost::CALL + args.len() as u64;
+                let ret = match callee {
+                    Callee::Direct(fid) => self.call(*fid, vals)?,
+                    Callee::Indirect(op) => {
+                        let p = self.eval(regs, op)?.as_ptr();
+                        self.call_fn_ptr(p, vals)?
+                    }
+                    Callee::External(eid) => {
+                        let name = self.module.external(*eid).name.clone();
+                        let handler = self
+                            .externals
+                            .get(&name)
+                            .ok_or_else(|| Trap::Invalid(format!("unknown external {name}")))?;
+                        handler(self, &vals)?
+                    }
+                };
+                if let Some(d) = dst {
+                    regs[d.0 as usize] = Some(ret.ok_or_else(|| {
+                        Trap::Invalid("void call used as value".into())
+                    })?);
+                }
+            }
+            Instr::DpmrCheck { a, b } => {
+                let va = self.eval(regs, a)?;
+                let vb = self.eval(regs, b)?;
+                self.clock += cost::CHECK;
+                if va.to_bits() != vb.to_bits() {
+                    return Err(Trap::Dpmr {
+                        got: va.to_bits(),
+                        replica: vb.to_bits(),
+                    });
+                }
+            }
+            Instr::RandInt { dst, lo, hi } => {
+                let lo = self.eval(regs, lo)?.as_int();
+                let hi = self.eval(regs, hi)?.as_int();
+                self.clock += cost::RAND;
+                let v = self.rand_range(lo, hi);
+                regs[dst.0 as usize] = Some(Value::Int(v));
+            }
+            Instr::HeapBufSize { dst, ptr } => {
+                let p = self.eval(regs, ptr)?.as_ptr();
+                self.clock += cost::MEM;
+                self.touch(p);
+                let sz = self.alloc.buf_size(&self.mem, p)?;
+                regs[dst.0 as usize] = Some(Value::Int(sz as i64));
+            }
+            Instr::Output { value } => {
+                let v = self.eval(regs, value)?;
+                self.clock += cost::OUTPUT;
+                self.output.push(v.to_bits());
+            }
+            Instr::FiMarker { site } => {
+                if self.first_fi_cycle.is_none() {
+                    self.first_fi_cycle = Some(self.clock);
+                }
+                self.fi_sites_hit.insert(*site);
+            }
+            Instr::Abort { code } => {
+                return Err(Trap::AppAbort(*code));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pointee type of a pointer-valued operand within function `f`.
+    fn operand_pointee_ty(&self, f: FuncId, op: &Operand) -> Option<TypeId> {
+        match op {
+            Operand::Reg(r) => self.module.types.pointee(self.module.func(f).reg_ty(*r)),
+            Operand::Const(Const::Null { pointee }) => Some(*pointee),
+            Operand::Global(g) => Some(self.module.global(*g).ty),
+            Operand::Func(fid) => Some(self.module.func(*fid).ty),
+            Operand::Const(_) => None,
+        }
+    }
+
+    fn binop(&self, op: BinOp, a: Value, b: Value, dty: TypeId) -> Result<Value, Trap> {
+        let bits = match self.module.types.kind(dty) {
+            TypeKind::Int { bits } => *bits,
+            _ => 64,
+        };
+        Ok(match op {
+            BinOp::FAdd => Value::Float(a.as_float() + b.as_float()),
+            BinOp::FSub => Value::Float(a.as_float() - b.as_float()),
+            BinOp::FMul => Value::Float(a.as_float() * b.as_float()),
+            BinOp::FDiv => Value::Float(a.as_float() / b.as_float()),
+            _ => {
+                // Pointer arithmetic: operands may mix pointers and ints;
+                // the destination register's type decides the result kind.
+                let (ai, bi) = match (a, b) {
+                    (Value::Ptr(p), v) => (p as i64, v.to_bits() as i64),
+                    (v, Value::Ptr(p)) => (v.to_bits() as i64, p as i64),
+                    (x, y) => (x.as_int(), y.as_int()),
+                };
+                let r = match op {
+                    BinOp::Add => ai.wrapping_add(bi),
+                    BinOp::Sub => ai.wrapping_sub(bi),
+                    BinOp::Mul => ai.wrapping_mul(bi),
+                    BinOp::SDiv => {
+                        if bi == 0 {
+                            return Err(Trap::Invalid("division by zero".into()));
+                        }
+                        ai.wrapping_div(bi)
+                    }
+                    BinOp::UDiv => {
+                        if bi == 0 {
+                            return Err(Trap::Invalid("division by zero".into()));
+                        }
+                        ((ai as u64) / (bi as u64)) as i64
+                    }
+                    BinOp::SRem => {
+                        if bi == 0 {
+                            return Err(Trap::Invalid("remainder by zero".into()));
+                        }
+                        ai.wrapping_rem(bi)
+                    }
+                    BinOp::URem => {
+                        if bi == 0 {
+                            return Err(Trap::Invalid("remainder by zero".into()));
+                        }
+                        ((ai as u64) % (bi as u64)) as i64
+                    }
+                    BinOp::And => ai & bi,
+                    BinOp::Or => ai | bi,
+                    BinOp::Xor => ai ^ bi,
+                    BinOp::Shl => ai.wrapping_shl(bi as u32 & 63),
+                    BinOp::LShr => ((ai as u64).wrapping_shr(bi as u32 & 63)) as i64,
+                    BinOp::AShr => ai.wrapping_shr(bi as u32 & 63),
+                    _ => unreachable!(),
+                };
+                if self.module.types.is_pointer(dty) {
+                    // Pointer arithmetic (or an int result retyped as a
+                    // pointer by the program): keep the address value.
+                    Value::Ptr(r as u64)
+                } else {
+                    Value::Int(normalize_int(r, bits))
+                }
+            }
+        })
+    }
+}
+
+fn cmp(pred: CmpPred, a: Value, b: Value) -> bool {
+    use CmpPred::*;
+    match pred {
+        FOlt | FOle | FOgt | FOge | FOeq | FOne => {
+            let (x, y) = (a.as_float(), b.as_float());
+            match pred {
+                FOlt => x < y,
+                FOle => x <= y,
+                FOgt => x > y,
+                FOge => x >= y,
+                FOeq => x == y,
+                FOne => x != y,
+                _ => unreachable!(),
+            }
+        }
+        Eq => a.to_bits() == b.to_bits(),
+        Ne => a.to_bits() != b.to_bits(),
+        Slt | Sle | Sgt | Sge => {
+            let (x, y) = (a.to_bits() as i64, b.to_bits() as i64);
+            match pred {
+                Slt => x < y,
+                Sle => x <= y,
+                Sgt => x > y,
+                Sge => x >= y,
+                _ => unreachable!(),
+            }
+        }
+        Ult | Ule | Ugt | Uge => {
+            let (x, y) = (a.to_bits(), b.to_bits());
+            match pred {
+                Ult => x < y,
+                Ule => x <= y,
+                Ugt => x > y,
+                Uge => x >= y,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Convenience entry point: builds an interpreter with the base external
+/// registry and runs the module's entry function.
+pub fn run_with_limits(module: &Module, cfg: &RunConfig) -> RunOutcome {
+    let registry = Rc::new(Registry::with_base());
+    run_with_registry(module, cfg, registry)
+}
+
+/// Like [`run_with_limits`] but with a caller-supplied registry (used when
+/// DPMR external-function wrappers are installed).
+pub fn run_with_registry(module: &Module, cfg: &RunConfig, registry: Rc<Registry>) -> RunOutcome {
+    let mut interp = Interp::new(module, cfg, registry);
+    interp.run(cfg.args.clone())
+}
+
+// `scalar_bytes` is re-exported for external handlers that size copies.
+pub use crate::value::scalar_bytes as scalar_width;
+const _: fn(&dpmr_ir::types::TypeTable, TypeId) -> usize = scalar_bytes;

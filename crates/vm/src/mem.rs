@@ -1,0 +1,402 @@
+//! Simulated byte-addressable address space.
+//!
+//! A single flat 64-bit address space with three mapped regions — global
+//! variables, heap, and stack — separated by large unmapped gaps. Accesses
+//! outside mapped regions trap, which is the VM's model of a hardware
+//! memory fault (the "crash" form of the paper's *natural detection*,
+//! Sec. 3.6). Accesses *inside* mapped regions always succeed, so memory
+//! errors that stay within mapped memory silently corrupt state — exactly
+//! the behaviour DPMR exists to detect.
+//!
+//! Freshly allocated memory (heap blocks, stack frames) is filled with
+//! deterministic pseudo-random garbage derived from a per-run seed, so
+//! uninitialized reads return arbitrary values that differ between an
+//! application object and its replica (the data-diversity effect DieHard
+//! and DPMR both rely on for uninitialized-read detection).
+
+use std::fmt;
+
+/// Base address of the global-variable region.
+pub const GLOBAL_BASE: u64 = 0x0001_0000;
+/// Base address of the heap region.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+/// Base address of the stack region (grows upward).
+pub const STACK_BASE: u64 = 0x7000_0000;
+
+/// Why a memory access trapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFaultKind {
+    /// Dereference in the protected null page (`addr < 0x1000`).
+    NullPage,
+    /// Address not inside any mapped region.
+    Unmapped,
+    /// Stack exhausted while pushing a frame.
+    StackOverflow,
+}
+
+/// A trapped memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: u64,
+    /// Fault class.
+    pub kind: MemFaultKind,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} at address {:#x}", self.kind, self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Sizing and seeding of the address space.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Capacity of the global region in bytes.
+    pub global_capacity: usize,
+    /// Capacity of the heap region in bytes.
+    pub heap_capacity: usize,
+    /// Capacity of the stack region in bytes.
+    pub stack_capacity: usize,
+    /// Seed for the garbage fill of fresh allocations.
+    pub fill_seed: u64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            global_capacity: 1 << 20,
+            heap_capacity: 64 << 20,
+            stack_capacity: 4 << 20,
+            fill_seed: 0x5eed_0001,
+        }
+    }
+}
+
+enum Region {
+    Global,
+    Heap,
+    Stack,
+}
+
+/// The simulated memory.
+pub struct Mem {
+    globals: Vec<u8>,
+    globals_len: usize,
+    heap: Vec<u8>,
+    brk: usize,
+    stack: Vec<u8>,
+    sp: usize,
+    fill_seed: u64,
+}
+
+impl fmt::Debug for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mem {{ globals: {}, brk: {}, sp: {} }}",
+            self.globals_len, self.brk, self.sp
+        )
+    }
+}
+
+impl Mem {
+    /// Creates an address space from a configuration.
+    pub fn new(cfg: &MemConfig) -> Mem {
+        Mem {
+            globals: vec![0; cfg.global_capacity],
+            globals_len: 0,
+            heap: vec![0; cfg.heap_capacity],
+            brk: 0,
+            stack: vec![0; cfg.stack_capacity],
+            sp: 0,
+            fill_seed: cfg.fill_seed,
+        }
+    }
+
+    fn locate(&self, addr: u64, len: usize) -> Result<(Region, usize), MemFault> {
+        let len = len as u64;
+        if addr < 0x1000 {
+            return Err(MemFault {
+                addr,
+                kind: MemFaultKind::NullPage,
+            });
+        }
+        if addr >= GLOBAL_BASE && addr + len <= GLOBAL_BASE + self.globals_len as u64 {
+            return Ok((Region::Global, (addr - GLOBAL_BASE) as usize));
+        }
+        if addr >= HEAP_BASE && addr + len <= HEAP_BASE + self.brk as u64 {
+            return Ok((Region::Heap, (addr - HEAP_BASE) as usize));
+        }
+        if addr >= STACK_BASE && addr + len <= STACK_BASE + self.stack.len() as u64 {
+            return Ok((Region::Stack, (addr - STACK_BASE) as usize));
+        }
+        Err(MemFault {
+            addr,
+            kind: MemFaultKind::Unmapped,
+        })
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    /// Traps if the range is not fully mapped.
+    pub fn read(&self, addr: u64, len: usize) -> Result<&[u8], MemFault> {
+        let (r, off) = self.locate(addr, len)?;
+        let buf = match r {
+            Region::Global => &self.globals,
+            Region::Heap => &self.heap,
+            Region::Stack => &self.stack,
+        };
+        Ok(&buf[off..off + len])
+    }
+
+    /// Writes bytes at `addr`.
+    ///
+    /// # Errors
+    /// Traps if the range is not fully mapped.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let (r, off) = self.locate(addr, bytes.len())?;
+        let buf = match r {
+            Region::Global => &mut self.globals,
+            Region::Heap => &mut self.heap,
+            Region::Stack => &mut self.stack,
+        };
+        buf[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Traps if unmapped.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemFault> {
+        let b = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Traps if unmapped.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Traps if unmapped.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, MemFault> {
+        let b = self.read(addr, 4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Traps if unmapped.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Allocates `size` bytes in the global region (bump allocation,
+    /// 16-byte aligned). Returns the address.
+    ///
+    /// # Panics
+    /// Panics if the global region is exhausted (a configuration error,
+    /// not a simulated fault).
+    pub fn alloc_global(&mut self, size: u64) -> u64 {
+        let off = self.globals_len.next_multiple_of(16);
+        let end = off + size as usize;
+        assert!(end <= self.globals.len(), "global region exhausted");
+        self.globals_len = end;
+        GLOBAL_BASE + off as u64
+    }
+
+    /// Current stack pointer offset (frame save/restore token).
+    pub fn stack_mark(&self) -> usize {
+        self.sp
+    }
+
+    /// Restores the stack pointer to a previous mark (frame pop).
+    pub fn stack_release(&mut self, mark: usize) {
+        self.sp = mark;
+    }
+
+    /// Allocates `size` bytes on the stack (within the current frame),
+    /// 16-byte aligned, garbage-filled.
+    ///
+    /// # Errors
+    /// Traps with [`MemFaultKind::StackOverflow`] when the stack region is
+    /// exhausted.
+    pub fn stack_alloc(&mut self, size: u64) -> Result<u64, MemFault> {
+        let off = self.sp.next_multiple_of(16);
+        let end = off + size as usize;
+        if end > self.stack.len() {
+            return Err(MemFault {
+                addr: STACK_BASE + off as u64,
+                kind: MemFaultKind::StackOverflow,
+            });
+        }
+        self.sp = end;
+        let addr = STACK_BASE + off as u64;
+        self.garbage_fill(addr, size as usize)
+            .expect("fresh stack range is mapped");
+        Ok(addr)
+    }
+
+    /// Mapped heap length (allocator break).
+    pub fn brk(&self) -> usize {
+        self.brk
+    }
+
+    /// Extends the mapped heap by `grow` bytes.
+    ///
+    /// Returns the previous break address, or `None` when the heap
+    /// capacity is exhausted (malloc will return null).
+    pub fn grow_heap(&mut self, grow: usize) -> Option<u64> {
+        if self.brk + grow > self.heap.len() {
+            return None;
+        }
+        let addr = HEAP_BASE + self.brk as u64;
+        self.brk += grow;
+        Some(addr)
+    }
+
+    /// Fills `[addr, addr+len)` with deterministic pseudo-random garbage.
+    ///
+    /// # Errors
+    /// Traps if the range is unmapped.
+    pub fn garbage_fill(&mut self, addr: u64, len: usize) -> Result<(), MemFault> {
+        let mut x = self
+            .fill_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(addr | 1);
+        let mut bytes = vec![0u8; len];
+        for b in &mut bytes {
+            // xorshift64*
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            *b = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8;
+        }
+        self.write(addr, &bytes)
+    }
+
+    /// Deterministic coin flip derived from the fill seed and an address
+    /// (used by the allocator to decide crash-vs-corrupt on invalid frees).
+    pub fn coin(&self, addr: u64) -> bool {
+        let mut x = self.fill_seed ^ addr.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Mem {
+        Mem::new(&MemConfig {
+            global_capacity: 4096,
+            heap_capacity: 65536,
+            stack_capacity: 4096,
+            fill_seed: 7,
+        })
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let m = mem();
+        let e = m.read(0, 8).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::NullPage);
+        let e = m.read(0xfff, 1).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::NullPage);
+    }
+
+    #[test]
+    fn unmapped_gap_faults() {
+        let m = mem();
+        let e = m.read(0x5000_0000, 4).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::Unmapped);
+    }
+
+    #[test]
+    fn heap_mapping_follows_brk() {
+        let mut m = mem();
+        assert!(m.read(HEAP_BASE, 1).is_err(), "nothing mapped before brk");
+        let a = m.grow_heap(64).unwrap();
+        assert_eq!(a, HEAP_BASE);
+        assert!(m.read(HEAP_BASE, 64).is_ok());
+        assert!(m.read(HEAP_BASE + 63, 1).is_ok());
+        assert!(m.read(HEAP_BASE + 64, 1).is_err(), "beyond brk faults");
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = mem();
+        m.grow_heap(128).unwrap();
+        m.write_u64(HEAP_BASE + 8, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(HEAP_BASE + 8).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn straddling_access_faults() {
+        let mut m = mem();
+        m.grow_heap(16).unwrap();
+        assert!(m.read(HEAP_BASE + 12, 8).is_err());
+    }
+
+    #[test]
+    fn global_bump_allocation() {
+        let mut m = mem();
+        let a = m.alloc_global(10);
+        let b = m.alloc_global(10);
+        assert_eq!(a, GLOBAL_BASE);
+        assert_eq!(b, GLOBAL_BASE + 16);
+        assert!(m.read(a, 10).is_ok());
+        assert!(m.write_u64(b, 1).is_ok());
+    }
+
+    #[test]
+    fn stack_frames_push_and_pop() {
+        let mut m = mem();
+        let mark = m.stack_mark();
+        let a = m.stack_alloc(100).unwrap();
+        assert_eq!(a, STACK_BASE);
+        let b = m.stack_alloc(8).unwrap();
+        assert!(b >= a + 100);
+        m.stack_release(mark);
+        let c = m.stack_alloc(8).unwrap();
+        assert_eq!(c, STACK_BASE);
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        let mut m = mem();
+        let e = m.stack_alloc(1 << 20).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::StackOverflow);
+    }
+
+    #[test]
+    fn garbage_is_deterministic_and_address_dependent() {
+        let mut m1 = mem();
+        let mut m2 = mem();
+        m1.grow_heap(64).unwrap();
+        m2.grow_heap(64).unwrap();
+        m1.garbage_fill(HEAP_BASE, 32).unwrap();
+        m2.garbage_fill(HEAP_BASE, 32).unwrap();
+        assert_eq!(m1.read(HEAP_BASE, 32).unwrap(), m2.read(HEAP_BASE, 32).unwrap());
+        m1.garbage_fill(HEAP_BASE + 32, 32).unwrap();
+        assert_ne!(
+            m1.read(HEAP_BASE, 32).unwrap().to_vec(),
+            m1.read(HEAP_BASE + 32, 32).unwrap().to_vec(),
+            "different addresses get different garbage"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Runtime scalar values and their memory encoding.
+
+use crate::mem::{Mem, MemFault};
+use dpmr_ir::types::{TypeId, TypeKind, TypeTable};
+
+/// A runtime scalar: the only kinds of values a virtual register may hold
+/// (paper Ch. 2 assumptions: integers, floats, pointers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer (stored sign-extended to 64 bits).
+    Int(i64),
+    /// Floating-point (stored as f64; 32-bit floats round at loads/stores).
+    Float(f64),
+    /// Pointer (a simulated address).
+    Ptr(u64),
+}
+
+impl Value {
+    /// Raw 64-bit image used for bit-exact comparison (`dpmr.check`) and
+    /// the output channel.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Int(v) => v as u64,
+            Value::Float(f) => f.to_bits(),
+            Value::Ptr(p) => p,
+        }
+    }
+
+    /// Integer view.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// Pointer view.
+    ///
+    /// # Panics
+    /// Panics if the value is not a pointer.
+    pub fn as_ptr(self) -> u64 {
+        match self {
+            Value::Ptr(p) => p,
+            other => panic!("expected pointer, got {other:?}"),
+        }
+    }
+
+    /// Float view.
+    ///
+    /// # Panics
+    /// Panics if the value is not a float.
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Float(f) => f,
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    /// True for `Int(0)`, `Ptr(0)`, and `Float(0.0)`.
+    pub fn is_zero(self) -> bool {
+        match self {
+            Value::Int(v) => v == 0,
+            Value::Float(f) => f == 0.0,
+            Value::Ptr(p) => p == 0,
+        }
+    }
+}
+
+/// Sign-extends the low `bits` of `v`.
+pub fn normalize_int(v: i64, bits: u16) -> i64 {
+    match bits {
+        64 => v,
+        1 => v & 1,
+        _ => {
+            let shift = 64 - u32::from(bits);
+            (v << shift) >> shift
+        }
+    }
+}
+
+/// Number of bytes a scalar of type `ty` occupies in memory.
+///
+/// # Panics
+/// Panics if `ty` is not scalar.
+pub fn scalar_bytes(tt: &TypeTable, ty: TypeId) -> usize {
+    match tt.kind(ty) {
+        TypeKind::Int { bits } => usize::from(*bits).div_ceil(8).max(1),
+        TypeKind::Float { bits } => usize::from(*bits) / 8,
+        TypeKind::Pointer { .. } => 8,
+        other => panic!("scalar_bytes of non-scalar {other:?}"),
+    }
+}
+
+/// Loads a scalar of type `ty` from memory.
+///
+/// # Errors
+/// Traps if the range is unmapped.
+pub fn load_scalar(mem: &Mem, tt: &TypeTable, ty: TypeId, addr: u64) -> Result<Value, MemFault> {
+    match tt.kind(ty) {
+        TypeKind::Int { bits } => {
+            let n = usize::from(*bits).div_ceil(8).max(1);
+            let b = mem.read(addr, n)?;
+            let mut raw = [0u8; 8];
+            raw[..n].copy_from_slice(b);
+            Ok(Value::Int(normalize_int(
+                i64::from_le_bytes(raw),
+                *bits,
+            )))
+        }
+        TypeKind::Float { bits: 32 } => {
+            let b = mem.read(addr, 4)?;
+            let f = f32::from_le_bytes(b.try_into().expect("4 bytes"));
+            Ok(Value::Float(f64::from(f)))
+        }
+        TypeKind::Float { .. } => {
+            let b = mem.read(addr, 8)?;
+            Ok(Value::Float(f64::from_le_bytes(
+                b.try_into().expect("8 bytes"),
+            )))
+        }
+        TypeKind::Pointer { .. } => Ok(Value::Ptr(mem.read_u64(addr)?)),
+        other => panic!("load of non-scalar type {other:?}"),
+    }
+}
+
+/// Stores a scalar of type `ty` to memory.
+///
+/// # Errors
+/// Traps if the range is unmapped.
+pub fn store_scalar(
+    mem: &mut Mem,
+    tt: &TypeTable,
+    ty: TypeId,
+    addr: u64,
+    v: Value,
+) -> Result<(), MemFault> {
+    match tt.kind(ty) {
+        TypeKind::Int { bits } => {
+            let n = usize::from(*bits).div_ceil(8).max(1);
+            let raw = match v {
+                Value::Int(i) => i as u64,
+                // Type-punned stores can happen in corrupted executions.
+                other => other.to_bits(),
+            };
+            mem.write(addr, &raw.to_le_bytes()[..n])
+        }
+        TypeKind::Float { bits: 32 } => {
+            let f = match v {
+                Value::Float(f) => f as f32,
+                other => f32::from_bits(other.to_bits() as u32),
+            };
+            mem.write(addr, &f.to_le_bytes())
+        }
+        TypeKind::Float { .. } => {
+            let f = match v {
+                Value::Float(f) => f,
+                other => f64::from_bits(other.to_bits()),
+            };
+            mem.write(addr, &f.to_le_bytes())
+        }
+        TypeKind::Pointer { .. } => {
+            let p = match v {
+                Value::Ptr(p) => p,
+                other => other.to_bits(),
+            };
+            mem.write_u64(addr, p)
+        }
+        other => panic!("store of non-scalar type {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{MemConfig, HEAP_BASE};
+
+    #[test]
+    fn normalize_sign_extends() {
+        assert_eq!(normalize_int(0xFF, 8), -1);
+        assert_eq!(normalize_int(0x7F, 8), 127);
+        assert_eq!(normalize_int(0xFFFF_FFFF, 32), -1);
+        assert_eq!(normalize_int(-1, 64), -1);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut tt = TypeTable::new();
+        let i8t = tt.int(8);
+        let i32t = tt.int(32);
+        let f32t = tt.float(32);
+        let f64t = tt.float(64);
+        let p = tt.void_ptr();
+
+        let mut mem = Mem::new(&MemConfig::default());
+        mem.grow_heap(64).unwrap();
+        let a = HEAP_BASE;
+
+        store_scalar(&mut mem, &tt, i8t, a, Value::Int(-5)).unwrap();
+        assert_eq!(load_scalar(&mem, &tt, i8t, a).unwrap(), Value::Int(-5));
+
+        store_scalar(&mut mem, &tt, i32t, a, Value::Int(123_456)).unwrap();
+        assert_eq!(load_scalar(&mem, &tt, i32t, a).unwrap(), Value::Int(123_456));
+
+        store_scalar(&mut mem, &tt, f64t, a, Value::Float(3.25)).unwrap();
+        assert_eq!(load_scalar(&mem, &tt, f64t, a).unwrap(), Value::Float(3.25));
+
+        store_scalar(&mut mem, &tt, f32t, a, Value::Float(1.5)).unwrap();
+        assert_eq!(load_scalar(&mem, &tt, f32t, a).unwrap(), Value::Float(1.5));
+
+        store_scalar(&mut mem, &tt, p, a, Value::Ptr(0xdead_0000)).unwrap();
+        assert_eq!(load_scalar(&mem, &tt, p, a).unwrap(), Value::Ptr(0xdead_0000));
+    }
+
+    #[test]
+    fn narrow_int_store_truncates() {
+        let mut tt = TypeTable::new();
+        let i8t = tt.int(8);
+        let mut mem = Mem::new(&MemConfig::default());
+        mem.grow_heap(64).unwrap();
+        store_scalar(&mut mem, &tt, i8t, HEAP_BASE, Value::Int(0x1FF)).unwrap();
+        assert_eq!(
+            load_scalar(&mem, &tt, i8t, HEAP_BASE).unwrap(),
+            Value::Int(-1)
+        );
+    }
+}

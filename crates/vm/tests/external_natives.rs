@@ -1,0 +1,198 @@
+//! Behaviour of the native (non-wrapper) libc subset: these implement the
+//! "original behaviour" half of the external-function-wrapper contract,
+//! so their C-faithfulness matters.
+
+use dpmr_ir::prelude::*;
+use dpmr_vm::prelude::*;
+
+fn with_string(b: &mut FunctionBuilder<'_>, bytes: &[u8]) -> RegId {
+    let i8t = b.module.types.int(8);
+    let arr = b.module.types.unsized_array(i8t);
+    let sp = b.module.types.pointer(arr);
+    let raw = b.malloc(i8t, Const::i64(bytes.len() as i64 + 1).into(), "s");
+    let s = b.cast(CastOp::Bitcast, sp, raw.into(), "sArr");
+    for (i, &ch) in bytes.iter().enumerate() {
+        let p = b.index_addr(s.into(), Const::i64(i as i64).into(), "p");
+        b.store(p.into(), Const::i8(ch as i8).into());
+    }
+    let end = b.index_addr(s.into(), Const::i64(bytes.len() as i64).into(), "end");
+    b.store(end.into(), Const::i8(0).into());
+    s
+}
+
+fn build_and_run(f: impl FnOnce(&mut FunctionBuilder<'_>)) -> RunOutcome {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    f(&mut b);
+    b.ret(Some(Const::i64(0).into()));
+    let func = b.finish();
+    m.entry = Some(func);
+    run_with_limits(&m, &RunConfig::default())
+}
+
+fn declare_str2(m: &mut Module, name: &str) -> ExternalId {
+    let i64t = m.types.int(64);
+    let i8t = m.types.int(8);
+    let arr = m.types.unsized_array(i8t);
+    let sp = m.types.pointer(arr);
+    let ty = m.types.function(i64t, vec![sp, sp]);
+    m.declare_external(name, ty)
+}
+
+#[test]
+fn strcmp_orders_like_c() {
+    let out = build_and_run(|b| {
+        let i64t = b.module.types.int(64);
+        let strcmp = declare_str2(b.module, "strcmp");
+        let a = with_string(b, b"apple");
+        let c = with_string(b, b"apricot");
+        let e = with_string(b, b"apple");
+        for (x, y) in [(a, c), (c, a), (a, e)] {
+            let r = b
+                .call(
+                    Callee::External(strcmp),
+                    vec![x.into(), y.into()],
+                    Some(i64t),
+                    "r",
+                )
+                .expect("r");
+            // Emit the sign only (C guarantees sign, not magnitude).
+            let neg = b.cmp(CmpPred::Slt, r.into(), Const::i64(0).into());
+            let pos = b.cmp(CmpPred::Sgt, r.into(), Const::i64(0).into());
+            let negw = b.cast(CastOp::Zext, i64t, neg.into(), "negw");
+            let posw = b.cast(CastOp::Zext, i64t, pos.into(), "posw");
+            b.output(negw.into());
+            b.output(posw.into());
+        }
+    });
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    // apple < apricot; apricot > apple; apple == apple.
+    assert_eq!(out.output, vec![1, 0, 0, 1, 0, 0]);
+}
+
+#[test]
+fn atoi_handles_signs_and_junk() {
+    let out = build_and_run(|b| {
+        let i64t = b.module.types.int(64);
+        let i8t = b.module.types.int(8);
+        let arr = b.module.types.unsized_array(i8t);
+        let sp = b.module.types.pointer(arr);
+        let ty = b.module.types.function(i64t, vec![sp]);
+        let atoi = b.module.declare_external("atoi", ty);
+        for s in [&b"123"[..], b"-45", b"+7", b"12ab", b"x9"] {
+            let p = with_string(b, s);
+            let r = b
+                .call(Callee::External(atoi), vec![p.into()], Some(i64t), "r")
+                .expect("r");
+            b.output(r.into());
+        }
+    });
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    let vals: Vec<i64> = out.output.iter().map(|&v| v as i64).collect();
+    assert_eq!(vals, vec![123, -45, 7, 12, 0]);
+}
+
+#[test]
+fn memmove_handles_overlap() {
+    let out = build_and_run(|b| {
+        let i64t = b.module.types.int(64);
+        let i8t = b.module.types.int(8);
+        let arr = b.module.types.unsized_array(i8t);
+        let sp = b.module.types.pointer(arr);
+        let vp = b.module.types.void_ptr();
+        let mv_ty = b.module.types.function(vp, vec![vp, vp, i64t]);
+        let memmove = b.module.declare_external("memmove", mv_ty);
+        let s = with_string(b, b"abcdefgh");
+        // Shift left by two with overlap: "cdefgh" into the front.
+        let src = b.index_addr(s.into(), Const::i64(2).into(), "src");
+        let dv = b.cast(CastOp::Bitcast, vp, s.into(), "dv");
+        let sv = b.cast(CastOp::Bitcast, vp, src.into(), "sv");
+        b.call(
+            Callee::External(memmove),
+            vec![dv.into(), sv.into(), Const::i64(6).into()],
+            Some(vp),
+            "",
+        );
+        let _ = sp;
+        for i in 0..6 {
+            let p = b.index_addr(s.into(), Const::i64(i).into(), "p");
+            let v = b.load(i8t, p.into(), "v");
+            let w = b.cast(CastOp::Zext, i64t, v.into(), "w");
+            b.output(w.into());
+        }
+    });
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    let got: Vec<u8> = out.output.iter().map(|&v| v as u8).collect();
+    assert_eq!(&got, b"cdefgh");
+}
+
+#[test]
+fn strlen_of_corrupted_string_faults_realistically() {
+    // A string whose terminator was destroyed scans off the end of mapped
+    // heap memory and crashes — the natural-detection path external reads
+    // can take.
+    let out = build_and_run(|b| {
+        let i64t = b.module.types.int(64);
+        let i8t = b.module.types.int(8);
+        let arr = b.module.types.unsized_array(i8t);
+        let sp = b.module.types.pointer(arr);
+        let ty = b.module.types.function(i64t, vec![sp]);
+        let strlen = b.module.declare_external("strlen", ty);
+        let s = with_string(b, b"hi");
+        // Fill the ENTIRE rest of the block (and everything the allocator
+        // rounds to) with non-zero bytes: strlen walks until unmapped.
+        b.for_loop(Const::i64(0).into(), Const::i64(24).into(), |b, i| {
+            let p = b.index_addr(s.into(), i.into(), "p");
+            b.store(p.into(), Const::i8(0x41).into());
+        });
+        let r = b
+            .call(Callee::External(strlen), vec![s.into()], Some(i64t), "r")
+            .expect("r");
+        b.output(r.into());
+    });
+    assert!(
+        matches!(out.status, ExitStatus::Crash(_)),
+        "unterminated scan must fault: {:?}",
+        out.status
+    );
+}
+
+#[test]
+fn sqrt_matches_host_semantics() {
+    let out = build_and_run(|b| {
+        let i64t = b.module.types.int(64);
+        let f64t = b.module.types.float(64);
+        let ty = b.module.types.function(f64t, vec![f64t]);
+        let sqrt = b.module.declare_external("sqrt", ty);
+        let r = b
+            .call(
+                Callee::External(sqrt),
+                vec![Const::f64(2.0).into()],
+                Some(f64t),
+                "r",
+            )
+            .expect("r");
+        let scaled = b.bin(BinOp::FMul, f64t, r.into(), Const::f64(1.0e6).into());
+        let i = b.cast(CastOp::FpToSi, i64t, scaled.into(), "i");
+        b.output(i.into());
+    });
+    assert_eq!(out.output[0], 1_414_213);
+}
+
+#[test]
+fn unknown_external_is_an_invalid_exec_crash() {
+    let out = build_and_run(|b| {
+        let i64t = b.module.types.int(64);
+        let ty = b.module.types.function(i64t, vec![]);
+        let mystery = b.module.declare_external("no_such_function", ty);
+        let r = b
+            .call(Callee::External(mystery), vec![], Some(i64t), "r")
+            .expect("r");
+        b.output(r.into());
+    });
+    assert!(matches!(
+        out.status,
+        ExitStatus::Crash(CrashKind::InvalidExec(_))
+    ));
+}

@@ -1,0 +1,482 @@
+//! Interpreter behaviour tests: one test per instruction family, plus the
+//! trap taxonomy (memory faults, allocator aborts, invalid execution,
+//! timeouts) that the evaluation's natural-detection metric depends on.
+
+use dpmr_ir::prelude::*;
+use dpmr_vm::prelude::*;
+
+fn module_with_main(build: impl FnOnce(&mut FunctionBuilder<'_>)) -> Module {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    build(&mut b);
+    let f = b.finish();
+    m.entry = Some(f);
+    m
+}
+
+fn run(m: &Module) -> RunOutcome {
+    run_with_limits(m, &RunConfig::default())
+}
+
+#[test]
+fn arithmetic_width_semantics() {
+    let m = module_with_main(|b| {
+        let i8t = b.module.types.int(8);
+        let i64t = b.module.types.int(64);
+        // i8 overflow wraps: 127 + 1 = -128.
+        let x = b.bin(BinOp::Add, i8t, Const::i8(127).into(), Const::i8(1).into());
+        let wide = b.cast(CastOp::Sext, i64t, x.into(), "wide");
+        b.output(wide.into());
+        // Unsigned shift of a negative value.
+        let sh = b.bin(
+            BinOp::LShr,
+            i64t,
+            Const::i64(-1).into(),
+            Const::i64(60).into(),
+        );
+        b.output(sh.into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    assert_eq!(out.output[0] as i64, -128);
+    assert_eq!(out.output[1], 15);
+}
+
+#[test]
+fn division_by_zero_crashes() {
+    let m = module_with_main(|b| {
+        let i64t = b.module.types.int(64);
+        let z = b.bin(BinOp::SDiv, i64t, Const::i64(1).into(), Const::i64(0).into());
+        b.output(z.into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert!(matches!(
+        out.status,
+        ExitStatus::Crash(CrashKind::InvalidExec(_))
+    ));
+    assert!(out.status.is_natural_detection());
+}
+
+#[test]
+fn float_roundtrip_through_f32_loses_precision() {
+    let m = module_with_main(|b| {
+        let f32t = b.module.types.float(32);
+        let f64t = b.module.types.float(64);
+        let i64t = b.module.types.int(64);
+        let p = b.alloca(f32t, "slot");
+        b.store(
+            p.into(),
+            Const::Float {
+                value: 1.000000119,
+                bits: 32,
+            }
+            .into(),
+        );
+        let v = b.load(f32t, p.into(), "v");
+        let wide = b.cast(CastOp::FpCast, f64t, v.into(), "wide");
+        let scaled = b.bin(
+            BinOp::FMul,
+            f64t,
+            wide.into(),
+            Const::f64(1.0e9).into(),
+        );
+        let i = b.cast(CastOp::FpToSi, i64t, scaled.into(), "i");
+        b.output(i.into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    // f32 rounds 1.000000119 to exactly 1.0000001192...
+    assert_eq!(out.output[0], 1_000_000_119);
+}
+
+#[test]
+fn struct_field_addressing_respects_layout() {
+    let m = module_with_main(|b| {
+        let i8t = b.module.types.int(8);
+        let i64t = b.module.types.int(64);
+        let s = b.module.types.struct_type("s", vec![i8t, i64t]);
+        let p = b.alloca(s, "s");
+        let f0 = b.field_addr(p.into(), 0, "f0");
+        b.store(f0.into(), Const::i8(7).into());
+        let f1 = b.field_addr(p.into(), 1, "f1");
+        b.store(f1.into(), Const::i64(1234).into());
+        let v0 = b.load(i8t, f0.into(), "v0");
+        let v1 = b.load(i64t, f1.into(), "v1");
+        let v0w = b.cast(CastOp::Sext, i64t, v0.into(), "v0w");
+        b.output(v0w.into());
+        b.output(v1.into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.output, vec![7, 1234]);
+}
+
+#[test]
+fn union_members_share_storage() {
+    let m = module_with_main(|b| {
+        let i64t = b.module.types.int(64);
+        let f64t = b.module.types.float(64);
+        let u = b.module.types.union_type("u", vec![i64t, f64t]);
+        let p = b.alloca(u, "u");
+        let fi = b.field_addr(p.into(), 0, "fi");
+        let ff = b.field_addr(p.into(), 1, "ff");
+        b.store(ff.into(), Const::f64(1.0).into());
+        let raw = b.load(i64t, fi.into(), "raw");
+        b.output(raw.into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.output[0], 1.0f64.to_bits());
+}
+
+#[test]
+fn indirect_call_through_function_pointer() {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let callee = {
+        let mut b = FunctionBuilder::new(&mut m, "twice", i64t, &[("x", i64t)]);
+        let x = b.param(0);
+        let y = b.bin(BinOp::Mul, i64t, x.into(), Const::i64(2).into());
+        b.ret(Some(y.into()));
+        b.finish()
+    };
+    let main = {
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let fn_ty = b.module.types.function(i64t, vec![i64t]);
+        let fp_ty = b.module.types.pointer(fn_ty);
+        let fp = b.copy(fp_ty, Operand::Func(callee), "fp");
+        let r = b
+            .call(
+                Callee::Indirect(fp.into()),
+                vec![Const::i64(21).into()],
+                Some(i64t),
+                "r",
+            )
+            .expect("r");
+        b.output(r.into());
+        b.ret(Some(Const::i64(0).into()));
+        b.finish()
+    };
+    m.entry = Some(main);
+    let out = run(&m);
+    assert_eq!(out.output, vec![42]);
+}
+
+#[test]
+fn indirect_call_of_bad_pointer_crashes() {
+    let m = module_with_main(|b| {
+        let i64t = b.module.types.int(64);
+        let fn_ty = b.module.types.function(i64t, vec![]);
+        let fp_ty = b.module.types.pointer(fn_ty);
+        let bogus = b.cast(CastOp::IntToPtr, fp_ty, Const::i64(0x1234).into(), "bogus");
+        let r = b.call(Callee::Indirect(bogus.into()), vec![], Some(i64t), "r");
+        b.output(r.expect("reg").into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert!(matches!(
+        out.status,
+        ExitStatus::Crash(CrashKind::InvalidExec(_))
+    ));
+}
+
+#[test]
+fn deep_recursion_overflows_stack() {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    // fn rec(n) { if n == 0 { 0 } else { rec(n - 1) } } — placeholder
+    // built by self-call: create with a body that calls function id 0.
+    let mut b = FunctionBuilder::new(&mut m, "rec", i64t, &[("n", i64t)]);
+    let n = b.param(0);
+    // Burn stack per frame.
+    let _big = b.alloca_n(i64t, Const::i64(64).into(), "frame");
+    let done = b.cmp(CmpPred::Eq, n.into(), Const::i64(0).into());
+    let base_bb = b.block();
+    let rec_bb = b.block();
+    b.cond_br(done.into(), base_bb, rec_bb);
+    b.switch_to(base_bb);
+    b.ret(Some(Const::i64(0).into()));
+    b.switch_to(rec_bb);
+    let n1 = b.bin(BinOp::Sub, i64t, n.into(), Const::i64(1).into());
+    let r = b
+        .call(Callee::Direct(FuncId(0)), vec![n1.into()], Some(i64t), "r")
+        .expect("r");
+    b.ret(Some(r.into()));
+    let rec = b.finish();
+    assert_eq!(rec, FuncId(0));
+    let main = {
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let r = b
+            .call(
+                Callee::Direct(rec),
+                vec![Const::i64(1_000_000).into()],
+                Some(i64t),
+                "r",
+            )
+            .expect("r");
+        b.ret(Some(r.into()));
+        b.finish()
+    };
+    m.entry = Some(main);
+    let out = run(&m);
+    assert!(
+        matches!(
+            out.status,
+            ExitStatus::Crash(CrashKind::MemFault(MemFault {
+                kind: MemFaultKind::StackOverflow,
+                ..
+            }))
+        ),
+        "{:?}",
+        out.status
+    );
+}
+
+#[test]
+fn infinite_loop_times_out() {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let loop_bb = b.block();
+    b.br(loop_bb);
+    b.switch_to(loop_bb);
+    b.br(loop_bb);
+    let f = b.finish();
+    m.entry = Some(f);
+    let mut rc = RunConfig::default();
+    rc.max_instrs = 10_000;
+    let out = run_with_limits(&m, &rc);
+    assert_eq!(out.status, ExitStatus::Timeout);
+    assert!(!out.status.is_natural_detection());
+}
+
+#[test]
+fn abort_is_app_error_and_natural_detection() {
+    let m = module_with_main(|b| {
+        b.emit(Instr::Abort { code: 3 });
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.status, ExitStatus::AppError(3));
+    assert!(out.status.is_natural_detection());
+}
+
+#[test]
+fn nonzero_main_return_counts_as_natural_detection() {
+    let m = module_with_main(|b| {
+        b.ret(Some(Const::i64(9).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.status, ExitStatus::Normal(9));
+    assert!(out.status.is_natural_detection());
+}
+
+#[test]
+fn dpmr_check_passes_equal_and_fails_unequal() {
+    let ok = module_with_main(|b| {
+        b.emit(Instr::DpmrCheck {
+            a: Const::i64(5).into(),
+            b: Const::i64(5).into(),
+        });
+        b.ret(Some(Const::i64(0).into()));
+    });
+    assert_eq!(run(&ok).status, ExitStatus::Normal(0));
+
+    let bad = module_with_main(|b| {
+        b.emit(Instr::DpmrCheck {
+            a: Const::i64(5).into(),
+            b: Const::i64(6).into(),
+        });
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&bad);
+    assert!(matches!(
+        out.status,
+        ExitStatus::DpmrDetected { got: 5, replica: 6 }
+    ));
+    assert!(out.status.is_dpmr_detection());
+    assert!(out.detect_cycle.is_some());
+}
+
+#[test]
+fn randint_respects_bounds_and_seed() {
+    let m = module_with_main(|b| {
+        let i64t = b.module.types.int(64);
+        for _ in 0..8 {
+            let r = b.reg(i64t, "");
+            b.emit(Instr::RandInt {
+                dst: r,
+                lo: Const::i64(1).into(),
+                hi: Const::i64(20).into(),
+            });
+            b.output(r.into());
+        }
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let mut rc = RunConfig::default();
+    rc.seed = 7;
+    let a = run_with_limits(&m, &rc);
+    let b2 = run_with_limits(&m, &rc);
+    assert_eq!(a.output, b2.output, "seeded determinism");
+    for &v in &a.output {
+        assert!((1..=20).contains(&(v as i64)));
+    }
+    rc.seed = 8;
+    let c = run_with_limits(&m, &rc);
+    assert_ne!(a.output, c.output, "different seeds diverge");
+}
+
+#[test]
+fn heap_buf_size_reads_live_header() {
+    let m = module_with_main(|b| {
+        let i64t = b.module.types.int(64);
+        let p = b.malloc(i64t, Const::i64(10).into(), "p");
+        let sz = b.reg(i64t, "sz");
+        b.emit(Instr::HeapBufSize {
+            dst: sz,
+            ptr: p.into(),
+        });
+        b.output(sz.into());
+        b.free(p.into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.output, vec![80]);
+}
+
+#[test]
+fn global_composite_initialization() {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let arr3 = m.types.array(i64t, 3);
+    let g = m.add_global(Global {
+        name: "g".into(),
+        ty: arr3,
+        init: GlobalInit::Composite(vec![
+            GlobalInit::Int(10),
+            GlobalInit::Int(20),
+            GlobalInit::Int(30),
+        ]),
+    });
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let sum = b.reg(i64t, "sum");
+    b.assign(sum, Const::i64(0).into());
+    b.for_loop(Const::i64(0).into(), Const::i64(3).into(), |b, i| {
+        let p = b.index_addr(Operand::Global(g), i.into(), "p");
+        let v = b.load(i64t, p.into(), "v");
+        let s = b.bin(BinOp::Add, i64t, sum.into(), v.into());
+        b.assign(sum, s.into());
+    });
+    b.output(sum.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    let out = run(&m);
+    assert_eq!(out.output, vec![60]);
+}
+
+#[test]
+fn uninitialized_heap_reads_are_arbitrary_but_deterministic() {
+    let m = module_with_main(|b| {
+        let i64t = b.module.types.int(64);
+        let p = b.malloc(i64t, Const::i64(2).into(), "p");
+        let v = b.load(i64t, p.into(), "v");
+        b.output(v.into());
+        b.free(p.into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let a = run_with_limits(&m, &RunConfig::default());
+    let b2 = run_with_limits(&m, &RunConfig::default());
+    assert_eq!(a.output, b2.output, "same seed, same garbage");
+    let mut rc = RunConfig::default();
+    rc.mem.fill_seed = 999;
+    let c = run_with_limits(&m, &rc);
+    assert_ne!(a.output, c.output, "different fill seeds, different garbage");
+}
+
+#[test]
+fn output_channel_preserves_order_and_bits() {
+    let m = module_with_main(|b| {
+        b.output(Const::i64(-1).into());
+        b.output(Const::f64(2.5).into());
+        b.output(Const::i64(3).into());
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let out = run(&m);
+    assert_eq!(out.output.len(), 3);
+    assert_eq!(out.output[0], u64::MAX);
+    assert_eq!(out.output[1], 2.5f64.to_bits());
+    assert_eq!(out.output[2], 3);
+}
+
+#[test]
+fn qsort_external_sorts_through_comparator() {
+    let m = dpmr_workloads::micro::qsort_prog(12);
+    let out = run(&m);
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    assert_eq!(out.output[0], 1);
+}
+
+#[test]
+fn virtual_clock_monotone_with_work() {
+    let small = dpmr_workloads::micro::linked_list(5);
+    let large = dpmr_workloads::micro::linked_list(50);
+    let a = run(&small);
+    let b = run(&large);
+    assert!(b.cycles > a.cycles);
+    assert!(b.instrs > a.instrs);
+}
+
+#[test]
+fn cache_model_charges_misses_for_scattered_access() {
+    // Two programs doing the same number of loads: one walks a small
+    // array repeatedly (cache-resident), the other strides across a large
+    // allocation (one miss per line). The strided program must cost more
+    // virtual cycles.
+    let build = |n: i64, stride: i64, iters: i64| {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let arr = m.types.unsized_array(i64t);
+        let arrp = m.types.pointer(arr);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let raw = b.malloc(i64t, Const::i64(n).into(), "buf");
+        let a = b.cast(CastOp::Bitcast, arrp, raw.into(), "arr");
+        let sum = b.reg(i64t, "sum");
+        b.assign(sum, Const::i64(0).into());
+        b.for_loop(Const::i64(0).into(), Const::i64(iters).into(), |b, i| {
+            let idx = b.bin(BinOp::Mul, i64t, i.into(), Const::i64(stride).into());
+            let wrapped = b.bin(BinOp::SRem, i64t, idx.into(), Const::i64(n).into());
+            let p = b.index_addr(a.into(), wrapped.into(), "p");
+            let v = b.load(i64t, p.into(), "v");
+            let s = b.bin(BinOp::Add, i64t, sum.into(), v.into());
+            b.assign(sum, s.into());
+        });
+        b.output(sum.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+        m
+    };
+    // Same iteration count; dense hits one line repeatedly, sparse
+    // strides 64 slots (=512B, 8 lines) through a large buffer.
+    let dense = build(8, 1, 4000);
+    let sparse = build(200_000, 64, 4000);
+    let dout = run_with_limits(&dense, &RunConfig::default());
+    let sout = run_with_limits(&sparse, &RunConfig::default());
+    assert_eq!(dout.status, ExitStatus::Normal(0));
+    assert_eq!(sout.status, ExitStatus::Normal(0));
+    // Instruction counts are nearly identical; cycles must not be.
+    let di = dout.instrs as f64;
+    let si = sout.instrs as f64;
+    assert!((di - si).abs() / di < 0.05, "similar instruction counts");
+    assert!(
+        sout.cycles as f64 > dout.cycles as f64 * 1.2,
+        "strided access must pay cache misses ({} vs {})",
+        sout.cycles,
+        dout.cycles
+    );
+}

@@ -1,0 +1,284 @@
+//! `art` analogue: an Adaptive-Resonance-style neural network scanning a
+//! thermal image for learned objects (SPEC CPU2000 179.art).
+//!
+//! Floating-point and array-heavy with very few pointers stored in memory
+//! — the scalar-dense end of the workload spectrum (the paper observes
+//! that `art` and `bzip2` allocate little pointer-holding memory, which is
+//! why MDS gains little over SDS on them).
+
+use crate::util::{lcg_mod, lcg_state};
+use dpmr_ir::prelude::*;
+
+/// Builds the art analogue. `scale` controls image size and training
+/// passes; `seed` perturbs the synthetic image.
+pub fn build(scale: i64, seed: u64) -> Module {
+    let scale = scale.max(1);
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let f64t = m.types.float(64);
+    let farr = m.types.unsized_array(f64t);
+    let farrp = m.types.pointer(farr);
+    let iarr = m.types.unsized_array(i64t);
+    let iarrp = m.types.pointer(iarr);
+    let sqrt_ty = m.types.function(f64t, vec![f64t]);
+    let sqrt = m.declare_external("sqrt", sqrt_ty);
+
+    let window = 16i64;
+    let f2 = 6i64;
+    let image_n = 64 * scale + window;
+    let passes = 2 * scale;
+
+    // f64 activation(f64[]* img, i64 pos, f64[]* w, i64 j, i64 window)
+    let activation = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "activation",
+            f64t,
+            &[
+                ("img", farrp),
+                ("pos", i64t),
+                ("w", farrp),
+                ("j", i64t),
+                ("window", i64t),
+            ],
+        );
+        let img = b.param(0);
+        let pos = b.param(1);
+        let w = b.param(2);
+        let j = b.param(3);
+        let win = b.param(4);
+        let acc = b.reg(f64t, "acc");
+        b.assign(acc, Const::f64(0.0).into());
+        b.for_loop(Const::i64(0).into(), win.into(), |b, i| {
+            let idx = b.bin(BinOp::Add, i64t, pos.into(), i.into());
+            let xp = b.index_addr(img.into(), idx.into(), "xp");
+            let x = b.load(f64t, xp.into(), "x");
+            let wbase = b.bin(BinOp::Mul, i64t, j.into(), win.into());
+            let widx = b.bin(BinOp::Add, i64t, wbase.into(), i.into());
+            let wp = b.index_addr(w.into(), widx.into(), "wp");
+            let wv = b.load(f64t, wp.into(), "wv");
+            let prod = b.bin(BinOp::FMul, f64t, x.into(), wv.into());
+            let s = b.bin(BinOp::FAdd, f64t, acc.into(), prod.into());
+            b.assign(acc, s.into());
+        });
+        b.ret(Some(acc.into()));
+        b.finish()
+    };
+
+    // void adapt(f64[]* img, i64 pos, f64[]* w, i64 j, i64 window)
+    let adapt = {
+        let void = m.types.void();
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "adapt",
+            void,
+            &[
+                ("img", farrp),
+                ("pos", i64t),
+                ("w", farrp),
+                ("j", i64t),
+                ("window", i64t),
+            ],
+        );
+        let img = b.param(0);
+        let pos = b.param(1);
+        let w = b.param(2);
+        let j = b.param(3);
+        let win = b.param(4);
+        b.for_loop(Const::i64(0).into(), win.into(), |b, i| {
+            let idx = b.bin(BinOp::Add, i64t, pos.into(), i.into());
+            let xp = b.index_addr(img.into(), idx.into(), "xp");
+            let x = b.load(f64t, xp.into(), "x");
+            let wbase = b.bin(BinOp::Mul, i64t, j.into(), win.into());
+            let widx = b.bin(BinOp::Add, i64t, wbase.into(), i.into());
+            let wp = b.index_addr(w.into(), widx.into(), "wp");
+            let wv = b.load(f64t, wp.into(), "wv");
+            // w += 0.25 * (x - w)
+            let d = b.bin(BinOp::FSub, f64t, x.into(), wv.into());
+            let lr = b.bin(BinOp::FMul, f64t, d.into(), Const::f64(0.25).into());
+            let nw = b.bin(BinOp::FAdd, f64t, wv.into(), lr.into());
+            b.store(wp.into(), nw.into());
+        });
+        b.ret(None);
+        b.finish()
+    };
+
+    // f64 norm(f64[]* v, i64 n) — Euclidean norm via the sqrt external.
+    let norm = {
+        let mut b = FunctionBuilder::new(&mut m, "norm", f64t, &[("v", farrp), ("n", i64t)]);
+        let v = b.param(0);
+        let n = b.param(1);
+        let acc = b.reg(f64t, "acc");
+        b.assign(acc, Const::f64(0.0).into());
+        b.for_loop(Const::i64(0).into(), n.into(), |b, i| {
+            let p = b.index_addr(v.into(), i.into(), "p");
+            let x = b.load(f64t, p.into(), "x");
+            let sq = b.bin(BinOp::FMul, f64t, x.into(), x.into());
+            let s = b.bin(BinOp::FAdd, f64t, acc.into(), sq.into());
+            b.assign(acc, s.into());
+        });
+        let r = b
+            .call(Callee::External(sqrt), vec![acc.into()], Some(f64t), "r")
+            .expect("sqrt");
+        b.ret(Some(r.into()));
+        b.finish()
+    };
+
+    // main
+    let main = {
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let st = lcg_state(&mut b, seed);
+        // Image.
+        let img_raw = b.malloc(f64t, Const::i64(image_n).into(), "image");
+        let img = b.cast(CastOp::Bitcast, farrp, img_raw.into(), "imgArr");
+        b.for_loop(Const::i64(0).into(), Const::i64(image_n).into(), |b, i| {
+            let r = lcg_mod(b, st, 1000);
+            let rf = b.cast(CastOp::SiToFp, f64t, r.into(), "rf");
+            let x = b.bin(BinOp::FDiv, f64t, rf.into(), Const::f64(1000.0).into());
+            let p = b.index_addr(img.into(), i.into(), "p");
+            b.store(p.into(), x.into());
+        });
+        // Bottom-up and top-down weights.
+        let wn = window * f2;
+        let bu_raw = b.malloc(f64t, Const::i64(wn).into(), "buWeights");
+        let bu = b.cast(CastOp::Bitcast, farrp, bu_raw.into(), "buArr");
+        let td_raw = b.malloc(f64t, Const::i64(wn).into(), "tdWeights");
+        let td = b.cast(CastOp::Bitcast, farrp, td_raw.into(), "tdArr");
+        b.for_loop(Const::i64(0).into(), Const::i64(wn).into(), |b, i| {
+            let r = lcg_mod(b, st, 97);
+            let rf = b.cast(CastOp::SiToFp, f64t, r.into(), "rf");
+            let x = b.bin(BinOp::FDiv, f64t, rf.into(), Const::f64(97.0).into());
+            let p = b.index_addr(bu.into(), i.into(), "p");
+            b.store(p.into(), x.into());
+            let q = b.index_addr(td.into(), i.into(), "q");
+            b.store(q.into(), x.into());
+        });
+        // Winner histogram.
+        let hist_raw = b.malloc(i64t, Const::i64(f2).into(), "hist");
+        let hist = b.cast(CastOp::Bitcast, iarrp, hist_raw.into(), "histArr");
+        b.for_loop(Const::i64(0).into(), Const::i64(f2).into(), |b, i| {
+            let p = b.index_addr(hist.into(), i.into(), "p");
+            b.store(p.into(), Const::i64(0).into());
+        });
+        // Scan passes.
+        let positions = (image_n - window) / 4;
+        b.for_loop(Const::i64(0).into(), Const::i64(passes).into(), |b, _pass| {
+            b.for_loop(Const::i64(0).into(), Const::i64(positions).into(), |b, pi| {
+                let pos = b.bin(BinOp::Mul, i64t, pi.into(), Const::i64(4).into());
+                let best = b.reg(i64t, "best");
+                let best_v = b.reg(f64t, "bestV");
+                b.assign(best, Const::i64(0).into());
+                b.assign(best_v, Const::f64(-1.0e18).into());
+                b.for_loop(Const::i64(0).into(), Const::i64(f2).into(), |b, j| {
+                    let y = b
+                        .call(
+                            Callee::Direct(activation),
+                            vec![
+                                img.into(),
+                                pos.into(),
+                                bu.into(),
+                                j.into(),
+                                Const::i64(window).into(),
+                            ],
+                            Some(f64t),
+                            "y",
+                        )
+                        .expect("activation");
+                    let gt = b.cmp(CmpPred::FOgt, y.into(), best_v.into());
+                    b.if_then(gt.into(), |b| {
+                        b.assign(best_v, y.into());
+                        b.assign(best, j.into());
+                    });
+                });
+                // Resonance: adapt both weight sets of the winner.
+                b.call(
+                    Callee::Direct(adapt),
+                    vec![
+                        img.into(),
+                        pos.into(),
+                        bu.into(),
+                        best.into(),
+                        Const::i64(window).into(),
+                    ],
+                    None,
+                    "",
+                );
+                b.call(
+                    Callee::Direct(adapt),
+                    vec![
+                        img.into(),
+                        pos.into(),
+                        td.into(),
+                        best.into(),
+                        Const::i64(window).into(),
+                    ],
+                    None,
+                    "",
+                );
+                let hp = b.index_addr(hist.into(), best.into(), "hp");
+                let h = b.load(i64t, hp.into(), "h");
+                let h2 = b.bin(BinOp::Add, i64t, h.into(), Const::i64(1).into());
+                b.store(hp.into(), h2.into());
+            });
+        });
+        // Output: histogram + weight norms (scaled to integers).
+        b.for_loop(Const::i64(0).into(), Const::i64(f2).into(), |b, i| {
+            let hp = b.index_addr(hist.into(), i.into(), "hp");
+            let h = b.load(i64t, hp.into(), "h");
+            b.output(h.into());
+        });
+        let n1 = b
+            .call(
+                Callee::Direct(norm),
+                vec![bu.into(), Const::i64(wn).into()],
+                Some(f64t),
+                "n1",
+            )
+            .expect("norm");
+        let n1s = b.bin(BinOp::FMul, f64t, n1.into(), Const::f64(1_000_000.0).into());
+        let n1i = b.cast(CastOp::FpToSi, i64t, n1s.into(), "n1i");
+        b.output(n1i.into());
+        let n2 = b
+            .call(
+                Callee::Direct(norm),
+                vec![td.into(), Const::i64(wn).into()],
+                Some(f64t),
+                "n2",
+            )
+            .expect("norm");
+        let n2s = b.bin(BinOp::FMul, f64t, n2.into(), Const::f64(1_000_000.0).into());
+        let n2i = b.cast(CastOp::FpToSi, i64t, n2s.into(), "n2i");
+        b.output(n2i.into());
+        b.free(img_raw.into());
+        b.free(bu_raw.into());
+        b.free(td_raw.into());
+        b.free(hist_raw.into());
+        b.ret(Some(Const::i64(0).into()));
+        b.finish()
+    };
+    m.entry = Some(main);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_vm::prelude::*;
+
+    #[test]
+    fn art_runs_and_is_deterministic() {
+        let m = build(1, 7);
+        let a = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(a.status, ExitStatus::Normal(0));
+        let b = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(a.output, b.output);
+        assert!(!a.output.is_empty());
+    }
+
+    #[test]
+    fn art_scales_work() {
+        let small = run_with_limits(&build(1, 7), &RunConfig::default());
+        let big = run_with_limits(&build(2, 7), &RunConfig::default());
+        assert!(big.instrs > small.instrs);
+    }
+}

@@ -1,0 +1,417 @@
+//! `bzip2` analogue: in-memory block compression and decompression
+//! (SPEC CPU2000 256.bzip2, which SPEC modified to compress entirely in
+//! memory).
+//!
+//! Integer/byte-array heavy: run-length encoding, move-to-front coding,
+//! and an entropy estimate, followed by full decode and verification
+//! against the original input. Uses the `memcpy` and `memset` externals.
+
+use crate::util::{lcg_mod, lcg_state};
+use dpmr_ir::prelude::*;
+
+/// Builds the bzip2 analogue. `scale` controls the block size.
+pub fn build(scale: i64, seed: u64) -> Module {
+    let scale = scale.max(1);
+    let n = 768 * scale;
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let i8t = m.types.int(8);
+    let barr = m.types.unsized_array(i8t);
+    let barrp = m.types.pointer(barr);
+    let vp = m.types.void_ptr();
+
+    let memcpy_ty = m.types.function(vp, vec![vp, vp, i64t]);
+    let memcpy = m.declare_external("memcpy", memcpy_ty);
+    let memset_ty = m.types.function(vp, vec![vp, i64t, i64t]);
+    let memset = m.declare_external("memset", memset_ty);
+
+    // i64 rle_encode(i8[]* src, i64 n, i8[]* dst) -> encoded length.
+    // Encoding: (count, byte) pairs, count in 1..=255.
+    let rle_encode = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "rleEncode",
+            i64t,
+            &[("src", barrp), ("n", i64t), ("dst", barrp)],
+        );
+        let src = b.param(0);
+        let n = b.param(1);
+        let dst = b.param(2);
+        let o = b.reg(i64t, "o");
+        let i = b.reg(i64t, "i");
+        b.assign(o, Const::i64(0).into());
+        b.assign(i, Const::i64(0).into());
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.br(head);
+        b.switch_to(head);
+        let c = b.cmp(CmpPred::Slt, i.into(), n.into());
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let sp = b.index_addr(src.into(), i.into(), "sp");
+        let byte = b.load(i8t, sp.into(), "byte");
+        // Count the run (max 255).
+        let run = b.reg(i64t, "run");
+        b.assign(run, Const::i64(1).into());
+        let rh = b.block();
+        let rb = b.block();
+        let rx = b.block();
+        b.br(rh);
+        b.switch_to(rh);
+        let nx = b.bin(BinOp::Add, i64t, i.into(), run.into());
+        let in_range = b.cmp(CmpPred::Slt, nx.into(), n.into());
+        let under = b.cmp(CmpPred::Slt, run.into(), Const::i64(255).into());
+        let both = b.bin(BinOp::And, i64t, in_range.into(), under.into());
+        b.cond_br(both.into(), rb, rx);
+        b.switch_to(rb);
+        let np = b.index_addr(src.into(), nx.into(), "np");
+        let nb = b.load(i8t, np.into(), "nb");
+        let same = b.cmp(CmpPred::Eq, nb.into(), byte.into());
+        let cont = b.block();
+        b.cond_br(same.into(), cont, rx);
+        b.switch_to(cont);
+        let r2 = b.bin(BinOp::Add, i64t, run.into(), Const::i64(1).into());
+        b.assign(run, r2.into());
+        b.br(rh);
+        b.switch_to(rx);
+        // Emit (count, byte).
+        let cp = b.index_addr(dst.into(), o.into(), "cp");
+        let run8 = b.cast(CastOp::Trunc, i8t, run.into(), "run8");
+        b.store(cp.into(), run8.into());
+        let o1 = b.bin(BinOp::Add, i64t, o.into(), Const::i64(1).into());
+        let bp = b.index_addr(dst.into(), o1.into(), "bp");
+        b.store(bp.into(), byte.into());
+        let o2 = b.bin(BinOp::Add, i64t, o1.into(), Const::i64(1).into());
+        b.assign(o, o2.into());
+        let i2 = b.bin(BinOp::Add, i64t, i.into(), run.into());
+        b.assign(i, i2.into());
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(Some(o.into()));
+        b.finish()
+    };
+
+    // i64 rle_decode(i8[]* src, i64 len, i8[]* dst) -> decoded length.
+    let rle_decode = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "rleDecode",
+            i64t,
+            &[("src", barrp), ("len", i64t), ("dst", barrp)],
+        );
+        let src = b.param(0);
+        let len = b.param(1);
+        let dst = b.param(2);
+        let o = b.reg(i64t, "o");
+        b.assign(o, Const::i64(0).into());
+        let i = b.reg(i64t, "i");
+        b.assign(i, Const::i64(0).into());
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.br(head);
+        b.switch_to(head);
+        let c = b.cmp(CmpPred::Slt, i.into(), len.into());
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let cp = b.index_addr(src.into(), i.into(), "cp");
+        let cnt8 = b.load(i8t, cp.into(), "cnt8");
+        let cnt = b.cast(CastOp::Zext, i64t, cnt8.into(), "cnt");
+        let cnt = {
+            // counts are 1..=255, stored as unsigned byte
+            let masked = b.bin(BinOp::And, i64t, cnt.into(), Const::i64(0xff).into());
+            masked
+        };
+        let i1 = b.bin(BinOp::Add, i64t, i.into(), Const::i64(1).into());
+        let bp = b.index_addr(src.into(), i1.into(), "bp");
+        let byte = b.load(i8t, bp.into(), "byte");
+        b.for_loop(Const::i64(0).into(), cnt.into(), |b, k| {
+            let pos = b.bin(BinOp::Add, i64t, o.into(), k.into());
+            let dp = b.index_addr(dst.into(), pos.into(), "dp");
+            b.store(dp.into(), byte.into());
+        });
+        let o2 = b.bin(BinOp::Add, i64t, o.into(), cnt.into());
+        b.assign(o, o2.into());
+        let i2 = b.bin(BinOp::Add, i64t, i1.into(), Const::i64(1).into());
+        b.assign(i, i2.into());
+        b.br(head);
+        b.switch_to(exit);
+        b.ret(Some(o.into()));
+        b.finish()
+    };
+
+    // void mtf(i8[]* buf, i64 n, i8[]* table, i64 dir) — in-place
+    // move-to-front (dir=0) or inverse (dir=1) over a 256-entry table.
+    let mtf = {
+        let void = m.types.void();
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "mtf",
+            void,
+            &[("buf", barrp), ("n", i64t), ("table", barrp), ("dir", i64t)],
+        );
+        let buf = b.param(0);
+        let n = b.param(1);
+        let table = b.param(2);
+        let dir = b.param(3);
+        b.for_loop(Const::i64(0).into(), n.into(), |b, i| {
+            let p = b.index_addr(buf.into(), i.into(), "p");
+            let v8 = b.load(i8t, p.into(), "v8");
+            let z = b.cast(CastOp::Zext, i64t, v8.into(), "z");
+            let v = b.bin(BinOp::And, i64t, z.into(), Const::i64(0xff).into());
+            let fwd = b.cmp(CmpPred::Eq, dir.into(), Const::i64(0).into());
+            let idx = b.reg(i64t, "idx");
+            b.if_then_else(
+                fwd.into(),
+                |b| {
+                    // Forward: find v in table -> idx; shift front.
+                    let j = b.reg(i64t, "j");
+                    b.assign(j, Const::i64(0).into());
+                    let h = b.block();
+                    let bd = b.block();
+                    let x = b.block();
+                    b.br(h);
+                    b.switch_to(h);
+                    let tp = b.index_addr(table.into(), j.into(), "tp");
+                    let tv8 = b.load(i8t, tp.into(), "tv8");
+                    let tv = b.cast(CastOp::Zext, i64t, tv8.into(), "tv");
+                    let tvm = b.bin(BinOp::And, i64t, tv.into(), Const::i64(0xff).into());
+                    let found = b.cmp(CmpPred::Eq, tvm.into(), v.into());
+                    b.cond_br(found.into(), x, bd);
+                    b.switch_to(bd);
+                    let j2 = b.bin(BinOp::Add, i64t, j.into(), Const::i64(1).into());
+                    b.assign(j, j2.into());
+                    b.br(h);
+                    b.switch_to(x);
+                    b.assign(idx, j.into());
+                    // Shift table[0..j] up by one; table[0] = v.
+                    let k = b.reg(i64t, "k");
+                    b.assign(k, j.into());
+                    let sh = b.block();
+                    let sb = b.block();
+                    let sx = b.block();
+                    b.br(sh);
+                    b.switch_to(sh);
+                    let kc = b.cmp(CmpPred::Sgt, k.into(), Const::i64(0).into());
+                    b.cond_br(kc.into(), sb, sx);
+                    b.switch_to(sb);
+                    let km1 = b.bin(BinOp::Sub, i64t, k.into(), Const::i64(1).into());
+                    let src = b.index_addr(table.into(), km1.into(), "src");
+                    let sv = b.load(i8t, src.into(), "sv");
+                    let dst = b.index_addr(table.into(), k.into(), "dst");
+                    b.store(dst.into(), sv.into());
+                    b.assign(k, km1.into());
+                    b.br(sh);
+                    b.switch_to(sx);
+                    let t0 = b.index_addr(table.into(), Const::i64(0).into(), "t0");
+                    let v8b = b.cast(CastOp::Trunc, i8t, v.into(), "v8b");
+                    b.store(t0.into(), v8b.into());
+                    let idx8 = b.cast(CastOp::Trunc, i8t, idx.into(), "idx8");
+                    b.store(p.into(), idx8.into());
+                },
+                |b| {
+                    // Inverse: idx = v; value = table[idx]; shift.
+                    b.assign(idx, v.into());
+                    let tp = b.index_addr(table.into(), idx.into(), "tp");
+                    let val = b.load(i8t, tp.into(), "val");
+                    let k = b.reg(i64t, "k");
+                    b.assign(k, idx.into());
+                    let sh = b.block();
+                    let sb = b.block();
+                    let sx = b.block();
+                    b.br(sh);
+                    b.switch_to(sh);
+                    let kc = b.cmp(CmpPred::Sgt, k.into(), Const::i64(0).into());
+                    b.cond_br(kc.into(), sb, sx);
+                    b.switch_to(sb);
+                    let km1 = b.bin(BinOp::Sub, i64t, k.into(), Const::i64(1).into());
+                    let src = b.index_addr(table.into(), km1.into(), "src");
+                    let sv = b.load(i8t, src.into(), "sv");
+                    let dst = b.index_addr(table.into(), k.into(), "dst");
+                    b.store(dst.into(), sv.into());
+                    b.assign(k, km1.into());
+                    b.br(sh);
+                    b.switch_to(sx);
+                    let t0 = b.index_addr(table.into(), Const::i64(0).into(), "t0");
+                    b.store(t0.into(), val.into());
+                    b.store(p.into(), val.into());
+                },
+            );
+        });
+        b.ret(None);
+        b.finish()
+    };
+
+    // main
+    let main = {
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let st = lcg_state(&mut b, seed);
+        // Compressible input: runs of random bytes.
+        let input_raw = b.malloc(i8t, Const::i64(n).into(), "input");
+        let input = b.cast(CastOp::Bitcast, barrp, input_raw.into(), "inArr");
+        let pos = b.reg(i64t, "pos");
+        b.assign(pos, Const::i64(0).into());
+        let gh = b.block();
+        let gb = b.block();
+        let gx = b.block();
+        b.br(gh);
+        b.switch_to(gh);
+        let gc = b.cmp(CmpPred::Slt, pos.into(), Const::i64(n).into());
+        b.cond_br(gc.into(), gb, gx);
+        b.switch_to(gb);
+        let byte = lcg_mod(&mut b, st, 16);
+        let byte8 = b.cast(CastOp::Trunc, i8t, byte.into(), "byte8");
+        let runlen = lcg_mod(&mut b, st, 12);
+        let run1 = b.bin(BinOp::Add, i64t, runlen.into(), Const::i64(1).into());
+        b.for_loop(Const::i64(0).into(), run1.into(), |b, k| {
+            let at = b.bin(BinOp::Add, i64t, pos.into(), k.into());
+            let inb = b.cmp(CmpPred::Slt, at.into(), Const::i64(n).into());
+            b.if_then(inb.into(), |b| {
+                let p = b.index_addr(input.into(), at.into(), "p");
+                b.store(p.into(), byte8.into());
+            });
+        });
+        let pos2 = b.bin(BinOp::Add, i64t, pos.into(), run1.into());
+        b.assign(pos, pos2.into());
+        b.br(gh);
+        b.switch_to(gx);
+
+        // Working copy via memcpy (exercises the external wrapper).
+        let work_raw = b.malloc(i8t, Const::i64(n).into(), "work");
+        let work = b.cast(CastOp::Bitcast, barrp, work_raw.into(), "workArr");
+        let dv = b.cast(CastOp::Bitcast, vp, work.into(), "dv");
+        let sv = b.cast(CastOp::Bitcast, vp, input.into(), "sv");
+        b.call(
+            Callee::External(memcpy),
+            vec![dv.into(), sv.into(), Const::i64(n).into()],
+            Some(vp),
+            "",
+        );
+
+        // RLE encode.
+        let rle_raw = b.malloc(i8t, Const::i64(2 * n + 8).into(), "rle");
+        let rle = b.cast(CastOp::Bitcast, barrp, rle_raw.into(), "rleArr");
+        let rle_len = b
+            .call(
+                Callee::Direct(rle_encode),
+                vec![work.into(), Const::i64(n).into(), rle.into()],
+                Some(i64t),
+                "rleLen",
+            )
+            .expect("len");
+        b.output(rle_len.into());
+
+        // MTF transform (forward) with a fresh identity table.
+        let table_raw = b.malloc(i8t, Const::i64(256).into(), "table");
+        let table = b.cast(CastOp::Bitcast, barrp, table_raw.into(), "tableArr");
+        b.for_loop(Const::i64(0).into(), Const::i64(256).into(), |b, i| {
+            let p = b.index_addr(table.into(), i.into(), "p");
+            let v8 = b.cast(CastOp::Trunc, i8t, i.into(), "v8");
+            b.store(p.into(), v8.into());
+        });
+        b.call(
+            Callee::Direct(mtf),
+            vec![rle.into(), rle_len.into(), table.into(), Const::i64(0).into()],
+            None,
+            "",
+        );
+
+        // Entropy estimate: sum of symbol values (small after MTF).
+        let ent = b.reg(i64t, "ent");
+        b.assign(ent, Const::i64(0).into());
+        b.for_loop(Const::i64(0).into(), rle_len.into(), |b, i| {
+            let p = b.index_addr(rle.into(), i.into(), "p");
+            let v8 = b.load(i8t, p.into(), "v8");
+            let v = b.cast(CastOp::Zext, i64t, v8.into(), "v");
+            let vm = b.bin(BinOp::And, i64t, v.into(), Const::i64(0xff).into());
+            let s = b.bin(BinOp::Add, i64t, ent.into(), vm.into());
+            b.assign(ent, s.into());
+        });
+        b.output(ent.into());
+
+        // Decode: inverse MTF with a fresh table, then RLE decode.
+        let table2_raw = b.malloc(i8t, Const::i64(256).into(), "table2");
+        let table2 = b.cast(CastOp::Bitcast, barrp, table2_raw.into(), "table2Arr");
+        b.for_loop(Const::i64(0).into(), Const::i64(256).into(), |b, i| {
+            let p = b.index_addr(table2.into(), i.into(), "p");
+            let v8 = b.cast(CastOp::Trunc, i8t, i.into(), "v8");
+            b.store(p.into(), v8.into());
+        });
+        b.call(
+            Callee::Direct(mtf),
+            vec![rle.into(), rle_len.into(), table2.into(), Const::i64(1).into()],
+            None,
+            "",
+        );
+        let dec_raw = b.malloc(i8t, Const::i64(n + 256).into(), "decoded");
+        let dec = b.cast(CastOp::Bitcast, barrp, dec_raw.into(), "decArr");
+        let dvz = b.cast(CastOp::Bitcast, vp, dec.into(), "dvz");
+        b.call(
+            Callee::External(memset),
+            vec![dvz.into(), Const::i64(0).into(), Const::i64(n + 256).into()],
+            Some(vp),
+            "",
+        );
+        let dec_len = b
+            .call(
+                Callee::Direct(rle_decode),
+                vec![rle.into(), rle_len.into(), dec.into()],
+                Some(i64t),
+                "decLen",
+            )
+            .expect("len");
+        b.output(dec_len.into());
+
+        // Verify round-trip.
+        let ok = b.reg(i64t, "ok");
+        b.assign(ok, Const::i64(1).into());
+        b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+            let p1 = b.index_addr(input.into(), i.into(), "p1");
+            let v1 = b.load(i8t, p1.into(), "v1");
+            let p2 = b.index_addr(dec.into(), i.into(), "p2");
+            let v2 = b.load(i8t, p2.into(), "v2");
+            let ne = b.cmp(CmpPred::Ne, v1.into(), v2.into());
+            b.if_then(ne.into(), |b| {
+                b.assign(ok, Const::i64(0).into());
+            });
+        });
+        b.output(ok.into());
+
+        b.free(input_raw.into());
+        b.free(work_raw.into());
+        b.free(rle_raw.into());
+        b.free(table_raw.into());
+        b.free(table2_raw.into());
+        b.free(dec_raw.into());
+        b.ret(Some(Const::i64(0).into()));
+        b.finish()
+    };
+    m.entry = Some(main);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_vm::prelude::*;
+
+    #[test]
+    fn bzip2_roundtrips() {
+        let m = build(1, 11);
+        let out = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(out.status, ExitStatus::Normal(0));
+        let ok = *out.output.last().expect("match flag");
+        assert_eq!(ok, 1, "decode must equal input");
+        let dec_len = out.output[out.output.len() - 2];
+        assert_eq!(dec_len, 768, "decoded length equals block size");
+    }
+
+    #[test]
+    fn bzip2_compresses_runs() {
+        let m = build(1, 11);
+        let out = run_with_limits(&m, &RunConfig::default());
+        let rle_len = out.output[0] as i64;
+        assert!(rle_len < 768, "RLE must shrink run-structured input");
+    }
+}

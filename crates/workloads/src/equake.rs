@@ -1,0 +1,235 @@
+//! `equake` analogue: seismic wave propagation by explicit time-stepping
+//! of a sparse system (SPEC CPU2000 183.equake).
+//!
+//! Pointer-heavy: the sparse matrix is an array of `Row` structs, each
+//! holding *pointers* to its own column-index and value buffers, so every
+//! SMVP iteration loads pointers from memory — the access pattern that
+//! separates MDS from SDS in the paper's Chapter 4 results.
+
+use crate::util::{lcg_mod, lcg_state};
+use dpmr_ir::prelude::*;
+
+/// Builds the equake analogue. `scale` controls node count and steps.
+pub fn build(scale: i64, seed: u64) -> Module {
+    let scale = scale.max(1);
+    let n = 48 * scale;
+    let steps = 6 * scale;
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let f64t = m.types.float(64);
+    let iarr = m.types.unsized_array(i64t);
+    let iarrp = m.types.pointer(iarr);
+    let farr = m.types.unsized_array(f64t);
+    let farrp = m.types.pointer(farr);
+    // struct Row { i64 nnz; i64[]* cols; f64[]* vals }
+    let row = m.types.struct_type("Row", vec![i64t, iarrp, farrp]);
+    let row_arr = m.types.unsized_array(row);
+    let row_arr_p = m.types.pointer(row_arr);
+    let sqrt_ty = m.types.function(f64t, vec![f64t]);
+    let sqrt = m.declare_external("sqrt", sqrt_ty);
+
+    // void smvp(Row[]* rows, i64 n, f64[]* x, f64[]* out)
+    let smvp = {
+        let void = m.types.void();
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "smvp",
+            void,
+            &[("rows", row_arr_p), ("n", i64t), ("x", farrp), ("out", farrp)],
+        );
+        let rows = b.param(0);
+        let n = b.param(1);
+        let x = b.param(2);
+        let out = b.param(3);
+        b.for_loop(Const::i64(0).into(), n.into(), |b, i| {
+            let r = b.index_addr(rows.into(), i.into(), "r");
+            let nnzp = b.field_addr(r.into(), 0, "nnzp");
+            let nnz = b.load(i64t, nnzp.into(), "nnz");
+            let colsp = b.field_addr(r.into(), 1, "colsp");
+            let cols = b.load(iarrp, colsp.into(), "cols");
+            let valsp = b.field_addr(r.into(), 2, "valsp");
+            let vals = b.load(farrp, valsp.into(), "vals");
+            let acc = b.reg(f64t, "acc");
+            b.assign(acc, Const::f64(0.0).into());
+            b.for_loop(Const::i64(0).into(), nnz.into(), |b, k| {
+                let cp = b.index_addr(cols.into(), k.into(), "cp");
+                let c = b.load(i64t, cp.into(), "c");
+                let vp2 = b.index_addr(vals.into(), k.into(), "vp");
+                let v = b.load(f64t, vp2.into(), "v");
+                let xp = b.index_addr(x.into(), c.into(), "xp");
+                let xv = b.load(f64t, xp.into(), "xv");
+                let prod = b.bin(BinOp::FMul, f64t, v.into(), xv.into());
+                let s = b.bin(BinOp::FAdd, f64t, acc.into(), prod.into());
+                b.assign(acc, s.into());
+            });
+            let op = b.index_addr(out.into(), i.into(), "op");
+            b.store(op.into(), acc.into());
+        });
+        b.ret(None);
+        b.finish()
+    };
+
+    // f64 energy(f64[]* x, i64 n)
+    let energy = {
+        let mut b = FunctionBuilder::new(&mut m, "energy", f64t, &[("x", farrp), ("n", i64t)]);
+        let x = b.param(0);
+        let n = b.param(1);
+        let acc = b.reg(f64t, "acc");
+        b.assign(acc, Const::f64(0.0).into());
+        b.for_loop(Const::i64(0).into(), n.into(), |b, i| {
+            let p = b.index_addr(x.into(), i.into(), "p");
+            let v = b.load(f64t, p.into(), "v");
+            let sq = b.bin(BinOp::FMul, f64t, v.into(), v.into());
+            let s = b.bin(BinOp::FAdd, f64t, acc.into(), sq.into());
+            b.assign(acc, s.into());
+        });
+        let r = b
+            .call(Callee::External(sqrt), vec![acc.into()], Some(f64t), "r")
+            .expect("sqrt");
+        b.ret(Some(r.into()));
+        b.finish()
+    };
+
+    // main
+    let main = {
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let st = lcg_state(&mut b, seed);
+        let rows_raw = b.malloc(row, Const::i64(n).into(), "rows");
+        let rows = b.cast(CastOp::Bitcast, row_arr_p, rows_raw.into(), "rowsArr");
+        // Build a banded sparse matrix: each row couples to i-1, i, i+1
+        // plus one random far column.
+        b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+            let r = b.index_addr(rows.into(), i.into(), "r");
+            let nnz = 4i64;
+            let cols_raw = b.malloc(i64t, Const::i64(nnz).into(), "cols");
+            let cols = b.cast(CastOp::Bitcast, iarrp, cols_raw.into(), "colsArr");
+            let vals_raw = b.malloc(f64t, Const::i64(nnz).into(), "vals");
+            let vals = b.cast(CastOp::Bitcast, farrp, vals_raw.into(), "valsArr");
+            // Neighbours (clamped).
+            let im1 = b.bin(BinOp::Sub, i64t, i.into(), Const::i64(1).into());
+            let neg = b.cmp(CmpPred::Slt, im1.into(), Const::i64(0).into());
+            let left = b.reg(i64t, "left");
+            b.assign(left, im1.into());
+            b.if_then(neg.into(), |b| {
+                b.assign(left, Const::i64(0).into());
+            });
+            let ip1 = b.bin(BinOp::Add, i64t, i.into(), Const::i64(1).into());
+            let over = b.cmp(CmpPred::Sge, ip1.into(), Const::i64(n).into());
+            let right = b.reg(i64t, "right");
+            b.assign(right, ip1.into());
+            b.if_then(over.into(), |b| {
+                let nm1 = Const::i64(n - 1);
+                b.assign(right, nm1.into());
+            });
+            let far = lcg_mod(b, st, n);
+            let idxs = [left, i, right, far];
+            for (k, &src) in idxs.iter().enumerate() {
+                let cp = b.index_addr(cols.into(), Const::i64(k as i64).into(), "cp");
+                b.store(cp.into(), src.into());
+            }
+            // Values: diagonal-dominant.
+            let wv = [0.05f64, 0.82, 0.05, 0.02];
+            for (k, w) in wv.iter().enumerate() {
+                let vp2 = b.index_addr(vals.into(), Const::i64(k as i64).into(), "vp");
+                b.store(vp2.into(), Const::f64(*w).into());
+            }
+            let nnzp = b.field_addr(r.into(), 0, "nnzp");
+            b.store(nnzp.into(), Const::i64(nnz).into());
+            let colsp = b.field_addr(r.into(), 1, "colsp");
+            b.store(colsp.into(), cols.into());
+            let valsp = b.field_addr(r.into(), 2, "valsp");
+            b.store(valsp.into(), vals.into());
+        });
+        // State vectors.
+        let x_raw = b.malloc(f64t, Const::i64(n).into(), "x");
+        let x = b.cast(CastOp::Bitcast, farrp, x_raw.into(), "xArr");
+        let xp_raw = b.malloc(f64t, Const::i64(n).into(), "xPrev");
+        let xprev = b.cast(CastOp::Bitcast, farrp, xp_raw.into(), "xPrevArr");
+        let tmp_raw = b.malloc(f64t, Const::i64(n).into(), "tmp");
+        let tmp = b.cast(CastOp::Bitcast, farrp, tmp_raw.into(), "tmpArr");
+        // Initial displacement pulse in the middle.
+        b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+            let p = b.index_addr(x.into(), i.into(), "p");
+            b.store(p.into(), Const::f64(0.0).into());
+            let q = b.index_addr(xprev.into(), i.into(), "q");
+            b.store(q.into(), Const::f64(0.0).into());
+        });
+        let mid = b.index_addr(x.into(), Const::i64(n / 2).into(), "mid");
+        b.store(mid.into(), Const::f64(1.0).into());
+        // Time stepping: x_{t+1} = 2 A x_t - x_{t-1} (damped by A).
+        b.for_loop(Const::i64(0).into(), Const::i64(steps).into(), |b, _t| {
+            b.call(
+                Callee::Direct(smvp),
+                vec![rows.into(), Const::i64(n).into(), x.into(), tmp.into()],
+                None,
+                "",
+            );
+            b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+                let tp = b.index_addr(tmp.into(), i.into(), "tp");
+                let av = b.load(f64t, tp.into(), "av");
+                let pp = b.index_addr(xprev.into(), i.into(), "pp");
+                let pv = b.load(f64t, pp.into(), "pv");
+                let two = b.bin(BinOp::FMul, f64t, av.into(), Const::f64(1.96).into());
+                let nv = b.bin(BinOp::FSub, f64t, two.into(), pv.into());
+                let xpcur = b.index_addr(x.into(), i.into(), "xc");
+                let cur = b.load(f64t, xpcur.into(), "cur");
+                b.store(pp.into(), cur.into());
+                b.store(xpcur.into(), nv.into());
+            });
+            let e = b
+                .call(
+                    Callee::Direct(energy),
+                    vec![x.into(), Const::i64(n).into()],
+                    Some(f64t),
+                    "e",
+                )
+                .expect("energy");
+            let es = b.bin(BinOp::FMul, f64t, e.into(), Const::f64(1_000_000.0).into());
+            let ei = b.cast(CastOp::FpToSi, i64t, es.into(), "ei");
+            b.output(ei.into());
+        });
+        // Free everything.
+        b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+            let r = b.index_addr(rows.into(), i.into(), "r");
+            let colsp = b.field_addr(r.into(), 1, "colsp");
+            let cols = b.load(iarrp, colsp.into(), "cols");
+            b.free(cols.into());
+            let valsp = b.field_addr(r.into(), 2, "valsp");
+            let vals = b.load(farrp, valsp.into(), "vals");
+            b.free(vals.into());
+        });
+        b.free(rows_raw.into());
+        b.free(x_raw.into());
+        b.free(xp_raw.into());
+        b.free(tmp_raw.into());
+        b.ret(Some(Const::i64(0).into()));
+        b.finish()
+    };
+    m.entry = Some(main);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_vm::prelude::*;
+
+    #[test]
+    fn equake_runs_and_damps() {
+        let m = build(1, 3);
+        let out = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(out.status, ExitStatus::Normal(0));
+        assert_eq!(out.output.len(), 6, "one energy sample per step");
+        // Damped system: energy stays bounded.
+        for &e in &out.output {
+            assert!((e as i64) < 10_000_000_000);
+        }
+    }
+
+    #[test]
+    fn equake_is_deterministic() {
+        let a = run_with_limits(&build(1, 3), &RunConfig::default());
+        let b = run_with_limits(&build(1, 3), &RunConfig::default());
+        assert_eq!(a.output, b.output);
+    }
+}

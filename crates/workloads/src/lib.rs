@@ -1,0 +1,130 @@
+//! # dpmr-workloads
+//!
+//! Benchmark programs in DPMR IR: synthetic analogues of the four SPEC
+//! CPU2000 C benchmarks the paper evaluates (Sec. 3.3) plus a set of
+//! micro programs for tests and demonstrations.
+//!
+//! | App | Paper benchmark | Character |
+//! |-----|-----------------|-----------|
+//! | [`art`] | 179.art (neural-net image recognition) | f64 arrays, scalar-dense |
+//! | [`bzip2`] | 256.bzip2 (in-memory compression) | byte arrays, integer-dense |
+//! | [`equake`] | 183.equake (seismic simulation) | sparse matrix, pointer-bearing rows |
+//! | [`mcf`] | 181.mcf (vehicle scheduling) | linked node/arc graph, pointer-dense |
+//!
+//! The analogues keep the property the evaluation discriminates on: `art`
+//! and `bzip2` store almost no pointers in memory, while `equake` and
+//! `mcf` are pointer-heavy (the paper's Sec. 4.5 observation driving the
+//! SDS/MDS overhead gap).
+//!
+//! # Examples
+//!
+//! ```
+//! use dpmr_workloads::{all_apps, WorkloadParams};
+//! let apps = all_apps();
+//! assert_eq!(apps.len(), 4);
+//! let m = (apps[0].build)(&WorkloadParams::quick());
+//! assert!(dpmr_ir::verify::verify_module(&m).is_ok());
+//! ```
+
+pub mod art;
+pub mod bzip2;
+pub mod equake;
+pub mod mcf;
+pub mod micro;
+pub mod util;
+
+use dpmr_ir::module::Module;
+
+/// Workload sizing (the paper's `train` input scaled to simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Linear size multiplier.
+    pub scale: i64,
+    /// Data seed (varies per run number RN).
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Small sizing for tests and quick runs.
+    pub fn quick() -> WorkloadParams {
+        WorkloadParams { scale: 1, seed: 42 }
+    }
+
+    /// Default harness sizing.
+    pub fn train() -> WorkloadParams {
+        WorkloadParams { scale: 2, seed: 42 }
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams::train()
+    }
+}
+
+/// One benchmark application.
+#[derive(Clone, Copy)]
+pub struct AppSpec {
+    /// Display name matching the paper's figures.
+    pub name: &'static str,
+    /// Module builder.
+    pub build: fn(&WorkloadParams) -> Module,
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AppSpec({})", self.name)
+    }
+}
+
+/// The four applications of the evaluation, in the paper's order.
+pub fn all_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "art",
+            build: |p| art::build(p.scale, p.seed),
+        },
+        AppSpec {
+            name: "bzip2",
+            build: |p| bzip2::build(p.scale, p.seed),
+        },
+        AppSpec {
+            name: "equake",
+            build: |p| equake::build(p.scale, p.seed),
+        },
+        AppSpec {
+            name: "mcf",
+            build: |p| mcf::build(p.scale, p.seed),
+        },
+    ]
+}
+
+/// Looks up an application by name.
+pub fn app_by_name(name: &str) -> Option<AppSpec> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_ir::verify::verify_module;
+
+    #[test]
+    fn all_apps_build_and_verify() {
+        for app in all_apps() {
+            let m = (app.build)(&WorkloadParams::quick());
+            assert!(
+                verify_module(&m).is_ok(),
+                "{} fails verification",
+                app.name
+            );
+            assert!(m.entry.is_some(), "{} has no entry", app.name);
+        }
+    }
+
+    #[test]
+    fn app_lookup() {
+        assert!(app_by_name("mcf").is_some());
+        assert!(app_by_name("gcc").is_none());
+    }
+}

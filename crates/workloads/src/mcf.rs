@@ -1,0 +1,356 @@
+//! `mcf` analogue: vehicle-scheduling minimum-cost-flow optimization over
+//! pointer-linked node/arc structures (SPEC CPU2000 181.mcf).
+//!
+//! The most pointer-intensive workload: nodes and arcs reference each
+//! other through mutually recursive structs, arcs live in per-arc heap
+//! allocations threaded onto intrusive lists, the optimizer repeatedly
+//! chases those pointers, and the arc set churns (free + realloc) during
+//! the run. Sorting arc summaries exercises the `qsort` wrapper with an
+//! IR comparator.
+
+use crate::util::{lcg_mod, lcg_state};
+use dpmr_ir::prelude::*;
+
+/// Builds the mcf analogue. `scale` controls network size and sweeps.
+#[allow(clippy::too_many_lines)]
+pub fn build(scale: i64, seed: u64) -> Module {
+    let scale = scale.max(1);
+    let n_nodes = 24 * scale;
+    let n_arcs = 3 * n_nodes;
+    let sweeps = 4 * scale;
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    // Mutually recursive structs:
+    // struct Node { i64 potential; Arc* first; i64 balance }
+    // struct Arc  { i64 cost; i64 flow; Node* tail; Node* head; Arc* next }
+    let node = m.types.opaque_struct("Node");
+    let arc = m.types.opaque_struct("Arc");
+    let nodep = m.types.pointer(node);
+    let arcp = m.types.pointer(arc);
+    m.types.set_struct_body(node, vec![i64t, arcp, i64t]);
+    m.types.set_struct_body(arc, vec![i64t, i64t, nodep, nodep, arcp]);
+    let node_arr = m.types.unsized_array(node);
+    let node_arr_p = m.types.pointer(node_arr);
+    // pair { i64 key; i64 idx } for qsort.
+    let pair = m.types.struct_type("costPair", vec![i64t, i64t]);
+    let pairp = m.types.pointer(pair);
+    let vp = m.types.void_ptr();
+    let void = m.types.void();
+
+    // Comparator for qsort.
+    let cmp = {
+        let mut b = FunctionBuilder::new(&mut m, "cmpCost", i64t, &[("a", pairp), ("b", pairp)]);
+        let a = b.param(0);
+        let bb = b.param(1);
+        let ka = b.field_addr(a.into(), 0, "ka");
+        let va = b.load(i64t, ka.into(), "va");
+        let kb = b.field_addr(bb.into(), 0, "kb");
+        let vb = b.load(i64t, kb.into(), "vb");
+        let d = b.bin(BinOp::Sub, i64t, va.into(), vb.into());
+        b.ret(Some(d.into()));
+        b.finish()
+    };
+    let qsort_ty = {
+        let cmp_fn_ty = m.types.function(i64t, vec![pairp, pairp]);
+        let cmp_ptr = m.types.pointer(cmp_fn_ty);
+        m.types.function(void, vec![vp, i64t, i64t, cmp_ptr])
+    };
+    let qsort = m.declare_external("qsort", qsort_ty);
+
+    // Arc* makeArc(i64 cost, Node* tail, Node* head) — allocates and links
+    // the arc onto tail's intrusive list.
+    let make_arc = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "makeArc",
+            arcp,
+            &[("cost", i64t), ("tail", nodep), ("head", nodep)],
+        );
+        let cost = b.param(0);
+        let tail = b.param(1);
+        let head = b.param(2);
+        let a = b.malloc(arc, Const::i64(1).into(), "a");
+        let cp = b.field_addr(a.into(), 0, "cp");
+        b.store(cp.into(), cost.into());
+        let fp = b.field_addr(a.into(), 1, "fp");
+        b.store(fp.into(), Const::i64(0).into());
+        let tp = b.field_addr(a.into(), 2, "tp");
+        b.store(tp.into(), tail.into());
+        let hp = b.field_addr(a.into(), 3, "hp");
+        b.store(hp.into(), head.into());
+        // Link: a->next = tail->first; tail->first = a.
+        let firstp = b.field_addr(tail.into(), 1, "firstp");
+        let first = b.load(arcp, firstp.into(), "first");
+        let np = b.field_addr(a.into(), 4, "np");
+        b.store(np.into(), first.into());
+        b.store(firstp.into(), a.into());
+        b.ret(Some(a.into()));
+        b.finish()
+    };
+
+    // i64 sweep(Node[]* nodes, i64 n) — one Bellman-Ford-style relaxation
+    // pass over every arc reachable from every node; returns total cost.
+    let sweep = {
+        let mut b = FunctionBuilder::new(
+            &mut m,
+            "sweep",
+            i64t,
+            &[("nodes", node_arr_p), ("n", i64t)],
+        );
+        let nodes = b.param(0);
+        let n = b.param(1);
+        let total = b.reg(i64t, "total");
+        b.assign(total, Const::i64(0).into());
+        b.for_loop(Const::i64(0).into(), n.into(), |b, i| {
+            let nd = b.index_addr(nodes.into(), i.into(), "nd");
+            let potp = b.field_addr(nd.into(), 0, "potp");
+            let pot = b.load(i64t, potp.into(), "pot");
+            let firstp = b.field_addr(nd.into(), 1, "firstp");
+            let a = b.reg(arcp, "a");
+            let first = b.load(arcp, firstp.into(), "first");
+            b.assign(a, first.into());
+            let head = b.block();
+            let body = b.block();
+            let exit = b.block();
+            b.br(head);
+            b.switch_to(head);
+            let c = b.cmp(CmpPred::Ne, a.into(), Const::Null { pointee: arc }.into());
+            b.cond_br(c.into(), body, exit);
+            b.switch_to(body);
+            let cp = b.field_addr(a.into(), 0, "cp");
+            let cost = b.load(i64t, cp.into(), "cost");
+            let hp = b.field_addr(a.into(), 3, "hp");
+            let hnode = b.load(nodep, hp.into(), "hnode");
+            let hpotp = b.field_addr(hnode.into(), 0, "hpotp");
+            let hpot = b.load(i64t, hpotp.into(), "hpot");
+            // reduced = cost + pot(tail) - pot(head)
+            let r1 = b.bin(BinOp::Add, i64t, cost.into(), pot.into());
+            let red = b.bin(BinOp::Sub, i64t, r1.into(), hpot.into());
+            let negc = b.cmp(CmpPred::Slt, red.into(), Const::i64(0).into());
+            b.if_then(negc.into(), |b| {
+                // Push a unit of flow and raise the head potential.
+                let flp = b.field_addr(a.into(), 1, "flp");
+                let fl = b.load(i64t, flp.into(), "fl");
+                let fl2 = b.bin(BinOp::Add, i64t, fl.into(), Const::i64(1).into());
+                b.store(flp.into(), fl2.into());
+                let np2 = b.bin(BinOp::Add, i64t, hpot.into(), Const::i64(1).into());
+                b.store(hpotp.into(), np2.into());
+            });
+            let flp2 = b.field_addr(a.into(), 1, "flp2");
+            let fl3 = b.load(i64t, flp2.into(), "fl3");
+            let contrib = b.bin(BinOp::Mul, i64t, fl3.into(), cost.into());
+            let t2 = b.bin(BinOp::Add, i64t, total.into(), contrib.into());
+            b.assign(total, t2.into());
+            let nxp = b.field_addr(a.into(), 4, "nxp");
+            let nx = b.load(arcp, nxp.into(), "nx");
+            b.assign(a, nx.into());
+            b.br(head);
+            b.switch_to(exit);
+        });
+        b.ret(Some(total.into()));
+        b.finish()
+    };
+
+    // main
+    let main = {
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let st = lcg_state(&mut b, seed);
+        let nodes_raw = b.malloc(node, Const::i64(n_nodes).into(), "nodes");
+        let nodes = b.cast(CastOp::Bitcast, node_arr_p, nodes_raw.into(), "nodesArr");
+        b.for_loop(Const::i64(0).into(), Const::i64(n_nodes).into(), |b, i| {
+            let nd = b.index_addr(nodes.into(), i.into(), "nd");
+            let potp = b.field_addr(nd.into(), 0, "potp");
+            b.store(potp.into(), Const::i64(0).into());
+            let firstp = b.field_addr(nd.into(), 1, "firstp");
+            b.store(firstp.into(), Const::Null { pointee: arc }.into());
+            let balp = b.field_addr(nd.into(), 2, "balp");
+            let bal = lcg_mod(b, st, 7);
+            b.store(balp.into(), bal.into());
+        });
+        // Random arcs.
+        b.for_loop(Const::i64(0).into(), Const::i64(n_arcs).into(), |b, _k| {
+            let t = lcg_mod(b, st, n_nodes);
+            let h = lcg_mod(b, st, n_nodes);
+            let cost = lcg_mod(b, st, 50);
+            let cost = {
+                let c = b.bin(BinOp::Sub, i64t, cost.into(), Const::i64(20).into());
+                c
+            };
+            let tnd = b.index_addr(nodes.into(), t.into(), "tnd");
+            let hnd = b.index_addr(nodes.into(), h.into(), "hnd");
+            b.call(
+                Callee::Direct(make_arc),
+                vec![cost.into(), tnd.into(), hnd.into()],
+                Some(arcp),
+                "",
+            );
+        });
+        // Per-sweep scratch buffer: potential deltas, allocated fresh each
+        // sweep (an additional heap allocation/deallocation site).
+        let iarr = b.module.types.unsized_array(i64t);
+        let iarrp = b.module.types.pointer(iarr);
+        // Optimization sweeps with arc churn between them.
+        b.for_loop(Const::i64(0).into(), Const::i64(sweeps).into(), |b, _s| {
+            let scratch_raw = b.malloc(i64t, Const::i64(n_nodes).into(), "scratch");
+            let scratch = b.cast(CastOp::Bitcast, iarrp, scratch_raw.into(), "scratchArr");
+            b.for_loop(Const::i64(0).into(), Const::i64(n_nodes).into(), |b, i| {
+                let nd = b.index_addr(nodes.into(), i.into(), "nd");
+                let potp = b.field_addr(nd.into(), 0, "potp");
+                let pot = b.load(i64t, potp.into(), "pot");
+                let sp = b.index_addr(scratch.into(), i.into(), "sp");
+                b.store(sp.into(), pot.into());
+            });
+            let total = b
+                .call(
+                    Callee::Direct(sweep),
+                    vec![nodes.into(), Const::i64(n_nodes).into()],
+                    Some(i64t),
+                    "total",
+                )
+                .expect("total");
+            b.output(total.into());
+            // Delta checksum from the scratch snapshot.
+            let delta = b.reg(i64t, "delta");
+            b.assign(delta, Const::i64(0).into());
+            b.for_loop(Const::i64(0).into(), Const::i64(n_nodes).into(), |b, i| {
+                let nd = b.index_addr(nodes.into(), i.into(), "nd");
+                let potp = b.field_addr(nd.into(), 0, "potp");
+                let now = b.load(i64t, potp.into(), "now");
+                let sp = b.index_addr(scratch.into(), i.into(), "sp");
+                let before = b.load(i64t, sp.into(), "before");
+                let d = b.bin(BinOp::Sub, i64t, now.into(), before.into());
+                let acc = b.bin(BinOp::Add, i64t, delta.into(), d.into());
+                b.assign(delta, acc.into());
+            });
+            b.output(delta.into());
+            b.free(scratch_raw.into());
+            // Churn: pop the first arc of a random node (free it) and
+            // create a replacement elsewhere.
+            let vi = lcg_mod(b, st, n_nodes);
+            let nd = b.index_addr(nodes.into(), vi.into(), "nd");
+            let firstp = b.field_addr(nd.into(), 1, "firstp");
+            let first = b.load(arcp, firstp.into(), "first");
+            let has = b.cmp(CmpPred::Ne, first.into(), Const::Null { pointee: arc }.into());
+            b.if_then(has.into(), |b| {
+                let nxp = b.field_addr(first.into(), 4, "nxp");
+                let nx = b.load(arcp, nxp.into(), "nx");
+                b.store(firstp.into(), nx.into());
+                b.free(first.into());
+            });
+            let t = lcg_mod(b, st, n_nodes);
+            let h = lcg_mod(b, st, n_nodes);
+            let cost = lcg_mod(b, st, 30);
+            let tnd = b.index_addr(nodes.into(), t.into(), "tnd");
+            let hnd = b.index_addr(nodes.into(), h.into(), "hnd");
+            b.call(
+                Callee::Direct(make_arc),
+                vec![cost.into(), tnd.into(), hnd.into()],
+                Some(arcp),
+                "",
+            );
+        });
+        // Sort node potentials with qsort and output the median + checksum.
+        let pairs_raw = b.malloc(pair, Const::i64(n_nodes).into(), "pairs");
+        let pair_arr = b.module.types.unsized_array(pair);
+        let pair_arr_p = b.module.types.pointer(pair_arr);
+        let pairs = b.cast(CastOp::Bitcast, pair_arr_p, pairs_raw.into(), "pairsArr");
+        b.for_loop(Const::i64(0).into(), Const::i64(n_nodes).into(), |b, i| {
+            let nd = b.index_addr(nodes.into(), i.into(), "nd");
+            let potp = b.field_addr(nd.into(), 0, "potp");
+            let pot = b.load(i64t, potp.into(), "pot");
+            let e = b.index_addr(pairs.into(), i.into(), "e");
+            let kp = b.field_addr(e.into(), 0, "kp");
+            b.store(kp.into(), pot.into());
+            let ip = b.field_addr(e.into(), 1, "ip");
+            b.store(ip.into(), i.into());
+        });
+        let pair_sz = b.module.types.size_of(pair).expect("sized") as i64;
+        let basev = b.cast(CastOp::Bitcast, vp, pairs_raw.into(), "basev");
+        let cmp_fn_ty = b.module.types.function(i64t, vec![pairp, pairp]);
+        let cmp_ptr_ty = b.module.types.pointer(cmp_fn_ty);
+        let cmp_ptr = b.copy(cmp_ptr_ty, Operand::Func(cmp), "cmpPtr");
+        b.call(
+            Callee::External(qsort),
+            vec![
+                basev.into(),
+                Const::i64(n_nodes).into(),
+                Const::i64(pair_sz).into(),
+                cmp_ptr.into(),
+            ],
+            None,
+            "",
+        );
+        let med = b.index_addr(pairs.into(), Const::i64(n_nodes / 2).into(), "med");
+        let mkp = b.field_addr(med.into(), 0, "mkp");
+        let mk = b.load(i64t, mkp.into(), "mk");
+        b.output(mk.into());
+        // Checksum of sorted keys.
+        let chk = b.reg(i64t, "chk");
+        b.assign(chk, Const::i64(0).into());
+        b.for_loop(Const::i64(0).into(), Const::i64(n_nodes).into(), |b, i| {
+            let e = b.index_addr(pairs.into(), i.into(), "e");
+            let kp = b.field_addr(e.into(), 0, "kp");
+            let k = b.load(i64t, kp.into(), "k");
+            let w = b.bin(BinOp::Mul, i64t, k.into(), i.into());
+            let s = b.bin(BinOp::Add, i64t, chk.into(), w.into());
+            b.assign(chk, s.into());
+        });
+        b.output(chk.into());
+        // Free arcs and node array.
+        b.for_loop(Const::i64(0).into(), Const::i64(n_nodes).into(), |b, i| {
+            let nd = b.index_addr(nodes.into(), i.into(), "nd");
+            let firstp = b.field_addr(nd.into(), 1, "firstp");
+            let a = b.reg(arcp, "a");
+            let first = b.load(arcp, firstp.into(), "first");
+            b.assign(a, first.into());
+            let head = b.block();
+            let body = b.block();
+            let exit = b.block();
+            b.br(head);
+            b.switch_to(head);
+            let c = b.cmp(CmpPred::Ne, a.into(), Const::Null { pointee: arc }.into());
+            b.cond_br(c.into(), body, exit);
+            b.switch_to(body);
+            let nxp = b.field_addr(a.into(), 4, "nxp");
+            let nx = b.load(arcp, nxp.into(), "nx");
+            b.free(a.into());
+            b.assign(a, nx.into());
+            b.br(head);
+            b.switch_to(exit);
+        });
+        b.free(pairs_raw.into());
+        b.free(nodes_raw.into());
+        b.ret(Some(Const::i64(0).into()));
+        b.finish()
+    };
+    m.entry = Some(main);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_vm::prelude::*;
+
+    #[test]
+    fn mcf_runs_and_is_deterministic() {
+        let m = build(1, 5);
+        let a = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(a.status, ExitStatus::Normal(0));
+        let b = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(a.output, b.output);
+        // 2 outputs per sweep + median + checksum
+        assert_eq!(a.output.len(), 2 * 4 + 2);
+    }
+
+    #[test]
+    fn mcf_allocates_and_frees_heavily() {
+        let m = build(1, 5);
+        let out = run_with_limits(&m, &RunConfig::default());
+        assert!(out.alloc_stats.mallocs > 70, "arcs are heap-allocated");
+        assert_eq!(
+            out.alloc_stats.mallocs, out.alloc_stats.frees,
+            "no leaks in the golden run"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared helpers for building workload programs.
+
+use dpmr_ir::prelude::*;
+
+/// Emits an inline linear-congruential step on an `i64` register holding
+/// RNG state; returns a register with a fresh non-negative pseudo-random
+/// value. Deterministic: workload data depend only on the build-time seed.
+pub fn lcg_next(b: &mut FunctionBuilder<'_>, state: RegId) -> RegId {
+    let i64t = b.module.types.int(64);
+    let m = b.bin(
+        BinOp::Mul,
+        i64t,
+        state.into(),
+        Const::i64(6_364_136_223_846_793_005).into(),
+    );
+    let s = b.bin(
+        BinOp::Add,
+        i64t,
+        m.into(),
+        Const::i64(1_442_695_040_888_963_407).into(),
+    );
+    b.assign(state, s.into());
+    let sh = b.bin(BinOp::LShr, i64t, s.into(), Const::i64(17).into());
+    b.bin(
+        BinOp::And,
+        i64t,
+        sh.into(),
+        Const::i64(0x7fff_ffff_ffff).into(),
+    )
+}
+
+/// `lcg_next` reduced modulo `n` (n > 0).
+pub fn lcg_mod(b: &mut FunctionBuilder<'_>, state: RegId, n: i64) -> RegId {
+    let i64t = b.module.types.int(64);
+    let r = lcg_next(b, state);
+    b.bin(BinOp::SRem, i64t, r.into(), Const::i64(n).into())
+}
+
+/// Allocates and seeds an `i64` RNG-state register.
+pub fn lcg_state(b: &mut FunctionBuilder<'_>, seed: u64) -> RegId {
+    let i64t = b.module.types.int(64);
+    let s = b.reg(i64t, "rng");
+    b.assign(s, Const::i64(seed as i64).into());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_vm::prelude::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_bounded() {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let st = lcg_state(&mut b, 42);
+        for _ in 0..3 {
+            let v = lcg_mod(&mut b, st, 100);
+            b.output(v.into());
+        }
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+        let out1 = run_with_limits(&m, &RunConfig::default());
+        let out2 = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(out1.output, out2.output);
+        for &v in &out1.output {
+            assert!(v < 100, "bounded by modulus");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Workload characterization tests: the properties the evaluation's
+//! interpretation depends on (Sec. 4.5 attributes the SDS/MDS gap to how
+//! much pointer-holding memory each app allocates) must actually hold for
+//! the analogues.
+
+use dpmr_ir::instr::Instr;
+use dpmr_ir::module::Module;
+use dpmr_vm::prelude::*;
+use dpmr_workloads::{all_apps, app_by_name, WorkloadParams};
+
+/// Static count of store instructions whose value operand is a pointer.
+fn pointer_store_sites(m: &Module) -> usize {
+    m.funcs
+        .iter()
+        .flat_map(|f| {
+            f.blocks.iter().flat_map(move |b| {
+                b.instrs.iter().filter_map(move |i| match i {
+                    Instr::Store { value, .. } => match value {
+                        dpmr_ir::instr::Operand::Reg(r) => {
+                            Some(usize::from(m.types.is_pointer(f.reg_ty(*r))))
+                        }
+                        dpmr_ir::instr::Operand::Const(dpmr_ir::instr::Const::Null { .. }) => {
+                            Some(1)
+                        }
+                        _ => Some(0),
+                    },
+                    _ => None,
+                })
+            })
+        })
+        .sum()
+}
+
+fn store_sites(m: &Module) -> usize {
+    m.funcs
+        .iter()
+        .flat_map(|f| f.blocks.iter())
+        .flat_map(|b| b.instrs.iter())
+        .filter(|i| matches!(i, Instr::Store { .. }))
+        .count()
+}
+
+#[test]
+fn pointer_density_ordering_matches_paper_premise() {
+    // equake/mcf must be pointer-heavier than art/bzip2 in the fraction of
+    // stores that write pointers — the property driving Ch. 4's results.
+    let frac = |name: &str| {
+        let m = (app_by_name(name).unwrap().build)(&WorkloadParams::quick());
+        pointer_store_sites(&m) as f64 / store_sites(&m) as f64
+    };
+    let art = frac("art");
+    let bzip2 = frac("bzip2");
+    let equake = frac("equake");
+    let mcf = frac("mcf");
+    assert!(
+        mcf > art && mcf > bzip2,
+        "mcf ({mcf:.3}) must exceed art ({art:.3}) and bzip2 ({bzip2:.3})"
+    );
+    assert!(
+        equake > art && equake > bzip2,
+        "equake ({equake:.3}) must exceed art ({art:.3}) and bzip2 ({bzip2:.3})"
+    );
+}
+
+#[test]
+fn outputs_are_seed_sensitive_but_scale_stable() {
+    for app in all_apps() {
+        let a = (app.build)(&WorkloadParams { scale: 1, seed: 1 });
+        let b = (app.build)(&WorkloadParams { scale: 1, seed: 2 });
+        let oa = run_with_limits(&a, &RunConfig::default());
+        let ob = run_with_limits(&b, &RunConfig::default());
+        assert_eq!(oa.status, ExitStatus::Normal(0), "{}", app.name);
+        assert_eq!(ob.status, ExitStatus::Normal(0), "{}", app.name);
+        assert_ne!(
+            oa.output, ob.output,
+            "{}: different seeds must change the data",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn scaling_grows_work_superlinearly_or_linearly() {
+    for app in all_apps() {
+        let small = (app.build)(&WorkloadParams { scale: 1, seed: 1 });
+        let large = (app.build)(&WorkloadParams { scale: 3, seed: 1 });
+        let os = run_with_limits(&small, &RunConfig::default());
+        let ol = run_with_limits(&large, &RunConfig::default());
+        assert!(
+            ol.instrs >= os.instrs * 2,
+            "{}: scale 3 must at least double the work ({} vs {})",
+            app.name,
+            ol.instrs,
+            os.instrs
+        );
+    }
+}
+
+#[test]
+fn every_app_frees_what_it_allocates() {
+    for app in all_apps() {
+        let m = (app.build)(&WorkloadParams::quick());
+        let out = run_with_limits(&m, &RunConfig::default());
+        assert_eq!(
+            out.alloc_stats.mallocs, out.alloc_stats.frees,
+            "{}: golden runs must not leak",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn workloads_have_enough_injection_sites_for_the_campaign() {
+    for app in all_apps() {
+        let m = (app.build)(&WorkloadParams::quick());
+        let sites = dpmr_fi::enumerate_heap_alloc_sites(&m);
+        assert!(
+            sites.len() >= 4,
+            "{}: needs at least 4 heap allocation sites, has {}",
+            app.name,
+            sites.len()
+        );
+    }
+}
+
+#[test]
+fn bzip2_compression_is_effective_on_runny_data() {
+    let m = (app_by_name("bzip2").unwrap().build)(&WorkloadParams {
+        scale: 2,
+        seed: 3,
+    });
+    let out = run_with_limits(&m, &RunConfig::default());
+    let rle_len = out.output[0] as i64;
+    assert!(
+        rle_len < 1536,
+        "RLE output ({rle_len}) must be smaller than the 1536-byte block"
+    );
+    assert_eq!(*out.output.last().unwrap(), 1, "round-trip verified");
+}
+
+#[test]
+fn equake_energy_series_is_damped() {
+    let m = (app_by_name("equake").unwrap().build)(&WorkloadParams {
+        scale: 2,
+        seed: 3,
+    });
+    let out = run_with_limits(&m, &RunConfig::default());
+    let first = out.output[0] as i64;
+    let last = *out.output.last().unwrap() as i64;
+    assert!(first > 0);
+    assert!(last < first * 100, "no energy blow-up");
+}
+
+#[test]
+fn mcf_total_cost_changes_across_sweeps() {
+    let m = (app_by_name("mcf").unwrap().build)(&WorkloadParams::quick());
+    let out = run_with_limits(&m, &RunConfig::default());
+    // Sweep outputs are the first `sweeps` entries.
+    let sweeps = &out.output[..out.output.len() - 2];
+    assert!(sweeps.len() >= 2);
+    assert!(
+        sweeps.windows(2).any(|w| w[0] != w[1]),
+        "optimization must actually move flow"
+    );
+}
+
+#[test]
+fn art_histogram_sums_to_scans() {
+    let m = (app_by_name("art").unwrap().build)(&WorkloadParams::quick());
+    let out = run_with_limits(&m, &RunConfig::default());
+    // Output: 6 histogram buckets then 2 norms.
+    let hist = &out.output[..6];
+    let total: u64 = hist.iter().sum();
+    // scale 1: passes=2, positions=(64+16-16)/4=16 -> 32 scans.
+    assert_eq!(total, 32);
+}

@@ -1,0 +1,103 @@
+//! Memory-bug hunting on a production-style workload: inject the paper's
+//! two fault types at every heap allocation site of the `mcf` analogue
+//! (a pointer-linked vehicle-scheduling optimizer) and compare what the
+//! bare application catches against what DPMR catches.
+//!
+//! This is the paper's core claim in action: deterministically activated
+//! memory faults that survive into production manifest identically on
+//! every run, so re-execution techniques cannot catch them — but a diverse
+//! partial replica manifests them *differently* and the comparison does.
+//!
+//! ```bash
+//! cargo run --release --example memory_bug_hunting
+//! ```
+
+use dpmr::fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType};
+use dpmr::prelude::*;
+use dpmr::workloads::{app_by_name, WorkloadParams};
+use std::rc::Rc;
+
+fn main() {
+    let app = app_by_name("mcf").expect("mcf workload");
+    let module = (app.build)(&WorkloadParams::quick());
+    let golden = run_with_limits(&module, &RunConfig::default());
+    assert_eq!(golden.status, ExitStatus::Normal(0));
+    println!(
+        "mcf golden run: {} instructions, {} heap allocations\n",
+        golden.instrs, golden.alloc_stats.mallocs
+    );
+
+    let cfg = DpmrConfig::sds(); // rearrange-heap + all loads
+    let sites = enumerate_heap_alloc_sites(&module);
+    println!(
+        "{} heap allocation sites; injecting {} fault types at each\n",
+        sites.len(),
+        FaultType::paper_set().len()
+    );
+    println!(
+        "{:<28} {:>10} {:>16} {:>16}",
+        "injection", "executed", "bare outcome", "DPMR outcome"
+    );
+
+    let mut bare_missed = 0u32;
+    let mut dpmr_missed = 0u32;
+    let mut total = 0u32;
+    for fault in FaultType::paper_set() {
+        for site in &sites {
+            if !may_manifest(&module, site, fault) {
+                continue; // statically filtered (size rounding masks it)
+            }
+            let faulty = inject(&module, site, fault);
+
+            // Bare (fi-stdapp) run.
+            let bare = run_with_limits(&faulty, &RunConfig::default());
+            if bare.first_fi_cycle.is_none() {
+                continue; // injection never executed under this workload
+            }
+            total += 1;
+            let bare_verdict = verdict(&bare, &golden);
+
+            // DPMR (fi-dpmr) run.
+            let protected = transform(&faulty, &cfg).expect("transform");
+            let reg = Rc::new(registry_with_wrappers());
+            let dpmr = run_with_registry(&protected, &RunConfig::default(), reg);
+            let dpmr_verdict = verdict(&dpmr, &golden);
+
+            if bare_verdict == "SILENT CORRUPTION" {
+                bare_missed += 1;
+            }
+            if dpmr_verdict == "SILENT CORRUPTION" {
+                dpmr_missed += 1;
+            }
+            println!(
+                "{:<28} {:>10} {:>16} {:>16}",
+                format!("site {} / {}", site.site_id, fault.name()),
+                "yes",
+                bare_verdict,
+                dpmr_verdict
+            );
+        }
+    }
+    println!(
+        "\nsummary over {total} successfully injected faults: \
+         bare misses {bare_missed}, DPMR misses {dpmr_missed}"
+    );
+    assert!(
+        dpmr_missed <= bare_missed,
+        "DPMR must never cover less than the bare application"
+    );
+}
+
+fn verdict(out: &RunOutcome, golden: &RunOutcome) -> &'static str {
+    if out.status.is_dpmr_detection() {
+        "DPMR DETECT"
+    } else if out.status.is_natural_detection() {
+        "crash/abort"
+    } else if matches!(out.status, ExitStatus::Timeout) {
+        "timeout"
+    } else if out.output == golden.output {
+        "correct output"
+    } else {
+        "SILENT CORRUPTION"
+    }
+}

@@ -1,0 +1,91 @@
+//! Tunability (the dissertation's central design goal): sweep diversity
+//! transformations and state comparison policies over one application and
+//! print the performance/dependability trade-off an operator would use to
+//! pick a deployment configuration (Sec. 1.1's web-server example: a
+//! financial server picks heavy checking; a sports-news server picks
+//! cheap checking).
+//!
+//! ```bash
+//! cargo run --release --example tuning_policies
+//! ```
+
+use dpmr::fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType};
+use dpmr::prelude::*;
+use dpmr::workloads::{app_by_name, WorkloadParams};
+use std::rc::Rc;
+
+fn main() {
+    let app = app_by_name("equake").expect("equake workload");
+    let module = (app.build)(&WorkloadParams::quick());
+    let golden = run_with_limits(&module, &RunConfig::default());
+    assert_eq!(golden.status, ExitStatus::Normal(0));
+
+    println!("equake: tuning DPMR configurations (SDS)\n");
+    println!(
+        "{:<44} {:>9} {:>10}",
+        "configuration", "overhead", "coverage"
+    );
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (d, p) in [
+        (Diversity::None, Policy::Static { percent: 10 }),
+        (Diversity::None, Policy::AllLoads),
+        (Diversity::RearrangeHeap, Policy::Static { percent: 10 }),
+        (Diversity::RearrangeHeap, Policy::Static { percent: 50 }),
+        (Diversity::RearrangeHeap, Policy::AllLoads),
+        (Diversity::PadMalloc(1024), Policy::AllLoads),
+        (Diversity::ZeroBeforeFree, Policy::temporal_half()),
+    ] {
+        let cfg = DpmrConfig::sds().with_diversity(d).with_policy(p);
+        let t = transform(&module, &cfg).expect("transform");
+        let reg = Rc::new(registry_with_wrappers());
+        let clean = run_with_registry(&t, &RunConfig::default(), reg);
+        assert_eq!(clean.status, ExitStatus::Normal(0), "{}", cfg.name());
+        let overhead = clean.cycles as f64 / golden.cycles as f64;
+        let coverage = coverage_of(&module, &golden, &cfg);
+        println!("{:<44} {:>8.2}x {:>9.2}", cfg.name(), overhead, coverage);
+        rows.push((cfg.name(), overhead, coverage));
+    }
+
+    // The tunability claim: configurations span a real trade-off space.
+    let min_oh = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let max_oh = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+    println!(
+        "\noverhead range: {min_oh:.2}x .. {max_oh:.2}x — pick per deployment requirements"
+    );
+}
+
+/// Fraction of successfully injected faults covered (correct output, crash,
+/// or DPMR detection) under `cfg`.
+fn coverage_of(module: &dpmr::ir::module::Module, golden: &RunOutcome, cfg: &DpmrConfig) -> f64 {
+    let sites = enumerate_heap_alloc_sites(module);
+    let mut n = 0u32;
+    let mut covered = 0u32;
+    for fault in FaultType::paper_set() {
+        for site in &sites {
+            if !may_manifest(module, site, fault) {
+                continue;
+            }
+            let faulty = inject(module, site, fault);
+            let protected = transform(&faulty, cfg).expect("transform");
+            let reg = Rc::new(registry_with_wrappers());
+            let mut rc = RunConfig::default();
+            rc.max_instrs = golden.instrs * 30;
+            let out = run_with_registry(&protected, &rc, reg);
+            if out.first_fi_cycle.is_none() {
+                continue;
+            }
+            n += 1;
+            let ok = out.status.is_dpmr_detection()
+                || out.status.is_natural_detection()
+                || (matches!(out.status, ExitStatus::Normal(0)) && out.output == golden.output);
+            if ok {
+                covered += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    f64::from(covered) / f64::from(n)
+}

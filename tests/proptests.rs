@@ -1,0 +1,351 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: the shadow/augmented type algebra, the heap allocator,
+//! scalar encoding, and end-to-end behaviour preservation over randomized
+//! program parameters.
+
+use dpmr::prelude::*;
+use dpmr::vm::alloc::{Allocator, FreeOutcome, GRANULE, MIN_PAYLOAD};
+use dpmr::vm::mem::{Mem, MemConfig};
+use dpmr::vm::value::normalize_int;
+use dpmr::workloads::micro;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Type algebra properties
+// ---------------------------------------------------------------------
+
+/// A recipe for building a random type tree inside a fresh table.
+#[derive(Debug, Clone)]
+enum TyRecipe {
+    I8,
+    I32,
+    I64,
+    F64,
+    Ptr(Box<TyRecipe>),
+    Array(Box<TyRecipe>, u8),
+    Struct(Vec<TyRecipe>),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = TyRecipe> {
+    let leaf = prop_oneof![
+        Just(TyRecipe::I8),
+        Just(TyRecipe::I32),
+        Just(TyRecipe::I64),
+        Just(TyRecipe::F64),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| TyRecipe::Ptr(Box::new(t))),
+            (inner.clone(), 1u8..5).prop_map(|(t, n)| TyRecipe::Array(Box::new(t), n)),
+            proptest::collection::vec(inner, 1..4).prop_map(TyRecipe::Struct),
+        ]
+    })
+}
+
+fn build_ty(tt: &mut TypeTable, r: &TyRecipe) -> TypeId {
+    match r {
+        TyRecipe::I8 => tt.int(8),
+        TyRecipe::I32 => tt.int(32),
+        TyRecipe::I64 => tt.int(64),
+        TyRecipe::F64 => tt.float(64),
+        TyRecipe::Ptr(t) => {
+            let inner = build_ty(tt, t);
+            tt.pointer(inner)
+        }
+        TyRecipe::Array(t, n) => {
+            let inner = build_ty(tt, t);
+            tt.array(inner, u64::from(*n))
+        }
+        TyRecipe::Struct(fs) => {
+            let fields: Vec<TypeId> = fs.iter().map(|f| build_ty(tt, f)).collect();
+            tt.struct_type("p", fields)
+        }
+    }
+}
+
+proptest! {
+    /// `at` is the identity on function-free types (Sec. 2.3: "most
+    /// program types remain the same").
+    #[test]
+    fn at_is_identity_without_function_types(r in recipe_strategy()) {
+        let mut tt = TypeTable::new();
+        let t = build_ty(&mut tt, &r);
+        let mut alg = TypeAlgebra::new(Scheme::Sds);
+        prop_assert_eq!(alg.at(&mut tt, t), t);
+    }
+
+    /// `st(t)` is null exactly when `t` contains no pointer outside
+    /// function types (Table 2.1's null-dropping rule).
+    #[test]
+    fn st_null_iff_no_pointers(r in recipe_strategy()) {
+        let mut tt = TypeTable::new();
+        let t = build_ty(&mut tt, &r);
+        let mut alg = TypeAlgebra::new(Scheme::Sds);
+        let has_ptr = tt.contains_pointer_outside_fun(t);
+        prop_assert_eq!(alg.st(&mut tt, t).is_some(), has_ptr);
+    }
+
+    /// The Sec. 2.9 bound: 2 × sizeof(at(t)) bytes always suffice for the
+    /// shadow object (the case where everything is a pointer).
+    #[test]
+    fn shadow_size_bounded_by_twice_augmented(r in recipe_strategy()) {
+        let mut tt = TypeTable::new();
+        let t = build_ty(&mut tt, &r);
+        let mut alg = TypeAlgebra::new(Scheme::Sds);
+        if let Some(s) = alg.sat(&mut tt, t) {
+            let at = alg.at(&mut tt, t);
+            let ssz = tt.size_of(s).unwrap();
+            let asz = tt.size_of(at).unwrap();
+            prop_assert!(
+                ssz <= 2 * asz,
+                "sizeof(sat)={ssz} > 2*sizeof(at)={}", 2 * asz
+            );
+        }
+    }
+
+    /// `st` is memo-stable: two computations agree.
+    #[test]
+    fn st_is_deterministic(r in recipe_strategy()) {
+        let mut tt = TypeTable::new();
+        let t = build_ty(&mut tt, &r);
+        let mut alg = TypeAlgebra::new(Scheme::Sds);
+        let a = alg.st(&mut tt, t);
+        let b = alg.st(&mut tt, t);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Shadow structs of pointers always have exactly two fields (ROP and
+    /// NSOP), each pointer-sized.
+    #[test]
+    fn pointer_shadows_are_rop_nsop_pairs(r in recipe_strategy()) {
+        let mut tt = TypeTable::new();
+        let inner = build_ty(&mut tt, &r);
+        let p = tt.pointer(inner);
+        let mut alg = TypeAlgebra::new(Scheme::Sds);
+        let s = alg.st(&mut tt, p).expect("pointer shadows are non-null");
+        let fields = tt.members(s);
+        prop_assert_eq!(fields.len(), 2);
+        prop_assert_eq!(tt.size_of(s).unwrap(), 16);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allocator properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Live payloads never overlap, all are within the heap, and
+    /// `buf_size` is at least the request.
+    #[test]
+    fn allocator_live_blocks_are_disjoint(
+        sizes in proptest::collection::vec(1u64..600, 1..40),
+        free_mask in proptest::collection::vec(any::<bool>(), 40)
+    ) {
+        let mut mem = Mem::new(&MemConfig::default());
+        let mut a = Allocator::new();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let p = a.malloc(&mut mem, sz).expect("no metadata faults");
+            prop_assert_ne!(p, 0);
+            let usable = a.buf_size(&mem, p).expect("header readable");
+            prop_assert!(usable >= sz.max(MIN_PAYLOAD).next_multiple_of(GRANULE) || usable >= sz);
+            // Check disjointness against live blocks.
+            for &(q, qsz) in &live {
+                let disjoint = p + usable <= q || q + qsz <= p;
+                prop_assert!(disjoint, "blocks {p:#x}+{usable} and {q:#x}+{qsz} overlap");
+            }
+            live.push((p, usable));
+            // Optionally free one block.
+            if free_mask.get(i).copied().unwrap_or(false) && !live.is_empty() {
+                let (q, _) = live.swap_remove(i % live.len().max(1));
+                prop_assert_eq!(a.free(&mut mem, q), FreeOutcome::Ok);
+            }
+        }
+    }
+
+    /// free-then-malloc of the same size reuses memory without
+    /// corrupting other live blocks' contents.
+    #[test]
+    fn allocator_reuse_preserves_other_blocks(sz in 24u64..256) {
+        let mut mem = Mem::new(&MemConfig::default());
+        let mut a = Allocator::new();
+        let keep = a.malloc(&mut mem, sz).unwrap();
+        mem.write(keep, &vec![0xAB; sz as usize]).unwrap();
+        let tmp = a.malloc(&mut mem, sz).unwrap();
+        a.free(&mut mem, tmp);
+        let _new = a.malloc(&mut mem, sz).unwrap();
+        let bytes = mem.read(keep, sz as usize).unwrap();
+        prop_assert!(bytes.iter().all(|&b| b == 0xAB));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar encoding properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Sign-extension normalization is idempotent and respects width.
+    #[test]
+    fn normalize_int_idempotent(v in any::<i64>(), bits in prop_oneof![Just(8u16), Just(16), Just(32), Just(64)]) {
+        let once = normalize_int(v, bits);
+        let twice = normalize_int(once, bits);
+        prop_assert_eq!(once, twice);
+        if bits < 64 {
+            let bound = 1i64 << (bits - 1);
+            prop_assert!(once >= -bound && once < bound);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end behaviour preservation over randomized parameters
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Any in-bounds overflow_writer(n, w<=n) behaves identically under
+    /// SDS and MDS with any diversity.
+    #[test]
+    fn clean_programs_preserved_under_random_sizes(
+        n in 1i64..24,
+        scheme_mds in any::<bool>(),
+        div in 0usize..4,
+    ) {
+        let m = micro::overflow_writer(n, n);
+        let golden = run_with_limits(&m, &RunConfig::default());
+        prop_assert_eq!(&golden.status, &ExitStatus::Normal(0));
+        let base = if scheme_mds { DpmrConfig::mds() } else { DpmrConfig::sds() };
+        let d = [
+            Diversity::None,
+            Diversity::ZeroBeforeFree,
+            Diversity::RearrangeHeap,
+            Diversity::PadMalloc(32),
+        ][div];
+        let t = transform(&m, &base.with_diversity(d)).expect("transform");
+        let reg = Rc::new(registry_with_wrappers());
+        let out = run_with_registry(&t, &RunConfig::default(), reg);
+        prop_assert_eq!(&out.status, &ExitStatus::Normal(0));
+        prop_assert_eq!(out.output, golden.output);
+    }
+
+    #[test]
+    fn linked_lists_of_any_length_roundtrip(n in 0i64..40) {
+        let m = micro::linked_list(n);
+        let golden = run_with_limits(&m, &RunConfig::default());
+        let expected = n * (n - 1) / 2;
+        prop_assert_eq!(golden.output[0] as i64, expected);
+        let t = transform(&m, &DpmrConfig::sds()).expect("transform");
+        let reg = Rc::new(registry_with_wrappers());
+        let out = run_with_registry(&t, &RunConfig::default(), reg);
+        prop_assert_eq!(out.output[0] as i64, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printer/parser round-trip over random straight-line programs
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SlOp {
+    Add(i64),
+    Mul(i64),
+    Xor(i64),
+    Shl(u8),
+    StoreLoad,
+    Output,
+}
+
+fn sl_strategy() -> impl Strategy<Value = Vec<SlOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (-100i64..100).prop_map(SlOp::Add),
+            (1i64..7).prop_map(SlOp::Mul),
+            proptest::num::i64::ANY.prop_map(SlOp::Xor),
+            (0u8..20).prop_map(SlOp::Shl),
+            Just(SlOp::StoreLoad),
+            Just(SlOp::Output),
+        ],
+        1..24,
+    )
+}
+
+fn build_straightline(ops: &[SlOp]) -> dpmr::ir::module::Module {
+    use dpmr::ir::prelude::*;
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let acc = b.reg(i64t, "acc");
+    b.assign(acc, Const::i64(1).into());
+    let cell = b.malloc(i64t, Const::i64(1).into(), "cell");
+    for op in ops {
+        match op {
+            SlOp::Add(v) => {
+                let r = b.bin(BinOp::Add, i64t, acc.into(), Const::i64(*v).into());
+                b.assign(acc, r.into());
+            }
+            SlOp::Mul(v) => {
+                let r = b.bin(BinOp::Mul, i64t, acc.into(), Const::i64(*v).into());
+                b.assign(acc, r.into());
+            }
+            SlOp::Xor(v) => {
+                let r = b.bin(BinOp::Xor, i64t, acc.into(), Const::i64(*v).into());
+                b.assign(acc, r.into());
+            }
+            SlOp::Shl(v) => {
+                let r = b.bin(
+                    BinOp::Shl,
+                    i64t,
+                    acc.into(),
+                    Const::i64(i64::from(*v)).into(),
+                );
+                b.assign(acc, r.into());
+            }
+            SlOp::StoreLoad => {
+                b.store(cell.into(), acc.into());
+                let v = b.load(i64t, cell.into(), "v");
+                b.assign(acc, v.into());
+            }
+            SlOp::Output => b.output(acc.into()),
+        }
+    }
+    b.output(acc.into());
+    b.free(cell.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Any straight-line program survives print -> parse -> run with
+    /// identical behaviour (the text format is faithful).
+    #[test]
+    fn straightline_programs_roundtrip_through_text(ops in sl_strategy()) {
+        let m = build_straightline(&ops);
+        let text = dpmr::ir::printer::print_module(&m);
+        let reparsed = dpmr::ir::parser::parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let a = run_with_limits(&m, &RunConfig::default());
+        let b = run_with_limits(&reparsed, &RunConfig::default());
+        prop_assert_eq!(&a.status, &b.status);
+        prop_assert_eq!(a.output, b.output);
+    }
+
+    /// The DPMR transform also survives the text format on random
+    /// straight-line programs.
+    #[test]
+    fn transformed_straightline_programs_roundtrip(ops in sl_strategy()) {
+        let m = build_straightline(&ops);
+        let t = transform(&m, &DpmrConfig::sds()).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let text = dpmr::ir::printer::print_module(&t);
+        let reparsed = dpmr::ir::parser::parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let reg = || Rc::new(registry_with_wrappers());
+        let a = run_with_registry(&t, &RunConfig::default(), reg());
+        let b = run_with_registry(&reparsed, &RunConfig::default(), reg());
+        prop_assert_eq!(&a.status, &b.status);
+        prop_assert_eq!(a.output, b.output);
+    }
+}

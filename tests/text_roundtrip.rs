@@ -1,0 +1,79 @@
+//! Print → parse → run round trips: the textual IR format must preserve
+//! program behaviour for the workload corpus, including DPMR-transformed
+//! modules (which exercise shadow types, wrapper externals, and the
+//! support globals).
+
+use dpmr::prelude::*;
+use dpmr::ir::parser::parse_module;
+use dpmr::ir::printer::print_module;
+use dpmr::workloads::micro;
+use std::rc::Rc;
+
+fn roundtrip_and_compare(m: &dpmr::ir::module::Module, uses_wrappers: bool) {
+    let text = print_module(m);
+    let reparsed = parse_module(&text).unwrap_or_else(|e| {
+        let context: String = text
+            .lines()
+            .skip(e.line.saturating_sub(3))
+            .take(5)
+            .collect::<Vec<_>>()
+            .join("\n");
+        panic!("parse failed: {e}\ncontext:\n{context}")
+    });
+    assert!(
+        dpmr::ir::verify::verify_module(&reparsed).is_ok(),
+        "reparsed module verifies"
+    );
+    let registry = || {
+        Rc::new(if uses_wrappers {
+            registry_with_wrappers()
+        } else {
+            Registry::with_base()
+        })
+    };
+    let a = run_with_registry(m, &RunConfig::default(), registry());
+    let b = run_with_registry(&reparsed, &RunConfig::default(), registry());
+    assert_eq!(a.status, b.status, "status preserved");
+    assert_eq!(a.output, b.output, "output preserved");
+}
+
+#[test]
+fn micro_programs_roundtrip() {
+    roundtrip_and_compare(&micro::linked_list(7), false);
+    roundtrip_and_compare(&micro::overflow_writer(8, 8), false);
+    roundtrip_and_compare(&micro::qsort_prog(10), false);
+    roundtrip_and_compare(&micro::global_graph(), false);
+    roundtrip_and_compare(&micro::string_play(), false);
+}
+
+#[test]
+fn workload_apps_roundtrip() {
+    for app in dpmr::workloads::all_apps() {
+        let m = (app.build)(&dpmr::workloads::WorkloadParams::quick());
+        roundtrip_and_compare(&m, false);
+    }
+}
+
+#[test]
+fn transformed_modules_roundtrip() {
+    // The acid test: SDS-transformed modules carry shadow struct types,
+    // support globals, and wrapper externals — all must survive the text
+    // format.
+    for cfg in [
+        DpmrConfig::sds().with_diversity(Diversity::None),
+        DpmrConfig::sds(),
+        DpmrConfig::mds(),
+    ] {
+        let m = micro::linked_list(5);
+        let t = transform(&m, &cfg).expect("transform");
+        roundtrip_and_compare(&t, true);
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let err = parse_module("fn main() -> i64 {\nb0:\n  bogus\n  ret 0:i64\n}\nentry main\n")
+        .unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.to_string().contains("line 3"));
+}
