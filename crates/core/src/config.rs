@@ -80,7 +80,7 @@ impl Policy {
         match self {
             Policy::AllLoads => "all loads".into(),
             Policy::Temporal { mask } => {
-                let frac = u32::try_from(mask.count_ones()).expect("<=64");
+                let frac = mask.count_ones();
                 format!("temporal {frac}/64")
             }
             Policy::Static { percent } => format!("static {percent}%"),
@@ -122,6 +122,74 @@ impl Policy {
     }
 }
 
+/// What the runtime does when a `dpmr.check` detection fires (the
+/// detection-to-recovery extension; the paper stops at detection, Sec. 3.6,
+/// while its related-work chapter sketches exactly this Rx-style
+/// continuation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Terminate at the first detection (the paper's behaviour).
+    Abort,
+    /// Roll back to the last checkpoint and replay in a re-seeded (diverse)
+    /// environment, up to `max_retries` times; fail-stop when exhausted.
+    RetryFromCheckpoint {
+        /// Replays attempted before giving up.
+        max_retries: u32,
+    },
+    /// Copy the replica value over the divergent application location at
+    /// each detection and resume, up to `max_repairs` per run; fail-stop
+    /// when exhausted.
+    RepairFromReplica {
+        /// Repairs allowed before the run is declared unrecoverable.
+        max_repairs: u64,
+    },
+    /// Terminate at the first detection, recording a *controlled* stop
+    /// (the explicit fallback state retries and repairs degrade to).
+    FailStop,
+}
+
+impl RecoveryPolicy {
+    /// Display name for recovery tables.
+    pub fn name(self) -> String {
+        match self {
+            RecoveryPolicy::Abort => "abort".into(),
+            RecoveryPolicy::RetryFromCheckpoint { max_retries } => {
+                format!("retry x{max_retries}")
+            }
+            RecoveryPolicy::RepairFromReplica { max_repairs } => {
+                format!("repair <={max_repairs}")
+            }
+            RecoveryPolicy::FailStop => "fail-stop".into(),
+        }
+    }
+
+    /// The recovery-study policy set (Table R.1). Eight replays give the
+    /// diverse re-execution a realistic chance of finding a layout that
+    /// avoids the fault (per-replay cost is one bounded re-run).
+    pub fn paper_set() -> Vec<RecoveryPolicy> {
+        vec![
+            RecoveryPolicy::FailStop,
+            RecoveryPolicy::RetryFromCheckpoint { max_retries: 8 },
+            RecoveryPolicy::RepairFromReplica { max_repairs: 4096 },
+        ]
+    }
+}
+
+/// Recovery configuration carried by a DPMR build variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Reaction to detections.
+    pub policy: RecoveryPolicy,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            policy: RecoveryPolicy::Abort,
+        }
+    }
+}
+
 /// A reference to an instruction site in the *original* module:
 /// `(function index, block index, instruction index)`.
 pub type SiteRef = (u32, u32, u32);
@@ -160,6 +228,9 @@ pub struct DpmrConfig {
     pub seed: u64,
     /// DSA-derived replication refinement.
     pub plan: ReplicationPlan,
+    /// Runtime reaction to detections (defaults to the paper's
+    /// terminate-on-detection).
+    pub recovery: RecoveryConfig,
 }
 
 impl DpmrConfig {
@@ -172,6 +243,7 @@ impl DpmrConfig {
             policy: Policy::AllLoads,
             seed: 0xD12A,
             plan: ReplicationPlan::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -201,6 +273,12 @@ impl DpmrConfig {
     /// Replaces the comparison policy.
     pub fn with_policy(mut self, p: Policy) -> DpmrConfig {
         self.policy = p;
+        self
+    }
+
+    /// Replaces the recovery policy.
+    pub fn with_recovery(mut self, r: RecoveryPolicy) -> DpmrConfig {
+        self.recovery = RecoveryConfig { policy: r };
         self
     }
 }
@@ -245,5 +323,18 @@ mod tests {
             .with_policy(Policy::Static { percent: 50 });
         assert_eq!(c.name(), "sds/pad-malloc 8/static 50%");
         assert_eq!(DpmrConfig::mds().scheme, Scheme::Mds);
+    }
+
+    #[test]
+    fn recovery_defaults_to_abort_and_builds() {
+        assert_eq!(DpmrConfig::sds().recovery.policy, RecoveryPolicy::Abort);
+        let c =
+            DpmrConfig::sds().with_recovery(RecoveryPolicy::RepairFromReplica { max_repairs: 16 });
+        assert_eq!(
+            c.recovery.policy,
+            RecoveryPolicy::RepairFromReplica { max_repairs: 16 }
+        );
+        assert_eq!(c.recovery.policy.name(), "repair <=16");
+        assert_eq!(RecoveryPolicy::paper_set().len(), 3);
     }
 }

@@ -60,7 +60,10 @@ pub mod transform;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::config::{Diversity, DpmrConfig, Policy, ReplicationPlan, Scheme, SiteRef};
+    pub use crate::config::{
+        Diversity, DpmrConfig, Policy, RecoveryConfig, RecoveryPolicy, ReplicationPlan, Scheme,
+        SiteRef,
+    };
     pub use crate::extsupport::registry_with_wrappers;
     pub use crate::shadow::TypeAlgebra;
     pub use crate::stats::{ModuleStats, TransformStats};

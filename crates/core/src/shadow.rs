@@ -101,10 +101,7 @@ impl TypeAlgebra {
                 })
             }
             TypeKind::Struct { name, fields } => {
-                let shadows: Vec<TypeId> = fields
-                    .iter()
-                    .filter_map(|&f| self.st(tt, f))
-                    .collect();
+                let shadows: Vec<TypeId> = fields.iter().filter_map(|&f| self.st(tt, f)).collect();
                 if shadows.is_empty() {
                     None
                 } else {
@@ -112,10 +109,7 @@ impl TypeAlgebra {
                 }
             }
             TypeKind::Union { name, members } => {
-                let shadows: Vec<TypeId> = members
-                    .iter()
-                    .filter_map(|&m| self.st(tt, m))
-                    .collect();
+                let shadows: Vec<TypeId> = members.iter().filter_map(|&m| self.st(tt, m)).collect();
                 if shadows.is_empty() {
                     None
                 } else {
@@ -224,9 +218,7 @@ impl TypeAlgebra {
                 Scheme::Sds => {
                     // rvSop: st(at(r))* — pointer shadow types are never
                     // null, so this is always a concrete struct pointer.
-                    let sat = self
-                        .sat(tt, ret)
-                        .expect("pointer shadow type is non-null");
+                    let sat = self.sat(tt, ret).expect("pointer shadow type is non-null");
                     arglist.push(tt.pointer(sat));
                 }
                 Scheme::Mds => {
@@ -273,7 +265,8 @@ impl TypeAlgebra {
         }
         let a = self.at(tt, t);
         assert!(
-            tt.has_body(a) || !matches!(tt.kind(a), TypeKind::Struct { .. } | TypeKind::Union { .. }),
+            tt.has_body(a)
+                || !matches!(tt.kind(a), TypeKind::Struct { .. } | TypeKind::Union { .. }),
             "st∘at of an in-progress augmented type (unsupported recursive function-pointer type)"
         );
         let result = self.st(tt, a);
@@ -337,30 +330,20 @@ impl TypeAlgebra {
                 continue;
             }
             match tt.kind(id) {
-                TypeKind::Pointer { pointee } => {
-                    if *pointee == r {
-                        return true;
-                    }
+                TypeKind::Pointer { pointee } if *pointee == r => {
+                    return true;
                 }
-                TypeKind::Array { elem, .. } => {
-                    if *elem == r {
-                        return true;
-                    }
+                TypeKind::Array { elem, .. } if *elem == r => {
+                    return true;
                 }
-                TypeKind::Struct { fields, .. } => {
-                    if fields.contains(&r) {
-                        return true;
-                    }
+                TypeKind::Struct { fields, .. } if fields.contains(&r) => {
+                    return true;
                 }
-                TypeKind::Union { members, .. } => {
-                    if members.contains(&r) {
-                        return true;
-                    }
+                TypeKind::Union { members, .. } if members.contains(&r) => {
+                    return true;
                 }
-                TypeKind::Function { ret, params } => {
-                    if *ret == r || params.contains(&r) {
-                        return true;
-                    }
+                TypeKind::Function { ret, params } if (*ret == r || params.contains(&r)) => {
+                    return true;
                 }
                 _ => {}
             }

@@ -271,9 +271,7 @@ impl<'a> Transformer<'a> {
 
     fn mds_replica_init(&mut self, ty: TypeId, init: &GlobalInit) -> GlobalInit {
         match init {
-            GlobalInit::Ref(g) => GlobalInit::Ref(GlobalId(
-                g.0 + self.src.globals.len() as u32,
-            )),
+            GlobalInit::Ref(g) => GlobalInit::Ref(GlobalId(g.0 + self.src.globals.len() as u32)),
             GlobalInit::Composite(items) => {
                 let member_tys: Vec<TypeId> = match self.out.types.kind(ty) {
                     TypeKind::Struct { fields, .. } => fields.clone(),
@@ -336,12 +334,7 @@ impl<'a> Transformer<'a> {
                     GlobalInit::Composite(its) => its.clone(),
                     _ => vec![GlobalInit::Zero; n],
                 };
-                GlobalInit::Composite(
-                    inits
-                        .iter()
-                        .map(|it| self.shadow_init(elem, it))
-                        .collect(),
-                )
+                GlobalInit::Composite(inits.iter().map(|it| self.shadow_init(elem, it)).collect())
             }
             _ => GlobalInit::Zero,
         }
@@ -445,10 +438,10 @@ impl<'a> Transformer<'a> {
             let c = self.make_companions(&mut em, f, p, true, &mut params);
             comps[p.0 as usize] = Some(c);
         }
-        for i in 0..f.regs.len() {
-            if comps[i].is_none() {
+        for (i, slot) in comps.iter_mut().enumerate() {
+            if slot.is_none() {
                 let c = self.make_companions(&mut em, f, RegId(i as u32), false, &mut params);
-                comps[i] = Some(c);
+                *slot = Some(c);
             }
         }
         let comps: Vec<Companions> = comps.into_iter().map(|c| c.expect("filled")).collect();
@@ -467,9 +460,7 @@ impl<'a> Transformer<'a> {
                                     .expect("pointer sat"),
                                 "csSop",
                             ),
-                            Scheme::Mds => {
-                                (self.alg.at(&mut self.out.types, cret), "csRopSlot")
-                            }
+                            Scheme::Mds => (self.alg.at(&mut self.out.types, cret), "csRopSlot"),
                         };
                         let pty = self.out.types.pointer(slot_pointee);
                         let slot = em.reg(pty, format!("{nm}.{bi}.{ii}"));
@@ -492,9 +483,7 @@ impl<'a> Transformer<'a> {
             for ii in 0..f.blocks[bi].instrs.len() {
                 let ins = f.blocks[bi].instrs[ii].clone();
                 let site: SiteRef = (fid.0, bi as u32, ii as u32);
-                self.xform_instr(
-                    &mut em, f, &fname, &comps, &ins, site, &rv_slots,
-                )?;
+                self.xform_instr(&mut em, f, &fname, &comps, &ins, site, &rv_slots)?;
             }
             let term = f.blocks[bi].term.clone();
             self.xform_term(&mut em, f, &comps, term, rv_slot_param, ret_is_ptr);
@@ -593,7 +582,9 @@ impl<'a> Transformer<'a> {
     fn orig_operand_ty(&self, f: &Function, op: &Operand) -> TypeId {
         match op {
             Operand::Reg(r) => f.reg_ty(*r),
-            Operand::Const(Const::Int { bits, .. }) => self.find_src_ty(&TypeKind::Int { bits: *bits }),
+            Operand::Const(Const::Int { bits, .. }) => {
+                self.find_src_ty(&TypeKind::Int { bits: *bits })
+            }
             Operand::Const(Const::Float { bits, .. }) => {
                 self.find_src_ty(&TypeKind::Float { bits: *bits })
             }
@@ -633,10 +624,7 @@ impl<'a> Transformer<'a> {
             Operand::Const(Const::Null { pointee }) => {
                 let ap = self.alg.at(&mut self.out.types, *pointee);
                 let void = self.out.types.void();
-                let sop_pointee = self
-                    .alg
-                    .sat(&mut self.out.types, *pointee)
-                    .unwrap_or(void);
+                let sop_pointee = self.alg.sat(&mut self.out.types, *pointee).unwrap_or(void);
                 Ops {
                     app: Operand::Const(Const::Null { pointee: ap }),
                     rop: Some(Operand::Const(Const::Null { pointee: ap })),
@@ -683,7 +671,7 @@ impl<'a> Transformer<'a> {
         }
     }
 
-    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
     fn xform_instr(
         &mut self,
         em: &mut Emit,
@@ -871,7 +859,7 @@ impl<'a> Transformer<'a> {
                 // MDS never checks pointer loads (they differ by design).
                 let checkable = sds || !d_is_ptr;
                 if checkable && !self.cfg.plan.uncheck_loads.contains(&site) {
-                    self.emit_load_check(em, c.app, prop);
+                    self.emit_load_check(em, c.app, prop, p.app);
                 }
                 if d_is_ptr {
                     if sds {
@@ -1108,10 +1096,16 @@ impl<'a> Transformer<'a> {
                 self.xform_call(em, f, comps, dst, callee, args, site, rv_slots);
             }
             // ---- passthrough ----------------------------------------------
-            Instr::DpmrCheck { a, b } => {
+            Instr::DpmrCheck { a, b, ptrs } => {
                 let a = self.map_operand(f, comps, a).app;
                 let b = self.map_operand(f, comps, b).app;
-                em.ins(Instr::DpmrCheck { a, b });
+                let ptrs = ptrs.map(|(ap, rp)| {
+                    (
+                        self.map_operand(f, comps, &ap).app,
+                        self.map_operand(f, comps, &rp).app,
+                    )
+                });
+                em.ins(Instr::DpmrCheck { a, b, ptrs });
             }
             Instr::RandInt { dst, lo, hi } => {
                 let lo = self.map_operand(f, comps, lo).app;
@@ -1200,9 +1194,7 @@ impl<'a> Transformer<'a> {
 
         let new_callee = match callee {
             Callee::Direct(fid) => Callee::Direct(*fid),
-            Callee::Indirect(op) => {
-                Callee::Indirect(self.map_operand(f, comps, op).app)
-            }
+            Callee::Indirect(op) => Callee::Indirect(self.map_operand(f, comps, op).app),
             Callee::External(eid) => Callee::External(self.ext_map[eid.0 as usize]),
         };
 
@@ -1707,20 +1699,23 @@ impl<'a> Transformer<'a> {
 
     /// Emits the policy-gated load check: replica load + comparison
     /// (the `assert(x == *pr)` of Table 2.6 under the configured policy).
-    fn emit_load_check(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand) {
+    fn emit_load_check(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand, app_ptr: Operand) {
         self.load_site_counter += 1;
         match self.cfg.policy {
             Policy::AllLoads => {
-                self.emit_check_now(em, app, rop_ptr);
+                self.emit_check_now(em, app, rop_ptr, app_ptr);
             }
             Policy::Static { percent } => {
                 if self.rng.gen_range(0u32..100) < u32::from(percent) {
-                    self.emit_check_now(em, app, rop_ptr);
+                    self.emit_check_now(em, app, rop_ptr, app_ptr);
                 }
             }
             Policy::StaticPeriodic { period } => {
-                if self.load_site_counter % u64::from(period.max(1)) == 0 {
-                    self.emit_check_now(em, app, rop_ptr);
+                if self
+                    .load_site_counter
+                    .is_multiple_of(u64::from(period.max(1)))
+                {
+                    self.emit_check_now(em, app, rop_ptr, app_ptr);
                 }
             }
             Policy::Temporal { mask } => {
@@ -1769,7 +1764,7 @@ impl<'a> Transformer<'a> {
                     else_bb: cont_bb,
                 });
                 em.start(check_bb);
-                self.emit_check_now(em, app, rop_ptr);
+                self.emit_check_now(em, app, rop_ptr, app_ptr);
                 em.term(Term::Br(cont_bb));
                 em.start(cont_bb);
                 // maskCounter <- (maskCounter + 1) % 64 (always).
@@ -1795,16 +1790,19 @@ impl<'a> Transformer<'a> {
         }
     }
 
-    fn emit_check_now(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand) {
+    fn emit_check_now(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand, app_ptr: Operand) {
         let ty = em.reg_ty(app);
         let rep = em.reg(ty, String::new());
         em.ins(Instr::Load {
             dst: rep,
             ptr: rop_ptr,
         });
+        // The check names both source locations so a recovery trap handler
+        // can repair the divergent application memory from the replica.
         em.ins(Instr::DpmrCheck {
             a: Operand::Reg(app),
             b: Operand::Reg(rep),
+            ptrs: Some((app_ptr, rop_ptr)),
         });
     }
 

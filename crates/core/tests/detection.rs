@@ -12,8 +12,10 @@ use std::rc::Rc;
 fn run_dpmr_seeded(m: &Module, cfg: &DpmrConfig, seed: u64) -> RunOutcome {
     let t = transform(m, cfg).expect("transform");
     let reg = Rc::new(registry_with_wrappers());
-    let mut rc = RunConfig::default();
-    rc.seed = seed;
+    let mut rc = RunConfig {
+        seed,
+        ..RunConfig::default()
+    };
     rc.mem.fill_seed = seed.wrapping_mul(0x9e3779b9).wrapping_add(1);
     run_with_registry(&t, &rc, reg)
 }

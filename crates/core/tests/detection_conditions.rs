@@ -12,8 +12,10 @@ use std::rc::Rc;
 fn run_sds(m: &Module, diversity: Diversity, seed: u64) -> RunOutcome {
     let t = transform(m, &DpmrConfig::sds().with_diversity(diversity)).expect("t");
     let reg = Rc::new(registry_with_wrappers());
-    let mut rc = RunConfig::default();
-    rc.seed = seed;
+    let mut rc = RunConfig {
+        seed,
+        ..RunConfig::default()
+    };
     rc.mem.fill_seed = seed.wrapping_mul(31);
     run_with_registry(&t, &rc, reg)
 }
@@ -138,7 +140,7 @@ fn invalid_free_crashes_or_corrupts() {
     let a = b.cast(CastOp::Bitcast, arrp, raw.into(), "arr");
     let mid = b.index_addr(a.into(), Const::i64(2).into(), "mid");
     b.free(mid.into()); // out-of-bounds free (pointer into the middle)
-    // Keep using the buffer afterwards.
+                        // Keep using the buffer afterwards.
     b.store(raw.into(), Const::i64(5).into());
     let v = b.load(i64t, raw.into(), "v");
     b.output(v.into());

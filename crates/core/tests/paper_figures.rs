@@ -54,7 +54,10 @@ fn fig_2_9_create_node_under_sds() {
     assert!(txt.contains("store %lastNxtPtr, %n"));
     assert!(txt.contains("store %lastNxtPtr_r, %n"));
     let shadow_stores = txt.matches("store %r").count();
-    assert!(shadow_stores >= 2, "ROP/NSOP stores through shadow field addrs");
+    assert!(
+        shadow_stores >= 2,
+        "ROP/NSOP stores through shadow field addrs"
+    );
 
     // Lines 38-39: rvSop->rop = n_r; rvSop->nsop = n_s before return.
     assert!(txt.contains("fieldaddr %rvSop, 0"));

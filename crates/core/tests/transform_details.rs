@@ -459,13 +459,17 @@ fn partial_replication_by_priority_reduces_overhead() {
     // Exclude every allocation site (degenerate lowest priority) and
     // uncheck all loads: overhead must drop strictly.
     for site in dpmr_fi::enumerate_heap_alloc_sites(&m) {
-        cfg.plan.exclude_allocs.insert((site.func.0, site.block, site.instr));
+        cfg.plan
+            .exclude_allocs
+            .insert((site.func.0, site.block, site.instr));
     }
     for (fi, f) in m.funcs.iter().enumerate() {
         for (bi, blk) in f.blocks.iter().enumerate() {
             for (ii, ins) in blk.instrs.iter().enumerate() {
                 if matches!(ins, Instr::Load { .. }) {
-                    cfg.plan.uncheck_loads.insert((fi as u32, bi as u32, ii as u32));
+                    cfg.plan
+                        .uncheck_loads
+                        .insert((fi as u32, bi as u32, ii as u32));
                 }
             }
         }

@@ -281,7 +281,11 @@ impl DsGraph {
     /// Reads the out-edge at `cell`, if any.
     pub fn edge_at(&self, cell: Cell) -> Option<Cell> {
         let c = self.resolve(cell);
-        self.node(c.node).fields.get(&c.offset).copied().map(|t| self.resolve(t))
+        self.node(c.node)
+            .fields
+            .get(&c.offset)
+            .copied()
+            .map(|t| self.resolve(t))
     }
 
     /// Ensures an out-edge exists at `cell`, creating a fresh target node
@@ -321,7 +325,11 @@ impl DsGraph {
             let n = self.node(r);
             let _ = write!(out, "node {} [{}]", r.0, n.flags.letters());
             if !n.globals.is_empty() {
-                let _ = write!(out, " globals={:?}", n.globals.iter().map(|g| g.0).collect::<Vec<_>>());
+                let _ = write!(
+                    out,
+                    " globals={:?}",
+                    n.globals.iter().map(|g| g.0).collect::<Vec<_>>()
+                );
             }
             if !n.alloc_sites.is_empty() {
                 let _ = write!(out, " allocs={:?}", n.alloc_sites);

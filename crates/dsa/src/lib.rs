@@ -207,10 +207,9 @@ fn local_phase(m: &Module, fid: FuncId) -> FunctionAnalysis {
         global_nodes: &mut BTreeMap<u32, DsNodeId>,
         gid: GlobalId,
     ) -> Cell {
-        let n = *global_nodes.entry(gid.0).or_insert_with(|| {
-            let n = g.add_node(DsFlags::GLOBAL);
-            n
-        });
+        let n = *global_nodes
+            .entry(gid.0)
+            .or_insert_with(|| g.add_node(DsFlags::GLOBAL));
         g.node_mut(n).globals.insert(gid);
         Cell { node: n, offset: 0 }
     }
@@ -226,10 +225,9 @@ fn local_phase(m: &Module, fid: FuncId) -> FunctionAnalysis {
             Operand::Reg(r) => regs.get(r).copied(),
             Operand::Global(gid) => Some(global_cell(g, global_nodes, *gid)),
             Operand::Func(fid2) => {
-                let n = *fn_nodes.entry(*fid2).or_insert_with(|| {
-                    let n = g.add_node(DsFlags::FUNCTION);
-                    n
-                });
+                let n = *fn_nodes
+                    .entry(*fid2)
+                    .or_insert_with(|| g.add_node(DsFlags::FUNCTION));
                 g.node_mut(n).functions.insert(*fid2);
                 Some(Cell { node: n, offset: 0 })
             }
@@ -364,33 +362,28 @@ fn local_phase(m: &Module, fid: FuncId) -> FunctionAnalysis {
                     }
                     _ => {}
                 },
-                Instr::Copy { dst, src } => {
-                    if m.types.is_pointer(f.reg_ty(*dst)) {
-                        if let Some(sc) =
-                            op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, src)
-                        {
-                            regs.insert(*dst, sc);
-                        }
+                Instr::Copy { dst, src } if m.types.is_pointer(f.reg_ty(*dst)) => {
+                    if let Some(sc) = op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, src)
+                    {
+                        regs.insert(*dst, sc);
                     }
                 }
-                Instr::Bin { dst, lhs, rhs, .. } => {
-                    if m.types.is_pointer(f.reg_ty(*dst)) {
-                        // Raw pointer arithmetic: untyped addressing
-                        // collapses the node.
-                        for op in [lhs, rhs] {
-                            if let Some(c) =
-                                op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, op)
-                            {
-                                let c = g.resolve(c);
-                                g.collapse(c.node);
-                                regs.insert(
-                                    *dst,
-                                    Cell {
-                                        node: c.node,
-                                        offset: 0,
-                                    },
-                                );
-                            }
+                Instr::Bin { dst, lhs, rhs, .. } if m.types.is_pointer(f.reg_ty(*dst)) => {
+                    // Raw pointer arithmetic: untyped addressing
+                    // collapses the node.
+                    for op in [lhs, rhs] {
+                        if let Some(c) =
+                            op_cell(&mut g, &mut global_nodes, &mut fn_nodes, &regs, op)
+                        {
+                            let c = g.resolve(c);
+                            g.collapse(c.node);
+                            regs.insert(
+                                *dst,
+                                Cell {
+                                    node: c.node,
+                                    offset: 0,
+                                },
+                            );
                         }
                     }
                 }
@@ -493,16 +486,22 @@ fn add_init_edges(
 ) {
     match init {
         GlobalInit::Ref(target) => {
-            let tn = *global_nodes.entry(target.0).or_insert_with(|| {
-                g.add_node(DsFlags::GLOBAL)
-            });
+            let tn = *global_nodes
+                .entry(target.0)
+                .or_insert_with(|| g.add_node(DsFlags::GLOBAL));
             g.node_mut(tn).globals.insert(*target);
             let src = Cell {
                 node: global_nodes[&gid.0],
                 offset,
             };
             let t = g.ensure_edge(src, DsFlags::GLOBAL);
-            g.merge_cells(t, Cell { node: tn, offset: 0 });
+            g.merge_cells(
+                t,
+                Cell {
+                    node: tn,
+                    offset: 0,
+                },
+            );
         }
         GlobalInit::Composite(items) => {
             let ty = m.global(gid).ty;

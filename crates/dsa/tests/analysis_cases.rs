@@ -19,9 +19,7 @@ fn linked_list_graph_is_recursive_heap_node() {
         .filter(|&r| g.node(r).flags.contains(DsFlags::HEAP))
         .collect();
     assert!(!heap_roots.is_empty());
-    let with_fields = heap_roots
-        .iter()
-        .any(|&r| !g.node(r).fields.is_empty());
+    let with_fields = heap_roots.iter().any(|&r| !g.node(r).fields.is_empty());
     assert!(with_fields, "the list node has a pointer field edge");
 }
 
@@ -39,7 +37,10 @@ fn mutually_recursive_node_arc_structures_analyze() {
         .into_iter()
         .filter(|&r| g.node(r).flags.contains(DsFlags::HEAP))
         .count();
-    assert!(heap_nodes >= 1, "mcf heap structures present in main's graph");
+    assert!(
+        heap_nodes >= 1,
+        "mcf heap structures present in main's graph"
+    );
     // No exclusions: mcf is well-typed.
     let report = dsa.mark_x();
     assert!(report.exclude_allocs.is_empty());
@@ -141,7 +142,10 @@ fn function_pointers_populate_function_sets() {
         .into_iter()
         .filter(|&r| !g.node(r).functions.is_empty())
         .count();
-    assert!(fn_nodes >= 1, "the comparator's address-of creates an F node");
+    assert!(
+        fn_nodes >= 1,
+        "the comparator's address-of creates an F node"
+    );
 }
 
 #[test]

@@ -119,9 +119,22 @@ pub fn may_manifest(m: &Module, site: &InjectionSite, fault: FaultType) -> bool 
     };
     let orig = esz * u64::try_from((*value).max(0)).unwrap_or(0);
     let reduced = orig * u64::from(keep_percent) / 100;
-    let round =
-        |sz: u64| sz.max(dpmr_vm::alloc::MIN_PAYLOAD).next_multiple_of(dpmr_vm::alloc::GRANULE);
+    let round = |sz: u64| {
+        sz.max(dpmr_vm::alloc::MIN_PAYLOAD)
+            .next_multiple_of(dpmr_vm::alloc::GRANULE)
+    };
     round(orig) != round(reduced)
+}
+
+/// All heap allocation sites where `fault` may manifest: enumeration
+/// combined with the static filter. Recovery campaigns iterate exactly
+/// this set — injecting a filtered site only wastes runs on experiments
+/// that count as unsuccessful injections.
+pub fn manifesting_sites(m: &Module, fault: FaultType) -> Vec<InjectionSite> {
+    enumerate_heap_alloc_sites(m)
+        .into_iter()
+        .filter(|s| may_manifest(m, s, fault))
+        .collect()
 }
 
 /// Injects `fault` at `site`, returning the faulty program. The injected
@@ -232,7 +245,11 @@ mod tests {
     fn resize_injection_verifies_and_marks() {
         let m = two_alloc_program();
         let sites = enumerate_heap_alloc_sites(&m);
-        let f = inject(&m, &sites[0], FaultType::HeapArrayResize { keep_percent: 50 });
+        let f = inject(
+            &m,
+            &sites[0],
+            FaultType::HeapArrayResize { keep_percent: 50 },
+        );
         assert!(verify_module(&f).is_ok());
         let out = run_with_limits(&f, &RunConfig::default());
         assert_eq!(out.fi_sites_hit.len(), 1);
@@ -279,7 +296,11 @@ mod tests {
         // The marker must pass through the transformation untouched.
         let m = two_alloc_program();
         let sites = enumerate_heap_alloc_sites(&m);
-        let f = inject(&m, &sites[0], FaultType::HeapArrayResize { keep_percent: 50 });
+        let f = inject(
+            &m,
+            &sites[0],
+            FaultType::HeapArrayResize { keep_percent: 50 },
+        );
         let t = dpmr_core::transform::transform(&f, &dpmr_core::config::DpmrConfig::sds())
             .expect("transform");
         let markers: usize = t

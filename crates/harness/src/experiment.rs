@@ -5,6 +5,7 @@
 use dpmr_core::prelude::*;
 use dpmr_fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType, InjectionSite};
 use dpmr_ir::module::Module;
+use dpmr_recovery::RecoveryDriver;
 use dpmr_vm::prelude::*;
 use dpmr_workloads::{AppSpec, WorkloadParams};
 use std::rc::Rc;
@@ -73,6 +74,29 @@ pub struct Measurement {
     pub instrs: u64,
 }
 
+/// Raw measurements of one recovery experiment (the Table R.1 random
+/// variables).
+#[derive(Debug, Clone)]
+pub struct RecoveryMeasurement {
+    /// Successful fault injection (the marker executed).
+    pub sf: bool,
+    /// Completed normally after at least one detection, with output equal
+    /// to the golden run's — the run *survived* the fault.
+    pub recovered_correct: bool,
+    /// Completed after detection but with wrong output (a mis-repair:
+    /// the replica side was the corrupted one).
+    pub survived_wrong: bool,
+    /// The policy stopped the run in a controlled way (fail-stop or an
+    /// exhausted retry/repair budget).
+    pub fail_stopped: bool,
+    /// In-place repairs applied.
+    pub repairs: u64,
+    /// Checkpoint replays performed (attempts - 1).
+    pub retries: u64,
+    /// Virtual cycles from first detection to completion, when recovered.
+    pub t2r: Option<u64>,
+}
+
 /// A prepared application: golden module, golden run, and injection sites.
 pub struct PreparedApp {
     /// Application spec.
@@ -126,9 +150,11 @@ impl PreparedApp {
     }
 
     fn run_config(&self, run: u32) -> RunConfig {
-        let mut rc = RunConfig::default();
-        rc.max_instrs = self.budget();
-        rc.seed = u64::from(run) + 1;
+        let mut rc = RunConfig {
+            max_instrs: self.budget(),
+            seed: u64::from(run) + 1,
+            ..RunConfig::default()
+        };
         rc.mem.fill_seed = (u64::from(run) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         rc
     }
@@ -176,6 +202,63 @@ impl PreparedApp {
             t2d,
             cycles: out.cycles,
             instrs: out.instrs,
+        }
+    }
+
+    /// Injects `fault` at `site` and applies the DPMR transformation —
+    /// the expensive, policy-independent half of a recovery experiment.
+    /// Campaigns hoist this out of their per-(policy, run) loops.
+    pub fn prepare_recovery(
+        &self,
+        site: &InjectionSite,
+        fault: FaultType,
+        cfg: &DpmrConfig,
+    ) -> Module {
+        let faulty = inject(&self.module, site, fault);
+        transform(&faulty, cfg).expect("transform")
+    }
+
+    /// Executes one *recovery* experiment: injects `fault` at `site`,
+    /// transforms with `cfg`, and runs under `policy` through the
+    /// [`RecoveryDriver`], reducing against the golden reference.
+    pub fn run_recovery(
+        &self,
+        site: &InjectionSite,
+        fault: FaultType,
+        cfg: &DpmrConfig,
+        policy: RecoveryPolicy,
+        run: u32,
+    ) -> RecoveryMeasurement {
+        let transformed = self.prepare_recovery(site, fault, cfg);
+        self.run_recovery_prepared(&transformed, policy, run)
+    }
+
+    /// Runs a recovery experiment on an already injected-and-transformed
+    /// module (see [`PreparedApp::prepare_recovery`]).
+    pub fn run_recovery_prepared(
+        &self,
+        transformed: &Module,
+        policy: RecoveryPolicy,
+        run: u32,
+    ) -> RecoveryMeasurement {
+        let rc = self.run_config(run);
+        let driver = RecoveryDriver::new(
+            transformed,
+            Rc::new(registry_with_wrappers()),
+            rc,
+            RecoveryConfig { policy },
+        );
+        let out = driver.run();
+        let correct = matches!(out.last.status, ExitStatus::Normal(0))
+            && out.last.output == self.golden.output;
+        RecoveryMeasurement {
+            sf: out.last.first_fi_cycle.is_some(),
+            recovered_correct: out.recovered() && correct,
+            survived_wrong: out.recovered() && !correct,
+            fail_stopped: out.fail_stopped,
+            repairs: out.repairs,
+            retries: u64::from(out.attempts.saturating_sub(1)),
+            t2r: out.time_to_recovery,
         }
     }
 

@@ -2,7 +2,7 @@
 //! same rows/series the dissertation reports (ASCII renderings of the
 //! stacked-bar figures and latency tables).
 
-use crate::metrics::StudyResults;
+use crate::metrics::{RecoveryStudyResults, StudyResults};
 use std::fmt::Write as _;
 
 fn bar(frac: f64, width: usize) -> String {
@@ -175,10 +175,56 @@ pub fn mttd_table(title: &str, res: &StudyResults) -> String {
     out
 }
 
+/// Renders the recovery table (Table R.1): per policy x app x fault,
+/// recovery success rate, repairs and replays per run, and mean
+/// time-to-recovery in virtual cycles.
+pub fn recovery_table(title: &str, res: &RecoveryStudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for fault in ["heap array resize 50%", "immediate free"] {
+        let _ = writeln!(out, "  [{fault}]");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:<7} {:>5} {:>7} {:>7} {:>9} {:>9} {:>9} {:>12}",
+            "policy", "app", "n", "recov", "wrong", "failstop", "rep/run", "rtr/run", "t2r(cyc)"
+        );
+        for pol in &res.policies {
+            for app in &res.apps {
+                let key = (pol.clone(), app.clone(), fault.to_string());
+                let Some(a) = res.agg.get(&key) else {
+                    continue;
+                };
+                let t2r = match a.mean_t2r_cycles() {
+                    Some(c) => format!("{c:.0}"),
+                    None => "-".into(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:<7} {:>5} {:>7.2} {:>7.2} {:>9} {:>9.2} {:>9.2} {:>12}",
+                    pol,
+                    app,
+                    a.n,
+                    a.success_rate(),
+                    if a.n == 0 {
+                        0.0
+                    } else {
+                        f64::from(a.survived_wrong) / f64::from(a.n)
+                    },
+                    a.fail_stops,
+                    a.repairs_per_run(),
+                    a.retries_per_run(),
+                    t2r
+                );
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{CovAgg, StudyResults};
+    use crate::metrics::{CovAgg, RecoveryAgg, RecoveryStudyResults, StudyResults};
 
     fn fake_results() -> StudyResults {
         let mut res = StudyResults {
@@ -186,13 +232,14 @@ mod tests {
             apps: vec!["art".into()],
             ..StudyResults::default()
         };
-        let mut agg = CovAgg::default();
-        agg.n = 4;
-        agg.co = 1;
-        agg.ndet = 1;
-        agg.ddet = 2;
-        agg.t2d_cycles = 4_000_000;
-        agg.t2d_n = 2;
+        let agg = CovAgg {
+            n: 4,
+            co: 1,
+            ndet: 1,
+            ddet: 2,
+            t2d_cycles: 4_000_000,
+            t2d_n: 2,
+        };
         res.coverage.insert(
             (
                 "no-diversity".into(),
@@ -203,7 +250,8 @@ mod tests {
         );
         res.conditional
             .insert(("no-diversity".into(), "heap array resize 50%".into()), agg);
-        res.overhead.insert(("no-diversity".into(), "art".into()), 3.1);
+        res.overhead
+            .insert(("no-diversity".into(), "art".into()), 3.1);
         res
     }
 
@@ -236,5 +284,36 @@ mod tests {
         let res = fake_results();
         let txt = conditional_figure("Fig cond", &res, "heap array resize 50%");
         assert!(txt.contains("no-diversity"));
+    }
+
+    #[test]
+    fn recovery_table_renders_rates_and_t2r() {
+        let mut res = RecoveryStudyResults {
+            policies: vec!["repair <=4096".into()],
+            apps: vec!["art".into()],
+            ..RecoveryStudyResults::default()
+        };
+        let agg = RecoveryAgg {
+            n: 4,
+            recovered: 3,
+            survived_wrong: 1,
+            fail_stops: 0,
+            repairs: 12,
+            retries: 0,
+            t2r_cycles: 3_000,
+            t2r_n: 3,
+        };
+        res.agg.insert(
+            (
+                "repair <=4096".into(),
+                "art".into(),
+                "heap array resize 50%".into(),
+            ),
+            agg,
+        );
+        let txt = recovery_table("Table R.1 test", &res);
+        assert!(txt.contains("repair <=4096"));
+        assert!(txt.contains("0.75"), "{txt}");
+        assert!(txt.contains("1000"), "mean t2r cycles, {txt}");
     }
 }

@@ -24,7 +24,10 @@ pub mod metrics;
 
 use dpmr_core::prelude::*;
 use dpmr_workloads::all_apps;
-use metrics::{diversity_variants, policy_variants, run_study, CampaignConfig, StudyResults};
+use metrics::{
+    diversity_variants, policy_variants, run_recovery_study, run_study, CampaignConfig,
+    RecoveryStudyResults, StudyResults,
+};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -34,7 +37,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "fig3.6", "fig3.7", "fig3.8", "fig3.9", "fig3.10", "tab3.3", "fig3.11", "fig3.12",
         "fig3.13", "fig3.14", "fig3.15", "tab3.4", "fig4.3", "fig4.4", "fig4.5", "fig4.6",
         "fig4.7", "fig4.8", "fig4.9", "fig4.10", "fig4.11", "fig4.12", "fig4.13", "fig4.14",
-        "tab4.5", "tab4.6", "ch5",
+        "tab4.5", "tab4.6", "ch5", "tabR.1",
     ]
 }
 
@@ -46,6 +49,7 @@ struct Studies {
     sds_pol: Option<StudyResults>,
     mds_div: Option<StudyResults>,
     mds_pol: Option<StudyResults>,
+    recovery: Option<RecoveryStudyResults>,
 }
 
 impl Studies {
@@ -55,6 +59,7 @@ impl Studies {
             sds_pol: None,
             mds_div: None,
             mds_pol: None,
+            recovery: None,
         }
     }
 
@@ -85,6 +90,17 @@ impl Studies {
             self.mds_pol = Some(run_study(&all_apps(), &policy_variants(Scheme::Mds), cc));
         }
         self.mds_pol.as_ref().expect("just set")
+    }
+    fn recovery(&mut self, cc: &CampaignConfig) -> &RecoveryStudyResults {
+        if self.recovery.is_none() {
+            eprintln!("[harness] running detection-to-recovery study...");
+            self.recovery = Some(run_recovery_study(
+                &dpmr_workloads::recovery_apps(),
+                &DpmrConfig::sds(),
+                cc,
+            ));
+        }
+        self.recovery.as_ref().expect("just set")
     }
 }
 
@@ -245,6 +261,10 @@ pub fn reproduce(ids: &BTreeSet<String>, cc: &CampaignConfig) -> String {
                 "Table 4.6: Mean time to detection of state comparison policies under MDS",
                 studies.mds_pol(cc),
             ),
+            "tabR.1" => figures::recovery_table(
+                "Table R.1: Detection-to-recovery of injected faults (SDS, rearrange-heap, all loads)",
+                studies.recovery(cc),
+            ),
             "ch5" => chapter5_demo(),
             _ => continue,
         };
@@ -342,10 +362,11 @@ mod tests {
     #[test]
     fn ids_are_complete() {
         let ids = all_ids();
-        assert_eq!(ids.len(), 27);
+        assert_eq!(ids.len(), 28);
         assert!(ids.contains(&"fig3.6"));
         assert!(ids.contains(&"tab4.6"));
         assert!(ids.contains(&"ch5"));
+        assert!(ids.contains(&"tabR.1"));
     }
 
     #[test]

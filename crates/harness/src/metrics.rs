@@ -2,7 +2,9 @@
 //! overhead, and detection latency, computed from fault-injection
 //! campaigns across variant builds.
 
-use crate::experiment::{prepare, Experiment, Measurement, Variant, CYCLES_PER_MSEC};
+use crate::experiment::{
+    prepare, Experiment, Measurement, RecoveryMeasurement, Variant, CYCLES_PER_MSEC,
+};
 use dpmr_core::prelude::*;
 use dpmr_fi::FaultType;
 use dpmr_workloads::{AppSpec, WorkloadParams};
@@ -199,7 +201,14 @@ pub fn run_study(
                         res.experiments += 1;
                         ms.push(m);
                     }
-                    record(&mut res, vname, app.name, &fault.name(), &ms, std_not_all_det);
+                    record(
+                        &mut res,
+                        vname,
+                        app.name,
+                        &fault.name(),
+                        &ms,
+                        std_not_all_det,
+                    );
                 }
             }
         }
@@ -227,6 +236,146 @@ fn record(
             cagg.add(m);
         }
     }
+}
+
+/// Recovery accumulator for one (policy, app, fault) population
+/// (Table R.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryAgg {
+    /// Successful-injection experiments observed.
+    pub n: u32,
+    /// Runs that completed with correct output after >= 1 detection.
+    pub recovered: u32,
+    /// Runs that survived detection but produced wrong output
+    /// (mis-repairs).
+    pub survived_wrong: u32,
+    /// Controlled stops (fail-stop policy or exhausted budgets).
+    pub fail_stops: u32,
+    /// Total in-place repairs applied.
+    pub repairs: u64,
+    /// Total checkpoint replays performed.
+    pub retries: u64,
+    /// Sum of time-to-recovery over recovered runs (virtual cycles).
+    pub t2r_cycles: u64,
+    /// Recovered runs contributing to `t2r_cycles`.
+    pub t2r_n: u32,
+}
+
+impl RecoveryAgg {
+    /// Adds one measurement (unsuccessful injections are excluded, as in
+    /// the coverage metrics).
+    pub fn add(&mut self, m: &RecoveryMeasurement) {
+        if !m.sf {
+            return;
+        }
+        self.n += 1;
+        if m.recovered_correct {
+            self.recovered += 1;
+        }
+        if m.survived_wrong {
+            self.survived_wrong += 1;
+        }
+        if m.fail_stopped {
+            self.fail_stops += 1;
+        }
+        self.repairs += m.repairs;
+        self.retries += m.retries;
+        if m.recovered_correct {
+            if let Some(t) = m.t2r {
+                self.t2r_cycles += t;
+                self.t2r_n += 1;
+            }
+        }
+    }
+
+    /// Recovery success rate: fraction of successfully injected runs that
+    /// completed with correct output after detecting.
+    pub fn success_rate(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        f64::from(self.recovered) / f64::from(self.n)
+    }
+
+    /// Mean repairs per successfully injected run.
+    pub fn repairs_per_run(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.repairs as f64 / f64::from(self.n)
+    }
+
+    /// Mean checkpoint replays per successfully injected run.
+    pub fn retries_per_run(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.retries as f64 / f64::from(self.n)
+    }
+
+    /// Mean time to recovery in virtual cycles, over recovered runs.
+    pub fn mean_t2r_cycles(&self) -> Option<f64> {
+        if self.t2r_n == 0 {
+            None
+        } else {
+            Some(self.t2r_cycles as f64 / f64::from(self.t2r_n))
+        }
+    }
+}
+
+/// A recovery study: policies x apps x both fault types under one DPMR
+/// base configuration.
+#[derive(Debug, Default)]
+pub struct RecoveryStudyResults {
+    /// Policy display names, in presentation order.
+    pub policies: Vec<String>,
+    /// App names, in presentation order.
+    pub apps: Vec<String>,
+    /// Aggregates per (policy, app, fault-name).
+    pub agg: BTreeMap<(String, String, String), RecoveryAgg>,
+    /// Experiments executed.
+    pub experiments: u64,
+}
+
+/// Runs the detection-to-recovery study (Table R.1): every policy in
+/// [`RecoveryPolicy::paper_set`] over `apps` x both fault types, under the
+/// given DPMR base configuration.
+pub fn run_recovery_study(
+    apps: &[AppSpec],
+    base: &DpmrConfig,
+    cc: &CampaignConfig,
+) -> RecoveryStudyResults {
+    let policies = RecoveryPolicy::paper_set();
+    let mut res = RecoveryStudyResults {
+        policies: policies.iter().map(|p| p.name()).collect(),
+        apps: apps.iter().map(|a| a.name.to_string()).collect(),
+        ..RecoveryStudyResults::default()
+    };
+    for app in apps {
+        let p = prepare(*app, &cc.params);
+        for fault in FaultType::paper_set() {
+            let mut sites = p.manifest_sites(fault);
+            if let Some(cap) = cc.max_sites {
+                sites.truncate(cap);
+            }
+            for site in sites {
+                // Injection and transformation depend only on (site, fault,
+                // base): do them once, not once per (policy, run).
+                let transformed = p.prepare_recovery(&site, fault, base);
+                for policy in &policies {
+                    for run in 0..cc.runs {
+                        let m = p.run_recovery_prepared(&transformed, *policy, run);
+                        res.experiments += 1;
+                        res.agg
+                            .entry((policy.name(), app.name.to_string(), fault.name()))
+                            .or_default()
+                            .add(&m);
+                    }
+                }
+            }
+        }
+    }
+    res
 }
 
 /// The diversity-study variant list (Sections 3.7 / 4.5): all seven
@@ -259,7 +408,8 @@ pub fn policy_variants(scheme: Scheme) -> Vec<(String, DpmrConfig)> {
             };
             (
                 pol.name(),
-                base.with_diversity(Diversity::RearrangeHeap).with_policy(pol),
+                base.with_diversity(Diversity::RearrangeHeap)
+                    .with_policy(pol),
             )
         })
         .collect()

@@ -3,8 +3,10 @@
 //! campaign, so they are the slowest tests in the workspace).
 
 use dpmr_core::prelude::*;
-use dpmr_harness::metrics::{diversity_variants, policy_variants, run_study, CampaignConfig};
-use dpmr_workloads::{all_apps, app_by_name};
+use dpmr_harness::metrics::{
+    diversity_variants, policy_variants, run_recovery_study, run_study, CampaignConfig,
+};
+use dpmr_workloads::{all_apps, app_by_name, recovery_apps};
 
 fn tiny() -> CampaignConfig {
     CampaignConfig {
@@ -44,7 +46,7 @@ fn conditional_coverage_shows_dpmr_advantage() {
         runs: 2,
         max_sites: None,
     };
-    let res = run_study(&apps, &diversity_variants(Scheme::Sds)[..2].to_vec(), &cc);
+    let res = run_study(&apps, &diversity_variants(Scheme::Sds)[..2], &cc);
     let mut saw_conditional = false;
     for ((variant, fault), agg) in &res.conditional {
         if agg.n == 0 {
@@ -75,6 +77,46 @@ fn policy_study_overheads_are_ordered() {
     assert!(oh("static 10%") < oh("static 90%"));
     assert!(oh("static 90%") <= oh("all loads") * 1.01);
     assert!(oh("temporal 32/64") > oh("all loads"));
+}
+
+#[test]
+fn recovery_study_recovers_on_multiple_workloads() {
+    // The Table R.1 acceptance shape: under the default SDS configuration,
+    // at least two workloads must show a non-zero recovery success rate,
+    // and the deterministic rvictim repair scenario must be among them.
+    let cc = CampaignConfig {
+        params: dpmr_workloads::WorkloadParams::quick(),
+        runs: 2,
+        max_sites: Some(4),
+    };
+    let res = run_recovery_study(&recovery_apps(), &DpmrConfig::sds(), &cc);
+    assert!(res.experiments > 0);
+    let mut recovered_apps: std::collections::BTreeSet<&str> = Default::default();
+    for ((_pol, app, _fault), agg) in &res.agg {
+        if agg.recovered > 0 {
+            recovered_apps.insert(app.as_str());
+        }
+    }
+    assert!(
+        recovered_apps.len() >= 2,
+        "non-zero recovery on >= 2 workloads, got {recovered_apps:?}"
+    );
+    assert!(
+        recovered_apps.contains("rvictim"),
+        "the deterministic repair scenario must recover, got {recovered_apps:?}"
+    );
+    // Repair activity and its latency metric are actually reported.
+    let rv = res
+        .agg
+        .get(&(
+            "repair <=4096".to_string(),
+            "rvictim".to_string(),
+            "heap array resize 50%".to_string(),
+        ))
+        .expect("rvictim resize aggregate");
+    assert!(rv.success_rate() > 0.0);
+    assert!(rv.repairs_per_run() > 0.0);
+    assert!(rv.mean_t2r_cycles().is_some());
 }
 
 #[test]

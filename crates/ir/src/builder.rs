@@ -4,7 +4,9 @@
 //! builder tracks the current block, allocates typed registers, and infers
 //! result types for addressing instructions.
 
-use crate::instr::{Block, BlockId, BinOp, Callee, CastOp, CmpPred, Const, Instr, Operand, RegId, Term};
+use crate::instr::{
+    BinOp, Block, BlockId, Callee, CastOp, CmpPred, Const, Instr, Operand, RegId, Term,
+};
 use crate::module::{FuncId, Function, Module, RegInfo};
 use crate::types::{TypeId, TypeKind};
 
@@ -325,12 +327,7 @@ impl<'m> FunctionBuilder<'m> {
     /// `i64` induction register handed to the body closure.
     ///
     /// The builder is left positioned in the loop's exit block.
-    pub fn for_loop(
-        &mut self,
-        start: Operand,
-        end: Operand,
-        body: impl FnOnce(&mut Self, RegId),
-    ) {
+    pub fn for_loop(&mut self, start: Operand, end: Operand, body: impl FnOnce(&mut Self, RegId)) {
         let i64t = self.module.types.int(64);
         let i = self.reg(i64t, "i");
         self.emit(Instr::Copy { dst: i, src: start });

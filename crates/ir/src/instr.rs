@@ -226,9 +226,20 @@ pub enum Instr {
         args: Vec<Operand>,
     },
     /// DPMR runtime check: compares two scalars bit-exactly; on mismatch the
-    /// VM stops with a DPMR detection. Inserted by the transformation
+    /// VM raises a detection trap — terminal by default, resumable when a
+    /// recovery trap handler is installed. Inserted by the transformation
     /// (the `assert(x == *pr)` of Table 2.6).
-    DpmrCheck { a: Operand, b: Operand },
+    ///
+    /// `ptrs`, when present, names the application and replica locations
+    /// (in that order) the compared values were loaded from; it lets a
+    /// repair-from-replica recovery policy write the replica value back
+    /// over the divergent application location and resume. The pair is
+    /// coupled so a one-sided (unserializable) state cannot exist.
+    DpmrCheck {
+        a: Operand,
+        b: Operand,
+        ptrs: Option<(Operand, Operand)>,
+    },
     /// `dst <- randint(lo, hi)` — uniform random integer in `[lo, hi]`
     /// (inclusive); runtime support for rearrange-heap (Table 2.8).
     RandInt {
@@ -340,7 +351,14 @@ impl Instr {
                 v.extend(args.iter().copied());
                 v
             }
-            Instr::DpmrCheck { a, b } => vec![*a, *b],
+            Instr::DpmrCheck { a, b, ptrs } => {
+                let mut v = vec![*a, *b];
+                if let Some((ap, rp)) = ptrs {
+                    v.push(*ap);
+                    v.push(*rp);
+                }
+                v
+            }
             Instr::RandInt { lo, hi, .. } => vec![*lo, *hi],
             Instr::HeapBufSize { ptr, .. } => vec![*ptr],
             Instr::Output { value } => vec![*value],

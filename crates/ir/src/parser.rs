@@ -10,7 +10,9 @@
 //! before use, and global initializers support the scalar/bytes/ref
 //! forms the printer emits.
 
-use crate::instr::{BinOp, Block, BlockId, Callee, CastOp, CmpPred, Const, Instr, Operand, RegId, Term};
+use crate::instr::{
+    BinOp, Block, BlockId, Callee, CastOp, CmpPred, Const, Instr, Operand, RegId, Term,
+};
 use crate::module::{ExternalId, FuncId, Function, Global, GlobalId, GlobalInit, Module, RegInfo};
 use crate::types::{TypeId, TypeKind};
 use std::collections::HashMap;
@@ -232,13 +234,10 @@ impl<'a> Parser<'a> {
             let Some((n, t)) = inner.split_once(" x ") else {
                 return self.err(format!("malformed array type {s}"));
             };
-            let n: u64 = n
-                .trim()
-                .parse()
-                .map_err(|_| ParseError {
-                    line: 0,
-                    msg: format!("bad array length in {s}"),
-                })?;
+            let n: u64 = n.trim().parse().map_err(|_| ParseError {
+                line: 0,
+                msg: format!("bad array length in {s}"),
+            })?;
             let elem = self.parse_type(t)?;
             return Ok(self.module.types.array(elem, n));
         }
@@ -319,7 +318,7 @@ impl<'a> Parser<'a> {
         }
         if let Some(hex) = s.strip_prefix("bytes ") {
             let mut out = Vec::new();
-            for b in hex.trim().split_whitespace() {
+            for b in hex.split_whitespace() {
                 out.push(u8::from_str_radix(b, 16).map_err(|_| ParseError {
                     line: 0,
                     msg: format!("bad byte {b}"),
@@ -403,13 +402,10 @@ impl<'a> Parser<'a> {
             .unwrap_or("")
             .trim()
             .to_string();
-        let fid = self
-            .module
-            .func_by_name(&name)
-            .ok_or(ParseError {
-                line: 0,
-                msg: format!("function {name} not preregistered"),
-            })?;
+        let fid = self.module.func_by_name(&name).ok_or(ParseError {
+            line: 0,
+            msg: format!("function {name} not preregistered"),
+        })?;
         self.pos += 1;
 
         let mut regs: HashMap<String, RegId> = HashMap::new();
@@ -446,14 +442,14 @@ impl<'a> Parser<'a> {
                 };
                 let name = n.trim().trim_start_matches('%').to_string();
                 let ty = self.parse_type(t.trim())?;
-                if !regs.contains_key(&name) {
+                if let std::collections::hash_map::Entry::Vacant(e) = regs.entry(name.clone()) {
                     let f = self.module.func_mut(fid);
                     let id = RegId(f.regs.len() as u32);
                     f.regs.push(RegInfo {
                         ty,
-                        name: Some(name.clone()),
+                        name: Some(name),
                     });
-                    regs.insert(name, id);
+                    e.insert(id);
                 }
                 self.pos += 1;
                 continue;
@@ -562,12 +558,20 @@ impl<'a> Parser<'a> {
         }
         if let Some(rest) = line.strip_prefix("dpmr.check ") {
             let parts = split_top_level(rest, ',');
-            if parts.len() != 2 {
-                return self.err("dpmr.check needs a, b");
+            if parts.len() != 2 && parts.len() != 4 {
+                return self.err("dpmr.check needs a, b or a, b, app_ptr, rep_ptr");
             }
             let a = self.parse_operand(parts[0].trim(), fid, regs)?;
             let b = self.parse_operand(parts[1].trim(), fid, regs)?;
-            return Ok(Instr::DpmrCheck { a, b });
+            let ptrs = if parts.len() == 4 {
+                Some((
+                    self.parse_operand(parts[2].trim(), fid, regs)?,
+                    self.parse_operand(parts[3].trim(), fid, regs)?,
+                ))
+            } else {
+                None
+            };
+            return Ok(Instr::DpmrCheck { a, b, ptrs });
         }
         if let Some(rest) = line.strip_prefix("fi.marker ") {
             let site: u32 = rest.trim().parse().map_err(|_| ParseError {
@@ -648,14 +652,10 @@ impl<'a> Parser<'a> {
         if let Some(rest) = rhs.strip_prefix("load ") {
             let ptr = self.parse_operand(rest.trim(), fid, regs)?;
             let pty = self.operand_ty(&ptr, fid);
-            let vt = self
-                .module
-                .types
-                .pointee(pty)
-                .ok_or(ParseError {
-                    line: 0,
-                    msg: "load through non-pointer".into(),
-                })?;
+            let vt = self.module.types.pointee(pty).ok_or(ParseError {
+                line: 0,
+                msg: "load through non-pointer".into(),
+            })?;
             let dst = def_reg(&mut self.module, regs, fid, &dst_name, vt);
             return Ok(Instr::Load { dst, ptr });
         }
@@ -773,7 +773,10 @@ impl<'a> Parser<'a> {
                     None => {
                         // Default result types for common casts.
                         match op {
-                            CastOp::PtrToInt | CastOp::Trunc | CastOp::Zext | CastOp::Sext
+                            CastOp::PtrToInt
+                            | CastOp::Trunc
+                            | CastOp::Zext
+                            | CastOp::Sext
                             | CastOp::FpToSi => self.module.types.int(64),
                             CastOp::SiToFp | CastOp::FpCast => self.module.types.float(64),
                             _ => return self.err("cast needs `: ty`"),

@@ -28,7 +28,12 @@ fn reg_names(f: &Function) -> Vec<String> {
     out
 }
 
-fn op_str(m: &Module, names: &[String], tnames: &std::collections::HashMap<u32, String>, op: &Operand) -> String {
+fn op_str(
+    m: &Module,
+    names: &[String],
+    tnames: &std::collections::HashMap<u32, String>,
+    op: &Operand,
+) -> String {
     match op {
         Operand::Reg(r) => format!("%{}", names[r.0 as usize]),
         Operand::Const(Const::Int { value, bits }) => format!("{value}:i{bits}"),
@@ -60,11 +65,7 @@ fn type_names(m: &Module) -> std::collections::HashMap<u32, String> {
         };
         let n = used.entry(name.clone()).or_insert(0);
         *n += 1;
-        let display = if *n == 1 {
-            name
-        } else {
-            format!("{name}.{n}")
-        };
+        let display = if *n == 1 { name } else { format!("{name}.{n}") };
         out.insert(i as u32, display);
     }
     out
@@ -110,7 +111,12 @@ fn instr_str(
             None => format!("{} = alloca {}", d(*dst), ty_str(m, tnames, *ty)),
         },
         Instr::Malloc { dst, elem, count } => {
-            format!("{} = malloc {}, {}", d(*dst), ty_str(m, tnames, *elem), o(count))
+            format!(
+                "{} = malloc {}, {}",
+                d(*dst),
+                ty_str(m, tnames, *elem),
+                o(count)
+            )
         }
         Instr::Free { ptr } => format!("free {}", o(ptr)),
         Instr::Load { dst, ptr } => format!("{} = load {}", d(*dst), o(ptr)),
@@ -164,7 +170,12 @@ fn instr_str(
                 None => format!("call {name}({args})"),
             }
         }
-        Instr::DpmrCheck { a, b } => format!("dpmr.check {}, {}", o(a), o(b)),
+        Instr::DpmrCheck { a, b, ptrs } => match ptrs {
+            Some((ap, rp)) => {
+                format!("dpmr.check {}, {}, {}, {}", o(a), o(b), o(ap), o(rp))
+            }
+            None => format!("dpmr.check {}, {}", o(a), o(b)),
+        },
         Instr::RandInt { dst, lo, hi } => {
             format!("{} = randint {}, {}", d(*dst), o(lo), o(hi))
         }
@@ -196,7 +207,13 @@ pub fn print_function(m: &Module, f: &Function) -> String {
     let params = f
         .params
         .iter()
-        .map(|&p| format!("%{}: {}", names[p.0 as usize], ty_str(m, &tnames, f.reg_ty(p))))
+        .map(|&p| {
+            format!(
+                "%{}: {}",
+                names[p.0 as usize],
+                ty_str(m, &tnames, f.reg_ty(p))
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ");
     let _ = writeln!(
@@ -274,11 +291,7 @@ fn init_str(m: &Module, init: &GlobalInit) -> String {
     }
 }
 
-fn print_global(
-    m: &Module,
-    tnames: &std::collections::HashMap<u32, String>,
-    g: &Global,
-) -> String {
+fn print_global(m: &Module, tnames: &std::collections::HashMap<u32, String>, g: &Global) -> String {
     format!(
         "global @{}: {} = {}",
         g.name,

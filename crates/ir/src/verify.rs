@@ -283,9 +283,7 @@ fn verify_instr(ctx: &mut Ctx<'_>, ins: &Instr, bi: usize) {
                     CastOp::Bitcast => tys.is_pointer(st) && tys.is_pointer(dt),
                     CastOp::PtrToInt => tys.is_pointer(st) && tys.is_int(dt),
                     CastOp::IntToPtr => tys.is_int(st) && tys.is_pointer(dt),
-                    CastOp::Trunc | CastOp::Zext | CastOp::Sext => {
-                        tys.is_int(st) && tys.is_int(dt)
-                    }
+                    CastOp::Trunc | CastOp::Zext | CastOp::Sext => tys.is_int(st) && tys.is_int(dt),
                     CastOp::FpToSi => tys.is_float(st) && tys.is_int(dt),
                     CastOp::SiToFp => tys.is_int(st) && tys.is_float(dt),
                     CastOp::FpCast => tys.is_float(st) && tys.is_float(dt),

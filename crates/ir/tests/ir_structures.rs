@@ -43,6 +43,7 @@ fn printer_renders_every_instruction_kind() {
     b.emit(Instr::DpmrCheck {
         a: v.into(),
         b: v.into(),
+        ptrs: None,
     });
     let ri = b.reg(i64t, "ri");
     b.emit(Instr::RandInt {
@@ -72,9 +73,28 @@ fn printer_renders_every_instruction_kind() {
     assert!(verify_module(&m).is_ok());
     let txt = print_module(&m);
     for needle in [
-        "alloca", "malloc", "free", "load", "store", "fieldaddr", "indexaddr", "bitcast",
-        "trunc", "zext", "add", "cmp.slt", "call ext:mystery", "dpmr.check", "randint",
-        "heapbufsize", "output", "fi.marker 3", "abort 1", "condbr", "global @g", "ret",
+        "alloca",
+        "malloc",
+        "free",
+        "load",
+        "store",
+        "fieldaddr",
+        "indexaddr",
+        "bitcast",
+        "trunc",
+        "zext",
+        "add",
+        "cmp.slt",
+        "call ext:mystery",
+        "dpmr.check",
+        "randint",
+        "heapbufsize",
+        "output",
+        "fi.marker 3",
+        "abort 1",
+        "condbr",
+        "global @g",
+        "ret",
     ] {
         assert!(txt.contains(needle), "printer missing `{needle}`:\n{txt}");
     }
@@ -176,11 +196,13 @@ fn verifier_rejects_field_index_out_of_range() {
         });
         id
     };
-    m.funcs[f.0 as usize].blocks[0].instrs.push(Instr::FieldAddr {
-        dst: bogus_dst,
-        base: p.into(),
-        field: 9,
-    });
+    m.funcs[f.0 as usize].blocks[0]
+        .instrs
+        .push(Instr::FieldAddr {
+            dst: bogus_dst,
+            base: p.into(),
+            field: 9,
+        });
     let errs = verify_module(&m).unwrap_err();
     assert!(errs.iter().any(|e| e.msg.contains("field index")));
 }

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal wall-clock bench harness exposing the subset of the
+//! criterion 0.5 API its benches use: [`Criterion`] with `sample_size`,
+//! `warm_up_time`, `measurement_time`, `bench_function`, and
+//! `benchmark_group`; [`Bencher::iter`]; and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple (mean and min/max over samples, no
+//! outlier analysis or HTML reports); results print one line per bench.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets samples per bench.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one bench.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.clone(), &id.into(), f);
+        self
+    }
+
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            config,
+        }
+    }
+}
+
+/// A named group of benches sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    config: Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one bench within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(self.config.clone(), &full, f);
+        self
+    }
+
+    /// Ends the group (accepted for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; measures the routine under test.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    warmed: bool,
+    config: Criterion,
+}
+
+impl Bencher {
+    /// Measures `routine`, running warm-up then timed samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.warmed {
+            // Warm up and calibrate iterations per sample.
+            let start = Instant::now();
+            let mut iters: u64 = 0;
+            while start.elapsed() < self.config.warm_up_time {
+                black_box(routine());
+                iters += 1;
+            }
+            let per_iter = self.config.warm_up_time.as_nanos() / u128::from(iters.max(1));
+            let sample_budget =
+                self.config.measurement_time.as_nanos() / self.config.sample_size.max(1) as u128;
+            self.iters_per_sample = u64::try_from(sample_budget / per_iter.max(1))
+                .unwrap_or(1)
+                .max(1);
+            self.warmed = true;
+        }
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed() / u32::try_from(self.iters_per_sample).unwrap_or(1));
+        }
+    }
+}
+
+fn run_bench<F>(config: Criterion, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        warmed: false,
+        config,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / u32::try_from(b.samples.len()).unwrap_or(1);
+    let min = b.samples.iter().min().expect("nonempty");
+    let max = b.samples.iter().max().expect("nonempty");
+    println!(
+        "bench {id:<48} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples x {} iters)",
+        b.samples.len(),
+        b.iters_per_sample
+    );
+}
+
+/// Declares a bench group function runnable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut hits = 0u64;
+        tiny().bench_function("shim/smoke", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn groups_compose_names_and_run() {
+        let mut c = tiny();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("inner", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}

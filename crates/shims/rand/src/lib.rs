@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny subset of the rand 0.8 API it actually uses: a
+//! seedable deterministic generator (`rngs::StdRng`), the [`SeedableRng`]
+//! constructor trait, and [`Rng::gen_range`] over integer ranges.
+//!
+//! The generator is xoshiro256**, seeded through splitmix64 — high-quality,
+//! fast, and fully deterministic across platforms, which is all the DPMR
+//! simulation needs (it never requires cryptographic randomness). `StdRng`
+//! is `Clone`, and cloning captures the exact generator state; the VM's
+//! snapshot/restore machinery depends on that.
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types samplable by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Maps a raw 64-bit draw into `[lo, hi]` (inclusive).
+    fn from_u64_in(raw: u64, lo: Self, hi: Self) -> Self;
+    /// Widens to i128 for range arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrows from i128 (value is guaranteed in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_u64_in(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi.to_i128() - lo.to_i128() + 1) as u128;
+                let off = (u128::from(raw) % span) as i128;
+                Self::from_i128(lo.to_i128() + off)
+            }
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn from_i128(v: i128) -> Self {
+                v as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `raw` 64-bit entropy.
+    fn sample(self, raw: u64) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, raw: u64) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let hi = T::from_i128(self.end.to_i128() - 1);
+        T::from_u64_in(raw, self.start, hi)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, raw: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::from_u64_in(raw, lo, hi)
+    }
+}
+
+/// The user-facing generator interface (subset).
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from an integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let raw = self.next_u64();
+        range.sample(raw)
+    }
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut rng = StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            };
+            // Warm-up rounds diffuse the seed through the whole state so
+            // streams from different seeds decorrelate from the very first
+            // draw (xoshiro mixes slowly out of similar states).
+            for _ in 0..4 {
+                rng.next_u64();
+            }
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u: u32 = r.gen_range(0u32..100);
+            assert!(u < 100);
+        }
+    }
+
+    #[test]
+    fn clone_captures_state() {
+        let mut a = StdRng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

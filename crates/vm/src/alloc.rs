@@ -55,7 +55,12 @@ pub struct AllocStats {
 }
 
 /// First-fit free-list allocator over the heap region of a [`Mem`].
-#[derive(Debug)]
+///
+/// `Clone` captures the full allocator state (free-list head and counters);
+/// together with a [`crate::mem::MemSnapshot`] of the heap it forms a
+/// complete heap checkpoint, since all other allocator metadata lives
+/// in-band inside heap memory.
+#[derive(Debug, Clone)]
 pub struct Allocator {
     free_head: Option<u64>,
     /// Statistics counters.

@@ -195,9 +195,7 @@ pub fn register_base(r: &mut Registry) {
         Ok(Some(Value::Float(v.sqrt())))
     });
 
-    r.register("qsort", |it, args| {
-        qsort_native(it, args, None)
-    });
+    r.register("qsort", |it, args| qsort_native(it, args, None));
 }
 
 /// The native `qsort`: in-place insertion sort over simulated memory,

@@ -8,15 +8,16 @@
 //! `dpmr.check` comparisons, and records the first execution of
 //! fault-injection markers.
 
-use crate::alloc::{Allocator, AllocStats, FreeOutcome};
+use crate::alloc::{AllocStats, Allocator, FreeOutcome};
 use crate::external::Registry;
-use crate::mem::{Mem, MemConfig, MemFault};
+use crate::mem::{Mem, MemConfig, MemFault, MemSnapshot};
 use crate::value::{load_scalar, normalize_int, scalar_bytes, store_scalar, Value};
 use dpmr_ir::instr::{BinOp, Callee, CastOp, CmpPred, Const, Instr, Operand, Term};
 use dpmr_ir::module::{FuncId, GlobalInit, Module};
 use dpmr_ir::types::{TypeId, TypeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
 
@@ -71,6 +72,77 @@ impl ExitStatus {
     }
 }
 
+/// One `dpmr.check` mismatch, delivered to an installed [`TrapHandler`]
+/// *before* the run is torn down — the hook that makes detections
+/// resumable instead of terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionTrap {
+    /// Divergent application value (raw bits).
+    pub got: u64,
+    /// Replica value (raw bits).
+    pub replica: u64,
+    /// Application memory location the value was loaded from, when the
+    /// check instruction carries it.
+    pub app_addr: Option<u64>,
+    /// Replica memory location, when carried.
+    pub rep_addr: Option<u64>,
+    /// Virtual cycle of the detection.
+    pub cycle: u64,
+    /// Instructions executed when the detection fired.
+    pub instrs: u64,
+}
+
+/// A trap handler's verdict on one detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapAction {
+    /// Tear the run down with [`ExitStatus::DpmrDetected`] (the default
+    /// behaviour when no handler is installed).
+    Terminate,
+    /// Repair and resume: the interpreter writes the replica value over the
+    /// divergent application location (when the check names it), fixes the
+    /// in-flight register, and continues executing. When the check carries
+    /// no locations, only the in-flight register is fixed — memory stays
+    /// divergent and later checked loads of it will trap again. A check
+    /// with nothing fixable at all (no locations and a constant operand)
+    /// terminates regardless of this verdict.
+    Repair,
+}
+
+/// Recovery hook consulted on every `dpmr.check` mismatch.
+pub trait TrapHandler {
+    /// Decides what the interpreter does with this detection.
+    fn on_detection(&mut self, trap: &DetectionTrap) -> TrapAction;
+}
+
+/// A point-in-time copy of all interpreter state that lives *between*
+/// instructions: memory, allocator, RNG, virtual clock, instruction and
+/// detection counters, output channel, and the cache model. Taking and
+/// restoring snapshots is only meaningful at run boundaries (the
+/// interpreter's call stack is host-native and is empty there); the
+/// recovery driver uses them as checkpoints to replay from.
+#[derive(Debug, Clone)]
+pub struct InterpSnapshot {
+    mem: MemSnapshot,
+    alloc: Allocator,
+    rng: StdRng,
+    clock: u64,
+    instrs: u64,
+    output: Vec<u64>,
+    first_fi_cycle: Option<u64>,
+    fi_sites_hit: BTreeSet<u32>,
+    cache_tags: Vec<u64>,
+    detections: u64,
+    repairs: u64,
+    first_detection_cycle: Option<u64>,
+}
+
+impl InterpSnapshot {
+    /// Bytes of simulated memory captured (checkpoint-size accounting).
+    pub fn captured_bytes(&self) -> usize {
+        self.mem.captured_bytes()
+    }
+}
+
 /// Everything measured during one run (Table 3.2's components).
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -91,6 +163,14 @@ pub struct RunOutcome {
     pub detect_cycle: Option<u64>,
     /// Allocator statistics.
     pub alloc_stats: AllocStats,
+    /// `dpmr.check` mismatches observed, including repaired ones.
+    pub detections: u64,
+    /// Detections repaired in place by an installed [`TrapHandler`].
+    pub repairs: u64,
+    /// Virtual cycle of the *first* detection, terminal or repaired
+    /// (`detect_cycle` only covers terminal ones). Time-to-recovery
+    /// measurements run from here to completion.
+    pub first_detection_cycle: Option<u64>,
 }
 
 /// Run limits and inputs.
@@ -189,6 +269,10 @@ pub struct Interp<'m> {
     /// pay an extra latency, so memory-layout diversity (pad-malloc,
     /// rearrange-heap) has the locality cost the paper observes.
     cache_tags: Vec<u64>,
+    trap_handler: Option<Rc<RefCell<dyn TrapHandler>>>,
+    detections: u64,
+    repairs: u64,
+    first_detection_cycle: Option<u64>,
 }
 
 impl<'m> Interp<'m> {
@@ -224,6 +308,10 @@ impl<'m> Interp<'m> {
             depth: 0,
             max_depth: cfg.max_depth,
             cache_tags: vec![u64::MAX; 4096],
+            trap_handler: None,
+            detections: 0,
+            repairs: 0,
+            first_detection_cycle: None,
         };
         // Pass 2: initialize.
         for (i, g) in module.globals.iter().enumerate() {
@@ -244,8 +332,7 @@ impl<'m> Interp<'m> {
                 store_scalar(&mut self.mem, tt, ty, addr, Value::Int(*v)).expect("global mapped");
             }
             GlobalInit::Float(f) => {
-                store_scalar(&mut self.mem, tt, ty, addr, Value::Float(*f))
-                    .expect("global mapped");
+                store_scalar(&mut self.mem, tt, ty, addr, Value::Float(*f)).expect("global mapped");
             }
             GlobalInit::Null => {
                 self.mem.write_u64(addr, 0).expect("global mapped");
@@ -286,6 +373,69 @@ impl<'m> Interp<'m> {
     /// Address assigned to a global.
     pub fn global_addr(&self, g: dpmr_ir::module::GlobalId) -> u64 {
         self.global_addrs[g.0 as usize]
+    }
+
+    /// Installs a recovery trap handler: `dpmr.check` mismatches become
+    /// resumable [`DetectionTrap`]s delivered to the handler instead of
+    /// unconditionally terminal exits.
+    pub fn set_trap_handler(&mut self, handler: Rc<RefCell<dyn TrapHandler>>) {
+        self.trap_handler = Some(handler);
+    }
+
+    /// Removes the recovery trap handler (detections become terminal again).
+    pub fn clear_trap_handler(&mut self) {
+        self.trap_handler = None;
+    }
+
+    /// Captures a checkpoint of all between-instruction interpreter state.
+    /// Valid at run boundaries (no simulated frames live on the host call
+    /// stack); the recovery driver replays from the latest one on trap.
+    pub fn snapshot(&self) -> InterpSnapshot {
+        InterpSnapshot {
+            mem: self.mem.snapshot(),
+            alloc: self.alloc.clone(),
+            rng: self.rng.clone(),
+            clock: self.clock,
+            instrs: self.instrs,
+            output: self.output.clone(),
+            first_fi_cycle: self.first_fi_cycle,
+            fi_sites_hit: self.fi_sites_hit.clone(),
+            cache_tags: self.cache_tags.clone(),
+            detections: self.detections,
+            repairs: self.repairs,
+            first_detection_cycle: self.first_detection_cycle,
+        }
+    }
+
+    /// Restores a checkpoint taken by [`Interp::snapshot`] on this
+    /// interpreter (or one configured identically). Execution state —
+    /// memory, allocator, RNG, clocks, counters, output — returns to the
+    /// captured point bit-for-bit, so a deterministic re-run from the
+    /// checkpoint reproduces the original continuation exactly.
+    pub fn restore(&mut self, snap: &InterpSnapshot) {
+        self.mem.restore(&snap.mem);
+        self.alloc = snap.alloc.clone();
+        self.rng = snap.rng.clone();
+        self.clock = snap.clock;
+        self.instrs = snap.instrs;
+        self.output = snap.output.clone();
+        self.first_fi_cycle = snap.first_fi_cycle;
+        self.fi_sites_hit = snap.fi_sites_hit.clone();
+        self.cache_tags = snap.cache_tags.clone();
+        self.detections = snap.detections;
+        self.repairs = snap.repairs;
+        self.first_detection_cycle = snap.first_detection_cycle;
+    }
+
+    /// Re-seeds the runtime RNG and garbage-fill seed. A recovery retry
+    /// calls this after [`Interp::restore`] so the replay runs in a
+    /// *diverse* environment (different rearrange-heap draws and fresh-
+    /// allocation garbage), the Rx-style avoidance that lets a replay
+    /// succeed where the original layout corrupted live state.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.mem
+            .set_fill_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
     }
 
     /// Charges virtual cycles (used by external handlers).
@@ -423,6 +573,9 @@ impl<'m> Interp<'m> {
             fi_sites_hit: std::mem::take(&mut self.fi_sites_hit),
             detect_cycle,
             alloc_stats: self.alloc.stats,
+            detections: self.detections,
+            repairs: self.repairs,
+            first_detection_cycle: self.first_detection_cycle,
         }
     }
 
@@ -476,7 +629,7 @@ impl<'m> Interp<'m> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec(&mut self, f: FuncId, regs: &mut Vec<Option<Value>>) -> Result<Option<Value>, Trap> {
+    fn exec(&mut self, f: FuncId, regs: &mut [Option<Value>]) -> Result<Option<Value>, Trap> {
         // The module reference outlives `self`'s mutable borrows, so copy
         // it out once and iterate instructions without cloning them.
         let module: &'m Module = self.module;
@@ -528,12 +681,7 @@ impl<'m> Interp<'m> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(
-        &mut self,
-        f: FuncId,
-        regs: &mut Vec<Option<Value>>,
-        ins: &Instr,
-    ) -> Result<(), Trap> {
+    fn step(&mut self, f: FuncId, regs: &mut [Option<Value>], ins: &Instr) -> Result<(), Trap> {
         match ins {
             Instr::Alloca { dst, ty, count } => {
                 let n = match count {
@@ -734,20 +882,68 @@ impl<'m> Interp<'m> {
                     }
                 };
                 if let Some(d) = dst {
-                    regs[d.0 as usize] = Some(ret.ok_or_else(|| {
-                        Trap::Invalid("void call used as value".into())
-                    })?);
+                    regs[d.0 as usize] =
+                        Some(ret.ok_or_else(|| Trap::Invalid("void call used as value".into()))?);
                 }
             }
-            Instr::DpmrCheck { a, b } => {
+            Instr::DpmrCheck { a, b, ptrs } => {
                 let va = self.eval(regs, a)?;
                 let vb = self.eval(regs, b)?;
                 self.clock += cost::CHECK;
                 if va.to_bits() != vb.to_bits() {
-                    return Err(Trap::Dpmr {
+                    self.detections += 1;
+                    if self.first_detection_cycle.is_none() {
+                        self.first_detection_cycle = Some(self.clock);
+                    }
+                    let (app_addr, rep_addr) = match ptrs {
+                        Some((ap, rp)) => (
+                            Some(self.eval(regs, ap)?.as_ptr()),
+                            Some(self.eval(regs, rp)?.as_ptr()),
+                        ),
+                        None => (None, None),
+                    };
+                    let trap = DetectionTrap {
                         got: va.to_bits(),
                         replica: vb.to_bits(),
-                    });
+                        app_addr,
+                        rep_addr,
+                        cycle: self.clock,
+                        instrs: self.instrs,
+                    };
+                    let mut action = match &self.trap_handler {
+                        Some(h) => Rc::clone(h).borrow_mut().on_detection(&trap),
+                        None => TrapAction::Terminate,
+                    };
+                    // A repair that could fix neither memory nor a register
+                    // would be a no-op resume with an inflated counter;
+                    // force termination instead.
+                    if app_addr.is_none() && !matches!(a, Operand::Reg(_)) {
+                        action = TrapAction::Terminate;
+                    }
+                    match action {
+                        TrapAction::Terminate => {
+                            return Err(Trap::Dpmr {
+                                got: va.to_bits(),
+                                replica: vb.to_bits(),
+                            });
+                        }
+                        TrapAction::Repair => {
+                            // Replica memory is the redundant truth: copy
+                            // its value over the divergent application
+                            // location and the in-flight register, then
+                            // resume as if the check had passed.
+                            self.repairs += 1;
+                            if let (Some(addr), Operand::Reg(r)) = (app_addr, a) {
+                                let ty = self.module.func(f).reg_ty(*r);
+                                self.clock += cost::MEM;
+                                self.touch(addr);
+                                store_scalar(&mut self.mem, &self.module.types, ty, addr, vb)?;
+                            }
+                            if let Operand::Reg(r) = a {
+                                regs[r.0 as usize] = Some(vb);
+                            }
+                        }
+                    }
                 }
             }
             Instr::RandInt { dst, lo, hi } => {

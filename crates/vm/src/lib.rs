@@ -48,11 +48,11 @@ pub mod prelude {
     pub use crate::alloc::{AllocStats, Allocator, FreeOutcome};
     pub use crate::external::Registry;
     pub use crate::interp::{
-        run_with_limits, run_with_registry, CrashKind, ExitStatus, Interp, RunConfig, RunOutcome,
-        Trap, FUNC_BASE,
+        run_with_limits, run_with_registry, CrashKind, DetectionTrap, ExitStatus, Interp,
+        InterpSnapshot, RunConfig, RunOutcome, Trap, TrapAction, TrapHandler, FUNC_BASE,
     };
     pub use crate::mem::{
-        Mem, MemConfig, MemFault, MemFaultKind, GLOBAL_BASE, HEAP_BASE, STACK_BASE,
+        Mem, MemConfig, MemFault, MemFaultKind, MemSnapshot, GLOBAL_BASE, HEAP_BASE, STACK_BASE,
     };
     pub use crate::value::{load_scalar, normalize_int, scalar_bytes, store_scalar, Value};
 }

@@ -81,6 +81,28 @@ enum Region {
     Stack,
 }
 
+/// A point-in-time copy of the mapped portions of an address space
+/// (see [`Mem::snapshot`]). Cheap relative to the configured capacities:
+/// only bytes below the current global length, heap break, and stack
+/// pointer are copied.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    globals: Vec<u8>,
+    globals_len: usize,
+    heap: Vec<u8>,
+    brk: usize,
+    stack: Vec<u8>,
+    sp: usize,
+    fill_seed: u64,
+}
+
+impl MemSnapshot {
+    /// Total bytes captured (checkpoint-size accounting).
+    pub fn captured_bytes(&self) -> usize {
+        self.globals.len() + self.heap.len() + self.stack.len()
+    }
+}
+
 /// The simulated memory.
 pub struct Mem {
     globals: Vec<u8>,
@@ -286,6 +308,60 @@ impl Mem {
         self.write(addr, &bytes)
     }
 
+    /// Captures the mapped state of the address space. Only the live
+    /// prefixes (globals up to their length, heap up to the break, stack up
+    /// to the stack pointer) are copied; memory above those marks is
+    /// unreachable until re-mapped, and re-mapping always garbage-fills.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            globals: self.globals[..self.globals_len].to_vec(),
+            globals_len: self.globals_len,
+            heap: self.heap[..self.brk].to_vec(),
+            brk: self.brk,
+            stack: self.stack[..self.sp].to_vec(),
+            sp: self.sp,
+            fill_seed: self.fill_seed,
+        }
+    }
+
+    /// Restores a snapshot taken from an address space with the same
+    /// configured capacities: all mapped contents, region marks, and the
+    /// garbage-fill seed return to their captured values.
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not fit this address space's capacities
+    /// (snapshots are only portable between identically sized spaces).
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        assert!(
+            snap.globals_len <= self.globals.len()
+                && snap.brk <= self.heap.len()
+                && snap.sp <= self.stack.len(),
+            "snapshot from a larger address space"
+        );
+        self.globals[..snap.globals_len].copy_from_slice(&snap.globals);
+        self.globals_len = snap.globals_len;
+        self.heap[..snap.brk].copy_from_slice(&snap.heap);
+        self.brk = snap.brk;
+        self.stack[..snap.sp].copy_from_slice(&snap.stack);
+        // Unlike globals and heap, the whole stack region is mapped
+        // regardless of the stack pointer, so residue from the aborted
+        // attempt above `sp` would be observable (e.g. by a stale pointer
+        // into a released frame). Zero it: that is exactly the fresh-run
+        // state for a run-boundary checkpoint, keeping replays
+        // bit-identical to a fresh run.
+        self.stack[snap.sp..].fill(0);
+        self.sp = snap.sp;
+        self.fill_seed = snap.fill_seed;
+    }
+
+    /// Replaces the garbage-fill seed. Used by recovery retries to give a
+    /// re-execution a *diverse* environment: allocations made after the
+    /// restore see different garbage (and different rearrange-heap draws
+    /// come from the interpreter's reseeded RNG).
+    pub fn set_fill_seed(&mut self, seed: u64) {
+        self.fill_seed = seed;
+    }
+
     /// Deterministic coin flip derived from the fill seed and an address
     /// (used by the allocator to decide crash-vs-corrupt on invalid frees).
     pub fn coin(&self, addr: u64) -> bool {
@@ -384,6 +460,56 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_roundtrips_contents_and_marks() {
+        let mut m = mem();
+        m.grow_heap(128).unwrap();
+        m.write_u64(HEAP_BASE, 0x1111).unwrap();
+        let g = m.alloc_global(16);
+        m.write_u64(g, 0x2222).unwrap();
+        let mark = m.stack_alloc(32).unwrap();
+        m.write_u64(mark, 0x3333).unwrap();
+        let snap = m.snapshot();
+
+        // Mutate everything, including growing the regions.
+        m.write_u64(HEAP_BASE, 0xdead).unwrap();
+        m.grow_heap(64).unwrap();
+        m.write_u64(g, 0xbeef).unwrap();
+        m.alloc_global(32);
+        m.stack_alloc(64).unwrap();
+
+        m.restore(&snap);
+        assert_eq!(m.read_u64(HEAP_BASE).unwrap(), 0x1111);
+        assert_eq!(m.read_u64(g).unwrap(), 0x2222);
+        assert_eq!(m.read_u64(mark).unwrap(), 0x3333);
+        assert_eq!(m.brk(), 128, "heap break rolled back");
+        assert!(
+            m.read(HEAP_BASE + 128, 1).is_err(),
+            "memory mapped after the snapshot is unmapped again"
+        );
+    }
+
+    #[test]
+    fn restore_clears_stack_residue_above_saved_sp() {
+        let mut m = mem();
+        let snap = m.snapshot(); // run-boundary checkpoint: sp = 0
+        let a = m.stack_alloc(64).unwrap();
+        m.write_u64(a, 0xfeed_face).unwrap();
+        m.restore(&snap);
+        // The whole stack region stays mapped, so without clearing, the
+        // aborted attempt's frame bytes would leak into the replay.
+        assert_eq!(m.read_u64(a).unwrap(), 0, "no residue above restored sp");
+    }
+
+    #[test]
+    fn snapshot_captures_only_live_prefixes() {
+        let mut m = mem();
+        m.grow_heap(64).unwrap();
+        m.alloc_global(8);
+        let snap = m.snapshot();
+        assert_eq!(snap.captured_bytes(), 64 + 8);
+    }
+
+    #[test]
     fn garbage_is_deterministic_and_address_dependent() {
         let mut m1 = mem();
         let mut m2 = mem();
@@ -391,7 +517,10 @@ mod tests {
         m2.grow_heap(64).unwrap();
         m1.garbage_fill(HEAP_BASE, 32).unwrap();
         m2.garbage_fill(HEAP_BASE, 32).unwrap();
-        assert_eq!(m1.read(HEAP_BASE, 32).unwrap(), m2.read(HEAP_BASE, 32).unwrap());
+        assert_eq!(
+            m1.read(HEAP_BASE, 32).unwrap(),
+            m2.read(HEAP_BASE, 32).unwrap()
+        );
         m1.garbage_fill(HEAP_BASE + 32, 32).unwrap();
         assert_ne!(
             m1.read(HEAP_BASE, 32).unwrap().to_vec(),

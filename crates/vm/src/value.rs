@@ -105,10 +105,7 @@ pub fn load_scalar(mem: &Mem, tt: &TypeTable, ty: TypeId, addr: u64) -> Result<V
             let b = mem.read(addr, n)?;
             let mut raw = [0u8; 8];
             raw[..n].copy_from_slice(b);
-            Ok(Value::Int(normalize_int(
-                i64::from_le_bytes(raw),
-                *bits,
-            )))
+            Ok(Value::Int(normalize_int(i64::from_le_bytes(raw), *bits)))
         }
         TypeKind::Float { bits: 32 } => {
             let b = mem.read(addr, 4)?;
@@ -202,7 +199,10 @@ mod tests {
         assert_eq!(load_scalar(&mem, &tt, i8t, a).unwrap(), Value::Int(-5));
 
         store_scalar(&mut mem, &tt, i32t, a, Value::Int(123_456)).unwrap();
-        assert_eq!(load_scalar(&mem, &tt, i32t, a).unwrap(), Value::Int(123_456));
+        assert_eq!(
+            load_scalar(&mem, &tt, i32t, a).unwrap(),
+            Value::Int(123_456)
+        );
 
         store_scalar(&mut mem, &tt, f64t, a, Value::Float(3.25)).unwrap();
         assert_eq!(load_scalar(&mem, &tt, f64t, a).unwrap(), Value::Float(3.25));
@@ -211,7 +211,10 @@ mod tests {
         assert_eq!(load_scalar(&mem, &tt, f32t, a).unwrap(), Value::Float(1.5));
 
         store_scalar(&mut mem, &tt, p, a, Value::Ptr(0xdead_0000)).unwrap();
-        assert_eq!(load_scalar(&mem, &tt, p, a).unwrap(), Value::Ptr(0xdead_0000));
+        assert_eq!(
+            load_scalar(&mem, &tt, p, a).unwrap(),
+            Value::Ptr(0xdead_0000)
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ fn arithmetic_width_semantics() {
 fn division_by_zero_crashes() {
     let m = module_with_main(|b| {
         let i64t = b.module.types.int(64);
-        let z = b.bin(BinOp::SDiv, i64t, Const::i64(1).into(), Const::i64(0).into());
+        let z = b.bin(
+            BinOp::SDiv,
+            i64t,
+            Const::i64(1).into(),
+            Const::i64(0).into(),
+        );
         b.output(z.into());
         b.ret(Some(Const::i64(0).into()));
     });
@@ -77,12 +82,7 @@ fn float_roundtrip_through_f32_loses_precision() {
         );
         let v = b.load(f32t, p.into(), "v");
         let wide = b.cast(CastOp::FpCast, f64t, v.into(), "wide");
-        let scaled = b.bin(
-            BinOp::FMul,
-            f64t,
-            wide.into(),
-            Const::f64(1.0e9).into(),
-        );
+        let scaled = b.bin(BinOp::FMul, f64t, wide.into(), Const::f64(1.0e9).into());
         let i = b.cast(CastOp::FpToSi, i64t, scaled.into(), "i");
         b.output(i.into());
         b.ret(Some(Const::i64(0).into()));
@@ -247,8 +247,10 @@ fn infinite_loop_times_out() {
     b.br(loop_bb);
     let f = b.finish();
     m.entry = Some(f);
-    let mut rc = RunConfig::default();
-    rc.max_instrs = 10_000;
+    let rc = RunConfig {
+        max_instrs: 10_000,
+        ..RunConfig::default()
+    };
     let out = run_with_limits(&m, &rc);
     assert_eq!(out.status, ExitStatus::Timeout);
     assert!(!out.status.is_natural_detection());
@@ -281,6 +283,7 @@ fn dpmr_check_passes_equal_and_fails_unequal() {
         b.emit(Instr::DpmrCheck {
             a: Const::i64(5).into(),
             b: Const::i64(5).into(),
+            ptrs: None,
         });
         b.ret(Some(Const::i64(0).into()));
     });
@@ -290,6 +293,7 @@ fn dpmr_check_passes_equal_and_fails_unequal() {
         b.emit(Instr::DpmrCheck {
             a: Const::i64(5).into(),
             b: Const::i64(6).into(),
+            ptrs: None,
         });
         b.ret(Some(Const::i64(0).into()));
     });
@@ -317,8 +321,10 @@ fn randint_respects_bounds_and_seed() {
         }
         b.ret(Some(Const::i64(0).into()));
     });
-    let mut rc = RunConfig::default();
-    rc.seed = 7;
+    let mut rc = RunConfig {
+        seed: 7,
+        ..RunConfig::default()
+    };
     let a = run_with_limits(&m, &rc);
     let b2 = run_with_limits(&m, &rc);
     assert_eq!(a.output, b2.output, "seeded determinism");
@@ -395,7 +401,10 @@ fn uninitialized_heap_reads_are_arbitrary_but_deterministic() {
     let mut rc = RunConfig::default();
     rc.mem.fill_seed = 999;
     let c = run_with_limits(&m, &rc);
-    assert_ne!(a.output, c.output, "different fill seeds, different garbage");
+    assert_ne!(
+        a.output, c.output,
+        "different fill seeds, different garbage"
+    );
 }
 
 #[test]

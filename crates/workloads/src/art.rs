@@ -162,65 +162,73 @@ pub fn build(scale: i64, seed: u64) -> Module {
         });
         // Scan passes.
         let positions = (image_n - window) / 4;
-        b.for_loop(Const::i64(0).into(), Const::i64(passes).into(), |b, _pass| {
-            b.for_loop(Const::i64(0).into(), Const::i64(positions).into(), |b, pi| {
-                let pos = b.bin(BinOp::Mul, i64t, pi.into(), Const::i64(4).into());
-                let best = b.reg(i64t, "best");
-                let best_v = b.reg(f64t, "bestV");
-                b.assign(best, Const::i64(0).into());
-                b.assign(best_v, Const::f64(-1.0e18).into());
-                b.for_loop(Const::i64(0).into(), Const::i64(f2).into(), |b, j| {
-                    let y = b
-                        .call(
-                            Callee::Direct(activation),
+        b.for_loop(
+            Const::i64(0).into(),
+            Const::i64(passes).into(),
+            |b, _pass| {
+                b.for_loop(
+                    Const::i64(0).into(),
+                    Const::i64(positions).into(),
+                    |b, pi| {
+                        let pos = b.bin(BinOp::Mul, i64t, pi.into(), Const::i64(4).into());
+                        let best = b.reg(i64t, "best");
+                        let best_v = b.reg(f64t, "bestV");
+                        b.assign(best, Const::i64(0).into());
+                        b.assign(best_v, Const::f64(-1.0e18).into());
+                        b.for_loop(Const::i64(0).into(), Const::i64(f2).into(), |b, j| {
+                            let y = b
+                                .call(
+                                    Callee::Direct(activation),
+                                    vec![
+                                        img.into(),
+                                        pos.into(),
+                                        bu.into(),
+                                        j.into(),
+                                        Const::i64(window).into(),
+                                    ],
+                                    Some(f64t),
+                                    "y",
+                                )
+                                .expect("activation");
+                            let gt = b.cmp(CmpPred::FOgt, y.into(), best_v.into());
+                            b.if_then(gt.into(), |b| {
+                                b.assign(best_v, y.into());
+                                b.assign(best, j.into());
+                            });
+                        });
+                        // Resonance: adapt both weight sets of the winner.
+                        b.call(
+                            Callee::Direct(adapt),
                             vec![
                                 img.into(),
                                 pos.into(),
                                 bu.into(),
-                                j.into(),
+                                best.into(),
                                 Const::i64(window).into(),
                             ],
-                            Some(f64t),
-                            "y",
-                        )
-                        .expect("activation");
-                    let gt = b.cmp(CmpPred::FOgt, y.into(), best_v.into());
-                    b.if_then(gt.into(), |b| {
-                        b.assign(best_v, y.into());
-                        b.assign(best, j.into());
-                    });
-                });
-                // Resonance: adapt both weight sets of the winner.
-                b.call(
-                    Callee::Direct(adapt),
-                    vec![
-                        img.into(),
-                        pos.into(),
-                        bu.into(),
-                        best.into(),
-                        Const::i64(window).into(),
-                    ],
-                    None,
-                    "",
+                            None,
+                            "",
+                        );
+                        b.call(
+                            Callee::Direct(adapt),
+                            vec![
+                                img.into(),
+                                pos.into(),
+                                td.into(),
+                                best.into(),
+                                Const::i64(window).into(),
+                            ],
+                            None,
+                            "",
+                        );
+                        let hp = b.index_addr(hist.into(), best.into(), "hp");
+                        let h = b.load(i64t, hp.into(), "h");
+                        let h2 = b.bin(BinOp::Add, i64t, h.into(), Const::i64(1).into());
+                        b.store(hp.into(), h2.into());
+                    },
                 );
-                b.call(
-                    Callee::Direct(adapt),
-                    vec![
-                        img.into(),
-                        pos.into(),
-                        td.into(),
-                        best.into(),
-                        Const::i64(window).into(),
-                    ],
-                    None,
-                    "",
-                );
-                let hp = b.index_addr(hist.into(), best.into(), "hp");
-                let h = b.load(i64t, hp.into(), "h");
-                let h2 = b.bin(BinOp::Add, i64t, h.into(), Const::i64(1).into());
-                b.store(hp.into(), h2.into());
-            });
-        });
+            },
+        );
         // Output: histogram + weight norms (scaled to integers).
         b.for_loop(Const::i64(0).into(), Const::i64(f2).into(), |b, i| {
             let hp = b.index_addr(hist.into(), i.into(), "hp");

@@ -120,8 +120,8 @@ pub fn build(scale: i64, seed: u64) -> Module {
         let cnt = b.cast(CastOp::Zext, i64t, cnt8.into(), "cnt");
         let cnt = {
             // counts are 1..=255, stored as unsigned byte
-            let masked = b.bin(BinOp::And, i64t, cnt.into(), Const::i64(0xff).into());
-            masked
+
+            b.bin(BinOp::And, i64t, cnt.into(), Const::i64(0xff).into())
         };
         let i1 = b.bin(BinOp::Add, i64t, i.into(), Const::i64(1).into());
         let bp = b.index_addr(src.into(), i1.into(), "bp");
@@ -312,7 +312,12 @@ pub fn build(scale: i64, seed: u64) -> Module {
         });
         b.call(
             Callee::Direct(mtf),
-            vec![rle.into(), rle_len.into(), table.into(), Const::i64(0).into()],
+            vec![
+                rle.into(),
+                rle_len.into(),
+                table.into(),
+                Const::i64(0).into(),
+            ],
             None,
             "",
         );
@@ -340,7 +345,12 @@ pub fn build(scale: i64, seed: u64) -> Module {
         });
         b.call(
             Callee::Direct(mtf),
-            vec![rle.into(), rle_len.into(), table2.into(), Const::i64(1).into()],
+            vec![
+                rle.into(),
+                rle_len.into(),
+                table2.into(),
+                Const::i64(1).into(),
+            ],
             None,
             "",
         );

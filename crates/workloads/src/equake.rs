@@ -35,7 +35,12 @@ pub fn build(scale: i64, seed: u64) -> Module {
             &mut m,
             "smvp",
             void,
-            &[("rows", row_arr_p), ("n", i64t), ("x", farrp), ("out", farrp)],
+            &[
+                ("rows", row_arr_p),
+                ("n", i64t),
+                ("x", farrp),
+                ("out", farrp),
+            ],
         );
         let rows = b.param(0);
         let n = b.param(1);

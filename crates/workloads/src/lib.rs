@@ -99,9 +99,30 @@ pub fn all_apps() -> Vec<AppSpec> {
     ]
 }
 
-/// Looks up an application by name.
+/// The recovery-study application set (Table R.1): the four SPEC
+/// analogues plus two micro programs whose fault manifestations are
+/// recoverable by construction — `rvictim`, whose injected overflow
+/// corrupts data that stays reachable through checked loads (repairable
+/// from the replica), and `qsort24`, whose injected use-after-free
+/// manifestation depends on heap layout (avoidable by a diverse replay).
+/// The SPEC analogues mostly crash on the application side *before* any
+/// check runs, which is exactly the boundary the table is meant to show.
+pub fn recovery_apps() -> Vec<AppSpec> {
+    let mut apps = all_apps();
+    apps.push(AppSpec {
+        name: "rvictim",
+        build: |p| micro::resize_victim(16 * p.scale.max(1), 12 * p.scale.max(1)),
+    });
+    apps.push(AppSpec {
+        name: "qsort24",
+        build: |p| micro::qsort_prog(24 * p.scale.max(1)),
+    });
+    apps
+}
+
+/// Looks up an application by name (including the recovery-study set).
 pub fn app_by_name(name: &str) -> Option<AppSpec> {
-    all_apps().into_iter().find(|a| a.name == name)
+    recovery_apps().into_iter().find(|a| a.name == name)
 }
 
 #[cfg(test)]
@@ -113,11 +134,7 @@ mod tests {
     fn all_apps_build_and_verify() {
         for app in all_apps() {
             let m = (app.build)(&WorkloadParams::quick());
-            assert!(
-                verify_module(&m).is_ok(),
-                "{} fails verification",
-                app.name
-            );
+            assert!(verify_module(&m).is_ok(), "{} fails verification", app.name);
             assert!(m.entry.is_some(), "{} has no entry", app.name);
         }
     }

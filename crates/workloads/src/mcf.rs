@@ -28,7 +28,8 @@ pub fn build(scale: i64, seed: u64) -> Module {
     let nodep = m.types.pointer(node);
     let arcp = m.types.pointer(arc);
     m.types.set_struct_body(node, vec![i64t, arcp, i64t]);
-    m.types.set_struct_body(arc, vec![i64t, i64t, nodep, nodep, arcp]);
+    m.types
+        .set_struct_body(arc, vec![i64t, i64t, nodep, nodep, arcp]);
     let node_arr = m.types.unsized_array(node);
     let node_arr_p = m.types.pointer(node_arr);
     // pair { i64 key; i64 idx } for qsort.
@@ -91,12 +92,8 @@ pub fn build(scale: i64, seed: u64) -> Module {
     // i64 sweep(Node[]* nodes, i64 n) — one Bellman-Ford-style relaxation
     // pass over every arc reachable from every node; returns total cost.
     let sweep = {
-        let mut b = FunctionBuilder::new(
-            &mut m,
-            "sweep",
-            i64t,
-            &[("nodes", node_arr_p), ("n", i64t)],
-        );
+        let mut b =
+            FunctionBuilder::new(&mut m, "sweep", i64t, &[("nodes", node_arr_p), ("n", i64t)]);
         let nodes = b.param(0);
         let n = b.param(1);
         let total = b.reg(i64t, "total");
@@ -172,10 +169,7 @@ pub fn build(scale: i64, seed: u64) -> Module {
             let t = lcg_mod(b, st, n_nodes);
             let h = lcg_mod(b, st, n_nodes);
             let cost = lcg_mod(b, st, 50);
-            let cost = {
-                let c = b.bin(BinOp::Sub, i64t, cost.into(), Const::i64(20).into());
-                c
-            };
+            let cost = { b.bin(BinOp::Sub, i64t, cost.into(), Const::i64(20).into()) };
             let tnd = b.index_addr(nodes.into(), t.into(), "tnd");
             let hnd = b.index_addr(nodes.into(), h.into(), "hnd");
             b.call(
@@ -230,7 +224,11 @@ pub fn build(scale: i64, seed: u64) -> Module {
             let nd = b.index_addr(nodes.into(), vi.into(), "nd");
             let firstp = b.field_addr(nd.into(), 1, "firstp");
             let first = b.load(arcp, firstp.into(), "first");
-            let has = b.cmp(CmpPred::Ne, first.into(), Const::Null { pointee: arc }.into());
+            let has = b.cmp(
+                CmpPred::Ne,
+                first.into(),
+                Const::Null { pointee: arc }.into(),
+            );
             b.if_then(has.into(), |b| {
                 let nxp = b.field_addr(first.into(), 4, "nxp");
                 let nx = b.load(arcp, nxp.into(), "nx");

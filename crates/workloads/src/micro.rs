@@ -21,7 +21,8 @@ pub fn linked_list(n: i64) -> Module {
 
     // LL* createNode(int32 data, LL* last)
     let create = {
-        let mut b = FunctionBuilder::new(&mut m, "createNode", llp, &[("data", i32t), ("last", llp)]);
+        let mut b =
+            FunctionBuilder::new(&mut m, "createNode", llp, &[("data", i32t), ("last", llp)]);
         let data = b.param(0);
         let last = b.param(1);
         let n_reg = b.malloc(ll, Const::i64(1).into(), "n");
@@ -83,13 +84,22 @@ pub fn linked_list(n: i64) -> Module {
                 )
                 .expect("returns node");
             b.assign(tail, node.into());
-            let was_null = b.cmp(CmpPred::Eq, headp.into(), Const::Null { pointee: ll }.into());
+            let was_null = b.cmp(
+                CmpPred::Eq,
+                headp.into(),
+                Const::Null { pointee: ll }.into(),
+            );
             b.if_then(was_null.into(), |b| {
                 b.assign(headp, node.into());
             });
         });
         let sum = b
-            .call(Callee::Direct(get_sum), vec![headp.into()], Some(i32t), "sum")
+            .call(
+                Callee::Direct(get_sum),
+                vec![headp.into()],
+                Some(i32t),
+                "sum",
+            )
             .expect("sum");
         let sum64 = b.cast(CastOp::Sext, i64t, sum.into(), "sum64");
         b.output(sum64.into());
@@ -155,6 +165,49 @@ pub fn overflow_writer(alloc_n: i64, write_n: i64) -> Module {
     let f = b.finish();
     m.entry = Some(f);
     m
+}
+
+/// Recovery workbench program: a heap array `a` of `n` i64 slots written
+/// in full, followed by a victim array `v` of `m` slots initialized to 5
+/// and summed to the output. In-bounds as written; under a heap-array-
+/// resize injection at `a`'s allocation the writes overflow, and the
+/// replica-side overflow corrupts the *application* victim while the
+/// victim's replica stays intact — the exact asymmetry repair-from-replica
+/// exploits. Nothing is freed, so corrupted block headers are never
+/// validated and the only failure mode is data corruption (caught at the
+/// victim's checked loads).
+pub fn resize_victim(n: i64, m: i64) -> Module {
+    let mut m_ = Module::new();
+    let i64t = m_.types.int(64);
+    let arr = m_.types.unsized_array(i64t);
+    let arrp = m_.types.pointer(arr);
+    let mut b = FunctionBuilder::new(&mut m_, "main", i64t, &[]);
+    let raw_a = b.malloc(i64t, Const::i64(n).into(), "a");
+    let a = b.cast(CastOp::Bitcast, arrp, raw_a.into(), "aArr");
+    let raw_v = b.malloc(i64t, Const::i64(m).into(), "victim");
+    let v = b.cast(CastOp::Bitcast, arrp, raw_v.into(), "vArr");
+    b.for_loop(Const::i64(0).into(), Const::i64(m).into(), |b, i| {
+        let slot = b.index_addr(v.into(), i.into(), "vs");
+        b.store(slot.into(), Const::i64(5).into());
+    });
+    b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+        let slot = b.index_addr(a.into(), i.into(), "as");
+        let x = b.bin(BinOp::Mul, i64t, i.into(), Const::i64(3).into());
+        b.store(slot.into(), x.into());
+    });
+    let sum = b.reg(i64t, "sum");
+    b.assign(sum, Const::i64(0).into());
+    b.for_loop(Const::i64(0).into(), Const::i64(m).into(), |b, i| {
+        let slot = b.index_addr(v.into(), i.into(), "vs2");
+        let x = b.load(i64t, slot.into(), "x");
+        let s = b.bin(BinOp::Add, i64t, sum.into(), x.into());
+        b.assign(sum, s.into());
+    });
+    b.output(sum.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m_.entry = Some(f);
+    m_
 }
 
 /// Classic use-after-free: free a buffer, allocate another (which reuses
@@ -246,7 +299,12 @@ pub fn string_play() -> Module {
         )
         .expect("dest");
     let len = b
-        .call(Callee::External(strlen), vec![copied.into()], Some(i64t), "len")
+        .call(
+            Callee::External(strlen),
+            vec![copied.into()],
+            Some(i64t),
+            "len",
+        )
         .expect("len");
     b.output(len.into());
     let eq = b
@@ -268,7 +326,12 @@ pub fn string_play() -> Module {
         .expect("cmp");
     b.output(ne.into());
     let parsed = b
-        .call(Callee::External(atoi), vec![buf.into()], Some(i64t), "parsed")
+        .call(
+            Callee::External(atoi),
+            vec![buf.into()],
+            Some(i64t),
+            "parsed",
+        )
         .expect("atoi");
     b.output(parsed.into());
     b.free(raw.into());
@@ -452,7 +515,11 @@ pub fn global_graph() -> Module {
     let exit = b.block();
     b.br(head);
     b.switch_to(head);
-    let cnd = b.cmp(CmpPred::Ne, cur.into(), Const::Null { pointee: node }.into());
+    let cnd = b.cmp(
+        CmpPred::Ne,
+        cur.into(),
+        Const::Null { pointee: node }.into(),
+    );
     b.cond_br(cnd.into(), body, exit);
     b.switch_to(body);
     let vp = b.field_addr(cur.into(), 0, "vp");

@@ -125,10 +125,7 @@ fn workloads_have_enough_injection_sites_for_the_campaign() {
 
 #[test]
 fn bzip2_compression_is_effective_on_runny_data() {
-    let m = (app_by_name("bzip2").unwrap().build)(&WorkloadParams {
-        scale: 2,
-        seed: 3,
-    });
+    let m = (app_by_name("bzip2").unwrap().build)(&WorkloadParams { scale: 2, seed: 3 });
     let out = run_with_limits(&m, &RunConfig::default());
     let rle_len = out.output[0] as i64;
     assert!(
@@ -140,10 +137,7 @@ fn bzip2_compression_is_effective_on_runny_data() {
 
 #[test]
 fn equake_energy_series_is_damped() {
-    let m = (app_by_name("equake").unwrap().build)(&WorkloadParams {
-        scale: 2,
-        seed: 3,
-    });
+    let m = (app_by_name("equake").unwrap().build)(&WorkloadParams { scale: 2, seed: 3 });
     let out = run_with_limits(&m, &RunConfig::default());
     let first = out.output[0] as i64;
     let last = *out.output.last().unwrap() as i64;

@@ -78,11 +78,7 @@ fn retry_with_padding(buggy: &dpmr::ir::module::Module) -> Option<Vec<u64>> {
     // must still be caught).
     let cfg = DpmrConfig::sds().with_diversity(Diversity::PadMalloc(128));
     let t = transform(&padded, &cfg).expect("transform");
-    let out = run_with_registry(
-        &t,
-        &RunConfig::default(),
-        Rc::new(registry_with_wrappers()),
-    );
+    let out = run_with_registry(&t, &RunConfig::default(), Rc::new(registry_with_wrappers()));
     if matches!(out.status, ExitStatus::Normal(0)) {
         Some(out.output)
     } else {

@@ -50,9 +50,7 @@ fn main() {
     // The tunability claim: configurations span a real trade-off space.
     let min_oh = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
     let max_oh = rows.iter().map(|r| r.1).fold(0.0, f64::max);
-    println!(
-        "\noverhead range: {min_oh:.2}x .. {max_oh:.2}x — pick per deployment requirements"
-    );
+    println!("\noverhead range: {min_oh:.2}x .. {max_oh:.2}x — pick per deployment requirements");
 }
 
 /// Fraction of successfully injected faults covered (correct output, crash,
@@ -69,8 +67,10 @@ fn coverage_of(module: &dpmr::ir::module::Module, golden: &RunOutcome, cfg: &Dpm
             let faulty = inject(module, site, fault);
             let protected = transform(&faulty, cfg).expect("transform");
             let reg = Rc::new(registry_with_wrappers());
-            let mut rc = RunConfig::default();
-            rc.max_instrs = golden.instrs * 30;
+            let rc = RunConfig {
+                max_instrs: golden.instrs * 30,
+                ..RunConfig::default()
+            };
             let out = run_with_registry(&protected, &rc, reg);
             if out.first_fi_cycle.is_none() {
                 continue;

@@ -32,6 +32,7 @@ pub use dpmr_dsa as dsa;
 pub use dpmr_fi as fi;
 pub use dpmr_harness as harness;
 pub use dpmr_ir as ir;
+pub use dpmr_recovery as recovery;
 pub use dpmr_vm as vm;
 pub use dpmr_workloads as workloads;
 

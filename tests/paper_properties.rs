@@ -10,8 +10,10 @@ use std::rc::Rc;
 fn run_cfg(m: &dpmr::ir::module::Module, cfg: &DpmrConfig, seed: u64) -> RunOutcome {
     let t = transform(m, cfg).expect("transform");
     let reg = Rc::new(registry_with_wrappers());
-    let mut rc = RunConfig::default();
-    rc.seed = seed;
+    let mut rc = RunConfig {
+        seed,
+        ..RunConfig::default()
+    };
     rc.mem.fill_seed = seed.wrapping_mul(0x9e37_79b9);
     run_with_registry(&t, &rc, reg)
 }
@@ -35,8 +37,10 @@ fn implicit_diversity_covers_heap_overflows() {
         let faulty = inject(&module, &site, fault);
         let t = transform(&faulty, &cfg).expect("transform");
         let reg = Rc::new(registry_with_wrappers());
-        let mut rc = RunConfig::default();
-        rc.max_instrs = golden.instrs * 25;
+        let rc = RunConfig {
+            max_instrs: golden.instrs * 25,
+            ..RunConfig::default()
+        };
         let out = run_with_registry(&t, &rc, reg);
         if out.first_fi_cycle.is_none() {
             continue;
@@ -61,8 +65,16 @@ fn mds_overhead_at_most_sds() {
     for app in all_apps() {
         let module = (app.build)(&WorkloadParams::quick());
         let golden = run_with_limits(&module, &RunConfig::default());
-        let sds = run_cfg(&module, &DpmrConfig::sds().with_diversity(Diversity::None), 1);
-        let mds = run_cfg(&module, &DpmrConfig::mds().with_diversity(Diversity::None), 1);
+        let sds = run_cfg(
+            &module,
+            &DpmrConfig::sds().with_diversity(Diversity::None),
+            1,
+        );
+        let mds = run_cfg(
+            &module,
+            &DpmrConfig::mds().with_diversity(Diversity::None),
+            1,
+        );
         assert_eq!(sds.status, ExitStatus::Normal(0));
         assert_eq!(mds.status, ExitStatus::Normal(0));
         let sds_oh = sds.cycles as f64 / golden.cycles as f64;
@@ -170,15 +182,16 @@ fn dpmr_coverage_dominates_stdapp() {
                 continue;
             }
             let faulty = inject(&module, &site, fault);
-            let mut rc = RunConfig::default();
-            rc.max_instrs = golden.instrs * 25;
+            let rc = RunConfig {
+                max_instrs: golden.instrs * 25,
+                ..RunConfig::default()
+            };
             let bare = run_with_limits(&faulty, &rc);
             if bare.first_fi_cycle.is_none() {
                 continue;
             }
             let bare_covered = bare.status.is_natural_detection()
-                || (matches!(bare.status, ExitStatus::Normal(0))
-                    && bare.output == golden.output);
+                || (matches!(bare.status, ExitStatus::Normal(0)) && bare.output == golden.output);
             if !bare_covered {
                 continue; // only check dominance where stdapp succeeded
             }

@@ -243,6 +243,90 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Checkpoint/restore determinism
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// snapshot → run (mutating everything) → restore → re-run is
+    /// bit-identical to a fresh run: the virtual clock, RNG stream,
+    /// garbage fill, allocator state, and output channel all roll back
+    /// exactly. This is the property the recovery driver's replay loop
+    /// stands on.
+    #[test]
+    fn snapshot_restore_rerun_is_bit_identical(
+        n in 2i64..20,
+        seed in 1u64..1_000,
+        prog in 0usize..3,
+    ) {
+        let m = match prog {
+            0 => micro::linked_list(n),
+            1 => micro::overflow_writer(n, n),
+            _ => micro::resize_victim(n, n),
+        };
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let mut rc = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        rc.mem.fill_seed = seed ^ 0xabcd_1234;
+        let reg = Rc::new(registry_with_wrappers());
+
+        // Reference: a fresh interpreter, run once.
+        let mut fresh = Interp::new(&t, &rc, reg.clone());
+        let reference = fresh.run(vec![]);
+
+        // Snapshot, run (mutates memory, clock, RNG, output), restore,
+        // and run again from the restored checkpoint.
+        let mut it = Interp::new(&t, &rc, reg);
+        let snap = it.snapshot();
+        let first = it.run(vec![]);
+        it.restore(&snap);
+        let replay = it.run(vec![]);
+
+        prop_assert_eq!(&first.status, &reference.status);
+        prop_assert_eq!(&replay.status, &reference.status);
+        prop_assert_eq!(&replay.output, &reference.output);
+        prop_assert_eq!(replay.cycles, reference.cycles);
+        prop_assert_eq!(replay.instrs, reference.instrs);
+        prop_assert_eq!(replay.detections, reference.detections);
+        prop_assert_eq!(replay.first_detection_cycle, reference.first_detection_cycle);
+    }
+
+    /// Reseeding after a restore changes the replay's environment (the
+    /// diverse-replay lever) without breaking determinism: two replays
+    /// reseeded identically are bit-identical to each other.
+    #[test]
+    fn reseeded_replays_are_mutually_deterministic(
+        n in 2i64..16,
+        seed in 1u64..1_000,
+        reseed in 1u64..1_000,
+    ) {
+        let m = micro::linked_list(n);
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let rc = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let reg = Rc::new(registry_with_wrappers());
+        let mut it = Interp::new(&t, &rc, reg);
+        let snap = it.snapshot();
+        let _ = it.run(vec![]);
+        it.restore(&snap);
+        it.reseed(reseed);
+        let a = it.run(vec![]);
+        it.restore(&snap);
+        it.reseed(reseed);
+        let b = it.run(vec![]);
+        prop_assert_eq!(&a.status, &b.status);
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.cycles, b.cycles);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Printer/parser round-trip over random straight-line programs
 // ---------------------------------------------------------------------
 

@@ -3,9 +3,9 @@
 //! modules (which exercise shadow types, wrapper externals, and the
 //! support globals).
 
-use dpmr::prelude::*;
 use dpmr::ir::parser::parse_module;
 use dpmr::ir::printer::print_module;
+use dpmr::prelude::*;
 use dpmr::workloads::micro;
 use std::rc::Rc;
 
@@ -72,8 +72,8 @@ fn transformed_modules_roundtrip() {
 
 #[test]
 fn parse_errors_carry_line_numbers() {
-    let err = parse_module("fn main() -> i64 {\nb0:\n  bogus\n  ret 0:i64\n}\nentry main\n")
-        .unwrap_err();
+    let err =
+        parse_module("fn main() -> i64 {\nb0:\n  bogus\n  ret 0:i64\n}\nentry main\n").unwrap_err();
     assert_eq!(err.line, 3);
     assert!(err.to_string().contains("line 3"));
 }
