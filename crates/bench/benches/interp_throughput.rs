@@ -1,0 +1,99 @@
+//! Interpreter throughput microbenchmark over the micro workloads.
+//!
+//! Records the speed envelope of the explicit-frame dispatch engine so
+//! interpreter refactors (recursive → flat dispatch, metadata
+//! pre-resolution) leave a measured trajectory: alongside the criterion
+//! samples, each workload prints a machine-greppable
+//! `BENCH_INTERP_<NAME>_MIPS=<n>` line (simulated instructions retired
+//! per wall-clock second, in millions).
+//!
+//! Set `BENCH_SMOKE=1` to shrink the measurement to a CI-friendly smoke
+//! run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_ir::module::Module;
+use dpmr_vm::prelude::*;
+use dpmr_workloads::micro;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+/// The micro workloads under measurement: list/pointer chasing, an
+/// external-call-heavy sort, and the recovery workbench (store/check
+/// dense under DPMR-shaped access patterns).
+fn workloads() -> Vec<(&'static str, Module)> {
+    let scale = if smoke() { 1 } else { 4 };
+    vec![
+        ("linked_list", micro::linked_list(50 * scale)),
+        ("qsort", micro::qsort_prog(12 * scale)),
+        (
+            "resize_victim",
+            micro::resize_victim(16 * scale, 12 * scale),
+        ),
+    ]
+}
+
+fn throughput(c: &mut Criterion) {
+    for (name, m) in workloads() {
+        c.bench_function(format!("interp-throughput/{name}"), |b| {
+            b.iter(|| run_with_limits(&m, &RunConfig::default()).instrs)
+        });
+    }
+}
+
+/// Prints the `BENCH_*` trajectory points (not a criterion target shape;
+/// it takes the `Criterion` handle only to ride in the same group).
+fn trajectory(_c: &mut Criterion) {
+    let budget = if smoke() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(500)
+    };
+    for (name, m) in workloads() {
+        let per_run = {
+            let out = run_with_limits(&m, &RunConfig::default());
+            assert!(
+                matches!(out.status, ExitStatus::Normal(0)),
+                "{name}: bench run not clean: {:?}",
+                out.status
+            );
+            out.instrs
+        };
+        let t0 = Instant::now();
+        let mut runs = 0u64;
+        while t0.elapsed() < budget {
+            let out = run_with_limits(&m, &RunConfig::default());
+            assert_eq!(out.instrs, per_run, "{name}: nondeterministic run");
+            runs += 1;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let mips = (per_run * runs) as f64 / secs / 1.0e6;
+        println!(
+            "BENCH_INTERP_{}_MIPS={mips:.2}",
+            name.to_uppercase().replace('-', "_")
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let mut c = Criterion::default();
+        if std::env::var_os("BENCH_SMOKE").is_some() {
+            c = c
+                .sample_size(2)
+                .warm_up_time(std::time::Duration::from_millis(10))
+                .measurement_time(std::time::Duration::from_millis(30));
+        } else {
+            c = c
+                .sample_size(10)
+                .warm_up_time(std::time::Duration::from_millis(200))
+                .measurement_time(std::time::Duration::from_millis(600));
+        }
+        c
+    };
+    targets = throughput, trajectory
+}
+criterion_main!(benches);

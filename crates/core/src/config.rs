@@ -180,15 +180,66 @@ impl RecoveryPolicy {
 pub struct RecoveryConfig {
     /// Reaction to detections.
     pub policy: RecoveryPolicy,
+    /// Mid-run checkpoint cadence in virtual cycles for
+    /// [`RecoveryPolicy::RetryFromCheckpoint`]: the VM snapshots itself
+    /// every `cadence` cycles and the recovery driver rolls back to the
+    /// *nearest* usable checkpoint instead of replaying the whole run
+    /// (escalating toward whole-run rollback when near replays keep
+    /// re-detecting). `None` (the default) keeps run-boundary checkpoints
+    /// only — whole-run rollback.
+    pub checkpoint_cadence: Option<u64>,
 }
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
         RecoveryConfig {
             policy: RecoveryPolicy::Abort,
+            checkpoint_cadence: None,
         }
     }
 }
+
+impl RecoveryConfig {
+    /// A configuration with the given policy and no mid-run cadence.
+    pub fn policy(policy: RecoveryPolicy) -> RecoveryConfig {
+        RecoveryConfig {
+            policy,
+            checkpoint_cadence: None,
+        }
+    }
+
+    /// Display name for recovery tables: the policy name, suffixed with
+    /// `mid` when a mid-run checkpoint cadence is active.
+    pub fn name(&self) -> String {
+        match self.checkpoint_cadence {
+            Some(_) => format!("{} mid", self.policy.name()),
+            None => self.policy.name(),
+        }
+    }
+
+    /// The Table R.1 configuration set: every policy of
+    /// [`RecoveryPolicy::paper_set`] with run-boundary checkpoints, plus
+    /// the retry policy again under the mid-run cadence
+    /// ([`MID_RUN_CADENCE_CYCLES`]) — the row that isolates what bounded
+    /// rollback distance buys in time-to-recovery.
+    pub fn paper_set() -> Vec<RecoveryConfig> {
+        let mut set: Vec<RecoveryConfig> = RecoveryPolicy::paper_set()
+            .into_iter()
+            .map(RecoveryConfig::policy)
+            .collect();
+        set.push(RecoveryConfig {
+            policy: RecoveryPolicy::RetryFromCheckpoint { max_retries: 8 },
+            checkpoint_cadence: Some(MID_RUN_CADENCE_CYCLES),
+        });
+        set
+    }
+}
+
+/// Default mid-run checkpoint cadence (virtual cycles) for the recovery
+/// study's bounded-rollback row: a few checkpoints per millisecond of
+/// simulated time, small enough that every recovery app collects several
+/// per run, large enough that checkpoint copying stays a minority cost.
+pub const MID_RUN_CADENCE_CYCLES: u64 = 25_000;
 
 /// A reference to an instruction site in the *original* module:
 /// `(function index, block index, instruction index)`.
@@ -276,9 +327,16 @@ impl DpmrConfig {
         self
     }
 
-    /// Replaces the recovery policy.
+    /// Replaces the recovery policy, keeping the checkpoint cadence.
     pub fn with_recovery(mut self, r: RecoveryPolicy) -> DpmrConfig {
-        self.recovery = RecoveryConfig { policy: r };
+        self.recovery.policy = r;
+        self
+    }
+
+    /// Replaces the mid-run checkpoint cadence (virtual cycles) used by
+    /// retry-from-checkpoint recovery; `None` means whole-run rollback.
+    pub fn with_checkpoint_cadence(mut self, cadence: Option<u64>) -> DpmrConfig {
+        self.recovery.checkpoint_cadence = cadence;
         self
     }
 }
@@ -336,5 +394,27 @@ mod tests {
         );
         assert_eq!(c.recovery.policy.name(), "repair <=16");
         assert_eq!(RecoveryPolicy::paper_set().len(), 3);
+    }
+
+    #[test]
+    fn recovery_config_set_adds_the_mid_run_retry_row() {
+        let set = RecoveryConfig::paper_set();
+        assert_eq!(set.len(), 4);
+        assert!(set[..3].iter().all(|c| c.checkpoint_cadence.is_none()));
+        let mid = set.last().expect("nonempty");
+        assert_eq!(mid.checkpoint_cadence, Some(MID_RUN_CADENCE_CYCLES));
+        assert_eq!(mid.name(), "retry x8 mid");
+    }
+
+    #[test]
+    fn cadence_plumbs_through_dpmr_config() {
+        let c = DpmrConfig::sds()
+            .with_checkpoint_cadence(Some(10_000))
+            .with_recovery(RecoveryPolicy::RetryFromCheckpoint { max_retries: 2 });
+        assert_eq!(c.recovery.checkpoint_cadence, Some(10_000));
+        assert_eq!(
+            c.recovery.policy,
+            RecoveryPolicy::RetryFromCheckpoint { max_retries: 2 }
+        );
     }
 }

@@ -62,7 +62,7 @@ pub mod transform;
 pub mod prelude {
     pub use crate::config::{
         Diversity, DpmrConfig, Policy, RecoveryConfig, RecoveryPolicy, ReplicationPlan, Scheme,
-        SiteRef,
+        SiteRef, MID_RUN_CADENCE_CYCLES,
     };
     pub use crate::extsupport::registry_with_wrappers;
     pub use crate::shadow::TypeAlgebra;

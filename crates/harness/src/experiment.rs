@@ -219,18 +219,18 @@ impl PreparedApp {
     }
 
     /// Executes one *recovery* experiment: injects `fault` at `site`,
-    /// transforms with `cfg`, and runs under `policy` through the
+    /// transforms with `cfg`, and runs under `rec` through the
     /// [`RecoveryDriver`], reducing against the golden reference.
     pub fn run_recovery(
         &self,
         site: &InjectionSite,
         fault: FaultType,
         cfg: &DpmrConfig,
-        policy: RecoveryPolicy,
+        rec: RecoveryConfig,
         run: u32,
     ) -> RecoveryMeasurement {
         let transformed = self.prepare_recovery(site, fault, cfg);
-        self.run_recovery_prepared(&transformed, policy, run)
+        self.run_recovery_prepared(&transformed, rec, run)
     }
 
     /// Runs a recovery experiment on an already injected-and-transformed
@@ -238,16 +238,11 @@ impl PreparedApp {
     pub fn run_recovery_prepared(
         &self,
         transformed: &Module,
-        policy: RecoveryPolicy,
+        rec: RecoveryConfig,
         run: u32,
     ) -> RecoveryMeasurement {
         let rc = self.run_config(run);
-        let driver = RecoveryDriver::new(
-            transformed,
-            Rc::new(registry_with_wrappers()),
-            rc,
-            RecoveryConfig { policy },
-        );
+        let driver = RecoveryDriver::new(transformed, Rc::new(registry_with_wrappers()), rc, rec);
         let out = driver.run();
         let correct = matches!(out.last.status, ExitStatus::Normal(0))
             && out.last.output == self.golden.output;

@@ -21,11 +21,11 @@
 pub mod experiment;
 pub mod figures;
 pub mod metrics;
+pub mod sched;
 
 use dpmr_core::prelude::*;
-use dpmr_workloads::all_apps;
 use metrics::{
-    diversity_variants, policy_variants, run_recovery_study, run_study, CampaignConfig,
+    run_diversity_study, run_policy_study, run_recovery_study, CampaignConfig,
     RecoveryStudyResults, StudyResults,
 };
 use std::collections::BTreeSet;
@@ -66,28 +66,28 @@ impl Studies {
     fn sds_div(&mut self, cc: &CampaignConfig) -> &StudyResults {
         if self.sds_div.is_none() {
             eprintln!("[harness] running SDS diversity study...");
-            self.sds_div = Some(run_study(&all_apps(), &diversity_variants(Scheme::Sds), cc));
+            self.sds_div = Some(run_diversity_study(Scheme::Sds, cc));
         }
         self.sds_div.as_ref().expect("just set")
     }
     fn sds_pol(&mut self, cc: &CampaignConfig) -> &StudyResults {
         if self.sds_pol.is_none() {
             eprintln!("[harness] running SDS comparison-policy study...");
-            self.sds_pol = Some(run_study(&all_apps(), &policy_variants(Scheme::Sds), cc));
+            self.sds_pol = Some(run_policy_study(Scheme::Sds, cc));
         }
         self.sds_pol.as_ref().expect("just set")
     }
     fn mds_div(&mut self, cc: &CampaignConfig) -> &StudyResults {
         if self.mds_div.is_none() {
             eprintln!("[harness] running MDS diversity study...");
-            self.mds_div = Some(run_study(&all_apps(), &diversity_variants(Scheme::Mds), cc));
+            self.mds_div = Some(run_diversity_study(Scheme::Mds, cc));
         }
         self.mds_div.as_ref().expect("just set")
     }
     fn mds_pol(&mut self, cc: &CampaignConfig) -> &StudyResults {
         if self.mds_pol.is_none() {
             eprintln!("[harness] running MDS comparison-policy study...");
-            self.mds_pol = Some(run_study(&all_apps(), &policy_variants(Scheme::Mds), cc));
+            self.mds_pol = Some(run_policy_study(Scheme::Mds, cc));
         }
         self.mds_pol.as_ref().expect("just set")
     }

@@ -4,7 +4,7 @@
 //! dpmr-harness all                 # every artifact, default campaign
 //! dpmr-harness quick               # every artifact, reduced campaign
 //! dpmr-harness fig3.10 tab3.3      # selected artifacts
-//! dpmr-harness all --runs 3 --scale 2 --max-sites 8
+//! dpmr-harness all --runs 3 --scale 2 --max-sites 8 --workers 8
 //! ```
 
 use dpmr_harness::metrics::CampaignConfig;
@@ -12,10 +12,26 @@ use dpmr_harness::{all_ids, reproduce};
 use dpmr_workloads::WorkloadParams;
 use std::collections::BTreeSet;
 
+const USAGE: &str =
+    "usage: dpmr-harness <all|quick|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N]";
+
+/// The value of flag `args[i]`, or a usage error and exit 2 when the
+/// value is missing or unparsable.
+fn flag_value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    match args.get(i).map(|v| v.parse::<T>()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("{flag} requires a numeric value");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: dpmr-harness <all|quick|ids...> [--runs N] [--scale N] [--max-sites N]");
+        eprintln!("{USAGE}");
         eprintln!("known ids: {}", all_ids().join(", "));
         std::process::exit(2);
     }
@@ -25,6 +41,7 @@ fn main() {
         params: WorkloadParams::quick(),
         runs: 2,
         max_sites: None,
+        workers: dpmr_harness::sched::default_workers(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -37,21 +54,27 @@ fn main() {
             }
             "--runs" => {
                 i += 1;
-                cc.runs = args[i].parse().expect("--runs N");
+                cc.runs = flag_value(&args, i, "--runs");
             }
             "--scale" => {
                 i += 1;
-                cc.params.scale = args[i].parse().expect("--scale N");
+                cc.params.scale = flag_value(&args, i, "--scale");
             }
             "--max-sites" => {
                 i += 1;
-                cc.max_sites = Some(args[i].parse().expect("--max-sites N"));
+                cc.max_sites = Some(flag_value(&args, i, "--max-sites"));
+            }
+            "--workers" => {
+                i += 1;
+                cc.workers = flag_value::<usize>(&args, i, "--workers").max(1);
             }
             id if all_ids().contains(&id) => {
                 ids.insert(id.to_string());
             }
             other => {
                 eprintln!("unknown argument: {other}");
+                eprintln!("{USAGE}");
+                eprintln!("known artifact ids: {}", all_ids().join(", "));
                 std::process::exit(2);
             }
         }

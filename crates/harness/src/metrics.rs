@@ -3,7 +3,7 @@
 //! campaigns across variant builds.
 
 use crate::experiment::{
-    prepare, Experiment, Measurement, RecoveryMeasurement, Variant, CYCLES_PER_MSEC,
+    prepare, Experiment, Measurement, PreparedApp, RecoveryMeasurement, Variant, CYCLES_PER_MSEC,
 };
 use dpmr_core::prelude::*;
 use dpmr_fi::FaultType;
@@ -112,6 +112,9 @@ pub struct CampaignConfig {
     pub runs: u32,
     /// Optional cap on injection sites per (app, fault) to bound time.
     pub max_sites: Option<usize>,
+    /// Worker threads for the study scheduler (`1` = run inline). Results
+    /// are bit-identical at any worker count (see [`crate::sched`]).
+    pub workers: usize,
 }
 
 impl Default for CampaignConfig {
@@ -120,6 +123,7 @@ impl Default for CampaignConfig {
             params: WorkloadParams::quick(),
             runs: 2,
             max_sites: None,
+            workers: 1,
         }
     }
 }
@@ -131,13 +135,41 @@ impl CampaignConfig {
             params: WorkloadParams::quick(),
             runs: 1,
             max_sites: Some(3),
+            workers: 1,
         }
+    }
+
+    /// Replaces the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> CampaignConfig {
+        self.workers = workers.max(1);
+        self
     }
 }
 
+/// One parallel unit of a coverage study: every run of every variant at a
+/// single injection site. Sites are independent; the stdapp→variant
+/// dependency (`StdNotAllDet`) is *within* a unit, so fan-out never
+/// reorders it.
+struct SiteUnit {
+    app_idx: usize,
+    fault: FaultType,
+    site: dpmr_fi::InjectionSite,
+}
+
+/// Measurements produced by one [`SiteUnit`], in the serial campaign's
+/// recording order.
+struct SiteOutcome {
+    std_measurements: Vec<Measurement>,
+    std_not_all_det: bool,
+    variant_measurements: Vec<Vec<Measurement>>,
+}
+
 /// Runs a fault-injection study over `apps` × `variants` × both fault
-/// types. The stdapp variant is always included first (it defines
-/// `StdNotAllDet` and the natural-detection baseline).
+/// types, fanning trials across `cc.workers` threads. The stdapp variant
+/// is always included first (it defines `StdNotAllDet` and the
+/// natural-detection baseline). Results are merged in deterministic unit
+/// order: the artifacts are bit-identical at any worker count.
 pub fn run_study(
     apps: &[AppSpec],
     variants: &[(String, DpmrConfig)],
@@ -150,70 +182,116 @@ pub fn run_study(
         apps: apps.iter().map(|a| a.name.to_string()).collect(),
         ..StudyResults::default()
     };
-    for app in apps {
-        let p = prepare(*app, &cc.params);
-        // Overheads (non-faulty runs).
-        for (vname, cfg) in variants {
-            let o = p.overhead(cfg);
-            res.overhead
-                .insert((vname.clone(), app.name.to_string()), o);
-            res.experiments += 1;
-        }
+    // Phase 1: prepare every app (module build + golden run) in parallel.
+    let prepared: Vec<PreparedApp> =
+        crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
+
+    // Phase 2: overheads (non-faulty runs), one unit per (app, variant).
+    let oh_units: Vec<(usize, usize)> = (0..prepared.len())
+        .flat_map(|ai| (0..variants.len()).map(move |vi| (ai, vi)))
+        .collect();
+    let overheads = crate::sched::run_indexed(&oh_units, cc.workers, |&(ai, vi)| {
+        prepared[ai].overhead(&variants[vi].1)
+    });
+    for (&(ai, vi), o) in oh_units.iter().zip(overheads) {
+        res.overhead
+            .insert((variants[vi].0.clone(), apps[ai].name.to_string()), o);
+        res.experiments += 1;
+    }
+
+    // Phase 3: fault-injection trials, one unit per injection site.
+    let mut units = Vec::new();
+    for (app_idx, p) in prepared.iter().enumerate() {
         for fault in FaultType::paper_set() {
             let mut sites = p.manifest_sites(fault);
             if let Some(cap) = cc.max_sites {
                 sites.truncate(cap);
             }
-            for site in sites {
-                // stdapp first: establishes StdNotAllDet for this site.
-                let mut std_not_all_det = false;
-                let mut std_measurements = Vec::new();
-                for run in 0..cc.runs {
-                    let m = p.run(&Experiment {
-                        app: app.name,
-                        variant: Variant::FiStdapp,
-                        fault: Some((site, fault)),
-                        run,
-                    });
-                    res.experiments += 1;
-                    if m.sf && !m.co && !m.ndet {
-                        std_not_all_det = true;
-                    }
-                    std_measurements.push(m);
-                }
-                record(
-                    &mut res,
-                    "stdapp",
-                    app.name,
-                    &fault.name(),
-                    &std_measurements,
-                    std_not_all_det,
-                );
-                for (vname, cfg) in variants {
-                    let mut ms = Vec::new();
-                    for run in 0..cc.runs {
-                        let m = p.run(&Experiment {
-                            app: app.name,
-                            variant: Variant::FiDpmr(cfg.clone()),
-                            fault: Some((site, fault)),
-                            run,
-                        });
-                        res.experiments += 1;
-                        ms.push(m);
-                    }
-                    record(
-                        &mut res,
-                        vname,
-                        app.name,
-                        &fault.name(),
-                        &ms,
-                        std_not_all_det,
-                    );
-                }
-            }
+            units.extend(sites.into_iter().map(|site| SiteUnit {
+                app_idx,
+                fault,
+                site,
+            }));
+        }
+    }
+    let outcomes = crate::sched::run_indexed(&units, cc.workers, |u| {
+        run_site_unit(u, &prepared[u.app_idx], variants, cc)
+    });
+    for (u, oc) in units.iter().zip(outcomes) {
+        let app = apps[u.app_idx].name;
+        let fault = u.fault.name();
+        res.experiments += (oc.std_measurements.len()
+            + oc.variant_measurements.iter().map(Vec::len).sum::<usize>())
+            as u64;
+        record(
+            &mut res,
+            "stdapp",
+            app,
+            &fault,
+            &oc.std_measurements,
+            oc.std_not_all_det,
+        );
+        for ((vname, _), ms) in variants.iter().zip(&oc.variant_measurements) {
+            record(&mut res, vname, app, &fault, ms, oc.std_not_all_det);
         }
     }
     res
+}
+
+fn run_site_unit(
+    u: &SiteUnit,
+    p: &PreparedApp,
+    variants: &[(String, DpmrConfig)],
+    cc: &CampaignConfig,
+) -> SiteOutcome {
+    // stdapp first: establishes StdNotAllDet for this site.
+    let mut std_not_all_det = false;
+    let mut std_measurements = Vec::new();
+    for run in 0..cc.runs {
+        let m = p.run(&Experiment {
+            app: p.app.name,
+            variant: Variant::FiStdapp,
+            fault: Some((u.site, u.fault)),
+            run,
+        });
+        if m.sf && !m.co && !m.ndet {
+            std_not_all_det = true;
+        }
+        std_measurements.push(m);
+    }
+    let variant_measurements = variants
+        .iter()
+        .map(|(_, cfg)| {
+            (0..cc.runs)
+                .map(|run| {
+                    p.run(&Experiment {
+                        app: p.app.name,
+                        variant: Variant::FiDpmr(cfg.clone()),
+                        fault: Some((u.site, u.fault)),
+                        run,
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    SiteOutcome {
+        std_measurements,
+        std_not_all_det,
+        variant_measurements,
+    }
+}
+
+/// The diversity study (Figs. 3.6–3.10 / 4.5, 4.7–4.10): all seven
+/// diversity transformations under the all-loads policy, over the four
+/// SPEC analogues.
+pub fn run_diversity_study(scheme: Scheme, cc: &CampaignConfig) -> StudyResults {
+    run_study(&dpmr_workloads::all_apps(), &diversity_variants(scheme), cc)
+}
+
+/// The comparison-policy study (Figs. 3.11–3.15 / 4.6, 4.11–4.14): all
+/// seven policies under rearrange-heap, over the four SPEC analogues.
+pub fn run_policy_study(scheme: Scheme, cc: &CampaignConfig) -> StudyResults {
+    run_study(&dpmr_workloads::all_apps(), &policy_variants(scheme), cc)
 }
 
 fn record(
@@ -337,45 +415,70 @@ pub struct RecoveryStudyResults {
     pub experiments: u64,
 }
 
-/// Runs the detection-to-recovery study (Table R.1): every policy in
-/// [`RecoveryPolicy::paper_set`] over `apps` x both fault types, under the
-/// given DPMR base configuration.
+/// Runs the detection-to-recovery study (Table R.1): every recovery
+/// configuration in [`RecoveryConfig::paper_set`] (the three policies
+/// plus retry under the mid-run checkpoint cadence) over `apps` x both
+/// fault types, under the given DPMR base configuration.
 pub fn run_recovery_study(
     apps: &[AppSpec],
     base: &DpmrConfig,
     cc: &CampaignConfig,
 ) -> RecoveryStudyResults {
-    let policies = RecoveryPolicy::paper_set();
+    let configs = RecoveryConfig::paper_set();
     let mut res = RecoveryStudyResults {
-        policies: policies.iter().map(|p| p.name()).collect(),
+        policies: configs.iter().map(RecoveryConfig::name).collect(),
         apps: apps.iter().map(|a| a.name.to_string()).collect(),
         ..RecoveryStudyResults::default()
     };
-    for app in apps {
-        let p = prepare(*app, &cc.params);
+    let prepared: Vec<PreparedApp> =
+        crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
+    let mut units = Vec::new();
+    for (app_idx, p) in prepared.iter().enumerate() {
         for fault in FaultType::paper_set() {
             let mut sites = p.manifest_sites(fault);
             if let Some(cap) = cc.max_sites {
                 sites.truncate(cap);
             }
-            for site in sites {
-                // Injection and transformation depend only on (site, fault,
-                // base): do them once, not once per (policy, run).
-                let transformed = p.prepare_recovery(&site, fault, base);
-                for policy in &policies {
-                    for run in 0..cc.runs {
-                        let m = p.run_recovery_prepared(&transformed, *policy, run);
-                        res.experiments += 1;
-                        res.agg
-                            .entry((policy.name(), app.name.to_string(), fault.name()))
-                            .or_default()
-                            .add(&m);
-                    }
-                }
-            }
+            units.extend(sites.into_iter().map(|site| SiteUnit {
+                app_idx,
+                fault,
+                site,
+            }));
+        }
+    }
+    let outcomes = crate::sched::run_indexed(&units, cc.workers, |u| {
+        run_recovery_site_unit(u, &prepared[u.app_idx], base, &configs, cc)
+    });
+    for (u, ms) in units.iter().zip(outcomes) {
+        for (rec_name, m) in ms {
+            res.experiments += 1;
+            res.agg
+                .entry((rec_name, apps[u.app_idx].name.to_string(), u.fault.name()))
+                .or_default()
+                .add(&m);
         }
     }
     res
+}
+
+fn run_recovery_site_unit(
+    u: &SiteUnit,
+    p: &PreparedApp,
+    base: &DpmrConfig,
+    configs: &[RecoveryConfig],
+    cc: &CampaignConfig,
+) -> Vec<(String, RecoveryMeasurement)> {
+    // Injection and transformation depend only on (site, fault, base):
+    // do them once, not once per (config, run).
+    let transformed = p.prepare_recovery(&u.site, u.fault, base);
+    let mut out = Vec::new();
+    for rec in configs {
+        for run in 0..cc.runs {
+            let m = p.run_recovery_prepared(&transformed, *rec, run);
+            out.push((rec.name(), m));
+        }
+    }
+    out
 }
 
 /// The diversity-study variant list (Sections 3.7 / 4.5): all seven

@@ -1,0 +1,111 @@
+//! The parallel study scheduler: fans independent trial units across
+//! worker threads with a deterministic merge.
+//!
+//! Every campaign in this crate decomposes into *units* (prepare one app,
+//! measure one injection site, compute one overhead) whose results depend
+//! only on the unit's inputs — the VM is deterministic and every unit
+//! builds its own interpreter. That makes the scheduling problem
+//! embarrassingly parallel *except* for reproducibility: the paper's
+//! artifacts must be byte-identical however many workers run them. The
+//! scheduler guarantees that by separating execution order from merge
+//! order:
+//!
+//! * workers pull unit indices from a shared atomic cursor (work
+//!   stealing, so stragglers don't serialize the tail), and
+//! * results land in a slot vector indexed by unit, which the caller
+//!   consumes **in unit order** — the same order the serial loop used.
+//!
+//! Because execution state is self-contained (the interpreter is an
+//! explicit-frame engine; a run never touches host-thread state), units
+//! are movable work: a unit runs identically on whichever worker claims
+//! it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work` over every task, fanning across `workers` threads, and
+/// returns the results **in task order** regardless of worker count or
+/// scheduling (1 worker runs inline with no thread spawned).
+///
+/// # Panics
+/// Propagates a panic from any worker (the campaign is aborted rather
+/// than silently truncated).
+pub fn run_indexed<T, R, F>(tasks: &[T], workers: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(tasks.len().max(1));
+    if workers == 1 {
+        return tasks.iter().map(work).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        return;
+                    }
+                    let r = work(&tasks[i]);
+                    *slots[i].lock().expect("slot lock") = Some(r);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every task index was claimed and completed")
+        })
+        .collect()
+}
+
+/// A sensible default worker count: the machine's available parallelism
+/// (uncapped — [`run_indexed`] itself never spawns more workers than it
+/// has tasks).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_task_order_at_any_worker_count() {
+        let tasks: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = tasks.iter().map(|t| t * t).collect();
+        for workers in [1, 2, 8, 128] {
+            let got = run_indexed(&tasks, workers, |t| t * t);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<usize> = (0..64).collect();
+        run_indexed(&tasks, 7, |&i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let got: Vec<u32> = run_indexed(&[] as &[u32], 8, |t| *t);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Acceptance tests for the parallel study scheduler (artifacts must be
+//! bit-identical at any worker count) and for the mid-run checkpoint
+//! cadence (bounded rollback must shrink time-to-recovery without
+//! regressing the recovery success rate).
+
+use dpmr_core::prelude::*;
+use dpmr_harness::figures::{coverage_figure, mttd_table, overhead_figure, recovery_table};
+use dpmr_harness::metrics::{diversity_variants, run_recovery_study, run_study, CampaignConfig};
+use dpmr_workloads::app_by_name;
+
+fn tiny(workers: usize) -> CampaignConfig {
+    CampaignConfig {
+        params: dpmr_workloads::WorkloadParams::quick(),
+        runs: 1,
+        max_sites: Some(3),
+        workers,
+    }
+}
+
+#[test]
+fn study_artifacts_are_bit_identical_across_worker_counts() {
+    let apps = [app_by_name("bzip2").unwrap(), app_by_name("mcf").unwrap()];
+    let variants = &diversity_variants(Scheme::Sds)[..3];
+    let reference = run_study(&apps, variants, &tiny(1));
+    for workers in [2, 8] {
+        let res = run_study(&apps, variants, &tiny(workers));
+        assert_eq!(res.experiments, reference.experiments);
+        for render in [
+            coverage_figure("fig", &res, "heap array resize 50%"),
+            coverage_figure("fig", &res, "immediate free"),
+            overhead_figure("fig", &res),
+            mttd_table("tab", &res),
+        ]
+        .iter()
+        .zip([
+            coverage_figure("fig", &reference, "heap array resize 50%"),
+            coverage_figure("fig", &reference, "immediate free"),
+            overhead_figure("fig", &reference),
+            mttd_table("tab", &reference),
+        ]) {
+            assert_eq!(render.0, &render.1, "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn recovery_artifact_is_bit_identical_across_worker_counts() {
+    let apps = [
+        app_by_name("rvictim").unwrap(),
+        app_by_name("qsort24").unwrap(),
+    ];
+    let reference = run_recovery_study(&apps, &DpmrConfig::sds(), &tiny(1));
+    let parallel = run_recovery_study(&apps, &DpmrConfig::sds(), &tiny(8));
+    assert_eq!(
+        recovery_table("tabR.1", &reference),
+        recovery_table("tabR.1", &parallel)
+    );
+}
+
+#[test]
+fn mid_run_cadence_shrinks_time_to_recovery_without_regressing_success() {
+    // The Table R.1 acceptance shape for the reified-stack refactor: the
+    // retry policy with a mid-run checkpoint cadence must recover the
+    // same runs as whole-run rollback (replay diversity is preserved by
+    // escalation) while rolling back a strictly shorter distance, so the
+    // mean time-to-recovery over recovered runs is strictly lower. mcf's
+    // injected heap resizes are the recovery lottery this measures.
+    let cc = CampaignConfig {
+        params: dpmr_workloads::WorkloadParams::quick(),
+        runs: 2,
+        max_sites: None,
+        workers: 1,
+    };
+    let res = run_recovery_study(&[app_by_name("mcf").unwrap()], &DpmrConfig::sds(), &cc);
+    let key = |pol: &str| {
+        (
+            pol.to_string(),
+            "mcf".to_string(),
+            "heap array resize 50%".to_string(),
+        )
+    };
+    let whole = res.agg.get(&key("retry x8")).expect("whole-run aggregate");
+    let mid = res
+        .agg
+        .get(&key("retry x8 mid"))
+        .expect("mid-run aggregate");
+    assert!(
+        mid.recovered >= whole.recovered,
+        "success must not regress: mid {} < whole {}",
+        mid.recovered,
+        whole.recovered
+    );
+    assert!(whole.recovered > 0, "the lottery must pay at least once");
+    let (w, m) = (
+        whole.mean_t2r_cycles().expect("whole-run t2r"),
+        mid.mean_t2r_cycles().expect("mid-run t2r"),
+    );
+    assert!(m < w, "mid-run cadence must shrink t2r: {m} !< {w}");
+}

@@ -13,6 +13,7 @@ fn tiny() -> CampaignConfig {
         params: dpmr_workloads::WorkloadParams::quick(),
         runs: 1,
         max_sites: Some(3),
+        workers: 1,
     }
 }
 
@@ -45,6 +46,7 @@ fn conditional_coverage_shows_dpmr_advantage() {
         params: dpmr_workloads::WorkloadParams::quick(),
         runs: 2,
         max_sites: None,
+        workers: 1,
     };
     let res = run_study(&apps, &diversity_variants(Scheme::Sds)[..2], &cc);
     let mut saw_conditional = false;
@@ -88,6 +90,7 @@ fn recovery_study_recovers_on_multiple_workloads() {
         params: dpmr_workloads::WorkloadParams::quick(),
         runs: 2,
         max_sites: Some(4),
+        workers: 1,
     };
     let res = run_recovery_study(&recovery_apps(), &DpmrConfig::sds(), &cc);
     assert!(res.experiments > 0);

@@ -19,9 +19,12 @@
 //!   ([`RecoveryPolicy::RepairFromReplica`]);
 //! * [`RepairHandler`] implements the VM's `TrapHandler` hook, approving
 //!   in-place repairs up to a budget;
-//! * [`RecoveryDriver`] owns the checkpoint cadence — it checkpoints the
-//!   interpreter at run boundaries and replays from the latest checkpoint
-//!   on trap — and reduces everything to a [`RecoveryOutcome`].
+//! * [`RecoveryDriver`] owns the checkpoint cadence — the VM's explicit
+//!   frame stack makes checkpoints valid between *any* two instructions,
+//!   so the driver snapshots every `checkpoint_cadence` virtual cycles
+//!   and rolls back to the nearest usable checkpoint on trap (escalating
+//!   toward whole-run rollback) — and reduces everything to a
+//!   [`RecoveryOutcome`].
 //!
 //! # Examples
 //!
@@ -55,9 +58,7 @@
 //!     &t,
 //!     Rc::new(registry_with_wrappers()),
 //!     RunConfig::default(),
-//!     RecoveryConfig {
-//!         policy: RecoveryPolicy::RepairFromReplica { max_repairs: 64 },
-//!     },
+//!     RecoveryConfig::policy(RecoveryPolicy::RepairFromReplica { max_repairs: 64 }),
 //! );
 //! let out = driver.run();
 //! assert!(matches!(out.last.status, ExitStatus::Normal(0)));
@@ -71,7 +72,8 @@ use dpmr_core::config::DpmrConfig;
 use dpmr_ir::module::Module;
 use dpmr_vm::external::Registry;
 use dpmr_vm::interp::{
-    DetectionTrap, ExitStatus, Interp, RunConfig, RunOutcome, TrapAction, TrapHandler,
+    DetectionTrap, ExitStatus, Interp, InterpSnapshot, RunConfig, RunOutcome, TrapAction,
+    TrapHandler,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -151,13 +153,16 @@ impl RecoveryOutcome {
 /// Owns the checkpoint cadence and the detection-reaction loop for one
 /// transformed module.
 ///
-/// The driver checkpoints at run boundaries — the only points where the
-/// interpreter's host-native call stack is empty, so a checkpoint is a
-/// complete description of execution state — and replays from the latest
-/// checkpoint when a detection terminates an attempt. Replays are
-/// *diverse*: each one re-seeds the runtime RNG and garbage-fill, so a
-/// corruption that landed on live state in one layout can land on slack in
-/// the next (the Rx avoidance model the paper's related work describes).
+/// The interpreter's execution stack is explicit, so a checkpoint taken
+/// between any two instructions is a complete description of execution
+/// state. With a configured cadence the driver collects mid-run
+/// checkpoints and, when a detection terminates an attempt, rolls back
+/// over an escalating distance — nearest checkpoint, nearest before the
+/// injection, whole run — instead of always replaying from scratch.
+/// Replays are *diverse*: each one re-seeds the runtime RNG and
+/// garbage-fill, so a corruption that landed on live state in one layout
+/// can land on slack in the next (the Rx avoidance model the paper's
+/// related work describes).
 pub struct RecoveryDriver<'m> {
     module: &'m Module,
     registry: Rc<Registry>,
@@ -217,29 +222,68 @@ impl<'m> RecoveryDriver<'m> {
         }
     }
 
-    /// The rollback-and-replay loop: checkpoint once the interpreter is
-    /// initialized, run, and on DPMR detection restore the checkpoint,
-    /// diversify the environment, and replay.
+    /// The rollback-and-replay loop. With no cadence configured this is
+    /// whole-run rollback: checkpoint once after initialization, and on
+    /// DPMR detection restore it, diversify the environment, and replay.
+    ///
+    /// With a mid-run cadence (`RecoveryConfig::checkpoint_cadence`), the
+    /// interpreter snapshots itself every N virtual cycles and the loop
+    /// rolls back over an *escalating distance*: first to the nearest
+    /// checkpoint before the detection (cheapest replay — wins whenever
+    /// the fault's manifestation depends on layout decisions made after
+    /// it), then to the nearest checkpoint before the fault *injection*
+    /// (re-randomizing every fault-relevant allocation), and finally to
+    /// the initial whole-run checkpoint for all remaining retries. A
+    /// doomed near replay is cheap — it re-detects almost immediately —
+    /// so escalation costs little virtual time while bounded rollback
+    /// shrinks time-to-recovery whenever a near replay succeeds.
     fn retry_loop(&self, interp: &mut Interp<'_>, max_retries: u32) -> RecoveryOutcome {
-        let checkpoint = interp.snapshot();
+        let initial = interp.snapshot();
+        interp.set_checkpoint_cadence(self.rec_cfg.checkpoint_cadence);
         let mut attempts = 0u32;
         let mut detections = 0u64;
         let mut repairs = 0u64;
+        // Virtual cycles burned by completed (failed) attempts, each
+        // counted from the clock its rollback checkpoint restored.
         let mut spent_cycles = 0u64;
+        let mut attempt_base = 0u64;
         let mut first_detect: Option<u64> = None;
+        // Checkpoints collected on the first attempt's timeline (the
+        // canonical one); rollback candidates alongside `initial`.
+        let mut pool: Vec<InterpSnapshot> = Vec::new();
+        let mut fi_cycle: Option<u64> = None;
+        // 0 = nearest checkpoint, 1 = nearest before injection,
+        // 2 = whole-run. Bumped after every failed *replay*.
+        let mut escalation = 0u8;
         loop {
             attempts += 1;
-            let out = interp.run(self.run_cfg.args.clone());
+            // A mid-run rollback leaves live frames to resume; the first
+            // attempt and whole-run rollbacks start from a boundary.
+            let out = if interp.frame_depth() > 0 {
+                interp.resume()
+            } else {
+                interp.run(self.run_cfg.args.clone())
+            };
+            if attempts == 1 {
+                pool = interp.take_auto_checkpoints();
+            }
             detections += out.detections;
             repairs += out.repairs;
+            if fi_cycle.is_none() {
+                fi_cycle = out.first_fi_cycle;
+            }
             if first_detect.is_none() {
-                first_detect = out.first_detection_cycle.map(|c| spent_cycles + c);
+                first_detect = out
+                    .first_detection_cycle
+                    .map(|c| spent_cycles + (c - attempt_base));
             }
             let detected = out.status.is_dpmr_detection();
             if !detected || attempts > max_retries {
                 let fail_stopped = detected;
                 let time_to_recovery = match (first_detect, &out.status) {
-                    (Some(f), ExitStatus::Normal(_)) => Some(spent_cycles + out.cycles - f),
+                    (Some(f), ExitStatus::Normal(_)) => {
+                        Some(spent_cycles + (out.cycles - attempt_base) - f)
+                    }
                     _ => None,
                 };
                 return RecoveryOutcome {
@@ -251,8 +295,14 @@ impl<'m> RecoveryDriver<'m> {
                     time_to_recovery,
                 };
             }
-            spent_cycles += out.cycles;
-            interp.restore(&checkpoint);
+            spent_cycles += out.cycles - attempt_base;
+            let rollback = self.pick_rollback(&initial, &pool, escalation, fi_cycle);
+            escalation = (escalation + 1).min(2);
+            attempt_base = rollback.clock();
+            interp.restore(rollback);
+            // Replays collect their own cadence checkpoints; only the
+            // canonical first-attempt pool feeds rollback selection.
+            let _ = interp.take_auto_checkpoints();
             // Diversify the replay environment: new RNG stream and fresh
             // garbage, hence new rearrange-heap layouts for both the
             // application's replica objects and allocator reuse patterns.
@@ -261,6 +311,30 @@ impl<'m> RecoveryDriver<'m> {
                     .seed
                     .wrapping_add(u64::from(attempts).wrapping_mul(0x9e37_79b9)),
             );
+        }
+    }
+
+    /// Chooses the rollback checkpoint for the next replay at the given
+    /// escalation level. Falls back toward `initial` whenever the pool
+    /// has no candidate at the requested distance.
+    fn pick_rollback<'a>(
+        &self,
+        initial: &'a InterpSnapshot,
+        pool: &'a [InterpSnapshot],
+        escalation: u8,
+        fi_cycle: Option<u64>,
+    ) -> &'a InterpSnapshot {
+        match escalation {
+            0 => pool.last().unwrap_or(initial),
+            1 => match fi_cycle {
+                Some(fc) => pool
+                    .iter()
+                    .rev()
+                    .find(|s| s.clock() <= fc)
+                    .unwrap_or(initial),
+                None => initial,
+            },
+            _ => initial,
         }
     }
 }
@@ -318,9 +392,7 @@ mod tests {
             &t,
             wrappers(),
             RunConfig::default(),
-            RecoveryConfig {
-                policy: RecoveryPolicy::Abort,
-            },
+            RecoveryConfig::policy(RecoveryPolicy::Abort),
         );
         let out = driver.run();
         assert!(out.last.status.is_dpmr_detection());
@@ -336,9 +408,7 @@ mod tests {
             &t,
             wrappers(),
             RunConfig::default(),
-            RecoveryConfig {
-                policy: RecoveryPolicy::FailStop,
-            },
+            RecoveryConfig::policy(RecoveryPolicy::FailStop),
         );
         let out = driver.run();
         assert!(out.last.status.is_dpmr_detection());
@@ -355,9 +425,7 @@ mod tests {
             &t,
             wrappers(),
             RunConfig::default(),
-            RecoveryConfig {
-                policy: RecoveryPolicy::RepairFromReplica { max_repairs: 1024 },
-            },
+            RecoveryConfig::policy(RecoveryPolicy::RepairFromReplica { max_repairs: 1024 }),
         );
         let out = driver.run();
         assert!(
@@ -379,9 +447,7 @@ mod tests {
             &t,
             wrappers(),
             RunConfig::default(),
-            RecoveryConfig {
-                policy: RecoveryPolicy::RepairFromReplica { max_repairs: 1 },
-            },
+            RecoveryConfig::policy(RecoveryPolicy::RepairFromReplica { max_repairs: 1 }),
         );
         let out = driver.run();
         assert!(out.last.status.is_dpmr_detection());
@@ -398,9 +464,7 @@ mod tests {
             &t,
             wrappers(),
             RunConfig::default(),
-            RecoveryConfig {
-                policy: RecoveryPolicy::RetryFromCheckpoint { max_retries: 3 },
-            },
+            RecoveryConfig::policy(RecoveryPolicy::RetryFromCheckpoint { max_retries: 3 }),
         );
         let out = driver.run();
         assert!(matches!(out.last.status, ExitStatus::Normal(0)));
@@ -418,9 +482,7 @@ mod tests {
             &t,
             wrappers(),
             RunConfig::default(),
-            RecoveryConfig {
-                policy: RecoveryPolicy::RetryFromCheckpoint { max_retries: 2 },
-            },
+            RecoveryConfig::policy(RecoveryPolicy::RetryFromCheckpoint { max_retries: 2 }),
         );
         let out = driver.run();
         assert_eq!(out.attempts, 3, "initial attempt + 2 retries");
@@ -445,9 +507,7 @@ mod tests {
             &t,
             wrappers(),
             RunConfig::default(),
-            RecoveryConfig {
-                policy: RecoveryPolicy::RetryFromCheckpoint { max_retries: 4 },
-            },
+            RecoveryConfig::policy(RecoveryPolicy::RetryFromCheckpoint { max_retries: 4 }),
         );
         let out = driver.run();
         assert!(out.last.first_fi_cycle.is_some(), "injection executed");

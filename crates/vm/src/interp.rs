@@ -7,23 +7,50 @@
 //! (unmapped accesses, allocator aborts, invalid execution), honours
 //! `dpmr.check` comparisons, and records the first execution of
 //! fault-injection markers.
+//!
+//! # Execution engine
+//!
+//! Execution is a flat dispatch loop over an explicit stack of
+//! [`Frame`]s — *not* host-stack recursion. Every piece of per-activation
+//! state (registers, function id, block index, instruction index,
+//! simulated stack mark, return destination) lives in the `Vec<Frame>`,
+//! which makes three things possible that a recursive tree-walker cannot
+//! do:
+//!
+//! * **Mid-run checkpoints** — [`Interp::snapshot`] captures the live
+//!   frames, so a checkpoint is valid between *any* two instructions, and
+//!   [`Interp::resume`] continues a restored one bit-identically.
+//! * **Movable work units** — a paused run ([`Interp::run_steps`]) is a
+//!   self-contained value; schedulers can carry it across threads.
+//! * **Deep IR recursion** — call depth is a frame-count check against
+//!   [`RunConfig::max_depth`], not a host-stack limit; chains of 10⁵
+//!   simulated calls run in constant host-stack space.
+//!
+//! External (libc) handlers may re-enter the interpreter through
+//! [`Interp::call`]; such nested activations run their own bounded
+//! dispatch loop and are the only place host recursion remains (bounded
+//! by handler nesting, e.g. `qsort` calling an IR comparator).
 
 use crate::alloc::{AllocStats, Allocator, FreeOutcome};
 use crate::external::Registry;
 use crate::mem::{Mem, MemConfig, MemFault, MemSnapshot};
 use crate::value::{load_scalar, normalize_int, scalar_bytes, store_scalar, Value};
-use dpmr_ir::instr::{BinOp, Callee, CastOp, CmpPred, Const, Instr, Operand, Term};
+use dpmr_ir::instr::{BinOp, Callee, CastOp, CmpPred, Const, Instr, Operand, RegId, Term};
 use dpmr_ir::module::{FuncId, GlobalInit, Module};
 use dpmr_ir::types::{TypeId, TypeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
 /// Pseudo-address base for function pointers (inside an unmapped gap, so
 /// dereferencing a function pointer faults like real hardware).
 pub const FUNC_BASE: u64 = 0x0f00_0000;
+
+/// Mid-run checkpoints retained by the cadence ring (oldest dropped
+/// first); bounds checkpoint memory to a few live-prefix copies.
+pub const AUTO_CHECKPOINTS_KEPT: usize = 8;
 
 /// Reasons the simulated process crashed (natural detection).
 #[derive(Debug, Clone, PartialEq)]
@@ -114,16 +141,53 @@ pub trait TrapHandler {
     fn on_detection(&mut self, trap: &DetectionTrap) -> TrapAction;
 }
 
+/// One live activation of an IR function: the state the recursive
+/// interpreter used to keep on the host call stack, reified so it can be
+/// cloned into checkpoints and carried across threads.
+///
+/// Layout: `(func, block, ip)` locate the next instruction (`ip` equal to
+/// the block's instruction count means the terminator executes next);
+/// `regs` holds the virtual registers (parameters filled at entry, the
+/// rest unset until first assignment); `stack_mark` is the simulated
+/// stack pointer at entry, released when the frame pops; `ret_dst` names
+/// the caller register receiving the return value, when the call has one.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Function being executed.
+    pub func: FuncId,
+    /// Current basic-block index.
+    pub block: u32,
+    /// Next instruction index within the block (`== instrs.len()` means
+    /// the block terminator is next).
+    pub ip: u32,
+    regs: Vec<Option<Value>>,
+    stack_mark: usize,
+    ret_dst: Option<RegId>,
+}
+
+/// Per-function metadata pre-resolved when the interpreter loads a
+/// module, so the dispatch loop and instruction handlers index flat
+/// vectors instead of re-walking module structures on every instruction.
+#[derive(Debug, Clone)]
+struct FuncMeta {
+    /// Registers receiving the arguments, in order.
+    params: Vec<RegId>,
+    /// Type of every virtual register (indexed by register number).
+    reg_tys: Vec<TypeId>,
+}
+
 /// A point-in-time copy of all interpreter state that lives *between*
-/// instructions: memory, allocator, RNG, virtual clock, instruction and
-/// detection counters, output channel, and the cache model. Taking and
-/// restoring snapshots is only meaningful at run boundaries (the
-/// interpreter's call stack is host-native and is empty there); the
-/// recovery driver uses them as checkpoints to replay from.
+/// instructions: memory, allocator, live frames, RNG, virtual clock,
+/// instruction and detection counters, output channel, and the cache
+/// model. Because the execution stack is explicit, a snapshot is valid
+/// between *any* two top-level instructions, not just at run boundaries;
+/// the recovery driver uses mid-run snapshots as rollback checkpoints and
+/// [`Interp::resume`] continues one bit-identically.
 #[derive(Debug, Clone)]
 pub struct InterpSnapshot {
     mem: MemSnapshot,
     alloc: Allocator,
+    frames: Vec<Frame>,
     rng: StdRng,
     clock: u64,
     instrs: u64,
@@ -140,6 +204,23 @@ impl InterpSnapshot {
     /// Bytes of simulated memory captured (checkpoint-size accounting).
     pub fn captured_bytes(&self) -> usize {
         self.mem.captured_bytes()
+    }
+
+    /// Virtual cycle at which the snapshot was taken.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Instructions executed when the snapshot was taken.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    /// True when the snapshot captures live frames (taken mid-run):
+    /// restore it and continue with [`Interp::resume`]. A run-boundary
+    /// snapshot (no frames) is replayed with [`Interp::run`] instead.
+    pub fn is_mid_run(&self) -> bool {
+        !self.frames.is_empty()
     }
 }
 
@@ -184,7 +265,7 @@ pub struct RunConfig {
     pub args: Vec<Value>,
     /// Seed for the `randint` runtime (rearrange-heap diversity).
     pub seed: u64,
-    /// Maximum call depth.
+    /// Maximum call depth (a count of live [`Frame`]s, not host stack).
     pub max_depth: u32,
 }
 
@@ -195,11 +276,14 @@ impl Default for RunConfig {
             max_instrs: 200_000_000,
             args: Vec::new(),
             seed: 1,
-            // Each simulated call consumes host stack in the recursive
-            // interpreter, and Rust test threads default to 2 MB stacks;
-            // 150 frames stays safe even with large debug-build frames
-            // while still allowing any realistic workload recursion.
-            max_depth: 150,
+            // Frames live on the heap (the engine is an explicit-frame
+            // dispatch loop), so depth is bounded by host memory, not the
+            // host stack. 2^17 frames admits any realistic workload
+            // recursion (and the deep-chain acceptance test at 10^5)
+            // while capping runaway no-alloca recursion — whose frames
+            // the simulated stack capacity cannot catch — to tens of MB
+            // of host heap even when checkpoints clone the frame vector.
+            max_depth: 1 << 17,
         }
     }
 }
@@ -227,6 +311,17 @@ impl From<MemFault> for Trap {
     }
 }
 
+fn status_of(t: Trap) -> ExitStatus {
+    match t {
+        Trap::Mem(f) => ExitStatus::Crash(CrashKind::MemFault(f)),
+        Trap::Alloc(m) => ExitStatus::Crash(CrashKind::AllocatorAbort(m)),
+        Trap::Invalid(m) => ExitStatus::Crash(CrashKind::InvalidExec(m)),
+        Trap::Dpmr { got, replica } => ExitStatus::DpmrDetected { got, replica },
+        Trap::Timeout => ExitStatus::Timeout,
+        Trap::AppAbort(c) => ExitStatus::AppError(c),
+    }
+}
+
 /// Approximate cycle costs, coarse-grained in the spirit of a simple
 /// in-order core. Only *relative* costs matter for overhead figures.
 mod cost {
@@ -245,6 +340,28 @@ mod cost {
     pub const OUTPUT: u64 = 12;
 }
 
+/// What one executed instruction asks the dispatch loop to do next.
+enum Flow {
+    /// Advance to the next instruction in the current frame.
+    Next,
+    /// Push a new frame for an IR-to-IR call (direct or resolved
+    /// indirect); the dispatch loop continues in the callee.
+    Call {
+        f: FuncId,
+        args: Vec<Value>,
+        dst: Option<RegId>,
+    },
+}
+
+/// How a dispatch loop ended.
+enum DispatchEnd {
+    /// The base frame returned with this value.
+    Returned(Option<Value>),
+    /// The pause budget was reached at a top-level instruction boundary
+    /// (only with [`Interp::run_steps`]); frames stay live.
+    Paused,
+}
+
 /// The interpreter.
 pub struct Interp<'m> {
     /// Program being executed.
@@ -254,6 +371,8 @@ pub struct Interp<'m> {
     /// Heap allocator.
     pub alloc: Allocator,
     global_addrs: Vec<u64>,
+    /// Per-function metadata pre-resolved at module load.
+    meta: Vec<FuncMeta>,
     externals: Rc<Registry>,
     rng: StdRng,
     clock: u64,
@@ -262,8 +381,9 @@ pub struct Interp<'m> {
     output: Vec<u64>,
     first_fi_cycle: Option<u64>,
     fi_sites_hit: BTreeSet<u32>,
-    depth: u32,
-    max_depth: u32,
+    /// The explicit execution stack.
+    frames: Vec<Frame>,
+    max_frames: u32,
     /// Direct-mapped cache tags: 4096 sets x 64-byte lines = 256 KB,
     /// matching the testbed's L2 (Table 3.1). Loads and stores that miss
     /// pay an extra latency, so memory-layout diversity (pad-malloc,
@@ -273,10 +393,17 @@ pub struct Interp<'m> {
     detections: u64,
     repairs: u64,
     first_detection_cycle: Option<u64>,
+    /// Mid-run checkpoint cadence in virtual cycles, when enabled.
+    checkpoint_cadence: Option<u64>,
+    next_checkpoint: u64,
+    auto_checkpoints: VecDeque<InterpSnapshot>,
+    /// Absolute instruction count at which `run_steps` pauses.
+    pause_at: Option<u64>,
 }
 
 impl<'m> Interp<'m> {
-    /// Creates an interpreter, allocating and initializing all globals.
+    /// Creates an interpreter, allocating and initializing all globals and
+    /// pre-resolving per-function metadata.
     ///
     /// # Panics
     /// Panics if the module's globals cannot be laid out (unsized types) —
@@ -292,11 +419,20 @@ impl<'m> Interp<'m> {
                 .unwrap_or_else(|e| panic!("global {}: {e}", g.name));
             global_addrs.push(mem.alloc_global(size));
         }
+        let meta = module
+            .funcs
+            .iter()
+            .map(|f| FuncMeta {
+                params: f.params.clone(),
+                reg_tys: f.regs.iter().map(|r| r.ty).collect(),
+            })
+            .collect();
         let mut it = Interp {
             module,
             mem,
             alloc: Allocator::new(),
             global_addrs,
+            meta,
             externals,
             rng: StdRng::seed_from_u64(cfg.seed),
             clock: 0,
@@ -305,13 +441,17 @@ impl<'m> Interp<'m> {
             output: Vec::new(),
             first_fi_cycle: None,
             fi_sites_hit: BTreeSet::new(),
-            depth: 0,
-            max_depth: cfg.max_depth,
+            frames: Vec::new(),
+            max_frames: cfg.max_depth,
             cache_tags: vec![u64::MAX; 4096],
             trap_handler: None,
             detections: 0,
             repairs: 0,
             first_detection_cycle: None,
+            checkpoint_cadence: None,
+            next_checkpoint: u64::MAX,
+            auto_checkpoints: VecDeque::new(),
+            pause_at: None,
         };
         // Pass 2: initialize.
         for (i, g) in module.globals.iter().enumerate() {
@@ -375,6 +515,11 @@ impl<'m> Interp<'m> {
         self.global_addrs[g.0 as usize]
     }
 
+    /// Type of register `r` in function `f` (pre-resolved metadata).
+    fn reg_ty(&self, f: FuncId, r: RegId) -> TypeId {
+        self.meta[f.0 as usize].reg_tys[r.0 as usize]
+    }
+
     /// Installs a recovery trap handler: `dpmr.check` mismatches become
     /// resumable [`DetectionTrap`]s delivered to the handler instead of
     /// unconditionally terminal exits.
@@ -387,13 +532,38 @@ impl<'m> Interp<'m> {
         self.trap_handler = None;
     }
 
-    /// Captures a checkpoint of all between-instruction interpreter state.
-    /// Valid at run boundaries (no simulated frames live on the host call
-    /// stack); the recovery driver replays from the latest one on trap.
+    /// Number of live frames (simulated call depth).
+    pub fn frame_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Enables (or disables, with `None`) the mid-run checkpoint cadence:
+    /// every `cadence` virtual cycles, at the next top-level instruction
+    /// boundary, the interpreter snapshots itself into a bounded ring of
+    /// [`AUTO_CHECKPOINTS_KEPT`] checkpoints (oldest dropped first).
+    /// Drain the ring with [`Interp::take_auto_checkpoints`].
+    pub fn set_checkpoint_cadence(&mut self, cadence: Option<u64>) {
+        self.checkpoint_cadence = cadence.filter(|c| *c > 0);
+        self.next_checkpoint = match self.checkpoint_cadence {
+            Some(c) => self.clock + c,
+            None => u64::MAX,
+        };
+    }
+
+    /// Drains the cadence checkpoints collected so far, oldest first.
+    pub fn take_auto_checkpoints(&mut self) -> Vec<InterpSnapshot> {
+        self.auto_checkpoints.drain(..).collect()
+    }
+
+    /// Captures a checkpoint of all between-instruction interpreter
+    /// state, *including live frames*: valid between any two top-level
+    /// instructions. The recovery driver replays from the nearest one on
+    /// trap; a mid-run snapshot restores into [`Interp::resume`].
     pub fn snapshot(&self) -> InterpSnapshot {
         InterpSnapshot {
             mem: self.mem.snapshot(),
             alloc: self.alloc.clone(),
+            frames: self.frames.clone(),
             rng: self.rng.clone(),
             clock: self.clock,
             instrs: self.instrs,
@@ -409,12 +579,14 @@ impl<'m> Interp<'m> {
 
     /// Restores a checkpoint taken by [`Interp::snapshot`] on this
     /// interpreter (or one configured identically). Execution state —
-    /// memory, allocator, RNG, clocks, counters, output — returns to the
-    /// captured point bit-for-bit, so a deterministic re-run from the
-    /// checkpoint reproduces the original continuation exactly.
+    /// memory, allocator, frames, RNG, clocks, counters, output — returns
+    /// to the captured point bit-for-bit, so a deterministic continuation
+    /// ([`Interp::resume`] for mid-run snapshots, [`Interp::run`] for
+    /// run-boundary ones) reproduces the original exactly.
     pub fn restore(&mut self, snap: &InterpSnapshot) {
         self.mem.restore(&snap.mem);
         self.alloc = snap.alloc.clone();
+        self.frames = snap.frames.clone();
         self.rng = snap.rng.clone();
         self.clock = snap.clock;
         self.instrs = snap.instrs;
@@ -425,6 +597,11 @@ impl<'m> Interp<'m> {
         self.detections = snap.detections;
         self.repairs = snap.repairs;
         self.first_detection_cycle = snap.first_detection_cycle;
+        // Cadence restarts from the restored clock; checkpoints collected
+        // on the abandoned timeline are the caller's to keep or drop.
+        if let Some(c) = self.checkpoint_cadence {
+            self.next_checkpoint = self.clock + c;
+        }
     }
 
     /// Re-seeds the runtime RNG and garbage-fill seed. A recovery retry
@@ -506,13 +683,20 @@ impl<'m> Interp<'m> {
     /// # Errors
     /// Traps if the pointer does not reference a function.
     pub fn call_fn_ptr(&mut self, fnptr: u64, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        match self.resolve_fn_ptr(fnptr) {
+            Some(f) => self.call(f, args),
+            None => Err(Trap::Invalid(format!(
+                "indirect call of non-function address {fnptr:#x}"
+            ))),
+        }
+    }
+
+    fn resolve_fn_ptr(&self, fnptr: u64) -> Option<FuncId> {
         let idx = fnptr.wrapping_sub(FUNC_BASE);
         if (idx as usize) < self.module.funcs.len() {
-            self.call(FuncId(idx as u32), args)
+            Some(FuncId(idx as u32))
         } else {
-            Err(Trap::Invalid(format!(
-                "indirect call of non-function address {fnptr:#x}"
-            )))
+            None
         }
     }
 
@@ -527,33 +711,78 @@ impl<'m> Interp<'m> {
 
     /// Runs the module's entry function with the configured arguments.
     pub fn run(&mut self, args: Vec<Value>) -> RunOutcome {
-        let entry = match self.module.entry {
-            Some(e) => e,
-            None => {
-                return self.finish(ExitStatus::Crash(CrashKind::InvalidExec(
-                    "module has no entry function".into(),
-                )))
-            }
-        };
-        match self.call(entry, args) {
-            Ok(v) => {
+        match self.start(args) {
+            None => self.resume(),
+            Some(out) => out,
+        }
+    }
+
+    /// Begins a run but pauses at the first top-level instruction boundary
+    /// after `steps` further instructions have executed. Returns the final
+    /// outcome when the program finished before the budget, `None` when
+    /// paused mid-run — snapshot the paused state and/or continue it with
+    /// [`Interp::resume`]. The pause lands *between* two instructions of
+    /// the outermost dispatch loop; external-handler re-entry is never
+    /// split.
+    pub fn run_steps(&mut self, args: Vec<Value>, steps: u64) -> Option<RunOutcome> {
+        match self.start(args) {
+            None => self.resume_steps(steps),
+            Some(out) => Some(out),
+        }
+    }
+
+    /// Continues a paused or restored mid-run execution until completion.
+    ///
+    /// # Panics
+    /// Panics when no frames are live (nothing to resume): pair it with
+    /// [`Interp::run_steps`] or a restored mid-run [`InterpSnapshot`].
+    pub fn resume(&mut self) -> RunOutcome {
+        self.resume_steps(u64::MAX)
+            .expect("an unbounded resume always completes")
+    }
+
+    /// Like [`Interp::resume`] but pauses again after `steps` further
+    /// instructions; `None` means paused.
+    ///
+    /// # Panics
+    /// Panics when no frames are live (nothing to resume).
+    pub fn resume_steps(&mut self, steps: u64) -> Option<RunOutcome> {
+        assert!(
+            !self.frames.is_empty(),
+            "resume requires live frames (run_steps pause or mid-run restore)"
+        );
+        self.pause_at = self.instrs.checked_add(steps);
+        let end = self.dispatch(0);
+        self.pause_at = None;
+        match end {
+            Ok(DispatchEnd::Paused) => None,
+            Ok(DispatchEnd::Returned(v)) => {
                 let code = match v {
                     Some(Value::Int(c)) => c,
                     _ => 0,
                 };
-                self.finish(ExitStatus::Normal(code))
+                Some(self.finish(ExitStatus::Normal(code)))
             }
-            Err(t) => {
-                let status = match t {
-                    Trap::Mem(f) => ExitStatus::Crash(CrashKind::MemFault(f)),
-                    Trap::Alloc(m) => ExitStatus::Crash(CrashKind::AllocatorAbort(m)),
-                    Trap::Invalid(m) => ExitStatus::Crash(CrashKind::InvalidExec(m)),
-                    Trap::Dpmr { got, replica } => ExitStatus::DpmrDetected { got, replica },
-                    Trap::Timeout => ExitStatus::Timeout,
-                    Trap::AppAbort(c) => ExitStatus::AppError(c),
-                };
-                self.finish(status)
+            Err(t) => Some(self.finish(status_of(t))),
+        }
+    }
+
+    /// Clears stale frames and pushes the entry activation. Returns the
+    /// terminal outcome when the run cannot even begin (no entry function
+    /// or a rejected entry call), `None` when frames are live.
+    fn start(&mut self, args: Vec<Value>) -> Option<RunOutcome> {
+        self.unwind(0);
+        let entry = match self.module.entry {
+            Some(e) => e,
+            None => {
+                return Some(self.finish(ExitStatus::Crash(CrashKind::InvalidExec(
+                    "module has no entry function".into(),
+                ))))
             }
+        };
+        match self.push_frame(entry, args, None) {
+            Ok(()) => None,
+            Err(t) => Some(self.finish(status_of(t))),
         }
     }
 
@@ -579,39 +808,201 @@ impl<'m> Interp<'m> {
         }
     }
 
-    /// Calls function `f` with `args` (recursive; external handlers may
-    /// re-enter through this).
+    /// Calls function `f` with `args` and runs it to completion in a
+    /// nested dispatch loop (external handlers re-enter through this; the
+    /// nested activations live on the same explicit frame stack).
     ///
     /// # Errors
     /// Propagates any trap raised during execution.
     pub fn call(&mut self, f: FuncId, args: Vec<Value>) -> Result<Option<Value>, Trap> {
-        self.depth += 1;
-        if self.depth > self.max_depth {
-            self.depth -= 1;
+        let base = self.frames.len();
+        self.push_frame(f, args, None)?;
+        match self.dispatch(base)? {
+            DispatchEnd::Returned(v) => Ok(v),
+            DispatchEnd::Paused => unreachable!("nested dispatch never pauses"),
+        }
+    }
+
+    /// Pushes a frame for `f`, enforcing the frame-count depth guard and
+    /// the callee's arity.
+    fn push_frame(
+        &mut self,
+        f: FuncId,
+        args: Vec<Value>,
+        ret_dst: Option<RegId>,
+    ) -> Result<(), Trap> {
+        if self.frames.len() as u32 >= self.max_frames {
             return Err(Trap::Mem(MemFault {
                 addr: 0,
                 kind: crate::mem::MemFaultKind::StackOverflow,
             }));
         }
-        let func = self.module.func(f);
-        if func.params.len() != args.len() {
-            self.depth -= 1;
+        let meta = &self.meta[f.0 as usize];
+        if meta.params.len() != args.len() {
             return Err(Trap::Invalid(format!(
                 "call of {} with {} args (expects {})",
-                func.name,
+                self.module.func(f).name,
                 args.len(),
-                func.params.len()
+                meta.params.len()
             )));
         }
-        let mut regs: Vec<Option<Value>> = vec![None; func.regs.len()];
-        for (&p, a) in func.params.iter().zip(args) {
+        let mut regs: Vec<Option<Value>> = vec![None; meta.reg_tys.len()];
+        for (&p, a) in meta.params.iter().zip(args) {
             regs[p.0 as usize] = Some(a);
         }
-        let mark = self.mem.stack_mark();
-        let result = self.exec(f, &mut regs);
-        self.mem.stack_release(mark);
-        self.depth -= 1;
-        result
+        self.frames.push(Frame {
+            func: f,
+            block: 0,
+            ip: 0,
+            regs,
+            stack_mark: self.mem.stack_mark(),
+            ret_dst,
+        });
+        Ok(())
+    }
+
+    /// Pops frames down to `base`, releasing their simulated stack space
+    /// (the explicit-stack equivalent of host-stack unwinding on a trap).
+    fn unwind(&mut self, base: usize) {
+        while self.frames.len() > base {
+            let fr = self.frames.pop().expect("len checked");
+            self.mem.stack_release(fr.stack_mark);
+        }
+    }
+
+    /// Takes a cadence checkpoint when the virtual clock crossed the next
+    /// boundary (called only at top-level instruction boundaries, where
+    /// every frame's registers are in place).
+    fn maybe_auto_checkpoint(&mut self) {
+        if self.clock >= self.next_checkpoint {
+            if let Some(c) = self.checkpoint_cadence {
+                if self.auto_checkpoints.len() == AUTO_CHECKPOINTS_KEPT {
+                    self.auto_checkpoints.pop_front();
+                }
+                self.auto_checkpoints.push_back(self.snapshot());
+                self.next_checkpoint = self.clock + c;
+            }
+        }
+    }
+
+    /// The flat dispatch loop: executes frames above `base` until the
+    /// base activation returns, a trap unwinds to `base`, or (top level
+    /// only) the pause budget is reached. All simulated execution state
+    /// stays in `self.frames`; the host stack does not grow with
+    /// simulated call depth.
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(&mut self, base: usize) -> Result<DispatchEnd, Trap> {
+        let module: &'m Module = self.module;
+        loop {
+            if base == 0 {
+                self.maybe_auto_checkpoint();
+                if let Some(limit) = self.pause_at {
+                    if self.instrs >= limit {
+                        return Ok(DispatchEnd::Paused);
+                    }
+                }
+            }
+            let fi = self.frames.len() - 1;
+            let (func, block, ip) = {
+                let fr = &self.frames[fi];
+                (fr.func, fr.block as usize, fr.ip as usize)
+            };
+            let f = module.func(func);
+            if block >= f.blocks.len() {
+                self.unwind(base);
+                return Err(Trap::Invalid(format!("jump to nonexistent block b{block}")));
+            }
+            let blk = &f.blocks[block];
+            self.instrs += 1;
+            if self.instrs > self.max_instrs {
+                self.unwind(base);
+                return Err(Trap::Timeout);
+            }
+            if ip < blk.instrs.len() {
+                // Take the registers out of the frame for the duration of
+                // the step (a pointer swap): `step` gets disjoint mutable
+                // access to them and `self`, and nested calls pushed by
+                // external handlers never touch a suspended frame.
+                let mut regs = std::mem::take(&mut self.frames[fi].regs);
+                let flow = self.step(func, &mut regs, &blk.instrs[ip]);
+                self.frames[fi].regs = regs;
+                match flow {
+                    Ok(Flow::Next) => self.frames[fi].ip += 1,
+                    Ok(Flow::Call { f, args, dst }) => {
+                        // Return lands on the instruction after the call.
+                        self.frames[fi].ip += 1;
+                        if let Err(t) = self.push_frame(f, args, dst) {
+                            self.unwind(base);
+                            return Err(t);
+                        }
+                    }
+                    Err(t) => {
+                        self.unwind(base);
+                        return Err(t);
+                    }
+                }
+                continue;
+            }
+            // Terminator.
+            self.clock += cost::BRANCH;
+            let next = match &blk.term {
+                Term::Br(t) => Some(t.0),
+                Term::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = match self.eval(&self.frames[fi].regs, cond) {
+                        Ok(c) => c,
+                        Err(t) => {
+                            self.unwind(base);
+                            return Err(t);
+                        }
+                    };
+                    Some(if c.is_zero() { else_bb.0 } else { then_bb.0 })
+                }
+                Term::Ret(v) => {
+                    self.clock += cost::RET;
+                    let val = match v {
+                        Some(op) => match self.eval(&self.frames[fi].regs, op) {
+                            Ok(v) => Some(v),
+                            Err(t) => {
+                                self.unwind(base);
+                                return Err(t);
+                            }
+                        },
+                        None => None,
+                    };
+                    let fr = self.frames.pop().expect("a frame is live");
+                    self.mem.stack_release(fr.stack_mark);
+                    if self.frames.len() == base {
+                        return Ok(DispatchEnd::Returned(val));
+                    }
+                    if let Some(d) = fr.ret_dst {
+                        match val {
+                            Some(v) => {
+                                let ci = self.frames.len() - 1;
+                                self.frames[ci].regs[d.0 as usize] = Some(v);
+                            }
+                            None => {
+                                self.unwind(base);
+                                return Err(Trap::Invalid("void call used as value".into()));
+                            }
+                        }
+                    }
+                    None
+                }
+                Term::Unreachable => {
+                    self.unwind(base);
+                    return Err(Trap::Invalid("executed unreachable".into()));
+                }
+            };
+            if let Some(b) = next {
+                let fr = &mut self.frames[fi];
+                fr.block = b;
+                fr.ip = 0;
+            }
+        }
     }
 
     fn eval(&self, regs: &[Option<Value>], op: &Operand) -> Result<Value, Trap> {
@@ -629,59 +1020,7 @@ impl<'m> Interp<'m> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec(&mut self, f: FuncId, regs: &mut [Option<Value>]) -> Result<Option<Value>, Trap> {
-        // The module reference outlives `self`'s mutable borrows, so copy
-        // it out once and iterate instructions without cloning them.
-        let module: &'m Module = self.module;
-        let func = module.func(f);
-        let mut bb = 0usize;
-        loop {
-            if bb >= func.blocks.len() {
-                return Err(Trap::Invalid(format!("jump to nonexistent block b{bb}")));
-            }
-            let block = &func.blocks[bb];
-            for ins in &block.instrs {
-                self.instrs += 1;
-                if self.instrs > self.max_instrs {
-                    return Err(Trap::Timeout);
-                }
-                self.step(f, regs, ins)?;
-            }
-            self.instrs += 1;
-            if self.instrs > self.max_instrs {
-                return Err(Trap::Timeout);
-            }
-            self.clock += cost::BRANCH;
-            match &block.term {
-                Term::Br(t) => bb = t.0 as usize,
-                Term::CondBr {
-                    cond,
-                    then_bb,
-                    else_bb,
-                } => {
-                    let c = self.eval(regs, cond)?;
-                    bb = if c.is_zero() {
-                        else_bb.0 as usize
-                    } else {
-                        then_bb.0 as usize
-                    };
-                }
-                Term::Ret(v) => {
-                    self.clock += cost::RET;
-                    return match v {
-                        Some(op) => Ok(Some(self.eval(regs, op)?)),
-                        None => Ok(None),
-                    };
-                }
-                Term::Unreachable => {
-                    return Err(Trap::Invalid("executed unreachable".into()));
-                }
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn step(&mut self, f: FuncId, regs: &mut [Option<Value>], ins: &Instr) -> Result<(), Trap> {
+    fn step(&mut self, f: FuncId, regs: &mut [Option<Value>], ins: &Instr) -> Result<Flow, Trap> {
         match ins {
             Instr::Alloca { dst, ty, count } => {
                 let n = match count {
@@ -724,7 +1063,7 @@ impl<'m> Interp<'m> {
             }
             Instr::Load { dst, ptr } => {
                 let a = self.eval(regs, ptr)?.as_ptr();
-                let ty = self.module.func(f).reg_ty(*dst);
+                let ty = self.reg_ty(f, *dst);
                 self.clock += cost::MEM;
                 self.touch(a);
                 let v = load_scalar(&self.mem, &self.module.types, ty, a)?;
@@ -737,7 +1076,7 @@ impl<'m> Interp<'m> {
                 self.touch(a);
                 match value {
                     Operand::Reg(r) => {
-                        let vty = self.module.func(f).reg_ty(*r);
+                        let vty = self.reg_ty(f, *r);
                         store_scalar(&mut self.mem, &self.module.types, vty, a, v)?;
                     }
                     Operand::Const(Const::Int { bits, .. }) => {
@@ -798,7 +1137,7 @@ impl<'m> Interp<'m> {
             }
             Instr::Cast { dst, op, src } => {
                 let v = self.eval(regs, src)?;
-                let dty = self.module.func(f).reg_ty(*dst);
+                let dty = self.reg_ty(f, *dst);
                 let dbits = match self.module.types.kind(dty) {
                     TypeKind::Int { bits } | TypeKind::Float { bits } => *bits,
                     _ => 64,
@@ -839,7 +1178,7 @@ impl<'m> Interp<'m> {
             Instr::Bin { dst, op, lhs, rhs } => {
                 let a = self.eval(regs, lhs)?;
                 let b = self.eval(regs, rhs)?;
-                let dty = self.module.func(f).reg_ty(*dst);
+                let dty = self.reg_ty(f, *dst);
                 self.clock += cost::ALU;
                 let out = self.binop(*op, a, b, dty)?;
                 regs[dst.0 as usize] = Some(out);
@@ -866,11 +1205,24 @@ impl<'m> Interp<'m> {
                     vals.push(self.eval(regs, a)?);
                 }
                 self.clock += cost::CALL + args.len() as u64;
-                let ret = match callee {
-                    Callee::Direct(fid) => self.call(*fid, vals)?,
+                match callee {
+                    Callee::Direct(fid) => {
+                        return Ok(Flow::Call {
+                            f: *fid,
+                            args: vals,
+                            dst: *dst,
+                        });
+                    }
                     Callee::Indirect(op) => {
                         let p = self.eval(regs, op)?.as_ptr();
-                        self.call_fn_ptr(p, vals)?
+                        let fid = self.resolve_fn_ptr(p).ok_or_else(|| {
+                            Trap::Invalid(format!("indirect call of non-function address {p:#x}"))
+                        })?;
+                        return Ok(Flow::Call {
+                            f: fid,
+                            args: vals,
+                            dst: *dst,
+                        });
                     }
                     Callee::External(eid) => {
                         let name = self.module.external(*eid).name.clone();
@@ -878,12 +1230,14 @@ impl<'m> Interp<'m> {
                             .externals
                             .get(&name)
                             .ok_or_else(|| Trap::Invalid(format!("unknown external {name}")))?;
-                        handler(self, &vals)?
+                        let ret = handler(self, &vals)?;
+                        if let Some(d) = dst {
+                            regs[d.0 as usize] =
+                                Some(ret.ok_or_else(|| {
+                                    Trap::Invalid("void call used as value".into())
+                                })?);
+                        }
                     }
-                };
-                if let Some(d) = dst {
-                    regs[d.0 as usize] =
-                        Some(ret.ok_or_else(|| Trap::Invalid("void call used as value".into()))?);
                 }
             }
             Instr::DpmrCheck { a, b, ptrs } => {
@@ -934,7 +1288,7 @@ impl<'m> Interp<'m> {
                             // resume as if the check had passed.
                             self.repairs += 1;
                             if let (Some(addr), Operand::Reg(r)) = (app_addr, a) {
-                                let ty = self.module.func(f).reg_ty(*r);
+                                let ty = self.reg_ty(f, *r);
                                 self.clock += cost::MEM;
                                 self.touch(addr);
                                 store_scalar(&mut self.mem, &self.module.types, ty, addr, vb)?;
@@ -975,13 +1329,13 @@ impl<'m> Interp<'m> {
                 return Err(Trap::AppAbort(*code));
             }
         }
-        Ok(())
+        Ok(Flow::Next)
     }
 
     /// Pointee type of a pointer-valued operand within function `f`.
     fn operand_pointee_ty(&self, f: FuncId, op: &Operand) -> Option<TypeId> {
         match op {
-            Operand::Reg(r) => self.module.types.pointee(self.module.func(f).reg_ty(*r)),
+            Operand::Reg(r) => self.module.types.pointee(self.reg_ty(f, *r)),
             Operand::Const(Const::Null { pointee }) => Some(*pointee),
             Operand::Global(g) => Some(self.module.global(*g).ty),
             Operand::Func(fid) => Some(self.module.func(*fid).ty),

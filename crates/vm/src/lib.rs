@@ -48,8 +48,9 @@ pub mod prelude {
     pub use crate::alloc::{AllocStats, Allocator, FreeOutcome};
     pub use crate::external::Registry;
     pub use crate::interp::{
-        run_with_limits, run_with_registry, CrashKind, DetectionTrap, ExitStatus, Interp,
-        InterpSnapshot, RunConfig, RunOutcome, Trap, TrapAction, TrapHandler, FUNC_BASE,
+        run_with_limits, run_with_registry, CrashKind, DetectionTrap, ExitStatus, Frame, Interp,
+        InterpSnapshot, RunConfig, RunOutcome, Trap, TrapAction, TrapHandler,
+        AUTO_CHECKPOINTS_KEPT, FUNC_BASE,
     };
     pub use crate::mem::{
         Mem, MemConfig, MemFault, MemFaultKind, MemSnapshot, GLOBAL_BASE, HEAP_BASE, STACK_BASE,

@@ -489,3 +489,145 @@ fn cache_model_charges_misses_for_scattered_access() {
         dout.cycles
     );
 }
+
+/// Builds `rec(n) = n == 0 ? 0 : rec(n - 1) + 1` — a pure IR call chain
+/// with no per-frame allocas, so only the frame-count guard bounds it.
+fn countdown_module() -> Module {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "rec", i64t, &[("n", i64t)]);
+    let n = b.param(0);
+    let done = b.cmp(CmpPred::Eq, n.into(), Const::i64(0).into());
+    let base_bb = b.block();
+    let rec_bb = b.block();
+    b.cond_br(done.into(), base_bb, rec_bb);
+    b.switch_to(base_bb);
+    b.ret(Some(Const::i64(0).into()));
+    b.switch_to(rec_bb);
+    let n1 = b.bin(BinOp::Sub, i64t, n.into(), Const::i64(1).into());
+    let r = b
+        .call(Callee::Direct(FuncId(0)), vec![n1.into()], Some(i64t), "r")
+        .expect("r");
+    let r1 = b.bin(BinOp::Add, i64t, r.into(), Const::i64(1).into());
+    b.ret(Some(r1.into()));
+    let rec = b.finish();
+    assert_eq!(rec, FuncId(0));
+    let main = {
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let r = b
+            .call(
+                Callee::Direct(rec),
+                vec![Const::i64(100_000).into()],
+                Some(i64t),
+                "r",
+            )
+            .expect("r");
+        b.output(r.into());
+        b.ret(Some(Const::i64(0).into()));
+        b.finish()
+    };
+    m.entry = Some(main);
+    m
+}
+
+#[test]
+fn deep_ir_call_chain_runs_without_host_recursion() {
+    // Depth 10^5 would overflow any host-stack-recursive interpreter
+    // (test threads default to 2 MB stacks); the explicit-frame engine
+    // completes it and returns the full count back up the chain.
+    let out = run_with_limits(&countdown_module(), &RunConfig::default());
+    assert_eq!(out.status, ExitStatus::Normal(0), "{:?}", out.status);
+    assert_eq!(out.output, vec![100_000]);
+}
+
+#[test]
+fn frame_count_guard_bounds_simulated_depth() {
+    let rc = RunConfig {
+        max_depth: 1000,
+        ..RunConfig::default()
+    };
+    let out = run_with_limits(&countdown_module(), &rc);
+    assert!(
+        matches!(
+            out.status,
+            ExitStatus::Crash(CrashKind::MemFault(MemFault {
+                kind: MemFaultKind::StackOverflow,
+                ..
+            }))
+        ),
+        "{:?}",
+        out.status
+    );
+}
+
+#[test]
+fn run_steps_pauses_and_resume_completes_identically() {
+    let m = dpmr_workloads::micro::linked_list(20);
+    let reference = run_with_limits(&m, &RunConfig::default());
+
+    let mut it = Interp::new(
+        &m,
+        &RunConfig::default(),
+        std::rc::Rc::new(Registry::with_base()),
+    );
+    let paused = it.run_steps(vec![], 100);
+    assert!(paused.is_none(), "a 20-node list runs >100 instructions");
+    assert!(it.frame_depth() >= 1, "paused with live frames");
+    let out = it.resume();
+    assert_eq!(out.status, reference.status);
+    assert_eq!(out.output, reference.output);
+    assert_eq!(out.cycles, reference.cycles);
+    assert_eq!(out.instrs, reference.instrs);
+}
+
+#[test]
+fn midrun_snapshot_restores_into_fresh_interpreter() {
+    let m = dpmr_workloads::micro::qsort_prog(12);
+    let rc = RunConfig::default();
+    let reference = run_with_limits(&m, &rc);
+
+    let mut it = Interp::new(&m, &rc, std::rc::Rc::new(Registry::with_base()));
+    assert!(it.run_steps(vec![], 500).is_none());
+    let snap = it.snapshot();
+    assert!(snap.is_mid_run());
+    // The paused original keeps going...
+    let cont = it.resume();
+    assert_eq!(cont.output, reference.output);
+    // ...and the snapshot replays bit-identically in a different interp.
+    let mut other = Interp::new(&m, &rc, std::rc::Rc::new(Registry::with_base()));
+    other.restore(&snap);
+    let replay = other.resume();
+    assert_eq!(replay.status, reference.status);
+    assert_eq!(replay.output, reference.output);
+    assert_eq!(replay.cycles, reference.cycles);
+    assert_eq!(replay.instrs, reference.instrs);
+}
+
+#[test]
+fn checkpoint_cadence_collects_bounded_ring() {
+    let m = dpmr_workloads::micro::linked_list(40);
+    let rc = RunConfig::default();
+    let mut it = Interp::new(&m, &rc, std::rc::Rc::new(Registry::with_base()));
+    it.set_checkpoint_cadence(Some(200));
+    let out = it.run(vec![]);
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    let ckpts = it.take_auto_checkpoints();
+    assert!(!ckpts.is_empty(), "cadence 200 fires on a 40-node list");
+    assert!(ckpts.len() <= AUTO_CHECKPOINTS_KEPT);
+    assert!(
+        ckpts.windows(2).all(|w| w[0].clock() < w[1].clock()),
+        "checkpoints are ordered by virtual time"
+    );
+    assert!(
+        it.take_auto_checkpoints().is_empty(),
+        "take drains the ring"
+    );
+    // A cadence checkpoint resumes to the same completion.
+    let reference = run_with_limits(&m, &rc);
+    let mid = &ckpts[ckpts.len() / 2];
+    let mut other = Interp::new(&m, &rc, std::rc::Rc::new(Registry::with_base()));
+    other.restore(mid);
+    let replay = other.resume();
+    assert_eq!(replay.output, reference.output);
+    assert_eq!(replay.cycles, reference.cycles);
+}

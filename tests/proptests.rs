@@ -433,3 +433,102 @@ proptest! {
         prop_assert_eq!(a.output, b.output);
     }
 }
+
+// ---------------------------------------------------------------------
+// Mid-run checkpoint equivalence
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Pause a run at a random instruction boundary, snapshot, restore the
+    /// snapshot into a *fresh* interpreter, and resume: the continuation
+    /// must produce a byte-identical `RunOutcome` to the uninterrupted
+    /// run. This is the property that makes mid-run checkpoints (and the
+    /// recovery driver's bounded rollback) sound: a snapshot between any
+    /// two instructions is a complete description of execution state.
+    #[test]
+    fn midrun_snapshot_restore_replay_is_bit_identical(
+        n in 2i64..20,
+        seed in 1u64..1_000,
+        cut in 1u64..4_000,
+        prog in 0usize..3,
+    ) {
+        let m = match prog {
+            0 => micro::linked_list(n),
+            1 => micro::overflow_writer(n, n),
+            _ => micro::resize_victim(n, n),
+        };
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let mut rc = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        rc.mem.fill_seed = seed ^ 0xabcd_1234;
+        let reg = Rc::new(registry_with_wrappers());
+
+        // Reference: a fresh interpreter, run uninterrupted.
+        let mut fresh = Interp::new(&t, &rc, reg.clone());
+        let reference = fresh.run(vec![]);
+
+        let mut it = Interp::new(&t, &rc, reg.clone());
+        let outcome = match it.run_steps(vec![], cut) {
+            // The program finished inside the budget: nothing was paused,
+            // and the outcome must already match.
+            Some(done) => done,
+            None => {
+                let snap = it.snapshot();
+                prop_assert!(snap.is_mid_run(), "paused runs have live frames");
+                prop_assert!(snap.instrs() >= cut);
+                let mut restored = Interp::new(&t, &rc, reg);
+                restored.restore(&snap);
+                restored.resume()
+            }
+        };
+        prop_assert_eq!(&outcome.status, &reference.status);
+        prop_assert_eq!(&outcome.output, &reference.output);
+        prop_assert_eq!(outcome.cycles, reference.cycles);
+        prop_assert_eq!(outcome.instrs, reference.instrs);
+        prop_assert_eq!(outcome.detections, reference.detections);
+        prop_assert_eq!(outcome.repairs, reference.repairs);
+        prop_assert_eq!(outcome.first_fi_cycle, reference.first_fi_cycle);
+        prop_assert_eq!(&outcome.fi_sites_hit, &reference.fi_sites_hit);
+        prop_assert_eq!(outcome.detect_cycle, reference.detect_cycle);
+        prop_assert_eq!(outcome.first_detection_cycle, reference.first_detection_cycle);
+    }
+
+    /// Chained pauses: splitting one run into many slices at random points
+    /// never changes the result — execution state is fully carried by the
+    /// explicit frames, never by the pause structure.
+    #[test]
+    fn sliced_execution_equals_straight_execution(
+        n in 2i64..16,
+        seed in 1u64..1_000,
+        slice in 50u64..900,
+    ) {
+        let m = micro::qsort_prog(n.max(4));
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let rc = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let reg = Rc::new(registry_with_wrappers());
+        let mut fresh = Interp::new(&t, &rc, reg.clone());
+        let reference = fresh.run(vec![]);
+
+        let mut it = Interp::new(&t, &rc, reg);
+        let mut out = it.run_steps(vec![], slice);
+        let mut slices = 1u32;
+        while out.is_none() {
+            out = it.resume_steps(slice);
+            slices += 1;
+            prop_assert!(slices < 1_000_000, "runaway slicing");
+        }
+        let out = out.expect("loop exits with an outcome");
+        prop_assert_eq!(&out.status, &reference.status);
+        prop_assert_eq!(&out.output, &reference.output);
+        prop_assert_eq!(out.cycles, reference.cycles);
+        prop_assert_eq!(out.instrs, reference.instrs);
+    }
+}
