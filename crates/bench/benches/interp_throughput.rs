@@ -1,23 +1,50 @@
 //! Interpreter throughput microbenchmark over the micro workloads.
 //!
-//! Records the speed envelope of the explicit-frame dispatch engine so
-//! interpreter refactors (recursive → flat dispatch, metadata
-//! pre-resolution) leave a measured trajectory: alongside the criterion
-//! samples, each workload prints a machine-greppable
-//! `BENCH_INTERP_<NAME>_MIPS=<n>` line (simulated instructions retired
-//! per wall-clock second, in millions).
+//! Records the speed envelope of the execution engine so interpreter
+//! refactors (recursive → flat dispatch → pre-resolved linear bytecode)
+//! leave a measured trajectory: alongside the criterion samples, each
+//! workload prints a machine-greppable `BENCH_INTERP_<NAME>_MIPS=<n>`
+//! line (simulated instructions retired per wall-clock second, in
+//! millions) **and appends a machine-readable point to
+//! `BENCH_INTERP.json`** at the workspace root (one JSON object per line:
+//! workload, mips, git rev, mode), so the trajectory accumulates across
+//! engine generations. Override the file location with
+//! `BENCH_INTERP_JSON=<path>` (empty disables persistence).
 //!
 //! Set `BENCH_SMOKE=1` to shrink the measurement to a CI-friendly smoke
-//! run.
+//! run. Set `BENCH_ASSERT_RATIO=<r>` to fail the bench when any
+//! workload's MIPS drops below `r ×` the recorded seed baseline for the
+//! active mode (CI runs the smoke mode with a ratio of 1.0 as a
+//! regression gate for the lowered engine).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dpmr_ir::module::Module;
 use dpmr_vm::prelude::*;
 use dpmr_workloads::micro;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 fn smoke() -> bool {
     std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+/// Seed-engine baselines measured on the reference container (PR 2's
+/// tree-walking dispatch engine), per mode: the denominator of the
+/// `BENCH_ASSERT_RATIO` regression gate. The numbers are absolute MIPS
+/// from one machine, so the gate assumes a comparable runner — the
+/// current ~10–40× headroom absorbs normal CI variance, but a much
+/// slower runner would need a lower ratio. Workloads without a recorded
+/// baseline (`None`) skip the gate until one is recorded here.
+fn seed_baseline_mips(workload: &str) -> Option<f64> {
+    match (workload, smoke()) {
+        ("linked_list", false) => Some(16.85),
+        ("qsort", false) => Some(10.76),
+        ("resize_victim", false) => Some(4.33),
+        ("linked_list", true) => Some(5.45),
+        ("qsort", true) => Some(1.93),
+        ("resize_victim", true) => Some(1.04),
+        _ => None,
+    }
 }
 
 /// The micro workloads under measurement: list/pointer chasing, an
@@ -43,14 +70,71 @@ fn throughput(c: &mut Criterion) {
     }
 }
 
-/// Prints the `BENCH_*` trajectory points (not a criterion target shape;
-/// it takes the `Criterion` handle only to ride in the same group).
+/// The trajectory file at the workspace root (two directories above this
+/// crate), unless overridden by `BENCH_INTERP_JSON`.
+fn trajectory_path() -> Option<std::path::PathBuf> {
+    match std::env::var("BENCH_INTERP_JSON") {
+        Ok(p) if p.is_empty() => None,
+        Ok(p) => Some(p.into()),
+        Err(_) => {
+            Some(std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_INTERP.json"))
+        }
+    }
+}
+
+/// Short git revision of the workspace (suffixed `-dirty` when the tree
+/// has uncommitted changes, so a point measured mid-development is never
+/// mistaken for the named commit), for trajectory points.
+fn git_rev() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(rev) = git(&["rev-parse", "--short", "HEAD"]) else {
+        return "unknown".to_string();
+    };
+    let dirty = git(&["status", "--porcelain"]).is_none_or(|s| !s.trim().is_empty());
+    format!("{}{}", rev.trim(), if dirty { "-dirty" } else { "" })
+}
+
+/// Appends one trajectory point as a JSON line.
+fn persist_point(path: &std::path::Path, workload: &str, mips: f64, rev: &str) {
+    let mode = if smoke() { "smoke" } else { "full" };
+    let line = format!(
+        "{{\"workload\":\"{workload}\",\"mips\":{mips:.2},\"git_rev\":\"{rev}\",\"mode\":\"{mode}\"}}\n"
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("[bench] could not append to {}: {e}", path.display());
+    }
+}
+
+/// Prints the `BENCH_*` trajectory points, persists them to
+/// `BENCH_INTERP.json`, and applies the optional seed-ratio gate (not a
+/// criterion target shape; it takes the `Criterion` handle only to ride
+/// in the same group).
 fn trajectory(_c: &mut Criterion) {
     let budget = if smoke() {
         Duration::from_millis(50)
     } else {
         Duration::from_millis(500)
     };
+    let json = trajectory_path();
+    let rev = git_rev();
+    // A malformed ratio must fail loudly, not silently disable the gate.
+    let min_ratio: Option<f64> = std::env::var("BENCH_ASSERT_RATIO").ok().map(|r| {
+        r.parse()
+            .unwrap_or_else(|e| panic!("BENCH_ASSERT_RATIO={r:?} is not a number: {e}"))
+    });
     for (name, m) in workloads() {
         let per_run = {
             let out = run_with_limits(&m, &RunConfig::default());
@@ -74,6 +158,18 @@ fn trajectory(_c: &mut Criterion) {
             "BENCH_INTERP_{}_MIPS={mips:.2}",
             name.to_uppercase().replace('-', "_")
         );
+        if let Some(path) = &json {
+            persist_point(path, name, mips, &rev);
+        }
+        if let Some(r) = min_ratio {
+            match seed_baseline_mips(name) {
+                Some(baseline) => assert!(
+                    mips >= r * baseline,
+                    "{name}: {mips:.2} MIPS regressed below {r} x seed baseline {baseline:.2}"
+                ),
+                None => eprintln!("[bench] {name}: no seed baseline recorded; ratio gate skipped"),
+            }
+        }
     }
 }
 

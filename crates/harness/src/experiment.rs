@@ -182,6 +182,24 @@ impl PreparedApp {
         self.measure(&out)
     }
 
+    /// Runs an already injected/transformed module with shared
+    /// pre-lowered bytecode (`code` must have been lowered from `module`)
+    /// under `registry`, using run `run`'s seeds, and reduces it against
+    /// the golden reference. Campaigns use this to hoist injection,
+    /// transformation, and lowering out of their per-run loops.
+    pub fn run_built(
+        &self,
+        module: &Module,
+        code: Rc<LoweredCode>,
+        registry: Rc<Registry>,
+        run: u32,
+    ) -> Measurement {
+        let rc = self.run_config(run);
+        let mut interp = Interp::with_code(module, code, &rc, registry);
+        let out = interp.run(rc.args.clone());
+        self.measure(&out)
+    }
+
     /// Reduces a raw run outcome against the golden reference.
     pub fn measure(&self, out: &RunOutcome) -> Measurement {
         let co = matches!(out.status, ExitStatus::Normal(0)) && out.output == self.golden.output;
@@ -234,15 +252,34 @@ impl PreparedApp {
     }
 
     /// Runs a recovery experiment on an already injected-and-transformed
-    /// module (see [`PreparedApp::prepare_recovery`]).
+    /// module (see [`PreparedApp::prepare_recovery`]), lowering it to
+    /// bytecode for this run only. Campaigns that replay one transformed
+    /// module across policies and seeds should lower once and use
+    /// [`PreparedApp::run_recovery_lowered`].
     pub fn run_recovery_prepared(
         &self,
         transformed: &Module,
         rec: RecoveryConfig,
         run: u32,
     ) -> RecoveryMeasurement {
+        let code = Rc::new(dpmr_vm::lower::lower(transformed));
+        let registry = Rc::new(registry_with_wrappers());
+        self.run_recovery_lowered(transformed, code, registry, rec, run)
+    }
+
+    /// Runs a recovery experiment on an already injected-and-transformed
+    /// module with shared pre-lowered bytecode (`code` must have been
+    /// lowered from `transformed`) and a shared wrapper registry.
+    pub fn run_recovery_lowered(
+        &self,
+        transformed: &Module,
+        code: Rc<LoweredCode>,
+        registry: Rc<Registry>,
+        rec: RecoveryConfig,
+        run: u32,
+    ) -> RecoveryMeasurement {
         let rc = self.run_config(run);
-        let driver = RecoveryDriver::new(transformed, Rc::new(registry_with_wrappers()), rc, rec);
+        let driver = RecoveryDriver::with_code(transformed, code, registry, rc, rec);
         let out = driver.run();
         let correct = matches!(out.last.status, ExitStatus::Normal(0))
             && out.last.output == self.golden.output;

@@ -31,14 +31,125 @@ use metrics::{
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+/// All reproducible artifacts with one-line descriptions, in paper order
+/// (the `list` subcommand's table; ids come from [`all_ids`]).
+pub fn artifact_descriptions() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "fig3.6",
+            "mean heap-array-resize coverage of diversity transformations (SDS)",
+        ),
+        (
+            "fig3.7",
+            "mean immediate-free coverage of diversity transformations (SDS)",
+        ),
+        (
+            "fig3.8",
+            "heap-array-resize conditional coverage of diversity transformations (SDS)",
+        ),
+        (
+            "fig3.9",
+            "immediate-free conditional coverage of diversity transformations (SDS)",
+        ),
+        (
+            "fig3.10",
+            "overhead of diversity transformations (SDS, all loads)",
+        ),
+        (
+            "tab3.3",
+            "mean time to detection of diversity transformations (SDS)",
+        ),
+        (
+            "fig3.11",
+            "heap-array-resize coverage of comparison policies (SDS, rearrange-heap)",
+        ),
+        (
+            "fig3.12",
+            "immediate-free coverage of comparison policies (SDS, rearrange-heap)",
+        ),
+        (
+            "fig3.13",
+            "heap-array-resize conditional coverage of comparison policies (SDS)",
+        ),
+        (
+            "fig3.14",
+            "immediate-free conditional coverage of comparison policies (SDS)",
+        ),
+        (
+            "fig3.15",
+            "overhead of comparison policies (SDS, rearrange-heap)",
+        ),
+        (
+            "tab3.4",
+            "mean time to detection of comparison policies (SDS)",
+        ),
+        (
+            "fig4.3",
+            "side-by-side diversity-transformation overheads of SDS and MDS",
+        ),
+        (
+            "fig4.4",
+            "side-by-side comparison-policy overheads of SDS and MDS",
+        ),
+        ("fig4.5", "MDS overhead of diversity transformations"),
+        ("fig4.6", "MDS overhead of comparison policies"),
+        (
+            "fig4.7",
+            "MDS heap-array-resize coverage of diversity transformations",
+        ),
+        (
+            "fig4.8",
+            "MDS immediate-free coverage of diversity transformations",
+        ),
+        (
+            "fig4.9",
+            "MDS heap-array-resize conditional coverage of diversity transformations",
+        ),
+        (
+            "fig4.10",
+            "MDS immediate-free conditional coverage of diversity transformations",
+        ),
+        (
+            "fig4.11",
+            "MDS heap-array-resize coverage of comparison policies",
+        ),
+        (
+            "fig4.12",
+            "MDS immediate-free coverage of comparison policies",
+        ),
+        (
+            "fig4.13",
+            "MDS heap-array-resize conditional coverage of comparison policies",
+        ),
+        (
+            "fig4.14",
+            "MDS immediate-free conditional coverage of comparison policies",
+        ),
+        (
+            "tab4.5",
+            "mean time to detection of diversity transformations under MDS",
+        ),
+        (
+            "tab4.6",
+            "mean time to detection of comparison policies under MDS",
+        ),
+        (
+            "ch5",
+            "DSA scope-expansion demonstration (DS graph, markX, refined transform)",
+        ),
+        (
+            "tabR.1",
+            "detection-to-recovery study (fail-stop / retry / repair / mid-run cadence)",
+        ),
+    ]
+}
+
 /// All reproducible artifact ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
-    vec![
-        "fig3.6", "fig3.7", "fig3.8", "fig3.9", "fig3.10", "tab3.3", "fig3.11", "fig3.12",
-        "fig3.13", "fig3.14", "fig3.15", "tab3.4", "fig4.3", "fig4.4", "fig4.5", "fig4.6",
-        "fig4.7", "fig4.8", "fig4.9", "fig4.10", "fig4.11", "fig4.12", "fig4.13", "fig4.14",
-        "tab4.5", "tab4.6", "ch5", "tabR.1",
-    ]
+    artifact_descriptions()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect()
 }
 
 const HEAP_RESIZE: &str = "heap array resize 50%";
@@ -367,6 +478,15 @@ mod tests {
         assert!(ids.contains(&"tab4.6"));
         assert!(ids.contains(&"ch5"));
         assert!(ids.contains(&"tabR.1"));
+    }
+
+    #[test]
+    fn every_artifact_has_a_nonempty_description() {
+        let descr = artifact_descriptions();
+        assert_eq!(descr.len(), all_ids().len());
+        for (id, d) in descr {
+            assert!(!d.is_empty(), "{id} needs a description");
+        }
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! ```
 
 use dpmr_harness::metrics::CampaignConfig;
-use dpmr_harness::{all_ids, reproduce};
+use dpmr_harness::{all_ids, artifact_descriptions, reproduce};
 use dpmr_workloads::WorkloadParams;
 use std::collections::BTreeSet;
 
 const USAGE: &str =
-    "usage: dpmr-harness <all|quick|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N]";
+    "usage: dpmr-harness <all|quick|list|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N]";
 
 /// The value of flag `args[i]`, or a usage error and exit 2 when the
 /// value is missing or unparsable.
@@ -46,6 +46,13 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "list" => {
+                println!("known artifact ids:");
+                for (id, descr) in artifact_descriptions() {
+                    println!("  {id:<8} {descr}");
+                }
+                std::process::exit(0);
+            }
             "all" => ids.extend(all_ids().into_iter().map(String::from)),
             "quick" => {
                 ids.extend(all_ids().into_iter().map(String::from));

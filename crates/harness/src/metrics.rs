@@ -2,9 +2,7 @@
 //! overhead, and detection latency, computed from fault-injection
 //! campaigns across variant builds.
 
-use crate::experiment::{
-    prepare, Experiment, Measurement, PreparedApp, RecoveryMeasurement, Variant, CYCLES_PER_MSEC,
-};
+use crate::experiment::{prepare, Measurement, PreparedApp, RecoveryMeasurement, CYCLES_PER_MSEC};
 use dpmr_core::prelude::*;
 use dpmr_fi::FaultType;
 use dpmr_workloads::{AppSpec, WorkloadParams};
@@ -244,16 +242,19 @@ fn run_site_unit(
     variants: &[(String, DpmrConfig)],
     cc: &CampaignConfig,
 ) -> SiteOutcome {
+    use std::rc::Rc;
+    // Injection depends only on (site, fault), each variant's transform +
+    // bytecode lowering only on the injected module, and the external
+    // registries on nothing at all: build each once, not once per run.
+    let faulty = dpmr_fi::inject(&p.module, &u.site, u.fault);
+    let faulty_code = Rc::new(dpmr_vm::lower::lower(&faulty));
+    let base_reg = Rc::new(dpmr_vm::external::Registry::with_base());
+    let wrap_reg = Rc::new(registry_with_wrappers());
     // stdapp first: establishes StdNotAllDet for this site.
     let mut std_not_all_det = false;
     let mut std_measurements = Vec::new();
     for run in 0..cc.runs {
-        let m = p.run(&Experiment {
-            app: p.app.name,
-            variant: Variant::FiStdapp,
-            fault: Some((u.site, u.fault)),
-            run,
-        });
+        let m = p.run_built(&faulty, Rc::clone(&faulty_code), Rc::clone(&base_reg), run);
         if m.sf && !m.co && !m.ndet {
             std_not_all_det = true;
         }
@@ -262,15 +263,10 @@ fn run_site_unit(
     let variant_measurements = variants
         .iter()
         .map(|(_, cfg)| {
+            let transformed = transform(&faulty, cfg).expect("transform");
+            let code = Rc::new(dpmr_vm::lower::lower(&transformed));
             (0..cc.runs)
-                .map(|run| {
-                    p.run(&Experiment {
-                        app: p.app.name,
-                        variant: Variant::FiDpmr(cfg.clone()),
-                        fault: Some((u.site, u.fault)),
-                        run,
-                    })
-                })
+                .map(|run| p.run_built(&transformed, Rc::clone(&code), Rc::clone(&wrap_reg), run))
                 .collect()
         })
         .collect();
@@ -468,13 +464,22 @@ fn run_recovery_site_unit(
     configs: &[RecoveryConfig],
     cc: &CampaignConfig,
 ) -> Vec<(String, RecoveryMeasurement)> {
-    // Injection and transformation depend only on (site, fault, base):
-    // do them once, not once per (config, run).
+    // Injection, transformation, bytecode lowering, and the wrapper
+    // registry depend only on (site, fault, base): build them once, not
+    // once per (config, run).
     let transformed = p.prepare_recovery(&u.site, u.fault, base);
+    let code = std::rc::Rc::new(dpmr_vm::lower::lower(&transformed));
+    let registry = std::rc::Rc::new(registry_with_wrappers());
     let mut out = Vec::new();
     for rec in configs {
         for run in 0..cc.runs {
-            let m = p.run_recovery_prepared(&transformed, *rec, run);
+            let m = p.run_recovery_lowered(
+                &transformed,
+                std::rc::Rc::clone(&code),
+                std::rc::Rc::clone(&registry),
+                *rec,
+                run,
+            );
             out.push((rec.name(), m));
         }
     }

@@ -279,6 +279,22 @@ pub enum Term {
     Unreachable,
 }
 
+impl Term {
+    /// Block targets this terminator may transfer control to, in operand
+    /// order (empty for returns and `unreachable`) — the control-flow
+    /// metadata consumers like the verifier's block-reference checks and
+    /// bytecode lowering need without matching every variant.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Br(t) => vec![*t],
+            Term::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Term::Ret(_) | Term::Unreachable => Vec::new(),
+        }
+    }
+}
+
 /// A basic block: straight-line instructions plus one terminator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {
@@ -383,6 +399,19 @@ mod tests {
             }
         );
         assert_eq!(Const::i64(7), Const::Int { value: 7, bits: 64 });
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Term::Br(BlockId(3)).successors(), vec![BlockId(3)]);
+        let cb = Term::CondBr {
+            cond: Operand::Const(Const::i64(1)),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(cb.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Term::Ret(None).successors().is_empty());
+        assert!(Term::Unreachable.successors().is_empty());
     }
 
     #[test]

@@ -53,6 +53,22 @@ impl Function {
         self.regs[r.0 as usize].ty
     }
 
+    /// Start offsets of each basic block in a linearized layout of the
+    /// function where every instruction and every terminator occupies one
+    /// slot: block `b` begins at `starts[b]`, and the slot after the last
+    /// block is `starts[blocks.len()]` (the total linear length). This is
+    /// the pc layout contract between the IR and bytecode-lowering layers.
+    pub fn linear_block_starts(&self) -> Vec<u32> {
+        let mut starts = Vec::with_capacity(self.blocks.len() + 1);
+        let mut pc = 0u32;
+        for b in &self.blocks {
+            starts.push(pc);
+            pc += b.instrs.len() as u32 + 1;
+        }
+        starts.push(pc);
+        starts
+    }
+
     /// Return type of the function, looked up in `tt`.
     pub fn ret_ty(&self, tt: &TypeTable) -> TypeId {
         match tt.kind(self.ty) {
@@ -247,6 +263,29 @@ mod tests {
         let b = m.declare_external("strcmp", fty);
         assert_eq!(a, b);
         assert_eq!(m.externals.len(), 1);
+    }
+
+    #[test]
+    fn linear_block_starts_count_instrs_and_terminators() {
+        use crate::instr::{Instr, Term};
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let fty = m.types.function(i64t, vec![]);
+        let mut b0 = Block::new();
+        b0.instrs.push(Instr::Abort { code: 0 });
+        b0.instrs.push(Instr::Abort { code: 0 });
+        b0.term = Term::Br(crate::instr::BlockId(1));
+        let mut b1 = Block::new();
+        b1.term = Term::Ret(None);
+        let f = Function {
+            name: "f".into(),
+            ty: fty,
+            params: vec![],
+            regs: vec![],
+            blocks: vec![b0, b1],
+        };
+        // b0 holds 2 instrs + 1 terminator, b1 holds 1 terminator.
+        assert_eq!(f.linear_block_starts(), vec![0, 3, 4]);
     }
 
     #[test]

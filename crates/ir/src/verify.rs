@@ -185,16 +185,12 @@ fn verify_function(ctx: &mut Ctx<'_>, _id: FuncId) {
         for ins in &block.instrs {
             verify_instr(ctx, ins, bi);
         }
+        for t in block.term.successors() {
+            ctx.check_block_ref(t);
+        }
         match &block.term {
-            Term::Br(t) => ctx.check_block_ref(*t),
-            Term::CondBr {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
+            Term::CondBr { cond, .. } => {
                 ctx.operand_ty(cond);
-                ctx.check_block_ref(*then_bb);
-                ctx.check_block_ref(*else_bb);
             }
             Term::Ret(v) => {
                 let ret = f.ret_ty(&m.types);
@@ -205,7 +201,7 @@ fn verify_function(ctx: &mut Ctx<'_>, _id: FuncId) {
                     _ => {}
                 }
             }
-            Term::Unreachable => {}
+            Term::Br(_) | Term::Unreachable => {}
         }
     }
 }

@@ -70,6 +70,7 @@ pub use dpmr_core::config::{RecoveryConfig, RecoveryPolicy};
 
 use dpmr_core::config::DpmrConfig;
 use dpmr_ir::module::Module;
+use dpmr_vm::code::LoweredCode;
 use dpmr_vm::external::Registry;
 use dpmr_vm::interp::{
     DetectionTrap, ExitStatus, Interp, InterpSnapshot, RunConfig, RunOutcome, TrapAction,
@@ -165,21 +166,39 @@ impl RecoveryOutcome {
 /// related work describes).
 pub struct RecoveryDriver<'m> {
     module: &'m Module,
+    code: Rc<LoweredCode>,
     registry: Rc<Registry>,
     run_cfg: RunConfig,
     rec_cfg: RecoveryConfig,
 }
 
 impl<'m> RecoveryDriver<'m> {
-    /// Creates a driver for an already-transformed module.
+    /// Creates a driver for an already-transformed module (lowering it to
+    /// bytecode once; callers running the same module under several
+    /// policies or seeds should share the lowering via
+    /// [`RecoveryDriver::with_code`]).
     pub fn new(
         module: &'m Module,
         registry: Rc<Registry>,
         run_cfg: RunConfig,
         rec_cfg: RecoveryConfig,
     ) -> RecoveryDriver<'m> {
+        let code = Rc::new(dpmr_vm::lower::lower(module));
+        RecoveryDriver::with_code(module, code, registry, run_cfg, rec_cfg)
+    }
+
+    /// Like [`RecoveryDriver::new`] but reusing already-lowered bytecode
+    /// (`code` must have been lowered from `module`).
+    pub fn with_code(
+        module: &'m Module,
+        code: Rc<LoweredCode>,
+        registry: Rc<Registry>,
+        run_cfg: RunConfig,
+        rec_cfg: RecoveryConfig,
+    ) -> RecoveryDriver<'m> {
         RecoveryDriver {
             module,
+            code,
             registry,
             run_cfg,
             rec_cfg,
@@ -200,7 +219,12 @@ impl<'m> RecoveryDriver<'m> {
 
     /// Executes the module under the configured recovery policy.
     pub fn run(&self) -> RecoveryOutcome {
-        let mut interp = Interp::new(self.module, &self.run_cfg, Rc::clone(&self.registry));
+        let mut interp = Interp::with_code(
+            self.module,
+            Rc::clone(&self.code),
+            &self.run_cfg,
+            Rc::clone(&self.registry),
+        );
         match self.rec_cfg.policy {
             RecoveryPolicy::Abort | RecoveryPolicy::FailStop => {
                 let out = interp.run(self.run_cfg.args.clone());
@@ -540,6 +564,7 @@ mod tests {
             rep_addr: Some(0x1000_0110),
             cycle: 5,
             instrs: 3,
+            site: 0,
         };
         assert_eq!(h.on_detection(&t), TrapAction::Repair);
         assert_eq!(h.on_detection(&t), TrapAction::Repair);

@@ -1,0 +1,181 @@
+//! The pre-resolved linear bytecode executed by the interpreter.
+//!
+//! [`crate::lower`] compiles every function of a module into this form at
+//! load time; [`crate::interp::Interp`] executes it with a single flat
+//! `pc` per frame. The design goal is that **nothing that can be resolved
+//! once at load is re-resolved per executed instruction**:
+//!
+//! * constants are pre-normalized into [`Value`]s ([`Opnd::Imm`]),
+//! * registers are dense slot indices,
+//! * type sizes, struct field offsets, array element sizes, and scalar
+//!   load/store kinds are baked into the op,
+//! * block boundaries are gone — jump targets are absolute pcs into one
+//!   module-wide op vector,
+//! * callees are pre-resolved ([`FuncId`] / external-declaration index),
+//! * `dpmr.check` sites carry stable check-site ids.
+//!
+//! The bytecode is a *pure* function of the IR module: the text format
+//! remains the unlowered source of truth, and lowering the same module
+//! twice yields identical code (so snapshots taken by one interpreter
+//! restore into any other interpreter of the same module).
+
+use crate::value::Value;
+use dpmr_ir::instr::{BinOp, CastOp, CmpPred};
+use dpmr_ir::module::FuncId;
+
+/// A pre-resolved operand: evaluation is one register-slot read or an
+/// immediate, never a constant normalization or table lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Opnd {
+    /// Value of virtual-register slot `n`.
+    Reg(u32),
+    /// Immediate: integer constants pre-sign-normalized, floats widened,
+    /// nulls and function addresses materialized as pointers.
+    Imm(Value),
+    /// Address of global `n` (resolved through the interpreter's global
+    /// address table — the only operand kind with per-run state).
+    Global(u32),
+}
+
+// The scalar memory encodings live in `crate::value` (one source of
+// truth shared with `load_scalar`/`store_scalar`); ops embed them.
+pub use crate::value::{LoadKind, StoreKind};
+
+/// One bytecode operation. Each IR instruction and each block terminator
+/// lowers to exactly one `Op`, so instruction counts and virtual-cycle
+/// accounting are bit-identical to the tree-walking engine this replaced.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Stack allocation; `size` = `sizeof(ty)` precomputed.
+    Alloca {
+        dst: u32,
+        count: Option<Opnd>,
+        size: u64,
+    },
+    /// Heap allocation; `esize` = `sizeof(elem)` precomputed.
+    Malloc { dst: u32, count: Opnd, esize: u64 },
+    /// Heap deallocation.
+    Free { ptr: Opnd },
+    /// Scalar load; decode pre-resolved from the destination's type.
+    Load { dst: u32, ptr: Opnd, kind: LoadKind },
+    /// Scalar store; encode pre-resolved from the value operand's type.
+    Store {
+        ptr: Opnd,
+        value: Opnd,
+        kind: StoreKind,
+    },
+    /// Struct/union field address; `off` precomputed from the layout.
+    FieldAddr { dst: u32, base: Opnd, off: u64 },
+    /// Array element address; `esize` precomputed.
+    IndexAddr {
+        dst: u32,
+        base: Opnd,
+        index: Opnd,
+        esize: u64,
+    },
+    /// Scalar conversion; `dbits` = destination width precomputed.
+    Cast {
+        dst: u32,
+        op: CastOp,
+        src: Opnd,
+        dbits: u16,
+    },
+    /// Binary op; destination width and pointer-ness precomputed.
+    Bin {
+        dst: u32,
+        op: BinOp,
+        lhs: Opnd,
+        rhs: Opnd,
+        bits: u16,
+        ptr_result: bool,
+    },
+    /// Comparison (i8 result, 0 or 1).
+    Cmp {
+        dst: u32,
+        pred: CmpPred,
+        lhs: Opnd,
+        rhs: Opnd,
+    },
+    /// Register copy / immediate materialization.
+    Copy { dst: u32, src: Opnd },
+    /// Direct IR-to-IR call (callee entry pc is `func_entry[f]`).
+    CallDirect {
+        dst: Option<u32>,
+        f: FuncId,
+        args: Box<[Opnd]>,
+    },
+    /// Indirect call through a function-pointer value.
+    CallIndirect {
+        dst: Option<u32>,
+        target: Opnd,
+        args: Box<[Opnd]>,
+    },
+    /// External call; `ext` indexes the interpreter's pre-resolved
+    /// handler table (built from the module's external declarations).
+    CallExternal {
+        dst: Option<u32>,
+        ext: u32,
+        args: Box<[Opnd]>,
+    },
+    /// `dpmr.check` with a stable check-site id. `a_reg` carries the
+    /// in-flight register slot and its store encoding when the
+    /// application operand is a register (the repair-from-replica path).
+    DpmrCheck {
+        a: Opnd,
+        b: Opnd,
+        ptrs: Option<(Opnd, Opnd)>,
+        site: u32,
+        a_reg: Option<(u32, StoreKind)>,
+    },
+    /// Uniform random integer in `[lo, hi]`.
+    RandInt { dst: u32, lo: Opnd, hi: Opnd },
+    /// Usable size of a live heap buffer.
+    HeapBufSize { dst: u32, ptr: Opnd },
+    /// Append a scalar to the output channel.
+    Output { value: Opnd },
+    /// Fault-injection site marker.
+    FiMarker { site: u32 },
+    /// Program-issued abort.
+    Abort { code: i64 },
+    /// Unconditional jump to an absolute pc.
+    Jump { target: u32 },
+    /// Conditional jump; nonzero `cond` takes `then_pc`.
+    CondJump {
+        cond: Opnd,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    /// Function return with an optional value.
+    Ret { value: Option<Opnd> },
+    /// Unreachable control flow (traps if executed).
+    Unreachable,
+    /// Landing pad for a branch whose target block does not exist in the
+    /// IR: preserves the tree-walker's runtime "jump to nonexistent
+    /// block" trap (uncounted and uncharged, like the old bounds check).
+    BadBlock { block: u32 },
+    /// An instruction whose types were invalid at lowering (e.g.
+    /// `fieldaddr` through a non-pointer). Evaluates `args` in operand
+    /// order — so use-of-unset-register traps still win — then raises
+    /// `Invalid(msg)`, exactly as the tree-walker did at execution.
+    Invalid { args: Box<[Opnd]>, msg: Box<str> },
+}
+
+/// A whole module compiled to linear bytecode.
+#[derive(Debug, Clone)]
+pub struct LoweredCode {
+    /// Every function's ops, concatenated; jump targets and
+    /// [`LoweredCode::func_entry`] are absolute indices into this vector.
+    pub ops: Vec<Op>,
+    /// Entry pc of each function, indexed by `FuncId`.
+    pub func_entry: Vec<u32>,
+    /// Number of `dpmr.check` sites (site ids are `0..check_sites`,
+    /// assigned in function-major, pc order — stable for a given module).
+    pub check_sites: u32,
+}
+
+impl LoweredCode {
+    /// Entry pc of function `f`.
+    pub fn entry(&self, f: FuncId) -> u32 {
+        self.func_entry[f.0 as usize]
+    }
+}

@@ -11,11 +11,13 @@
 //! # Execution engine
 //!
 //! Execution is a flat dispatch loop over an explicit stack of
-//! [`Frame`]s — *not* host-stack recursion. Every piece of per-activation
-//! state (registers, function id, block index, instruction index,
-//! simulated stack mark, return destination) lives in the `Vec<Frame>`,
-//! which makes three things possible that a recursive tree-walker cannot
-//! do:
+//! [`Frame`]s, running the **pre-resolved linear bytecode** of
+//! [`crate::code`] (compiled from the IR at module load by
+//! [`crate::lower`]) — *not* host-stack recursion and *not* a per-visit
+//! walk of the IR tree. Every piece of per-activation state (registers,
+//! function id, flat program counter, simulated stack mark, return
+//! destination) lives in the `Vec<Frame>`, which makes three things
+//! possible that a recursive tree-walker cannot do:
 //!
 //! * **Mid-run checkpoints** — [`Interp::snapshot`] captures the live
 //!   frames, so a checkpoint is valid between *any* two instructions, and
@@ -24,7 +26,11 @@
 //!   self-contained value; schedulers can carry it across threads.
 //! * **Deep IR recursion** — call depth is a frame-count check against
 //!   [`RunConfig::max_depth`], not a host-stack limit; chains of 10⁵
-//!   simulated calls run in constant host-stack space.
+//!   simulated calls run in constant host stack space.
+//!
+//! Because lowering is a pure function of the module, the `pc` stored in
+//! each frame is portable: a snapshot taken by one interpreter restores
+//! into any interpreter of the same module.
 //!
 //! External (libc) handlers may re-enter the interpreter through
 //! [`Interp::call`]; such nested activations run their own bounded
@@ -32,11 +38,12 @@
 //! by handler nesting, e.g. `qsort` calling an IR comparator).
 
 use crate::alloc::{AllocStats, Allocator, FreeOutcome};
-use crate::external::Registry;
+use crate::code::{LoadKind, LoweredCode, Op, Opnd, StoreKind};
+use crate::external::{Handler, Registry};
 use crate::mem::{Mem, MemConfig, MemFault, MemSnapshot};
-use crate::value::{load_scalar, normalize_int, scalar_bytes, store_scalar, Value};
-use dpmr_ir::instr::{BinOp, Callee, CastOp, CmpPred, Const, Instr, Operand, RegId, Term};
-use dpmr_ir::module::{FuncId, GlobalInit, Module};
+use crate::value::{normalize_int, scalar_bytes, store_scalar, Value};
+use dpmr_ir::instr::{BinOp, CastOp, CmpPred};
+use dpmr_ir::module::{ExternalId, FuncId, GlobalInit, Module};
 use dpmr_ir::types::{TypeId, TypeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,7 +56,10 @@ use std::rc::Rc;
 pub const FUNC_BASE: u64 = 0x0f00_0000;
 
 /// Mid-run checkpoints retained by the cadence ring (oldest dropped
-/// first); bounds checkpoint memory to a few live-prefix copies.
+/// first); bounds checkpoint memory to a few live-prefix copies. One
+/// extra *pinned* checkpoint — the nearest one preceding the first
+/// fault-injection marker — survives rotation so long runs keep a
+/// pre-injection rollback point (see [`Interp::take_auto_checkpoints`]).
 pub const AUTO_CHECKPOINTS_KEPT: usize = 8;
 
 /// Reasons the simulated process crashed (natural detection).
@@ -117,6 +127,10 @@ pub struct DetectionTrap {
     pub cycle: u64,
     /// Instructions executed when the detection fired.
     pub instrs: u64,
+    /// Stable id of the `dpmr.check` site that fired (assigned at
+    /// lowering, in function-major pc order; identical across runs of the
+    /// same module).
+    pub site: u32,
 }
 
 /// A trap handler's verdict on one detection.
@@ -145,35 +159,35 @@ pub trait TrapHandler {
 /// interpreter used to keep on the host call stack, reified so it can be
 /// cloned into checkpoints and carried across threads.
 ///
-/// Layout: `(func, block, ip)` locate the next instruction (`ip` equal to
-/// the block's instruction count means the terminator executes next);
-/// `regs` holds the virtual registers (parameters filled at entry, the
-/// rest unset until first assignment); `stack_mark` is the simulated
-/// stack pointer at entry, released when the frame pops; `ret_dst` names
-/// the caller register receiving the return value, when the call has one.
+/// Layout: `pc` is the next op's absolute index into the module's lowered
+/// bytecode ([`crate::code::LoweredCode::ops`]) — a single flat counter
+/// replacing the old `(block, ip)` pair; because lowering is pure, the pc
+/// means the same thing in every interpreter of the same module. `func`
+/// names the function the pc lies in; `regs` holds the virtual registers
+/// (parameters filled at entry, the rest unset until first assignment);
+/// `stack_mark` is the simulated stack pointer at entry, released when
+/// the frame pops; `ret_dst` names the caller register slot receiving the
+/// return value, when the call has one.
 #[derive(Debug, Clone)]
 pub struct Frame {
     /// Function being executed.
     pub func: FuncId,
-    /// Current basic-block index.
-    pub block: u32,
-    /// Next instruction index within the block (`== instrs.len()` means
-    /// the block terminator is next).
-    pub ip: u32,
+    /// Absolute pc of the next op within the module's lowered code.
+    pub pc: u32,
     regs: Vec<Option<Value>>,
     stack_mark: usize,
-    ret_dst: Option<RegId>,
+    ret_dst: Option<u32>,
 }
 
 /// Per-function metadata pre-resolved when the interpreter loads a
-/// module, so the dispatch loop and instruction handlers index flat
-/// vectors instead of re-walking module structures on every instruction.
+/// module: what frame construction needs (everything the *ops* need is
+/// already baked into the bytecode by [`crate::lower`]).
 #[derive(Debug, Clone)]
 struct FuncMeta {
-    /// Registers receiving the arguments, in order.
-    params: Vec<RegId>,
-    /// Type of every virtual register (indexed by register number).
-    reg_tys: Vec<TypeId>,
+    /// Register slots receiving the arguments, in order.
+    params: Vec<u32>,
+    /// Number of virtual registers.
+    nregs: usize,
 }
 
 /// A point-in-time copy of all interpreter state that lives *between*
@@ -340,17 +354,21 @@ mod cost {
     pub const OUTPUT: u64 = 12;
 }
 
-/// What one executed instruction asks the dispatch loop to do next.
+/// What one executed op asks the dispatch loop to do next.
 enum Flow {
-    /// Advance to the next instruction in the current frame.
+    /// Advance to the next op (pc + 1).
     Next,
+    /// Transfer to an absolute pc within the current frame.
+    Jump(u32),
     /// Push a new frame for an IR-to-IR call (direct or resolved
     /// indirect); the dispatch loop continues in the callee.
     Call {
         f: FuncId,
         args: Vec<Value>,
-        dst: Option<RegId>,
+        dst: Option<u32>,
     },
+    /// Pop the current frame, delivering an optional return value.
+    Ret(Option<Value>),
 }
 
 /// How a dispatch loop ended.
@@ -371,9 +389,14 @@ pub struct Interp<'m> {
     /// Heap allocator.
     pub alloc: Allocator,
     global_addrs: Vec<u64>,
-    /// Per-function metadata pre-resolved at module load.
+    /// The module compiled to linear bytecode at load.
+    code: Rc<LoweredCode>,
+    /// Per-function frame-construction metadata.
     meta: Vec<FuncMeta>,
-    externals: Rc<Registry>,
+    /// External handlers pre-resolved per external declaration (`None`
+    /// for names absent from the registry; calling one traps at the call
+    /// site, as the per-call name lookup used to).
+    ext_handlers: Vec<Option<Handler>>,
     rng: StdRng,
     clock: u64,
     instrs: u64,
@@ -397,18 +420,38 @@ pub struct Interp<'m> {
     checkpoint_cadence: Option<u64>,
     next_checkpoint: u64,
     auto_checkpoints: VecDeque<InterpSnapshot>,
+    /// The nearest pre-injection checkpoint rescued from ring rotation
+    /// (kept so long runs cannot rotate every pre-injection rollback
+    /// point out of the bounded ring).
+    pinned_checkpoint: Option<InterpSnapshot>,
     /// Absolute instruction count at which `run_steps` pauses.
     pause_at: Option<u64>,
 }
 
 impl<'m> Interp<'m> {
-    /// Creates an interpreter, allocating and initializing all globals and
-    /// pre-resolving per-function metadata.
+    /// Creates an interpreter: lowers the module to bytecode, allocates
+    /// and initializes all globals, and pre-resolves per-function
+    /// metadata and external handlers.
     ///
     /// # Panics
-    /// Panics if the module's globals cannot be laid out (unsized types) —
-    /// a program construction error, not a simulated fault.
+    /// Panics if the module's globals cannot be laid out (unsized types)
+    /// or a scalar register has a non-scalar type — program construction
+    /// errors, not simulated faults.
     pub fn new(module: &'m Module, cfg: &RunConfig, externals: Rc<Registry>) -> Self {
+        Self::with_code(module, Rc::new(crate::lower::lower(module)), cfg, externals)
+    }
+
+    /// Like [`Interp::new`] but reusing already-lowered bytecode (`code`
+    /// must have been lowered from this `module`). Lowering is pure, so
+    /// one `LoweredCode` can back any number of interpreters — callers
+    /// that execute the same module many times (benchmark loops, trial
+    /// campaigns) amortize the load-time compilation this way.
+    pub fn with_code(
+        module: &'m Module,
+        code: Rc<LoweredCode>,
+        cfg: &RunConfig,
+        externals: Rc<Registry>,
+    ) -> Self {
         let mut mem = Mem::new(&cfg.mem);
         // Pass 1: allocate.
         let mut global_addrs = Vec::with_capacity(module.globals.len());
@@ -423,17 +466,23 @@ impl<'m> Interp<'m> {
             .funcs
             .iter()
             .map(|f| FuncMeta {
-                params: f.params.clone(),
-                reg_tys: f.regs.iter().map(|r| r.ty).collect(),
+                params: f.params.iter().map(|p| p.0).collect(),
+                nregs: f.regs.len(),
             })
+            .collect();
+        let ext_handlers = module
+            .externals
+            .iter()
+            .map(|e| externals.get(&e.name))
             .collect();
         let mut it = Interp {
             module,
             mem,
             alloc: Allocator::new(),
             global_addrs,
+            code,
             meta,
-            externals,
+            ext_handlers,
             rng: StdRng::seed_from_u64(cfg.seed),
             clock: 0,
             instrs: 0,
@@ -451,6 +500,7 @@ impl<'m> Interp<'m> {
             checkpoint_cadence: None,
             next_checkpoint: u64::MAX,
             auto_checkpoints: VecDeque::new(),
+            pinned_checkpoint: None,
             pause_at: None,
         };
         // Pass 2: initialize.
@@ -515,9 +565,9 @@ impl<'m> Interp<'m> {
         self.global_addrs[g.0 as usize]
     }
 
-    /// Type of register `r` in function `f` (pre-resolved metadata).
-    fn reg_ty(&self, f: FuncId, r: RegId) -> TypeId {
-        self.meta[f.0 as usize].reg_tys[r.0 as usize]
+    /// The module's lowered bytecode.
+    pub fn code(&self) -> &LoweredCode {
+        &self.code
     }
 
     /// Installs a recovery trap handler: `dpmr.check` mismatches become
@@ -551,8 +601,19 @@ impl<'m> Interp<'m> {
     }
 
     /// Drains the cadence checkpoints collected so far, oldest first.
+    ///
+    /// When ring rotation would have discarded every checkpoint preceding
+    /// the first fault-injection marker, the nearest such *pre-injection*
+    /// checkpoint is pinned outside the ring and returned here as the
+    /// first element — so the recovery driver's escalating rollback
+    /// always finds a pre-injection restore point, no matter how long the
+    /// run kept rotating after the injection. (The result can therefore
+    /// hold up to [`AUTO_CHECKPOINTS_KEPT`] + 1 checkpoints, still in
+    /// ascending clock order.)
     pub fn take_auto_checkpoints(&mut self) -> Vec<InterpSnapshot> {
-        self.auto_checkpoints.drain(..).collect()
+        let mut out: Vec<InterpSnapshot> = self.pinned_checkpoint.take().into_iter().collect();
+        out.extend(self.auto_checkpoints.drain(..));
+        out
     }
 
     /// Captures a checkpoint of all between-instruction interpreter
@@ -823,13 +884,13 @@ impl<'m> Interp<'m> {
         }
     }
 
-    /// Pushes a frame for `f`, enforcing the frame-count depth guard and
-    /// the callee's arity.
+    /// Pushes a frame for `f` at its entry pc, enforcing the frame-count
+    /// depth guard and the callee's arity.
     fn push_frame(
         &mut self,
         f: FuncId,
         args: Vec<Value>,
-        ret_dst: Option<RegId>,
+        ret_dst: Option<u32>,
     ) -> Result<(), Trap> {
         if self.frames.len() as u32 >= self.max_frames {
             return Err(Trap::Mem(MemFault {
@@ -846,14 +907,13 @@ impl<'m> Interp<'m> {
                 meta.params.len()
             )));
         }
-        let mut regs: Vec<Option<Value>> = vec![None; meta.reg_tys.len()];
+        let mut regs: Vec<Option<Value>> = vec![None; meta.nregs];
         for (&p, a) in meta.params.iter().zip(args) {
-            regs[p.0 as usize] = Some(a);
+            regs[p as usize] = Some(a);
         }
         self.frames.push(Frame {
             func: f,
-            block: 0,
-            ip: 0,
+            pc: self.code.entry(f),
             regs,
             stack_mark: self.mem.stack_mark(),
             ret_dst,
@@ -872,12 +932,19 @@ impl<'m> Interp<'m> {
 
     /// Takes a cadence checkpoint when the virtual clock crossed the next
     /// boundary (called only at top-level instruction boundaries, where
-    /// every frame's registers are in place).
+    /// every frame's registers are in place). When the full ring rotates,
+    /// the dropped checkpoint is pinned if it is the nearest one still
+    /// preceding the first executed fault-injection marker.
     fn maybe_auto_checkpoint(&mut self) {
         if self.clock >= self.next_checkpoint {
             if let Some(c) = self.checkpoint_cadence {
                 if self.auto_checkpoints.len() == AUTO_CHECKPOINTS_KEPT {
-                    self.auto_checkpoints.pop_front();
+                    let dropped = self.auto_checkpoints.pop_front().expect("len checked");
+                    if let Some(fc) = self.first_fi_cycle {
+                        if dropped.clock() <= fc {
+                            self.pinned_checkpoint = Some(dropped);
+                        }
+                    }
                 }
                 self.auto_checkpoints.push_back(self.snapshot());
                 self.next_checkpoint = self.clock + c;
@@ -885,14 +952,15 @@ impl<'m> Interp<'m> {
         }
     }
 
-    /// The flat dispatch loop: executes frames above `base` until the
-    /// base activation returns, a trap unwinds to `base`, or (top level
-    /// only) the pause budget is reached. All simulated execution state
-    /// stays in `self.frames`; the host stack does not grow with
-    /// simulated call depth.
-    #[allow(clippy::too_many_lines)]
+    /// The flat dispatch loop: executes the lowered bytecode of frames
+    /// above `base` until the base activation returns, a trap unwinds to
+    /// `base`, or (top level only) the pause budget is reached. All
+    /// simulated execution state stays in `self.frames`; the host stack
+    /// does not grow with simulated call depth.
     fn dispatch(&mut self, base: usize) -> Result<DispatchEnd, Trap> {
-        let module: &'m Module = self.module;
+        // The bytecode is behind an Rc so ops can be borrowed across the
+        // `&mut self` op execution (the lowered code is immutable).
+        let code = Rc::clone(&self.code);
         loop {
             if base == 0 {
                 self.maybe_auto_checkpoint();
@@ -903,76 +971,38 @@ impl<'m> Interp<'m> {
                 }
             }
             let fi = self.frames.len() - 1;
-            let (func, block, ip) = {
-                let fr = &self.frames[fi];
-                (fr.func, fr.block as usize, fr.ip as usize)
-            };
-            let f = module.func(func);
-            if block >= f.blocks.len() {
+            let pc = self.frames[fi].pc;
+            let op = &code.ops[pc as usize];
+            // A branch to a nonexistent block lands on a pad; the trap is
+            // uncounted and uncharged, like the old block-bounds check.
+            if let Op::BadBlock { block } = op {
                 self.unwind(base);
                 return Err(Trap::Invalid(format!("jump to nonexistent block b{block}")));
             }
-            let blk = &f.blocks[block];
             self.instrs += 1;
             if self.instrs > self.max_instrs {
                 self.unwind(base);
                 return Err(Trap::Timeout);
             }
-            if ip < blk.instrs.len() {
-                // Take the registers out of the frame for the duration of
-                // the step (a pointer swap): `step` gets disjoint mutable
-                // access to them and `self`, and nested calls pushed by
-                // external handlers never touch a suspended frame.
-                let mut regs = std::mem::take(&mut self.frames[fi].regs);
-                let flow = self.step(func, &mut regs, &blk.instrs[ip]);
-                self.frames[fi].regs = regs;
-                match flow {
-                    Ok(Flow::Next) => self.frames[fi].ip += 1,
-                    Ok(Flow::Call { f, args, dst }) => {
-                        // Return lands on the instruction after the call.
-                        self.frames[fi].ip += 1;
-                        if let Err(t) = self.push_frame(f, args, dst) {
-                            self.unwind(base);
-                            return Err(t);
-                        }
-                    }
-                    Err(t) => {
+            // Take the registers out of the frame for the duration of the
+            // step (a pointer swap): `step_op` gets disjoint mutable
+            // access to them and `self`, and nested calls pushed by
+            // external handlers never touch a suspended frame.
+            let mut regs = std::mem::take(&mut self.frames[fi].regs);
+            let flow = self.step_op(&mut regs, op);
+            self.frames[fi].regs = regs;
+            match flow {
+                Ok(Flow::Next) => self.frames[fi].pc = pc + 1,
+                Ok(Flow::Jump(target)) => self.frames[fi].pc = target,
+                Ok(Flow::Call { f, args, dst }) => {
+                    // Return lands on the op after the call.
+                    self.frames[fi].pc = pc + 1;
+                    if let Err(t) = self.push_frame(f, args, dst) {
                         self.unwind(base);
                         return Err(t);
                     }
                 }
-                continue;
-            }
-            // Terminator.
-            self.clock += cost::BRANCH;
-            let next = match &blk.term {
-                Term::Br(t) => Some(t.0),
-                Term::CondBr {
-                    cond,
-                    then_bb,
-                    else_bb,
-                } => {
-                    let c = match self.eval(&self.frames[fi].regs, cond) {
-                        Ok(c) => c,
-                        Err(t) => {
-                            self.unwind(base);
-                            return Err(t);
-                        }
-                    };
-                    Some(if c.is_zero() { else_bb.0 } else { then_bb.0 })
-                }
-                Term::Ret(v) => {
-                    self.clock += cost::RET;
-                    let val = match v {
-                        Some(op) => match self.eval(&self.frames[fi].regs, op) {
-                            Ok(v) => Some(v),
-                            Err(t) => {
-                                self.unwind(base);
-                                return Err(t);
-                            }
-                        },
-                        None => None,
-                    };
+                Ok(Flow::Ret(val)) => {
                     let fr = self.frames.pop().expect("a frame is live");
                     self.mem.stack_release(fr.stack_mark);
                     if self.frames.len() == base {
@@ -982,7 +1012,7 @@ impl<'m> Interp<'m> {
                         match val {
                             Some(v) => {
                                 let ci = self.frames.len() - 1;
-                                self.frames[ci].regs[d.0 as usize] = Some(v);
+                                self.frames[ci].regs[d as usize] = Some(v);
                             }
                             None => {
                                 self.unwind(base);
@@ -990,70 +1020,82 @@ impl<'m> Interp<'m> {
                             }
                         }
                     }
-                    None
                 }
-                Term::Unreachable => {
+                Err(t) => {
                     self.unwind(base);
-                    return Err(Trap::Invalid("executed unreachable".into()));
+                    return Err(t);
                 }
-            };
-            if let Some(b) = next {
-                let fr = &mut self.frames[fi];
-                fr.block = b;
-                fr.ip = 0;
             }
         }
     }
 
-    fn eval(&self, regs: &[Option<Value>], op: &Operand) -> Result<Value, Trap> {
-        match op {
-            Operand::Reg(r) => regs[r.0 as usize]
-                .ok_or_else(|| Trap::Invalid(format!("use of unset register r{}", r.0))),
-            Operand::Const(Const::Int { value, bits }) => {
-                Ok(Value::Int(normalize_int(*value, *bits)))
+    /// Evaluates a pre-resolved operand: one slot read or an immediate.
+    #[inline]
+    fn eval(&self, regs: &[Option<Value>], o: &Opnd) -> Result<Value, Trap> {
+        match *o {
+            Opnd::Reg(i) => {
+                regs[i as usize].ok_or_else(|| Trap::Invalid(format!("use of unset register r{i}")))
             }
-            Operand::Const(Const::Float { value, .. }) => Ok(Value::Float(*value)),
-            Operand::Const(Const::Null { .. }) => Ok(Value::Ptr(0)),
-            Operand::Global(g) => Ok(Value::Ptr(self.global_addrs[g.0 as usize])),
-            Operand::Func(fid) => Ok(Value::Ptr(FUNC_BASE + u64::from(fid.0))),
+            Opnd::Imm(v) => Ok(v),
+            Opnd::Global(g) => Ok(Value::Ptr(self.global_addrs[g as usize])),
         }
     }
 
+    /// Evaluates call arguments in operand order, then charges the call
+    /// cost — the one definition of call accounting shared by direct,
+    /// indirect, and external calls (their virtual-cycle behaviour must
+    /// never desynchronize).
+    fn eval_call_args(
+        &mut self,
+        regs: &[Option<Value>],
+        args: &[Opnd],
+    ) -> Result<Vec<Value>, Trap> {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(regs, a)?);
+        }
+        self.clock += cost::CALL + args.len() as u64;
+        Ok(vals)
+    }
+
+    /// Decodes a scalar from memory per its pre-resolved kind.
+    #[inline]
+    fn load_kind(&self, kind: LoadKind, a: u64) -> Result<Value, Trap> {
+        Ok(crate::value::load_kind(&self.mem, kind, a)?)
+    }
+
+    /// Encodes a scalar to memory per its pre-resolved kind.
+    #[inline]
+    fn store_kind(&mut self, a: u64, kind: StoreKind, v: Value) -> Result<(), Trap> {
+        Ok(crate::value::store_kind(&mut self.mem, kind, a, v)?)
+    }
+
+    /// Executes one op against the current frame's registers.
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self, f: FuncId, regs: &mut [Option<Value>], ins: &Instr) -> Result<Flow, Trap> {
-        match ins {
-            Instr::Alloca { dst, ty, count } => {
+    fn step_op(&mut self, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+        match op {
+            Op::Alloca { dst, count, size } => {
                 let n = match count {
-                    Some(op) => {
-                        let v = self.eval(regs, op)?.as_int();
+                    Some(o) => {
+                        let v = self.eval(regs, o)?.as_int();
                         u64::try_from(v.max(0)).unwrap_or(0)
                     }
                     None => 1,
                 };
-                let esz = self
-                    .module
-                    .types
-                    .size_of(*ty)
-                    .map_err(|e| Trap::Invalid(e.to_string()))?;
-                self.clock += cost::ALU + (esz * n) / 64;
-                let addr = self.mem.stack_alloc(esz * n)?;
-                regs[dst.0 as usize] = Some(Value::Ptr(addr));
+                self.clock += cost::ALU + (size * n) / 64;
+                let addr = self.mem.stack_alloc(size * n)?;
+                regs[*dst as usize] = Some(Value::Ptr(addr));
             }
-            Instr::Malloc { dst, elem, count } => {
+            Op::Malloc { dst, count, esize } => {
                 let n = self.eval(regs, count)?.as_int();
                 let n = u64::try_from(n.max(0)).unwrap_or(0);
-                let esz = self
-                    .module
-                    .types
-                    .size_of(*elem)
-                    .map_err(|e| Trap::Invalid(e.to_string()))?;
-                let size = esz.saturating_mul(n);
+                let size = esize.saturating_mul(n);
                 self.clock += cost::MALLOC_BASE + size / 16;
                 let p = self.alloc.malloc(&mut self.mem, size)?;
                 self.alloc.stats.peak_brk = self.alloc.stats.peak_brk.max(self.mem.brk() as u64);
-                regs[dst.0 as usize] = Some(Value::Ptr(p));
+                regs[*dst as usize] = Some(Value::Ptr(p));
             }
-            Instr::Free { ptr } => {
+            Op::Free { ptr } => {
                 let p = self.eval(regs, ptr)?.as_ptr();
                 self.clock += cost::FREE;
                 match self.alloc.free(&mut self.mem, p) {
@@ -1061,87 +1103,46 @@ impl<'m> Interp<'m> {
                     FreeOutcome::Abort(m) => return Err(Trap::Alloc(m)),
                 }
             }
-            Instr::Load { dst, ptr } => {
+            Op::Load { dst, ptr, kind } => {
                 let a = self.eval(regs, ptr)?.as_ptr();
-                let ty = self.reg_ty(f, *dst);
                 self.clock += cost::MEM;
                 self.touch(a);
-                let v = load_scalar(&self.mem, &self.module.types, ty, a)?;
-                regs[dst.0 as usize] = Some(v);
+                let v = self.load_kind(*kind, a)?;
+                regs[*dst as usize] = Some(v);
             }
-            Instr::Store { ptr, value } => {
+            Op::Store { ptr, value, kind } => {
                 let a = self.eval(regs, ptr)?.as_ptr();
                 let v = self.eval(regs, value)?;
                 self.clock += cost::MEM;
                 self.touch(a);
-                match value {
-                    Operand::Reg(r) => {
-                        let vty = self.reg_ty(f, *r);
-                        store_scalar(&mut self.mem, &self.module.types, vty, a, v)?;
-                    }
-                    Operand::Const(Const::Int { bits, .. }) => {
-                        let n = usize::from(*bits).div_ceil(8).max(1);
-                        let raw = (v.to_bits()).to_le_bytes();
-                        self.mem.write(a, &raw[..n])?;
-                    }
-                    Operand::Const(Const::Float { bits: 32, .. }) => {
-                        let fval = v.as_float() as f32;
-                        self.mem.write(a, &fval.to_le_bytes())?;
-                    }
-                    Operand::Const(Const::Float { .. }) => {
-                        self.mem.write(a, &v.as_float().to_le_bytes())?;
-                    }
-                    // Null, Global, Func: pointer-width stores.
-                    _ => self.mem.write_u64(a, v.to_bits())?,
-                }
+                self.store_kind(a, *kind, v)?;
             }
-            Instr::FieldAddr { dst, base, field } => {
+            Op::FieldAddr { dst, base, off } => {
                 let b = self.eval(regs, base)?.as_ptr();
-                let pointee = self
-                    .operand_pointee_ty(f, base)
-                    .ok_or_else(|| Trap::Invalid("field_addr through non-pointer".into()))?;
-                let off = match self.module.types.kind(pointee) {
-                    TypeKind::Struct { .. } => self
-                        .module
-                        .types
-                        .field_offset(pointee, *field as usize)
-                        .map_err(|e| Trap::Invalid(e.to_string()))?,
-                    TypeKind::Union { .. } => 0,
-                    other => {
-                        return Err(Trap::Invalid(format!("field_addr into {other:?}")));
-                    }
-                };
                 self.clock += cost::ADDR;
-                regs[dst.0 as usize] = Some(Value::Ptr(b.wrapping_add(off)));
+                regs[*dst as usize] = Some(Value::Ptr(b.wrapping_add(*off)));
             }
-            Instr::IndexAddr { dst, base, index } => {
+            Op::IndexAddr {
+                dst,
+                base,
+                index,
+                esize,
+            } => {
                 let b = self.eval(regs, base)?.as_ptr();
                 let i = self.eval(regs, index)?.as_int();
-                let pointee = self
-                    .operand_pointee_ty(f, base)
-                    .ok_or_else(|| Trap::Invalid("index_addr through non-pointer".into()))?;
-                let esz = match self.module.types.kind(pointee) {
-                    TypeKind::Array { elem, .. } => self
-                        .module
-                        .types
-                        .size_of(*elem)
-                        .map_err(|e| Trap::Invalid(e.to_string()))?,
-                    other => {
-                        return Err(Trap::Invalid(format!("index_addr into {other:?}")));
-                    }
-                };
                 self.clock += cost::ADDR;
-                regs[dst.0 as usize] = Some(Value::Ptr(
-                    b.wrapping_add((esz as i64).wrapping_mul(i) as u64),
+                regs[*dst as usize] = Some(Value::Ptr(
+                    b.wrapping_add((*esize as i64).wrapping_mul(i) as u64),
                 ));
             }
-            Instr::Cast { dst, op, src } => {
+            Op::Cast {
+                dst,
+                op,
+                src,
+                dbits,
+            } => {
                 let v = self.eval(regs, src)?;
-                let dty = self.reg_ty(f, *dst);
-                let dbits = match self.module.types.kind(dty) {
-                    TypeKind::Int { bits } | TypeKind::Float { bits } => *bits,
-                    _ => 64,
-                };
+                let dbits = *dbits;
                 self.clock += cost::ALU;
                 let out = match op {
                     CastOp::Bitcast => v,
@@ -1173,17 +1174,23 @@ impl<'m> Interp<'m> {
                         }
                     }
                 };
-                regs[dst.0 as usize] = Some(out);
+                regs[*dst as usize] = Some(out);
             }
-            Instr::Bin { dst, op, lhs, rhs } => {
+            Op::Bin {
+                dst,
+                op,
+                lhs,
+                rhs,
+                bits,
+                ptr_result,
+            } => {
                 let a = self.eval(regs, lhs)?;
                 let b = self.eval(regs, rhs)?;
-                let dty = self.reg_ty(f, *dst);
                 self.clock += cost::ALU;
-                let out = self.binop(*op, a, b, dty)?;
-                regs[dst.0 as usize] = Some(out);
+                let out = binop(*op, a, b, *bits, *ptr_result)?;
+                regs[*dst as usize] = Some(out);
             }
-            Instr::Cmp {
+            Op::Cmp {
                 dst,
                 pred,
                 lhs,
@@ -1192,55 +1199,55 @@ impl<'m> Interp<'m> {
                 let a = self.eval(regs, lhs)?;
                 let b = self.eval(regs, rhs)?;
                 self.clock += cost::ALU;
-                regs[dst.0 as usize] = Some(Value::Int(i64::from(cmp(*pred, a, b))));
+                regs[*dst as usize] = Some(Value::Int(i64::from(cmp(*pred, a, b))));
             }
-            Instr::Copy { dst, src } => {
+            Op::Copy { dst, src } => {
                 let v = self.eval(regs, src)?;
                 self.clock += cost::ALU;
-                regs[dst.0 as usize] = Some(v);
+                regs[*dst as usize] = Some(v);
             }
-            Instr::Call { dst, callee, args } => {
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(regs, a)?);
-                }
-                self.clock += cost::CALL + args.len() as u64;
-                match callee {
-                    Callee::Direct(fid) => {
-                        return Ok(Flow::Call {
-                            f: *fid,
-                            args: vals,
-                            dst: *dst,
-                        });
+            Op::CallDirect { dst, f, args } => {
+                let vals = self.eval_call_args(regs, args)?;
+                return Ok(Flow::Call {
+                    f: *f,
+                    args: vals,
+                    dst: *dst,
+                });
+            }
+            Op::CallIndirect { dst, target, args } => {
+                let vals = self.eval_call_args(regs, args)?;
+                let p = self.eval(regs, target)?.as_ptr();
+                let fid = self.resolve_fn_ptr(p).ok_or_else(|| {
+                    Trap::Invalid(format!("indirect call of non-function address {p:#x}"))
+                })?;
+                return Ok(Flow::Call {
+                    f: fid,
+                    args: vals,
+                    dst: *dst,
+                });
+            }
+            Op::CallExternal { dst, ext, args } => {
+                let vals = self.eval_call_args(regs, args)?;
+                let handler = match &self.ext_handlers[*ext as usize] {
+                    Some(h) => Rc::clone(h),
+                    None => {
+                        let name = &self.module.external(ExternalId(*ext)).name;
+                        return Err(Trap::Invalid(format!("unknown external {name}")));
                     }
-                    Callee::Indirect(op) => {
-                        let p = self.eval(regs, op)?.as_ptr();
-                        let fid = self.resolve_fn_ptr(p).ok_or_else(|| {
-                            Trap::Invalid(format!("indirect call of non-function address {p:#x}"))
-                        })?;
-                        return Ok(Flow::Call {
-                            f: fid,
-                            args: vals,
-                            dst: *dst,
-                        });
-                    }
-                    Callee::External(eid) => {
-                        let name = self.module.external(*eid).name.clone();
-                        let handler = self
-                            .externals
-                            .get(&name)
-                            .ok_or_else(|| Trap::Invalid(format!("unknown external {name}")))?;
-                        let ret = handler(self, &vals)?;
-                        if let Some(d) = dst {
-                            regs[d.0 as usize] =
-                                Some(ret.ok_or_else(|| {
-                                    Trap::Invalid("void call used as value".into())
-                                })?);
-                        }
-                    }
+                };
+                let ret = handler(self, &vals)?;
+                if let Some(d) = dst {
+                    regs[*d as usize] =
+                        Some(ret.ok_or_else(|| Trap::Invalid("void call used as value".into()))?);
                 }
             }
-            Instr::DpmrCheck { a, b, ptrs } => {
+            Op::DpmrCheck {
+                a,
+                b,
+                ptrs,
+                site,
+                a_reg,
+            } => {
                 let va = self.eval(regs, a)?;
                 let vb = self.eval(regs, b)?;
                 self.clock += cost::CHECK;
@@ -1263,6 +1270,7 @@ impl<'m> Interp<'m> {
                         rep_addr,
                         cycle: self.clock,
                         instrs: self.instrs,
+                        site: *site,
                     };
                     let mut action = match &self.trap_handler {
                         Some(h) => Rc::clone(h).borrow_mut().on_detection(&trap),
@@ -1271,7 +1279,7 @@ impl<'m> Interp<'m> {
                     // A repair that could fix neither memory nor a register
                     // would be a no-op resume with an inflated counter;
                     // force termination instead.
-                    if app_addr.is_none() && !matches!(a, Operand::Reg(_)) {
+                    if app_addr.is_none() && a_reg.is_none() {
                         action = TrapAction::Terminate;
                     }
                     match action {
@@ -1287,126 +1295,146 @@ impl<'m> Interp<'m> {
                             // location and the in-flight register, then
                             // resume as if the check had passed.
                             self.repairs += 1;
-                            if let (Some(addr), Operand::Reg(r)) = (app_addr, a) {
-                                let ty = self.reg_ty(f, *r);
+                            if let (Some(addr), Some((_, kind))) = (app_addr, a_reg) {
                                 self.clock += cost::MEM;
                                 self.touch(addr);
-                                store_scalar(&mut self.mem, &self.module.types, ty, addr, vb)?;
+                                self.store_kind(addr, *kind, vb)?;
                             }
-                            if let Operand::Reg(r) = a {
-                                regs[r.0 as usize] = Some(vb);
+                            if let Some((slot, _)) = a_reg {
+                                regs[*slot as usize] = Some(vb);
                             }
                         }
                     }
                 }
             }
-            Instr::RandInt { dst, lo, hi } => {
+            Op::RandInt { dst, lo, hi } => {
                 let lo = self.eval(regs, lo)?.as_int();
                 let hi = self.eval(regs, hi)?.as_int();
                 self.clock += cost::RAND;
                 let v = self.rand_range(lo, hi);
-                regs[dst.0 as usize] = Some(Value::Int(v));
+                regs[*dst as usize] = Some(Value::Int(v));
             }
-            Instr::HeapBufSize { dst, ptr } => {
+            Op::HeapBufSize { dst, ptr } => {
                 let p = self.eval(regs, ptr)?.as_ptr();
                 self.clock += cost::MEM;
                 self.touch(p);
                 let sz = self.alloc.buf_size(&self.mem, p)?;
-                regs[dst.0 as usize] = Some(Value::Int(sz as i64));
+                regs[*dst as usize] = Some(Value::Int(sz as i64));
             }
-            Instr::Output { value } => {
+            Op::Output { value } => {
                 let v = self.eval(regs, value)?;
                 self.clock += cost::OUTPUT;
                 self.output.push(v.to_bits());
             }
-            Instr::FiMarker { site } => {
+            Op::FiMarker { site } => {
                 if self.first_fi_cycle.is_none() {
                     self.first_fi_cycle = Some(self.clock);
                 }
                 self.fi_sites_hit.insert(*site);
             }
-            Instr::Abort { code } => {
+            Op::Abort { code } => {
                 return Err(Trap::AppAbort(*code));
+            }
+            Op::Jump { target } => {
+                self.clock += cost::BRANCH;
+                return Ok(Flow::Jump(*target));
+            }
+            Op::CondJump {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                self.clock += cost::BRANCH;
+                let c = self.eval(regs, cond)?;
+                return Ok(Flow::Jump(if c.is_zero() { *else_pc } else { *then_pc }));
+            }
+            Op::Ret { value } => {
+                self.clock += cost::BRANCH + cost::RET;
+                let val = match value {
+                    Some(o) => Some(self.eval(regs, o)?),
+                    None => None,
+                };
+                return Ok(Flow::Ret(val));
+            }
+            Op::Unreachable => {
+                self.clock += cost::BRANCH;
+                return Err(Trap::Invalid("executed unreachable".into()));
+            }
+            Op::BadBlock { .. } => unreachable!("handled by the dispatch loop"),
+            Op::Invalid { args, msg } => {
+                // Evaluate operands in order first: use-of-unset-register
+                // traps take precedence, exactly as under the tree walker.
+                for a in args.iter() {
+                    self.eval(regs, a)?;
+                }
+                return Err(Trap::Invalid(msg.to_string()));
             }
         }
         Ok(Flow::Next)
     }
+}
 
-    /// Pointee type of a pointer-valued operand within function `f`.
-    fn operand_pointee_ty(&self, f: FuncId, op: &Operand) -> Option<TypeId> {
-        match op {
-            Operand::Reg(r) => self.module.types.pointee(self.reg_ty(f, *r)),
-            Operand::Const(Const::Null { pointee }) => Some(*pointee),
-            Operand::Global(g) => Some(self.module.global(*g).ty),
-            Operand::Func(fid) => Some(self.module.func(*fid).ty),
-            Operand::Const(_) => None,
-        }
-    }
-
-    fn binop(&self, op: BinOp, a: Value, b: Value, dty: TypeId) -> Result<Value, Trap> {
-        let bits = match self.module.types.kind(dty) {
-            TypeKind::Int { bits } => *bits,
-            _ => 64,
-        };
-        Ok(match op {
-            BinOp::FAdd => Value::Float(a.as_float() + b.as_float()),
-            BinOp::FSub => Value::Float(a.as_float() - b.as_float()),
-            BinOp::FMul => Value::Float(a.as_float() * b.as_float()),
-            BinOp::FDiv => Value::Float(a.as_float() / b.as_float()),
-            _ => {
-                // Pointer arithmetic: operands may mix pointers and ints;
-                // the destination register's type decides the result kind.
-                let (ai, bi) = match (a, b) {
-                    (Value::Ptr(p), v) => (p as i64, v.to_bits() as i64),
-                    (v, Value::Ptr(p)) => (v.to_bits() as i64, p as i64),
-                    (x, y) => (x.as_int(), y.as_int()),
-                };
-                let r = match op {
-                    BinOp::Add => ai.wrapping_add(bi),
-                    BinOp::Sub => ai.wrapping_sub(bi),
-                    BinOp::Mul => ai.wrapping_mul(bi),
-                    BinOp::SDiv => {
-                        if bi == 0 {
-                            return Err(Trap::Invalid("division by zero".into()));
-                        }
-                        ai.wrapping_div(bi)
+/// Executes a binary op with the destination's pre-resolved width and
+/// pointer-ness.
+fn binop(op: BinOp, a: Value, b: Value, bits: u16, ptr_result: bool) -> Result<Value, Trap> {
+    Ok(match op {
+        BinOp::FAdd => Value::Float(a.as_float() + b.as_float()),
+        BinOp::FSub => Value::Float(a.as_float() - b.as_float()),
+        BinOp::FMul => Value::Float(a.as_float() * b.as_float()),
+        BinOp::FDiv => Value::Float(a.as_float() / b.as_float()),
+        _ => {
+            // Pointer arithmetic: operands may mix pointers and ints;
+            // the destination register's type decides the result kind.
+            let (ai, bi) = match (a, b) {
+                (Value::Ptr(p), v) => (p as i64, v.to_bits() as i64),
+                (v, Value::Ptr(p)) => (v.to_bits() as i64, p as i64),
+                (x, y) => (x.as_int(), y.as_int()),
+            };
+            let r = match op {
+                BinOp::Add => ai.wrapping_add(bi),
+                BinOp::Sub => ai.wrapping_sub(bi),
+                BinOp::Mul => ai.wrapping_mul(bi),
+                BinOp::SDiv => {
+                    if bi == 0 {
+                        return Err(Trap::Invalid("division by zero".into()));
                     }
-                    BinOp::UDiv => {
-                        if bi == 0 {
-                            return Err(Trap::Invalid("division by zero".into()));
-                        }
-                        ((ai as u64) / (bi as u64)) as i64
-                    }
-                    BinOp::SRem => {
-                        if bi == 0 {
-                            return Err(Trap::Invalid("remainder by zero".into()));
-                        }
-                        ai.wrapping_rem(bi)
-                    }
-                    BinOp::URem => {
-                        if bi == 0 {
-                            return Err(Trap::Invalid("remainder by zero".into()));
-                        }
-                        ((ai as u64) % (bi as u64)) as i64
-                    }
-                    BinOp::And => ai & bi,
-                    BinOp::Or => ai | bi,
-                    BinOp::Xor => ai ^ bi,
-                    BinOp::Shl => ai.wrapping_shl(bi as u32 & 63),
-                    BinOp::LShr => ((ai as u64).wrapping_shr(bi as u32 & 63)) as i64,
-                    BinOp::AShr => ai.wrapping_shr(bi as u32 & 63),
-                    _ => unreachable!(),
-                };
-                if self.module.types.is_pointer(dty) {
-                    // Pointer arithmetic (or an int result retyped as a
-                    // pointer by the program): keep the address value.
-                    Value::Ptr(r as u64)
-                } else {
-                    Value::Int(normalize_int(r, bits))
+                    ai.wrapping_div(bi)
                 }
+                BinOp::UDiv => {
+                    if bi == 0 {
+                        return Err(Trap::Invalid("division by zero".into()));
+                    }
+                    ((ai as u64) / (bi as u64)) as i64
+                }
+                BinOp::SRem => {
+                    if bi == 0 {
+                        return Err(Trap::Invalid("remainder by zero".into()));
+                    }
+                    ai.wrapping_rem(bi)
+                }
+                BinOp::URem => {
+                    if bi == 0 {
+                        return Err(Trap::Invalid("remainder by zero".into()));
+                    }
+                    ((ai as u64) % (bi as u64)) as i64
+                }
+                BinOp::And => ai & bi,
+                BinOp::Or => ai | bi,
+                BinOp::Xor => ai ^ bi,
+                BinOp::Shl => ai.wrapping_shl(bi as u32 & 63),
+                BinOp::LShr => ((ai as u64).wrapping_shr(bi as u32 & 63)) as i64,
+                BinOp::AShr => ai.wrapping_shr(bi as u32 & 63),
+                _ => unreachable!(),
+            };
+            if ptr_result {
+                // Pointer arithmetic (or an int result retyped as a
+                // pointer by the program): keep the address value.
+                Value::Ptr(r as u64)
+            } else {
+                Value::Int(normalize_int(r, bits))
             }
-        })
-    }
+        }
+    })
 }
 
 fn cmp(pred: CmpPred, a: Value, b: Value) -> bool {

@@ -38,20 +38,24 @@
 //! ```
 
 pub mod alloc;
+pub mod code;
 pub mod external;
 pub mod interp;
+pub mod lower;
 pub mod mem;
 pub mod value;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::alloc::{AllocStats, Allocator, FreeOutcome};
+    pub use crate::code::{LoweredCode, Op, Opnd};
     pub use crate::external::Registry;
     pub use crate::interp::{
         run_with_limits, run_with_registry, CrashKind, DetectionTrap, ExitStatus, Frame, Interp,
         InterpSnapshot, RunConfig, RunOutcome, Trap, TrapAction, TrapHandler,
         AUTO_CHECKPOINTS_KEPT, FUNC_BASE,
     };
+    pub use crate::lower::lower;
     pub use crate::mem::{
         Mem, MemConfig, MemFault, MemFaultKind, MemSnapshot, GLOBAL_BASE, HEAP_BASE, STACK_BASE,
     };

@@ -1,0 +1,417 @@
+//! Compiles IR modules into the pre-resolved linear bytecode of
+//! [`crate::code`].
+//!
+//! Lowering runs once at module load ([`crate::interp::Interp::new`]) and
+//! performs every resolution the old tree-walking engine repeated per
+//! executed instruction: constant normalization, register typing, type
+//! layout (sizes, field offsets, element sizes), scalar load/store
+//! encodings, block-to-pc resolution, callee resolution, and per-site
+//! `dpmr.check` id assignment.
+//!
+//! # Invariants
+//!
+//! * **Pure**: the bytecode depends only on the [`Module`]; lowering the
+//!   same module twice yields identical code, so frame pcs in snapshots
+//!   are portable across interpreters of the same module.
+//! * **One op per IR slot**: each instruction and each terminator lowers
+//!   to exactly one [`Op`], in block order, so dynamic instruction counts
+//!   and virtual-cycle accounting match the tree-walker bit-for-bit. A
+//!   function's op range is laid out per
+//!   [`dpmr_ir::module::Function::linear_block_starts`] (landing pads for
+//!   branches to nonexistent blocks follow the function's blocks).
+//! * **Ill-typed ≠ ill-formed**: instructions whose operand *types* are
+//!   invalid (e.g. `fieldaddr` through a non-pointer) lower to
+//!   [`Op::Invalid`], which reproduces the tree-walker's runtime trap —
+//!   including evaluating operands first so use-of-unset-register traps
+//!   still take precedence. Only *non-scalar register types* on loads,
+//!   stores, and checks panic at lowering (the same module would panic
+//!   mid-run under the tree-walker; surfacing it at load is the
+//!   construction-error contract `Interp::new` already has for globals).
+//!
+//! What stays runtime-resolved: global addresses (allocated per run),
+//! external handler bindings (per registry), and all value-dependent
+//! behaviour (indirect-call targets, memory faults, division by zero).
+
+use crate::code::{LoadKind, LoweredCode, Op, Opnd, StoreKind};
+use crate::interp::FUNC_BASE;
+use crate::value::{normalize_int, Value};
+use dpmr_ir::instr::{Callee, Const, Instr, Operand, Term};
+use dpmr_ir::module::{Function, Module};
+use dpmr_ir::types::{TypeId, TypeKind, TypeTable};
+
+/// Lowers a whole module. See the module docs for the invariants.
+///
+/// # Panics
+/// Panics when a register holding a non-scalar type is loaded, stored, or
+/// checked — a program construction error, not a simulated fault.
+pub fn lower(module: &Module) -> LoweredCode {
+    let mut lc = LoweredCode {
+        ops: Vec::with_capacity(module.static_instr_count()),
+        func_entry: Vec::with_capacity(module.funcs.len()),
+        check_sites: 0,
+    };
+    for f in &module.funcs {
+        let entry = lc.ops.len() as u32;
+        lc.func_entry.push(entry);
+        lower_function(module, f, entry, &mut lc);
+    }
+    lc
+}
+
+fn lower_operand(op: &Operand) -> Opnd {
+    match op {
+        Operand::Reg(r) => Opnd::Reg(r.0),
+        Operand::Const(Const::Int { value, bits }) => {
+            Opnd::Imm(Value::Int(normalize_int(*value, *bits)))
+        }
+        Operand::Const(Const::Float { value, .. }) => Opnd::Imm(Value::Float(*value)),
+        Operand::Const(Const::Null { .. }) => Opnd::Imm(Value::Ptr(0)),
+        Operand::Global(g) => Opnd::Global(g.0),
+        Operand::Func(fid) => Opnd::Imm(Value::Ptr(FUNC_BASE + u64::from(fid.0))),
+    }
+}
+
+/// Memory decoding of a scalar type (derivation shared with
+/// `load_scalar`; see `crate::value::LoadKind`).
+fn load_kind(tt: &TypeTable, ty: TypeId) -> LoadKind {
+    LoadKind::of(tt, ty)
+        .unwrap_or_else(|| panic!("lower: load of non-scalar type {:?}", tt.kind(ty)))
+}
+
+/// Memory encoding of a scalar type (derivation shared with
+/// `store_scalar`; see `crate::value::StoreKind`).
+fn store_kind(tt: &TypeTable, ty: TypeId) -> StoreKind {
+    StoreKind::of(tt, ty)
+        .unwrap_or_else(|| panic!("lower: store of non-scalar type {:?}", tt.kind(ty)))
+}
+
+/// Memory encoding of a store *value operand* (the tree-walker matched on
+/// the operand form; constants encode by their own width, registers by
+/// their declared type, and address-valued operands are pointer-width).
+fn store_value_kind(tt: &TypeTable, f: &Function, value: &Operand) -> StoreKind {
+    match value {
+        Operand::Reg(r) => store_kind(tt, f.reg_ty(*r)),
+        Operand::Const(Const::Int { bits, .. }) => {
+            StoreKind::Raw(usize::from(*bits).div_ceil(8).max(1) as u8)
+        }
+        Operand::Const(Const::Float { bits: 32, .. }) => StoreKind::F32,
+        // Float64, null, globals, function addresses: pointer-width raw.
+        _ => StoreKind::Raw(8),
+    }
+}
+
+/// Pointee type of a pointer-valued operand (`None` when the operand
+/// cannot carry one — the ill-typed case that traps at runtime).
+fn operand_pointee_ty(module: &Module, f: &Function, op: &Operand) -> Option<TypeId> {
+    match op {
+        Operand::Reg(r) => module.types.pointee(f.reg_ty(*r)),
+        Operand::Const(Const::Null { pointee }) => Some(*pointee),
+        Operand::Global(g) => Some(module.global(*g).ty),
+        Operand::Func(fid) => Some(module.func(*fid).ty),
+        Operand::Const(_) => None,
+    }
+}
+
+/// An op that evaluates `args` in order, then traps `Invalid(msg)`.
+fn invalid(args: &[&Operand], msg: impl Into<Box<str>>) -> Op {
+    Op::Invalid {
+        args: args.iter().map(|a| lower_operand(a)).collect(),
+        msg: msg.into(),
+    }
+}
+
+/// Destination width for casts and binary ops (the scalar bit width of
+/// the destination register's type; 64 for pointers).
+fn dst_bits(tt: &TypeTable, ty: TypeId) -> u16 {
+    match tt.kind(ty) {
+        TypeKind::Int { bits } | TypeKind::Float { bits } => *bits,
+        _ => 64,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn lower_function(module: &Module, f: &Function, entry: u32, lc: &mut LoweredCode) {
+    let tt = &module.types;
+    if f.blocks.is_empty() {
+        // The tree-walker trapped "jump to nonexistent block b0" on entry.
+        lc.ops.push(Op::BadBlock { block: 0 });
+        return;
+    }
+    let starts = f.linear_block_starts();
+    // Branch targets out of block range jump to a landing pad appended
+    // after the function body; the pad raises the tree-walker's runtime
+    // trap only if control actually reaches it.
+    let mut pads: Vec<u32> = Vec::new();
+    let body_len = starts[f.blocks.len()];
+    let pc_of = |b: u32, pads: &mut Vec<u32>| -> u32 {
+        if (b as usize) < f.blocks.len() {
+            entry + starts[b as usize]
+        } else {
+            let pad = pads.iter().position(|&p| p == b).unwrap_or_else(|| {
+                pads.push(b);
+                pads.len() - 1
+            });
+            entry + body_len + pad as u32
+        }
+    };
+    for block in &f.blocks {
+        for ins in &block.instrs {
+            let op = match ins {
+                Instr::Alloca { dst, ty, count } => match tt.size_of(*ty) {
+                    Ok(size) => Op::Alloca {
+                        dst: dst.0,
+                        count: count.as_ref().map(lower_operand),
+                        size,
+                    },
+                    Err(e) => invalid(
+                        &count.as_ref().map(|c| vec![c]).unwrap_or_default(),
+                        e.to_string(),
+                    ),
+                },
+                Instr::Malloc { dst, elem, count } => match tt.size_of(*elem) {
+                    Ok(esize) => Op::Malloc {
+                        dst: dst.0,
+                        count: lower_operand(count),
+                        esize,
+                    },
+                    Err(e) => invalid(&[count], e.to_string()),
+                },
+                Instr::Free { ptr } => Op::Free {
+                    ptr: lower_operand(ptr),
+                },
+                Instr::Load { dst, ptr } => Op::Load {
+                    dst: dst.0,
+                    ptr: lower_operand(ptr),
+                    kind: load_kind(tt, f.reg_ty(*dst)),
+                },
+                Instr::Store { ptr, value } => Op::Store {
+                    ptr: lower_operand(ptr),
+                    value: lower_operand(value),
+                    kind: store_value_kind(tt, f, value),
+                },
+                Instr::FieldAddr { dst, base, field } => {
+                    match operand_pointee_ty(module, f, base) {
+                        None => invalid(&[base], "field_addr through non-pointer"),
+                        Some(pointee) => match tt.kind(pointee) {
+                            TypeKind::Struct { .. } => {
+                                match tt.field_offset(pointee, *field as usize) {
+                                    Ok(off) => Op::FieldAddr {
+                                        dst: dst.0,
+                                        base: lower_operand(base),
+                                        off,
+                                    },
+                                    Err(e) => invalid(&[base], e.to_string()),
+                                }
+                            }
+                            TypeKind::Union { .. } => Op::FieldAddr {
+                                dst: dst.0,
+                                base: lower_operand(base),
+                                off: 0,
+                            },
+                            other => invalid(&[base], format!("field_addr into {other:?}")),
+                        },
+                    }
+                }
+                Instr::IndexAddr { dst, base, index } => {
+                    match operand_pointee_ty(module, f, base) {
+                        None => invalid(&[base, index], "index_addr through non-pointer"),
+                        Some(pointee) => match tt.kind(pointee) {
+                            TypeKind::Array { elem, .. } => match tt.size_of(*elem) {
+                                Ok(esize) => Op::IndexAddr {
+                                    dst: dst.0,
+                                    base: lower_operand(base),
+                                    index: lower_operand(index),
+                                    esize,
+                                },
+                                Err(e) => invalid(&[base, index], e.to_string()),
+                            },
+                            other => invalid(&[base, index], format!("index_addr into {other:?}")),
+                        },
+                    }
+                }
+                Instr::Cast { dst, op, src } => Op::Cast {
+                    dst: dst.0,
+                    op: *op,
+                    src: lower_operand(src),
+                    dbits: dst_bits(tt, f.reg_ty(*dst)),
+                },
+                Instr::Bin { dst, op, lhs, rhs } => {
+                    let dty = f.reg_ty(*dst);
+                    Op::Bin {
+                        dst: dst.0,
+                        op: *op,
+                        lhs: lower_operand(lhs),
+                        rhs: lower_operand(rhs),
+                        bits: match tt.kind(dty) {
+                            TypeKind::Int { bits } => *bits,
+                            _ => 64,
+                        },
+                        ptr_result: tt.is_pointer(dty),
+                    }
+                }
+                Instr::Cmp {
+                    dst,
+                    pred,
+                    lhs,
+                    rhs,
+                } => Op::Cmp {
+                    dst: dst.0,
+                    pred: *pred,
+                    lhs: lower_operand(lhs),
+                    rhs: lower_operand(rhs),
+                },
+                Instr::Copy { dst, src } => Op::Copy {
+                    dst: dst.0,
+                    src: lower_operand(src),
+                },
+                Instr::Call { dst, callee, args } => {
+                    let largs: Box<[Opnd]> = args.iter().map(lower_operand).collect();
+                    let dst = dst.map(|r| r.0);
+                    match callee {
+                        Callee::Direct(fid) => Op::CallDirect {
+                            dst,
+                            f: *fid,
+                            args: largs,
+                        },
+                        Callee::Indirect(op) => Op::CallIndirect {
+                            dst,
+                            target: lower_operand(op),
+                            args: largs,
+                        },
+                        Callee::External(eid) => Op::CallExternal {
+                            dst,
+                            ext: eid.0,
+                            args: largs,
+                        },
+                    }
+                }
+                Instr::DpmrCheck { a, b, ptrs } => {
+                    let site = lc.check_sites;
+                    lc.check_sites += 1;
+                    Op::DpmrCheck {
+                        a: lower_operand(a),
+                        b: lower_operand(b),
+                        ptrs: ptrs
+                            .as_ref()
+                            .map(|(ap, rp)| (lower_operand(ap), lower_operand(rp))),
+                        site,
+                        a_reg: match a {
+                            Operand::Reg(r) => Some((r.0, store_kind(tt, f.reg_ty(*r)))),
+                            _ => None,
+                        },
+                    }
+                }
+                Instr::RandInt { dst, lo, hi } => Op::RandInt {
+                    dst: dst.0,
+                    lo: lower_operand(lo),
+                    hi: lower_operand(hi),
+                },
+                Instr::HeapBufSize { dst, ptr } => Op::HeapBufSize {
+                    dst: dst.0,
+                    ptr: lower_operand(ptr),
+                },
+                Instr::Output { value } => Op::Output {
+                    value: lower_operand(value),
+                },
+                Instr::FiMarker { site } => Op::FiMarker { site: *site },
+                Instr::Abort { code } => Op::Abort { code: *code },
+            };
+            lc.ops.push(op);
+        }
+        let term = match &block.term {
+            Term::Br(t) => Op::Jump {
+                target: pc_of(t.0, &mut pads),
+            },
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => Op::CondJump {
+                cond: lower_operand(cond),
+                then_pc: pc_of(then_bb.0, &mut pads),
+                else_pc: pc_of(else_bb.0, &mut pads),
+            },
+            Term::Ret(v) => Op::Ret {
+                value: v.as_ref().map(lower_operand),
+            },
+            Term::Unreachable => Op::Unreachable,
+        };
+        lc.ops.push(term);
+    }
+    for b in pads {
+        lc.ops.push(Op::BadBlock { block: b });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpmr_ir::builder::FunctionBuilder;
+    use dpmr_ir::instr::BinOp;
+
+    #[test]
+    fn lowering_is_one_op_per_ir_slot_and_pure() {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        let p = b.malloc(i64t, Const::i64(1).into(), "p");
+        b.store(p.into(), Const::i64(41).into());
+        let v = b.load(i64t, p.into(), "v");
+        let w = b.bin(BinOp::Add, i64t, v.into(), Const::i64(1).into());
+        b.output(w.into());
+        b.free(p.into());
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+
+        let a = lower(&m);
+        assert_eq!(a.ops.len(), m.static_instr_count());
+        assert_eq!(a.func_entry, vec![0]);
+        // Purity: lowering twice yields identical pc layout and sites.
+        let c = lower(&m);
+        assert_eq!(a.func_entry, c.func_entry);
+        assert_eq!(a.ops.len(), c.ops.len());
+        assert_eq!(a.check_sites, c.check_sites);
+    }
+
+    #[test]
+    fn constants_are_prenormalized() {
+        let op = lower_operand(&Operand::Const(Const::Int {
+            value: 0xFF,
+            bits: 8,
+        }));
+        assert_eq!(op, Opnd::Imm(Value::Int(-1)));
+        assert_eq!(
+            lower_operand(&Operand::Const(Const::Null { pointee: TypeId(0) })),
+            Opnd::Imm(Value::Ptr(0))
+        );
+    }
+
+    #[test]
+    fn check_sites_are_stable_sequential_ids() {
+        let mut m = Module::new();
+        let i64t = m.types.int(64);
+        let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+        for _ in 0..3 {
+            b.emit(Instr::DpmrCheck {
+                a: Const::i64(1).into(),
+                b: Const::i64(1).into(),
+                ptrs: None,
+            });
+        }
+        b.ret(Some(Const::i64(0).into()));
+        let f = b.finish();
+        m.entry = Some(f);
+        let lc = lower(&m);
+        assert_eq!(lc.check_sites, 3);
+        let sites: Vec<u32> = lc
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::DpmrCheck { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sites, vec![0, 1, 2]);
+    }
+}

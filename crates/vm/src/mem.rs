@@ -111,7 +111,56 @@ pub struct Mem {
     brk: usize,
     stack: Vec<u8>,
     sp: usize,
+    /// High-water mark of stack-region writes. The stack is mapped to its
+    /// full capacity regardless of `sp`, but everything at or above this
+    /// offset is still all-zero — which is what bounds the re-zeroing
+    /// work on buffer recycling and checkpoint restores.
+    stack_hw: usize,
     fill_seed: u64,
+}
+
+/// The region buffers of one address space, recycled through a
+/// thread-local pool: zeroing them on release costs time proportional to
+/// the bytes actually dirtied, while allocating fresh ones from the host
+/// allocator costs a memset of the full configured capacities (hundreds
+/// of microseconds — which dominated short trial runs, since campaigns
+/// build one interpreter per trial).
+struct RegionBufs {
+    globals: Vec<u8>,
+    heap: Vec<u8>,
+    stack: Vec<u8>,
+}
+
+thread_local! {
+    static BUF_POOL: std::cell::RefCell<Vec<RegionBufs>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Address spaces kept per thread for reuse (one per simultaneously live
+/// interpreter is plenty; excess buffers just drop).
+const BUF_POOL_KEEP: usize = 4;
+
+impl Drop for Mem {
+    fn drop(&mut self) {
+        let mut bufs = RegionBufs {
+            globals: std::mem::take(&mut self.globals),
+            heap: std::mem::take(&mut self.heap),
+            stack: std::mem::take(&mut self.stack),
+        };
+        // Writes cannot land above the global length / heap break / stack
+        // high-water mark, so zeroing those prefixes restores the
+        // fresh-buffer state exactly.
+        bufs.globals[..self.globals_len].fill(0);
+        bufs.heap[..self.brk].fill(0);
+        bufs.stack[..self.stack_hw].fill(0);
+        // Ignore a torn-down TLS pool (thread exit): buffers just drop.
+        let _ = BUF_POOL.try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < BUF_POOL_KEEP {
+                p.push(bufs);
+            }
+        });
+    }
 }
 
 impl fmt::Debug for Mem {
@@ -125,15 +174,37 @@ impl fmt::Debug for Mem {
 }
 
 impl Mem {
-    /// Creates an address space from a configuration.
+    /// Creates an address space from a configuration, reusing a recycled
+    /// set of region buffers when one of matching capacities is pooled
+    /// (recycled buffers are re-zeroed on release, so a pooled space is
+    /// indistinguishable from a fresh one).
     pub fn new(cfg: &MemConfig) -> Mem {
-        Mem {
+        let reused = BUF_POOL
+            .try_with(|p| {
+                let mut p = p.borrow_mut();
+                p.iter()
+                    .position(|b| {
+                        b.globals.len() == cfg.global_capacity
+                            && b.heap.len() == cfg.heap_capacity
+                            && b.stack.len() == cfg.stack_capacity
+                    })
+                    .map(|i| p.swap_remove(i))
+            })
+            .ok()
+            .flatten();
+        let bufs = reused.unwrap_or_else(|| RegionBufs {
             globals: vec![0; cfg.global_capacity],
-            globals_len: 0,
             heap: vec![0; cfg.heap_capacity],
-            brk: 0,
             stack: vec![0; cfg.stack_capacity],
+        });
+        Mem {
+            globals: bufs.globals,
+            globals_len: 0,
+            heap: bufs.heap,
+            brk: 0,
+            stack: bufs.stack,
             sp: 0,
+            stack_hw: 0,
             fill_seed: cfg.fill_seed,
         }
     }
@@ -184,7 +255,10 @@ impl Mem {
         let buf = match r {
             Region::Global => &mut self.globals,
             Region::Heap => &mut self.heap,
-            Region::Stack => &mut self.stack,
+            Region::Stack => {
+                self.stack_hw = self.stack_hw.max(off + bytes.len());
+                &mut self.stack
+            }
         };
         buf[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
@@ -338,8 +412,15 @@ impl Mem {
                 && snap.sp <= self.stack.len(),
             "snapshot from a larger address space"
         );
+        // A restore can shrink the mapped marks (rolling back past later
+        // growth). Bytes between the restored mark and the old one become
+        // unmapped — invisible to this run — but the drop-time re-zeroing
+        // that keeps the recycled-buffer pool clean only covers the
+        // *final* marks, so wipe the un-mapped residue here.
+        self.globals[snap.globals_len..self.globals_len.max(snap.globals_len)].fill(0);
         self.globals[..snap.globals_len].copy_from_slice(&snap.globals);
         self.globals_len = snap.globals_len;
+        self.heap[snap.brk..self.brk.max(snap.brk)].fill(0);
         self.heap[..snap.brk].copy_from_slice(&snap.heap);
         self.brk = snap.brk;
         self.stack[..snap.sp].copy_from_slice(&snap.stack);
@@ -348,8 +429,10 @@ impl Mem {
         // attempt above `sp` would be observable (e.g. by a stale pointer
         // into a released frame). Zero it: that is exactly the fresh-run
         // state for a run-boundary checkpoint, keeping replays
-        // bit-identical to a fresh run.
-        self.stack[snap.sp..].fill(0);
+        // bit-identical to a fresh run. Nothing was ever written at or
+        // above the high-water mark, so zeroing stops there.
+        self.stack[snap.sp..self.stack_hw.max(snap.sp)].fill(0);
+        self.stack_hw = snap.sp;
         self.sp = snap.sp;
         self.fill_seed = snap.fill_seed;
     }
@@ -507,6 +590,78 @@ mod tests {
         m.alloc_global(8);
         let snap = m.snapshot();
         assert_eq!(snap.captured_bytes(), 64 + 8);
+    }
+
+    #[test]
+    fn recycled_address_spaces_are_indistinguishable_from_fresh() {
+        // Dirty all three regions, drop (returning the buffers to the
+        // thread-local pool), and re-create: the reused space must read
+        // all-zero everywhere a fresh one would.
+        let cfg = MemConfig {
+            global_capacity: 4096,
+            heap_capacity: 65536,
+            stack_capacity: 4096,
+            fill_seed: 7,
+        };
+        {
+            let mut m = Mem::new(&cfg);
+            let g = m.alloc_global(64);
+            m.write(g, &[0xAA; 64]).unwrap();
+            m.grow_heap(128).unwrap();
+            m.write(HEAP_BASE, &[0xBB; 128]).unwrap();
+            let s = m.stack_alloc(64).unwrap();
+            m.write(s, &[0xCC; 64]).unwrap();
+            // A raw write high on the stack (no alloc) must also be wiped.
+            m.write_u64(STACK_BASE + 2048, u64::MAX).unwrap();
+        }
+        let mut m = Mem::new(&cfg);
+        let g = m.alloc_global(64);
+        assert!(m.read(g, 64).unwrap().iter().all(|&b| b == 0));
+        m.grow_heap(128).unwrap();
+        assert!(m.read(HEAP_BASE, 128).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(m.read_u64(STACK_BASE + 2048).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_shrunk_regions_leave_no_residue_for_the_pool() {
+        // Rolling back past heap growth un-maps the upper heap bytes; the
+        // drop-time re-zeroing only covers the final break, so restore
+        // must wipe the shrunk-away range — otherwise it would survive
+        // into the recycled-buffer pool.
+        let cfg = MemConfig {
+            global_capacity: 4096,
+            heap_capacity: 65536,
+            stack_capacity: 4096,
+            fill_seed: 7,
+        };
+        {
+            let mut m = Mem::new(&cfg);
+            m.grow_heap(64).unwrap();
+            let snap = m.snapshot(); // brk = 64
+            m.grow_heap(4096).unwrap();
+            m.write(HEAP_BASE + 64, &[0xEE; 4096]).unwrap();
+            m.restore(&snap); // brk back to 64; upper bytes now unmapped
+        }
+        let mut m = Mem::new(&cfg);
+        m.grow_heap(8192).unwrap();
+        assert!(
+            m.read(HEAP_BASE, 8192).unwrap().iter().all(|&b| b == 0),
+            "recycled heap must be clean past a restore-shrunk break"
+        );
+    }
+
+    #[test]
+    fn restore_clears_residue_only_up_to_high_water() {
+        let mut m = mem();
+        let snap = m.snapshot();
+        m.write_u64(STACK_BASE + 1024, 0xfeed).unwrap();
+        m.restore(&snap);
+        assert_eq!(m.read_u64(STACK_BASE + 1024).unwrap(), 0);
+        // After restore the high-water mark resets; a later drop/reuse
+        // cycle must still produce a clean stack.
+        m.write_u64(STACK_BASE + 512, 0xbeef).unwrap();
+        m.restore(&snap);
+        assert_eq!(m.read_u64(STACK_BASE + 512).unwrap(), 0);
     }
 
     #[test]

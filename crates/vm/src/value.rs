@@ -94,39 +94,128 @@ pub fn scalar_bytes(tt: &TypeTable, ty: TypeId) -> usize {
     }
 }
 
+/// How a scalar of some IR type is decoded from memory — the single
+/// source of truth for the encoding: [`load_scalar`] derives it per call,
+/// while the bytecode lowering bakes it into each load op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// Little-endian integer of `bytes` bytes, sign-extended from `bits`.
+    Int { bytes: u8, bits: u16 },
+    /// 32-bit float, widened to f64.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// Pointer (8 bytes).
+    Ptr,
+}
+
+impl LoadKind {
+    /// Memory decoding of scalar type `ty` (`None` for non-scalar types).
+    pub fn of(tt: &TypeTable, ty: TypeId) -> Option<LoadKind> {
+        Some(match tt.kind(ty) {
+            TypeKind::Int { bits } => LoadKind::Int {
+                bytes: usize::from(*bits).div_ceil(8).max(1) as u8,
+                bits: *bits,
+            },
+            TypeKind::Float { bits: 32 } => LoadKind::F32,
+            TypeKind::Float { .. } => LoadKind::F64,
+            TypeKind::Pointer { .. } => LoadKind::Ptr,
+            _ => return None,
+        })
+    }
+}
+
+/// How a scalar is encoded to memory (the store half of the contract).
+/// Integer, f64, and pointer stores all write the value's raw low bytes —
+/// for type-punned non-matching values too — so they collapse to
+/// [`StoreKind::Raw`]; only f32 stores convert numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Low `n` bytes of the value's 64-bit image.
+    Raw(u8),
+    /// Numeric f64→f32 conversion for float values, low 4 raw bytes for
+    /// type-punned non-float values.
+    F32,
+}
+
+impl StoreKind {
+    /// Memory encoding of scalar type `ty` (`None` for non-scalar types).
+    pub fn of(tt: &TypeTable, ty: TypeId) -> Option<StoreKind> {
+        Some(match tt.kind(ty) {
+            TypeKind::Int { bits } => StoreKind::Raw(usize::from(*bits).div_ceil(8).max(1) as u8),
+            TypeKind::Float { bits: 32 } => StoreKind::F32,
+            TypeKind::Float { .. } | TypeKind::Pointer { .. } => StoreKind::Raw(8),
+            _ => return None,
+        })
+    }
+}
+
+/// Decodes a scalar from memory per its pre-resolved kind.
+///
+/// # Errors
+/// Traps if the range is unmapped.
+#[inline]
+pub fn load_kind(mem: &Mem, kind: LoadKind, addr: u64) -> Result<Value, MemFault> {
+    Ok(match kind {
+        LoadKind::Int { bytes, bits } => {
+            let b = mem.read(addr, bytes as usize)?;
+            let mut raw = [0u8; 8];
+            raw[..bytes as usize].copy_from_slice(b);
+            Value::Int(normalize_int(i64::from_le_bytes(raw), bits))
+        }
+        LoadKind::F32 => {
+            let b = mem.read(addr, 4)?;
+            Value::Float(f64::from(f32::from_le_bytes(
+                b.try_into().expect("4 bytes"),
+            )))
+        }
+        LoadKind::F64 => {
+            let b = mem.read(addr, 8)?;
+            Value::Float(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+        LoadKind::Ptr => Value::Ptr(mem.read_u64(addr)?),
+    })
+}
+
+/// Encodes a scalar to memory per its pre-resolved kind.
+///
+/// # Errors
+/// Traps if the range is unmapped.
+#[inline]
+pub fn store_kind(mem: &mut Mem, kind: StoreKind, addr: u64, v: Value) -> Result<(), MemFault> {
+    match kind {
+        StoreKind::Raw(n) => mem.write(addr, &v.to_bits().to_le_bytes()[..n as usize]),
+        StoreKind::F32 => {
+            let f = match v {
+                Value::Float(f) => f as f32,
+                // Type-punned stores can happen in corrupted executions.
+                other => f32::from_bits(other.to_bits() as u32),
+            };
+            mem.write(addr, &f.to_le_bytes())
+        }
+    }
+}
+
 /// Loads a scalar of type `ty` from memory.
 ///
 /// # Errors
 /// Traps if the range is unmapped.
+///
+/// # Panics
+/// Panics if `ty` is not scalar.
 pub fn load_scalar(mem: &Mem, tt: &TypeTable, ty: TypeId, addr: u64) -> Result<Value, MemFault> {
-    match tt.kind(ty) {
-        TypeKind::Int { bits } => {
-            let n = usize::from(*bits).div_ceil(8).max(1);
-            let b = mem.read(addr, n)?;
-            let mut raw = [0u8; 8];
-            raw[..n].copy_from_slice(b);
-            Ok(Value::Int(normalize_int(i64::from_le_bytes(raw), *bits)))
-        }
-        TypeKind::Float { bits: 32 } => {
-            let b = mem.read(addr, 4)?;
-            let f = f32::from_le_bytes(b.try_into().expect("4 bytes"));
-            Ok(Value::Float(f64::from(f)))
-        }
-        TypeKind::Float { .. } => {
-            let b = mem.read(addr, 8)?;
-            Ok(Value::Float(f64::from_le_bytes(
-                b.try_into().expect("8 bytes"),
-            )))
-        }
-        TypeKind::Pointer { .. } => Ok(Value::Ptr(mem.read_u64(addr)?)),
-        other => panic!("load of non-scalar type {other:?}"),
-    }
+    let kind =
+        LoadKind::of(tt, ty).unwrap_or_else(|| panic!("load of non-scalar type {:?}", tt.kind(ty)));
+    load_kind(mem, kind, addr)
 }
 
 /// Stores a scalar of type `ty` to memory.
 ///
 /// # Errors
 /// Traps if the range is unmapped.
+///
+/// # Panics
+/// Panics if `ty` is not scalar.
 pub fn store_scalar(
     mem: &mut Mem,
     tt: &TypeTable,
@@ -134,39 +223,9 @@ pub fn store_scalar(
     addr: u64,
     v: Value,
 ) -> Result<(), MemFault> {
-    match tt.kind(ty) {
-        TypeKind::Int { bits } => {
-            let n = usize::from(*bits).div_ceil(8).max(1);
-            let raw = match v {
-                Value::Int(i) => i as u64,
-                // Type-punned stores can happen in corrupted executions.
-                other => other.to_bits(),
-            };
-            mem.write(addr, &raw.to_le_bytes()[..n])
-        }
-        TypeKind::Float { bits: 32 } => {
-            let f = match v {
-                Value::Float(f) => f as f32,
-                other => f32::from_bits(other.to_bits() as u32),
-            };
-            mem.write(addr, &f.to_le_bytes())
-        }
-        TypeKind::Float { .. } => {
-            let f = match v {
-                Value::Float(f) => f,
-                other => f64::from_bits(other.to_bits()),
-            };
-            mem.write(addr, &f.to_le_bytes())
-        }
-        TypeKind::Pointer { .. } => {
-            let p = match v {
-                Value::Ptr(p) => p,
-                other => other.to_bits(),
-            };
-            mem.write_u64(addr, p)
-        }
-        other => panic!("store of non-scalar type {other:?}"),
-    }
+    let kind = StoreKind::of(tt, ty)
+        .unwrap_or_else(|| panic!("store of non-scalar type {:?}", tt.kind(ty)));
+    store_kind(mem, kind, addr, v)
 }
 
 #[cfg(test)]

@@ -561,6 +561,70 @@ fn frame_count_guard_bounds_simulated_depth() {
 }
 
 #[test]
+fn ring_rotation_pins_nearest_pre_injection_checkpoint() {
+    // A fault-injection marker fires early, then a long loop keeps the
+    // cadence ring rotating. Without pinning, every checkpoint preceding
+    // the marker would rotate out of the bounded ring; the drained
+    // checkpoints must still include one taken at or before the marker's
+    // cycle (and stay in ascending clock order).
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let sum = b.reg(i64t, "sum");
+    b.assign(sum, Const::i64(0).into());
+    // Warm-up work so cadence checkpoints exist before the injection...
+    b.for_loop(Const::i64(0).into(), Const::i64(2_000).into(), |b, i| {
+        let s = b.bin(BinOp::Add, i64t, sum.into(), i.into());
+        b.assign(sum, s.into());
+    });
+    b.emit(Instr::FiMarker { site: 7 });
+    // ...and enough afterwards to rotate all of them out of the ring.
+    b.for_loop(Const::i64(0).into(), Const::i64(20_000).into(), |b, i| {
+        let s = b.bin(BinOp::Add, i64t, sum.into(), i.into());
+        b.assign(sum, s.into());
+    });
+    b.output(sum.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+
+    let rc = RunConfig::default();
+    let mut it = Interp::new(&m, &rc, std::rc::Rc::new(Registry::with_base()));
+    it.set_checkpoint_cadence(Some(100));
+    let out = it.run(vec![]);
+    assert_eq!(out.status, ExitStatus::Normal(0));
+    let fi_cycle = out.first_fi_cycle.expect("marker executed");
+    let ckpts = it.take_auto_checkpoints();
+    assert!(
+        ckpts.len() > AUTO_CHECKPOINTS_KEPT,
+        "the pinned checkpoint rides along with the full ring"
+    );
+    assert!(ckpts.len() <= AUTO_CHECKPOINTS_KEPT + 1);
+    assert!(
+        ckpts.windows(2).all(|w| w[0].clock() < w[1].clock()),
+        "still ordered by virtual time"
+    );
+    assert!(
+        ckpts.first().expect("nonempty").clock() <= fi_cycle,
+        "a pre-injection checkpoint survived rotation: first clock {} > fi {}",
+        ckpts[0].clock(),
+        fi_cycle
+    );
+    // The ring proper holds only post-injection checkpoints by now.
+    assert!(
+        ckpts[1].clock() > fi_cycle,
+        "ring fully rotated past the injection"
+    );
+    // The pinned checkpoint is a real restore point.
+    let reference = run_with_limits(&m, &rc);
+    let mut other = Interp::new(&m, &rc, std::rc::Rc::new(Registry::with_base()));
+    other.restore(&ckpts[0]);
+    let replay = other.resume();
+    assert_eq!(replay.output, reference.output);
+    assert_eq!(replay.cycles, reference.cycles);
+}
+
+#[test]
 fn run_steps_pauses_and_resume_completes_identically() {
     let m = dpmr_workloads::micro::linked_list(20);
     let reference = run_with_limits(&m, &RunConfig::default());
