@@ -1,0 +1,131 @@
+//! Cost of the Mem/Interp-boundary injection hook on the hot dispatch
+//! loop.
+//!
+//! The hook is one pc compare per executed op (against `u32::MAX` when
+//! unarmed), so three shapes are measured: a clean run, a run with a
+//! fault armed at a hot load but dormant (`arm_cycle = u64::MAX` — the
+//! worst case for the fast path, since the armed-site compare hits on
+//! every loop iteration), and a firing recurring fault. The clean and
+//! dormant shapes must track each other closely; prints a
+//! machine-greppable `BENCH_FAULT_HOOK_DORMANT_RATIO=<r>` line (dormant
+//! time / clean time) for the trajectory. Set `BENCH_SMOKE=1` for a
+//! CI-sized run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_vm::prelude::*;
+use dpmr_workloads::micro;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+/// A hot armed site: the first load op of the lowered stream (executed
+/// every traversal step of the pointer chase).
+fn first_load_pc(code: &LoweredCode) -> u32 {
+    code.ops
+        .iter()
+        .position(|op| matches!(op, Op::Load { .. }))
+        .expect("the workload has loads") as u32
+}
+
+fn shapes() -> Vec<(&'static str, Option<ArmedFault>)> {
+    let scale = if smoke() { 1 } else { 4 };
+    let m = micro::pointer_chase(12 * scale, 3 * scale);
+    let code = dpmr_vm::lower::lower(&m);
+    let pc = first_load_pc(&code);
+    vec![
+        ("clean", None),
+        (
+            "dormant",
+            Some(ArmedFault {
+                site: pc,
+                fault: FaultModel::OffByN { n: 1 },
+                seed: 7,
+                arm_cycle: u64::MAX,
+            }),
+        ),
+        (
+            "firing",
+            Some(ArmedFault {
+                site: pc,
+                fault: FaultModel::UninitRead,
+                seed: 7,
+                arm_cycle: 0,
+            }),
+        ),
+    ]
+}
+
+fn run_shape(
+    m: &dpmr_ir::module::Module,
+    code: &Rc<LoweredCode>,
+    fault: Option<ArmedFault>,
+) -> u64 {
+    let rc = RunConfig {
+        fault,
+        ..RunConfig::default()
+    };
+    let mut it = Interp::with_code(m, Rc::clone(code), &rc, Rc::new(Registry::with_base()));
+    it.run(vec![]).instrs
+}
+
+fn hook_overhead(c: &mut Criterion) {
+    let scale = if smoke() { 1 } else { 4 };
+    let m = micro::pointer_chase(12 * scale, 3 * scale);
+    let code = Rc::new(dpmr_vm::lower::lower(&m));
+    for (name, fault) in shapes() {
+        let (m, code) = (&m, &code);
+        c.bench_function(format!("fault-hook/{name}"), move |b| {
+            b.iter(|| run_shape(m, code, fault))
+        });
+    }
+}
+
+/// Prints the dormant/clean wall-clock ratio (not a criterion target
+/// shape; rides in the group like the throughput trajectory does).
+fn ratio(_c: &mut Criterion) {
+    let budget = if smoke() {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(400)
+    };
+    let scale = if smoke() { 1 } else { 4 };
+    let m = micro::pointer_chase(12 * scale, 3 * scale);
+    let code = Rc::new(dpmr_vm::lower::lower(&m));
+    let measure = |fault: Option<ArmedFault>| {
+        let t0 = Instant::now();
+        let mut runs = 0u64;
+        while t0.elapsed() < budget {
+            run_shape(&m, &code, fault);
+            runs += 1;
+        }
+        t0.elapsed().as_secs_f64() / runs as f64
+    };
+    let shapes = shapes();
+    let clean = measure(shapes[0].1);
+    let dormant = measure(shapes[1].1);
+    println!("BENCH_FAULT_HOOK_DORMANT_RATIO={:.3}", dormant / clean);
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let mut c = Criterion::default();
+        if std::env::var_os("BENCH_SMOKE").is_some() {
+            c = c
+                .sample_size(2)
+                .warm_up_time(std::time::Duration::from_millis(10))
+                .measurement_time(std::time::Duration::from_millis(30));
+        } else {
+            c = c
+                .sample_size(10)
+                .warm_up_time(std::time::Duration::from_millis(200))
+                .measurement_time(std::time::Duration::from_millis(600));
+        }
+        c
+    };
+    targets = hook_overhead, ratio
+}
+criterion_main!(benches);

@@ -21,9 +21,30 @@
 //! mirrors the paper's: injections that provably cannot manifest (the
 //! allocator's size rounding grants the reduced request the same block)
 //! are reported so the harness can skip them.
+//!
+//! # The campaign engine: runtime fault classes
+//!
+//! Beyond the two compile-time faults, this crate plans *campaigns* over
+//! the expanded runtime taxonomy of [`FaultModel`] (bit-flips per memory
+//! region, dangling-pointer reuse, off-by-N overflow, uninitialized read,
+//! wild write — the mutation mechanics live at the VM's Mem/Interp
+//! boundary, `dpmr_vm::fault`, because the interpreter applies them).
+//! Sites for those classes are **ops of the lowered bytecode**, not IR
+//! positions: [`enumerate_op_sites`] walks a [`LoweredCode`]'s op stream
+//! and yields every load/store pc the class can hit. Lowering is pure, so
+//! the pcs are stable ids; arming one as an
+//! [`ArmedFault`] `(site, seed, cycle)` triple replays bit-identically.
+//! [`sample_sites`] bounds a sweep with an even deterministic stride, and
+//! `dpmr-harness`'s `run_fault_campaign` fans the trials across the study
+//! scheduler.
+
+pub use dpmr_vm::fault::{fault_mix, ArmedFault, FaultModel};
+pub use dpmr_vm::mem::MemRegion;
 
 use dpmr_ir::instr::{BinOp, Const, Instr, Operand, RegId};
 use dpmr_ir::module::{FuncId, Module, RegInfo};
+use dpmr_vm::code::{LoweredCode, Op, Opnd};
+use dpmr_vm::value::Value;
 
 /// The fault model of the evaluation (Sec. 3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,30 +115,44 @@ pub fn enumerate_heap_alloc_sites(m: &Module) -> Vec<InjectionSite> {
     sites
 }
 
+/// The absolute pc of an IR injection site within the module's lowered
+/// bytecode (one op per instruction and per terminator, so the mapping is
+/// exact; see `dpmr_vm::lower`).
+fn site_pc(m: &Module, code: &LoweredCode, site: &InjectionSite) -> u32 {
+    let f = m.func(site.func);
+    let starts = f.linear_block_starts();
+    code.entry(site.func) + starts[site.block as usize] + site.instr
+}
+
 /// Statically filters injections that provably cannot manifest: a resize
 /// whose reduced request is still granted the same rounded block size
 /// (`malloc`'s minimum-payload and granularity rounding; Sec. 3.4's
 /// example of the 24-byte minimum masking a 16-byte request).
 ///
+/// Consults the lowered op at the site — `lower.rs` already resolved the
+/// element size and pre-normalized a constant count into an immediate, so
+/// the filter no longer re-derives type layout from the IR. `code` must
+/// be lowered from `m` (campaigns lower once and filter every site
+/// against it).
+///
 /// Returns `false` (filter out) only when non-manifestation is provable
 /// from a constant allocation count.
-pub fn may_manifest(m: &Module, site: &InjectionSite, fault: FaultType) -> bool {
+pub fn may_manifest(
+    m: &Module,
+    code: &LoweredCode,
+    site: &InjectionSite,
+    fault: FaultType,
+) -> bool {
     let FaultType::HeapArrayResize { keep_percent } = fault else {
         return true;
     };
-    let f = m.func(site.func);
-    let Instr::Malloc { elem, count, .. } =
-        &f.blocks[site.block as usize].instrs[site.instr as usize]
-    else {
+    let Op::Malloc { count, esize, .. } = &code.ops[site_pc(m, code, site) as usize] else {
         return true;
     };
-    let Operand::Const(Const::Int { value, .. }) = count else {
+    let Opnd::Imm(Value::Int(value)) = count else {
         return true; // dynamic request size: cannot filter
     };
-    let Ok(esz) = m.types.size_of(*elem) else {
-        return true;
-    };
-    let orig = esz * u64::try_from((*value).max(0)).unwrap_or(0);
+    let orig = esize * u64::try_from((*value).max(0)).unwrap_or(0);
     let reduced = orig * u64::from(keep_percent) / 100;
     let round = |sz: u64| {
         sz.max(dpmr_vm::alloc::MIN_PAYLOAD)
@@ -127,14 +162,102 @@ pub fn may_manifest(m: &Module, site: &InjectionSite, fault: FaultType) -> bool 
 }
 
 /// All heap allocation sites where `fault` may manifest: enumeration
-/// combined with the static filter. Recovery campaigns iterate exactly
-/// this set — injecting a filtered site only wastes runs on experiments
-/// that count as unsuccessful injections.
+/// combined with the static filter (the module is lowered once for the
+/// whole scan). Recovery campaigns iterate exactly this set — injecting a
+/// filtered site only wastes runs on experiments that count as
+/// unsuccessful injections. Callers scanning several fault types should
+/// lower once themselves and use [`manifesting_sites_lowered`].
 pub fn manifesting_sites(m: &Module, fault: FaultType) -> Vec<InjectionSite> {
+    manifesting_sites_lowered(m, &dpmr_vm::lower::lower(m), fault)
+}
+
+/// Like [`manifesting_sites`] but against an already-lowered `code`
+/// (which must come from `m`) — the per-fault-type loop shape, where
+/// re-lowering the module for every fault would be pure waste.
+pub fn manifesting_sites_lowered(
+    m: &Module,
+    code: &LoweredCode,
+    fault: FaultType,
+) -> Vec<InjectionSite> {
     enumerate_heap_alloc_sites(m)
         .into_iter()
-        .filter(|s| may_manifest(m, s, fault))
+        .filter(|s| may_manifest(m, code, s, fault))
         .collect()
+}
+
+/// Which access an [`OpSite`] performs (the site-kind axis of the
+/// runtime-fault enumeration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A scalar load op.
+    Load,
+    /// A scalar store op.
+    Store,
+}
+
+/// One load/store op of the lowered bytecode, eligible for arming a
+/// runtime fault. `pc` is the stable absolute op index ([`ArmedFault`]'s
+/// `site`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpSite {
+    /// Absolute pc into [`LoweredCode::ops`].
+    pub pc: u32,
+    /// Load or store.
+    pub access: AccessKind,
+}
+
+/// Enumerates every op of the lowered stream where `model` can be armed,
+/// in pc order: loads and/or stores per the class's eligibility (a wild
+/// write needs a store, an uninitialized read needs a load, the rest
+/// take both). A globals-region bit-flip is additionally restricted to
+/// direct global accesses (`Opnd::Global` pointers) — the one case where
+/// the target region is statically knowable, so trials are never wasted
+/// arming sites that provably cannot land in the region.
+pub fn enumerate_op_sites(code: &LoweredCode, model: FaultModel) -> Vec<OpSite> {
+    code.ops
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, op)| {
+            let (access, ptr) = match op {
+                Op::Load { ptr, .. } => (AccessKind::Load, ptr),
+                Op::Store { ptr, .. } => (AccessKind::Store, ptr),
+                _ => return None,
+            };
+            let mut eligible = match access {
+                AccessKind::Load => model.applies_to_loads(),
+                AccessKind::Store => model.applies_to_stores(),
+            };
+            if let FaultModel::BitFlip {
+                region: MemRegion::Globals,
+            } = model
+            {
+                eligible &= matches!(ptr, Opnd::Global(_));
+            }
+            eligible.then_some(OpSite {
+                pc: pc as u32,
+                access,
+            })
+        })
+        .collect()
+}
+
+/// Deterministically samples at most `cap` sites with an even stride, so
+/// a bounded sweep still spans the whole program instead of clustering at
+/// its entry (plain truncation would only ever fault the prologue).
+pub fn sample_sites(sites: &[OpSite], cap: usize) -> Vec<OpSite> {
+    if cap == 0 || sites.is_empty() {
+        return Vec::new();
+    }
+    if sites.len() <= cap {
+        return sites.to_vec();
+    }
+    (0..cap).map(|i| sites[i * sites.len() / cap]).collect()
+}
+
+/// Derives the deterministic per-trial seed of a campaign run (shared by
+/// the harness campaign and the tests that replay its trials).
+pub fn trial_seed(site_pc: u32, run: u32) -> u64 {
+    fault_mix(u64::from(site_pc), u64::from(run).wrapping_add(1) << 32)
 }
 
 /// Injects `fault` at `site`, returning the faulty program. The injected
@@ -275,20 +398,80 @@ mod tests {
     fn static_filter_masks_rounded_requests() {
         // 2 * 8 = 16 bytes -> min payload 24 either way: filtered.
         let m = two_alloc_program();
+        let code = dpmr_vm::lower::lower(&m);
         let sites = enumerate_heap_alloc_sites(&m);
         assert!(!may_manifest(
             &m,
+            &code,
             &sites[1],
             FaultType::HeapArrayResize { keep_percent: 50 }
         ));
         // 8 * 8 = 64 bytes -> 32 after resize: manifests.
         assert!(may_manifest(
             &m,
+            &code,
             &sites[0],
             FaultType::HeapArrayResize { keep_percent: 50 }
         ));
         // Immediate frees always may manifest.
-        assert!(may_manifest(&m, &sites[1], FaultType::ImmediateFree));
+        assert!(may_manifest(&m, &code, &sites[1], FaultType::ImmediateFree));
+    }
+
+    #[test]
+    fn op_site_enumeration_respects_class_eligibility() {
+        let m = two_alloc_program();
+        let code = dpmr_vm::lower::lower(&m);
+        let both = enumerate_op_sites(&code, FaultModel::OffByN { n: 1 });
+        assert!(both.iter().any(|s| s.access == AccessKind::Load));
+        assert!(both.iter().any(|s| s.access == AccessKind::Store));
+        // Every site names a load/store op of the stream.
+        for s in &both {
+            assert!(matches!(
+                code.ops[s.pc as usize],
+                Op::Load { .. } | Op::Store { .. }
+            ));
+        }
+        // Globals bit-flips arm only direct global accesses; this
+        // program has none, so the class has no sites here.
+        assert!(enumerate_op_sites(
+            &code,
+            FaultModel::BitFlip {
+                region: MemRegion::Globals
+            }
+        )
+        .is_empty());
+        let loads_only = enumerate_op_sites(&code, FaultModel::UninitRead);
+        assert!(loads_only.iter().all(|s| s.access == AccessKind::Load));
+        let stores_only = enumerate_op_sites(&code, FaultModel::WildWrite);
+        assert!(stores_only.iter().all(|s| s.access == AccessKind::Store));
+        // Pure: same module, same sites.
+        assert_eq!(
+            both,
+            enumerate_op_sites(&dpmr_vm::lower::lower(&m), FaultModel::OffByN { n: 1 })
+        );
+    }
+
+    #[test]
+    fn sample_sites_is_even_and_deterministic() {
+        let sites: Vec<OpSite> = (0..100)
+            .map(|pc| OpSite {
+                pc,
+                access: AccessKind::Load,
+            })
+            .collect();
+        let s = sample_sites(&sites, 4);
+        assert_eq!(
+            s.iter().map(|x| x.pc).collect::<Vec<_>>(),
+            vec![0, 25, 50, 75],
+            "even stride across the stream"
+        );
+        assert_eq!(sample_sites(&sites, 4), s);
+        assert_eq!(
+            sample_sites(&sites[..3], 8).len(),
+            3,
+            "cap above len is all"
+        );
+        assert!(sample_sites(&sites, 0).is_empty());
     }
 
     #[test]

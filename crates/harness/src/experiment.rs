@@ -5,7 +5,7 @@
 use dpmr_core::prelude::*;
 use dpmr_fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType, InjectionSite};
 use dpmr_ir::module::Module;
-use dpmr_recovery::RecoveryDriver;
+use dpmr_recovery::{RecoveryDriver, RecoveryOutcome};
 use dpmr_vm::prelude::*;
 use dpmr_workloads::{AppSpec, WorkloadParams};
 use std::rc::Rc;
@@ -97,12 +97,17 @@ pub struct RecoveryMeasurement {
     pub t2r: Option<u64>,
 }
 
-/// A prepared application: golden module, golden run, and injection sites.
+/// A prepared application: golden module, its lowered bytecode, golden
+/// run, and injection sites.
 pub struct PreparedApp {
     /// Application spec.
     pub app: AppSpec,
     /// Unmodified module.
     pub module: Module,
+    /// The golden module's lowered bytecode (the static filter consults
+    /// it; stored plain — not `Rc`-wrapped — so prepared apps stay `Send`
+    /// for the study scheduler).
+    pub code: LoweredCode,
     /// Golden run outcome.
     pub golden: RunOutcome,
     /// Injectable sites that may manifest, per fault type.
@@ -117,7 +122,19 @@ pub struct PreparedApp {
 /// Panics if the golden run is not clean (a workload bug).
 pub fn prepare(app: AppSpec, params: &WorkloadParams) -> PreparedApp {
     let module = (app.build)(params);
-    let golden = run_with_limits(&module, &RunConfig::default());
+    let code_rc = Rc::new(dpmr_vm::lower::lower(&module));
+    let golden = {
+        let rc = RunConfig::default();
+        let mut interp = Interp::with_code(
+            &module,
+            Rc::clone(&code_rc),
+            &rc,
+            Rc::new(Registry::with_base()),
+        );
+        interp.run(rc.args.clone())
+    };
+    // The golden interpreter is gone; reclaim the lowering it shared.
+    let code = Rc::try_unwrap(code_rc).expect("golden interpreter dropped");
     assert_eq!(
         golden.status,
         ExitStatus::Normal(0),
@@ -128,6 +145,7 @@ pub fn prepare(app: AppSpec, params: &WorkloadParams) -> PreparedApp {
     PreparedApp {
         app,
         module,
+        code,
         golden,
         sites,
         params: *params,
@@ -135,12 +153,13 @@ pub fn prepare(app: AppSpec, params: &WorkloadParams) -> PreparedApp {
 }
 
 impl PreparedApp {
-    /// Sites where `fault` may manifest (static filter, Sec. 3.4).
+    /// Sites where `fault` may manifest (static filter, Sec. 3.4, applied
+    /// against the prepared lowering).
     pub fn manifest_sites(&self, fault: FaultType) -> Vec<InjectionSite> {
         self.sites
             .iter()
             .copied()
-            .filter(|s| may_manifest(&self.module, s, fault))
+            .filter(|s| may_manifest(&self.module, &self.code, s, fault))
             .collect()
     }
 
@@ -280,7 +299,11 @@ impl PreparedApp {
     ) -> RecoveryMeasurement {
         let rc = self.run_config(run);
         let driver = RecoveryDriver::with_code(transformed, code, registry, rc, rec);
-        let out = driver.run();
+        self.measure_recovery(driver.run())
+    }
+
+    /// Reduces a raw recovery outcome against the golden reference.
+    pub fn measure_recovery(&self, out: RecoveryOutcome) -> RecoveryMeasurement {
         let correct = matches!(out.last.status, ExitStatus::Normal(0))
             && out.last.output == self.golden.output;
         RecoveryMeasurement {
@@ -292,6 +315,45 @@ impl PreparedApp {
             retries: u64::from(out.attempts.saturating_sub(1)),
             t2r: out.time_to_recovery,
         }
+    }
+
+    /// Executes one *runtime-fault* trial: runs `module` (shared lowered
+    /// `code`, shared `registry`) with `fault` armed in the run
+    /// configuration — the Mem/Interp-boundary injection hook — using run
+    /// `run`'s seeds, and reduces against the golden reference. The armed
+    /// triple makes the trial exactly replayable.
+    pub fn run_armed(
+        &self,
+        module: &Module,
+        code: Rc<LoweredCode>,
+        registry: Rc<Registry>,
+        fault: ArmedFault,
+        run: u32,
+    ) -> Measurement {
+        let mut rc = self.run_config(run);
+        rc.fault = Some(fault);
+        let mut interp = Interp::with_code(module, code, &rc, registry);
+        let out = interp.run(rc.args.clone());
+        self.measure(&out)
+    }
+
+    /// Like [`PreparedApp::run_armed`] but executing under a recovery
+    /// policy: the armed fault rides the run configuration into the
+    /// [`RecoveryDriver`], so repairs and checkpoint replays face the
+    /// same deterministic corruption the detection trial saw.
+    pub fn run_armed_recovery(
+        &self,
+        module: &Module,
+        code: Rc<LoweredCode>,
+        registry: Rc<Registry>,
+        fault: ArmedFault,
+        rec: RecoveryConfig,
+        run: u32,
+    ) -> RecoveryMeasurement {
+        let mut rc = self.run_config(run);
+        rc.fault = Some(fault);
+        let driver = RecoveryDriver::with_code(module, code, registry, rc, rec);
+        self.measure_recovery(driver.run())
     }
 
     /// Overhead of a DPMR configuration: mean execution time of the

@@ -2,7 +2,7 @@
 //! same rows/series the dissertation reports (ASCII renderings of the
 //! stacked-bar figures and latency tables).
 
-use crate::metrics::{RecoveryStudyResults, StudyResults};
+use crate::metrics::{FaultCampaignResults, RecoveryStudyResults, StudyResults};
 use std::fmt::Write as _;
 
 fn bar(frac: f64, width: usize) -> String {
@@ -221,10 +221,64 @@ pub fn recovery_table(title: &str, res: &RecoveryStudyResults) -> String {
     out
 }
 
+/// Renders the runtime fault-campaign table (Table F.1): per fault class
+/// x app, fired trials, detection split (DPMR vs natural), escape,
+/// benign, and timeout rates, recovery success, and mean detection
+/// latency in virtual cycles. Rates are fractions of *fired* trials
+/// (dpmr + nat + escape + benign + t/o accounts for every fired trial);
+/// (class, app) pairs with zero eligible sites are omitted.
+pub fn fault_campaign_table(title: &str, res: &FaultCampaignResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:<8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>5} {:>6} {:>13}",
+        "fault class",
+        "app",
+        "trials",
+        "fired",
+        "dpmr",
+        "nat",
+        "escape",
+        "benign",
+        "t/o",
+        "recov",
+        "latency(cyc)"
+    );
+    for class in &res.classes {
+        for app in &res.apps {
+            let key = (class.clone(), app.clone());
+            let Some(a) = res.agg.get(&key) else {
+                continue;
+            };
+            let latency = match a.mean_latency_cycles() {
+                Some(c) => format!("{c:.0}"),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<8} {:>6} {:>6} {:>6.2} {:>5.2} {:>7.2} {:>7.2} {:>5.2} {:>6.2} {:>13}",
+                class,
+                app,
+                a.trials,
+                a.fired,
+                a.dpmr_rate(),
+                a.natural_rate(),
+                a.escape_rate(),
+                a.benign_rate(),
+                a.timeout_rate(),
+                a.recovery_rate(),
+                latency
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{CovAgg, RecoveryAgg, RecoveryStudyResults, StudyResults};
+    use crate::metrics::{CovAgg, FaultClassAgg, RecoveryAgg, RecoveryStudyResults, StudyResults};
 
     fn fake_results() -> StudyResults {
         let mut res = StudyResults {
@@ -284,6 +338,35 @@ mod tests {
         let res = fake_results();
         let txt = conditional_figure("Fig cond", &res, "heap array resize 50%");
         assert!(txt.contains("no-diversity"));
+    }
+
+    #[test]
+    fn fault_campaign_table_renders_rates_and_latency() {
+        let mut res = FaultCampaignResults {
+            classes: vec!["bit-flip heap".into()],
+            apps: vec!["pchase".into()],
+            ..FaultCampaignResults::default()
+        };
+        res.agg.insert(
+            ("bit-flip heap".into(), "pchase".into()),
+            FaultClassAgg {
+                trials: 5,
+                fired: 4,
+                ddet: 2,
+                ndet: 1,
+                escaped: 1,
+                benign: 0,
+                timeouts: 0,
+                latency_cycles: 9_000,
+                latency_n: 3,
+                recovered: 2,
+            },
+        );
+        let txt = fault_campaign_table("Table F.1 test", &res);
+        assert!(txt.contains("bit-flip heap"));
+        assert!(txt.contains("0.50"), "dpmr rate, {txt}");
+        assert!(txt.contains("0.25"), "escape rate, {txt}");
+        assert!(txt.contains("3000"), "mean latency, {txt}");
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod sched;
 
 use dpmr_core::prelude::*;
 use metrics::{
-    run_diversity_study, run_policy_study, run_recovery_study, CampaignConfig,
-    RecoveryStudyResults, StudyResults,
+    run_diversity_study, run_fault_campaign, run_policy_study, run_recovery_study, CampaignConfig,
+    FaultCampaignResults, RecoveryStudyResults, StudyResults,
 };
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -141,6 +141,10 @@ pub fn artifact_descriptions() -> Vec<(&'static str, &'static str)> {
             "tabR.1",
             "detection-to-recovery study (fail-stop / retry / repair / mid-run cadence)",
         ),
+        (
+            "tabF.1",
+            "runtime fault campaign: per-class detection, escape, latency, recovery (SDS)",
+        ),
     ]
 }
 
@@ -161,6 +165,7 @@ struct Studies {
     mds_div: Option<StudyResults>,
     mds_pol: Option<StudyResults>,
     recovery: Option<RecoveryStudyResults>,
+    fault: Option<FaultCampaignResults>,
 }
 
 impl Studies {
@@ -171,6 +176,7 @@ impl Studies {
             mds_div: None,
             mds_pol: None,
             recovery: None,
+            fault: None,
         }
     }
 
@@ -212,6 +218,17 @@ impl Studies {
             ));
         }
         self.recovery.as_ref().expect("just set")
+    }
+    fn fault(&mut self, cc: &CampaignConfig) -> &FaultCampaignResults {
+        if self.fault.is_none() {
+            eprintln!("[harness] running runtime fault campaign...");
+            self.fault = Some(run_fault_campaign(
+                &dpmr_workloads::fault_campaign_apps(),
+                &DpmrConfig::sds(),
+                cc,
+            ));
+        }
+        self.fault.as_ref().expect("just set")
     }
 }
 
@@ -376,6 +393,10 @@ pub fn reproduce(ids: &BTreeSet<String>, cc: &CampaignConfig) -> String {
                 "Table R.1: Detection-to-recovery of injected faults (SDS, rearrange-heap, all loads)",
                 studies.recovery(cc),
             ),
+            "tabF.1" => figures::fault_campaign_table(
+                "Table F.1: Runtime fault campaign across the expanded fault model (SDS, rearrange-heap, all loads)",
+                studies.fault(cc),
+            ),
             "ch5" => chapter5_demo(),
             _ => continue,
         };
@@ -473,11 +494,12 @@ mod tests {
     #[test]
     fn ids_are_complete() {
         let ids = all_ids();
-        assert_eq!(ids.len(), 28);
+        assert_eq!(ids.len(), 29);
         assert!(ids.contains(&"fig3.6"));
         assert!(ids.contains(&"tab4.6"));
         assert!(ids.contains(&"ch5"));
         assert!(ids.contains(&"tabR.1"));
+        assert!(ids.contains(&"tabF.1"));
     }
 
     #[test]

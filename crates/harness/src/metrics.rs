@@ -4,7 +4,9 @@
 
 use crate::experiment::{prepare, Measurement, PreparedApp, RecoveryMeasurement, CYCLES_PER_MSEC};
 use dpmr_core::prelude::*;
-use dpmr_fi::FaultType;
+use dpmr_fi::{ArmedFault, FaultModel, FaultType, OpSite};
+use dpmr_ir::module::Module;
+use dpmr_vm::code::LoweredCode;
 use dpmr_workloads::{AppSpec, WorkloadParams};
 use std::collections::BTreeMap;
 
@@ -486,6 +488,269 @@ fn run_recovery_site_unit(
     out
 }
 
+/// Default cap on armed sites per (app, fault class) when the campaign
+/// configuration sets no explicit `max_sites`: the op-stream enumeration
+/// yields *every* load/store pc — hundreds per app — so, unlike the
+/// allocation-site studies, an uncapped sweep is never the intent.
+/// Sampling is even-strided across the stream (see
+/// [`dpmr_fi::sample_sites`]).
+pub const FAULT_SITES_PER_CLASS: usize = 6;
+
+/// Repair budget of the campaign's recovery leg.
+const CAMPAIGN_REPAIR_BUDGET: u64 = 4096;
+
+/// Accumulator for one (fault class, app) population of the runtime
+/// fault campaign (Table F.1). All rate denominators are *fired* trials
+/// (the armed fault actually mutated an access), mirroring how the
+/// coverage metrics exclude unsuccessful injections.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultClassAgg {
+    /// Trials executed (fired or not).
+    pub trials: u32,
+    /// Trials whose armed fault fired at least once.
+    pub fired: u32,
+    /// Fired trials ending in a `dpmr.check` detection.
+    pub ddet: u32,
+    /// Fired trials ending in natural detection (crash / self-report).
+    pub ndet: u32,
+    /// Fired trials that completed normally with **wrong** output —
+    /// silent corruptions that escaped every detector.
+    pub escaped: u32,
+    /// Fired trials that completed normally with correct output.
+    pub benign: u32,
+    /// Fired trials that exhausted the instruction budget.
+    pub timeouts: u32,
+    /// Sum of detection latencies (first fire → detection, in virtual
+    /// cycles) over detected fired trials.
+    pub latency_cycles: u64,
+    /// Detected fired trials contributing to `latency_cycles`.
+    pub latency_n: u32,
+    /// Fired trials whose recovery leg completed with correct output.
+    pub recovered: u32,
+}
+
+impl FaultClassAgg {
+    /// Adds one trial: the detection-leg measurement plus whether the
+    /// recovery leg survived with correct output.
+    pub fn add(&mut self, m: &Measurement, recovered: bool) {
+        self.trials += 1;
+        if !m.sf {
+            return;
+        }
+        self.fired += 1;
+        if m.co {
+            self.benign += 1;
+        } else if m.ndet {
+            self.ndet += 1;
+        } else if m.ddet {
+            self.ddet += 1;
+        } else if m.timeout {
+            self.timeouts += 1;
+        } else {
+            self.escaped += 1;
+        }
+        if !m.co && (m.ndet || m.ddet) {
+            if let Some(t) = m.t2d {
+                self.latency_cycles += t;
+                self.latency_n += 1;
+            }
+        }
+        if recovered {
+            self.recovered += 1;
+        }
+    }
+
+    fn frac(&self, num: u32) -> f64 {
+        if self.fired == 0 {
+            0.0
+        } else {
+            f64::from(num) / f64::from(self.fired)
+        }
+    }
+
+    /// Fraction of fired trials detected at all (DPMR or natural).
+    pub fn detection_rate(&self) -> f64 {
+        self.frac(self.ddet + self.ndet)
+    }
+    /// Fraction of fired trials detected by a `dpmr.check`.
+    pub fn dpmr_rate(&self) -> f64 {
+        self.frac(self.ddet)
+    }
+    /// Fraction of fired trials detected naturally.
+    pub fn natural_rate(&self) -> f64 {
+        self.frac(self.ndet)
+    }
+    /// Fraction of fired trials that escaped silently (wrong output,
+    /// no detection).
+    pub fn escape_rate(&self) -> f64 {
+        self.frac(self.escaped)
+    }
+    /// Fraction of fired trials whose corruption was benign.
+    pub fn benign_rate(&self) -> f64 {
+        self.frac(self.benign)
+    }
+    /// Fraction of fired trials that exhausted the instruction budget
+    /// (with the other four outcome rates, accounts for every fired
+    /// trial).
+    pub fn timeout_rate(&self) -> f64 {
+        self.frac(self.timeouts)
+    }
+    /// Fraction of fired trials whose recovery leg survived correctly.
+    pub fn recovery_rate(&self) -> f64 {
+        self.frac(self.recovered)
+    }
+    /// Mean detection latency in virtual cycles over detected trials.
+    pub fn mean_latency_cycles(&self) -> Option<f64> {
+        if self.latency_n == 0 {
+            None
+        } else {
+            Some(self.latency_cycles as f64 / f64::from(self.latency_n))
+        }
+    }
+}
+
+/// The runtime fault campaign: fault classes x apps under one DPMR base
+/// configuration (Table F.1).
+#[derive(Debug, Default)]
+pub struct FaultCampaignResults {
+    /// Fault-class display names, in taxonomy order.
+    pub classes: Vec<String>,
+    /// App names, in presentation order.
+    pub apps: Vec<String>,
+    /// Aggregates per (class-name, app).
+    pub agg: BTreeMap<(String, String), FaultClassAgg>,
+    /// Trial executions performed (detection + recovery legs).
+    pub experiments: u64,
+}
+
+/// One parallel unit of the fault campaign: every trial of one fault
+/// class armed at one op site of one app's transformed build.
+struct FaultUnit {
+    app_idx: usize,
+    class: FaultModel,
+    site: OpSite,
+}
+
+/// One trial's reduced outcome.
+struct FaultTrial {
+    m: Measurement,
+    recovered: bool,
+    ran_recovery: bool,
+}
+
+/// Runs the runtime fault-injection campaign: every class of
+/// [`FaultModel::paper_set`] armed across an even sample of its eligible
+/// load/store sites in each app's DPMR-transformed build, with
+/// `cc.runs` trials per site (trial `r` arms at `r/runs` of the golden
+/// running time under a trial-derived seed). Each trial runs a detection
+/// leg and — when DPMR detected — a repair-from-replica recovery leg.
+/// Units fan across the study scheduler and merge in unit order, so the
+/// artifact is bit-identical at any worker count.
+pub fn run_fault_campaign(
+    apps: &[AppSpec],
+    base: &DpmrConfig,
+    cc: &CampaignConfig,
+) -> FaultCampaignResults {
+    let classes = FaultModel::paper_set();
+    let mut res = FaultCampaignResults {
+        classes: classes.iter().map(|c| c.name()).collect(),
+        apps: apps.iter().map(|a| a.name.to_string()).collect(),
+        ..FaultCampaignResults::default()
+    };
+    let prepared: Vec<PreparedApp> =
+        crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
+    // Transformation and lowering depend only on (app, base): build each
+    // once, in parallel (stored plain so the results stay `Send`; units
+    // clone the bytecode into their own `Rc`).
+    let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
+        let t = transform(&p.module, base).expect("transform");
+        let code = dpmr_vm::lower::lower(&t);
+        (t, code)
+    });
+    let cap = cc.max_sites.unwrap_or(FAULT_SITES_PER_CLASS);
+    let mut units = Vec::new();
+    for (app_idx, (_, code)) in built.iter().enumerate() {
+        for class in &classes {
+            let sites = dpmr_fi::enumerate_op_sites(code, *class);
+            units.extend(
+                dpmr_fi::sample_sites(&sites, cap)
+                    .into_iter()
+                    .map(|site| FaultUnit {
+                        app_idx,
+                        class: *class,
+                        site,
+                    }),
+            );
+        }
+    }
+    let outcomes = crate::sched::run_indexed(&units, cc.workers, |u| {
+        run_fault_unit(u, &prepared[u.app_idx], &built[u.app_idx], base, cc)
+    });
+    for (u, trials) in units.iter().zip(outcomes) {
+        let key = (u.class.name(), apps[u.app_idx].name.to_string());
+        let agg = res.agg.entry(key).or_default();
+        for t in trials {
+            res.experiments += 1 + u64::from(t.ran_recovery);
+            agg.add(&t.m, t.recovered);
+        }
+    }
+    res
+}
+
+fn run_fault_unit(
+    u: &FaultUnit,
+    p: &PreparedApp,
+    built: &(Module, LoweredCode),
+    base: &DpmrConfig,
+    cc: &CampaignConfig,
+) -> Vec<FaultTrial> {
+    use std::rc::Rc;
+    let (transformed, code) = built;
+    let code = Rc::new(code.clone());
+    let registry = Rc::new(registry_with_wrappers());
+    let mut rec = base.recovery;
+    rec.policy = RecoveryPolicy::RepairFromReplica {
+        max_repairs: CAMPAIGN_REPAIR_BUDGET,
+    };
+    (0..cc.runs)
+        .map(|run| {
+            let armed = ArmedFault {
+                site: u.site.pc,
+                fault: u.class,
+                seed: dpmr_fi::trial_seed(u.site.pc, run),
+                // Trial r arms r/runs of the way into the golden running
+                // time (trial 0 is armed from the first cycle).
+                arm_cycle: p.golden.cycles * u64::from(run) / u64::from(cc.runs.max(1)),
+            };
+            let m = p.run_armed(
+                transformed,
+                Rc::clone(&code),
+                Rc::clone(&registry),
+                armed,
+                run,
+            );
+            // The recovery leg only makes sense for DPMR detections —
+            // crashes are not resumable and escapes never trap.
+            let ran_recovery = m.sf && m.ddet;
+            let recovered = ran_recovery
+                && p.run_armed_recovery(
+                    transformed,
+                    Rc::clone(&code),
+                    Rc::clone(&registry),
+                    armed,
+                    rec,
+                    run,
+                )
+                .recovered_correct;
+            FaultTrial {
+                m,
+                recovered,
+                ran_recovery,
+            }
+        })
+        .collect()
+}
+
 /// The diversity-study variant list (Sections 3.7 / 4.5): all seven
 /// diversity transformations under the all-loads policy.
 pub fn diversity_variants(scheme: Scheme) -> Vec<(String, DpmrConfig)> {
@@ -572,6 +837,57 @@ mod tests {
     fn variant_lists_have_paper_sizes() {
         assert_eq!(diversity_variants(Scheme::Sds).len(), 7);
         assert_eq!(policy_variants(Scheme::Mds).len(), 7);
+    }
+
+    #[test]
+    fn fault_class_agg_rates_are_fired_denominated() {
+        let mut a = FaultClassAgg::default();
+        let m = |sf, co, ndet, ddet, t2d| Measurement {
+            sf,
+            co,
+            ndet,
+            ddet,
+            timeout: false,
+            t2d,
+            cycles: 1,
+            instrs: 1,
+        };
+        a.add(&m(false, false, false, false, None), false); // unfired
+        a.add(&m(true, false, false, true, Some(100)), true); // dpmr, recovered
+        a.add(&m(true, false, true, false, Some(300)), false); // natural
+        a.add(&m(true, false, false, false, None), false); // escape
+        a.add(&m(true, true, false, false, None), false); // benign
+        assert_eq!(a.trials, 5);
+        assert_eq!(a.fired, 4);
+        assert!((a.detection_rate() - 0.5).abs() < 1e-9);
+        assert!((a.dpmr_rate() - 0.25).abs() < 1e-9);
+        assert!((a.escape_rate() - 0.25).abs() < 1e-9);
+        assert!((a.benign_rate() - 0.25).abs() < 1e-9);
+        assert!((a.recovery_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(a.mean_latency_cycles(), Some(200.0));
+    }
+
+    #[test]
+    fn tiny_fault_campaign_runs_end_to_end() {
+        let app = app_by_name("pchase").expect("pchase");
+        let cc = CampaignConfig {
+            max_sites: Some(2),
+            ..CampaignConfig::tiny()
+        };
+        let res = run_fault_campaign(&[app], &DpmrConfig::sds(), &cc);
+        assert_eq!(res.classes.len(), FaultModel::paper_set().len());
+        assert!(res.experiments > 0);
+        assert!(
+            res.agg.values().any(|a| a.fired > 0),
+            "some class must fire on pchase"
+        );
+        // Every (class, app) population the campaign armed is present.
+        for class in &res.classes {
+            assert!(
+                res.agg.contains_key(&(class.clone(), "pchase".to_string())),
+                "{class} missing from the aggregate"
+            );
+        }
     }
 
     #[test]

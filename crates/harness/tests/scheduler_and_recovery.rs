@@ -4,8 +4,12 @@
 //! regressing the recovery success rate).
 
 use dpmr_core::prelude::*;
-use dpmr_harness::figures::{coverage_figure, mttd_table, overhead_figure, recovery_table};
-use dpmr_harness::metrics::{diversity_variants, run_recovery_study, run_study, CampaignConfig};
+use dpmr_harness::figures::{
+    coverage_figure, fault_campaign_table, mttd_table, overhead_figure, recovery_table,
+};
+use dpmr_harness::metrics::{
+    diversity_variants, run_fault_campaign, run_recovery_study, run_study, CampaignConfig,
+};
 use dpmr_workloads::app_by_name;
 
 fn tiny(workers: usize) -> CampaignConfig {
@@ -55,6 +59,38 @@ fn recovery_artifact_is_bit_identical_across_worker_counts() {
         recovery_table("tabR.1", &reference),
         recovery_table("tabR.1", &parallel)
     );
+}
+
+#[test]
+fn fault_campaign_artifact_is_bit_identical_across_worker_counts() {
+    // The runtime fault campaign fans (app, class, site) units across
+    // the same work-stealing scheduler as the coverage studies; its
+    // Table F.1 rendering must be byte-identical at any worker count.
+    let apps = [
+        app_by_name("pchase").unwrap(),
+        app_by_name("rvictim").unwrap(),
+    ];
+    let cc = |workers| CampaignConfig {
+        params: dpmr_workloads::WorkloadParams::quick(),
+        runs: 2,
+        max_sites: Some(3),
+        workers,
+    };
+    let reference = run_fault_campaign(&apps, &DpmrConfig::sds(), &cc(1));
+    assert!(reference.experiments > 0);
+    assert!(
+        reference.agg.values().any(|a| a.fired > 0),
+        "the campaign must fire at least one fault"
+    );
+    for workers in [2, 8] {
+        let parallel = run_fault_campaign(&apps, &DpmrConfig::sds(), &cc(workers));
+        assert_eq!(parallel.experiments, reference.experiments);
+        assert_eq!(
+            fault_campaign_table("tabF.1", &reference),
+            fault_campaign_table("tabF.1", &parallel),
+            "workers={workers}"
+        );
+    }
 }
 
 #[test]

@@ -154,6 +154,14 @@ impl RecoveryOutcome {
 /// Owns the checkpoint cadence and the detection-reaction loop for one
 /// transformed module.
 ///
+/// A runtime fault armed on the run configuration (`RunConfig::fault`)
+/// rides into every attempt the driver makes: repairs face the same
+/// deterministic corruption the detection saw, and a checkpoint restore
+/// to a pre-fire point re-arms one-shot faults so rolled-back timelines
+/// refire them at the same instant — which is what lets the fault
+/// campaign measure recovery against the expanded fault model without
+/// any driver-side special-casing.
+///
 /// The interpreter's execution stack is explicit, so a checkpoint taken
 /// between any two instructions is a complete description of execution
 /// state. With a configured cadence the driver collects mid-run

@@ -18,6 +18,13 @@
 //! remains the unlowered source of truth, and lowering the same module
 //! twice yields identical code (so snapshots taken by one interpreter
 //! restore into any other interpreter of the same module).
+//!
+//! Purity also makes op indices **stable site ids**: a pc into
+//! [`LoweredCode::ops`] names the same operation in every interpreter of
+//! the module. The fault-campaign engine leans on this — runtime faults
+//! are armed at load/store pcs ([`crate::fault::ArmedFault::site`]) and
+//! replay bit-identically — just as `dpmr.check` ops carry stable
+//! check-site ids assigned at lowering.
 
 use crate::value::Value;
 use dpmr_ir::instr::{BinOp, CastOp, CmpPred};

@@ -40,7 +40,8 @@
 use crate::alloc::{AllocStats, Allocator, FreeOutcome};
 use crate::code::{LoadKind, LoweredCode, Op, Opnd, StoreKind};
 use crate::external::{Handler, Registry};
-use crate::mem::{Mem, MemConfig, MemFault, MemSnapshot};
+use crate::fault::{fault_mix, ArmedFault, FaultModel};
+use crate::mem::{Mem, MemConfig, MemFault, MemSnapshot, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 use crate::value::{normalize_int, scalar_bytes, store_scalar, Value};
 use dpmr_ir::instr::{BinOp, CastOp, CmpPred};
 use dpmr_ir::module::{ExternalId, FuncId, GlobalInit, Module};
@@ -212,6 +213,8 @@ pub struct InterpSnapshot {
     detections: u64,
     repairs: u64,
     first_detection_cycle: Option<u64>,
+    fault_fired: Option<u64>,
+    fault_hits: u64,
 }
 
 impl InterpSnapshot {
@@ -266,6 +269,13 @@ pub struct RunOutcome {
     /// (`detect_cycle` only covers terminal ones). Time-to-recovery
     /// measurements run from here to completion.
     pub first_detection_cycle: Option<u64>,
+    /// Virtual cycle at which the armed runtime fault first fired
+    /// (also surfaced through `first_fi_cycle`, so campaign metrics
+    /// treat runtime and compile-time injections uniformly).
+    pub fault_fired_cycle: Option<u64>,
+    /// Times the armed runtime fault mutated an access (recurring
+    /// classes fire on every execution of the armed site).
+    pub fault_hits: u64,
 }
 
 /// Run limits and inputs.
@@ -281,6 +291,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Maximum call depth (a count of live [`Frame`]s, not host stack).
     pub max_depth: u32,
+    /// Runtime fault armed for this run (the Mem/Interp-boundary
+    /// injection hook; see [`crate::fault`]). `None` runs clean.
+    pub fault: Option<ArmedFault>,
 }
 
 impl Default for RunConfig {
@@ -298,6 +311,7 @@ impl Default for RunConfig {
             // the simulated stack capacity cannot catch — to tens of MB
             // of host heap even when checkpoints clone the frame vector.
             max_depth: 1 << 17,
+            fault: None,
         }
     }
 }
@@ -426,6 +440,18 @@ pub struct Interp<'m> {
     pinned_checkpoint: Option<InterpSnapshot>,
     /// Absolute instruction count at which `run_steps` pauses.
     pause_at: Option<u64>,
+    /// Runtime fault armed for this run, when any.
+    armed: Option<ArmedFault>,
+    /// The armed site pc (`u32::MAX` when unarmed): the dispatch loop's
+    /// one-compare fast path for the injection hook.
+    armed_pc: u32,
+    /// True while the op being stepped is the armed site (set by the
+    /// dispatch loop; consulted only by the load/store arms).
+    fault_pending: bool,
+    /// Virtual cycle of the first fault application on this timeline.
+    fault_fired: Option<u64>,
+    /// Fault applications on this timeline.
+    fault_hits: u64,
 }
 
 impl<'m> Interp<'m> {
@@ -502,6 +528,11 @@ impl<'m> Interp<'m> {
             auto_checkpoints: VecDeque::new(),
             pinned_checkpoint: None,
             pause_at: None,
+            armed: cfg.fault,
+            armed_pc: cfg.fault.map_or(u32::MAX, |f| f.site),
+            fault_pending: false,
+            fault_fired: None,
+            fault_hits: 0,
         };
         // Pass 2: initialize.
         for (i, g) in module.globals.iter().enumerate() {
@@ -635,6 +666,8 @@ impl<'m> Interp<'m> {
             detections: self.detections,
             repairs: self.repairs,
             first_detection_cycle: self.first_detection_cycle,
+            fault_fired: self.fault_fired,
+            fault_hits: self.fault_hits,
         }
     }
 
@@ -658,6 +691,11 @@ impl<'m> Interp<'m> {
         self.detections = snap.detections;
         self.repairs = snap.repairs;
         self.first_detection_cycle = snap.first_detection_cycle;
+        // Restoring to a pre-fire point re-arms a one-shot fault: the
+        // replay refires it at the same deterministic point, so rollback
+        // timelines stay bit-identical to the original's prefix.
+        self.fault_fired = snap.fault_fired;
+        self.fault_hits = snap.fault_hits;
         // Cadence restarts from the restored clock; checkpoints collected
         // on the abandoned timeline are the caller's to keep or drop.
         if let Some(c) = self.checkpoint_cadence {
@@ -866,6 +904,8 @@ impl<'m> Interp<'m> {
             detections: self.detections,
             repairs: self.repairs,
             first_detection_cycle: self.first_detection_cycle,
+            fault_fired_cycle: self.fault_fired,
+            fault_hits: self.fault_hits,
         }
     }
 
@@ -984,6 +1024,10 @@ impl<'m> Interp<'m> {
                 self.unwind(base);
                 return Err(Trap::Timeout);
             }
+            // The injection hook's fast path: one compare per op against
+            // the armed site pc (`u32::MAX` when unarmed, so the flag
+            // stays false for clean runs at negligible cost).
+            self.fault_pending = pc == self.armed_pc;
             // Take the registers out of the frame for the duration of the
             // step (a pointer swap): `step_op` gets disjoint mutable
             // access to them and `self`, and nested calls pushed by
@@ -1070,6 +1114,130 @@ impl<'m> Interp<'m> {
         Ok(crate::value::store_kind(&mut self.mem, kind, a, v)?)
     }
 
+    /// The armed fault, if its firing conditions hold at the current
+    /// clock (arm cycle reached; one-shot classes not yet spent).
+    fn fault_active(&self) -> Option<ArmedFault> {
+        let armed = self.armed?;
+        if self.clock < armed.arm_cycle {
+            return None;
+        }
+        if armed.fault.one_shot() && self.fault_fired.is_some() {
+            return None;
+        }
+        Some(armed)
+    }
+
+    /// Records one fault application at the current clock (the first one
+    /// is surfaced through the FI accounting, so detection-latency and
+    /// successful-injection metrics treat runtime faults exactly like
+    /// compile-time markers).
+    fn record_fault_fire(&mut self) {
+        self.fault_hits += 1;
+        if self.fault_fired.is_none() {
+            self.fault_fired = Some(self.clock);
+            if self.first_fi_cycle.is_none() {
+                self.first_fi_cycle = Some(self.clock);
+            }
+            if let Some(a) = self.armed {
+                self.fi_sites_hit.insert(a.site);
+            }
+        }
+    }
+
+    /// Flips one seed-chosen bit of the `width`-byte scalar at `addr` in
+    /// simulated memory; fires only when the byte is mapped.
+    fn fault_flip_byte(&mut self, addr: u64, width: u64) {
+        let Some(armed) = self.fault_active() else {
+            return;
+        };
+        let h = fault_mix(armed.seed, addr);
+        let byte = addr.wrapping_add(h % width.max(1));
+        if let Ok(b) = self.mem.read(byte, 1) {
+            let flipped = b[0] ^ (1u8 << ((h >> 8) & 7));
+            self.mem.write(byte, &[flipped]).expect("byte just read");
+            self.record_fault_fire();
+        }
+    }
+
+    /// Applies the armed fault to a load access: may corrupt memory at
+    /// `addr` (bit-flip), rewrite `addr` (off-by-N, dangling reuse), or
+    /// return a forced value (uninitialized read). The real load still
+    /// executes afterwards, so mapping traps keep their precedence.
+    fn fault_on_load(&mut self, addr: &mut u64, kind: LoadKind) -> Option<Value> {
+        let armed = self.fault_active()?;
+        let width = load_width(kind);
+        match armed.fault {
+            FaultModel::BitFlip { region } => {
+                if self.mem.region_of(*addr) == Some(region) {
+                    self.fault_flip_byte(*addr, width);
+                }
+                None
+            }
+            FaultModel::OffByN { n } => {
+                *addr = addr.wrapping_add((i64::from(n) * width as i64) as u64);
+                self.record_fault_fire();
+                None
+            }
+            FaultModel::DanglingReuse => {
+                if let Some(freed) = self.alloc.free_head() {
+                    *addr = freed;
+                    self.record_fault_fire();
+                }
+                None
+            }
+            FaultModel::UninitRead => {
+                self.record_fault_fire();
+                Some(garbage_value(kind, fault_mix(armed.seed, *addr)))
+            }
+            FaultModel::WildWrite => None, // store-only class
+        }
+    }
+
+    /// Applies the armed fault to a store access: may rewrite `addr`
+    /// (off-by-N, wild write, dangling reuse). Returns true when a
+    /// region bit-flip must corrupt the stored bytes *after* the store
+    /// lands (flipping beforehand would be overwritten).
+    fn fault_on_store(&mut self, addr: &mut u64, width: u64) -> bool {
+        let Some(armed) = self.fault_active() else {
+            return false;
+        };
+        match armed.fault {
+            FaultModel::BitFlip { region } => self.mem.region_of(*addr) == Some(region),
+            FaultModel::OffByN { n } => {
+                *addr = addr.wrapping_add((i64::from(n) * width as i64) as u64);
+                self.record_fault_fire();
+                false
+            }
+            FaultModel::DanglingReuse => {
+                if let Some(freed) = self.alloc.free_head() {
+                    *addr = freed;
+                    self.record_fault_fire();
+                }
+                false
+            }
+            FaultModel::WildWrite => {
+                *addr = self.wild_addr(armed.seed, *addr);
+                self.record_fault_fire();
+                false
+            }
+            FaultModel::UninitRead => false, // load-only class
+        }
+    }
+
+    /// A seed-derived wild address, biased across the three mapped
+    /// regions with an unmapped tail (so wild writes sometimes corrupt
+    /// silently and sometimes crash, like real stray pointers).
+    fn wild_addr(&self, seed: u64, addr: u64) -> u64 {
+        let h = fault_mix(seed, addr);
+        let off = h >> 2;
+        match h & 3 {
+            0 => HEAP_BASE + off % (self.mem.brk().max(1) as u64),
+            1 => GLOBAL_BASE + off % (self.mem.globals_len().max(1) as u64),
+            2 => STACK_BASE + off % (self.mem.stack_size().max(1) as u64),
+            _ => off & 0x7fff_ffff_ffff,
+        }
+    }
+
     /// Executes one op against the current frame's registers.
     #[allow(clippy::too_many_lines)]
     fn step_op(&mut self, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
@@ -1104,18 +1272,35 @@ impl<'m> Interp<'m> {
                 }
             }
             Op::Load { dst, ptr, kind } => {
-                let a = self.eval(regs, ptr)?.as_ptr();
+                let mut a = self.eval(regs, ptr)?.as_ptr();
+                // Injection hook: an armed fault may corrupt the memory
+                // about to be read, skew the address, or force the value.
+                let forced = if self.fault_pending {
+                    self.fault_on_load(&mut a, *kind)
+                } else {
+                    None
+                };
                 self.clock += cost::MEM;
                 self.touch(a);
                 let v = self.load_kind(*kind, a)?;
-                regs[*dst as usize] = Some(v);
+                regs[*dst as usize] = Some(forced.unwrap_or(v));
             }
             Op::Store { ptr, value, kind } => {
-                let a = self.eval(regs, ptr)?.as_ptr();
+                let mut a = self.eval(regs, ptr)?.as_ptr();
                 let v = self.eval(regs, value)?;
+                // Injection hook: an armed fault may redirect the store;
+                // a region bit-flip corrupts the stored bytes afterwards.
+                let flip_after = if self.fault_pending {
+                    self.fault_on_store(&mut a, store_width(*kind))
+                } else {
+                    false
+                };
                 self.clock += cost::MEM;
                 self.touch(a);
                 self.store_kind(a, *kind, v)?;
+                if flip_after {
+                    self.fault_flip_byte(a, store_width(*kind));
+                }
             }
             Op::FieldAddr { dst, base, off } => {
                 let b = self.eval(regs, base)?.as_ptr();
@@ -1371,6 +1556,35 @@ impl<'m> Interp<'m> {
             }
         }
         Ok(Flow::Next)
+    }
+}
+
+/// Bytes moved by a load of the given pre-resolved kind.
+fn load_width(kind: LoadKind) -> u64 {
+    match kind {
+        LoadKind::Int { bytes, .. } => u64::from(bytes),
+        LoadKind::F32 => 4,
+        LoadKind::F64 | LoadKind::Ptr => 8,
+    }
+}
+
+/// Bytes moved by a store of the given pre-resolved kind.
+fn store_width(kind: StoreKind) -> u64 {
+    match kind {
+        StoreKind::Raw(n) => u64::from(n),
+        StoreKind::F32 => 4,
+    }
+}
+
+/// A deterministic garbage scalar matching the load kind's value shape
+/// (the uninit-read fault's forced result; f32 garbage is widened exactly
+/// as a real f32 load would widen it).
+fn garbage_value(kind: LoadKind, bits: u64) -> Value {
+    match kind {
+        LoadKind::Int { bits: ty_bits, .. } => Value::Int(normalize_int(bits as i64, ty_bits)),
+        LoadKind::F32 => Value::Float(f64::from(f32::from_bits(bits as u32))),
+        LoadKind::F64 => Value::Float(f64::from_bits(bits)),
+        LoadKind::Ptr => Value::Ptr(bits),
     }
 }
 

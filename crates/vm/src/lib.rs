@@ -40,6 +40,7 @@
 pub mod alloc;
 pub mod code;
 pub mod external;
+pub mod fault;
 pub mod interp;
 pub mod lower;
 pub mod mem;
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use crate::alloc::{AllocStats, Allocator, FreeOutcome};
     pub use crate::code::{LoweredCode, Op, Opnd};
     pub use crate::external::Registry;
+    pub use crate::fault::{ArmedFault, FaultModel};
     pub use crate::interp::{
         run_with_limits, run_with_registry, CrashKind, DetectionTrap, ExitStatus, Frame, Interp,
         InterpSnapshot, RunConfig, RunOutcome, Trap, TrapAction, TrapHandler,
@@ -57,7 +59,8 @@ pub mod prelude {
     };
     pub use crate::lower::lower;
     pub use crate::mem::{
-        Mem, MemConfig, MemFault, MemFaultKind, MemSnapshot, GLOBAL_BASE, HEAP_BASE, STACK_BASE,
+        Mem, MemConfig, MemFault, MemFaultKind, MemRegion, MemSnapshot, GLOBAL_BASE, HEAP_BASE,
+        STACK_BASE,
     };
     pub use crate::value::{load_scalar, normalize_int, scalar_bytes, store_scalar, Value};
 }

@@ -23,6 +23,30 @@ pub const HEAP_BASE: u64 = 0x1000_0000;
 /// Base address of the stack region (grows upward).
 pub const STACK_BASE: u64 = 0x7000_0000;
 
+/// One of the three mapped regions of the address space, as a value —
+/// used by the runtime fault models ([`crate::fault`]) to constrain
+/// per-region corruption classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRegion {
+    /// Global-variable region.
+    Globals,
+    /// Heap region (mapped up to the allocator break).
+    Heap,
+    /// Stack region.
+    Stack,
+}
+
+impl MemRegion {
+    /// Display name used in fault-class labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemRegion::Globals => "globals",
+            MemRegion::Heap => "heap",
+            MemRegion::Stack => "stack",
+        }
+    }
+}
+
 /// Why a memory access trapped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemFaultKind {
@@ -230,6 +254,33 @@ impl Mem {
             addr,
             kind: MemFaultKind::Unmapped,
         })
+    }
+
+    /// The mapped region a byte address falls in (`None` when unmapped).
+    /// Fault models use this to constrain region-classed corruption; it
+    /// mirrors [`Mem::read`]'s mapping rules for a 1-byte access.
+    pub fn region_of(&self, addr: u64) -> Option<MemRegion> {
+        if addr < 0x1000 {
+            None
+        } else if addr >= GLOBAL_BASE && addr < GLOBAL_BASE + self.globals_len as u64 {
+            Some(MemRegion::Globals)
+        } else if addr >= HEAP_BASE && addr < HEAP_BASE + self.brk as u64 {
+            Some(MemRegion::Heap)
+        } else if addr >= STACK_BASE && addr < STACK_BASE + self.stack.len() as u64 {
+            Some(MemRegion::Stack)
+        } else {
+            None
+        }
+    }
+
+    /// Bytes of the global region currently allocated.
+    pub fn globals_len(&self) -> usize {
+        self.globals_len
+    }
+
+    /// Configured capacity of the stack region (fully mapped).
+    pub fn stack_size(&self) -> usize {
+        self.stack.len()
     }
 
     /// Reads `len` bytes at `addr`.
@@ -662,6 +713,21 @@ mod tests {
         m.write_u64(STACK_BASE + 512, 0xbeef).unwrap();
         m.restore(&snap);
         assert_eq!(m.read_u64(STACK_BASE + 512).unwrap(), 0);
+    }
+
+    #[test]
+    fn region_of_classifies_mapped_bytes() {
+        let mut m = mem();
+        assert_eq!(m.region_of(0), None, "null page");
+        assert_eq!(m.region_of(GLOBAL_BASE), None, "no globals allocated yet");
+        let g = m.alloc_global(8);
+        assert_eq!(m.region_of(g), Some(MemRegion::Globals));
+        assert_eq!(m.region_of(HEAP_BASE), None, "before brk");
+        m.grow_heap(64).unwrap();
+        assert_eq!(m.region_of(HEAP_BASE + 63), Some(MemRegion::Heap));
+        assert_eq!(m.region_of(HEAP_BASE + 64), None, "past brk");
+        assert_eq!(m.region_of(STACK_BASE), Some(MemRegion::Stack));
+        assert_eq!(m.region_of(0x5000_0000), None, "inter-region gap");
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Differential engine parity against recorded golden traces.
+//!
+//! The promoted, always-on form of `examples/parity_probe.rs`: the same
+//! spread of workloads (plain, SDS-transformed, and the recovery
+//! repair/retry/cadence paths) is executed and its absolute
+//! status/instruction/cycle/output accounting compared byte-for-byte
+//! against `engine_parity_golden.txt`, recorded from the engine that
+//! validated the bytecode lowering against the PR-2 tree walker. An
+//! engine refactor is accounting-compatible exactly when this test
+//! passes — parity no longer depends on anyone remembering to run the
+//! example by hand on two checkouts.
+//!
+//! The trace builder is the single shared [`dpmr::engine_parity_trace`]
+//! (the example prints exactly it), so if an *intentional* accounting
+//! change lands (e.g. new cycle costs), re-record the golden with
+//! `cargo run --release --example parity_probe > crates/vm/tests/engine_parity_golden.txt`
+//! (from the workspace root) and say so in the commit.
+
+const GOLDEN: &str = include_str!("engine_parity_golden.txt");
+
+#[test]
+fn lowered_engine_matches_recorded_golden_traces() {
+    let trace = dpmr::engine_parity_trace();
+    if trace != GOLDEN {
+        // Diff line by line so the failing accounting is pinpointed.
+        for (i, (got, want)) in trace.lines().zip(GOLDEN.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "engine accounting diverged from the golden trace at line {}",
+                i + 1
+            );
+        }
+        assert_eq!(
+            trace.lines().count(),
+            GOLDEN.lines().count(),
+            "trace length diverged from the golden trace"
+        );
+        // No line differed, yet the strings do: a terminator-only
+        // divergence (trailing newline / CRLF). Surface the raw bytes.
+        assert_eq!(
+            trace, GOLDEN,
+            "traces differ only in line terminators or trailing newline"
+        );
+    }
+}

@@ -120,9 +120,40 @@ pub fn recovery_apps() -> Vec<AppSpec> {
     apps
 }
 
-/// Looks up an application by name (including the recovery-study set).
+/// The runtime fault-campaign application set (Table F.1): `pchase`, a
+/// pointer-chasing victim built so every fault class has live sites
+/// (heap/stack/global accesses, a populated free list for dangling
+/// reuse, partially initialized scratch for uninitialized reads), plus
+/// `rvictim` (overflow-repairable), and the pointer-dense / int-dense
+/// SPEC analogue pair `mcf` and `bzip2`.
+pub fn fault_campaign_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "pchase",
+            build: |p| micro::pointer_chase(12 * p.scale.max(1), 3 * p.scale.max(1)),
+        },
+        AppSpec {
+            name: "rvictim",
+            build: |p| micro::resize_victim(16 * p.scale.max(1), 12 * p.scale.max(1)),
+        },
+        AppSpec {
+            name: "mcf",
+            build: |p| mcf::build(p.scale, p.seed),
+        },
+        AppSpec {
+            name: "bzip2",
+            build: |p| bzip2::build(p.scale, p.seed),
+        },
+    ]
+}
+
+/// Looks up an application by name (across the recovery-study and
+/// fault-campaign sets).
 pub fn app_by_name(name: &str) -> Option<AppSpec> {
-    recovery_apps().into_iter().find(|a| a.name == name)
+    recovery_apps()
+        .into_iter()
+        .chain(fault_campaign_apps())
+        .find(|a| a.name == name)
 }
 
 #[cfg(test)]

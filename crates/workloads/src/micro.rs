@@ -210,6 +210,153 @@ pub fn resize_victim(n: i64, m: i64) -> Module {
     m_
 }
 
+/// Pointer-chasing victim for the runtime fault campaign: a heap node
+/// chain traversed `rounds` times, with every memory class live so every
+/// `dpmr_vm::fault::FaultModel` class has sites that can actually fire:
+///
+/// * heap: the node table, the nodes, and a per-round scratch buffer
+///   (freed each round, so the allocator free list is non-empty during
+///   traversal — the state dangling-reuse redirection needs);
+/// * stack: an `alloca` accumulator read and written every round;
+/// * globals: a round counter loaded and stored per round;
+/// * every third node is spliced out of the chain and freed up front, so
+///   traversal follows pointers past recycled memory.
+///
+/// Golden-clean by construction (only initialized memory is read) and
+/// fully deterministic.
+pub fn pointer_chase(n: i64, rounds: i64) -> Module {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let node = m.types.opaque_struct("chase");
+    let nodep = m.types.pointer(node);
+    m.types.set_struct_body(node, vec![i64t, nodep]);
+    let tbl_arr = m.types.unsized_array(nodep);
+    let tblp = m.types.pointer(tbl_arr);
+    let scratch_arr = m.types.unsized_array(i64t);
+    let scratchp = m.types.pointer(scratch_arr);
+    let ground = m.add_global(Global {
+        name: "rounds_done".into(),
+        ty: i64t,
+        init: GlobalInit::Int(0),
+    });
+
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    // Build the node table and chain.
+    let raw_tbl = b.malloc(nodep, Const::i64(n).into(), "tbl");
+    let tbl = b.cast(CastOp::Bitcast, tblp, raw_tbl.into(), "tblArr");
+    b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+        let nd = b.malloc(node, Const::i64(1).into(), "nd");
+        let vp = b.field_addr(nd.into(), 0, "vp");
+        b.store(vp.into(), i.into());
+        let np = b.field_addr(nd.into(), 1, "np");
+        b.store(np.into(), Const::Null { pointee: node }.into());
+        let slot = b.index_addr(tbl.into(), i.into(), "slot");
+        b.store(slot.into(), nd.into());
+    });
+    b.for_loop(Const::i64(0).into(), Const::i64(n - 1).into(), |b, i| {
+        let slot = b.index_addr(tbl.into(), i.into(), "cs");
+        let cur = b.load(nodep, slot.into(), "cur");
+        let nxt_i = b.bin(BinOp::Add, i64t, i.into(), Const::i64(1).into());
+        let nslot = b.index_addr(tbl.into(), nxt_i.into(), "ns");
+        let nxt = b.load(nodep, nslot.into(), "nxt");
+        let np = b.field_addr(cur.into(), 1, "np");
+        b.store(np.into(), nxt.into());
+    });
+    // Splice out and free every third interior node (indices 1, 4, 7, …):
+    // neighbours of a spliced node are never themselves spliced, so the
+    // chain stays valid while the free list fills up.
+    b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+        let rem = b.bin(BinOp::SRem, i64t, i.into(), Const::i64(3).into());
+        let is_mid = b.cmp(CmpPred::Eq, rem.into(), Const::i64(1).into());
+        let in_range = b.cmp(CmpPred::Slt, i.into(), Const::i64(n - 1).into());
+        let both = b.bin(BinOp::And, i64t, is_mid.into(), in_range.into());
+        b.if_then(both.into(), |b| {
+            let prev_i = b.bin(BinOp::Sub, i64t, i.into(), Const::i64(1).into());
+            let nxt_i = b.bin(BinOp::Add, i64t, i.into(), Const::i64(1).into());
+            let pslot = b.index_addr(tbl.into(), prev_i.into(), "ps");
+            let prev = b.load(nodep, pslot.into(), "prev");
+            let cslot = b.index_addr(tbl.into(), i.into(), "cs2");
+            let cur = b.load(nodep, cslot.into(), "cur2");
+            let nslot = b.index_addr(tbl.into(), nxt_i.into(), "ns2");
+            let nxt = b.load(nodep, nslot.into(), "nxt2");
+            let pnp = b.field_addr(prev.into(), 1, "pnp");
+            b.store(pnp.into(), nxt.into());
+            b.free(cur.into());
+            b.store(cslot.into(), Const::Null { pointee: node }.into());
+        });
+    });
+    // Traverse the chain `rounds` times, accumulating through a stack
+    // slot and counting rounds through the global.
+    let acc = b.alloca(i64t, "acc");
+    b.store(acc.into(), Const::i64(0).into());
+    b.for_loop(Const::i64(0).into(), Const::i64(rounds).into(), |b, r| {
+        let head_slot = b.index_addr(tbl.into(), Const::i64(0).into(), "hs");
+        let cur = b.reg(nodep, "walk");
+        let start = b.load(nodep, head_slot.into(), "head");
+        b.assign(cur, start.into());
+        let head_bb = b.block();
+        let body_bb = b.block();
+        let exit_bb = b.block();
+        b.br(head_bb);
+        b.switch_to(head_bb);
+        let c = b.cmp(
+            CmpPred::Ne,
+            cur.into(),
+            Const::Null { pointee: node }.into(),
+        );
+        b.cond_br(c.into(), body_bb, exit_bb);
+        b.switch_to(body_bb);
+        let vp = b.field_addr(cur.into(), 0, "vp2");
+        let v = b.load(i64t, vp.into(), "v");
+        let a0 = b.load(i64t, acc.into(), "a0");
+        let a1 = b.bin(BinOp::Add, i64t, a0.into(), v.into());
+        b.store(acc.into(), a1.into());
+        let np = b.field_addr(cur.into(), 1, "np2");
+        let nxt = b.load(nodep, np.into(), "step");
+        b.assign(cur, nxt.into());
+        b.br(head_bb);
+        b.switch_to(exit_bb);
+        // Per-round scratch: allocate, initialize a prefix, fold it into
+        // the accumulator, free (repopulating the free list each round).
+        let raw_s = b.malloc(i64t, Const::i64(8).into(), "scratch");
+        let s = b.cast(CastOp::Bitcast, scratchp, raw_s.into(), "sArr");
+        b.for_loop(Const::i64(0).into(), Const::i64(4).into(), |b, j| {
+            let sj = b.index_addr(s.into(), j.into(), "sj");
+            let x = b.bin(BinOp::Mul, i64t, j.into(), r.into());
+            b.store(sj.into(), x.into());
+        });
+        b.for_loop(Const::i64(0).into(), Const::i64(4).into(), |b, j| {
+            let sj = b.index_addr(s.into(), j.into(), "sj2");
+            let x = b.load(i64t, sj.into(), "x");
+            let a2 = b.load(i64t, acc.into(), "a2");
+            let a3 = b.bin(BinOp::Add, i64t, a2.into(), x.into());
+            b.store(acc.into(), a3.into());
+        });
+        b.free(raw_s.into());
+        let g0 = b.load(i64t, Operand::Global(ground), "g0");
+        let g1 = b.bin(BinOp::Add, i64t, g0.into(), Const::i64(1).into());
+        b.store(Operand::Global(ground), g1.into());
+    });
+    let total = b.load(i64t, acc.into(), "total");
+    b.output(total.into());
+    let done = b.load(i64t, Operand::Global(ground), "done");
+    b.output(done.into());
+    // Free the surviving nodes and the table.
+    b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+        let slot = b.index_addr(tbl.into(), i.into(), "fs");
+        let p = b.load(nodep, slot.into(), "fp");
+        let live = b.cmp(CmpPred::Ne, p.into(), Const::Null { pointee: node }.into());
+        b.if_then(live.into(), |b| {
+            b.free(p.into());
+        });
+    });
+    b.free(raw_tbl.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    m
+}
+
 /// Classic use-after-free: free a buffer, allocate another (which reuses
 /// the memory), then read through the dangling pointer.
 pub fn use_after_free() -> Module {
@@ -571,6 +718,25 @@ mod tests {
         let out = run(&m);
         assert_eq!(out.status, ExitStatus::Normal(0));
         assert_ne!(out.output, vec![40], "victim was corrupted");
+    }
+
+    #[test]
+    fn pointer_chase_is_golden_clean_and_deterministic() {
+        let n = 12i64;
+        let rounds = 3i64;
+        let m = pointer_chase(n, rounds);
+        assert!(dpmr_ir::verify::verify_module(&m).is_ok());
+        let out = run(&m);
+        assert_eq!(out.status, ExitStatus::Normal(0));
+        // Spliced-out nodes (i % 3 == 1, i < n-1) leave the chain; each
+        // round also folds in the scratch prefix sum 6*r.
+        let chain_sum: i64 = (0..n).filter(|i| !(i % 3 == 1 && *i < n - 1)).sum();
+        let scratch_sum: i64 = (0..rounds).map(|r| 6 * r).sum();
+        assert_eq!(
+            out.output,
+            vec![(rounds * chain_sum + scratch_sum) as u64, rounds as u64]
+        );
+        assert_eq!(out.output, run(&m).output, "bit-identical replay");
     }
 
     #[test]

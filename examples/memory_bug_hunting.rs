@@ -12,7 +12,7 @@
 //! cargo run --release --example memory_bug_hunting
 //! ```
 
-use dpmr::fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType};
+use dpmr::fi::{enumerate_heap_alloc_sites, inject, manifesting_sites_lowered, FaultType};
 use dpmr::prelude::*;
 use dpmr::workloads::{app_by_name, WorkloadParams};
 use std::rc::Rc;
@@ -42,11 +42,10 @@ fn main() {
     let mut bare_missed = 0u32;
     let mut dpmr_missed = 0u32;
     let mut total = 0u32;
+    let code = dpmr::vm::lower::lower(&module);
     for fault in FaultType::paper_set() {
-        for site in &sites {
-            if !may_manifest(&module, site, fault) {
-                continue; // statically filtered (size rounding masks it)
-            }
+        // Statically filtered sites (size rounding masks them) are skipped.
+        for site in &manifesting_sites_lowered(&module, &code, fault) {
             let faulty = inject(&module, site, fault);
 
             // Bare (fi-stdapp) run.

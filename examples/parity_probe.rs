@@ -4,78 +4,12 @@
 //! output — an engine refactor is accounting-compatible exactly when the
 //! outputs are byte-identical. (This is how the bytecode lowering was
 //! validated against the tree-walking engine it replaced.)
-use dpmr::prelude::*;
-use std::rc::Rc;
-
-fn recovery_probe() {
-    use dpmr::fi::FaultType;
-    use dpmr::recovery::{RecoveryDriver, RecoveryPolicy};
-    let m = dpmr::workloads::micro::resize_victim(16, 12);
-    let fault = FaultType::HeapArrayResize { keep_percent: 50 };
-    let site = dpmr::fi::manifesting_sites(&m, fault)[0];
-    let faulty = dpmr::fi::inject(&m, &site, fault);
-    let t = transform(&faulty, &DpmrConfig::sds()).unwrap();
-    for (label, cfg) in [
-        (
-            "repair",
-            RecoveryConfig::policy(RecoveryPolicy::RepairFromReplica { max_repairs: 64 }),
-        ),
-        (
-            "retry",
-            RecoveryConfig::policy(RecoveryPolicy::RetryFromCheckpoint { max_retries: 4 }),
-        ),
-        (
-            "retry-mid",
-            RecoveryConfig {
-                checkpoint_cadence: Some(500),
-                ..RecoveryConfig::policy(RecoveryPolicy::RetryFromCheckpoint { max_retries: 4 })
-            },
-        ),
-    ] {
-        let d = RecoveryDriver::new(
-            &t,
-            Rc::new(registry_with_wrappers()),
-            RunConfig::default(),
-            cfg,
-        );
-        let o = d.run();
-        println!(
-            "rec {label}: {:?} attempts={} det={} rep={} t2r={:?} cycles={} instrs={}",
-            o.last.status,
-            o.attempts,
-            o.detections,
-            o.repairs,
-            o.time_to_recovery,
-            o.last.cycles,
-            o.last.instrs
-        );
-    }
-}
+//!
+//! The trace itself is built by [`dpmr::engine_parity_trace`] — the same
+//! function `crates/vm/tests/engine_parity.rs` diffs against its recorded
+//! golden file on every test run, so the probe and the permanent test
+//! cannot drift apart.
 
 fn main() {
-    recovery_probe();
-    let progs: Vec<(&str, dpmr::ir::module::Module)> = vec![
-        ("ll", dpmr::workloads::micro::linked_list(50)),
-        ("qsort", dpmr::workloads::micro::qsort_prog(24)),
-        ("rv", dpmr::workloads::micro::resize_victim(16, 12)),
-        ("mcf", dpmr::workloads::mcf::build(6, 3)),
-        ("equake", dpmr::workloads::equake::build(6, 3)),
-    ];
-    for (name, m) in progs {
-        let o = run_with_limits(&m, &RunConfig::default());
-        println!(
-            "{name} plain: {:?} instrs={} cycles={} out={:?}",
-            o.status, o.instrs, o.cycles, o.output
-        );
-        let t = transform(
-            &m,
-            &DpmrConfig::sds().with_diversity(Diversity::RearrangeHeap),
-        )
-        .unwrap();
-        let o = run_with_registry(&t, &RunConfig::default(), Rc::new(registry_with_wrappers()));
-        println!(
-            "{name} sds:   {:?} instrs={} cycles={} out={:?}",
-            o.status, o.instrs, o.cycles, o.output
-        );
-    }
+    print!("{}", dpmr::engine_parity_trace());
 }

@@ -9,7 +9,7 @@
 //! cargo run --release --example tuning_policies
 //! ```
 
-use dpmr::fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType};
+use dpmr::fi::{inject, manifesting_sites_lowered, FaultType};
 use dpmr::prelude::*;
 use dpmr::workloads::{app_by_name, WorkloadParams};
 use std::rc::Rc;
@@ -56,14 +56,11 @@ fn main() {
 /// Fraction of successfully injected faults covered (correct output, crash,
 /// or DPMR detection) under `cfg`.
 fn coverage_of(module: &dpmr::ir::module::Module, golden: &RunOutcome, cfg: &DpmrConfig) -> f64 {
-    let sites = enumerate_heap_alloc_sites(module);
+    let code = dpmr::vm::lower::lower(module);
     let mut n = 0u32;
     let mut covered = 0u32;
     for fault in FaultType::paper_set() {
-        for site in &sites {
-            if !may_manifest(module, site, fault) {
-                continue;
-            }
+        for site in &manifesting_sites_lowered(module, &code, fault) {
             let faulty = inject(module, site, fault);
             let protected = transform(&faulty, cfg).expect("transform");
             let reg = Rc::new(registry_with_wrappers());

@@ -2,7 +2,9 @@
 //! hold in this reproduction — the qualitative shapes of the evaluation,
 //! not exact numbers.
 
-use dpmr::fi::{enumerate_heap_alloc_sites, inject, may_manifest, FaultType};
+use dpmr::fi::{
+    enumerate_heap_alloc_sites, inject, manifesting_sites, manifesting_sites_lowered, FaultType,
+};
 use dpmr::prelude::*;
 use dpmr::workloads::{all_apps, app_by_name, micro, WorkloadParams};
 use std::rc::Rc;
@@ -30,10 +32,7 @@ fn implicit_diversity_covers_heap_overflows() {
     let fault = FaultType::HeapArrayResize { keep_percent: 50 };
     let mut n = 0;
     let mut covered = 0;
-    for site in enumerate_heap_alloc_sites(&module) {
-        if !may_manifest(&module, &site, fault) {
-            continue;
-        }
+    for site in manifesting_sites(&module, fault) {
         let faulty = inject(&module, &site, fault);
         let t = transform(&faulty, &cfg).expect("transform");
         let reg = Rc::new(registry_with_wrappers());
@@ -176,11 +175,9 @@ fn dpmr_coverage_dominates_stdapp() {
     let module = (app.build)(&WorkloadParams::quick());
     let golden = run_with_limits(&module, &RunConfig::default());
     let cfg = DpmrConfig::sds();
+    let code = dpmr::vm::lower::lower(&module);
     for fault in FaultType::paper_set() {
-        for site in enumerate_heap_alloc_sites(&module) {
-            if !may_manifest(&module, &site, fault) {
-                continue;
-            }
+        for site in manifesting_sites_lowered(&module, &code, fault) {
             let faulty = inject(&module, &site, fault);
             let rc = RunConfig {
                 max_instrs: golden.instrs * 25,

@@ -676,3 +676,119 @@ proptest! {
         prop_assert_eq!(out.instrs, reference.instrs);
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection determinism (compile-time and runtime)
+// ---------------------------------------------------------------------
+
+/// The micro-program pool the injection properties draw from.
+fn fi_program(pick: usize) -> dpmr::ir::module::Module {
+    match pick % 3 {
+        0 => micro::linked_list(6),
+        1 => micro::resize_victim(12, 8),
+        _ => micro::pointer_chase(9, 2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Compile-time injection is deterministic and pure: the same
+    /// (module, site, fault) yields byte-identical printed modules, and
+    /// injection commutes with print → parse round-trips — injecting a
+    /// reparsed module prints the same text as reparsing an injected one.
+    #[test]
+    fn inject_is_pure_and_commutes_with_text_roundtrip(
+        prog in 0usize..3,
+        site_pick in 0usize..64,
+        fault_pick in 0usize..4,
+    ) {
+        use dpmr::fi::{enumerate_heap_alloc_sites, inject, FaultType};
+        let m = fi_program(prog);
+        let sites = enumerate_heap_alloc_sites(&m);
+        prop_assert!(!sites.is_empty());
+        let site = sites[site_pick % sites.len()];
+        let fault = match fault_pick {
+            0 => FaultType::HeapArrayResize { keep_percent: 50 },
+            1 => FaultType::HeapArrayResize { keep_percent: 25 },
+            2 => FaultType::HeapArrayResize { keep_percent: 80 },
+            _ => FaultType::ImmediateFree,
+        };
+        let printed = dpmr::ir::printer::print_module(&inject(&m, &site, fault));
+        // Deterministic: repeating the injection reprints identically.
+        prop_assert_eq!(
+            &printed,
+            &dpmr::ir::printer::print_module(&inject(&m, &site, fault))
+        );
+        // Commutes with a pre-injection round-trip (site ids survive the
+        // text format, so the same site names the same malloc)...
+        let reparsed = dpmr::ir::parser::parse_module(&dpmr::ir::printer::print_module(&m))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(
+            &printed,
+            &dpmr::ir::printer::print_module(&inject(&reparsed, &site, fault))
+        );
+        // ...and with a post-injection round-trip (faulty modules are
+        // themselves faithful text).
+        let rt = dpmr::ir::parser::parse_module(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&printed, &dpmr::ir::printer::print_module(&rt));
+    }
+
+    /// Runtime faults replay bit-identically: the same
+    /// (module, site, fault class, seed, arm cycle) triple produces the
+    /// same status, output, accounting, and fire cycle on two fresh
+    /// interpreters — the property that makes campaign trials replayable
+    /// evidence rather than one-off observations.
+    #[test]
+    fn armed_runtime_faults_replay_bit_identically(
+        prog in 0usize..3,
+        class_pick in 0usize..16,
+        site_pick in 0usize..64,
+        seed in 1u64..100_000,
+        arm_frac in 0u64..4,
+    ) {
+        use dpmr::fi::{enumerate_op_sites, ArmedFault, FaultModel};
+        let m = fi_program(prog);
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let code = Rc::new(dpmr::vm::lower::lower(&t));
+        let classes = FaultModel::paper_set();
+        let class = classes[class_pick % classes.len()];
+        let sites = enumerate_op_sites(&code, class);
+        if sites.is_empty() {
+            // Some (program, class) pairs have no armable sites (e.g. a
+            // globals bit-flip on a global-free program): nothing to test.
+            return Ok(());
+        }
+        let site = sites[site_pick % sites.len()];
+        let golden = run_with_registry(
+            &t,
+            &RunConfig::default(),
+            Rc::new(registry_with_wrappers()),
+        );
+        let rc = RunConfig {
+            seed,
+            fault: Some(ArmedFault {
+                site: site.pc,
+                fault: class,
+                seed,
+                arm_cycle: golden.cycles * arm_frac / 4,
+            }),
+            ..RunConfig::default()
+        };
+        let run = || {
+            let reg = Rc::new(registry_with_wrappers());
+            let mut it = Interp::with_code(&t, Rc::clone(&code), &rc, reg);
+            it.run(vec![])
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.status, &b.status);
+        prop_assert_eq!(&a.output, &b.output);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.instrs, b.instrs);
+        prop_assert_eq!(a.first_fi_cycle, b.first_fi_cycle);
+        prop_assert_eq!(a.fault_fired_cycle, b.fault_fired_cycle);
+        prop_assert_eq!(a.fault_hits, b.fault_hits);
+    }
+}
