@@ -18,10 +18,12 @@
 //! regression gate for the lowered engine).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_core::prelude::*;
 use dpmr_ir::module::Module;
 use dpmr_vm::prelude::*;
 use dpmr_workloads::micro;
 use std::io::Write as _;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 fn smoke() -> bool {
@@ -48,24 +50,40 @@ fn seed_baseline_mips(workload: &str) -> Option<f64> {
 }
 
 /// The micro workloads under measurement: list/pointer chasing, an
-/// external-call-heavy sort, and the recovery workbench (store/check
-/// dense under DPMR-shaped access patterns).
-fn workloads() -> Vec<(&'static str, Module)> {
+/// external-call-heavy sort, the recovery workbench (store/check dense
+/// under DPMR-shaped access patterns), and the *transformed* workbench at
+/// replication degrees 1 and 2 — the `dpmr.check` compare loop is the
+/// interpreter's hot path under DPMR, and the K = 1 vs K = 2 pair tracks
+/// what the variable-arity check op costs as the degree grows. The third
+/// tuple element marks workloads that need the DPMR wrapper registry.
+fn workloads() -> Vec<(&'static str, Module, bool)> {
     let scale = if smoke() { 1 } else { 4 };
+    let victim = micro::resize_victim(16 * scale, 12 * scale);
+    let dpmr_k1 = transform(&victim, &DpmrConfig::sds()).expect("transform");
+    let dpmr_k2 = transform(&victim, &DpmrConfig::sds().with_replicas(2)).expect("transform");
     vec![
-        ("linked_list", micro::linked_list(50 * scale)),
-        ("qsort", micro::qsort_prog(12 * scale)),
-        (
-            "resize_victim",
-            micro::resize_victim(16 * scale, 12 * scale),
-        ),
+        ("linked_list", micro::linked_list(50 * scale), false),
+        ("qsort", micro::qsort_prog(12 * scale), false),
+        ("resize_victim", victim, false),
+        ("dpmr_check_k1", dpmr_k1, true),
+        ("dpmr_check_k2", dpmr_k2, true),
     ]
 }
 
+/// One measured run (wrapper registry only for transformed workloads —
+/// building it per run would be measured overhead, so it is shared).
+fn run_once(m: &Module, registry: Option<&Rc<Registry>>) -> RunOutcome {
+    match registry {
+        Some(r) => run_with_registry(m, &RunConfig::default(), Rc::clone(r)),
+        None => run_with_limits(m, &RunConfig::default()),
+    }
+}
+
 fn throughput(c: &mut Criterion) {
-    for (name, m) in workloads() {
+    for (name, m, wrappers) in workloads() {
+        let reg = wrappers.then(|| Rc::new(registry_with_wrappers()));
         c.bench_function(format!("interp-throughput/{name}"), |b| {
-            b.iter(|| run_with_limits(&m, &RunConfig::default()).instrs)
+            b.iter(|| run_once(&m, reg.as_ref()).instrs)
         });
     }
 }
@@ -135,9 +153,10 @@ fn trajectory(_c: &mut Criterion) {
         r.parse()
             .unwrap_or_else(|e| panic!("BENCH_ASSERT_RATIO={r:?} is not a number: {e}"))
     });
-    for (name, m) in workloads() {
+    for (name, m, wrappers) in workloads() {
+        let reg = wrappers.then(|| Rc::new(registry_with_wrappers()));
         let per_run = {
-            let out = run_with_limits(&m, &RunConfig::default());
+            let out = run_once(&m, reg.as_ref());
             assert!(
                 matches!(out.status, ExitStatus::Normal(0)),
                 "{name}: bench run not clean: {:?}",
@@ -148,7 +167,7 @@ fn trajectory(_c: &mut Criterion) {
         let t0 = Instant::now();
         let mut runs = 0u64;
         while t0.elapsed() < budget {
-            let out = run_with_limits(&m, &RunConfig::default());
+            let out = run_once(&m, reg.as_ref());
             assert_eq!(out.instrs, per_run, "{name}: nondeterministic run");
             runs += 1;
         }

@@ -143,6 +143,17 @@ pub enum RecoveryPolicy {
         /// Repairs allowed before the run is declared unrecoverable.
         max_repairs: u64,
     },
+    /// Majority vote across the application and all K replicas at each
+    /// detection: the outvoted copies — application *or* replicas — are
+    /// rewritten with the majority value, so a corrupted *replica* is
+    /// repaired too (which [`RecoveryPolicy::RepairFromReplica`] cannot do
+    /// at all). Fail-stop when no strict majority exists (e.g. at K = 1,
+    /// where a mismatch is always a one-against-one tie) or the budget is
+    /// exhausted.
+    VoteAndRepair {
+        /// Repairs allowed before the run is declared unrecoverable.
+        max_repairs: u64,
+    },
     /// Terminate at the first detection, recording a *controlled* stop
     /// (the explicit fallback state retries and repairs degrade to).
     FailStop,
@@ -158,6 +169,9 @@ impl RecoveryPolicy {
             }
             RecoveryPolicy::RepairFromReplica { max_repairs } => {
                 format!("repair <={max_repairs}")
+            }
+            RecoveryPolicy::VoteAndRepair { max_repairs } => {
+                format!("vote <={max_repairs}")
             }
             RecoveryPolicy::FailStop => "fail-stop".into(),
         }
@@ -275,8 +289,18 @@ pub struct DpmrConfig {
     pub diversity: Diversity,
     /// State comparison policy.
     pub policy: Policy,
-    /// Transform-time seed (static load-checking site selection).
+    /// Transform-time seed (static load-checking site selection and the
+    /// per-replica diversity-jitter streams).
     pub seed: u64,
+    /// Replication degree K: how many diverse replicas each replicated
+    /// object gets. 1 (the default) is the paper's single-replica DPMR,
+    /// bit-for-bit; K >= 2 turns each `dpmr.check` into a K+1-way
+    /// comparison whose divergences a majority vote can arbitrate
+    /// ([`RecoveryPolicy::VoteAndRepair`]). Each replica draws its
+    /// diversity decisions from an independent stream derived from
+    /// `(seed, replica_index)`, so replica layouts diverge from *each
+    /// other*, not just from the application.
+    pub replicas: usize,
     /// DSA-derived replication refinement.
     pub plan: ReplicationPlan,
     /// Runtime reaction to detections (defaults to the paper's
@@ -293,6 +317,7 @@ impl DpmrConfig {
             diversity: Diversity::RearrangeHeap,
             policy: Policy::AllLoads,
             seed: 0xD12A,
+            replicas: 1,
             plan: ReplicationPlan::default(),
             recovery: RecoveryConfig::default(),
         }
@@ -306,13 +331,20 @@ impl DpmrConfig {
         }
     }
 
-    /// Variant display name, e.g. `sds/rearrange-heap/all loads`.
+    /// Variant display name, e.g. `sds/rearrange-heap/all loads`; a
+    /// replication degree above 1 shows as a scheme suffix
+    /// (`sds x2/rearrange-heap/all loads`).
     pub fn name(&self) -> String {
         let s = match self.scheme {
             Scheme::Sds => "sds",
             Scheme::Mds => "mds",
         };
-        format!("{s}/{}/{}", self.diversity.name(), self.policy.name())
+        let k = if self.replicas > 1 {
+            format!(" x{}", self.replicas)
+        } else {
+            String::new()
+        };
+        format!("{s}{k}/{}/{}", self.diversity.name(), self.policy.name())
     }
 
     /// Replaces the diversity transformation.
@@ -337,6 +369,12 @@ impl DpmrConfig {
     /// retry-from-checkpoint recovery; `None` means whole-run rollback.
     pub fn with_checkpoint_cadence(mut self, cadence: Option<u64>) -> DpmrConfig {
         self.recovery.checkpoint_cadence = cadence;
+        self
+    }
+
+    /// Replaces the replication degree (clamped to at least 1).
+    pub fn with_replicas(mut self, k: usize) -> DpmrConfig {
+        self.replicas = k.max(1);
         self
     }
 }

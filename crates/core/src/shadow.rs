@@ -29,8 +29,15 @@ pub enum Scheme {
 }
 
 /// Computes and memoizes `st`, `at`, and `st ∘ at` over one [`TypeTable`].
+///
+/// The algebra is parameterized by the replication degree K
+/// ([`TypeAlgebra::with_replicas`]): a pointer's shadow struct carries one
+/// ROP field *per replica* followed by the NSOP (`{rop_0..rop_{K-1},
+/// nsop}`), and augmented function types gain K ROP parameters per
+/// pointer parameter. K = 1 reproduces the paper's tables exactly.
 pub struct TypeAlgebra {
     scheme: Scheme,
+    replicas: usize,
     st_memo: HashMap<TypeId, Option<TypeId>>,
     st_inprogress: HashMap<TypeId, TypeId>,
     at_memo: HashMap<TypeId, TypeId>,
@@ -53,10 +60,17 @@ impl std::fmt::Debug for TypeAlgebra {
 }
 
 impl TypeAlgebra {
-    /// Creates an algebra for the given scheme.
+    /// Creates an algebra for the given scheme at replication degree 1.
     pub fn new(scheme: Scheme) -> TypeAlgebra {
+        TypeAlgebra::with_replicas(scheme, 1)
+    }
+
+    /// Creates an algebra for the given scheme and replication degree
+    /// (clamped to at least 1).
+    pub fn with_replicas(scheme: Scheme, replicas: usize) -> TypeAlgebra {
         TypeAlgebra {
             scheme,
+            replicas: replicas.max(1),
             st_memo: HashMap::new(),
             st_inprogress: HashMap::new(),
             at_memo: HashMap::new(),
@@ -69,6 +83,11 @@ impl TypeAlgebra {
     /// The scheme this algebra serves.
     pub fn scheme(&self) -> Scheme {
         self.scheme
+    }
+
+    /// The replication degree K this algebra serves.
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// `st(t)` — the shadow type of `t` (Table 2.1); `None` is the paper's
@@ -89,7 +108,11 @@ impl TypeAlgebra {
                     Some(s) => tt.pointer(s),
                     None => tt.void_ptr(),
                 };
-                tt.set_struct_body(r, vec![t, nsop]);
+                // One ROP field per replica, then the NSOP (K = 1 is the
+                // paper's two-field `{rop, nsop}` exactly).
+                let mut body = vec![t; self.replicas];
+                body.push(nsop);
+                tt.set_struct_body(r, body);
                 self.st_inprogress.remove(&t);
                 Some(r)
             }
@@ -217,13 +240,21 @@ impl TypeAlgebra {
             match self.scheme {
                 Scheme::Sds => {
                     // rvSop: st(at(r))* — pointer shadow types are never
-                    // null, so this is always a concrete struct pointer.
+                    // null, so this is always a concrete struct pointer
+                    // (and already carries K ROP fields).
                     let sat = self.sat(tt, ret).expect("pointer shadow type is non-null");
                     arglist.push(tt.pointer(sat));
                 }
                 Scheme::Mds => {
-                    // rvRopPtr: at(r)* (a slot the callee stores the ROP to).
-                    arglist.push(tt.pointer(aret));
+                    // rvRopPtr: at(r)* (a slot the callee stores the ROP
+                    // to); with K >= 2 replicas the slot is an array of K
+                    // ROPs (`at(r)[K]*`).
+                    if self.replicas > 1 {
+                        let arr = tt.array(aret, self.replicas as u64);
+                        arglist.push(tt.pointer(arr));
+                    } else {
+                        arglist.push(tt.pointer(aret));
+                    }
                 }
             }
         }
@@ -231,8 +262,11 @@ impl TypeAlgebra {
             let ap = self.at(tt, p);
             arglist.push(ap);
             if tt.is_pointer(p) {
-                // rpt(p) = at(p) (the ROP has the augmented pointer type).
-                arglist.push(ap);
+                // rpt(p) = at(p) (each ROP has the augmented pointer
+                // type); one ROP parameter per replica.
+                for _ in 0..self.replicas {
+                    arglist.push(ap);
+                }
                 if self.scheme == Scheme::Sds {
                     // spt(p) = st(at(pointee))* or void*.
                     let pointee = tt.pointee(p).expect("pointer");

@@ -86,20 +86,31 @@ pub fn wrapper_name(orig: &str, scheme: Scheme) -> String {
 /// Suffix appended to the renamed entry function (`main` → `mainAug`).
 pub const MAIN_AUG_SUFFIX: &str = "Aug";
 
-/// Companion registers for one original register.
-#[derive(Debug, Clone, Copy)]
+/// Companion registers for one original register: one replica object
+/// pointer per replica (`rops`, empty for non-pointers) plus — under SDS
+/// — the shadow object pointer.
+#[derive(Debug, Clone)]
 struct Companions {
     app: RegId,
-    rop: Option<RegId>,
+    rops: Vec<RegId>,
     sop: Option<RegId>,
 }
 
-/// Companion operands for one original operand.
-#[derive(Debug, Clone, Copy)]
+/// Companion operands for one original operand (`rops` empty for plain
+/// scalars, which have no replica side).
+#[derive(Debug, Clone)]
 struct Ops {
     app: Operand,
-    rop: Option<Operand>,
+    rops: Vec<Operand>,
     sop: Option<Operand>,
+}
+
+impl Ops {
+    /// Replica `k`'s operand, falling back to the application operand for
+    /// operands without replica companions (e.g. excluded or scalar).
+    fn rop(&self, k: usize) -> Operand {
+        self.rops.get(k).copied().unwrap_or(self.app)
+    }
 }
 
 /// Function-under-construction emitter with block chaining.
@@ -158,10 +169,17 @@ pub fn transform(module: &Module, cfg: &DpmrConfig) -> Result<Module, TransformE
 struct Transformer<'a> {
     src: &'a Module,
     cfg: &'a DpmrConfig,
+    /// Replication degree K (>= 1).
+    nreps: usize,
     out: Module,
     alg: TypeAlgebra,
     rng: StdRng,
-    replica_globals: Vec<GlobalId>,
+    /// Per-replica transform-time diversity streams for replicas 1..K
+    /// (replica 0 keeps the legacy behaviour exactly): `pad_rngs[k - 1]`
+    /// is replica `k`'s stream, seeded from `(seed, k)`.
+    pad_rngs: Vec<StdRng>,
+    /// Replica global sets, indexed `[replica][original global]`.
+    replica_globals: Vec<Vec<GlobalId>>,
     shadow_globals: Vec<Option<GlobalId>>,
     rearrange_buf: Option<GlobalId>,
     mask_counter: Option<GlobalId>,
@@ -173,12 +191,22 @@ impl<'a> Transformer<'a> {
     fn new(src: &'a Module, cfg: &'a DpmrConfig) -> Self {
         let mut out = Module::new();
         out.types = src.types.clone();
+        let nreps = cfg.replicas.max(1);
         Transformer {
             src,
             cfg,
+            nreps,
             out,
-            alg: TypeAlgebra::new(cfg.scheme),
+            alg: TypeAlgebra::with_replicas(cfg.scheme, nreps),
             rng: StdRng::seed_from_u64(cfg.seed),
+            pad_rngs: (1..nreps)
+                .map(|k| {
+                    StdRng::seed_from_u64(
+                        cfg.seed
+                            .wrapping_add((k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    )
+                })
+                .collect(),
             replica_globals: Vec::new(),
             shadow_globals: Vec::new(),
             rearrange_buf: None,
@@ -218,17 +246,27 @@ impl<'a> Transformer<'a> {
                 init: g.init.clone(),
             });
         }
-        // Replica globals.
-        for i in 0..n {
-            let g = self.src.globals[i].clone();
-            let aty = self.alg.at(&mut self.out.types, g.ty);
-            let init = self.replica_init(g.ty, &g.init);
-            let id = self.out.add_global(Global {
-                name: format!("{}.rep", g.name),
-                ty: aty,
-                init,
-            });
-            self.replica_globals.push(id);
+        // Replica globals: one full set per replica, appended in replica
+        // order so replica r's copy of global g has id n*(1+r) + g.
+        for r in 0..self.nreps {
+            let mut set = Vec::with_capacity(n);
+            for i in 0..n {
+                let g = self.src.globals[i].clone();
+                let aty = self.alg.at(&mut self.out.types, g.ty);
+                let init = self.replica_init(r, g.ty, &g.init);
+                let name = if r == 0 {
+                    format!("{}.rep", g.name)
+                } else {
+                    format!("{}.rep{}", g.name, r + 1)
+                };
+                let id = self.out.add_global(Global {
+                    name,
+                    ty: aty,
+                    init,
+                });
+                set.push(id);
+            }
+            self.replica_globals.push(set);
         }
         // Shadow globals (SDS).
         for i in 0..n {
@@ -260,18 +298,21 @@ impl<'a> Transformer<'a> {
         }
     }
 
-    /// Replica initializer: identical under SDS (pointers are comparable);
-    /// pointer references retarget to replica globals under MDS.
-    fn replica_init(&mut self, ty: TypeId, init: &GlobalInit) -> GlobalInit {
+    /// Replica `r`'s initializer: identical under SDS (pointers are
+    /// comparable); pointer references retarget to replica `r`'s globals
+    /// under MDS.
+    fn replica_init(&mut self, r: usize, ty: TypeId, init: &GlobalInit) -> GlobalInit {
         match self.cfg.scheme {
             Scheme::Sds => init.clone(),
-            Scheme::Mds => self.mds_replica_init(ty, init),
+            Scheme::Mds => self.mds_replica_init(r, ty, init),
         }
     }
 
-    fn mds_replica_init(&mut self, ty: TypeId, init: &GlobalInit) -> GlobalInit {
+    fn mds_replica_init(&mut self, r: usize, ty: TypeId, init: &GlobalInit) -> GlobalInit {
         match init {
-            GlobalInit::Ref(g) => GlobalInit::Ref(GlobalId(g.0 + self.src.globals.len() as u32)),
+            GlobalInit::Ref(g) => GlobalInit::Ref(GlobalId(
+                g.0 + (1 + r as u32) * self.src.globals.len() as u32,
+            )),
             GlobalInit::Composite(items) => {
                 let member_tys: Vec<TypeId> = match self.out.types.kind(ty) {
                     TypeKind::Struct { fields, .. } => fields.clone(),
@@ -283,7 +324,7 @@ impl<'a> Transformer<'a> {
                     items
                         .iter()
                         .zip(member_tys)
-                        .map(|(it, t)| self.mds_replica_init(t, it))
+                        .map(|(it, t)| self.mds_replica_init(r, t, it))
                         .collect(),
                 )
             }
@@ -296,19 +337,31 @@ impl<'a> Transformer<'a> {
         let kind = self.out.types.kind(ty).clone();
         match kind {
             TypeKind::Pointer { .. } => {
-                let (rop, nsop) = match init {
+                // One ROP initializer per replica, then the NSOP.
+                let mut items: Vec<GlobalInit> = Vec::with_capacity(self.nreps + 1);
+                match init {
                     GlobalInit::Ref(g) => {
-                        let rep = self.replica_globals[g.0 as usize];
-                        let nsop = match self.shadow_globals[g.0 as usize] {
+                        for r in 0..self.nreps {
+                            items.push(GlobalInit::Ref(self.replica_globals[r][g.0 as usize]));
+                        }
+                        items.push(match self.shadow_globals[g.0 as usize] {
                             Some(s) => GlobalInit::Ref(s),
                             None => GlobalInit::Null,
-                        };
-                        (GlobalInit::Ref(rep), nsop)
+                        });
                     }
-                    GlobalInit::FuncRef(f) => (GlobalInit::FuncRef(*f), GlobalInit::Null),
-                    _ => (GlobalInit::Null, GlobalInit::Null),
-                };
-                GlobalInit::Composite(vec![rop, nsop])
+                    GlobalInit::FuncRef(f) => {
+                        for _ in 0..self.nreps {
+                            items.push(GlobalInit::FuncRef(*f));
+                        }
+                        items.push(GlobalInit::Null);
+                    }
+                    _ => {
+                        for _ in 0..=self.nreps {
+                            items.push(GlobalInit::Null);
+                        }
+                    }
+                }
+                GlobalInit::Composite(items)
             }
             TypeKind::Struct { fields, .. } => {
                 let items: Vec<(usize, TypeId)> = fields
@@ -419,7 +472,12 @@ impl<'a> Transformer<'a> {
                 }
                 Scheme::Mds => {
                     let aret = self.alg.at(&mut self.out.types, ret_ty);
-                    self.out.types.pointer(aret)
+                    if self.nreps > 1 {
+                        let arr = self.out.types.array(aret, self.nreps as u64);
+                        self.out.types.pointer(arr)
+                    } else {
+                        self.out.types.pointer(aret)
+                    }
                 }
             };
             let name = match self.cfg.scheme {
@@ -460,7 +518,15 @@ impl<'a> Transformer<'a> {
                                     .expect("pointer sat"),
                                 "csSop",
                             ),
-                            Scheme::Mds => (self.alg.at(&mut self.out.types, cret), "csRopSlot"),
+                            Scheme::Mds => {
+                                let aret = self.alg.at(&mut self.out.types, cret);
+                                let pointee = if self.nreps > 1 {
+                                    self.out.types.array(aret, self.nreps as u64)
+                                } else {
+                                    aret
+                                };
+                                (pointee, "csRopSlot")
+                            }
                         };
                         let pty = self.out.types.pointer(slot_pointee);
                         let slot = em.reg(pty, format!("{nm}.{bi}.{ii}"));
@@ -519,13 +585,22 @@ impl<'a> Transformer<'a> {
         if !self.src.types.is_pointer(ty) {
             return Companions {
                 app,
-                rop: None,
+                rops: Vec::new(),
                 sop: None,
             };
         }
-        let rop = em.reg(aty, format!("{base}_r"));
-        if is_param {
-            params.push(rop);
+        let mut rops = Vec::with_capacity(self.nreps);
+        for r in 0..self.nreps {
+            let name = if r == 0 {
+                format!("{base}_r")
+            } else {
+                format!("{base}_r{}", r + 1)
+            };
+            let rop = em.reg(aty, name);
+            if is_param {
+                params.push(rop);
+            }
+            rops.push(rop);
         }
         let sop = if self.cfg.scheme == Scheme::Sds {
             let pointee = self.src.types.pointee(ty).expect("pointer");
@@ -541,11 +616,7 @@ impl<'a> Transformer<'a> {
         } else {
             None
         };
-        Companions {
-            app,
-            rop: Some(rop),
-            sop,
-        }
+        Companions { app, rops, sop }
     }
 
     fn callee_ret_ty(&self, f: &Function, callee: &Callee) -> TypeId {
@@ -614,10 +685,10 @@ impl<'a> Transformer<'a> {
     fn map_operand(&mut self, f: &Function, comps: &[Companions], op: &Operand) -> Ops {
         match op {
             Operand::Reg(r) => {
-                let c = comps[r.0 as usize];
+                let c = &comps[r.0 as usize];
                 Ops {
                     app: Operand::Reg(c.app),
-                    rop: c.rop.map(Operand::Reg),
+                    rops: c.rops.iter().copied().map(Operand::Reg).collect(),
                     sop: c.sop.map(Operand::Reg),
                 }
             }
@@ -627,7 +698,7 @@ impl<'a> Transformer<'a> {
                 let sop_pointee = self.alg.sat(&mut self.out.types, *pointee).unwrap_or(void);
                 Ops {
                     app: Operand::Const(Const::Null { pointee: ap }),
-                    rop: Some(Operand::Const(Const::Null { pointee: ap })),
+                    rops: vec![Operand::Const(Const::Null { pointee: ap }); self.nreps],
                     sop: Some(Operand::Const(Const::Null {
                         pointee: sop_pointee,
                     })),
@@ -635,11 +706,13 @@ impl<'a> Transformer<'a> {
             }
             Operand::Const(c) => Ops {
                 app: Operand::Const(*c),
-                rop: None,
+                rops: Vec::new(),
                 sop: None,
             },
             Operand::Global(g) => {
-                let rep = self.replica_globals[g.0 as usize];
+                let rops = (0..self.nreps)
+                    .map(|r| Operand::Global(self.replica_globals[r][g.0 as usize]))
+                    .collect();
                 let sop = match self.shadow_globals[g.0 as usize] {
                     Some(s) => Operand::Global(s),
                     None => {
@@ -649,17 +722,17 @@ impl<'a> Transformer<'a> {
                 };
                 Ops {
                     app: Operand::Global(*g),
-                    rop: Some(Operand::Global(rep)),
+                    rops,
                     sop: Some(sop),
                 }
             }
             Operand::Func(fid) => {
-                // Address of a function: ROP is the same address, NSOP null
-                // (Table 2.6 "address of a function").
+                // Address of a function: every ROP is the same address,
+                // NSOP null (Table 2.6 "address of a function").
                 let void = self.out.types.void();
                 Ops {
                     app: Operand::Func(*fid),
-                    rop: Some(Operand::Func(*fid)),
+                    rops: vec![Operand::Func(*fid); self.nreps],
                     sop: Some(Operand::Const(Const::Null { pointee: void })),
                 }
             }
@@ -686,7 +759,7 @@ impl<'a> Transformer<'a> {
         match ins {
             // ---- allocation (Table 2.7 / 4.4) ----------------------------
             Instr::Alloca { dst, ty, count } => {
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 let aty = self.alg.at(&mut self.out.types, *ty);
                 let cnt = count.map(|op| self.map_operand(f, comps, &op).app);
                 em.ins(Instr::Alloca {
@@ -698,17 +771,19 @@ impl<'a> Transformer<'a> {
                     self.alias_companions(em, c);
                     return Ok(());
                 }
-                em.ins(Instr::Alloca {
-                    dst: c.rop.expect("alloca yields pointer"),
-                    ty: aty,
-                    count: cnt,
-                });
+                for k in 0..self.nreps {
+                    em.ins(Instr::Alloca {
+                        dst: c.rops[k],
+                        ty: aty,
+                        count: cnt,
+                    });
+                }
                 if sds {
                     self.emit_shadow_alloc(em, c, aty, cnt, false);
                 }
             }
             Instr::Malloc { dst, elem, count } => {
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 let aty = self.alg.at(&mut self.out.types, *elem);
                 let cnt = self.map_operand(f, comps, count).app;
                 em.ins(Instr::Malloc {
@@ -720,7 +795,9 @@ impl<'a> Transformer<'a> {
                     self.alias_companions(em, c);
                     return Ok(());
                 }
-                self.emit_replica_malloc(em, c.rop.expect("pointer"), aty, cnt);
+                for k in 0..self.nreps {
+                    self.emit_replica_malloc(em, c.rops[k], aty, cnt, k);
+                }
                 if sds {
                     self.emit_shadow_alloc(em, c, aty, Some(cnt), true);
                 }
@@ -729,39 +806,41 @@ impl<'a> Transformer<'a> {
             Instr::Free { ptr } => {
                 let o = self.map_operand(f, comps, ptr);
                 em.ins(Instr::Free { ptr: o.app });
-                let rop = o.rop.expect("freeing a pointer");
-                // Under a DSA-refined plan an excluded object's replica
-                // aliases the application object (Ch. 5); freeing it again
-                // would double-free, so the replica free is guarded by a
+                // Under a DSA-refined plan an excluded object's replicas
+                // alias the application object (Ch. 5); freeing one again
+                // would double-free, so each replica free is guarded by a
                 // runtime aliasing check whenever exclusions are in play.
-                if !self.cfg.plan.exclude_allocs.is_empty() {
-                    let i8t = self.out.types.int(8);
-                    let differs = em.reg(i8t, String::new());
-                    em.ins(Instr::Cmp {
-                        dst: differs,
-                        pred: CmpPred::Ne,
-                        lhs: rop,
-                        rhs: o.app,
-                    });
-                    let free_bb = em.new_block();
-                    let cont_bb = em.new_block();
-                    em.term(Term::CondBr {
-                        cond: Operand::Reg(differs),
-                        then_bb: free_bb,
-                        else_bb: cont_bb,
-                    });
-                    em.start(free_bb);
-                    if self.cfg.diversity == Diversity::ZeroBeforeFree {
-                        self.emit_zero_before_free(em, rop);
+                for k in 0..self.nreps {
+                    let rop = o.rop(k);
+                    if !self.cfg.plan.exclude_allocs.is_empty() {
+                        let i8t = self.out.types.int(8);
+                        let differs = em.reg(i8t, String::new());
+                        em.ins(Instr::Cmp {
+                            dst: differs,
+                            pred: CmpPred::Ne,
+                            lhs: rop,
+                            rhs: o.app,
+                        });
+                        let free_bb = em.new_block();
+                        let cont_bb = em.new_block();
+                        em.term(Term::CondBr {
+                            cond: Operand::Reg(differs),
+                            then_bb: free_bb,
+                            else_bb: cont_bb,
+                        });
+                        em.start(free_bb);
+                        if self.cfg.diversity == Diversity::ZeroBeforeFree {
+                            self.emit_zero_before_free(em, rop);
+                        }
+                        em.ins(Instr::Free { ptr: rop });
+                        em.term(Term::Br(cont_bb));
+                        em.start(cont_bb);
+                    } else {
+                        if self.cfg.diversity == Diversity::ZeroBeforeFree {
+                            self.emit_zero_before_free(em, rop);
+                        }
+                        em.ins(Instr::Free { ptr: rop });
                     }
-                    em.ins(Instr::Free { ptr: rop });
-                    em.term(Term::Br(cont_bb));
-                    em.start(cont_bb);
-                } else {
-                    if self.cfg.diversity == Diversity::ZeroBeforeFree {
-                        self.emit_zero_before_free(em, rop);
-                    }
-                    em.ins(Instr::Free { ptr: rop });
                 }
                 if sds {
                     // if (ps != null) free(ps)
@@ -798,104 +877,107 @@ impl<'a> Transformer<'a> {
                 });
                 let vty = self.orig_operand_ty(f, value);
                 let v_is_ptr = self.src.types.is_pointer(vty);
-                let prop = p.rop.expect("store through pointer");
                 if sds {
-                    // Same value to replica memory (comparable pointers).
-                    em.ins(Instr::Store {
-                        ptr: prop,
-                        value: v.app,
-                    });
+                    // Same value to every replica memory (comparable
+                    // pointers).
+                    for k in 0..self.nreps {
+                        em.ins(Instr::Store {
+                            ptr: p.rop(k),
+                            value: v.app,
+                        });
+                    }
                     if v_is_ptr {
-                        // (ps->rop) <- x_r ; (ps->nsop) <- x_s
+                        // (ps->rop_k) <- x_rk ; (ps->nsop) <- x_s
                         let psop = p.sop.expect("sds companion");
-                        let sat_ptr_ty = em.reg_ty(match psop {
-                            Operand::Reg(r) => r,
-                            _ => {
-                                // Shadow of a pointer always exists; a null
-                                // const would mean the program stores a
-                                // pointer through a shadow-less pointer —
-                                // use a typed field address anyway.
-                                return self.store_ptr_via_const_shadow(em, psop, &v);
-                            }
-                        });
-                        let _ = sat_ptr_ty;
-                        let f0 = self.shadow_field_addr(em, psop, 0);
+                        if !matches!(psop, Operand::Reg(_)) {
+                            // Shadow of a pointer always exists; a null
+                            // const would mean the program stores a
+                            // pointer through a shadow-less pointer.
+                            return self.store_ptr_via_const_shadow(em, psop, &v);
+                        }
+                        for k in 0..self.nreps {
+                            let fk = self.shadow_field_addr(em, psop, k as u32);
+                            em.ins(Instr::Store {
+                                ptr: fk,
+                                value: v.rop(k),
+                            });
+                        }
+                        let fn_ = self.shadow_field_addr(em, psop, self.nreps as u32);
                         em.ins(Instr::Store {
-                            ptr: f0,
-                            value: v.rop.expect("pointer value rop"),
-                        });
-                        let f1 = self.shadow_field_addr(em, psop, 1);
-                        em.ins(Instr::Store {
-                            ptr: f1,
+                            ptr: fn_,
                             value: v.sop.expect("pointer value sop"),
                         });
                     }
                 } else {
-                    // MDS: replica stores the ROP for pointers, the same
-                    // value otherwise (Table 4.3).
-                    let rep_val = if v_is_ptr {
-                        v.rop.expect("pointer value rop")
-                    } else {
-                        v.app
-                    };
-                    em.ins(Instr::Store {
-                        ptr: prop,
-                        value: rep_val,
-                    });
+                    // MDS: replica k stores its own ROP for pointers, the
+                    // same value otherwise (Table 4.3).
+                    for k in 0..self.nreps {
+                        let rep_val = if v_is_ptr { v.rop(k) } else { v.app };
+                        em.ins(Instr::Store {
+                            ptr: p.rop(k),
+                            value: rep_val,
+                        });
+                    }
                 }
             }
             // ---- load (Table 2.6 / 4.3) -----------------------------------
             Instr::Load { dst, ptr } => {
                 let p = self.map_operand(f, comps, ptr);
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 em.ins(Instr::Load {
                     dst: c.app,
                     ptr: p.app,
                 });
                 let dty = f.reg_ty(*dst);
                 let d_is_ptr = self.src.types.is_pointer(dty);
-                let prop = p.rop.expect("load through pointer");
                 // Load check (policy-gated). SDS checks pointer loads too;
                 // MDS never checks pointer loads (they differ by design).
                 let checkable = sds || !d_is_ptr;
                 if checkable && !self.cfg.plan.uncheck_loads.contains(&site) {
-                    self.emit_load_check(em, c.app, prop, p.app);
+                    let rop_ptrs: Vec<Operand> = (0..self.nreps).map(|k| p.rop(k)).collect();
+                    self.emit_load_check(em, c.app, &rop_ptrs, p.app);
                 }
                 if d_is_ptr {
                     if sds {
                         let psop = p.sop.expect("sds companion");
-                        let f0 = self.shadow_field_addr(em, psop, 0);
-                        em.ins(Instr::Load {
-                            dst: c.rop.expect("rop"),
-                            ptr: f0,
-                        });
-                        let f1 = self.shadow_field_addr(em, psop, 1);
+                        for k in 0..self.nreps {
+                            let fk = self.shadow_field_addr(em, psop, k as u32);
+                            em.ins(Instr::Load {
+                                dst: c.rops[k],
+                                ptr: fk,
+                            });
+                        }
+                        let fn_ = self.shadow_field_addr(em, psop, self.nreps as u32);
                         em.ins(Instr::Load {
                             dst: c.sop.expect("sop"),
-                            ptr: f1,
+                            ptr: fn_,
                         });
                     } else {
-                        em.ins(Instr::Load {
-                            dst: c.rop.expect("rop"),
-                            ptr: prop,
-                        });
+                        for k in 0..self.nreps {
+                            em.ins(Instr::Load {
+                                dst: c.rops[k],
+                                ptr: p.rop(k),
+                            });
+                        }
                     }
                 }
             }
             // ---- address of a struct field (Table 2.6 / 4.3) --------------
             Instr::FieldAddr { dst, base, field } => {
                 let b = self.map_operand(f, comps, base);
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 em.ins(Instr::FieldAddr {
                     dst: c.app,
                     base: b.app,
                     field: *field,
                 });
-                em.ins(Instr::FieldAddr {
-                    dst: c.rop.expect("rop"),
-                    base: b.rop.expect("base rop"),
-                    field: *field,
-                });
+                for k in 0..self.nreps {
+                    em.ins(Instr::FieldAddr {
+                        dst: c.rops[k],
+                        base: b.rop(k),
+                        field: *field,
+                    });
+                }
                 if sds {
                     let bty = self.orig_operand_ty(f, base);
                     let pointee = self.src.types.pointee(bty).expect("pointer base");
@@ -923,17 +1005,19 @@ impl<'a> Transformer<'a> {
             Instr::IndexAddr { dst, base, index } => {
                 let b = self.map_operand(f, comps, base);
                 let idx = self.map_operand(f, comps, index).app;
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 em.ins(Instr::IndexAddr {
                     dst: c.app,
                     base: b.app,
                     index: idx,
                 });
-                em.ins(Instr::IndexAddr {
-                    dst: c.rop.expect("rop"),
-                    base: b.rop.expect("base rop"),
-                    index: idx,
-                });
+                for k in 0..self.nreps {
+                    em.ins(Instr::IndexAddr {
+                        dst: c.rops[k],
+                        base: b.rop(k),
+                        index: idx,
+                    });
+                }
                 if sds {
                     let bty = self.orig_operand_ty(f, base);
                     let pointee = self.src.types.pointee(bty).expect("pointer base");
@@ -960,7 +1044,7 @@ impl<'a> Transformer<'a> {
             // ---- casts (Table 2.7 / 4.4) ----------------------------------
             Instr::Cast { dst, op, src } => {
                 let s = self.map_operand(f, comps, src);
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 match op {
                     CastOp::Bitcast => {
                         em.ins(Instr::Cast {
@@ -968,11 +1052,13 @@ impl<'a> Transformer<'a> {
                             op: CastOp::Bitcast,
                             src: s.app,
                         });
-                        em.ins(Instr::Cast {
-                            dst: c.rop.expect("rop"),
-                            op: CastOp::Bitcast,
-                            src: s.rop.expect("src rop"),
-                        });
+                        for k in 0..self.nreps {
+                            em.ins(Instr::Cast {
+                                dst: c.rops[k],
+                                op: CastOp::Bitcast,
+                                src: s.rop(k),
+                            });
+                        }
                         if sds {
                             em.ins(Instr::Cast {
                                 dst: c.sop.expect("sop"),
@@ -988,16 +1074,18 @@ impl<'a> Transformer<'a> {
                             });
                         }
                         // DSA-refined mode: the result aliases application
-                        // memory; its replica is itself, its shadow null.
+                        // memory; its replicas are itself, its shadow null.
                         em.ins(Instr::Cast {
                             dst: c.app,
                             op: CastOp::IntToPtr,
                             src: s.app,
                         });
-                        em.ins(Instr::Copy {
-                            dst: c.rop.expect("rop"),
-                            src: Operand::Reg(c.app),
-                        });
+                        for k in 0..self.nreps {
+                            em.ins(Instr::Copy {
+                                dst: c.rops[k],
+                                src: Operand::Reg(c.app),
+                            });
+                        }
                         if sds {
                             let void = self.out.types.void();
                             em.ins(Instr::Copy {
@@ -1020,7 +1108,7 @@ impl<'a> Transformer<'a> {
             Instr::Bin { dst, op, lhs, rhs } => {
                 let l = self.map_operand(f, comps, lhs);
                 let r = self.map_operand(f, comps, rhs);
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 em.ins(Instr::Bin {
                     dst: c.app,
                     op: *op,
@@ -1035,14 +1123,14 @@ impl<'a> Transformer<'a> {
                             func: fname.to_string(),
                         });
                     }
-                    let lr = l.rop.unwrap_or(l.app);
-                    let rr = r.rop.unwrap_or(r.app);
-                    em.ins(Instr::Bin {
-                        dst: c.rop.expect("rop"),
-                        op: *op,
-                        lhs: lr,
-                        rhs: rr,
-                    });
+                    for k in 0..self.nreps {
+                        em.ins(Instr::Bin {
+                            dst: c.rops[k],
+                            op: *op,
+                            lhs: l.rop(k),
+                            rhs: r.rop(k),
+                        });
+                    }
                     if sds {
                         let void = self.out.types.void();
                         em.ins(Instr::Copy {
@@ -1060,7 +1148,7 @@ impl<'a> Transformer<'a> {
             } => {
                 let l = self.map_operand(f, comps, lhs).app;
                 let r = self.map_operand(f, comps, rhs).app;
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 em.ins(Instr::Cmp {
                     dst: c.app,
                     pred: *pred,
@@ -1070,15 +1158,15 @@ impl<'a> Transformer<'a> {
             }
             Instr::Copy { dst, src } => {
                 let s = self.map_operand(f, comps, src);
-                let c = comps[dst.0 as usize];
+                let c = &comps[dst.0 as usize];
                 em.ins(Instr::Copy {
                     dst: c.app,
                     src: s.app,
                 });
-                if let Some(rop) = c.rop {
+                for (k, &rop) in c.rops.iter().enumerate() {
                     em.ins(Instr::Copy {
                         dst: rop,
-                        src: s.rop.unwrap_or(s.app),
+                        src: s.rop(k),
                     });
                 }
                 if let Some(sop) = c.sop {
@@ -1096,24 +1184,35 @@ impl<'a> Transformer<'a> {
                 self.xform_call(em, f, comps, dst, callee, args, site, rv_slots);
             }
             // ---- passthrough ----------------------------------------------
-            Instr::DpmrCheck { a, b, ptrs } => {
+            Instr::DpmrCheck { a, reps, ptrs } => {
                 let a = self.map_operand(f, comps, a).app;
-                let b = self.map_operand(f, comps, b).app;
-                let ptrs = ptrs.map(|(ap, rp)| {
+                let reps = reps
+                    .iter()
+                    .map(|r| self.map_operand(f, comps, r).app)
+                    .collect();
+                let ptrs = ptrs.as_ref().map(|(ap, rps)| {
                     (
-                        self.map_operand(f, comps, &ap).app,
-                        self.map_operand(f, comps, &rp).app,
+                        self.map_operand(f, comps, ap).app,
+                        rps.iter()
+                            .map(|rp| self.map_operand(f, comps, rp).app)
+                            .collect(),
                     )
                 });
-                em.ins(Instr::DpmrCheck { a, b, ptrs });
+                em.ins(Instr::DpmrCheck { a, reps, ptrs });
             }
-            Instr::RandInt { dst, lo, hi } => {
+            Instr::RandInt {
+                dst,
+                lo,
+                hi,
+                stream,
+            } => {
                 let lo = self.map_operand(f, comps, lo).app;
                 let hi = self.map_operand(f, comps, hi).app;
                 em.ins(Instr::RandInt {
                     dst: comps[dst.0 as usize].app,
                     lo,
                     hi,
+                    stream: *stream,
                 });
             }
             Instr::HeapBufSize { dst, ptr } => {
@@ -1181,7 +1280,9 @@ impl<'a> Transformer<'a> {
             let pt = param_tys.get(i).copied();
             let is_ptr_param = pt.map(|t| self.src.types.is_pointer(t)).unwrap_or(false);
             if is_ptr_param {
-                new_args.push(o.rop.unwrap_or(o.app));
+                for k in 0..self.nreps {
+                    new_args.push(o.rop(k));
+                }
                 if sds {
                     let void = self.out.types.void();
                     new_args.push(
@@ -1198,7 +1299,7 @@ impl<'a> Transformer<'a> {
             Callee::External(eid) => Callee::External(self.ext_map[eid.0 as usize]),
         };
 
-        let c = dst.map(|d| comps[d.0 as usize]);
+        let c = dst.map(|d| &comps[d.0 as usize]);
         em.ins(Instr::Call {
             dst: c.map(|c| c.app),
             callee: new_callee,
@@ -1209,24 +1310,54 @@ impl<'a> Transformer<'a> {
             if let Some(c) = c {
                 let slot = Operand::Reg(slot.expect("slot for ptr return"));
                 if sds {
-                    let f0 = self.shadow_field_addr(em, slot, 0);
-                    em.ins(Instr::Load {
-                        dst: c.rop.expect("rop"),
-                        ptr: f0,
-                    });
-                    let f1 = self.shadow_field_addr(em, slot, 1);
+                    for k in 0..self.nreps {
+                        let fk = self.shadow_field_addr(em, slot, k as u32);
+                        em.ins(Instr::Load {
+                            dst: c.rops[k],
+                            ptr: fk,
+                        });
+                    }
+                    let fn_ = self.shadow_field_addr(em, slot, self.nreps as u32);
                     em.ins(Instr::Load {
                         dst: c.sop.expect("sop"),
-                        ptr: f1,
+                        ptr: fn_,
                     });
-                } else {
+                } else if self.nreps == 1 {
                     em.ins(Instr::Load {
-                        dst: c.rop.expect("rop"),
+                        dst: c.rops[0],
                         ptr: slot,
                     });
+                } else {
+                    // The MDS slot is an array of K ROPs.
+                    for (k, &rop) in c.rops.iter().enumerate() {
+                        let ek = self.mds_slot_elem_addr(em, slot, k);
+                        em.ins(Instr::Load { dst: rop, ptr: ek });
+                    }
                 }
             }
         }
+    }
+
+    /// Emits `&slot[k]` for an MDS multi-replica return-value slot
+    /// (`at(r)[K]*`), yielding an `at(r)*` element address.
+    fn mds_slot_elem_addr(&mut self, em: &mut Emit, slot: Operand, k: usize) -> Operand {
+        let sty = match slot {
+            Operand::Reg(r) => em.reg_ty(r),
+            _ => unreachable!("MDS rv slot is a register"),
+        };
+        let arr = self.out.types.pointee(sty).expect("slot pointer");
+        let elem = match self.out.types.kind(arr) {
+            TypeKind::Array { elem, .. } => *elem,
+            _ => unreachable!("MDS multi-replica slot points at an array"),
+        };
+        let pe = self.out.types.pointer(elem);
+        let dst = em.reg(pe, String::new());
+        em.ins(Instr::IndexAddr {
+            dst,
+            base: slot,
+            index: Operand::Const(Const::i64(k as i64)),
+        });
+        Operand::Reg(dst)
     }
 
     /// Computes the sdwSize operand for qsort/memcpy/memmove (Sec. 3.1.5):
@@ -1371,21 +1502,31 @@ impl<'a> Transformer<'a> {
                     let o = self.map_operand(f, comps, &v);
                     let slot = Operand::Reg(rv_slot.expect("rv slot param"));
                     if self.cfg.scheme == Scheme::Sds {
-                        let f0 = self.shadow_field_addr(em, slot, 0);
+                        for k in 0..self.nreps {
+                            let fk = self.shadow_field_addr(em, slot, k as u32);
+                            em.ins(Instr::Store {
+                                ptr: fk,
+                                value: o.rop(k),
+                            });
+                        }
+                        let fn_ = self.shadow_field_addr(em, slot, self.nreps as u32);
                         em.ins(Instr::Store {
-                            ptr: f0,
-                            value: o.rop.expect("ret rop"),
-                        });
-                        let f1 = self.shadow_field_addr(em, slot, 1);
-                        em.ins(Instr::Store {
-                            ptr: f1,
+                            ptr: fn_,
                             value: o.sop.expect("ret sop"),
                         });
-                    } else {
+                    } else if self.nreps == 1 {
                         em.ins(Instr::Store {
                             ptr: slot,
-                            value: o.rop.expect("ret rop"),
+                            value: o.rop(0),
                         });
+                    } else {
+                        for k in 0..self.nreps {
+                            let ek = self.mds_slot_elem_addr(em, slot, k);
+                            em.ins(Instr::Store {
+                                ptr: ek,
+                                value: o.rop(k),
+                            });
+                        }
                     }
                     em.term(Term::Ret(Some(o.app)));
                 } else {
@@ -1403,13 +1544,15 @@ impl<'a> Transformer<'a> {
         self.cfg.plan.exclude_allocs.contains(&site)
     }
 
-    /// For an excluded allocation: replica aliases the app object; shadow
-    /// null (Ch. 5 refinement).
-    fn alias_companions(&mut self, em: &mut Emit, c: Companions) {
-        em.ins(Instr::Copy {
-            dst: c.rop.expect("pointer"),
-            src: Operand::Reg(c.app),
-        });
+    /// For an excluded allocation: every replica aliases the app object;
+    /// shadow null (Ch. 5 refinement).
+    fn alias_companions(&mut self, em: &mut Emit, c: &Companions) {
+        for &rop in &c.rops {
+            em.ins(Instr::Copy {
+                dst: rop,
+                src: Operand::Reg(c.app),
+            });
+        }
         if let Some(sop) = c.sop {
             let void = self.out.types.void();
             em.ins(Instr::Copy {
@@ -1424,7 +1567,7 @@ impl<'a> Transformer<'a> {
     fn emit_shadow_alloc(
         &mut self,
         em: &mut Emit,
-        c: Companions,
+        c: &Companions,
         aty: TypeId,
         count: Option<Operand>,
         heap: bool,
@@ -1456,9 +1599,20 @@ impl<'a> Transformer<'a> {
         }
     }
 
-    /// Emits the replica heap allocation under the configured diversity
-    /// transformation (Table 2.8).
-    fn emit_replica_malloc(&mut self, em: &mut Emit, rop: RegId, aty: TypeId, count: Operand) {
+    /// Emits replica `k`'s heap allocation under the configured diversity
+    /// transformation (Table 2.8). Replica 0 reproduces the single-replica
+    /// emission bit-for-bit; replicas above 0 decorrelate their diversity
+    /// decisions — pad-malloc amounts jitter per site from the replica's
+    /// `(seed, k)` transform-time stream, and rearrange-heap decoy counts
+    /// draw from the replica's independent runtime stream (`randint.sk`).
+    fn emit_replica_malloc(
+        &mut self,
+        em: &mut Emit,
+        rop: RegId,
+        aty: TypeId,
+        count: Operand,
+        k: usize,
+    ) {
         match self.cfg.diversity {
             Diversity::None | Diversity::ZeroBeforeFree => {
                 em.ins(Instr::Malloc {
@@ -1468,7 +1622,14 @@ impl<'a> Transformer<'a> {
                 });
             }
             Diversity::PadMalloc(y) => {
-                // xr <- (at(τ)*) malloc(int8[sizeof(at(τ))*count + y])
+                // xr <- (at(τ)*) malloc(int8[sizeof(at(τ))*count + y_k]),
+                // where y_0 = y and y_k (k > 0) adds per-site jitter drawn
+                // from replica k's stream so replica layouts shear apart.
+                let pad = if k == 0 {
+                    y
+                } else {
+                    y + self.pad_rngs[k - 1].gen_range(1..=y.max(8))
+                };
                 let i64t = self.out.types.int(64);
                 let i8t = self.out.types.int(8);
                 let esz = self.out.types.size_of(aty).unwrap_or(1);
@@ -1484,7 +1645,7 @@ impl<'a> Transformer<'a> {
                     dst: padded,
                     op: BinOp::Add,
                     lhs: Operand::Reg(bytes),
-                    rhs: Operand::Const(Const::i64(y as i64)),
+                    rhs: Operand::Const(Const::i64(pad as i64)),
                 });
                 let i8p = self.out.types.pointer(i8t);
                 let raw = em.reg(i8p, String::new());
@@ -1510,6 +1671,10 @@ impl<'a> Transformer<'a> {
                     dst: n,
                     lo: Operand::Const(Const::i64(1)),
                     hi: Operand::Const(Const::i64(20)),
+                    // Replica k draws from its own runtime stream so the
+                    // decoy counts — hence placements — of distinct
+                    // replicas decorrelate (stream 0 is the legacy draw).
+                    stream: k as u32,
                 });
                 let i = em.reg(i64t, "rh.i".into());
                 em.ins(Instr::Copy {
@@ -1697,17 +1862,24 @@ impl<'a> Transformer<'a> {
         em.start(done);
     }
 
-    /// Emits the policy-gated load check: replica load + comparison
-    /// (the `assert(x == *pr)` of Table 2.6 under the configured policy).
-    fn emit_load_check(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand, app_ptr: Operand) {
+    /// Emits the policy-gated load check: one replica load per replica +
+    /// a K+1-way comparison (the `assert(x == *pr)` of Table 2.6 under
+    /// the configured policy, generalized over the replication degree).
+    fn emit_load_check(
+        &mut self,
+        em: &mut Emit,
+        app: RegId,
+        rop_ptrs: &[Operand],
+        app_ptr: Operand,
+    ) {
         self.load_site_counter += 1;
         match self.cfg.policy {
             Policy::AllLoads => {
-                self.emit_check_now(em, app, rop_ptr, app_ptr);
+                self.emit_check_now(em, app, rop_ptrs, app_ptr);
             }
             Policy::Static { percent } => {
                 if self.rng.gen_range(0u32..100) < u32::from(percent) {
-                    self.emit_check_now(em, app, rop_ptr, app_ptr);
+                    self.emit_check_now(em, app, rop_ptrs, app_ptr);
                 }
             }
             Policy::StaticPeriodic { period } => {
@@ -1715,7 +1887,7 @@ impl<'a> Transformer<'a> {
                     .load_site_counter
                     .is_multiple_of(u64::from(period.max(1)))
                 {
-                    self.emit_check_now(em, app, rop_ptr, app_ptr);
+                    self.emit_check_now(em, app, rop_ptrs, app_ptr);
                 }
             }
             Policy::Temporal { mask } => {
@@ -1764,7 +1936,7 @@ impl<'a> Transformer<'a> {
                     else_bb: cont_bb,
                 });
                 em.start(check_bb);
-                self.emit_check_now(em, app, rop_ptr, app_ptr);
+                self.emit_check_now(em, app, rop_ptrs, app_ptr);
                 em.term(Term::Br(cont_bb));
                 em.start(cont_bb);
                 // maskCounter <- (maskCounter + 1) % 64 (always).
@@ -1790,19 +1962,28 @@ impl<'a> Transformer<'a> {
         }
     }
 
-    fn emit_check_now(&mut self, em: &mut Emit, app: RegId, rop_ptr: Operand, app_ptr: Operand) {
+    fn emit_check_now(
+        &mut self,
+        em: &mut Emit,
+        app: RegId,
+        rop_ptrs: &[Operand],
+        app_ptr: Operand,
+    ) {
         let ty = em.reg_ty(app);
-        let rep = em.reg(ty, String::new());
-        em.ins(Instr::Load {
-            dst: rep,
-            ptr: rop_ptr,
-        });
-        // The check names both source locations so a recovery trap handler
-        // can repair the divergent application memory from the replica.
+        let mut reps = Vec::with_capacity(rop_ptrs.len());
+        for &rp in rop_ptrs {
+            let rep = em.reg(ty, String::new());
+            em.ins(Instr::Load { dst: rep, ptr: rp });
+            reps.push(Operand::Reg(rep));
+        }
+        // The check names every source location so a recovery trap handler
+        // can repair the divergent application memory from a replica — or,
+        // with K >= 2, arbitrate by majority vote and repair whichever
+        // copy (application or replica) is the outvoted one.
         em.ins(Instr::DpmrCheck {
             a: Operand::Reg(app),
-            b: Operand::Reg(rep),
-            ptrs: Some((app_ptr, rop_ptr)),
+            reps,
+            ptrs: Some((app_ptr, rop_ptrs.to_vec())),
         });
     }
 
@@ -1883,10 +2064,12 @@ impl<'a> Transformer<'a> {
         if argv_shape {
             let argc = params[0];
             let argv = params[1];
-            let (argv_r, argv_s) = self.emit_argv_replication(&mut em, argc, argv);
+            let (argv_rs, argv_s) = self.emit_argv_replication(&mut em, argc, argv);
             call_args.push(Operand::Reg(argc));
             call_args.push(Operand::Reg(argv));
-            call_args.push(Operand::Reg(argv_r));
+            for argv_r in argv_rs {
+                call_args.push(Operand::Reg(argv_r));
+            }
             if self.cfg.scheme == Scheme::Sds {
                 call_args.push(Operand::Reg(argv_s.expect("sds argv shadow")));
             }
@@ -1940,15 +2123,15 @@ impl<'a> Transformer<'a> {
         )
     }
 
-    /// Emits the Fig. 3.1 argv replication: a replica argv array and (under
-    /// SDS) a shadow array whose ROPs point at heap replicas of each
-    /// argument string.
+    /// Emits the Fig. 3.1 argv replication: one replica argv array per
+    /// replica and (under SDS) a shadow array whose ROP fields point at
+    /// per-replica heap copies of each argument string.
     fn emit_argv_replication(
         &mut self,
         em: &mut Emit,
         argc: RegId,
         argv: RegId,
-    ) -> (RegId, Option<RegId>) {
+    ) -> (Vec<RegId>, Option<RegId>) {
         let sds = self.cfg.scheme == Scheme::Sds;
         let i64t = self.out.types.int(64);
         let i8t = self.out.types.int(8);
@@ -1957,19 +2140,29 @@ impl<'a> Transformer<'a> {
         let argv_arr = self.out.types.unsized_array(strp);
         let argv_ty = self.out.types.pointer(argv_arr); // i8[]*[]*
 
-        // Replica argv storage: heap array of argc pointers.
-        let raw_r = em.reg(self.out.types.pointer(strp), String::new());
-        em.ins(Instr::Malloc {
-            dst: raw_r,
-            elem: strp,
-            count: Operand::Reg(argc),
-        });
-        let argv_r = em.reg(argv_ty, "argv_r".into());
-        em.ins(Instr::Cast {
-            dst: argv_r,
-            op: CastOp::Bitcast,
-            src: Operand::Reg(raw_r),
-        });
+        // Replica argv storage: one heap array of argc pointers per
+        // replica.
+        let mut argv_rs = Vec::with_capacity(self.nreps);
+        for k in 0..self.nreps {
+            let raw_r = em.reg(self.out.types.pointer(strp), String::new());
+            em.ins(Instr::Malloc {
+                dst: raw_r,
+                elem: strp,
+                count: Operand::Reg(argc),
+            });
+            let name = if k == 0 {
+                "argv_r".to_string()
+            } else {
+                format!("argv_r{}", k + 1)
+            };
+            let argv_r = em.reg(argv_ty, name);
+            em.ins(Instr::Cast {
+                dst: argv_r,
+                op: CastOp::Bitcast,
+                src: Operand::Reg(raw_r),
+            });
+            argv_rs.push(argv_r);
+        }
 
         // Shadow argv storage (SDS): array of {rop, nsop} pairs.
         let sat_elem = self.alg.sat(&mut self.out.types, strp);
@@ -2035,7 +2228,7 @@ impl<'a> Transformer<'a> {
             dst: ai,
             ptr: Operand::Reg(slot),
         });
-        // Replica string on the heap.
+        // Replica strings on the heap: one copy per replica.
         let len = em.reg(i64t, String::new());
         em.ins(Instr::Call {
             dst: Some(len),
@@ -2049,36 +2242,42 @@ impl<'a> Transformer<'a> {
             lhs: Operand::Reg(len),
             rhs: Operand::Const(Const::i64(1)),
         });
-        let buf_raw = em.reg(self.out.types.pointer(i8t), String::new());
-        em.ins(Instr::Malloc {
-            dst: buf_raw,
-            elem: i8t,
-            count: Operand::Reg(len1),
-        });
-        let buf = em.reg(strp, String::new());
-        em.ins(Instr::Cast {
-            dst: buf,
-            op: CastOp::Bitcast,
-            src: Operand::Reg(buf_raw),
-        });
-        em.ins(Instr::Call {
-            dst: None,
-            callee: Callee::External(strcpy),
-            args: vec![Operand::Reg(buf), Operand::Reg(ai)],
-        });
-        // argv_r[i]: SDS stores the identical pointer (comparable); MDS
-        // stores the replica string pointer (the ROP).
-        let rslot = em.reg(self.out.types.pointer(strp), String::new());
-        em.ins(Instr::IndexAddr {
-            dst: rslot,
-            base: Operand::Reg(argv_r),
-            index: Operand::Reg(i),
-        });
-        let stored = if sds { ai } else { buf };
-        em.ins(Instr::Store {
-            ptr: Operand::Reg(rslot),
-            value: Operand::Reg(stored),
-        });
+        let mut bufs = Vec::with_capacity(self.nreps);
+        for _ in 0..self.nreps {
+            let buf_raw = em.reg(self.out.types.pointer(i8t), String::new());
+            em.ins(Instr::Malloc {
+                dst: buf_raw,
+                elem: i8t,
+                count: Operand::Reg(len1),
+            });
+            let buf = em.reg(strp, String::new());
+            em.ins(Instr::Cast {
+                dst: buf,
+                op: CastOp::Bitcast,
+                src: Operand::Reg(buf_raw),
+            });
+            em.ins(Instr::Call {
+                dst: None,
+                callee: Callee::External(strcpy),
+                args: vec![Operand::Reg(buf), Operand::Reg(ai)],
+            });
+            bufs.push(buf);
+        }
+        // argv_r_k[i]: SDS stores the identical pointer (comparable); MDS
+        // stores replica k's string pointer (its ROP).
+        for k in 0..self.nreps {
+            let rslot = em.reg(self.out.types.pointer(strp), String::new());
+            em.ins(Instr::IndexAddr {
+                dst: rslot,
+                base: Operand::Reg(argv_rs[k]),
+                index: Operand::Reg(i),
+            });
+            let stored = if sds { ai } else { bufs[k] };
+            em.ins(Instr::Store {
+                ptr: Operand::Reg(rslot),
+                value: Operand::Reg(stored),
+            });
+        }
         if let Some(argv_s) = argv_s {
             let sslot = em.reg(
                 self.out.types.pointer(sat_elem.expect("sat")),
@@ -2089,15 +2288,17 @@ impl<'a> Transformer<'a> {
                 base: Operand::Reg(argv_s),
                 index: Operand::Reg(i),
             });
-            let f0 = self.shadow_field_addr(em, Operand::Reg(sslot), 0);
-            em.ins(Instr::Store {
-                ptr: f0,
-                value: Operand::Reg(buf),
-            });
-            let f1 = self.shadow_field_addr(em, Operand::Reg(sslot), 1);
+            for (k, &buf) in bufs.iter().enumerate() {
+                let fk = self.shadow_field_addr(em, Operand::Reg(sslot), k as u32);
+                em.ins(Instr::Store {
+                    ptr: fk,
+                    value: Operand::Reg(buf),
+                });
+            }
+            let fn_ = self.shadow_field_addr(em, Operand::Reg(sslot), self.nreps as u32);
             let void = self.out.types.void();
             em.ins(Instr::Store {
-                ptr: f1,
+                ptr: fn_,
                 value: Operand::Const(Const::Null { pointee: void }),
             });
         }
@@ -2114,7 +2315,7 @@ impl<'a> Transformer<'a> {
         });
         em.term(Term::Br(head));
         em.start(done);
-        (argv_r, argv_s)
+        (argv_rs, argv_s)
     }
 }
 

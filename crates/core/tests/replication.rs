@@ -1,0 +1,183 @@
+//! K-way replication: transform shape, per-replica diversity
+//! decorrelation, and distinct replica placements for the same object.
+
+use dpmr_core::prelude::*;
+use dpmr_ir::module::Module;
+use dpmr_ir::prelude::*;
+use dpmr_vm::fault::{ArmedFault, FaultModel};
+use dpmr_vm::interp::{DetectionTrap, Interp, RunConfig, TrapAction, TrapHandler};
+use dpmr_vm::mem::MemRegion;
+use dpmr_workloads::micro;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A small checked program: one global, one heap object, checked loads.
+fn checked_program() -> Module {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let g = m.add_global(dpmr_ir::module::Global {
+        name: "g".into(),
+        ty: i64t,
+        init: dpmr_ir::module::GlobalInit::Int(5),
+    });
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let p = b.malloc(i64t, Const::i64(1).into(), "p");
+    b.store(p.into(), Const::i64(7).into());
+    let v = b.load(i64t, p.into(), "v");
+    let gv = b.load(i64t, Operand::Global(g), "gv");
+    let s = b.bin(BinOp::Add, i64t, v.into(), gv.into());
+    b.output(s.into());
+    b.free(p.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    m
+}
+
+#[test]
+fn k2_transform_carries_per_replica_globals_checks_and_streams() {
+    let m = checked_program();
+    let cfg = DpmrConfig::sds()
+        .with_diversity(Diversity::RearrangeHeap)
+        .with_replicas(2);
+    let t = transform(&m, &cfg).expect("transform");
+    let text = dpmr_ir::printer::print_module(&t);
+    // One replica global set per replica, named .rep / .rep2.
+    assert!(text.contains("@g.rep:"), "first replica global set\n{text}");
+    assert!(
+        text.contains("@g.rep2:"),
+        "second replica global set\n{text}"
+    );
+    // K-ary checks carry the arity in the mnemonic.
+    assert!(text.contains("dpmr.check2 "), "K = 2 checks\n{text}");
+    assert!(!text.contains("dpmr.check3"), "no stray arities");
+    // Replica 1's rearrange-heap decoy draws use its own RNG stream.
+    assert!(text.contains(" randint "), "replica 0 keeps stream 0");
+    assert!(
+        text.contains(" randint.s1 "),
+        "replica 1 draws from stream 1\n{text}"
+    );
+}
+
+#[test]
+fn k1_transform_is_textually_unchanged_by_the_generalization() {
+    // The replication-degree machinery must be invisible at K = 1: no
+    // arity suffix, no stream suffix, the single `.rep` global set.
+    let m = checked_program();
+    let cfg = DpmrConfig::sds().with_diversity(Diversity::RearrangeHeap);
+    let t = transform(&m, &cfg).expect("transform");
+    let text = dpmr_ir::printer::print_module(&t);
+    assert!(text.contains("dpmr.check "));
+    assert!(!text.contains("dpmr.check2"));
+    assert!(!text.contains("randint.s"));
+    assert!(text.contains("@g.rep:"));
+    assert!(!text.contains("g.rep2"));
+}
+
+#[test]
+fn variant_names_carry_the_replication_degree() {
+    assert_eq!(
+        DpmrConfig::sds().name(),
+        "sds/rearrange-heap/all loads",
+        "K = 1 name unchanged"
+    );
+    assert_eq!(
+        DpmrConfig::sds().with_replicas(2).name(),
+        "sds x2/rearrange-heap/all loads"
+    );
+    assert_eq!(DpmrConfig::sds().with_replicas(0).replicas, 1, "clamped");
+}
+
+/// Records every delivered trap and terminates (so one run yields the
+/// first detection's full per-copy picture).
+struct Recorder {
+    traps: Vec<DetectionTrap>,
+}
+
+impl TrapHandler for Recorder {
+    fn on_detection(&mut self, trap: &DetectionTrap) -> TrapAction {
+        self.traps.push(trap.clone());
+        TrapAction::Terminate
+    }
+}
+
+/// Runs `resize_victim` transformed at K = 2 with a heap bit-flip armed
+/// at the first replica access, and returns the first detection trap —
+/// whose `rep_addrs` are the two replica locations of the same object.
+fn first_trap(diversity: Diversity, seed: u64) -> DetectionTrap {
+    let m = micro::resize_victim(16, 12);
+    let cfg = DpmrConfig::sds().with_diversity(diversity).with_replicas(2);
+    let t = transform(&m, &cfg).expect("transform");
+    let code = Rc::new(dpmr_vm::lower::lower(&t));
+    let sites = dpmr_fi::enumerate_replica_sites(&code);
+    assert!(!sites.is_empty(), "checked loads imply replica sites");
+    let mut rc = RunConfig {
+        seed,
+        ..RunConfig::default()
+    };
+    rc.fault = Some(ArmedFault {
+        site: sites[0].pc,
+        fault: FaultModel::BitFlip {
+            region: MemRegion::Heap,
+        },
+        seed: 0xABCD,
+        arm_cycle: 0,
+    });
+    let reg = Rc::new(registry_with_wrappers());
+    let mut it = Interp::with_code(&t, code, &rc, reg);
+    let rec = Rc::new(RefCell::new(Recorder { traps: Vec::new() }));
+    it.set_trap_handler(rec.clone());
+    let _ = it.run(vec![]);
+    let traps = rec.borrow().traps.clone();
+    assert!(!traps.is_empty(), "the armed replica flip must detect");
+    traps[0].clone()
+}
+
+#[test]
+fn two_replicas_of_one_object_get_distinct_rearrange_placements() {
+    let trap = first_trap(Diversity::RearrangeHeap, 1);
+    assert_eq!(trap.reps.len(), 2, "K = 2 traps carry both replica values");
+    assert_eq!(trap.rep_addrs.len(), 2);
+    assert_ne!(
+        trap.rep_addrs[0], trap.rep_addrs[1],
+        "replicas of one object live at distinct addresses"
+    );
+    // The placements come from rearrange-heap decoys, not just from
+    // sequential allocation: the replica gap differs from the
+    // no-diversity layout's fixed gap.
+    let none = first_trap(Diversity::None, 1);
+    let gap_rh = trap.rep_addrs[1].wrapping_sub(trap.rep_addrs[0]);
+    let gap_none = none.rep_addrs[1].wrapping_sub(none.rep_addrs[0]);
+    assert_ne!(gap_rh, gap_none, "decoys moved the replica placements");
+    // And the draws are run-seed dependent: a different seed gives a
+    // different joint placement (each replica draws from its own
+    // (seed, k)-derived stream).
+    let other = first_trap(Diversity::RearrangeHeap, 2);
+    assert_ne!(
+        (trap.rep_addrs[0], trap.rep_addrs[1]),
+        (other.rep_addrs[0], other.rep_addrs[1]),
+        "placements re-randomize with the run seed"
+    );
+}
+
+#[test]
+fn k_replica_modules_run_clean_under_both_schemes() {
+    for scheme in [Scheme::Sds, Scheme::Mds] {
+        for k in 1..=3usize {
+            let m = checked_program();
+            let base = match scheme {
+                Scheme::Sds => DpmrConfig::sds(),
+                Scheme::Mds => DpmrConfig::mds(),
+            };
+            let t = transform(&m, &base.with_replicas(k)).expect("transform");
+            let reg = Rc::new(registry_with_wrappers());
+            let out = dpmr_vm::interp::run_with_registry(&t, &RunConfig::default(), reg);
+            assert_eq!(
+                out.status,
+                dpmr_vm::interp::ExitStatus::Normal(0),
+                "{scheme:?} K={k}"
+            );
+            assert_eq!(out.output, vec![12], "{scheme:?} K={k}");
+        }
+    }
+}

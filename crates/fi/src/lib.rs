@@ -241,6 +241,61 @@ pub fn enumerate_op_sites(code: &LoweredCode, model: FaultModel) -> Vec<OpSite> 
         .collect()
 }
 
+/// Enumerates the load/store ops that access *replica* memory: ops whose
+/// pointer register also appears as a replica-pointer operand of some
+/// `dpmr.check` in the same function (register slots are per-function, so
+/// the match is scoped to each function's op range). These are the sites
+/// where an armed fault corrupts the *redundant* copy rather than the
+/// application's — the class single-replica repair-from-replica handles
+/// worst (it would write the corrupted replica value over correct
+/// application state), and the class vote-based arbitration with K >= 2
+/// exists to fix.
+pub fn enumerate_replica_sites(code: &LoweredCode) -> Vec<OpSite> {
+    let mut out = Vec::new();
+    let nfuncs = code.func_entry.len();
+    for fi in 0..nfuncs {
+        let start = code.func_entry[fi] as usize;
+        let end = if fi + 1 < nfuncs {
+            code.func_entry[fi + 1] as usize
+        } else {
+            code.ops.len()
+        };
+        let mut rep_regs: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for op in &code.ops[start..end] {
+            if let Op::DpmrCheck {
+                ptrs: Some((_, rps)),
+                ..
+            } = op
+            {
+                for rp in rps.iter() {
+                    if let Opnd::Reg(r) = rp {
+                        rep_regs.insert(*r);
+                    }
+                }
+            }
+        }
+        if rep_regs.is_empty() {
+            continue;
+        }
+        for (off, op) in code.ops[start..end].iter().enumerate() {
+            let (access, ptr) = match op {
+                Op::Load { ptr, .. } => (AccessKind::Load, ptr),
+                Op::Store { ptr, .. } => (AccessKind::Store, ptr),
+                _ => continue,
+            };
+            if let Opnd::Reg(r) = ptr {
+                if rep_regs.contains(r) {
+                    out.push(OpSite {
+                        pc: (start + off) as u32,
+                        access,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Deterministically samples at most `cap` sites with an even stride, so
 /// a bounded sweep still spans the whole program instead of clustering at
 /// its entry (plain truncation would only ever fault the prologue).
@@ -449,6 +504,41 @@ mod tests {
             both,
             enumerate_op_sites(&dpmr_vm::lower::lower(&m), FaultModel::OffByN { n: 1 })
         );
+    }
+
+    #[test]
+    fn replica_sites_name_replica_accesses_only() {
+        // Transform a checked program: the replica loads feeding each
+        // dpmr.check are exactly the accesses whose pointer register
+        // reappears as a check's replica pointer.
+        let m = two_alloc_program();
+        let t = dpmr_core::transform::transform(&m, &dpmr_core::config::DpmrConfig::sds())
+            .expect("transform");
+        let code = dpmr_vm::lower::lower(&t);
+        let sites = enumerate_replica_sites(&code);
+        assert!(!sites.is_empty(), "checked loads imply replica sites");
+        for s in &sites {
+            assert!(matches!(
+                code.ops[s.pc as usize],
+                Op::Load { .. } | Op::Store { .. }
+            ));
+        }
+        // At K = 2 every checked load has two replica loads.
+        let t2 = dpmr_core::transform::transform(
+            &m,
+            &dpmr_core::config::DpmrConfig::sds().with_replicas(2),
+        )
+        .expect("transform");
+        let code2 = dpmr_vm::lower::lower(&t2);
+        let sites2 = enumerate_replica_sites(&code2);
+        assert!(
+            sites2.len() >= 2 * sites.len(),
+            "K = 2 at least doubles the replica-access surface ({} vs {})",
+            sites2.len(),
+            sites.len()
+        );
+        // Purity: same module, same sites.
+        assert_eq!(sites, enumerate_replica_sites(&dpmr_vm::lower::lower(&t)));
     }
 
     #[test]

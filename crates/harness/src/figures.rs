@@ -2,7 +2,9 @@
 //! same rows/series the dissertation reports (ASCII renderings of the
 //! stacked-bar figures and latency tables).
 
-use crate::metrics::{FaultCampaignResults, RecoveryStudyResults, StudyResults};
+use crate::metrics::{
+    FaultCampaignResults, RecoveryStudyResults, ReplicationStudyResults, StudyResults,
+};
 use std::fmt::Write as _;
 
 fn bar(frac: f64, width: usize) -> String {
@@ -272,6 +274,103 @@ pub fn fault_campaign_table(title: &str, res: &FaultCampaignResults) -> String {
             );
         }
     }
+    if !res.replica_differential.is_empty() {
+        out.push_str(&replica_differential_section(res));
+    }
+    out
+}
+
+/// Renders the replication-degree table (Table V.1): per (K x diversity)
+/// variant and app, overhead, and per fault class the detection split,
+/// silent-escape rate, repair success, mis-repair rate, and the combined
+/// unrecoverable rate (escapes + mis-repairs) the degree sweep is about.
+pub fn replication_table(title: &str, res: &ReplicationStudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "  [overhead vs golden]");
+    let mut header = format!("  {:<22}", "variant");
+    for a in &res.apps {
+        let _ = write!(header, " {a:>8}");
+    }
+    let _ = writeln!(out, "{header}");
+    for v in &res.variants {
+        let _ = write!(out, "  {v:<22}");
+        for a in &res.apps {
+            match res.overhead.get(&(v.clone(), a.clone())) {
+                Some(o) => {
+                    let _ = write!(out, " {o:>7.2}x");
+                }
+                None => {
+                    let _ = write!(out, " {:>8}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    for class in &res.classes {
+        let _ = writeln!(out, "  [{class}]");
+        let _ = writeln!(
+            out,
+            "  {:<22} {:<8} {:>6} {:>6} {:>6} {:>7} {:>6} {:>6} {:>7}",
+            "variant", "app", "trials", "fired", "det", "escape", "recov", "wrong", "unrecov"
+        );
+        for v in &res.variants {
+            for a in &res.apps {
+                let key = (v.clone(), a.clone(), class.clone());
+                let Some(g) = res.agg.get(&key) else {
+                    continue;
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<22} {:<8} {:>6} {:>6} {:>6.2} {:>7.2} {:>6.2} {:>6.2} {:>7.2}",
+                    v,
+                    a,
+                    g.trials,
+                    g.fired,
+                    g.detection_rate(),
+                    g.escape_rate(),
+                    g.recovery_rate(),
+                    g.wrong_repair_rate(),
+                    g.unrecoverable_rate()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the K = 1 vs K = 2 replica-region differential appended to
+/// Table F.1: per app, side-by-side escape / recovery / mis-repair /
+/// unrecoverable rates on heap bit-flips armed at replica accesses —
+/// the corruption class where single-replica repair must trust the
+/// corrupted copy and vote-based arbitration does not.
+pub fn replica_differential_section(res: &FaultCampaignResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  [replica-region bit-flips: K=1 repair-from-replica vs K=2 vote-and-repair]"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>3} {:>6} {:>6} {:>7} {:>6} {:>6} {:>7}",
+        "app", "K", "trials", "fired", "escape", "recov", "wrong", "unrecov"
+    );
+    for (app, (k1, k2)) in &res.replica_differential {
+        for (k, g) in [(1, k1), (2, k2)] {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>3} {:>6} {:>6} {:>7.2} {:>6.2} {:>6.2} {:>7.2}",
+                app,
+                k,
+                g.trials,
+                g.fired,
+                g.escape_rate(),
+                g.recovery_rate(),
+                g.wrong_repair_rate(),
+                g.unrecoverable_rate()
+            );
+        }
+    }
     out
 }
 
@@ -360,6 +459,7 @@ mod tests {
                 latency_cycles: 9_000,
                 latency_n: 3,
                 recovered: 2,
+                wrong_repairs: 0,
             },
         );
         let txt = fault_campaign_table("Table F.1 test", &res);

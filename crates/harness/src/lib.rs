@@ -25,8 +25,9 @@ pub mod sched;
 
 use dpmr_core::prelude::*;
 use metrics::{
-    run_diversity_study, run_fault_campaign, run_policy_study, run_recovery_study, CampaignConfig,
-    FaultCampaignResults, RecoveryStudyResults, StudyResults,
+    run_diversity_study, run_fault_campaign, run_policy_study, run_recovery_study,
+    run_replication_degree_study, CampaignConfig, FaultCampaignResults, RecoveryStudyResults,
+    ReplicationStudyResults, StudyResults,
 };
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -145,6 +146,10 @@ pub fn artifact_descriptions() -> Vec<(&'static str, &'static str)> {
             "tabF.1",
             "runtime fault campaign: per-class detection, escape, latency, recovery (SDS)",
         ),
+        (
+            "tabV.1",
+            "replication-degree sweep: K in {1,2,3} x diversity — overhead scaling, escape, vote-repair success",
+        ),
     ]
 }
 
@@ -166,6 +171,7 @@ struct Studies {
     mds_pol: Option<StudyResults>,
     recovery: Option<RecoveryStudyResults>,
     fault: Option<FaultCampaignResults>,
+    replication: Option<ReplicationStudyResults>,
 }
 
 impl Studies {
@@ -177,6 +183,7 @@ impl Studies {
             mds_pol: None,
             recovery: None,
             fault: None,
+            replication: None,
         }
     }
 
@@ -229,6 +236,17 @@ impl Studies {
             ));
         }
         self.fault.as_ref().expect("just set")
+    }
+    fn replication(&mut self, cc: &CampaignConfig) -> &ReplicationStudyResults {
+        if self.replication.is_none() {
+            eprintln!("[harness] running replication-degree study...");
+            self.replication = Some(run_replication_degree_study(
+                &dpmr_workloads::fault_campaign_apps(),
+                &DpmrConfig::sds(),
+                cc,
+            ));
+        }
+        self.replication.as_ref().expect("just set")
     }
 }
 
@@ -397,6 +415,10 @@ pub fn reproduce(ids: &BTreeSet<String>, cc: &CampaignConfig) -> String {
                 "Table F.1: Runtime fault campaign across the expanded fault model (SDS, rearrange-heap, all loads)",
                 studies.fault(cc),
             ),
+            "tabV.1" => figures::replication_table(
+                "Table V.1: Replication-degree sweep (SDS, all loads): K in {1,2,3} x diversity",
+                studies.replication(cc),
+            ),
             "ch5" => chapter5_demo(),
             _ => continue,
         };
@@ -494,12 +516,13 @@ mod tests {
     #[test]
     fn ids_are_complete() {
         let ids = all_ids();
-        assert_eq!(ids.len(), 29);
+        assert_eq!(ids.len(), 30);
         assert!(ids.contains(&"fig3.6"));
         assert!(ids.contains(&"tab4.6"));
         assert!(ids.contains(&"ch5"));
         assert!(ids.contains(&"tabR.1"));
         assert!(ids.contains(&"tabF.1"));
+        assert!(ids.contains(&"tabV.1"));
     }
 
     #[test]

@@ -527,12 +527,17 @@ pub struct FaultClassAgg {
     pub latency_n: u32,
     /// Fired trials whose recovery leg completed with correct output.
     pub recovered: u32,
+    /// Fired trials whose recovery leg *survived with wrong output* — a
+    /// mis-repair, e.g. single-replica repair writing a corrupted replica
+    /// value over correct application state.
+    pub wrong_repairs: u32,
 }
 
 impl FaultClassAgg {
-    /// Adds one trial: the detection-leg measurement plus whether the
-    /// recovery leg survived with correct output.
-    pub fn add(&mut self, m: &Measurement, recovered: bool) {
+    /// Adds one trial: the detection-leg measurement plus the recovery
+    /// leg's verdict (survived with correct output / survived with wrong
+    /// output).
+    pub fn add(&mut self, m: &Measurement, recovered: bool, wrong_repair: bool) {
         self.trials += 1;
         if !m.sf {
             return;
@@ -557,6 +562,9 @@ impl FaultClassAgg {
         }
         if recovered {
             self.recovered += 1;
+        }
+        if wrong_repair {
+            self.wrong_repairs += 1;
         }
     }
 
@@ -599,6 +607,19 @@ impl FaultClassAgg {
     pub fn recovery_rate(&self) -> f64 {
         self.frac(self.recovered)
     }
+    /// Fraction of fired trials whose recovery leg survived with *wrong*
+    /// output (silent mis-repair).
+    pub fn wrong_repair_rate(&self) -> f64 {
+        self.frac(self.wrong_repairs)
+    }
+    /// Fraction of fired trials with an *unrecoverable or silently wrong*
+    /// end state: silent escapes of the detection leg plus mis-repairs of
+    /// the recovery leg. The replication-degree study's headline number —
+    /// votes with K >= 2 shrink it by turning mis-repairs into replica
+    /// repairs.
+    pub fn unrecoverable_rate(&self) -> f64 {
+        self.frac(self.escaped + self.wrong_repairs)
+    }
     /// Mean detection latency in virtual cycles over detected trials.
     pub fn mean_latency_cycles(&self) -> Option<f64> {
         if self.latency_n == 0 {
@@ -609,16 +630,27 @@ impl FaultClassAgg {
     }
 }
 
+/// Display name of the replica-region pseudo-class: heap bit-flips armed
+/// specifically at *replica* accesses ([`dpmr_fi::enumerate_replica_sites`]).
+pub const REPLICA_CLASS: &str = "bit-flip replica";
+
 /// The runtime fault campaign: fault classes x apps under one DPMR base
 /// configuration (Table F.1).
 #[derive(Debug, Default)]
 pub struct FaultCampaignResults {
-    /// Fault-class display names, in taxonomy order.
+    /// Fault-class display names, in taxonomy order (the replica-region
+    /// pseudo-class [`REPLICA_CLASS`] last).
     pub classes: Vec<String>,
     /// App names, in presentation order.
     pub apps: Vec<String>,
     /// Aggregates per (class-name, app).
     pub agg: BTreeMap<(String, String), FaultClassAgg>,
+    /// The replication-degree differential on replica-region bit-flips:
+    /// per app, the K = 1 aggregate (repair-from-replica recovery leg)
+    /// against the K = 2 aggregate (vote-and-repair recovery leg). The
+    /// single-replica side mis-repairs — it must trust the corrupted
+    /// copy — where the vote identifies and rewrites it.
+    pub replica_differential: BTreeMap<String, (FaultClassAgg, FaultClassAgg)>,
     /// Trial executions performed (detection + recovery legs).
     pub experiments: u64,
 }
@@ -635,6 +667,7 @@ struct FaultUnit {
 struct FaultTrial {
     m: Measurement,
     recovered: bool,
+    wrong_repair: bool,
     ran_recovery: bool,
 }
 
@@ -653,7 +686,11 @@ pub fn run_fault_campaign(
 ) -> FaultCampaignResults {
     let classes = FaultModel::paper_set();
     let mut res = FaultCampaignResults {
-        classes: classes.iter().map(|c| c.name()).collect(),
+        classes: classes
+            .iter()
+            .map(|c| c.name())
+            .chain(std::iter::once(REPLICA_CLASS.to_string()))
+            .collect(),
         apps: apps.iter().map(|a| a.name.to_string()).collect(),
         ..FaultCampaignResults::default()
     };
@@ -661,12 +698,20 @@ pub fn run_fault_campaign(
         crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
     // Transformation and lowering depend only on (app, base): build each
     // once, in parallel (stored plain so the results stay `Send`; units
-    // clone the bytecode into their own `Rc`).
+    // clone the bytecode into their own `Rc`). The K = 2 builds back the
+    // replica-region differential.
     let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
         let t = transform(&p.module, base).expect("transform");
         let code = dpmr_vm::lower::lower(&t);
         (t, code)
     });
+    let base_k2 = base.clone().with_replicas(2);
+    let built_k2: Vec<(Module, LoweredCode)> =
+        crate::sched::run_indexed(&prepared, cc.workers, |p| {
+            let t = transform(&p.module, &base_k2).expect("transform");
+            let code = dpmr_vm::lower::lower(&t);
+            (t, code)
+        });
     let cap = cc.max_sites.unwrap_or(FAULT_SITES_PER_CLASS);
     let mut units = Vec::new();
     for (app_idx, (_, code)) in built.iter().enumerate() {
@@ -684,14 +729,66 @@ pub fn run_fault_campaign(
         }
     }
     let outcomes = crate::sched::run_indexed(&units, cc.workers, |u| {
-        run_fault_unit(u, &prepared[u.app_idx], &built[u.app_idx], base, cc)
+        run_fault_unit(u, &prepared[u.app_idx], &built[u.app_idx], base, 1, cc)
     });
     for (u, trials) in units.iter().zip(outcomes) {
         let key = (u.class.name(), apps[u.app_idx].name.to_string());
         let agg = res.agg.entry(key).or_default();
         for t in trials {
             res.experiments += 1 + u64::from(t.ran_recovery);
-            agg.add(&t.m, t.recovered);
+            agg.add(&t.m, t.recovered, t.wrong_repair);
+        }
+    }
+    // Replica-region bit-flips: arm each build's own replica-access
+    // sites (the replica surface differs between K = 1 and K = 2 builds)
+    // and compare the recovery verdicts — K = 1 repair-from-replica vs
+    // K = 2 vote-and-repair.
+    let heap_flip = FaultModel::BitFlip {
+        region: dpmr_fi::MemRegion::Heap,
+    };
+    let mut rep_units = Vec::new();
+    for (app_idx, ((_, code1), (_, code2))) in built.iter().zip(&built_k2).enumerate() {
+        for (degree, code) in [(1usize, code1), (2usize, code2)] {
+            let sites = dpmr_fi::enumerate_replica_sites(code);
+            rep_units.extend(dpmr_fi::sample_sites(&sites, cap).into_iter().map(|site| {
+                (
+                    FaultUnit {
+                        app_idx,
+                        class: heap_flip,
+                        site,
+                    },
+                    degree,
+                )
+            }));
+        }
+    }
+    let rep_outcomes = crate::sched::run_indexed(&rep_units, cc.workers, |(u, degree)| {
+        let b = if *degree == 1 {
+            &built[u.app_idx]
+        } else {
+            &built_k2[u.app_idx]
+        };
+        run_fault_unit(u, &prepared[u.app_idx], b, base, *degree, cc)
+    });
+    for ((u, degree), trials) in rep_units.iter().zip(rep_outcomes) {
+        let app = apps[u.app_idx].name.to_string();
+        let pair = res.replica_differential.entry(app.clone()).or_default();
+        let diff_agg = if *degree == 1 {
+            &mut pair.0
+        } else {
+            &mut pair.1
+        };
+        for t in trials {
+            res.experiments += 1 + u64::from(t.ran_recovery);
+            diff_agg.add(&t.m, t.recovered, t.wrong_repair);
+            if *degree == 1 {
+                // The K = 1 replica-region rows also feed the main table
+                // as the REPLICA_CLASS pseudo-class.
+                res.agg
+                    .entry((REPLICA_CLASS.to_string(), app.clone()))
+                    .or_default()
+                    .add(&t.m, t.recovered, t.wrong_repair);
+            }
         }
     }
     res
@@ -702,6 +799,7 @@ fn run_fault_unit(
     p: &PreparedApp,
     built: &(Module, LoweredCode),
     base: &DpmrConfig,
+    degree: usize,
     cc: &CampaignConfig,
 ) -> Vec<FaultTrial> {
     use std::rc::Rc;
@@ -709,8 +807,16 @@ fn run_fault_unit(
     let code = Rc::new(code.clone());
     let registry = Rc::new(registry_with_wrappers());
     let mut rec = base.recovery;
-    rec.policy = RecoveryPolicy::RepairFromReplica {
-        max_repairs: CAMPAIGN_REPAIR_BUDGET,
+    // The best repair policy available at the build's replication
+    // degree: single-replica copy-back at K = 1, majority vote above.
+    rec.policy = if degree >= 2 {
+        RecoveryPolicy::VoteAndRepair {
+            max_repairs: CAMPAIGN_REPAIR_BUDGET,
+        }
+    } else {
+        RecoveryPolicy::RepairFromReplica {
+            max_repairs: CAMPAIGN_REPAIR_BUDGET,
+        }
     };
     (0..cc.runs)
         .map(|run| {
@@ -732,23 +838,187 @@ fn run_fault_unit(
             // The recovery leg only makes sense for DPMR detections —
             // crashes are not resumable and escapes never trap.
             let ran_recovery = m.sf && m.ddet;
-            let recovered = ran_recovery
-                && p.run_armed_recovery(
+            let (recovered, wrong_repair) = if ran_recovery {
+                let r = p.run_armed_recovery(
                     transformed,
                     Rc::clone(&code),
                     Rc::clone(&registry),
                     armed,
                     rec,
                     run,
-                )
-                .recovered_correct;
+                );
+                (r.recovered_correct, r.survived_wrong)
+            } else {
+                (false, false)
+            };
             FaultTrial {
                 m,
                 recovered,
+                wrong_repair,
                 ran_recovery,
             }
         })
         .collect()
+}
+
+/// The replication degrees the Table V.1 sweep covers.
+pub const REPLICATION_DEGREES: &[usize] = &[1, 2, 3];
+
+/// The replication-degree study: per (K x diversity) variant and app,
+/// overhead plus fault-class aggregates (Table V.1).
+#[derive(Debug, Default)]
+pub struct ReplicationStudyResults {
+    /// Variant display names (`K=1/no-diversity` ... `K=3/rearrange-heap`),
+    /// in sweep order.
+    pub variants: Vec<String>,
+    /// App names, in presentation order.
+    pub apps: Vec<String>,
+    /// Fault-class display names covered by the sweep.
+    pub classes: Vec<String>,
+    /// Overhead (transformed cycles / golden cycles) per (variant, app).
+    pub overhead: BTreeMap<(String, String), f64>,
+    /// Aggregates per (variant, app, class-name).
+    pub agg: BTreeMap<(String, String, String), FaultClassAgg>,
+    /// Trial executions performed.
+    pub experiments: u64,
+}
+
+/// The Table V.1 variant grid: K in [`REPLICATION_DEGREES`] crossed with
+/// the diversity poles (none vs rearrange-heap) over `base`.
+pub fn replication_variants(base: &DpmrConfig) -> Vec<(String, DpmrConfig)> {
+    let mut v = Vec::new();
+    for &k in REPLICATION_DEGREES {
+        for d in [Diversity::None, Diversity::RearrangeHeap] {
+            v.push((
+                format!("K={k}/{}", d.name()),
+                base.clone().with_replicas(k).with_diversity(d),
+            ));
+        }
+    }
+    v
+}
+
+/// One parallel unit of the replication-degree study.
+struct RepDegreeUnit {
+    app_idx: usize,
+    var_idx: usize,
+    /// Display name of the armed class (the replica pseudo-class arms
+    /// heap bit-flips at replica sites).
+    class_name: String,
+    fault: FaultModel,
+    site: OpSite,
+}
+
+/// Runs the replication-degree study (Table V.1): the variant grid of
+/// [`replication_variants`] over `apps`, measuring overhead scaling and —
+/// for the classes the vote story is about (heap bit-flips at arbitrary
+/// and at *replica* sites, plus wild writes) — detection coverage,
+/// silent-escape rate, and repair success under the best repair policy
+/// the degree admits (repair-from-replica at K = 1, vote-and-repair at
+/// K >= 2). Units fan across the study scheduler and merge in unit
+/// order, so the artifact is bit-identical at any worker count.
+pub fn run_replication_degree_study(
+    apps: &[AppSpec],
+    base: &DpmrConfig,
+    cc: &CampaignConfig,
+) -> ReplicationStudyResults {
+    let variants = replication_variants(base);
+    let heap_flip = FaultModel::BitFlip {
+        region: dpmr_fi::MemRegion::Heap,
+    };
+    let classes: Vec<(String, Option<FaultModel>)> = vec![
+        (heap_flip.name(), Some(heap_flip)),
+        (REPLICA_CLASS.to_string(), None), // replica sites, heap flips
+        (FaultModel::WildWrite.name(), Some(FaultModel::WildWrite)),
+    ];
+    let mut res = ReplicationStudyResults {
+        variants: variants.iter().map(|(n, _)| n.clone()).collect(),
+        apps: apps.iter().map(|a| a.name.to_string()).collect(),
+        classes: classes.iter().map(|(n, _)| n.clone()).collect(),
+        ..ReplicationStudyResults::default()
+    };
+    let prepared: Vec<PreparedApp> =
+        crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
+    // One transformed build per (app, variant), in parallel.
+    let build_units: Vec<(usize, usize)> = (0..prepared.len())
+        .flat_map(|ai| (0..variants.len()).map(move |vi| (ai, vi)))
+        .collect();
+    let built: Vec<(Module, LoweredCode)> =
+        crate::sched::run_indexed(&build_units, cc.workers, |&(ai, vi)| {
+            let t = transform(&prepared[ai].module, &variants[vi].1).expect("transform");
+            let code = dpmr_vm::lower::lower(&t);
+            (t, code)
+        });
+    let built_of = |ai: usize, vi: usize| &built[ai * variants.len() + vi];
+    // Overheads (clean runs) per (app, variant).
+    let overheads = crate::sched::run_indexed(&build_units, cc.workers, |&(ai, vi)| {
+        let (t, code) = built_of(ai, vi);
+        let m = prepared[ai].run_built(
+            t,
+            std::rc::Rc::new(code.clone()),
+            std::rc::Rc::new(registry_with_wrappers()),
+            0,
+        );
+        m.cycles as f64 / prepared[ai].golden.cycles as f64
+    });
+    for (&(ai, vi), o) in build_units.iter().zip(overheads) {
+        res.overhead
+            .insert((variants[vi].0.clone(), apps[ai].name.to_string()), o);
+        res.experiments += 1;
+    }
+    // Fault trials: per (app, variant, class), an even sample of the
+    // class's sites in *that build* (replica surfaces differ per K).
+    let cap = cc.max_sites.unwrap_or(FAULT_SITES_PER_CLASS);
+    let mut units = Vec::new();
+    for ai in 0..prepared.len() {
+        for vi in 0..variants.len() {
+            let (_, code) = built_of(ai, vi);
+            for (cname, model) in &classes {
+                let sites = match model {
+                    Some(m) => dpmr_fi::enumerate_op_sites(code, *m),
+                    None => dpmr_fi::enumerate_replica_sites(code),
+                };
+                units.extend(dpmr_fi::sample_sites(&sites, cap).into_iter().map(|site| {
+                    RepDegreeUnit {
+                        app_idx: ai,
+                        var_idx: vi,
+                        class_name: cname.clone(),
+                        fault: model.unwrap_or(heap_flip),
+                        site,
+                    }
+                }));
+            }
+        }
+    }
+    let outcomes = crate::sched::run_indexed(&units, cc.workers, |u| {
+        let fu = FaultUnit {
+            app_idx: u.app_idx,
+            class: u.fault,
+            site: u.site,
+        };
+        let degree = variants[u.var_idx].1.replicas;
+        run_fault_unit(
+            &fu,
+            &prepared[u.app_idx],
+            built_of(u.app_idx, u.var_idx),
+            base,
+            degree,
+            cc,
+        )
+    });
+    for (u, trials) in units.iter().zip(outcomes) {
+        let key = (
+            variants[u.var_idx].0.clone(),
+            apps[u.app_idx].name.to_string(),
+            u.class_name.clone(),
+        );
+        let agg = res.agg.entry(key).or_default();
+        for t in trials {
+            res.experiments += 1 + u64::from(t.ran_recovery);
+            agg.add(&t.m, t.recovered, t.wrong_repair);
+        }
+    }
+    res
 }
 
 /// The diversity-study variant list (Sections 3.7 / 4.5): all seven
@@ -852,11 +1122,11 @@ mod tests {
             cycles: 1,
             instrs: 1,
         };
-        a.add(&m(false, false, false, false, None), false); // unfired
-        a.add(&m(true, false, false, true, Some(100)), true); // dpmr, recovered
-        a.add(&m(true, false, true, false, Some(300)), false); // natural
-        a.add(&m(true, false, false, false, None), false); // escape
-        a.add(&m(true, true, false, false, None), false); // benign
+        a.add(&m(false, false, false, false, None), false, false); // unfired
+        a.add(&m(true, false, false, true, Some(100)), true, false); // dpmr, recovered
+        a.add(&m(true, false, true, false, Some(300)), false, false); // natural
+        a.add(&m(true, false, false, false, None), false, false); // escape
+        a.add(&m(true, true, false, false, None), false, false); // benign
         assert_eq!(a.trials, 5);
         assert_eq!(a.fired, 4);
         assert!((a.detection_rate() - 0.5).abs() < 1e-9);
@@ -865,6 +1135,12 @@ mod tests {
         assert!((a.benign_rate() - 0.25).abs() < 1e-9);
         assert!((a.recovery_rate() - 0.25).abs() < 1e-9);
         assert_eq!(a.mean_latency_cycles(), Some(200.0));
+        // A detected-but-mis-repaired trial counts toward the
+        // unrecoverable tally alongside silent escapes.
+        a.add(&m(true, false, false, true, Some(100)), false, true);
+        assert_eq!(a.wrong_repairs, 1);
+        assert!((a.wrong_repair_rate() - 0.2).abs() < 1e-9);
+        assert!((a.unrecoverable_rate() - 0.4).abs() < 1e-9);
     }
 
     #[test]
@@ -875,7 +1151,8 @@ mod tests {
             ..CampaignConfig::tiny()
         };
         let res = run_fault_campaign(&[app], &DpmrConfig::sds(), &cc);
-        assert_eq!(res.classes.len(), FaultModel::paper_set().len());
+        // The taxonomy classes plus the replica-region pseudo-class.
+        assert_eq!(res.classes.len(), FaultModel::paper_set().len() + 1);
         assert!(res.experiments > 0);
         assert!(
             res.agg.values().any(|a| a.fired > 0),

@@ -225,27 +225,38 @@ pub enum Instr {
         callee: Callee,
         args: Vec<Operand>,
     },
-    /// DPMR runtime check: compares two scalars bit-exactly; on mismatch the
-    /// VM raises a detection trap — terminal by default, resumable when a
+    /// DPMR runtime check: compares the application scalar `a` against
+    /// `reps.len()` replica scalars bit-exactly; on any mismatch the VM
+    /// raises a detection trap — terminal by default, resumable when a
     /// recovery trap handler is installed. Inserted by the transformation
-    /// (the `assert(x == *pr)` of Table 2.6).
+    /// (the `assert(x == *pr)` of Table 2.6, generalized to K replicas).
     ///
-    /// `ptrs`, when present, names the application and replica locations
-    /// (in that order) the compared values were loaded from; it lets a
-    /// repair-from-replica recovery policy write the replica value back
-    /// over the divergent application location and resume. The pair is
-    /// coupled so a one-sided (unserializable) state cannot exist.
+    /// `ptrs`, when present, names the application location and the K
+    /// replica locations (in replica order) the compared values were
+    /// loaded from; it lets repair-from-replica write the replica value
+    /// back over the divergent application location, and lets vote-based
+    /// arbitration (K >= 2) repair whichever *copy* — application or a
+    /// replica — the majority outvotes. The tuple is coupled so a
+    /// one-sided (unserializable) state cannot exist, and `ptrs`, when
+    /// present, always carries exactly one pointer per compared value.
     DpmrCheck {
         a: Operand,
-        b: Operand,
-        ptrs: Option<(Operand, Operand)>,
+        reps: Vec<Operand>,
+        ptrs: Option<(Operand, Vec<Operand>)>,
     },
     /// `dst <- randint(lo, hi)` — uniform random integer in `[lo, hi]`
     /// (inclusive); runtime support for rearrange-heap (Table 2.8).
+    ///
+    /// `stream` selects the runtime RNG stream the draw comes from:
+    /// stream 0 is the run-seeded default; stream `k > 0` is an
+    /// independent stream derived from `(run seed, k)`. The transform
+    /// gives replica `k` stream `k`, so multi-replica diversity draws are
+    /// decorrelated between replicas, not just from the application.
     RandInt {
         dst: RegId,
         lo: Operand,
         hi: Operand,
+        stream: u32,
     },
     /// `dst <- heapBufSize(ptr)` — usable size of a live heap buffer;
     /// runtime support for zero-before-free (Table 2.8).
@@ -367,11 +378,13 @@ impl Instr {
                 v.extend(args.iter().copied());
                 v
             }
-            Instr::DpmrCheck { a, b, ptrs } => {
-                let mut v = vec![*a, *b];
-                if let Some((ap, rp)) = ptrs {
+            Instr::DpmrCheck { a, reps, ptrs } => {
+                let mut v = Vec::with_capacity(1 + reps.len() * 2 + 1);
+                v.push(*a);
+                v.extend(reps.iter().copied());
+                if let Some((ap, rps)) = ptrs {
                     v.push(*ap);
-                    v.push(*rp);
+                    v.extend(rps.iter().copied());
                 }
                 v
             }

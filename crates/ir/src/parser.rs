@@ -556,22 +556,42 @@ impl<'a> Parser<'a> {
             let value = self.parse_operand(rest.trim(), fid, regs)?;
             return Ok(Instr::Output { value });
         }
-        if let Some(rest) = line.strip_prefix("dpmr.check ") {
+        if let Some(rest) = line.strip_prefix("dpmr.check") {
+            // `dpmr.check a, b[, ap, rp]` (K = 1, legacy layout) or
+            // `dpmr.checkK a, b1..bK[, ap, rp1..rpK]` (K >= 2; the
+            // mnemonic carries the replica count so the operand count
+            // alone never has to disambiguate the two forms).
+            let (k, rest) = match rest.strip_prefix(' ') {
+                Some(r) => (1usize, r),
+                None => {
+                    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                    let tail = &rest[digits.len()..];
+                    match (digits.parse::<usize>(), tail.strip_prefix(' ')) {
+                        (Ok(k), Some(r)) if k >= 2 => (k, r),
+                        _ => return self.err("malformed dpmr.check mnemonic"),
+                    }
+                }
+            };
             let parts = split_top_level(rest, ',');
-            if parts.len() != 2 && parts.len() != 4 {
-                return self.err("dpmr.check needs a, b or a, b, app_ptr, rep_ptr");
+            if parts.len() != k + 1 && parts.len() != 2 * k + 2 {
+                return self.err("dpmr.check needs a, b1..bK or a, b1..bK, app_ptr, rep_ptr1..K");
             }
             let a = self.parse_operand(parts[0].trim(), fid, regs)?;
-            let b = self.parse_operand(parts[1].trim(), fid, regs)?;
-            let ptrs = if parts.len() == 4 {
-                Some((
-                    self.parse_operand(parts[2].trim(), fid, regs)?,
-                    self.parse_operand(parts[3].trim(), fid, regs)?,
-                ))
+            let mut reps = Vec::with_capacity(k);
+            for p in &parts[1..=k] {
+                reps.push(self.parse_operand(p.trim(), fid, regs)?);
+            }
+            let ptrs = if parts.len() == 2 * k + 2 {
+                let ap = self.parse_operand(parts[k + 1].trim(), fid, regs)?;
+                let mut rps = Vec::with_capacity(k);
+                for p in &parts[k + 2..] {
+                    rps.push(self.parse_operand(p.trim(), fid, regs)?);
+                }
+                Some((ap, rps))
             } else {
                 None
             };
-            return Ok(Instr::DpmrCheck { a, b, ptrs });
+            return Ok(Instr::DpmrCheck { a, reps, ptrs });
         }
         if let Some(rest) = line.strip_prefix("fi.marker ") {
             let site: u32 = rest.trim().parse().map_err(|_| ParseError {
@@ -705,13 +725,35 @@ impl<'a> Parser<'a> {
             let dst = def_reg(&mut self.module, regs, fid, &dst_name, rty);
             return Ok(Instr::IndexAddr { dst, base, index });
         }
-        if let Some(rest) = rhs.strip_prefix("randint ") {
+        if let Some(rest) = rhs.strip_prefix("randint") {
+            // `randint lo, hi` (stream 0) or `randint.sN lo, hi`.
+            let (stream, rest) = match rest.strip_prefix(' ') {
+                Some(r) => (0u32, r),
+                None => {
+                    let Some(tail) = rest.strip_prefix(".s") else {
+                        return self.err("malformed randint mnemonic");
+                    };
+                    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+                    match (
+                        digits.parse::<u32>(),
+                        tail[digits.len()..].strip_prefix(' '),
+                    ) {
+                        (Ok(s), Some(r)) if s > 0 => (s, r),
+                        _ => return self.err("malformed randint stream"),
+                    }
+                }
+            };
             let parts = split_top_level(rest, ',');
             let lo = self.parse_operand(parts[0].trim(), fid, regs)?;
             let hi = self.parse_operand(parts[1].trim(), fid, regs)?;
             let i64t = self.module.types.int(64);
             let dst = def_reg(&mut self.module, regs, fid, &dst_name, i64t);
-            return Ok(Instr::RandInt { dst, lo, hi });
+            return Ok(Instr::RandInt {
+                dst,
+                lo,
+                hi,
+                stream,
+            });
         }
         if let Some(rest) = rhs.strip_prefix("heapbufsize ") {
             let ptr = self.parse_operand(rest.trim(), fid, regs)?;

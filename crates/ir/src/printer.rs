@@ -170,15 +170,35 @@ fn instr_str(
                 None => format!("call {name}({args})"),
             }
         }
-        Instr::DpmrCheck { a, b, ptrs } => match ptrs {
-            Some((ap, rp)) => {
-                format!("dpmr.check {}, {}, {}, {}", o(a), o(b), o(ap), o(rp))
+        Instr::DpmrCheck { a, reps, ptrs } => {
+            // K = 1 keeps the legacy mnemonic and operand layout
+            // byte-for-byte; K >= 2 carries the arity in the mnemonic
+            // (`dpmr.check2 a, b1, b2[, ap, rp1, rp2]`) so the operand
+            // count alone never has to disambiguate value-only from
+            // with-pointers forms.
+            let mnemonic = if reps.len() == 1 {
+                "dpmr.check".to_string()
+            } else {
+                format!("dpmr.check{}", reps.len())
+            };
+            let mut ops: Vec<String> = Vec::with_capacity(2 * reps.len() + 2);
+            ops.push(o(a));
+            ops.extend(reps.iter().map(&o));
+            if let Some((ap, rps)) = ptrs {
+                ops.push(o(ap));
+                ops.extend(rps.iter().map(&o));
             }
-            None => format!("dpmr.check {}, {}", o(a), o(b)),
-        },
-        Instr::RandInt { dst, lo, hi } => {
-            format!("{} = randint {}, {}", d(*dst), o(lo), o(hi))
+            format!("{mnemonic} {}", ops.join(", "))
         }
+        Instr::RandInt {
+            dst,
+            lo,
+            hi,
+            stream,
+        } => match stream {
+            0 => format!("{} = randint {}, {}", d(*dst), o(lo), o(hi)),
+            s => format!("{} = randint.s{s} {}, {}", d(*dst), o(lo), o(hi)),
+        },
         Instr::HeapBufSize { dst, ptr } => format!("{} = heapbufsize {}", d(*dst), o(ptr)),
         Instr::Output { value } => format!("output {}", o(value)),
         Instr::FiMarker { site } => format!("fi.marker {site}"),

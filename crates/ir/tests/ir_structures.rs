@@ -42,7 +42,7 @@ fn printer_renders_every_instruction_kind() {
     let r = b.call(Callee::External(ext), vec![], Some(i64t), "r");
     b.emit(Instr::DpmrCheck {
         a: v.into(),
-        b: v.into(),
+        reps: vec![v.into()],
         ptrs: None,
     });
     let ri = b.reg(i64t, "ri");
@@ -50,6 +50,7 @@ fn printer_renders_every_instruction_kind() {
         dst: ri,
         lo: Const::i64(0).into(),
         hi: Const::i64(9).into(),
+        stream: 0,
     });
     let hs = b.reg(i64t, "hs");
     b.emit(Instr::HeapBufSize {

@@ -79,23 +79,36 @@ use dpmr_vm::interp::{
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// Budgeted repair approver: grants [`TrapAction::Repair`] until the
-/// per-run budget is exhausted, then lets the detection terminate the run
-/// (the fail-stop fallback).
+/// Budgeted repair approver: grants its configured action
+/// ([`TrapAction::Repair`] by default, [`TrapAction::Vote`] for
+/// vote-based arbitration) until the per-run budget is exhausted, then
+/// lets the detection terminate the run (the fail-stop fallback).
 #[derive(Debug)]
 pub struct RepairHandler {
     budget: u64,
     approved: u64,
+    grant: TrapAction,
     traps: Vec<DetectionTrap>,
 }
 
 impl RepairHandler {
-    /// Creates a handler allowing up to `budget` repairs.
+    /// Creates a handler allowing up to `budget` replica-0 repairs.
     pub fn new(budget: u64) -> RepairHandler {
         RepairHandler {
             budget,
             approved: 0,
+            grant: TrapAction::Repair,
             traps: Vec::new(),
+        }
+    }
+
+    /// Creates a handler allowing up to `budget` majority-vote repairs
+    /// (the K >= 2 arbitration; the interpreter fail-stops each detection
+    /// with no strict majority).
+    pub fn voting(budget: u64) -> RepairHandler {
+        RepairHandler {
+            grant: TrapAction::Vote,
+            ..RepairHandler::new(budget)
         }
     }
 
@@ -112,10 +125,10 @@ impl RepairHandler {
 
 impl TrapHandler for RepairHandler {
     fn on_detection(&mut self, trap: &DetectionTrap) -> TrapAction {
-        self.traps.push(*trap);
+        self.traps.push(trap.clone());
         if self.approved < self.budget {
             self.approved += 1;
-            TrapAction::Repair
+            self.grant
         } else {
             TrapAction::Terminate
         }
@@ -245,6 +258,15 @@ impl<'m> RecoveryDriver<'m> {
                 interp.set_trap_handler(handler.clone());
                 let out = interp.run(self.run_cfg.args.clone());
                 // A terminal detection here means the budget ran dry.
+                let fail_stopped = out.status.is_dpmr_detection();
+                reduce(out, 1, fail_stopped)
+            }
+            RecoveryPolicy::VoteAndRepair { max_repairs } => {
+                let handler = Rc::new(RefCell::new(RepairHandler::voting(max_repairs)));
+                interp.set_trap_handler(handler.clone());
+                let out = interp.run(self.run_cfg.args.clone());
+                // A terminal detection: budget exhausted *or* no strict
+                // majority to arbitrate with (always the case at K = 1).
                 let fail_stopped = out.status.is_dpmr_detection();
                 reduce(out, 1, fail_stopped)
             }
@@ -568,8 +590,9 @@ mod tests {
         let t = DetectionTrap {
             got: 1,
             replica: 2,
+            reps: vec![2],
             app_addr: Some(0x1000_0010),
-            rep_addr: Some(0x1000_0110),
+            rep_addrs: vec![0x1000_0110],
             cycle: 5,
             instrs: 3,
             site: 0,

@@ -124,18 +124,29 @@ pub enum Op {
         ext: u32,
         args: Box<[Opnd]>,
     },
-    /// `dpmr.check` with a stable check-site id. `a_reg` carries the
-    /// in-flight register slot and its store encoding when the
-    /// application operand is a register (the repair-from-replica path).
+    /// `dpmr.check` with a stable check-site id: compares the application
+    /// operand `a` against `reps.len()` replica operands (variable arity —
+    /// the interpreter compares all K+1 values). `ptrs`, when present,
+    /// carries the application location plus one location per replica, in
+    /// replica order. `a_reg` carries the in-flight register slot and its
+    /// store encoding when the application operand is a register (the
+    /// repair-from-replica and vote-repair paths).
     DpmrCheck {
         a: Opnd,
-        b: Opnd,
-        ptrs: Option<(Opnd, Opnd)>,
+        reps: Box<[Opnd]>,
+        ptrs: Option<(Opnd, Box<[Opnd]>)>,
         site: u32,
         a_reg: Option<(u32, StoreKind)>,
     },
-    /// Uniform random integer in `[lo, hi]`.
-    RandInt { dst: u32, lo: Opnd, hi: Opnd },
+    /// Uniform random integer in `[lo, hi]` from RNG stream `stream`
+    /// (stream 0 is the run-seeded default; stream k > 0 is the replica-k
+    /// diversity stream derived from `(run seed, k)`).
+    RandInt {
+        dst: u32,
+        lo: Opnd,
+        hi: Opnd,
+        stream: u32,
+    },
     /// Usable size of a live heap buffer.
     HeapBufSize { dst: u32, ptr: Opnd },
     /// Append a scalar to the output channel.

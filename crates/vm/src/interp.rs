@@ -49,7 +49,7 @@ use dpmr_ir::types::{TypeId, TypeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 /// Pseudo-address base for function pointers (inside an unmapped gap, so
@@ -113,17 +113,27 @@ impl ExitStatus {
 /// One `dpmr.check` mismatch, delivered to an installed [`TrapHandler`]
 /// *before* the run is torn down — the hook that makes detections
 /// resumable instead of terminal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The trap records *every* compared copy (`reps`, `rep_addrs`), so a
+/// recovery policy can arbitrate: with K >= 2 replicas a majority vote
+/// identifies which copy — the application's or a replica's — is the
+/// corrupt one, which single-replica repair must assume.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectionTrap {
     /// Divergent application value (raw bits).
     pub got: u64,
-    /// Replica value (raw bits).
+    /// First replica's value (raw bits) — the single-replica repair
+    /// source, kept alongside `reps` for the K = 1 policies.
     pub replica: u64,
+    /// All replica values (raw bits), in replica order (`reps[0]` equals
+    /// `replica`).
+    pub reps: Vec<u64>,
     /// Application memory location the value was loaded from, when the
     /// check instruction carries it.
     pub app_addr: Option<u64>,
-    /// Replica memory location, when carried.
-    pub rep_addr: Option<u64>,
+    /// Replica memory locations, in replica order; empty when the check
+    /// carries no locations.
+    pub rep_addrs: Vec<u64>,
     /// Virtual cycle of the detection.
     pub cycle: u64,
     /// Instructions executed when the detection fired.
@@ -134,20 +144,49 @@ pub struct DetectionTrap {
     pub site: u32,
 }
 
+impl DetectionTrap {
+    /// The strict-majority value among the K+1 compared copies
+    /// (application + replicas), or `None` when no value holds a strict
+    /// majority (e.g. the K = 1 one-against-one tie, or three-way
+    /// disagreement at K = 2).
+    pub fn majority(&self) -> Option<u64> {
+        let mut values: Vec<u64> = Vec::with_capacity(1 + self.reps.len());
+        values.push(self.got);
+        values.extend(self.reps.iter().copied());
+        let need = values.len() / 2 + 1;
+        for v in &values {
+            if values.iter().filter(|x| *x == v).count() >= need {
+                return Some(*v);
+            }
+        }
+        None
+    }
+}
+
 /// A trap handler's verdict on one detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrapAction {
     /// Tear the run down with [`ExitStatus::DpmrDetected`] (the default
     /// behaviour when no handler is installed).
     Terminate,
-    /// Repair and resume: the interpreter writes the replica value over the
-    /// divergent application location (when the check names it), fixes the
-    /// in-flight register, and continues executing. When the check carries
-    /// no locations, only the in-flight register is fixed — memory stays
-    /// divergent and later checked loads of it will trap again. A check
-    /// with nothing fixable at all (no locations and a constant operand)
-    /// terminates regardless of this verdict.
+    /// Repair and resume: the interpreter writes the first replica's value
+    /// over the divergent application location (when the check names it),
+    /// fixes the in-flight register, and continues executing. When the
+    /// check carries no locations, only the in-flight register is fixed —
+    /// memory stays divergent and later checked loads of it will trap
+    /// again. A check with nothing fixable at all (no locations and a
+    /// constant operand) terminates regardless of this verdict. Assumes
+    /// replica 0 is the correct copy — the assumption vote-based
+    /// arbitration removes.
     Repair,
+    /// Vote-and-repair (K >= 2): take a strict majority over the K+1
+    /// compared copies and repair every minority copy — the application
+    /// location and in-flight register when the application is outvoted,
+    /// and the *replica* locations holding minority values otherwise (so
+    /// a corrupted replica is restored and later checks stay meaningful,
+    /// which single-replica repair cannot do). Terminates when no strict
+    /// majority exists or the check names no locations.
+    Vote,
 }
 
 /// Recovery hook consulted on every `dpmr.check` mismatch.
@@ -204,6 +243,8 @@ pub struct InterpSnapshot {
     alloc: Allocator,
     frames: Vec<Frame>,
     rng: StdRng,
+    aux_rngs: BTreeMap<u32, StdRng>,
+    base_seed: u64,
     clock: u64,
     instrs: u64,
     output: Vec<u64>,
@@ -213,6 +254,7 @@ pub struct InterpSnapshot {
     detections: u64,
     repairs: u64,
     first_detection_cycle: Option<u64>,
+    replica_repairs: u64,
     fault_fired: Option<u64>,
     fault_hits: u64,
 }
@@ -265,6 +307,10 @@ pub struct RunOutcome {
     pub detections: u64,
     /// Detections repaired in place by an installed [`TrapHandler`].
     pub repairs: u64,
+    /// Minority *replica* copies rewritten by vote-based arbitration
+    /// ([`TrapAction::Vote`]); always 0 under the K = 1 policies, which
+    /// can only write the application side.
+    pub replica_repairs: u64,
     /// Virtual cycle of the *first* detection, terminal or repaired
     /// (`detect_cycle` only covers terminal ones). Time-to-recovery
     /// measurements run from here to completion.
@@ -412,6 +458,12 @@ pub struct Interp<'m> {
     /// site, as the per-call name lookup used to).
     ext_handlers: Vec<Option<Handler>>,
     rng: StdRng,
+    /// Independent diversity RNG streams (stream k > 0 serves replica k's
+    /// `randint.sk` draws), created lazily from `(base_seed, k)` so each
+    /// replica's layout decisions decorrelate from the others'.
+    aux_rngs: BTreeMap<u32, StdRng>,
+    /// The seed the run (and every derived stream) was created from.
+    base_seed: u64,
     clock: u64,
     instrs: u64,
     max_instrs: u64,
@@ -429,6 +481,7 @@ pub struct Interp<'m> {
     trap_handler: Option<Rc<RefCell<dyn TrapHandler>>>,
     detections: u64,
     repairs: u64,
+    replica_repairs: u64,
     first_detection_cycle: Option<u64>,
     /// Mid-run checkpoint cadence in virtual cycles, when enabled.
     checkpoint_cadence: Option<u64>,
@@ -510,6 +563,8 @@ impl<'m> Interp<'m> {
             meta,
             ext_handlers,
             rng: StdRng::seed_from_u64(cfg.seed),
+            aux_rngs: BTreeMap::new(),
+            base_seed: cfg.seed,
             clock: 0,
             instrs: 0,
             max_instrs: cfg.max_instrs,
@@ -522,6 +577,7 @@ impl<'m> Interp<'m> {
             trap_handler: None,
             detections: 0,
             repairs: 0,
+            replica_repairs: 0,
             first_detection_cycle: None,
             checkpoint_cadence: None,
             next_checkpoint: u64::MAX,
@@ -657,6 +713,8 @@ impl<'m> Interp<'m> {
             alloc: self.alloc.clone(),
             frames: self.frames.clone(),
             rng: self.rng.clone(),
+            aux_rngs: self.aux_rngs.clone(),
+            base_seed: self.base_seed,
             clock: self.clock,
             instrs: self.instrs,
             output: self.output.clone(),
@@ -665,6 +723,7 @@ impl<'m> Interp<'m> {
             cache_tags: self.cache_tags.clone(),
             detections: self.detections,
             repairs: self.repairs,
+            replica_repairs: self.replica_repairs,
             first_detection_cycle: self.first_detection_cycle,
             fault_fired: self.fault_fired,
             fault_hits: self.fault_hits,
@@ -682,6 +741,8 @@ impl<'m> Interp<'m> {
         self.alloc = snap.alloc.clone();
         self.frames = snap.frames.clone();
         self.rng = snap.rng.clone();
+        self.aux_rngs = snap.aux_rngs.clone();
+        self.base_seed = snap.base_seed;
         self.clock = snap.clock;
         self.instrs = snap.instrs;
         self.output = snap.output.clone();
@@ -690,6 +751,7 @@ impl<'m> Interp<'m> {
         self.cache_tags = snap.cache_tags.clone();
         self.detections = snap.detections;
         self.repairs = snap.repairs;
+        self.replica_repairs = snap.replica_repairs;
         self.first_detection_cycle = snap.first_detection_cycle;
         // Restoring to a pre-fire point re-arms a one-shot fault: the
         // replay refires it at the same deterministic point, so rollback
@@ -710,6 +772,10 @@ impl<'m> Interp<'m> {
     /// succeed where the original layout corrupted live state.
     pub fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+        // Derived diversity streams re-derive from the new seed on their
+        // next draw, so every replica's layout decisions diversify too.
+        self.base_seed = seed;
+        self.aux_rngs.clear();
         self.mem
             .set_fill_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
     }
@@ -802,10 +868,26 @@ impl<'m> Interp<'m> {
     /// Uniform random integer in `[lo, hi]` from the run-seeded RNG
     /// (external-handler API mirroring the `randint` instruction).
     pub fn rand_range(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rand_range_stream(0, lo, hi)
+    }
+
+    /// Like [`Interp::rand_range`] but drawing from RNG stream `stream`.
+    /// Stream 0 is the run-seeded default; stream `k > 0` is an
+    /// independent stream derived from `(run seed, k)` on first use —
+    /// replica `k`'s decorrelated diversity stream.
+    pub fn rand_range_stream(&mut self, stream: u32, lo: i64, hi: i64) -> i64 {
         if lo >= hi {
             return lo;
         }
-        self.rng.gen_range(lo..=hi)
+        let rng = if stream == 0 {
+            &mut self.rng
+        } else {
+            let base = self.base_seed;
+            self.aux_rngs.entry(stream).or_insert_with(|| {
+                StdRng::seed_from_u64(crate::fault::fault_mix(base, u64::from(stream)))
+            })
+        };
+        rng.gen_range(lo..=hi)
     }
 
     /// Runs the module's entry function with the configured arguments.
@@ -903,6 +985,7 @@ impl<'m> Interp<'m> {
             alloc_stats: self.alloc.stats,
             detections: self.detections,
             repairs: self.repairs,
+            replica_repairs: self.replica_repairs,
             first_detection_cycle: self.first_detection_cycle,
             fault_fired_cycle: self.fault_fired,
             fault_hits: self.fault_hits,
@@ -1428,31 +1511,52 @@ impl<'m> Interp<'m> {
             }
             Op::DpmrCheck {
                 a,
-                b,
+                reps,
                 ptrs,
                 site,
                 a_reg,
             } => {
                 let va = self.eval(regs, a)?;
-                let vb = self.eval(regs, b)?;
-                self.clock += cost::CHECK;
-                if va.to_bits() != vb.to_bits() {
+                self.clock += cost::CHECK * reps.len() as u64;
+                // Hot path: compare every replica against the application
+                // value (K = 1 is one compare, exactly the old cost).
+                let mut mismatch = false;
+                for r in reps.iter() {
+                    mismatch |= self.eval(regs, r)?.to_bits() != va.to_bits();
+                }
+                if mismatch {
                     self.detections += 1;
                     if self.first_detection_cycle.is_none() {
                         self.first_detection_cycle = Some(self.clock);
                     }
-                    let (app_addr, rep_addr) = match ptrs {
-                        Some((ap, rp)) => (
-                            Some(self.eval(regs, ap)?.as_ptr()),
-                            Some(self.eval(regs, rp)?.as_ptr()),
-                        ),
-                        None => (None, None),
+                    // Cold path: re-evaluate the replica values into a
+                    // vector (operand evaluation is a pure slot read).
+                    let mut vreps: Vec<Value> = Vec::with_capacity(reps.len());
+                    for r in reps.iter() {
+                        vreps.push(self.eval(regs, r)?);
+                    }
+                    let first_bad = vreps
+                        .iter()
+                        .find(|v| v.to_bits() != va.to_bits())
+                        .copied()
+                        .unwrap_or(vreps[0]);
+                    let (app_addr, rep_addrs) = match ptrs {
+                        Some((ap, rps)) => {
+                            let ap = self.eval(regs, ap)?.as_ptr();
+                            let mut addrs = Vec::with_capacity(rps.len());
+                            for rp in rps.iter() {
+                                addrs.push(self.eval(regs, rp)?.as_ptr());
+                            }
+                            (Some(ap), addrs)
+                        }
+                        None => (None, Vec::new()),
                     };
                     let trap = DetectionTrap {
                         got: va.to_bits(),
-                        replica: vb.to_bits(),
+                        replica: vreps[0].to_bits(),
+                        reps: vreps.iter().map(|v| v.to_bits()).collect(),
                         app_addr,
-                        rep_addr,
+                        rep_addrs: rep_addrs.clone(),
                         cycle: self.clock,
                         instrs: self.instrs,
                         site: *site,
@@ -1467,19 +1571,19 @@ impl<'m> Interp<'m> {
                     if app_addr.is_none() && a_reg.is_none() {
                         action = TrapAction::Terminate;
                     }
+                    let terminal = Trap::Dpmr {
+                        got: va.to_bits(),
+                        replica: first_bad.to_bits(),
+                    };
                     match action {
-                        TrapAction::Terminate => {
-                            return Err(Trap::Dpmr {
-                                got: va.to_bits(),
-                                replica: vb.to_bits(),
-                            });
-                        }
+                        TrapAction::Terminate => return Err(terminal),
                         TrapAction::Repair => {
-                            // Replica memory is the redundant truth: copy
-                            // its value over the divergent application
+                            // Replica 0 is assumed the redundant truth:
+                            // copy its value over the divergent application
                             // location and the in-flight register, then
                             // resume as if the check had passed.
                             self.repairs += 1;
+                            let vb = vreps[0];
                             if let (Some(addr), Some((_, kind))) = (app_addr, a_reg) {
                                 self.clock += cost::MEM;
                                 self.touch(addr);
@@ -1489,14 +1593,59 @@ impl<'m> Interp<'m> {
                                 regs[*slot as usize] = Some(vb);
                             }
                         }
+                        TrapAction::Vote => {
+                            // Majority arbitration over the K+1 copies:
+                            // the outvoted copies — application *or*
+                            // replicas — are the corrupt ones; rewrite
+                            // them with the majority value and resume.
+                            let Some(win_bits) = trap.majority() else {
+                                return Err(terminal);
+                            };
+                            let Some((slot, kind)) = a_reg else {
+                                return Err(terminal);
+                            };
+                            let winner = if va.to_bits() == win_bits {
+                                va
+                            } else {
+                                *vreps
+                                    .iter()
+                                    .find(|v| v.to_bits() == win_bits)
+                                    .expect("majority value occurs among the copies")
+                            };
+                            if va.to_bits() != win_bits {
+                                self.repairs += 1;
+                                if let Some(addr) = app_addr {
+                                    self.clock += cost::MEM;
+                                    self.touch(addr);
+                                    self.store_kind(addr, *kind, winner)?;
+                                }
+                                regs[*slot as usize] = Some(winner);
+                            }
+                            for (i, v) in vreps.iter().enumerate() {
+                                if v.to_bits() != win_bits {
+                                    if let Some(addr) = rep_addrs.get(i).copied() {
+                                        self.clock += cost::MEM;
+                                        self.touch(addr);
+                                        self.store_kind(addr, *kind, winner)?;
+                                        self.repairs += 1;
+                                        self.replica_repairs += 1;
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }
-            Op::RandInt { dst, lo, hi } => {
+            Op::RandInt {
+                dst,
+                lo,
+                hi,
+                stream,
+            } => {
                 let lo = self.eval(regs, lo)?.as_int();
                 let hi = self.eval(regs, hi)?.as_int();
                 self.clock += cost::RAND;
-                let v = self.rand_range(lo, hi);
+                let v = self.rand_range_stream(*stream, lo, hi);
                 regs[*dst as usize] = Some(Value::Int(v));
             }
             Op::HeapBufSize { dst, ptr } => {

@@ -285,15 +285,15 @@ fn lower_function(module: &Module, f: &Function, entry: u32, lc: &mut LoweredCod
                         },
                     }
                 }
-                Instr::DpmrCheck { a, b, ptrs } => {
+                Instr::DpmrCheck { a, reps, ptrs } => {
                     let site = lc.check_sites;
                     lc.check_sites += 1;
                     Op::DpmrCheck {
                         a: lower_operand(a),
-                        b: lower_operand(b),
-                        ptrs: ptrs
-                            .as_ref()
-                            .map(|(ap, rp)| (lower_operand(ap), lower_operand(rp))),
+                        reps: reps.iter().map(lower_operand).collect(),
+                        ptrs: ptrs.as_ref().map(|(ap, rps)| {
+                            (lower_operand(ap), rps.iter().map(lower_operand).collect())
+                        }),
                         site,
                         a_reg: match a {
                             Operand::Reg(r) => Some((r.0, store_kind(tt, f.reg_ty(*r)))),
@@ -301,10 +301,16 @@ fn lower_function(module: &Module, f: &Function, entry: u32, lc: &mut LoweredCod
                         },
                     }
                 }
-                Instr::RandInt { dst, lo, hi } => Op::RandInt {
+                Instr::RandInt {
+                    dst,
+                    lo,
+                    hi,
+                    stream,
+                } => Op::RandInt {
                     dst: dst.0,
                     lo: lower_operand(lo),
                     hi: lower_operand(hi),
+                    stream: *stream,
                 },
                 Instr::HeapBufSize { dst, ptr } => Op::HeapBufSize {
                     dst: dst.0,
@@ -395,7 +401,7 @@ mod tests {
         for _ in 0..3 {
             b.emit(Instr::DpmrCheck {
                 a: Const::i64(1).into(),
-                b: Const::i64(1).into(),
+                reps: vec![Const::i64(1).into()],
                 ptrs: None,
             });
         }

@@ -282,7 +282,7 @@ fn dpmr_check_passes_equal_and_fails_unequal() {
     let ok = module_with_main(|b| {
         b.emit(Instr::DpmrCheck {
             a: Const::i64(5).into(),
-            b: Const::i64(5).into(),
+            reps: vec![Const::i64(5).into()],
             ptrs: None,
         });
         b.ret(Some(Const::i64(0).into()));
@@ -292,7 +292,7 @@ fn dpmr_check_passes_equal_and_fails_unequal() {
     let bad = module_with_main(|b| {
         b.emit(Instr::DpmrCheck {
             a: Const::i64(5).into(),
-            b: Const::i64(6).into(),
+            reps: vec![Const::i64(6).into()],
             ptrs: None,
         });
         b.ret(Some(Const::i64(0).into()));
@@ -316,6 +316,7 @@ fn randint_respects_bounds_and_seed() {
                 dst: r,
                 lo: Const::i64(1).into(),
                 hi: Const::i64(20).into(),
+                stream: 0,
             });
             b.output(r.into());
         }

@@ -432,6 +432,36 @@ proptest! {
         prop_assert_eq!(&a.status, &b.status);
         prop_assert_eq!(a.output, b.output);
     }
+
+    /// A K-replica transformed module (K in 1..=3, both schemes, the
+    /// rearrange-heap diversity whose per-replica `randint.sk` streams
+    /// stress the text format hardest) survives print -> parse -> print
+    /// as a fixpoint, and the reparsed module runs bit-identically — the
+    /// K-ary `dpmr.checkK` / replica-pointer syntax is a stable, faithful
+    /// encoding.
+    #[test]
+    fn k_replica_transform_print_parse_print_fixpoint(
+        ops in sl_strategy(),
+        k in 1usize..=3,
+        mds in 0usize..2,
+    ) {
+        let m = build_straightline(&ops);
+        let base = if mds == 1 { DpmrConfig::mds() } else { DpmrConfig::sds() };
+        let cfg = base.with_replicas(k);
+        let t = transform(&m, &cfg).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let text1 = dpmr::ir::printer::print_module(&t);
+        let reparsed = dpmr::ir::parser::parse_module(&text1)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert!(dpmr::ir::verify::verify_module(&reparsed).is_ok());
+        let text2 = dpmr::ir::printer::print_module(&reparsed);
+        prop_assert_eq!(&text1, &text2);
+        let reg = || Rc::new(registry_with_wrappers());
+        let a = run_with_registry(&t, &RunConfig::default(), reg());
+        let b = run_with_registry(&reparsed, &RunConfig::default(), reg());
+        prop_assert_eq!(&a.status, &b.status);
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.cycles, b.cycles);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -519,7 +549,7 @@ fn build_fixpoint_program(ops: &[FixOp]) -> dpmr::ir::module::Module {
                 let v = b.load(i64t, cell.into(), "v");
                 b.emit(Instr::DpmrCheck {
                     a: v.into(),
-                    b: acc.into(),
+                    reps: vec![acc.into()],
                     ptrs: None,
                 });
             }
@@ -528,14 +558,14 @@ fn build_fixpoint_program(ops: &[FixOp]) -> dpmr::ir::module::Module {
                 let v = b.load(i64t, cell.into(), "v");
                 b.emit(Instr::DpmrCheck {
                     a: v.into(),
-                    b: acc.into(),
-                    ptrs: Some((cell.into(), cell.into())),
+                    reps: vec![acc.into()],
+                    ptrs: Some((cell.into(), vec![cell.into()])),
                 });
             }
             FixOp::CheckConst(v) => {
                 b.emit(Instr::DpmrCheck {
                     a: Const::i64(*v).into(),
-                    b: Const::i64(*v).into(),
+                    reps: vec![Const::i64(*v).into()],
                     ptrs: None,
                 });
             }
