@@ -7,7 +7,8 @@
 //! line (simulated instructions retired per wall-clock second, in
 //! millions) **and appends a machine-readable point to
 //! `BENCH_INTERP.json`** at the workspace root (one JSON object per line:
-//! workload, mips, git rev, mode), so the trajectory accumulates across
+//! workload, mips, git rev, an explicit `dirty` flag for points measured
+//! on an uncommitted tree, mode), so the trajectory accumulates across
 //! engine generations. Override the file location with
 //! `BENCH_INTERP_JSON=<path>` (empty disables persistence).
 //!
@@ -100,10 +101,12 @@ fn trajectory_path() -> Option<std::path::PathBuf> {
     }
 }
 
-/// Short git revision of the workspace (suffixed `-dirty` when the tree
-/// has uncommitted changes, so a point measured mid-development is never
-/// mistaken for the named commit), for trajectory points.
-fn git_rev() -> String {
+/// Short git revision of the workspace and whether the tree had
+/// uncommitted changes when measured, for trajectory points. Keeping the
+/// dirty bit a separate field (instead of a `-dirty` rev suffix) leaves
+/// `git_rev` always a real commit id, so trajectory tooling can join
+/// points against history while still excluding mid-development points.
+fn git_rev() -> (String, bool) {
     let git = |args: &[&str]| {
         std::process::Command::new("git")
             .args(args)
@@ -114,17 +117,17 @@ fn git_rev() -> String {
             .and_then(|o| String::from_utf8(o.stdout).ok())
     };
     let Some(rev) = git(&["rev-parse", "--short", "HEAD"]) else {
-        return "unknown".to_string();
+        return ("unknown".to_string(), true);
     };
     let dirty = git(&["status", "--porcelain"]).is_none_or(|s| !s.trim().is_empty());
-    format!("{}{}", rev.trim(), if dirty { "-dirty" } else { "" })
+    (rev.trim().to_string(), dirty)
 }
 
 /// Appends one trajectory point as a JSON line.
-fn persist_point(path: &std::path::Path, workload: &str, mips: f64, rev: &str) {
+fn persist_point(path: &std::path::Path, workload: &str, mips: f64, rev: &str, dirty: bool) {
     let mode = if smoke() { "smoke" } else { "full" };
     let line = format!(
-        "{{\"workload\":\"{workload}\",\"mips\":{mips:.2},\"git_rev\":\"{rev}\",\"mode\":\"{mode}\"}}\n"
+        "{{\"workload\":\"{workload}\",\"mips\":{mips:.2},\"git_rev\":\"{rev}\",\"dirty\":{dirty},\"mode\":\"{mode}\"}}\n"
     );
     let res = std::fs::OpenOptions::new()
         .create(true)
@@ -147,7 +150,7 @@ fn trajectory(_c: &mut Criterion) {
         Duration::from_millis(500)
     };
     let json = trajectory_path();
-    let rev = git_rev();
+    let (rev, dirty) = git_rev();
     // A malformed ratio must fail loudly, not silently disable the gate.
     let min_ratio: Option<f64> = std::env::var("BENCH_ASSERT_RATIO").ok().map(|r| {
         r.parse()
@@ -178,13 +181,16 @@ fn trajectory(_c: &mut Criterion) {
             name.to_uppercase().replace('-', "_")
         );
         if let Some(path) = &json {
-            persist_point(path, name, mips, &rev);
+            persist_point(path, name, mips, &rev, dirty);
         }
         if let Some(r) = min_ratio {
+            let mode = if smoke() { "smoke" } else { "full" };
             match seed_baseline_mips(name) {
                 Some(baseline) => assert!(
                     mips >= r * baseline,
-                    "{name}: {mips:.2} MIPS regressed below {r} x seed baseline {baseline:.2}"
+                    "{name}: {mips:.2} MIPS regressed below {r} x seed baseline \
+                     (workload {name:?}, mode {mode:?}, baseline {baseline:.2} MIPS \
+                     from seed_baseline_mips)"
                 ),
                 None => eprintln!("[bench] {name}: no seed baseline recorded; ratio gate skipped"),
             }

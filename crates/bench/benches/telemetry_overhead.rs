@@ -1,0 +1,164 @@
+//! Cost of the telemetry hooks on the hot dispatch loop.
+//!
+//! Telemetry follows the PR-4 fault-hook discipline: when
+//! [`TelemetryConfig`] is all-off (the default), each dispatched op pays
+//! at most one flag branch and the `dpmr.check` arm pays one more. There
+//! is no cheaper in-binary baseline to compare against (the branches are
+//! compiled in), so the dormant gate is **cross-binary**: the
+//! telemetry-off throughput trio is measured the same way
+//! `interp_throughput` measures it and compared against the pre-telemetry
+//! points recorded in `BENCH_INTERP.json` for this reference container.
+//! Prints a machine-greppable `BENCH_TELEMETRY_DORMANT_RATIO=<r>` line —
+//! the *minimum* over the trio of `off-MIPS / pre-telemetry-MIPS`, so 1.0
+//! means no regression — plus an informational in-binary
+//! `BENCH_TELEMETRY_ON_RATIO=<r>` (full-telemetry time / off time). Set
+//! `BENCH_ASSERT_TELEMETRY_RATIO=<r>` to fail the bench when the dormant
+//! ratio drops below `r` (CI smoke-gates this loosely; the absolute
+//! baselines are one machine's, so a different runner needs headroom).
+//! Set `BENCH_SMOKE=1` for a CI-sized run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpmr_ir::module::Module;
+use dpmr_vm::prelude::*;
+use dpmr_workloads::micro;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+/// Pre-telemetry baselines for the throughput trio, measured on the
+/// reference container immediately before the telemetry hooks landed
+/// (full mode: the `a0be433` points in `BENCH_INTERP.json`; smoke mode:
+/// captured the same session). Absolute MIPS from one machine — the
+/// denominator of the dormant ratio, meaningful on comparable runners.
+fn pre_telemetry_mips(workload: &str) -> Option<f64> {
+    match (workload, smoke()) {
+        ("linked_list", false) => Some(72.17),
+        ("qsort", false) => Some(48.31),
+        ("resize_victim", false) => Some(75.29),
+        ("linked_list", true) => Some(61.53),
+        ("qsort", true) => Some(52.35),
+        ("resize_victim", true) => Some(60.41),
+        _ => None,
+    }
+}
+
+/// The same trio `interp_throughput` records trajectory points for (so
+/// the dormant ratio divides like against like).
+fn workloads() -> Vec<(&'static str, Module)> {
+    let scale = if smoke() { 1 } else { 4 };
+    vec![
+        ("linked_list", micro::linked_list(50 * scale)),
+        ("qsort", micro::qsort_prog(12 * scale)),
+        (
+            "resize_victim",
+            micro::resize_victim(16 * scale, 12 * scale),
+        ),
+    ]
+}
+
+fn run_shape(m: &Module, code: &Rc<LoweredCode>, telemetry: TelemetryConfig) -> u64 {
+    let rc = RunConfig {
+        telemetry,
+        ..RunConfig::default()
+    };
+    let mut it = Interp::with_code(m, Rc::clone(code), &rc, Rc::new(Registry::with_base()));
+    it.run(vec![]).instrs
+}
+
+fn telemetry_shapes(c: &mut Criterion) {
+    for (name, m) in workloads() {
+        let code = Rc::new(dpmr_vm::lower::lower(&m));
+        for (shape, cfg) in [
+            ("off", TelemetryConfig::off()),
+            ("full", TelemetryConfig::full()),
+        ] {
+            let (m, code) = (&m, &code);
+            c.bench_function(format!("telemetry/{name}/{shape}"), move |b| {
+                b.iter(|| run_shape(m, code, cfg))
+            });
+        }
+    }
+}
+
+/// Prints the cross-binary dormant ratio (telemetry-off MIPS vs the
+/// pre-telemetry baselines) and the in-binary on/off ratio, applying the
+/// optional `BENCH_ASSERT_TELEMETRY_RATIO` gate (not a criterion target
+/// shape; rides in the group like the throughput trajectory does).
+fn dormant_ratio(_c: &mut Criterion) {
+    let budget = if smoke() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(500)
+    };
+    // A malformed ratio must fail loudly, not silently disable the gate.
+    let min_ratio: Option<f64> = std::env::var("BENCH_ASSERT_TELEMETRY_RATIO").ok().map(|r| {
+        r.parse()
+            .unwrap_or_else(|e| panic!("BENCH_ASSERT_TELEMETRY_RATIO={r:?} is not a number: {e}"))
+    });
+    let mut worst: Option<(&str, f64)> = None;
+    let mut on_over_off = 0.0f64;
+    for (name, m) in workloads() {
+        let code = Rc::new(dpmr_vm::lower::lower(&m));
+        let measure = |cfg: TelemetryConfig| {
+            let per_run = run_shape(&m, &code, cfg);
+            let t0 = Instant::now();
+            let mut runs = 0u64;
+            while t0.elapsed() < budget {
+                assert_eq!(
+                    run_shape(&m, &code, cfg),
+                    per_run,
+                    "{name}: nondeterministic"
+                );
+                runs += 1;
+            }
+            (per_run * runs) as f64 / t0.elapsed().as_secs_f64() / 1.0e6
+        };
+        let off = measure(TelemetryConfig::off());
+        let full = measure(TelemetryConfig::full());
+        on_over_off = on_over_off.max(off / full);
+        let Some(baseline) = pre_telemetry_mips(name) else {
+            continue;
+        };
+        let r = off / baseline;
+        if worst.is_none_or(|(_, w)| r < w) {
+            worst = Some((name, r));
+        }
+    }
+    let (worst_name, worst_ratio) = worst.expect("trio has baselines");
+    println!("BENCH_TELEMETRY_DORMANT_RATIO={worst_ratio:.3}");
+    println!("BENCH_TELEMETRY_ON_RATIO={on_over_off:.3}");
+    if let Some(r) = min_ratio {
+        let mode = if smoke() { "smoke" } else { "full" };
+        assert!(
+            worst_ratio >= r,
+            "telemetry-off throughput regressed: {worst_name} at {worst_ratio:.3} x \
+             pre-telemetry baseline (< {r}, mode {mode:?}, baseline \
+             {:.2} MIPS from pre_telemetry_mips)",
+            pre_telemetry_mips(worst_name).expect("had a baseline"),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let mut c = Criterion::default();
+        if std::env::var_os("BENCH_SMOKE").is_some() {
+            c = c
+                .sample_size(2)
+                .warm_up_time(std::time::Duration::from_millis(10))
+                .measurement_time(std::time::Duration::from_millis(30));
+        } else {
+            c = c
+                .sample_size(10)
+                .warm_up_time(std::time::Duration::from_millis(200))
+                .measurement_time(std::time::Duration::from_millis(600));
+        }
+        c
+    };
+    targets = telemetry_shapes, dormant_ratio
+}
+criterion_main!(benches);

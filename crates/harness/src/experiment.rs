@@ -97,6 +97,19 @@ pub struct RecoveryMeasurement {
     pub t2r: Option<u64>,
 }
 
+/// One fully instrumented run: the raw outcome plus everything the
+/// telemetry layer collected (see [`PreparedApp::run_instrumented`]).
+pub struct InstrumentedRun {
+    /// Raw run outcome.
+    pub out: RunOutcome,
+    /// Collected per-site/per-pc profiles and the event trace.
+    pub telemetry: Telemetry,
+    /// Simulated region footprint at run end.
+    pub mem: MemUsage,
+    /// The VM seed the run used (trace-sink key component).
+    pub seed: u64,
+}
+
 /// A prepared application: golden module, its lowered bytecode, golden
 /// run, and injection sites.
 pub struct PreparedApp {
@@ -354,6 +367,34 @@ impl PreparedApp {
         rc.fault = Some(fault);
         let driver = RecoveryDriver::with_code(module, code, registry, rc, rec);
         self.measure_recovery(driver.run())
+    }
+
+    /// Executes one run with **full telemetry** enabled: the per-site and
+    /// per-pc profiles plus the event trace of [`dpmr_vm::telemetry`],
+    /// alongside the raw outcome and the region footprint. Clean profile
+    /// runs (`fault: None`) feed the hot/cold columns of `profS.1`; armed
+    /// runs feed its detection-usefulness columns and the trace sink.
+    pub fn run_instrumented(
+        &self,
+        module: &Module,
+        code: Rc<LoweredCode>,
+        registry: Rc<Registry>,
+        fault: Option<ArmedFault>,
+        run: u32,
+    ) -> InstrumentedRun {
+        let mut rc = self.run_config(run);
+        rc.fault = fault;
+        rc.telemetry = TelemetryConfig::full();
+        let mut interp = Interp::with_code(module, code, &rc, registry);
+        let out = interp.run(rc.args.clone());
+        let mem = interp.mem.usage();
+        let telemetry = interp.take_telemetry();
+        InstrumentedRun {
+            out,
+            telemetry,
+            mem,
+            seed: rc.seed,
+        }
     }
 
     /// Overhead of a DPMR configuration: mean execution time of the

@@ -3,7 +3,8 @@
 //! stacked-bar figures and latency tables).
 
 use crate::metrics::{
-    FaultCampaignResults, RecoveryStudyResults, ReplicationStudyResults, StudyResults,
+    FaultCampaignResults, RecoveryStudyResults, ReplicationStudyResults, SiteProfileResults,
+    StudyResults, TraceStudyResults,
 };
 use std::fmt::Write as _;
 
@@ -370,6 +371,116 @@ pub fn replica_differential_section(res: &FaultCampaignResults) -> String {
                 g.unrecoverable_rate()
             );
         }
+    }
+    out
+}
+
+/// Renders the check-site profile table (profS.1): per app and check
+/// site, clean-run execution counts and check-cycle shares next to the
+/// armed-sweep detection/repair counters, classified hot/warm/cold by
+/// execution share and flagged `useful`/`never` by whether the site ever
+/// detected an injected fault. A per-function execution profile and the
+/// simulated region footprint follow each app's site rows.
+pub fn site_profile_table(title: &str, res: &SiteProfileResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for app in &res.apps {
+        let Some(p) = res.profiles.get(app) else {
+            continue;
+        };
+        let total_execs: u64 = p.clean.iter().map(|s| s.executions).sum();
+        let _ = writeln!(
+            out,
+            "  [{app}: {} sites, {} clean check execs, {} armed trials]",
+            p.site_pcs.len(),
+            total_execs,
+            p.trials
+        );
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>6} {:<14} {:>9} {:>6} {:>10} {:>7} {:>7} {:>7} {:>5} {:>7}",
+            "site",
+            "pc",
+            "func",
+            "execs",
+            "share",
+            "chk-cyc",
+            "det",
+            "repair",
+            "r-rep",
+            "term",
+            "class"
+        );
+        for site in 0..p.site_pcs.len() {
+            let clean = p.clean.get(site).copied().unwrap_or_default();
+            let armed = p.armed.get(site).copied().unwrap_or_default();
+            let share = if total_execs == 0 {
+                0.0
+            } else {
+                clean.executions as f64 / total_execs as f64
+            };
+            let class = if share >= 0.10 {
+                "hot"
+            } else if clean.executions > 1 {
+                "warm"
+            } else {
+                "cold"
+            };
+            let useful = if armed.detections > 0 {
+                "useful"
+            } else {
+                "never"
+            };
+            let _ = writeln!(
+                out,
+                "  {:<5} {:>6} {:<14} {:>9} {:>6.3} {:>10} {:>7} {:>7} {:>7} {:>5} {:>7} {useful}",
+                site,
+                p.site_pcs[site],
+                p.site_funcs.get(site).map_or("?", String::as_str),
+                clean.executions,
+                share,
+                clean.cycles,
+                armed.detections,
+                armed.repairs,
+                armed.replica_repairs,
+                armed.terminations,
+                class
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  [functions: executed ops of {} clean cycles]",
+            p.clean_cycles
+        );
+        for (name, n) in &p.funcs {
+            if *n > 0 {
+                let _ = writeln!(out, "    {name:<20} {n:>10}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  [mem: heap brk {} B, globals {} B, stack high-water {} B]",
+            p.mem.heap_brk, p.mem.globals_len, p.mem.stack_high_water
+        );
+    }
+    let _ = writeln!(out, "  [{} instrumented executions]", res.experiments);
+    out
+}
+
+/// Renders the event-trace sink (traceE.1): the keyed JSONL blocks of
+/// every traced run, in deterministic (app, config) order, preceded by a
+/// one-line comment header. Every non-header line is a standalone JSON
+/// object carrying its own `(app, seed, config)` key, so the sink can be
+/// split or grepped without block context.
+pub fn trace_sink(title: &str, res: &TraceStudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {title}: {} traced runs, one JSON event per line",
+        res.experiments
+    );
+    for t in &res.traces {
+        out.push_str(&t.jsonl);
     }
     out
 }

@@ -26,8 +26,9 @@ pub mod sched;
 use dpmr_core::prelude::*;
 use metrics::{
     run_diversity_study, run_fault_campaign, run_policy_study, run_recovery_study,
-    run_replication_degree_study, CampaignConfig, FaultCampaignResults, RecoveryStudyResults,
-    ReplicationStudyResults, StudyResults,
+    run_replication_degree_study, run_site_profile_study, run_trace_study, CampaignConfig,
+    FaultCampaignResults, RecoveryStudyResults, ReplicationStudyResults, SiteProfileResults,
+    StudyResults, TraceStudyResults,
 };
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -150,6 +151,14 @@ pub fn artifact_descriptions() -> Vec<(&'static str, &'static str)> {
             "tabV.1",
             "replication-degree sweep: K in {1,2,3} x diversity — overhead scaling, escape, vote-repair success",
         ),
+        (
+            "profS.1",
+            "check-site profile: per-app hot/cold site execution counts x armed-sweep detection usefulness",
+        ),
+        (
+            "traceE.1",
+            "structured event-trace sink: keyed JSONL of clean + per-class armed runs (virtual-cycle timestamps)",
+        ),
     ]
 }
 
@@ -172,6 +181,8 @@ struct Studies {
     recovery: Option<RecoveryStudyResults>,
     fault: Option<FaultCampaignResults>,
     replication: Option<ReplicationStudyResults>,
+    site_profile: Option<SiteProfileResults>,
+    trace: Option<TraceStudyResults>,
 }
 
 impl Studies {
@@ -184,6 +195,8 @@ impl Studies {
             recovery: None,
             fault: None,
             replication: None,
+            site_profile: None,
+            trace: None,
         }
     }
 
@@ -247,6 +260,28 @@ impl Studies {
             ));
         }
         self.replication.as_ref().expect("just set")
+    }
+    fn site_profile(&mut self, cc: &CampaignConfig) -> &SiteProfileResults {
+        if self.site_profile.is_none() {
+            eprintln!("[harness] running check-site profile study...");
+            self.site_profile = Some(run_site_profile_study(
+                &dpmr_workloads::fault_campaign_apps(),
+                &DpmrConfig::sds(),
+                cc,
+            ));
+        }
+        self.site_profile.as_ref().expect("just set")
+    }
+    fn trace(&mut self, cc: &CampaignConfig) -> &TraceStudyResults {
+        if self.trace.is_none() {
+            eprintln!("[harness] running event-trace study...");
+            self.trace = Some(run_trace_study(
+                &dpmr_workloads::fault_campaign_apps(),
+                &DpmrConfig::sds(),
+                cc,
+            ));
+        }
+        self.trace.as_ref().expect("just set")
     }
 }
 
@@ -419,6 +454,14 @@ pub fn reproduce(ids: &BTreeSet<String>, cc: &CampaignConfig) -> String {
                 "Table V.1: Replication-degree sweep (SDS, all loads): K in {1,2,3} x diversity",
                 studies.replication(cc),
             ),
+            "profS.1" => figures::site_profile_table(
+                "Table S.1: Check-site profile (SDS, rearrange-heap): clean hot/cold x armed detection usefulness",
+                studies.site_profile(cc),
+            ),
+            "traceE.1" => figures::trace_sink(
+                "traceE.1 event-trace sink (SDS, rearrange-heap)",
+                studies.trace(cc),
+            ),
             "ch5" => chapter5_demo(),
             _ => continue,
         };
@@ -516,13 +559,15 @@ mod tests {
     #[test]
     fn ids_are_complete() {
         let ids = all_ids();
-        assert_eq!(ids.len(), 30);
+        assert_eq!(ids.len(), 32);
         assert!(ids.contains(&"fig3.6"));
         assert!(ids.contains(&"tab4.6"));
         assert!(ids.contains(&"ch5"));
         assert!(ids.contains(&"tabR.1"));
         assert!(ids.contains(&"tabF.1"));
         assert!(ids.contains(&"tabV.1"));
+        assert!(ids.contains(&"profS.1"));
+        assert!(ids.contains(&"traceE.1"));
     }
 
     #[test]

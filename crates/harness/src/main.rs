@@ -4,16 +4,20 @@
 //! dpmr-harness all                 # every artifact, default campaign
 //! dpmr-harness quick               # every artifact, reduced campaign
 //! dpmr-harness fig3.10 tab3.3      # selected artifacts
-//! dpmr-harness all --runs 3 --scale 2 --max-sites 8 --workers 8
+//! dpmr-harness profile             # check-site profile (alias: profS.1)
+//! dpmr-harness trace               # event-trace sink (alias: traceE.1)
+//! dpmr-harness all --runs 3 --scale 2 --max-sites 8 --workers 8 --quiet
 //! ```
+//!
+//! Long campaigns report `[sched] units done/total` progress on stderr;
+//! `--quiet` suppresses it. Artifact stdout never carries progress.
 
 use dpmr_harness::metrics::CampaignConfig;
 use dpmr_harness::{all_ids, artifact_descriptions, reproduce};
 use dpmr_workloads::WorkloadParams;
 use std::collections::BTreeSet;
 
-const USAGE: &str =
-    "usage: dpmr-harness <all|quick|list|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N]";
+const USAGE: &str = "usage: dpmr-harness <all|quick|list|profile|trace|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N] [--quiet]";
 
 /// The value of flag `args[i]`, or a usage error and exit 2 when the
 /// value is missing or unparsable.
@@ -37,6 +41,7 @@ fn main() {
     }
 
     let mut ids: BTreeSet<String> = BTreeSet::new();
+    let mut quiet = false;
     let mut cc = CampaignConfig {
         params: WorkloadParams::quick(),
         runs: 2,
@@ -59,6 +64,13 @@ fn main() {
                 cc.runs = 1;
                 cc.max_sites = Some(4);
             }
+            "profile" => {
+                ids.insert("profS.1".to_string());
+            }
+            "trace" => {
+                ids.insert("traceE.1".to_string());
+            }
+            "--quiet" => quiet = true,
             "--runs" => {
                 i += 1;
                 cc.runs = flag_value(&args, i, "--runs");
@@ -88,6 +100,7 @@ fn main() {
         i += 1;
     }
 
+    dpmr_harness::sched::set_progress(!quiet);
     let t0 = std::time::Instant::now();
     let report = reproduce(&ids, &cc);
     println!("{report}");

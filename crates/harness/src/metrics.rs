@@ -1039,6 +1039,281 @@ pub fn diversity_variants(scheme: Scheme) -> Vec<(String, DpmrConfig)> {
         .collect()
 }
 
+/// One app's aggregated check-site profile (the `profS.1` rows).
+#[derive(Debug, Clone, Default)]
+pub struct AppSiteProfile {
+    /// pc of every check site in the transformed build's lowered code,
+    /// indexed by site id.
+    pub site_pcs: Vec<u32>,
+    /// Display name of the function owning each site.
+    pub site_funcs: Vec<String>,
+    /// Clean-run per-site counters (executions and check cycles).
+    pub clean: Vec<dpmr_vm::telemetry::SiteStats>,
+    /// Per-site counters accumulated over every armed-fault trial
+    /// (detections, repair outcomes — the detection-usefulness signal).
+    pub armed: Vec<dpmr_vm::telemetry::SiteStats>,
+    /// Armed trials aggregated into `armed`.
+    pub trials: u64,
+    /// Clean-run virtual cycles (per-site cost shares are relative to
+    /// this).
+    pub clean_cycles: u64,
+    /// Per-function executed-op totals from the clean run's pc profile,
+    /// in `FuncId` order, paired with function names.
+    pub funcs: Vec<(String, u64)>,
+    /// Simulated region footprint after the clean run.
+    pub mem: dpmr_vm::mem::MemUsage,
+}
+
+/// The site-profile study results (`profS.1`): per app, hot/cold check
+/// sites and their detection usefulness under the runtime fault sweep.
+#[derive(Debug, Default)]
+pub struct SiteProfileResults {
+    /// App names, in presentation order.
+    pub apps: Vec<String>,
+    /// Profiles per app.
+    pub profiles: BTreeMap<String, AppSiteProfile>,
+    /// Instrumented executions performed.
+    pub experiments: u64,
+}
+
+/// One parallel unit of the site-profile study: the clean instrumented
+/// run (`armed: None`) or every trial of one fault class at one site.
+struct ProfileUnit {
+    app_idx: usize,
+    armed: Option<(FaultModel, OpSite)>,
+}
+
+/// Runs the site-profile study: each app's DPMR-transformed build is
+/// executed once cleanly with full telemetry (per-site execution counts,
+/// per-function pc profile, region footprint), then re-executed under
+/// the runtime fault sweep of [`FaultModel::paper_set`] — `cc.runs`
+/// armed trials per sampled site — accumulating per-site *detection*
+/// counters. The split answers the two questions check elimination and
+/// `Partial(n)` selection need: which sites are hot (clean columns) and
+/// which sites ever detect (armed columns). Units fan across the study
+/// scheduler and merge in unit order: bit-identical at any worker count.
+pub fn run_site_profile_study(
+    apps: &[AppSpec],
+    base: &DpmrConfig,
+    cc: &CampaignConfig,
+) -> SiteProfileResults {
+    use std::rc::Rc;
+    let mut res = SiteProfileResults {
+        apps: apps.iter().map(|a| a.name.to_string()).collect(),
+        ..SiteProfileResults::default()
+    };
+    let prepared: Vec<PreparedApp> =
+        crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
+    let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
+        let t = transform(&p.module, base).expect("transform");
+        let code = dpmr_vm::lower::lower(&t);
+        (t, code)
+    });
+    let cap = cc.max_sites.unwrap_or(FAULT_SITES_PER_CLASS);
+    let mut units = Vec::new();
+    for (app_idx, (_, code)) in built.iter().enumerate() {
+        units.push(ProfileUnit {
+            app_idx,
+            armed: None,
+        });
+        for class in FaultModel::paper_set() {
+            let sites = dpmr_fi::enumerate_op_sites(code, class);
+            units.extend(
+                dpmr_fi::sample_sites(&sites, cap)
+                    .into_iter()
+                    .map(|site| ProfileUnit {
+                        app_idx,
+                        armed: Some((class, site)),
+                    }),
+            );
+        }
+    }
+    let outcomes = crate::sched::run_indexed(&units, cc.workers, |u| {
+        let p = &prepared[u.app_idx];
+        let (transformed, code) = &built[u.app_idx];
+        let code = Rc::new(code.clone());
+        let registry = Rc::new(registry_with_wrappers());
+        match u.armed {
+            None => vec![p.run_instrumented(transformed, code, registry, None, 0)],
+            Some((class, site)) => (0..cc.runs)
+                .map(|run| {
+                    let armed = ArmedFault {
+                        site: site.pc,
+                        fault: class,
+                        seed: dpmr_fi::trial_seed(site.pc, run),
+                        arm_cycle: p.golden.cycles * u64::from(run) / u64::from(cc.runs.max(1)),
+                    };
+                    p.run_instrumented(
+                        transformed,
+                        Rc::clone(&code),
+                        Rc::clone(&registry),
+                        Some(armed),
+                        run,
+                    )
+                })
+                .collect(),
+        }
+    });
+    for (u, runs) in units.iter().zip(outcomes) {
+        let app = apps[u.app_idx].name.to_string();
+        let (transformed, code) = &built[u.app_idx];
+        let prof = res.profiles.entry(app).or_insert_with(|| {
+            let site_pcs = code.check_site_pcs();
+            let site_funcs = site_pcs
+                .iter()
+                .map(|&pc| transformed.func(code.func_of_pc(pc)).name.clone())
+                .collect();
+            AppSiteProfile {
+                site_pcs,
+                site_funcs,
+                armed: vec![Default::default(); code.check_sites as usize],
+                ..AppSiteProfile::default()
+            }
+        });
+        for r in runs {
+            res.experiments += 1;
+            match u.armed {
+                None => {
+                    prof.clean = r.telemetry.site_stats.clone();
+                    prof.clean_cycles = r.out.cycles;
+                    prof.mem = r.mem;
+                    prof.funcs = r
+                        .telemetry
+                        .func_totals(code)
+                        .into_iter()
+                        .enumerate()
+                        .map(|(f, n)| {
+                            (
+                                transformed
+                                    .func(dpmr_ir::module::FuncId(f as u32))
+                                    .name
+                                    .clone(),
+                                n,
+                            )
+                        })
+                        .collect();
+                }
+                Some(_) => {
+                    prof.trials += 1;
+                    for (agg, s) in prof.armed.iter_mut().zip(&r.telemetry.site_stats) {
+                        agg.executions += s.executions;
+                        agg.detections += s.detections;
+                        agg.repairs += s.repairs;
+                        agg.replica_repairs += s.replica_repairs;
+                        agg.terminations += s.terminations;
+                        agg.cycles += s.cycles;
+                    }
+                }
+            }
+        }
+    }
+    res
+}
+
+/// One keyed trace of the trace study: the JSONL block for a single
+/// `(app, seed, config)` run.
+#[derive(Debug, Clone)]
+pub struct KeyedTrace {
+    /// Application name.
+    pub app: String,
+    /// VM seed the traced run used.
+    pub seed: u64,
+    /// Configuration tag (`clean`, or the armed fault-class name).
+    pub config: String,
+    /// The event trace, one JSON object per line, each carrying the
+    /// `(app, seed, config)` key.
+    pub jsonl: String,
+}
+
+/// The trace-study results (`traceE.1`): structured event traces of each
+/// app's DPMR build, clean and under one armed fault per class.
+#[derive(Debug, Default)]
+pub struct TraceStudyResults {
+    /// Keyed traces, in deterministic (app, config) unit order.
+    pub traces: Vec<KeyedTrace>,
+    /// Traced executions performed.
+    pub experiments: u64,
+}
+
+/// Prefixes every event line of `telemetry`'s trace with the
+/// `(app, seed, config)` key, yielding self-describing JSONL.
+fn keyed_jsonl(app: &str, seed: u64, config: &str, tele: &dpmr_vm::telemetry::Telemetry) -> String {
+    let key = format!("{{\"app\":\"{app}\",\"seed\":{seed},\"config\":\"{config}\",");
+    tele.trace_jsonl()
+        .lines()
+        .map(|line| {
+            // Splice the key into each event object (every line is one
+            // `{...}` object by construction).
+            format!("{}{}\n", key, &line[1..])
+        })
+        .collect()
+}
+
+/// Runs the trace study: per app, a clean traced run of the
+/// DPMR-transformed build plus one traced armed run per fault class of
+/// [`FaultModel::paper_set`] (first sampled site, run 0 — a
+/// representative corruption timeline per class, not a sweep). Units fan
+/// across the study scheduler and merge in unit order, so the sink is
+/// bit-identical at any worker count.
+pub fn run_trace_study(
+    apps: &[AppSpec],
+    base: &DpmrConfig,
+    cc: &CampaignConfig,
+) -> TraceStudyResults {
+    use std::rc::Rc;
+    let prepared: Vec<PreparedApp> =
+        crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
+    let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
+        let t = transform(&p.module, base).expect("transform");
+        let code = dpmr_vm::lower::lower(&t);
+        (t, code)
+    });
+    let mut units: Vec<(usize, Option<FaultModel>)> = Vec::new();
+    for app_idx in 0..prepared.len() {
+        units.push((app_idx, None));
+        for class in FaultModel::paper_set() {
+            units.push((app_idx, Some(class)));
+        }
+    }
+    let outcomes = crate::sched::run_indexed(&units, cc.workers, |&(app_idx, class)| {
+        let p = &prepared[app_idx];
+        let (transformed, code) = &built[app_idx];
+        let code = Rc::new(code.clone());
+        let registry = Rc::new(registry_with_wrappers());
+        let armed = class.and_then(|c| {
+            let sites = dpmr_fi::enumerate_op_sites(&code, c);
+            dpmr_fi::sample_sites(&sites, 1)
+                .first()
+                .map(|s| ArmedFault {
+                    site: s.pc,
+                    fault: c,
+                    seed: dpmr_fi::trial_seed(s.pc, 0),
+                    arm_cycle: 0,
+                })
+        });
+        if class.is_some() && armed.is_none() {
+            // No eligible site for this class in this app: record an
+            // empty trace so the unit list (and artifact) stays stable.
+            return None;
+        }
+        Some(p.run_instrumented(transformed, code, registry, armed, 0))
+    });
+    let mut res = TraceStudyResults::default();
+    for (&(app_idx, class), run) in units.iter().zip(&outcomes) {
+        let Some(run) = run else { continue };
+        let app = apps[app_idx].name;
+        let config = class.map_or_else(|| "clean".to_string(), FaultModel::name);
+        res.experiments += 1;
+        res.traces.push(KeyedTrace {
+            app: app.to_string(),
+            seed: run.seed,
+            config: config.clone(),
+            jsonl: keyed_jsonl(app, run.seed, &config, &run.telemetry),
+        });
+    }
+    res
+}
+
 /// The policy-study variant list (Sections 3.8 / 4.5): all seven
 /// comparison policies under rearrange-heap (the best diversity).
 pub fn policy_variants(scheme: Scheme) -> Vec<(String, DpmrConfig)> {

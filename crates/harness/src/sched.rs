@@ -20,8 +20,31 @@
 //! are movable work: a unit runs identically on whichever worker claims
 //! it.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Whether [`run_indexed`] reports campaign progress to stderr (off by
+/// default; the CLI enables it unless `--quiet`). Progress never touches
+/// stdout — artifact output stays byte-identical either way.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables `[sched] units done/total` progress lines on
+/// stderr for subsequent [`run_indexed`] calls.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Emits a progress line when unit `done` of `total` crosses a decile
+/// boundary (at most ~10 lines per campaign, none for short ones).
+fn report_progress(done: usize, total: usize) {
+    if !PROGRESS.load(Ordering::Relaxed) || total < 20 {
+        return;
+    }
+    let decile = |n: usize| n * 10 / total;
+    if done == total || decile(done) != decile(done - 1) {
+        eprintln!("[sched] units {done}/{total}");
+    }
+}
 
 /// Runs `work` over every task, fanning across `workers` threads, and
 /// returns the results **in task order** regardless of worker count or
@@ -38,9 +61,18 @@ where
 {
     let workers = workers.max(1).min(tasks.len().max(1));
     if workers == 1 {
-        return tasks.iter().map(work).collect();
+        return tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = work(t);
+                report_progress(i + 1, tasks.len());
+                r
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -52,6 +84,7 @@ where
                     }
                     let r = work(&tasks[i]);
                     *slots[i].lock().expect("slot lock") = Some(r);
+                    report_progress(done.fetch_add(1, Ordering::Relaxed) + 1, tasks.len());
                 })
             })
             .collect();

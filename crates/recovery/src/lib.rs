@@ -76,6 +76,7 @@ use dpmr_vm::interp::{
     DetectionTrap, ExitStatus, Interp, InterpSnapshot, RunConfig, RunOutcome, TrapAction,
     TrapHandler,
 };
+use dpmr_vm::telemetry::TraceEvent;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -351,9 +352,21 @@ impl<'m> RecoveryDriver<'m> {
             }
             spent_cycles += out.cycles - attempt_base;
             let rollback = self.pick_rollback(&initial, &pool, escalation, fi_cycle);
+            let rung = escalation;
             escalation = (escalation + 1).min(2);
             attempt_base = rollback.clock();
             interp.restore(rollback);
+            // The restore rolled the event trace back with the rest of
+            // the state; record the rollback itself on the new timeline
+            // (the interpreter never self-emits these, so plain
+            // snapshot/restore replays stay byte-identical).
+            interp.record_event(TraceEvent::CheckpointRestored {
+                cycle: rollback.clock(),
+            });
+            interp.record_event(TraceEvent::RollbackEscalated {
+                cycle: rollback.clock(),
+                level: rung,
+            });
             // Replays collect their own cadence checkpoints; only the
             // canonical first-attempt pool feeds rollback selection.
             let _ = interp.take_auto_checkpoints();

@@ -196,4 +196,27 @@ impl LoweredCode {
     pub fn entry(&self, f: FuncId) -> u32 {
         self.func_entry[f.0 as usize]
     }
+
+    /// The function whose lowered range contains `pc`. Lowering
+    /// concatenates functions in `FuncId` order, so `func_entry` is
+    /// non-decreasing and the owner is the last entry at or before `pc`
+    /// (telemetry uses this to attribute pc profiles to functions).
+    pub fn func_of_pc(&self, pc: u32) -> FuncId {
+        let i = self.func_entry.partition_point(|&e| e <= pc);
+        FuncId(i.saturating_sub(1) as u32)
+    }
+
+    /// The pc of every `dpmr.check` op, indexed by check-site id (site
+    /// ids are assigned in pc order at lowering, so the result is
+    /// ascending). Telemetry reporters use this to locate site counters
+    /// in the op stream.
+    pub fn check_site_pcs(&self) -> Vec<u32> {
+        let mut pcs = vec![0u32; self.check_sites as usize];
+        for (pc, op) in self.ops.iter().enumerate() {
+            if let Op::DpmrCheck { site, .. } = op {
+                pcs[*site as usize] = pc as u32;
+            }
+        }
+        pcs
+    }
 }

@@ -42,6 +42,7 @@ use crate::code::{LoadKind, LoweredCode, Op, Opnd, StoreKind};
 use crate::external::{Handler, Registry};
 use crate::fault::{fault_mix, ArmedFault, FaultModel};
 use crate::mem::{Mem, MemConfig, MemFault, MemSnapshot, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
+use crate::telemetry::{Telemetry, TelemetryConfig, TraceEvent};
 use crate::value::{normalize_int, scalar_bytes, store_scalar, Value};
 use dpmr_ir::instr::{BinOp, CastOp, CmpPred};
 use dpmr_ir::module::{ExternalId, FuncId, GlobalInit, Module};
@@ -257,6 +258,7 @@ pub struct InterpSnapshot {
     replica_repairs: u64,
     fault_fired: Option<u64>,
     fault_hits: u64,
+    tele: Telemetry,
 }
 
 impl InterpSnapshot {
@@ -340,6 +342,9 @@ pub struct RunConfig {
     /// Runtime fault armed for this run (the Mem/Interp-boundary
     /// injection hook; see [`crate::fault`]). `None` runs clean.
     pub fault: Option<ArmedFault>,
+    /// Telemetry collection (off by default; one branch per op when off,
+    /// the same discipline as the fault hook — see [`crate::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RunConfig {
@@ -358,6 +363,7 @@ impl Default for RunConfig {
             // of host heap even when checkpoints clone the frame vector.
             max_depth: 1 << 17,
             fault: None,
+            telemetry: TelemetryConfig::off(),
         }
     }
 }
@@ -382,6 +388,17 @@ pub enum Trap {
 impl From<MemFault> for Trap {
     fn from(f: MemFault) -> Self {
         Trap::Mem(f)
+    }
+}
+
+/// Stable status-class tag for [`TraceEvent::RunEnd`] records.
+fn status_class(s: &ExitStatus) -> &'static str {
+    match s {
+        ExitStatus::Normal(_) => "normal",
+        ExitStatus::AppError(_) => "app-error",
+        ExitStatus::DpmrDetected { .. } => "dpmr-detected",
+        ExitStatus::Crash(_) => "crash",
+        ExitStatus::Timeout => "timeout",
     }
 }
 
@@ -505,6 +522,12 @@ pub struct Interp<'m> {
     fault_fired: Option<u64>,
     /// Fault applications on this timeline.
     fault_hits: u64,
+    /// Telemetry collection flags (never change mid-run; a snapshot
+    /// restore rolls back the *data*, not the configuration).
+    tele_cfg: TelemetryConfig,
+    /// Collected telemetry data (all-empty when collection is off, so
+    /// snapshot clones stay free).
+    tele: Telemetry,
 }
 
 impl<'m> Interp<'m> {
@@ -589,7 +612,15 @@ impl<'m> Interp<'m> {
             fault_pending: false,
             fault_fired: None,
             fault_hits: 0,
+            tele_cfg: cfg.telemetry,
+            tele: Telemetry::default(),
         };
+        if it.tele_cfg.sites {
+            it.tele.site_stats = vec![Default::default(); it.code.check_sites as usize];
+        }
+        if it.tele_cfg.profile {
+            it.tele.pc_exec = vec![0; it.code.ops.len()];
+        }
         // Pass 2: initialize.
         for (i, g) in module.globals.iter().enumerate() {
             let addr = it.global_addrs[i];
@@ -727,6 +758,7 @@ impl<'m> Interp<'m> {
             first_detection_cycle: self.first_detection_cycle,
             fault_fired: self.fault_fired,
             fault_hits: self.fault_hits,
+            tele: self.tele.clone(),
         }
     }
 
@@ -758,6 +790,12 @@ impl<'m> Interp<'m> {
         // timelines stay bit-identical to the original's prefix.
         self.fault_fired = snap.fault_fired;
         self.fault_hits = snap.fault_hits;
+        // Telemetry rolls back with the rest of the state — profiles and
+        // the event trace return to the captured prefix, so a replay
+        // reproduces the original trace byte-identically. No restore
+        // event is emitted here; the recovery driver records rollbacks
+        // explicitly via [`Interp::record_event`] on the new timeline.
+        self.tele = snap.tele.clone();
         // Cadence restarts from the restored clock; checkpoints collected
         // on the abandoned timeline are the caller's to keep or drop.
         if let Some(c) = self.checkpoint_cadence {
@@ -778,6 +816,41 @@ impl<'m> Interp<'m> {
         self.aux_rngs.clear();
         self.mem
             .set_fill_seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    }
+
+    /// The active telemetry configuration (fixed at construction).
+    pub fn telemetry_config(&self) -> TelemetryConfig {
+        self.tele_cfg
+    }
+
+    /// The telemetry collected so far on this timeline (empty vectors
+    /// when collection is off).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Takes the collected telemetry, leaving freshly-sized empty
+    /// counters behind (callers that harvest between runs).
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        let mut fresh = Telemetry::default();
+        if self.tele_cfg.sites {
+            fresh.site_stats = vec![Default::default(); self.code.check_sites as usize];
+        }
+        if self.tele_cfg.profile {
+            fresh.pc_exec = vec![0; self.code.ops.len()];
+        }
+        std::mem::replace(&mut self.tele, fresh)
+    }
+
+    /// Appends an event to the trace when tracing is enabled. Public so
+    /// drivers above the VM (the recovery retry loop) can record
+    /// timeline-level events — rollback restores and escalations — that
+    /// the interpreter itself must not emit (a [`Interp::restore`] rolls
+    /// the trace back instead, keeping replays byte-identical).
+    pub fn record_event(&mut self, ev: TraceEvent) {
+        if self.tele_cfg.trace {
+            self.tele.push(ev);
+        }
     }
 
     /// Charges virtual cycles (used by external handlers).
@@ -953,6 +1026,19 @@ impl<'m> Interp<'m> {
     /// or a rejected entry call), `None` when frames are live.
     fn start(&mut self, args: Vec<Value>) -> Option<RunOutcome> {
         self.unwind(0);
+        if self.tele_cfg.trace {
+            self.tele.push(TraceEvent::RunStart {
+                cycle: self.clock,
+                seed: self.base_seed,
+            });
+            if let Some(a) = self.armed {
+                self.tele.push(TraceEvent::FaultArmed {
+                    cycle: self.clock,
+                    site: a.site,
+                    class: a.fault.name(),
+                });
+            }
+        }
         let entry = match self.module.entry {
             Some(e) => e,
             None => {
@@ -968,6 +1054,12 @@ impl<'m> Interp<'m> {
     }
 
     fn finish(&mut self, status: ExitStatus) -> RunOutcome {
+        if self.tele_cfg.trace {
+            self.tele.push(TraceEvent::RunEnd {
+                cycle: self.clock,
+                status: status_class(&status),
+            });
+        }
         let detect_cycle = match &status {
             ExitStatus::DpmrDetected { .. } | ExitStatus::Crash(_) | ExitStatus::AppError(_) => {
                 Some(self.clock)
@@ -1069,6 +1161,15 @@ impl<'m> Interp<'m> {
                         }
                     }
                 }
+                // Record the event *before* capturing, so the snapshot
+                // contains its own checkpoint-taken record and a restored
+                // replay's trace still ends with it.
+                if self.tele_cfg.trace {
+                    self.tele.push(TraceEvent::CheckpointTaken {
+                        cycle: self.clock,
+                        instrs: self.instrs,
+                    });
+                }
                 self.auto_checkpoints.push_back(self.snapshot());
                 self.next_checkpoint = self.clock + c;
             }
@@ -1111,6 +1212,15 @@ impl<'m> Interp<'m> {
             // the armed site pc (`u32::MAX` when unarmed, so the flag
             // stays false for clean runs at negligible cost).
             self.fault_pending = pc == self.armed_pc;
+            // The pc profile's fast path mirrors it: one flag branch per
+            // op, a counter bump only when profiling is on. `get_mut`
+            // keeps a panic edge out of the hot loop (`pc_exec` is empty
+            // when profiling is off, sized to `ops` when on).
+            if self.tele_cfg.profile {
+                if let Some(n) = self.tele.pc_exec.get_mut(pc as usize) {
+                    *n += 1;
+                }
+            }
             // Take the registers out of the frame for the duration of the
             // step (a pointer swap): `step_op` gets disjoint mutable
             // access to them and `self`, and nested calls pushed by
@@ -1216,6 +1326,14 @@ impl<'m> Interp<'m> {
     /// compile-time markers).
     fn record_fault_fire(&mut self) {
         self.fault_hits += 1;
+        if self.tele_cfg.trace {
+            if let Some(a) = self.armed {
+                self.tele.push(TraceEvent::FaultFired {
+                    cycle: self.clock,
+                    site: a.site,
+                });
+            }
+        }
         if self.fault_fired.is_none() {
             self.fault_fired = Some(self.clock);
             if self.first_fi_cycle.is_none() {
@@ -1518,6 +1636,11 @@ impl<'m> Interp<'m> {
             } => {
                 let va = self.eval(regs, a)?;
                 self.clock += cost::CHECK * reps.len() as u64;
+                if self.tele_cfg.sites {
+                    let s = &mut self.tele.site_stats[*site as usize];
+                    s.executions += 1;
+                    s.cycles += cost::CHECK * reps.len() as u64;
+                }
                 // Hot path: compare every replica against the application
                 // value (K = 1 is one compare, exactly the old cost).
                 let mut mismatch = false;
@@ -1526,6 +1649,9 @@ impl<'m> Interp<'m> {
                 }
                 if mismatch {
                     self.detections += 1;
+                    if self.tele_cfg.sites {
+                        self.tele.site_stats[*site as usize].detections += 1;
+                    }
                     if self.first_detection_cycle.is_none() {
                         self.first_detection_cycle = Some(self.clock);
                     }
@@ -1561,6 +1687,14 @@ impl<'m> Interp<'m> {
                         instrs: self.instrs,
                         site: *site,
                     };
+                    if self.tele_cfg.trace {
+                        self.tele.push(TraceEvent::TrapRaised {
+                            cycle: self.clock,
+                            site: *site,
+                            got: va.to_bits(),
+                            replica: first_bad.to_bits(),
+                        });
+                    }
                     let mut action = match &self.trap_handler {
                         Some(h) => Rc::clone(h).borrow_mut().on_detection(&trap),
                         None => TrapAction::Terminate,
@@ -1576,13 +1710,28 @@ impl<'m> Interp<'m> {
                         replica: first_bad.to_bits(),
                     };
                     match action {
-                        TrapAction::Terminate => return Err(terminal),
+                        TrapAction::Terminate => {
+                            if self.tele_cfg.sites {
+                                self.tele.site_stats[*site as usize].terminations += 1;
+                            }
+                            return Err(terminal);
+                        }
                         TrapAction::Repair => {
                             // Replica 0 is assumed the redundant truth:
                             // copy its value over the divergent application
                             // location and the in-flight register, then
                             // resume as if the check had passed.
                             self.repairs += 1;
+                            if self.tele_cfg.sites {
+                                self.tele.site_stats[*site as usize].repairs += 1;
+                            }
+                            if self.tele_cfg.trace {
+                                self.tele.push(TraceEvent::Repaired {
+                                    cycle: self.clock,
+                                    site: *site,
+                                    replica_repairs: 0,
+                                });
+                            }
                             let vb = vreps[0];
                             if let (Some(addr), Some((_, kind))) = (app_addr, a_reg) {
                                 self.clock += cost::MEM;
@@ -1599,9 +1748,15 @@ impl<'m> Interp<'m> {
                             // replicas — are the corrupt ones; rewrite
                             // them with the majority value and resume.
                             let Some(win_bits) = trap.majority() else {
+                                if self.tele_cfg.sites {
+                                    self.tele.site_stats[*site as usize].terminations += 1;
+                                }
                                 return Err(terminal);
                             };
                             let Some((slot, kind)) = a_reg else {
+                                if self.tele_cfg.sites {
+                                    self.tele.site_stats[*site as usize].terminations += 1;
+                                }
                                 return Err(terminal);
                             };
                             let winner = if va.to_bits() == win_bits {
@@ -1614,6 +1769,9 @@ impl<'m> Interp<'m> {
                             };
                             if va.to_bits() != win_bits {
                                 self.repairs += 1;
+                                if self.tele_cfg.sites {
+                                    self.tele.site_stats[*site as usize].repairs += 1;
+                                }
                                 if let Some(addr) = app_addr {
                                     self.clock += cost::MEM;
                                     self.touch(addr);
@@ -1621,6 +1779,7 @@ impl<'m> Interp<'m> {
                                 }
                                 regs[*slot as usize] = Some(winner);
                             }
+                            let mut voted_out = 0u64;
                             for (i, v) in vreps.iter().enumerate() {
                                 if v.to_bits() != win_bits {
                                     if let Some(addr) = rep_addrs.get(i).copied() {
@@ -1629,8 +1788,21 @@ impl<'m> Interp<'m> {
                                         self.store_kind(addr, *kind, winner)?;
                                         self.repairs += 1;
                                         self.replica_repairs += 1;
+                                        voted_out += 1;
                                     }
                                 }
+                            }
+                            if self.tele_cfg.sites {
+                                let s = &mut self.tele.site_stats[*site as usize];
+                                s.repairs += voted_out;
+                                s.replica_repairs += voted_out;
+                            }
+                            if self.tele_cfg.trace {
+                                self.tele.push(TraceEvent::Repaired {
+                                    cycle: self.clock,
+                                    site: *site,
+                                    replica_repairs: voted_out,
+                                });
                             }
                         }
                     }

@@ -44,6 +44,7 @@ pub mod fault;
 pub mod interp;
 pub mod lower;
 pub mod mem;
+pub mod telemetry;
 pub mod value;
 
 /// Commonly used items, re-exported for convenience.
@@ -59,8 +60,9 @@ pub mod prelude {
     };
     pub use crate::lower::lower;
     pub use crate::mem::{
-        Mem, MemConfig, MemFault, MemFaultKind, MemRegion, MemSnapshot, GLOBAL_BASE, HEAP_BASE,
-        STACK_BASE,
+        Mem, MemConfig, MemFault, MemFaultKind, MemRegion, MemSnapshot, MemUsage, GLOBAL_BASE,
+        HEAP_BASE, STACK_BASE,
     };
+    pub use crate::telemetry::{SiteStats, Telemetry, TelemetryConfig, TraceEvent};
     pub use crate::value::{load_scalar, normalize_int, scalar_bytes, store_scalar, Value};
 }

@@ -127,6 +127,18 @@ impl MemSnapshot {
     }
 }
 
+/// Region usage at a point in time (see [`Mem::usage`]): the simulated
+/// footprint numbers telemetry reports alongside per-site profiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemUsage {
+    /// Mapped heap bytes (allocator break).
+    pub heap_brk: usize,
+    /// Allocated global-region bytes.
+    pub globals_len: usize,
+    /// Largest written stack offset on this timeline.
+    pub stack_high_water: usize,
+}
+
 /// The simulated memory.
 pub struct Mem {
     globals: Vec<u8>,
@@ -276,6 +288,18 @@ impl Mem {
     /// Bytes of the global region currently allocated.
     pub fn globals_len(&self) -> usize {
         self.globals_len
+    }
+
+    /// Point-in-time region usage (telemetry/profile reporting): bytes
+    /// mapped or touched per region. `stack_high_water` is the largest
+    /// written stack offset seen on this timeline — a deterministic
+    /// footprint measure, like everything else derived from the VM.
+    pub fn usage(&self) -> MemUsage {
+        MemUsage {
+            heap_brk: self.brk,
+            globals_len: self.globals_len,
+            stack_high_water: self.stack_hw,
+        }
     }
 
     /// Configured capacity of the stack region (fully mapped).

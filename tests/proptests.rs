@@ -822,3 +822,106 @@ proptest! {
         prop_assert_eq!(a.fault_hits, b.fault_hits);
     }
 }
+
+// ---------------------------------------------------------------------
+// Telemetry determinism
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Telemetry collection is observation, not interference: the same
+    /// (program, seed, fault) run with telemetry fully on and fully off
+    /// produces the identical `RunOutcome` — same status, output, and
+    /// virtual-time accounting.
+    #[test]
+    fn telemetry_never_changes_outcomes(
+        prog in 0usize..3,
+        class_pick in 0usize..16,
+        site_pick in 0usize..64,
+        seed in 1u64..100_000,
+    ) {
+        use dpmr::fi::{enumerate_op_sites, ArmedFault, FaultModel};
+        use dpmr::vm::telemetry::TelemetryConfig;
+        let m = fi_program(prog);
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let code = Rc::new(dpmr::vm::lower::lower(&t));
+        let classes = FaultModel::paper_set();
+        let class = classes[class_pick % classes.len()];
+        let sites = enumerate_op_sites(&code, class);
+        let fault = (!sites.is_empty()).then(|| {
+            let site = sites[site_pick % sites.len()];
+            ArmedFault { site: site.pc, fault: class, seed, arm_cycle: 0 }
+        });
+        let run = |telemetry: TelemetryConfig| {
+            let rc = RunConfig { seed, fault, telemetry, ..RunConfig::default() };
+            let reg = Rc::new(registry_with_wrappers());
+            let mut it = Interp::with_code(&t, Rc::clone(&code), &rc, reg);
+            it.run(vec![])
+        };
+        let off = run(TelemetryConfig::off());
+        let on = run(TelemetryConfig::full());
+        prop_assert_eq!(&off.status, &on.status);
+        prop_assert_eq!(&off.output, &on.output);
+        prop_assert_eq!(off.cycles, on.cycles);
+        prop_assert_eq!(off.instrs, on.instrs);
+        prop_assert_eq!(off.detections, on.detections);
+        prop_assert_eq!(off.repairs, on.repairs);
+        prop_assert_eq!(off.fault_fired_cycle, on.fault_fired_cycle);
+        prop_assert_eq!(off.fault_hits, on.fault_hits);
+    }
+
+    /// The event trace is timeline state: a run paused at a random cut,
+    /// snapshotted, restored into a fresh interpreter, and resumed yields
+    /// the byte-identical trace (and per-site counters) of the
+    /// uninterrupted run — rollback replay reproduces the trace rather
+    /// than duplicating or losing events.
+    #[test]
+    fn trace_is_bit_identical_under_snapshot_restore_replay(
+        n in 2i64..16,
+        seed in 1u64..1_000,
+        cut in 1u64..3_000,
+        prog in 0usize..3,
+    ) {
+        use dpmr::vm::telemetry::TelemetryConfig;
+        let m = match prog {
+            0 => micro::linked_list(n),
+            1 => micro::qsort_prog(n.max(4)),
+            _ => micro::resize_victim(n, n),
+        };
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let rc = RunConfig {
+            seed,
+            telemetry: TelemetryConfig::full(),
+            ..RunConfig::default()
+        };
+        let reg = Rc::new(registry_with_wrappers());
+
+        let mut fresh = Interp::new(&t, &rc, reg.clone());
+        let reference = fresh.run(vec![]);
+        let ref_tele = fresh.telemetry().clone();
+
+        let mut it = Interp::new(&t, &rc, reg.clone());
+        match it.run_steps(vec![], cut) {
+            Some(done) => {
+                // Finished inside the budget: the traces must already
+                // agree.
+                prop_assert_eq!(&done.status, &reference.status);
+                prop_assert_eq!(it.telemetry().trace_jsonl(), ref_tele.trace_jsonl());
+            }
+            None => {
+                let snap = it.snapshot();
+                let mut restored = Interp::new(&t, &rc, reg);
+                restored.restore(&snap);
+                let replay = restored.resume();
+                prop_assert_eq!(&replay.status, &reference.status);
+                prop_assert_eq!(replay.cycles, reference.cycles);
+                let got = restored.telemetry();
+                prop_assert_eq!(got.trace_jsonl(), ref_tele.trace_jsonl());
+                prop_assert_eq!(&got.site_stats, &ref_tele.site_stats);
+                prop_assert_eq!(&got.pc_exec, &ref_tele.pc_exec);
+            }
+        }
+    }
+}
