@@ -129,6 +129,18 @@ pub struct PreparedApp {
     pub params: WorkloadParams,
 }
 
+/// Lowers a transformed module and runs the configured optimizing
+/// passes over the bytecode. With `cfg.passes` all-off (the default)
+/// this is exactly [`dpmr_vm::lower::lower`], byte for byte.
+pub fn lower_with_passes(module: &Module, cfg: &DpmrConfig) -> LoweredCode {
+    let code = dpmr_vm::lower::lower(module);
+    if cfg.passes.is_noop() {
+        code
+    } else {
+        dpmr_vm::opt::optimize(&code, &cfg.passes).code
+    }
+}
+
 /// Builds and measures the golden variant of an application.
 ///
 /// # Panics
@@ -280,7 +292,9 @@ impl PreparedApp {
         run: u32,
     ) -> RecoveryMeasurement {
         let transformed = self.prepare_recovery(site, fault, cfg);
-        self.run_recovery_prepared(&transformed, rec, run)
+        let code = Rc::new(lower_with_passes(&transformed, cfg));
+        let registry = Rc::new(registry_with_wrappers());
+        self.run_recovery_lowered(&transformed, code, registry, rec, run)
     }
 
     /// Runs a recovery experiment on an already injected-and-transformed

@@ -3,8 +3,8 @@
 //! stacked-bar figures and latency tables).
 
 use crate::metrics::{
-    FaultCampaignResults, RecoveryStudyResults, ReplicationStudyResults, SiteProfileResults,
-    StudyResults, TraceStudyResults,
+    FaultCampaignResults, OptStudyResults, RecoveryStudyResults, ReplicationStudyResults,
+    SiteProfileResults, StudyResults, TraceStudyResults,
 };
 use std::fmt::Write as _;
 
@@ -462,6 +462,79 @@ pub fn site_profile_table(title: &str, res: &SiteProfileResults) -> String {
             "  [mem: heap brk {} B, globals {} B, stack high-water {} B]",
             p.mem.heap_brk, p.mem.globals_len, p.mem.stack_high_water
         );
+    }
+    let _ = writeln!(out, "  [{} instrumented executions]", res.experiments);
+    out
+}
+
+/// Renders the optimizer study table (optP.1): per app and pass
+/// combination, the static check counts (live / elided / fused /
+/// dropped) next to the clean run's dynamic check executions, virtual
+/// cycles, and virtual MIPS, with cycle deltas relative to the all-off
+/// row. The profile-guided combination's dropped-site report follows
+/// each app as machine-readable JSONL.
+pub fn opt_table(title: &str, res: &OptStudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for app in &res.apps {
+        let off = res.rows.get(&(app.clone(), "off".to_string()));
+        let _ = writeln!(out, "  [{app}]");
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>10} {:>12} {:>8} {:>7} {:>3}",
+            "passes",
+            "checks",
+            "elided",
+            "fusedLC",
+            "fusedSS",
+            "groups",
+            "dropped",
+            "chk-execs",
+            "cycles",
+            "vMIPS",
+            "delta",
+            "ok"
+        );
+        for combo in &res.combos {
+            let Some(r) = res.rows.get(&(app.clone(), combo.clone())) else {
+                continue;
+            };
+            // Instructions per virtual second, in millions: the virtual
+            // clock runs at CYCLES_PER_MSEC cycles per millisecond.
+            let vmips = |row: &crate::metrics::OptComboRow| {
+                if row.cycles == 0 {
+                    return 0.0;
+                }
+                let msec = row.cycles as f64 / crate::experiment::CYCLES_PER_MSEC;
+                row.instrs as f64 / msec * 1e3 / 1e6
+            };
+            let delta = match off {
+                Some(o) if o.cycles > 0 => r.cycles as f64 / o.cycles as f64,
+                _ => 1.0,
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>6} {:>6} {:>7} {:>7} {:>7} {:>7} {:>10} {:>12} {:>8.2} {:>6.3}x {:>3}",
+                combo,
+                r.live_checks,
+                r.elided,
+                r.fused_load_checks,
+                r.fused_store_pairs,
+                r.fused_groups,
+                r.dropped,
+                r.check_execs,
+                r.cycles,
+                vmips(r),
+                delta,
+                if r.output_ok { "ok" } else { "BAD" }
+            );
+        }
+        if let Some(report) = res.dropped_reports.get(app) {
+            let _ = writeln!(out, "  [dropped sites ({app}), one JSON object per line]");
+            for line in report.lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
     }
     let _ = writeln!(out, "  [{} instrumented executions]", res.experiments);
     out

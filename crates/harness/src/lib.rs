@@ -25,10 +25,10 @@ pub mod sched;
 
 use dpmr_core::prelude::*;
 use metrics::{
-    run_diversity_study, run_fault_campaign, run_policy_study, run_recovery_study,
+    run_diversity_study, run_fault_campaign, run_opt_study, run_policy_study, run_recovery_study,
     run_replication_degree_study, run_site_profile_study, run_trace_study, CampaignConfig,
-    FaultCampaignResults, RecoveryStudyResults, ReplicationStudyResults, SiteProfileResults,
-    StudyResults, TraceStudyResults,
+    FaultCampaignResults, OptStudyResults, RecoveryStudyResults, ReplicationStudyResults,
+    SiteProfileResults, StudyResults, TraceStudyResults,
 };
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -159,6 +159,10 @@ pub fn artifact_descriptions() -> Vec<(&'static str, &'static str)> {
             "traceE.1",
             "structured event-trace sink: keyed JSONL of clean + per-class armed runs (virtual-cycle timestamps)",
         ),
+        (
+            "optP.1",
+            "optimizer study: per-app check-count and virtual-MIPS deltas at each pass combination, with the profile-guided dropped-site report",
+        ),
     ]
 }
 
@@ -183,6 +187,7 @@ struct Studies {
     replication: Option<ReplicationStudyResults>,
     site_profile: Option<SiteProfileResults>,
     trace: Option<TraceStudyResults>,
+    opt: Option<OptStudyResults>,
 }
 
 impl Studies {
@@ -197,6 +202,7 @@ impl Studies {
             replication: None,
             site_profile: None,
             trace: None,
+            opt: None,
         }
     }
 
@@ -271,6 +277,31 @@ impl Studies {
             ));
         }
         self.site_profile.as_ref().expect("just set")
+    }
+    fn opt(&mut self, cc: &CampaignConfig) -> &OptStudyResults {
+        if self.opt.is_none() {
+            // The profile-guided leg consumes profS.1's armed-sweep
+            // detection counts as per-site usefulness weights.
+            let usefulness: std::collections::BTreeMap<String, Vec<f64>> = self
+                .site_profile(cc)
+                .profiles
+                .iter()
+                .map(|(app, p)| {
+                    (
+                        app.clone(),
+                        p.armed.iter().map(|s| s.detections as f64).collect(),
+                    )
+                })
+                .collect();
+            eprintln!("[harness] running optimizer study...");
+            self.opt = Some(run_opt_study(
+                &dpmr_workloads::fault_campaign_apps(),
+                &DpmrConfig::sds(),
+                &usefulness,
+                cc,
+            ));
+        }
+        self.opt.as_ref().expect("just set")
     }
     fn trace(&mut self, cc: &CampaignConfig) -> &TraceStudyResults {
         if self.trace.is_none() {
@@ -462,6 +493,10 @@ pub fn reproduce(ids: &BTreeSet<String>, cc: &CampaignConfig) -> String {
                 "traceE.1 event-trace sink (SDS, rearrange-heap)",
                 studies.trace(cc),
             ),
+            "optP.1" => figures::opt_table(
+                "Table P.1: Optimizer study (SDS, rearrange-heap): check-count and virtual-MIPS deltas per pass combination",
+                studies.opt(cc),
+            ),
             "ch5" => chapter5_demo(),
             _ => continue,
         };
@@ -559,7 +594,7 @@ mod tests {
     #[test]
     fn ids_are_complete() {
         let ids = all_ids();
-        assert_eq!(ids.len(), 32);
+        assert_eq!(ids.len(), 33);
         assert!(ids.contains(&"fig3.6"));
         assert!(ids.contains(&"tab4.6"));
         assert!(ids.contains(&"ch5"));
@@ -568,6 +603,7 @@ mod tests {
         assert!(ids.contains(&"tabV.1"));
         assert!(ids.contains(&"profS.1"));
         assert!(ids.contains(&"traceE.1"));
+        assert!(ids.contains(&"optP.1"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! dpmr-harness fig3.10 tab3.3      # selected artifacts
 //! dpmr-harness profile             # check-site profile (alias: profS.1)
 //! dpmr-harness trace               # event-trace sink (alias: traceE.1)
+//! dpmr-harness optimize            # optimizer study (alias: optP.1)
 //! dpmr-harness all --runs 3 --scale 2 --max-sites 8 --workers 8 --quiet
 //! ```
 //!
@@ -17,7 +18,7 @@ use dpmr_harness::{all_ids, artifact_descriptions, reproduce};
 use dpmr_workloads::WorkloadParams;
 use std::collections::BTreeSet;
 
-const USAGE: &str = "usage: dpmr-harness <all|quick|list|profile|trace|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N] [--quiet]";
+const USAGE: &str = "usage: dpmr-harness <all|quick|list|profile|trace|optimize|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N] [--quiet]";
 
 /// The value of flag `args[i]`, or a usage error and exit 2 when the
 /// value is missing or unparsable.
@@ -69,6 +70,9 @@ fn main() {
             }
             "trace" => {
                 ids.insert("traceE.1".to_string());
+            }
+            "optimize" => {
+                ids.insert("optP.1".to_string());
             }
             "--quiet" => quiet = true,
             "--runs" => {

@@ -266,7 +266,7 @@ fn run_site_unit(
         .iter()
         .map(|(_, cfg)| {
             let transformed = transform(&faulty, cfg).expect("transform");
-            let code = Rc::new(dpmr_vm::lower::lower(&transformed));
+            let code = Rc::new(crate::experiment::lower_with_passes(&transformed, cfg));
             (0..cc.runs)
                 .map(|run| p.run_built(&transformed, Rc::clone(&code), Rc::clone(&wrap_reg), run))
                 .collect()
@@ -470,7 +470,7 @@ fn run_recovery_site_unit(
     // registry depend only on (site, fault, base): build them once, not
     // once per (config, run).
     let transformed = p.prepare_recovery(&u.site, u.fault, base);
-    let code = std::rc::Rc::new(dpmr_vm::lower::lower(&transformed));
+    let code = std::rc::Rc::new(crate::experiment::lower_with_passes(&transformed, base));
     let registry = std::rc::Rc::new(registry_with_wrappers());
     let mut out = Vec::new();
     for rec in configs {
@@ -702,14 +702,14 @@ pub fn run_fault_campaign(
     // replica-region differential.
     let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
         let t = transform(&p.module, base).expect("transform");
-        let code = dpmr_vm::lower::lower(&t);
+        let code = crate::experiment::lower_with_passes(&t, base);
         (t, code)
     });
     let base_k2 = base.clone().with_replicas(2);
     let built_k2: Vec<(Module, LoweredCode)> =
         crate::sched::run_indexed(&prepared, cc.workers, |p| {
             let t = transform(&p.module, &base_k2).expect("transform");
-            let code = dpmr_vm::lower::lower(&t);
+            let code = crate::experiment::lower_with_passes(&t, &base_k2);
             (t, code)
         });
     let cap = cc.max_sites.unwrap_or(FAULT_SITES_PER_CLASS);
@@ -946,7 +946,7 @@ pub fn run_replication_degree_study(
     let built: Vec<(Module, LoweredCode)> =
         crate::sched::run_indexed(&build_units, cc.workers, |&(ai, vi)| {
             let t = transform(&prepared[ai].module, &variants[vi].1).expect("transform");
-            let code = dpmr_vm::lower::lower(&t);
+            let code = crate::experiment::lower_with_passes(&t, &variants[vi].1);
             (t, code)
         });
     let built_of = |ai: usize, vi: usize| &built[ai * variants.len() + vi];
@@ -1106,7 +1106,7 @@ pub fn run_site_profile_study(
         crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
     let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
         let t = transform(&p.module, base).expect("transform");
-        let code = dpmr_vm::lower::lower(&t);
+        let code = crate::experiment::lower_with_passes(&t, base);
         (t, code)
     });
     let cap = cc.max_sites.unwrap_or(FAULT_SITES_PER_CLASS);
@@ -1180,6 +1180,10 @@ pub fn run_site_profile_study(
                     prof.funcs = r
                         .telemetry
                         .func_totals(code)
+                        .unwrap_or_else(|e| {
+                            eprintln!("[harness] func attribution skipped: {e}");
+                            Vec::new()
+                        })
                         .into_iter()
                         .enumerate()
                         .map(|(f, n)| {
@@ -1265,7 +1269,7 @@ pub fn run_trace_study(
         crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
     let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
         let t = transform(&p.module, base).expect("transform");
-        let code = dpmr_vm::lower::lower(&t);
+        let code = crate::experiment::lower_with_passes(&t, base);
         (t, code)
     });
     let mut units: Vec<(usize, Option<FaultModel>)> = Vec::new();
@@ -1310,6 +1314,157 @@ pub fn run_trace_study(
             config: config.clone(),
             jsonl: keyed_jsonl(app, run.seed, &config, &run.telemetry),
         });
+    }
+    res
+}
+
+/// One (app, pass-combination) row of the optimizer study (`optP.1`).
+#[derive(Debug, Clone, Default)]
+pub struct OptComboRow {
+    /// Check sites still comparing after the passes.
+    pub live_checks: u64,
+    /// Sites replaced by cost-preserving `CheckElided` ops (pass 1).
+    pub elided: u64,
+    /// Fused load+check superinstructions (pass 3).
+    pub fused_load_checks: u64,
+    /// Fused store+companion-store superinstructions (pass 3).
+    pub fused_store_pairs: u64,
+    /// Fused straight-line access groups (pass 3).
+    pub fused_groups: u64,
+    /// Sites dropped by profile-guided selection (pass 2).
+    pub dropped: u64,
+    /// Dynamic check executions of the clean instrumented run.
+    pub check_execs: u64,
+    /// Virtual cycles of the clean run.
+    pub cycles: u64,
+    /// Instructions retired by the clean run (invariant across the
+    /// semantics-preserving combinations by construction).
+    pub instrs: u64,
+    /// The run completed cleanly with the golden output.
+    pub output_ok: bool,
+}
+
+/// The optimizer study results (`optP.1`): per app, the check-count,
+/// virtual-cycle, and virtual-MIPS deltas of every pass combination,
+/// plus the machine-readable dropped-site report of the profile-guided
+/// combination. Virtual (not wall-clock) figures keep the artifact
+/// bit-identical at any worker count; host-time deltas live in the
+/// bench suite's `BENCH_INTERP.json`.
+#[derive(Debug, Default)]
+pub struct OptStudyResults {
+    /// App names, in presentation order.
+    pub apps: Vec<String>,
+    /// Pass-combination tags, in presentation order.
+    pub combos: Vec<String>,
+    /// Rows per (app, combo tag).
+    pub rows: BTreeMap<(String, String), OptComboRow>,
+    /// Dropped-site JSONL report per app (profile-guided combination).
+    pub dropped_reports: BTreeMap<String, String>,
+    /// Instrumented executions performed.
+    pub experiments: u64,
+}
+
+/// The pass combination run at `combo_idx` for `app`, resolving the
+/// profile-guided leg against that app's usefulness weights (sites that
+/// never detected during the armed sweep drop at threshold 0; an app
+/// with no profile keeps every site).
+fn opt_combo(
+    combo_idx: usize,
+    app: &str,
+    usefulness: &BTreeMap<String, Vec<f64>>,
+) -> dpmr_vm::opt::PassConfig {
+    use dpmr_vm::opt::{PassConfig, ProfileGuided};
+    match combo_idx {
+        0 => PassConfig::none(),
+        1 => PassConfig {
+            elide_redundant_checks: true,
+            ..PassConfig::none()
+        },
+        2 => PassConfig {
+            fuse_superinstructions: true,
+            ..PassConfig::none()
+        },
+        3 => PassConfig::all(),
+        _ => PassConfig::all().with_profile(ProfileGuided {
+            usefulness: usefulness.get(app).cloned().unwrap_or_default(),
+            threshold: 0.0,
+        }),
+    }
+}
+
+/// Runs the optimizer study (`optP.1`): each app's DPMR-transformed
+/// build is optimized under every pass combination — off, each pass
+/// alone, both semantics-preserving passes, and the profile-guided
+/// pipeline fed by the profS.1 armed-sweep detection counts — then
+/// executed once cleanly with full telemetry. Rows report static
+/// (live/elided/fused/dropped check counts) and dynamic (check
+/// executions, virtual cycles, instructions) effects per combination.
+/// Units fan across the study scheduler and merge in unit order:
+/// bit-identical at any worker count.
+pub fn run_opt_study(
+    apps: &[AppSpec],
+    base: &DpmrConfig,
+    usefulness: &BTreeMap<String, Vec<f64>>,
+    cc: &CampaignConfig,
+) -> OptStudyResults {
+    use std::rc::Rc;
+    const COMBOS: usize = 5;
+    let prepared: Vec<PreparedApp> =
+        crate::sched::run_indexed(apps, cc.workers, |a| prepare(*a, &cc.params));
+    // Lower without passes: each combination applies its own pipeline.
+    let built: Vec<(Module, LoweredCode)> = crate::sched::run_indexed(&prepared, cc.workers, |p| {
+        let t = transform(&p.module, base).expect("transform");
+        let code = dpmr_vm::lower::lower(&t);
+        (t, code)
+    });
+    let units: Vec<(usize, usize)> = (0..prepared.len())
+        .flat_map(|ai| (0..COMBOS).map(move |ci| (ai, ci)))
+        .collect();
+    let outcomes: Vec<(OptComboRow, Option<String>)> =
+        crate::sched::run_indexed(&units, cc.workers, |&(ai, ci)| {
+            let p = &prepared[ai];
+            let (transformed, code) = &built[ai];
+            let cfg = opt_combo(ci, apps[ai].name, usefulness);
+            let mut opt = dpmr_vm::opt::optimize(code, &cfg);
+            let report = (!opt.dropped.is_empty()).then(|| opt.dropped_report_jsonl());
+            let live_checks = opt.live_checks() as u64;
+            let optimized = std::mem::take(&mut opt.code);
+            let run = p.run_instrumented(
+                transformed,
+                Rc::new(optimized),
+                Rc::new(registry_with_wrappers()),
+                None,
+                0,
+            );
+            let row = OptComboRow {
+                live_checks,
+                elided: opt.elided.len() as u64,
+                fused_load_checks: opt.fused_load_checks.len() as u64,
+                fused_store_pairs: opt.fused_store_pairs.len() as u64,
+                fused_groups: opt.fused_groups.len() as u64,
+                dropped: opt.dropped.len() as u64,
+                check_execs: run.telemetry.site_stats.iter().map(|s| s.executions).sum(),
+                cycles: run.out.cycles,
+                instrs: run.out.instrs,
+                output_ok: matches!(run.out.status, dpmr_vm::interp::ExitStatus::Normal(0))
+                    && run.out.output == p.golden.output,
+            };
+            (row, report)
+        });
+    let mut res = OptStudyResults {
+        apps: apps.iter().map(|a| a.name.to_string()).collect(),
+        combos: (0..COMBOS)
+            .map(|ci| opt_combo(ci, "", &BTreeMap::new()).tag())
+            .collect(),
+        ..OptStudyResults::default()
+    };
+    for (&(ai, ci), (row, report)) in units.iter().zip(outcomes) {
+        let app = apps[ai].name.to_string();
+        res.experiments += 1;
+        if let Some(report) = report {
+            res.dropped_reports.insert(app.clone(), report);
+        }
+        res.rows.insert((app, res.combos[ci].clone()), row);
     }
     res
 }
@@ -1440,6 +1595,31 @@ mod tests {
                 "{class} missing from the aggregate"
             );
         }
+    }
+
+    #[test]
+    fn tiny_opt_study_is_invariant_across_preserving_combos() {
+        let app = app_by_name("bzip2").expect("bzip2");
+        let res = run_opt_study(
+            &[app],
+            &DpmrConfig::sds(),
+            &BTreeMap::new(),
+            &CampaignConfig::tiny(),
+        );
+        assert_eq!(res.experiments, 5);
+        let row = |combo: &str| &res.rows[&("bzip2".to_string(), combo.to_string())];
+        let (off, ef) = (row("off"), row("elide+fuse"));
+        assert!(off.output_ok && ef.output_ok);
+        // The semantics-preserving passes change neither the virtual
+        // clock nor the dynamic check/instruction counts.
+        assert_eq!(
+            (off.check_execs, off.cycles, off.instrs),
+            (ef.check_execs, ef.cycles, ef.instrs)
+        );
+        // With no usefulness weights the profile-guided leg
+        // conservatively keeps every site.
+        assert_eq!(row("elide+pgo+fuse").dropped, 0);
+        assert!(res.dropped_reports.is_empty());
     }
 
     #[test]

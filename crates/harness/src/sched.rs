@@ -34,16 +34,40 @@ pub fn set_progress(on: bool) {
     PROGRESS.store(on, Ordering::Relaxed);
 }
 
-/// Emits a progress line when unit `done` of `total` crosses a decile
-/// boundary (at most ~10 lines per campaign, none for short ones).
-fn report_progress(done: usize, total: usize) {
-    if !PROGRESS.load(Ordering::Relaxed) || total < 20 {
+/// Emits a progress line when unit `done` of `total` advances the
+/// campaign's decile high-water mark (at most 10 lines per campaign,
+/// none for short ones).
+fn report_progress(done: usize, total: usize, printed: &AtomicUsize) {
+    if !PROGRESS.load(Ordering::Relaxed) {
         return;
     }
-    let decile = |n: usize| n * 10 / total;
-    if done == total || decile(done) != decile(done - 1) {
-        eprintln!("[sched] units {done}/{total}");
+    if let Some(line) = progress_line(done, total, printed) {
+        eprintln!("{line}");
     }
+}
+
+/// Formats the `[sched] units done/total` progress line for completion
+/// count `done`, or `None` when nothing should be printed. `printed` is
+/// the campaign's decile high-water mark (starts at 0).
+///
+/// Workers report completions concurrently and out of order — worker B
+/// can finish unit 40 and report before worker A reports unit 30 — so
+/// decile-crossing alone would interleave lines backwards. The
+/// `fetch_max` makes reporting monotone: only a reporter that *raises*
+/// the high-water mark prints, a stale reorder sees a mark at or beyond
+/// its own decile and stays silent, and each decile prints at most once.
+fn progress_line(done: usize, total: usize, printed: &AtomicUsize) -> Option<String> {
+    if total < 20 {
+        return None;
+    }
+    // Completion always maps to the final decile, so the `total/total`
+    // line prints even when `total` isn't a multiple of 10.
+    let decile = if done == total { 10 } else { done * 10 / total };
+    if decile == 0 {
+        return None;
+    }
+    let prev = printed.fetch_max(decile, Ordering::Relaxed);
+    (decile > prev).then(|| format!("[sched] units {done}/{total}"))
 }
 
 /// Runs `work` over every task, fanning across `workers` threads, and
@@ -60,13 +84,14 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = workers.max(1).min(tasks.len().max(1));
+    let printed = AtomicUsize::new(0);
     if workers == 1 {
         return tasks
             .iter()
             .enumerate()
             .map(|(i, t)| {
                 let r = work(t);
-                report_progress(i + 1, tasks.len());
+                report_progress(i + 1, tasks.len(), &printed);
                 r
             })
             .collect();
@@ -84,7 +109,11 @@ where
                     }
                     let r = work(&tasks[i]);
                     *slots[i].lock().expect("slot lock") = Some(r);
-                    report_progress(done.fetch_add(1, Ordering::Relaxed) + 1, tasks.len());
+                    report_progress(
+                        done.fetch_add(1, Ordering::Relaxed) + 1,
+                        tasks.len(),
+                        &printed,
+                    );
                 })
             })
             .collect();
@@ -140,5 +169,41 @@ mod tests {
     fn empty_task_list_is_fine() {
         let got: Vec<u32> = run_indexed(&[] as &[u32], 8, |t| *t);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn progress_lines_are_monotone_under_reordered_completion() {
+        // Completions arrive out of order, as concurrent workers'
+        // reports can: the emitted lines must stay strictly increasing
+        // with no duplicates and always include the final line.
+        let printed = AtomicUsize::new(0);
+        let order = [30, 10, 20, 55, 41, 3, 70, 100, 90, 99];
+        let lines: Vec<String> = order
+            .iter()
+            .filter_map(|&d| progress_line(d, 100, &printed))
+            .collect();
+        assert_eq!(
+            lines,
+            [
+                "[sched] units 30/100",
+                "[sched] units 55/100",
+                "[sched] units 70/100",
+                "[sched] units 100/100",
+            ]
+        );
+    }
+
+    #[test]
+    fn progress_reports_each_decile_once_in_order() {
+        let printed = AtomicUsize::new(0);
+        let lines: Vec<String> = (1..=40)
+            .filter_map(|d| progress_line(d, 40, &printed))
+            .collect();
+        assert_eq!(lines.len(), 10);
+        assert_eq!(lines[0], "[sched] units 4/40");
+        assert_eq!(lines[9], "[sched] units 40/40");
+        // Short campaigns stay silent, including at completion.
+        let printed = AtomicUsize::new(0);
+        assert!((1..=19).all(|d| progress_line(d, 19, &printed).is_none()));
     }
 }

@@ -435,6 +435,12 @@ mod cost {
 enum Flow {
     /// Advance to the next op (pc + 1).
     Next,
+    /// Advance past a fused superinstruction pair (pc + 2): the op
+    /// executed both halves in one dispatch iteration.
+    Skip2,
+    /// Advance past a fused superinstruction group (pc + n): the op
+    /// executed all n members in one dispatch iteration.
+    SkipN(u32),
     /// Transfer to an absolute pc within the current frame.
     Jump(u32),
     /// Push a new frame for an IR-to-IR call (direct or resolved
@@ -1230,6 +1236,8 @@ impl<'m> Interp<'m> {
             self.frames[fi].regs = regs;
             match flow {
                 Ok(Flow::Next) => self.frames[fi].pc = pc + 1,
+                Ok(Flow::Skip2) => self.frames[fi].pc = pc + 2,
+                Ok(Flow::SkipN(n)) => self.frames[fi].pc = pc + n,
                 Ok(Flow::Jump(target)) => self.frames[fi].pc = target,
                 Ok(Flow::Call { f, args, dst }) => {
                     // Return lands on the op after the call.
@@ -1439,6 +1447,300 @@ impl<'m> Interp<'m> {
         }
     }
 
+    /// One inter-op boundary inside a fused superinstruction: replicates
+    /// exactly what the dispatch loop does between the two halves of the
+    /// original pair — instruction count, timeout, the armed-fault flag
+    /// for the second half's pc, and its pc-profile bump — so
+    /// `RunOutcome`s and telemetry profiles are bit-identical to the
+    /// unfused execution. (Pause budgets and auto-checkpoints are only
+    /// taken between dispatch iterations, so a fused pair is atomic with
+    /// respect to both.)
+    #[inline]
+    fn fused_boundary(&mut self, pc2: u32) -> Result<(), Trap> {
+        self.instrs += 1;
+        if self.instrs > self.max_instrs {
+            return Err(Trap::Timeout);
+        }
+        self.fault_pending = pc2 == self.armed_pc;
+        if self.tele_cfg.profile {
+            if let Some(n) = self.tele.pc_exec.get_mut(pc2 as usize) {
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one scalar load: the single definition shared by
+    /// [`Op::Load`] and the fused load+check superinstruction.
+    #[inline]
+    fn exec_load(
+        &mut self,
+        regs: &mut [Option<Value>],
+        dst: u32,
+        ptr: &Opnd,
+        kind: LoadKind,
+    ) -> Result<(), Trap> {
+        let mut a = self.eval(regs, ptr)?.as_ptr();
+        // Injection hook: an armed fault may corrupt the memory
+        // about to be read, skew the address, or force the value.
+        let forced = if self.fault_pending {
+            self.fault_on_load(&mut a, kind)
+        } else {
+            None
+        };
+        self.clock += cost::MEM;
+        self.touch(a);
+        let v = self.load_kind(kind, a)?;
+        regs[dst as usize] = Some(forced.unwrap_or(v));
+        Ok(())
+    }
+
+    /// Executes one scalar store: the single definition shared by
+    /// [`Op::Store`] and the fused store-pair superinstruction.
+    #[inline]
+    fn exec_store(
+        &mut self,
+        regs: &[Option<Value>],
+        ptr: &Opnd,
+        value: &Opnd,
+        kind: StoreKind,
+    ) -> Result<(), Trap> {
+        let mut a = self.eval(regs, ptr)?.as_ptr();
+        let v = self.eval(regs, value)?;
+        // Injection hook: an armed fault may redirect the store;
+        // a region bit-flip corrupts the stored bytes afterwards.
+        let flip_after = if self.fault_pending {
+            self.fault_on_store(&mut a, store_width(kind))
+        } else {
+            false
+        };
+        self.clock += cost::MEM;
+        self.touch(a);
+        self.store_kind(a, kind, v)?;
+        if flip_after {
+            self.fault_flip_byte(a, store_width(kind));
+        }
+        Ok(())
+    }
+
+    /// Executes a check whose comparison the optimizer removed (the
+    /// plain [`Op::CheckElided`] arm and the elided second half of a
+    /// fused load+check). With `charge` (redundant-check elimination)
+    /// the virtual clock and site stats advance exactly as the original
+    /// check's passing path did — clean-run outcomes stay bit-identical
+    /// and the win is host time. Without it (profile-guided drop) the
+    /// site costs nothing.
+    fn exec_check_elided(&mut self, site: u32, reps: u32, charge: bool) {
+        if charge {
+            self.clock += cost::CHECK * u64::from(reps);
+            if self.tele_cfg.sites {
+                let s = &mut self.tele.site_stats[site as usize];
+                s.executions += 1;
+                s.cycles += cost::CHECK * u64::from(reps);
+            }
+        }
+    }
+
+    /// Executes one `dpmr.check` comparison: the single definition of
+    /// check semantics shared by the plain [`Op::DpmrCheck`] arm and the
+    /// fused load+check superinstruction (their virtual-cycle and
+    /// detection behaviour must never desynchronize).
+    #[allow(clippy::too_many_lines)]
+    fn exec_check(
+        &mut self,
+        regs: &mut [Option<Value>],
+        a: &Opnd,
+        reps: &[Opnd],
+        ptrs: &Option<(Opnd, Box<[Opnd]>)>,
+        site: u32,
+        a_reg: &Option<(u32, StoreKind)>,
+    ) -> Result<(), Trap> {
+        let va = self.eval(regs, a)?;
+        self.clock += cost::CHECK * reps.len() as u64;
+        if self.tele_cfg.sites {
+            let s = &mut self.tele.site_stats[site as usize];
+            s.executions += 1;
+            s.cycles += cost::CHECK * reps.len() as u64;
+        }
+        // Hot path: compare every replica against the application
+        // value (K = 1 is one compare, exactly the old cost).
+        let mut mismatch = false;
+        for r in reps.iter() {
+            mismatch |= self.eval(regs, r)?.to_bits() != va.to_bits();
+        }
+        if mismatch {
+            self.detections += 1;
+            if self.tele_cfg.sites {
+                self.tele.site_stats[site as usize].detections += 1;
+            }
+            if self.first_detection_cycle.is_none() {
+                self.first_detection_cycle = Some(self.clock);
+            }
+            // Cold path: re-evaluate the replica values into a
+            // vector (operand evaluation is a pure slot read).
+            let mut vreps: Vec<Value> = Vec::with_capacity(reps.len());
+            for r in reps.iter() {
+                vreps.push(self.eval(regs, r)?);
+            }
+            let first_bad = vreps
+                .iter()
+                .find(|v| v.to_bits() != va.to_bits())
+                .copied()
+                .unwrap_or(vreps[0]);
+            let (app_addr, rep_addrs) = match ptrs {
+                Some((ap, rps)) => {
+                    let ap = self.eval(regs, ap)?.as_ptr();
+                    let mut addrs = Vec::with_capacity(rps.len());
+                    for rp in rps.iter() {
+                        addrs.push(self.eval(regs, rp)?.as_ptr());
+                    }
+                    (Some(ap), addrs)
+                }
+                None => (None, Vec::new()),
+            };
+            let trap = DetectionTrap {
+                got: va.to_bits(),
+                replica: vreps[0].to_bits(),
+                reps: vreps.iter().map(|v| v.to_bits()).collect(),
+                app_addr,
+                rep_addrs: rep_addrs.clone(),
+                cycle: self.clock,
+                instrs: self.instrs,
+                site,
+            };
+            if self.tele_cfg.trace {
+                self.tele.push(TraceEvent::TrapRaised {
+                    cycle: self.clock,
+                    site,
+                    got: va.to_bits(),
+                    replica: first_bad.to_bits(),
+                });
+            }
+            let mut action = match &self.trap_handler {
+                Some(h) => Rc::clone(h).borrow_mut().on_detection(&trap),
+                None => TrapAction::Terminate,
+            };
+            // A repair that could fix neither memory nor a register
+            // would be a no-op resume with an inflated counter;
+            // force termination instead.
+            if app_addr.is_none() && a_reg.is_none() {
+                action = TrapAction::Terminate;
+            }
+            let terminal = Trap::Dpmr {
+                got: va.to_bits(),
+                replica: first_bad.to_bits(),
+            };
+            match action {
+                TrapAction::Terminate => {
+                    if self.tele_cfg.sites {
+                        self.tele.site_stats[site as usize].terminations += 1;
+                    }
+                    return Err(terminal);
+                }
+                TrapAction::Repair => {
+                    // Replica 0 is assumed the redundant truth:
+                    // copy its value over the divergent application
+                    // location and the in-flight register, then
+                    // resume as if the check had passed.
+                    self.repairs += 1;
+                    if self.tele_cfg.sites {
+                        self.tele.site_stats[site as usize].repairs += 1;
+                    }
+                    if self.tele_cfg.trace {
+                        self.tele.push(TraceEvent::Repaired {
+                            cycle: self.clock,
+                            site,
+                            replica_repairs: 0,
+                        });
+                    }
+                    let vb = vreps[0];
+                    if let (Some(addr), Some((_, kind))) = (app_addr, a_reg) {
+                        self.clock += cost::MEM;
+                        self.touch(addr);
+                        self.store_kind(addr, *kind, vb)?;
+                    }
+                    if let Some((slot, _)) = a_reg {
+                        regs[*slot as usize] = Some(vb);
+                    }
+                }
+                TrapAction::Vote => {
+                    // Majority arbitration over the K+1 copies:
+                    // the outvoted copies — application *or*
+                    // replicas — are the corrupt ones; rewrite
+                    // them with the majority value and resume.
+                    let Some(win_bits) = trap.majority() else {
+                        // The tie case: no strict majority among the
+                        // K+1 copies. Record it in the trace, then
+                        // terminate (the documented tie behaviour).
+                        if self.tele_cfg.trace {
+                            self.tele.push(TraceEvent::VoteTied {
+                                cycle: self.clock,
+                                site,
+                                copies: reps.len() as u32 + 1,
+                            });
+                        }
+                        if self.tele_cfg.sites {
+                            self.tele.site_stats[site as usize].terminations += 1;
+                        }
+                        return Err(terminal);
+                    };
+                    let Some((slot, kind)) = a_reg else {
+                        if self.tele_cfg.sites {
+                            self.tele.site_stats[site as usize].terminations += 1;
+                        }
+                        return Err(terminal);
+                    };
+                    let winner = if va.to_bits() == win_bits {
+                        va
+                    } else {
+                        *vreps
+                            .iter()
+                            .find(|v| v.to_bits() == win_bits)
+                            .expect("majority value occurs among the copies")
+                    };
+                    if va.to_bits() != win_bits {
+                        self.repairs += 1;
+                        if self.tele_cfg.sites {
+                            self.tele.site_stats[site as usize].repairs += 1;
+                        }
+                        if let Some(addr) = app_addr {
+                            self.clock += cost::MEM;
+                            self.touch(addr);
+                            self.store_kind(addr, *kind, winner)?;
+                        }
+                        regs[*slot as usize] = Some(winner);
+                    }
+                    let mut voted_out = 0u64;
+                    for (i, v) in vreps.iter().enumerate() {
+                        if v.to_bits() != win_bits {
+                            if let Some(addr) = rep_addrs.get(i).copied() {
+                                self.clock += cost::MEM;
+                                self.touch(addr);
+                                self.store_kind(addr, *kind, winner)?;
+                                self.repairs += 1;
+                                self.replica_repairs += 1;
+                                voted_out += 1;
+                            }
+                        }
+                    }
+                    if self.tele_cfg.sites {
+                        let s = &mut self.tele.site_stats[site as usize];
+                        s.repairs += voted_out;
+                        s.replica_repairs += voted_out;
+                    }
+                    if self.tele_cfg.trace {
+                        self.tele.push(TraceEvent::Repaired {
+                            cycle: self.clock,
+                            site,
+                            replica_repairs: voted_out,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Executes one op against the current frame's registers.
     #[allow(clippy::too_many_lines)]
     fn step_op(&mut self, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
@@ -1473,35 +1775,10 @@ impl<'m> Interp<'m> {
                 }
             }
             Op::Load { dst, ptr, kind } => {
-                let mut a = self.eval(regs, ptr)?.as_ptr();
-                // Injection hook: an armed fault may corrupt the memory
-                // about to be read, skew the address, or force the value.
-                let forced = if self.fault_pending {
-                    self.fault_on_load(&mut a, *kind)
-                } else {
-                    None
-                };
-                self.clock += cost::MEM;
-                self.touch(a);
-                let v = self.load_kind(*kind, a)?;
-                regs[*dst as usize] = Some(forced.unwrap_or(v));
+                self.exec_load(regs, *dst, ptr, *kind)?;
             }
             Op::Store { ptr, value, kind } => {
-                let mut a = self.eval(regs, ptr)?.as_ptr();
-                let v = self.eval(regs, value)?;
-                // Injection hook: an armed fault may redirect the store;
-                // a region bit-flip corrupts the stored bytes afterwards.
-                let flip_after = if self.fault_pending {
-                    self.fault_on_store(&mut a, store_width(*kind))
-                } else {
-                    false
-                };
-                self.clock += cost::MEM;
-                self.touch(a);
-                self.store_kind(a, *kind, v)?;
-                if flip_after {
-                    self.fault_flip_byte(a, store_width(*kind));
-                }
+                self.exec_store(regs, ptr, value, *kind)?;
             }
             Op::FieldAddr { dst, base, off } => {
                 let b = self.eval(regs, base)?.as_ptr();
@@ -1634,179 +1911,93 @@ impl<'m> Interp<'m> {
                 site,
                 a_reg,
             } => {
-                let va = self.eval(regs, a)?;
-                self.clock += cost::CHECK * reps.len() as u64;
-                if self.tele_cfg.sites {
-                    let s = &mut self.tele.site_stats[*site as usize];
-                    s.executions += 1;
-                    s.cycles += cost::CHECK * reps.len() as u64;
+                self.exec_check(regs, a, reps, ptrs, *site, a_reg)?;
+            }
+            Op::CheckElided { site, reps, charge } => {
+                self.exec_check_elided(*site, *reps, *charge);
+            }
+            // A dropped site's replica load: no memory read, no register
+            // write, no virtual cost — the dispatch iteration (and its
+            // instruction count) is all that remains.
+            Op::LoadElided { .. } => {}
+            Op::FusedLoadCheck(f) => {
+                self.exec_load(regs, f.dst, &f.ptr, f.kind)?;
+                self.fused_boundary(f.pc2)?;
+                match &f.check {
+                    Op::DpmrCheck {
+                        a,
+                        reps,
+                        ptrs,
+                        site,
+                        a_reg,
+                    } => self.exec_check(regs, a, reps, ptrs, *site, a_reg)?,
+                    Op::CheckElided { site, reps, charge } => {
+                        self.exec_check_elided(*site, *reps, *charge);
+                    }
+                    _ => return Err(Trap::Invalid("malformed fused load+check".into())),
                 }
-                // Hot path: compare every replica against the application
-                // value (K = 1 is one compare, exactly the old cost).
-                let mut mismatch = false;
-                for r in reps.iter() {
-                    mismatch |= self.eval(regs, r)?.to_bits() != va.to_bits();
+                return Ok(Flow::Skip2);
+            }
+            Op::FusedStoreStore(f) => {
+                self.exec_store(regs, &f.ptr, &f.value, f.kind)?;
+                self.fused_boundary(f.pc2)?;
+                let Op::Store { ptr, value, kind } = &f.second else {
+                    return Err(Trap::Invalid("malformed fused store pair".into()));
+                };
+                self.exec_store(regs, ptr, value, *kind)?;
+                return Ok(Flow::Skip2);
+            }
+            Op::FusedGroup(g) => {
+                // Each member executes exactly as its unfused op would,
+                // with the inter-op boundary accounting replicated
+                // between members; only the dispatch-loop iterations
+                // collapse. The optimizer guarantees members are simple
+                // straight-line ops (every one steps `Flow::Next`).
+                let n = g.members.len() as u32;
+                // Fast path: when nothing per-boundary can fire inside
+                // this group — no pc profiling, no armed fault at an
+                // interior member, and the instruction budget cannot run
+                // out mid-group — batch the boundary accounting: clear
+                // the fault flag once and settle `instrs` in one add.
+                // The slow path below is bit-for-bit equivalent.
+                let armed_inside = self.armed_pc > g.base && self.armed_pc < g.base + n;
+                if !self.tele_cfg.profile
+                    && !armed_inside
+                    && self.instrs + u64::from(n - 1) <= self.max_instrs
+                {
+                    for (i, member) in g.members.iter().enumerate() {
+                        if i == 1 {
+                            self.fault_pending = false;
+                        }
+                        match self.step_op(regs, member) {
+                            Ok(Flow::Next) => {}
+                            Ok(_) => {
+                                self.instrs += i as u64;
+                                return Err(Trap::Invalid("malformed fused group".into()));
+                            }
+                            Err(t) => {
+                                // A member trapped: settle the boundary
+                                // increments its predecessors earned so
+                                // the outcome's instr count matches the
+                                // unfused execution exactly.
+                                self.instrs += i as u64;
+                                return Err(t);
+                            }
+                        }
+                    }
+                    self.instrs += u64::from(n - 1);
+                    return Ok(Flow::SkipN(n));
                 }
-                if mismatch {
-                    self.detections += 1;
-                    if self.tele_cfg.sites {
-                        self.tele.site_stats[*site as usize].detections += 1;
+                for (i, member) in g.members.iter().enumerate() {
+                    if i > 0 {
+                        self.fused_boundary(g.base + i as u32)?;
                     }
-                    if self.first_detection_cycle.is_none() {
-                        self.first_detection_cycle = Some(self.clock);
-                    }
-                    // Cold path: re-evaluate the replica values into a
-                    // vector (operand evaluation is a pure slot read).
-                    let mut vreps: Vec<Value> = Vec::with_capacity(reps.len());
-                    for r in reps.iter() {
-                        vreps.push(self.eval(regs, r)?);
-                    }
-                    let first_bad = vreps
-                        .iter()
-                        .find(|v| v.to_bits() != va.to_bits())
-                        .copied()
-                        .unwrap_or(vreps[0]);
-                    let (app_addr, rep_addrs) = match ptrs {
-                        Some((ap, rps)) => {
-                            let ap = self.eval(regs, ap)?.as_ptr();
-                            let mut addrs = Vec::with_capacity(rps.len());
-                            for rp in rps.iter() {
-                                addrs.push(self.eval(regs, rp)?.as_ptr());
-                            }
-                            (Some(ap), addrs)
-                        }
-                        None => (None, Vec::new()),
-                    };
-                    let trap = DetectionTrap {
-                        got: va.to_bits(),
-                        replica: vreps[0].to_bits(),
-                        reps: vreps.iter().map(|v| v.to_bits()).collect(),
-                        app_addr,
-                        rep_addrs: rep_addrs.clone(),
-                        cycle: self.clock,
-                        instrs: self.instrs,
-                        site: *site,
-                    };
-                    if self.tele_cfg.trace {
-                        self.tele.push(TraceEvent::TrapRaised {
-                            cycle: self.clock,
-                            site: *site,
-                            got: va.to_bits(),
-                            replica: first_bad.to_bits(),
-                        });
-                    }
-                    let mut action = match &self.trap_handler {
-                        Some(h) => Rc::clone(h).borrow_mut().on_detection(&trap),
-                        None => TrapAction::Terminate,
-                    };
-                    // A repair that could fix neither memory nor a register
-                    // would be a no-op resume with an inflated counter;
-                    // force termination instead.
-                    if app_addr.is_none() && a_reg.is_none() {
-                        action = TrapAction::Terminate;
-                    }
-                    let terminal = Trap::Dpmr {
-                        got: va.to_bits(),
-                        replica: first_bad.to_bits(),
-                    };
-                    match action {
-                        TrapAction::Terminate => {
-                            if self.tele_cfg.sites {
-                                self.tele.site_stats[*site as usize].terminations += 1;
-                            }
-                            return Err(terminal);
-                        }
-                        TrapAction::Repair => {
-                            // Replica 0 is assumed the redundant truth:
-                            // copy its value over the divergent application
-                            // location and the in-flight register, then
-                            // resume as if the check had passed.
-                            self.repairs += 1;
-                            if self.tele_cfg.sites {
-                                self.tele.site_stats[*site as usize].repairs += 1;
-                            }
-                            if self.tele_cfg.trace {
-                                self.tele.push(TraceEvent::Repaired {
-                                    cycle: self.clock,
-                                    site: *site,
-                                    replica_repairs: 0,
-                                });
-                            }
-                            let vb = vreps[0];
-                            if let (Some(addr), Some((_, kind))) = (app_addr, a_reg) {
-                                self.clock += cost::MEM;
-                                self.touch(addr);
-                                self.store_kind(addr, *kind, vb)?;
-                            }
-                            if let Some((slot, _)) = a_reg {
-                                regs[*slot as usize] = Some(vb);
-                            }
-                        }
-                        TrapAction::Vote => {
-                            // Majority arbitration over the K+1 copies:
-                            // the outvoted copies — application *or*
-                            // replicas — are the corrupt ones; rewrite
-                            // them with the majority value and resume.
-                            let Some(win_bits) = trap.majority() else {
-                                if self.tele_cfg.sites {
-                                    self.tele.site_stats[*site as usize].terminations += 1;
-                                }
-                                return Err(terminal);
-                            };
-                            let Some((slot, kind)) = a_reg else {
-                                if self.tele_cfg.sites {
-                                    self.tele.site_stats[*site as usize].terminations += 1;
-                                }
-                                return Err(terminal);
-                            };
-                            let winner = if va.to_bits() == win_bits {
-                                va
-                            } else {
-                                *vreps
-                                    .iter()
-                                    .find(|v| v.to_bits() == win_bits)
-                                    .expect("majority value occurs among the copies")
-                            };
-                            if va.to_bits() != win_bits {
-                                self.repairs += 1;
-                                if self.tele_cfg.sites {
-                                    self.tele.site_stats[*site as usize].repairs += 1;
-                                }
-                                if let Some(addr) = app_addr {
-                                    self.clock += cost::MEM;
-                                    self.touch(addr);
-                                    self.store_kind(addr, *kind, winner)?;
-                                }
-                                regs[*slot as usize] = Some(winner);
-                            }
-                            let mut voted_out = 0u64;
-                            for (i, v) in vreps.iter().enumerate() {
-                                if v.to_bits() != win_bits {
-                                    if let Some(addr) = rep_addrs.get(i).copied() {
-                                        self.clock += cost::MEM;
-                                        self.touch(addr);
-                                        self.store_kind(addr, *kind, winner)?;
-                                        self.repairs += 1;
-                                        self.replica_repairs += 1;
-                                        voted_out += 1;
-                                    }
-                                }
-                            }
-                            if self.tele_cfg.sites {
-                                let s = &mut self.tele.site_stats[*site as usize];
-                                s.repairs += voted_out;
-                                s.replica_repairs += voted_out;
-                            }
-                            if self.tele_cfg.trace {
-                                self.tele.push(TraceEvent::Repaired {
-                                    cycle: self.clock,
-                                    site: *site,
-                                    replica_repairs: voted_out,
-                                });
-                            }
-                        }
+                    match self.step_op(regs, member)? {
+                        Flow::Next => {}
+                        _ => return Err(Trap::Invalid("malformed fused group".into())),
                     }
                 }
+                return Ok(Flow::SkipN(n));
             }
             Op::RandInt {
                 dst,

@@ -166,6 +166,17 @@ pub enum TraceEvent {
         /// Armed op-site pc.
         site: u32,
     },
+    /// A `TrapAction::Vote` arbitration found no strict majority among
+    /// the K+1 compared copies (the even-K tie case) — the run
+    /// terminates.
+    VoteTied {
+        /// Virtual clock at emission.
+        cycle: u64,
+        /// Check-site id.
+        site: u32,
+        /// Copies compared (K + 1).
+        copies: u32,
+    },
 }
 
 impl TraceEvent {
@@ -180,7 +191,8 @@ impl TraceEvent {
             | TraceEvent::TrapRaised { cycle, .. }
             | TraceEvent::Repaired { cycle, .. }
             | TraceEvent::FaultArmed { cycle, .. }
-            | TraceEvent::FaultFired { cycle, .. } => cycle,
+            | TraceEvent::FaultFired { cycle, .. }
+            | TraceEvent::VoteTied { cycle, .. } => cycle,
         }
     }
 
@@ -196,6 +208,7 @@ impl TraceEvent {
             TraceEvent::Repaired { .. } => "repaired",
             TraceEvent::FaultArmed { .. } => "fault-armed",
             TraceEvent::FaultFired { .. } => "fault-fired",
+            TraceEvent::VoteTied { .. } => "vote-tied",
         }
     }
 
@@ -223,10 +236,38 @@ impl TraceEvent {
                 format!(",\"site\":{site},\"class\":\"{class}\"")
             }
             TraceEvent::FaultFired { site, .. } => format!(",\"site\":{site}"),
+            TraceEvent::VoteTied { site, copies, .. } => {
+                format!(",\"site\":{site},\"copies\":{copies}")
+            }
         };
         format!("{head}{tail}}}")
     }
 }
+
+/// A pc profile was attributed against a `LoweredCode` it was not
+/// collected over (the profile length and the op-stream length
+/// disagree). Returned by [`Telemetry::func_totals`] instead of
+/// panicking or silently mis-attributing counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileMismatch {
+    /// Length of the collected pc profile.
+    pub profile_len: usize,
+    /// Op count of the code the caller attributed against.
+    pub ops_len: usize,
+}
+
+impl std::fmt::Display for ProfileMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pc profile of length {} cannot be attributed over code with {} ops \
+             (profile taken from a different LoweredCode?)",
+            self.profile_len, self.ops_len
+        )
+    }
+}
+
+impl std::error::Error for ProfileMismatch {}
 
 /// The collected telemetry of one interpreter: data only (the
 /// [`TelemetryConfig`] stays on the interpreter, so restoring a snapshot
@@ -265,17 +306,41 @@ impl Telemetry {
 
     /// Per-function execution totals derived from the pc profile
     /// (indexed by `FuncId`; empty when profiling was off).
-    pub fn func_totals(&self, code: &crate::code::LoweredCode) -> Vec<u64> {
+    ///
+    /// The profile is only meaningful against the `LoweredCode` it was
+    /// collected over: a profile from a different module (or a different
+    /// pass configuration's op count) would silently mis-attribute
+    /// counts, so a length mismatch is a checked error, never a panic or
+    /// a wrong table.
+    pub fn func_totals(
+        &self,
+        code: &crate::code::LoweredCode,
+    ) -> Result<Vec<u64>, ProfileMismatch> {
         if self.pc_exec.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if self.pc_exec.len() != code.ops.len() {
+            return Err(ProfileMismatch {
+                profile_len: self.pc_exec.len(),
+                ops_len: code.ops.len(),
+            });
         }
         let mut totals = vec![0u64; code.func_entry.len()];
         for (pc, &n) in self.pc_exec.iter().enumerate() {
             if n > 0 {
-                totals[code.func_of_pc(pc as u32).0 as usize] += n;
+                let f = code.func_of_pc(pc as u32).0 as usize;
+                match totals.get_mut(f) {
+                    Some(t) => *t += n,
+                    None => {
+                        return Err(ProfileMismatch {
+                            profile_len: self.pc_exec.len(),
+                            ops_len: code.ops.len(),
+                        })
+                    }
+                }
             }
         }
-        totals
+        Ok(totals)
     }
 
     /// The event trace rendered as JSON lines (one object per event),
@@ -336,6 +401,46 @@ mod tests {
             assert!(j.ends_with('}'), "{j}");
             assert!(j.contains(&format!("\"cycle\":{}", ev.cycle())), "{j}");
         }
+    }
+
+    #[test]
+    fn func_totals_rejects_profile_from_different_code() {
+        use crate::code::{LoweredCode, Op};
+        let code = LoweredCode {
+            ops: vec![Op::Ret { value: None }, Op::Ret { value: None }],
+            func_entry: vec![0],
+            check_sites: 0,
+        };
+        // A profile of the wrong length (taken from different code) is a
+        // checked error, not a panic or a silently wrong table.
+        let mut t = Telemetry {
+            pc_exec: vec![5, 6, 7],
+            ..Telemetry::default()
+        };
+        let err = t.func_totals(&code).unwrap_err();
+        assert_eq!((err.profile_len, err.ops_len), (3, 2));
+        assert!(err.to_string().contains("different LoweredCode"));
+        // A matching profile attributes normally.
+        t.pc_exec = vec![5, 6];
+        assert_eq!(t.func_totals(&code).unwrap(), vec![11]);
+        // Profiling off: empty result, never an error.
+        t.pc_exec.clear();
+        assert!(t.func_totals(&code).unwrap().is_empty());
+    }
+
+    #[test]
+    fn vote_tied_event_renders() {
+        let ev = TraceEvent::VoteTied {
+            cycle: 42,
+            site: 3,
+            copies: 3,
+        };
+        assert_eq!(ev.kind(), "vote-tied");
+        assert_eq!(ev.cycle(), 42);
+        assert_eq!(
+            ev.to_json(),
+            "{\"event\":\"vote-tied\",\"cycle\":42,\"site\":3,\"copies\":3}"
+        );
     }
 
     #[test]

@@ -306,6 +306,91 @@ fn dpmr_check_passes_equal_and_fails_unequal() {
     assert!(out.detect_cycle.is_some());
 }
 
+/// A trap whose copies are `got` plus `reps`, for majority() pinning.
+fn trap_with(got: u64, reps: &[u64]) -> DetectionTrap {
+    DetectionTrap {
+        got,
+        replica: reps[0],
+        reps: reps.to_vec(),
+        app_addr: None,
+        rep_addrs: Vec::new(),
+        cycle: 0,
+        instrs: 0,
+        site: 0,
+    }
+}
+
+#[test]
+fn majority_tie_is_none_for_each_replication_degree() {
+    // K = 1: one against one is always a tie.
+    assert_eq!(trap_with(1, &[2]).majority(), None);
+    // K = 2: three-way disagreement has no strict majority...
+    assert_eq!(trap_with(1, &[2, 3]).majority(), None);
+    // ...but 2-of-3 agreement does, whichever side the app is on.
+    assert_eq!(trap_with(1, &[2, 1]).majority(), Some(1));
+    assert_eq!(trap_with(1, &[2, 2]).majority(), Some(2));
+    // K = 3: a 2-2 split needs 3 of 4 and has none.
+    assert_eq!(trap_with(1, &[1, 2, 2]).majority(), None);
+    assert_eq!(trap_with(1, &[2, 1, 1]).majority(), Some(1));
+}
+
+#[test]
+fn vote_tie_terminates_and_traces() {
+    use dpmr_vm::telemetry::{TelemetryConfig, TraceEvent};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct AlwaysVote;
+    impl TrapHandler for AlwaysVote {
+        fn on_detection(&mut self, _trap: &DetectionTrap) -> TrapAction {
+            TrapAction::Vote
+        }
+    }
+
+    // K = 2 with three-way disagreement: the vote finds no strict
+    // majority, so the documented tie behaviour is to terminate — and
+    // with tracing on, the tie itself lands in the event trace.
+    let m = module_with_main(|b| {
+        let i64t = b.module.types.int(64);
+        // The application value must live in a register: a check with
+        // nothing fixable (no locations, constant operand) terminates
+        // before the handler's verdict is consulted.
+        let a = b.bin(BinOp::Add, i64t, Const::i64(1).into(), Const::i64(0).into());
+        b.emit(Instr::DpmrCheck {
+            a: a.into(),
+            reps: vec![Const::i64(2).into(), Const::i64(3).into()],
+            ptrs: None,
+        });
+        b.ret(Some(Const::i64(0).into()));
+    });
+    let rc = RunConfig {
+        telemetry: TelemetryConfig::full(),
+        ..RunConfig::default()
+    };
+    let mut it = Interp::new(&m, &rc, Rc::new(Registry::with_base()));
+    it.set_trap_handler(Rc::new(RefCell::new(AlwaysVote)));
+    let out = it.run(vec![]);
+    assert!(matches!(
+        out.status,
+        ExitStatus::DpmrDetected { got: 1, .. }
+    ));
+    let tele = it.telemetry();
+    assert_eq!(tele.site_stats[0].terminations, 1);
+    let tie = tele
+        .events
+        .iter()
+        .find(|e| matches!(e, TraceEvent::VoteTied { .. }))
+        .expect("tie recorded in the trace");
+    assert!(matches!(
+        tie,
+        TraceEvent::VoteTied {
+            site: 0,
+            copies: 3,
+            ..
+        }
+    ));
+}
+
 #[test]
 fn randint_respects_bounds_and_seed() {
     let m = module_with_main(|b| {

@@ -210,6 +210,49 @@ pub fn resize_victim(n: i64, m: i64) -> Module {
     m_
 }
 
+/// Memory-scrub kernel for throughput work: a heap table of `n` i64
+/// slots initialized to `3i + 1`, then read end-to-end `rounds` times
+/// into an `alloca` accumulator that is output at the end. The hot loop
+/// is almost nothing but checked memory traffic once transformed — per
+/// element one table load and one read-modify-write of the accumulator
+/// — which makes it the stress workload for the optimizer's fused
+/// dispatch and for profile-guided site selection (the table's checks
+/// detect heap faults; the accumulator's rarely do). Golden-clean and
+/// fully deterministic.
+pub fn table_scrub(n: i64, rounds: i64) -> Module {
+    let mut m = Module::new();
+    let i64t = m.types.int(64);
+    let arr = m.types.unsized_array(i64t);
+    let arrp = m.types.pointer(arr);
+    let mut b = FunctionBuilder::new(&mut m, "main", i64t, &[]);
+    let raw = b.malloc(i64t, Const::i64(n).into(), "tbl");
+    let tbl = b.cast(CastOp::Bitcast, arrp, raw.into(), "tblArr");
+    b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+        let slot = b.index_addr(tbl.into(), i.into(), "slot");
+        let v = b.bin(BinOp::Mul, i64t, i.into(), Const::i64(3).into());
+        let v1 = b.bin(BinOp::Add, i64t, v.into(), Const::i64(1).into());
+        b.store(slot.into(), v1.into());
+    });
+    let acc = b.alloca(i64t, "acc");
+    b.store(acc.into(), Const::i64(0).into());
+    b.for_loop(Const::i64(0).into(), Const::i64(rounds).into(), |b, _r| {
+        b.for_loop(Const::i64(0).into(), Const::i64(n).into(), |b, i| {
+            let slot = b.index_addr(tbl.into(), i.into(), "s2");
+            let v = b.load(i64t, slot.into(), "v");
+            let a0 = b.load(i64t, acc.into(), "a0");
+            let a1 = b.bin(BinOp::Add, i64t, a0.into(), v.into());
+            b.store(acc.into(), a1.into());
+        });
+    });
+    let total = b.load(i64t, acc.into(), "total");
+    b.output(total.into());
+    b.free(raw.into());
+    b.ret(Some(Const::i64(0).into()));
+    let f = b.finish();
+    m.entry = Some(f);
+    m
+}
+
 /// Pointer-chasing victim for the runtime fault campaign: a heap node
 /// chain traversed `rounds` times, with every memory class live so every
 /// `dpmr_vm::fault::FaultModel` class has sites that can actually fire:

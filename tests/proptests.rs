@@ -824,6 +824,189 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Optimizer pass-pipeline properties
+// ---------------------------------------------------------------------
+
+/// The pass combinations the optimizer properties sweep: off, each
+/// preserving pass alone, both together, and the drop-all
+/// profile-guided pipeline (usefulness 0 for every site — the most
+/// aggressive partial-replication configuration).
+fn prop_pass_combo(pick: usize, check_sites: u32) -> PassConfig {
+    match pick % 5 {
+        0 => PassConfig::none(),
+        1 => PassConfig {
+            elide_redundant_checks: true,
+            ..PassConfig::none()
+        },
+        2 => PassConfig {
+            fuse_superinstructions: true,
+            ..PassConfig::none()
+        },
+        3 => PassConfig::all(),
+        _ => PassConfig::all().with_profile(ProfileGuided {
+            usefulness: vec![0.0; check_sites as usize],
+            threshold: 0.0,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// print → parse → lower → optimize is deterministic under every
+    /// pass combination: optimizing twice agrees, and optimizing the
+    /// text round-trip of the module produces the identical optimized
+    /// bytecode. Pcs, site ids, and pass reports are all stable through
+    /// the text format.
+    #[test]
+    fn print_lower_optimize_is_deterministic_per_combo(
+        ops in fix_strategy(),
+        k in 1usize..=2,
+        combo in 0usize..5,
+    ) {
+        let m = build_fixpoint_program(&ops);
+        let t = transform(&m, &DpmrConfig::sds().with_replicas(k))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let code = dpmr::vm::lower::lower(&t);
+        let cfg = prop_pass_combo(combo, code.check_sites);
+        let a = optimize(&code, &cfg);
+        let b = optimize(&code, &cfg);
+        prop_assert_eq!(&a, &b);
+        let reparsed = dpmr::ir::parser::parse_module(&dpmr::ir::printer::print_module(&t))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let c = optimize(&dpmr::vm::lower::lower(&reparsed), &cfg);
+        prop_assert_eq!(&a.code, &c.code);
+        prop_assert_eq!(a.elided.len(), c.elided.len());
+        prop_assert_eq!(a.dropped.len(), c.dropped.len());
+    }
+
+    /// Redundant-check elimination never removes the evidence it stands
+    /// on: every elided check's proving check is still a live
+    /// `dpmr.check` in the optimized code, so elision can never empty a
+    /// code object of checks it had (the last check of a region is
+    /// always kept).
+    #[test]
+    fn elision_keeps_its_proving_check_live(
+        ops in fix_strategy(),
+        k in 1usize..=2,
+    ) {
+        let m = build_fixpoint_program(&ops);
+        let t = transform(&m, &DpmrConfig::sds().with_replicas(k))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let code = dpmr::vm::lower::lower(&t);
+        let before = dpmr::vm::opt::live_check_count(&code);
+        let mut cfg = PassConfig::none();
+        cfg.elide_redundant_checks = true;
+        let out = optimize(&code, &cfg);
+        for e in &out.elided {
+            prop_assert!(
+                matches!(out.code.ops[e.kept_pc as usize], Op::DpmrCheck { .. }),
+                "elision {} kept_pc {} is not a live check", e.site, e.kept_pc
+            );
+        }
+        prop_assert_eq!(out.live_checks() + out.elided.len() as u64, before);
+        if before > 0 {
+            prop_assert!(out.live_checks() > 0, "elision removed the last check");
+        }
+    }
+
+    /// The semantics-preserving combinations are differentially
+    /// invisible: pass-on and pass-off executions of the same
+    /// transformed module produce the identical `RunOutcome` — output,
+    /// virtual clock, instruction count, and detection accounting — on
+    /// clean runs, and identical detection verdicts under faults armed
+    /// at load pcs outside every elision's backing loads.
+    #[test]
+    fn preserving_passes_never_change_outcomes(
+        prog in 0usize..3,
+        k in 1usize..=2,
+        seed in 1u64..100_000,
+        combo in 1usize..4,
+        site_pick in 0usize..64,
+    ) {
+        let m = fi_program(prog);
+        let t = transform(&m, &DpmrConfig::sds().with_replicas(k))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let code = Rc::new(dpmr::vm::lower::lower(&t));
+        let out = optimize(&code, &prop_pass_combo(combo, code.check_sites));
+        let opt_code = Rc::new(out.code);
+        let run = |code: &Rc<LoweredCode>, fault: Option<dpmr::fi::ArmedFault>| {
+            let rc = RunConfig { seed, fault, ..RunConfig::default() };
+            let reg = Rc::new(registry_with_wrappers());
+            Interp::with_code(&t, Rc::clone(code), &rc, reg).run(vec![])
+        };
+        let (a, b) = (run(&code, None), run(&opt_code, None));
+        prop_assert_eq!(&a.status, &b.status);
+        prop_assert_eq!(&a.output, &b.output);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.instrs, b.instrs);
+        prop_assert_eq!(a.detections, b.detections);
+        prop_assert_eq!(a.repairs, b.repairs);
+        // Armed equivalence, scoped away from elided checks' backing
+        // loads (a fault armed there corrupts a value only the elided
+        // comparison would have seen).
+        let excluded: Vec<u32> = out
+            .elided
+            .iter()
+            .flat_map(|e| e.backing_load_pcs.iter().copied())
+            .collect();
+        let load_pcs: Vec<u32> = code
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(pc, op)| {
+                matches!(op, Op::Load { .. }) && !excluded.contains(&(*pc as u32))
+            })
+            .map(|(pc, _)| pc as u32)
+            .collect();
+        if load_pcs.is_empty() {
+            return Ok(());
+        }
+        let fault = dpmr::fi::ArmedFault {
+            site: load_pcs[site_pick % load_pcs.len()],
+            fault: dpmr::fi::FaultModel::BitFlip {
+                region: dpmr::vm::mem::MemRegion::Heap,
+            },
+            seed,
+            arm_cycle: 0,
+        };
+        let (fa, fb) = (run(&code, Some(fault)), run(&opt_code, Some(fault)));
+        prop_assert_eq!(&fa.status, &fb.status);
+        prop_assert_eq!(&fa.output, &fb.output);
+        prop_assert_eq!(fa.cycles, fb.cycles);
+        prop_assert_eq!(fa.instrs, fb.instrs);
+        prop_assert_eq!(fa.detections, fb.detections);
+        prop_assert_eq!(fa.repairs, fb.repairs);
+    }
+
+    /// The drop-all profile-guided pipeline changes only what it is
+    /// licensed to change on clean runs: program result and output are
+    /// preserved, the instruction count is invariant (elided slots
+    /// still dispatch), and the virtual clock can only get cheaper.
+    #[test]
+    fn pgo_drop_all_preserves_result_and_instr_count(
+        prog in 0usize..3,
+        k in 1usize..=2,
+        seed in 1u64..100_000,
+    ) {
+        let m = fi_program(prog);
+        let t = transform(&m, &DpmrConfig::sds().with_replicas(k))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let code = Rc::new(dpmr::vm::lower::lower(&t));
+        let pgo = Rc::new(optimize(&code, &prop_pass_combo(4, code.check_sites)).code);
+        let run = |code: &Rc<LoweredCode>| {
+            let rc = RunConfig { seed, ..RunConfig::default() };
+            let reg = Rc::new(registry_with_wrappers());
+            Interp::with_code(&t, Rc::clone(code), &rc, reg).run(vec![])
+        };
+        let (a, b) = (run(&code), run(&pgo));
+        prop_assert_eq!(&a.status, &b.status);
+        prop_assert_eq!(&a.output, &b.output);
+        prop_assert_eq!(a.instrs, b.instrs);
+        prop_assert!(b.cycles <= a.cycles);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Telemetry determinism
 // ---------------------------------------------------------------------
 
