@@ -7,10 +7,15 @@
 //! line (simulated instructions retired per wall-clock second, in
 //! millions) **and appends a machine-readable point to
 //! `BENCH_INTERP.json`** at the workspace root (one JSON object per line:
-//! workload, mips, git rev, an explicit `dirty` flag for points measured
+//! workload, mips, the number of round-robin samples the recorded median
+//! was taken over, git rev, an explicit `dirty` flag for points measured
 //! on an uncommitted tree, mode), so the trajectory accumulates across
 //! engine generations. Override the file location with
 //! `BENCH_INTERP_JSON=<path>` (empty disables persistence).
+//! Measurements are interleaved round-robin across workloads and the
+//! recorded MIPS is the per-workload **median over the rounds**, so a
+//! burst of host contention is confined to the rounds it lands in
+//! instead of dragging the recorded point.
 //!
 //! Set `BENCH_SMOKE=1` to shrink the measurement to a CI-friendly smoke
 //! run. Set `BENCH_ASSERT_RATIO=<r>` to fail the bench when any
@@ -32,45 +37,46 @@ fn smoke() -> bool {
 }
 
 /// Recorded baselines per mode: the denominator of the
-/// `BENCH_ASSERT_RATIO` regression gate. The untransformed workloads
-/// keep the seed-engine numbers measured on the reference container
-/// (PR 2's tree-walking dispatch engine); the transformed `dpmr_*`
-/// points use conservative floors (~0.8× full / ~0.6× smoke of their
-/// first recorded measurement, see `BENCH_INTERP.json`), so a ratio of
-/// 1.0 tolerates runner noise but catches real regressions. The
-/// `dpmr_scrub_k2_pgo` floor is deliberately ≥ 1.3× the
-/// `dpmr_scrub_k2` floor: the optimizer's acceptance margin is encoded
-/// in the gate, not just in the trajectory file. The numbers are
-/// absolute MIPS from one machine, so the gate assumes a comparable
-/// runner — a much slower runner would need a lower ratio. Workloads
-/// without a recorded baseline (`None`) skip the gate until one is
-/// recorded here.
+/// `BENCH_ASSERT_RATIO` regression gate. The floors lock in the
+/// threaded-dispatch engine: every one sits at ~0.7× the full-mode
+/// median (or ~0.6× the weaker of two smoke runs) measured on the
+/// reference container after the hazard-window rework, and the
+/// `dpmr_check_*` floors sit *above* the plain-dispatch engine's
+/// recorded medians (46.6/35.3 MIPS at the previous revision, see
+/// `BENCH_INTERP.json`) — losing the threaded loop fails the gate at
+/// ratio 1.0, while runner noise does not. The `dpmr_scrub_k2_pgo`
+/// floor stays ≥ 1.2× the `dpmr_scrub_k2` floor: the optimizer's
+/// acceptance margin is encoded in the gate, not just in the
+/// trajectory file. The numbers are absolute MIPS from one machine, so
+/// the gate assumes a comparable runner — a much slower runner would
+/// need a lower ratio. Workloads without a recorded baseline (`None`)
+/// skip the gate until one is recorded here.
 fn seed_baseline_mips(workload: &str) -> Option<f64> {
     match (workload, smoke()) {
-        ("linked_list", false) => Some(16.85),
-        ("qsort", false) => Some(10.76),
-        ("resize_victim", false) => Some(4.33),
-        ("dpmr_check_k1", false) => Some(37.0),
-        ("dpmr_check_k2", false) => Some(28.0),
-        ("dpmr_check_k1_opt", false) => Some(42.0),
-        ("dpmr_check_k2_opt", false) => Some(30.0),
-        ("dpmr_check_k1_pgo", false) => Some(40.0),
-        ("dpmr_check_k2_pgo", false) => Some(29.0),
-        ("dpmr_scrub_k2", false) => Some(56.0),
-        ("dpmr_scrub_k2_opt", false) => Some(73.0),
-        ("dpmr_scrub_k2_pgo", false) => Some(80.0),
-        ("linked_list", true) => Some(5.45),
-        ("qsort", true) => Some(1.93),
-        ("resize_victim", true) => Some(1.04),
-        ("dpmr_check_k1", true) => Some(12.0),
-        ("dpmr_check_k2", true) => Some(11.0),
-        ("dpmr_check_k1_opt", true) => Some(15.0),
-        ("dpmr_check_k2_opt", true) => Some(12.0),
-        ("dpmr_check_k1_pgo", true) => Some(15.0),
-        ("dpmr_check_k2_pgo", true) => Some(12.0),
-        ("dpmr_scrub_k2", true) => Some(21.0),
-        ("dpmr_scrub_k2_opt", true) => Some(25.0),
-        ("dpmr_scrub_k2_pgo", true) => Some(25.0),
+        ("linked_list", false) => Some(52.0),
+        ("qsort", false) => Some(34.0),
+        ("resize_victim", false) => Some(55.0),
+        ("dpmr_check_k1", false) => Some(48.0),
+        ("dpmr_check_k2", false) => Some(40.0),
+        ("dpmr_check_k1_opt", false) => Some(50.0),
+        ("dpmr_check_k2_opt", false) => Some(41.0),
+        ("dpmr_check_k1_pgo", false) => Some(51.0),
+        ("dpmr_check_k2_pgo", false) => Some(43.0),
+        ("dpmr_scrub_k2", false) => Some(65.0),
+        ("dpmr_scrub_k2_opt", false) => Some(66.0),
+        ("dpmr_scrub_k2_pgo", false) => Some(78.0),
+        ("linked_list", true) => Some(30.0),
+        ("qsort", true) => Some(19.0),
+        ("resize_victim", true) => Some(24.0),
+        ("dpmr_check_k1", true) => Some(25.0),
+        ("dpmr_check_k2", true) => Some(23.0),
+        ("dpmr_check_k1_opt", true) => Some(29.0),
+        ("dpmr_check_k2_opt", true) => Some(26.0),
+        ("dpmr_check_k1_pgo", true) => Some(29.0),
+        ("dpmr_check_k2_pgo", true) => Some(26.0),
+        ("dpmr_scrub_k2", true) => Some(35.0),
+        ("dpmr_scrub_k2_opt", true) => Some(36.0),
+        ("dpmr_scrub_k2_pgo", true) => Some(42.0),
         _ => None,
     }
 }
@@ -296,11 +302,20 @@ fn git_rev() -> (String, bool) {
     (rev.trim().to_string(), dirty)
 }
 
-/// Appends one trajectory point as a JSON line.
-fn persist_point(path: &std::path::Path, workload: &str, mips: f64, rev: &str, dirty: bool) {
+/// Appends one trajectory point as a JSON line. `samples` is the number
+/// of round-robin rounds the recorded median was taken over (older
+/// trajectory lines without the field were single mean measurements).
+fn persist_point(
+    path: &std::path::Path,
+    workload: &str,
+    mips: f64,
+    samples: usize,
+    rev: &str,
+    dirty: bool,
+) {
     let mode = if smoke() { "smoke" } else { "full" };
     let line = format!(
-        "{{\"workload\":\"{workload}\",\"mips\":{mips:.2},\"git_rev\":\"{rev}\",\"dirty\":{dirty},\"mode\":\"{mode}\"}}\n"
+        "{{\"workload\":\"{workload}\",\"mips\":{mips:.2},\"samples\":{samples},\"git_rev\":\"{rev}\",\"dirty\":{dirty},\"mode\":\"{mode}\"}}\n"
     );
     let res = std::fs::OpenOptions::new()
         .create(true)
@@ -333,10 +348,14 @@ fn trajectory(_c: &mut Criterion) {
     // to completion: host-load drift then hits every point about
     // equally, so the *ratios* between points (the thing the optimizer
     // acceptance gate and the trajectory comparisons consume) stay
-    // meaningful even when absolute MIPS wobbles.
+    // meaningful even when absolute MIPS wobbles. Each round yields its
+    // own MIPS sample per workload, and the recorded number is the
+    // median of the rounds — a burst of host contention contaminates
+    // the rounds it lands in without dragging the recorded point, where
+    // a plain mean would absorb the full stall.
     const ROUNDS: u32 = 8;
-    // (workload, registry, instrs per run, accumulated runs, accumulated seconds)
-    type Point = (Workload, Option<Rc<Registry>>, u64, u64, f64);
+    // (workload, registry, instrs per run, per-round (runs, seconds))
+    type Point = (Workload, Option<Rc<Registry>>, u64, Vec<(u64, f64)>);
     let mut points: Vec<Point> = workloads()
         .into_iter()
         .map(|w| {
@@ -348,29 +367,41 @@ fn trajectory(_c: &mut Criterion) {
                 w.name,
                 out.status
             );
-            (w, reg, out.instrs, 0u64, 0.0f64)
+            (w, reg, out.instrs, Vec::with_capacity(ROUNDS as usize))
         })
         .collect();
     for _ in 0..ROUNDS {
-        for (w, reg, per_run, runs, secs) in &mut points {
+        for (w, reg, per_run, rounds) in &mut points {
             let t0 = Instant::now();
+            let mut runs = 0u64;
             while t0.elapsed() < budget / ROUNDS {
                 let out = run_once(w, reg.as_ref());
                 assert_eq!(out.instrs, *per_run, "{}: nondeterministic run", w.name);
-                *runs += 1;
+                runs += 1;
             }
-            *secs += t0.elapsed().as_secs_f64();
+            rounds.push((runs, t0.elapsed().as_secs_f64()));
         }
     }
-    for (w, _, per_run, runs, secs) in points {
+    for (w, _, per_run, rounds) in points {
         let name = w.name;
-        let mips = (per_run * runs) as f64 / secs / 1.0e6;
+        let samples = rounds.len();
+        let mut per_round: Vec<f64> = rounds
+            .iter()
+            .map(|(runs, secs)| (per_run * runs) as f64 / secs / 1.0e6)
+            .collect();
+        per_round.sort_by(f64::total_cmp);
+        // Median (even count: mean of the middle pair).
+        let mips = if samples % 2 == 1 {
+            per_round[samples / 2]
+        } else {
+            (per_round[samples / 2 - 1] + per_round[samples / 2]) / 2.0
+        };
         println!(
             "BENCH_INTERP_{}_MIPS={mips:.2}",
             name.to_uppercase().replace('-', "_")
         );
         if let Some(path) = &json {
-            persist_point(path, name, mips, &rev, dirty);
+            persist_point(path, name, mips, samples, &rev, dirty);
         }
         if let Some(r) = min_ratio {
             let mode = if smoke() { "smoke" } else { "full" };

@@ -7,6 +7,7 @@
 //! dpmr-harness profile             # check-site profile (alias: profS.1)
 //! dpmr-harness trace               # event-trace sink (alias: traceE.1)
 //! dpmr-harness optimize            # optimizer study (alias: optP.1)
+//! dpmr-harness bench-report        # interpreter throughput trajectory
 //! dpmr-harness all --runs 3 --scale 2 --max-sites 8 --workers 8 --quiet
 //! ```
 //!
@@ -18,7 +19,7 @@ use dpmr_harness::{all_ids, artifact_descriptions, reproduce};
 use dpmr_workloads::WorkloadParams;
 use std::collections::BTreeSet;
 
-const USAGE: &str = "usage: dpmr-harness <all|quick|list|profile|trace|optimize|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N] [--quiet]";
+const USAGE: &str = "usage: dpmr-harness <all|quick|list|profile|trace|optimize|bench-report|ids...> [--runs N] [--scale N] [--max-sites N] [--workers N] [--quiet]";
 
 /// The value of flag `args[i]`, or a usage error and exit 2 when the
 /// value is missing or unparsable.
@@ -73,6 +74,29 @@ fn main() {
             }
             "optimize" => {
                 ids.insert("optP.1".to_string());
+            }
+            "bench-report" => {
+                // Pure file rendering — no campaign config applies.
+                let path = dpmr_harness::bench_report::trajectory_path();
+                match std::fs::read_to_string(&path) {
+                    Ok(contents) => {
+                        print!(
+                            "{}",
+                            dpmr_harness::bench_report::render_report(&contents, "full")
+                        );
+                        let smoke = dpmr_harness::bench_report::render_report(&contents, "smoke");
+                        if !smoke.starts_with("no ") {
+                            println!();
+                            print!("{smoke}");
+                        }
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("bench-report: cannot read {}: {e}", path.display());
+                        eprintln!("run `cargo bench -p dpmr-bench --bench interp_throughput` to record points");
+                        std::process::exit(1);
+                    }
+                }
             }
             "--quiet" => quiet = true,
             "--runs" => {

@@ -218,6 +218,90 @@ pub enum Op {
     FusedGroup(Box<FusedGroup>),
 }
 
+/// Dense discriminant of an [`Op`], used by the interpreter's threaded
+/// dispatcher: `HANDLERS[opcodes[pc] as usize]` is one indirect call,
+/// replacing the multi-arm `match` on the full `Op` payload. Variants
+/// mirror [`Op`] in declaration order and the values are contiguous
+/// (`0..OPCODE_COUNT`), so a handler table indexed by `as usize` has no
+/// holes and no bounds-check surprises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    Alloca = 0,
+    Malloc,
+    Free,
+    Load,
+    Store,
+    FieldAddr,
+    IndexAddr,
+    Cast,
+    Bin,
+    Cmp,
+    Copy,
+    CallDirect,
+    CallIndirect,
+    CallExternal,
+    DpmrCheck,
+    RandInt,
+    HeapBufSize,
+    Output,
+    FiMarker,
+    Abort,
+    Jump,
+    CondJump,
+    Ret,
+    Unreachable,
+    BadBlock,
+    Invalid,
+    CheckElided,
+    LoadElided,
+    FusedLoadCheck,
+    FusedStoreStore,
+    FusedGroup,
+}
+
+/// Number of [`OpCode`] variants (the handler table's length).
+pub const OPCODE_COUNT: usize = OpCode::FusedGroup as usize + 1;
+
+impl Op {
+    /// The dense discriminant of this op.
+    pub fn opcode(&self) -> OpCode {
+        match self {
+            Op::Alloca { .. } => OpCode::Alloca,
+            Op::Malloc { .. } => OpCode::Malloc,
+            Op::Free { .. } => OpCode::Free,
+            Op::Load { .. } => OpCode::Load,
+            Op::Store { .. } => OpCode::Store,
+            Op::FieldAddr { .. } => OpCode::FieldAddr,
+            Op::IndexAddr { .. } => OpCode::IndexAddr,
+            Op::Cast { .. } => OpCode::Cast,
+            Op::Bin { .. } => OpCode::Bin,
+            Op::Cmp { .. } => OpCode::Cmp,
+            Op::Copy { .. } => OpCode::Copy,
+            Op::CallDirect { .. } => OpCode::CallDirect,
+            Op::CallIndirect { .. } => OpCode::CallIndirect,
+            Op::CallExternal { .. } => OpCode::CallExternal,
+            Op::DpmrCheck { .. } => OpCode::DpmrCheck,
+            Op::RandInt { .. } => OpCode::RandInt,
+            Op::HeapBufSize { .. } => OpCode::HeapBufSize,
+            Op::Output { .. } => OpCode::Output,
+            Op::FiMarker { .. } => OpCode::FiMarker,
+            Op::Abort { .. } => OpCode::Abort,
+            Op::Jump { .. } => OpCode::Jump,
+            Op::CondJump { .. } => OpCode::CondJump,
+            Op::Ret { .. } => OpCode::Ret,
+            Op::Unreachable => OpCode::Unreachable,
+            Op::BadBlock { .. } => OpCode::BadBlock,
+            Op::Invalid { .. } => OpCode::Invalid,
+            Op::CheckElided { .. } => OpCode::CheckElided,
+            Op::LoadElided { .. } => OpCode::LoadElided,
+            Op::FusedLoadCheck(_) => OpCode::FusedLoadCheck,
+            Op::FusedStoreStore(_) => OpCode::FusedStoreStore,
+            Op::FusedGroup(_) => OpCode::FusedGroup,
+        }
+    }
+}
+
 /// Payload of [`Op::FusedLoadCheck`]: the load's pre-resolved fields
 /// plus the complete original check op and its pc. Keeping the second
 /// op verbatim lets the interpreter replicate the unfused execution —
@@ -283,12 +367,27 @@ pub struct LoweredCode {
     /// Number of `dpmr.check` sites (site ids are `0..check_sites`,
     /// assigned in function-major, pc order — stable for a given module).
     pub check_sites: u32,
+    /// `opcodes[pc] == ops[pc].opcode()`: the dense discriminants in a
+    /// flat side array, one byte per op, so the threaded dispatcher's
+    /// fast loop fetches the handler index without touching the (large,
+    /// payload-carrying) `Op` value. Maintained by [`crate::lower`] and
+    /// [`crate::opt::optimize`]; code built by hand must call
+    /// [`LoweredCode::rebuild_opcodes`] (the interpreter re-derives it
+    /// defensively when lengths disagree).
+    pub opcodes: Vec<OpCode>,
 }
 
 impl LoweredCode {
     /// Entry pc of function `f`.
     pub fn entry(&self, f: FuncId) -> u32 {
         self.func_entry[f.0 as usize]
+    }
+
+    /// Re-derive [`LoweredCode::opcodes`] from [`LoweredCode::ops`].
+    /// Call after constructing or rewriting `ops` by hand.
+    pub fn rebuild_opcodes(&mut self) {
+        self.opcodes.clear();
+        self.opcodes.extend(self.ops.iter().map(Op::opcode));
     }
 
     /// The function whose lowered range contains `pc`. Lowering

@@ -113,6 +113,15 @@ impl FaultModel {
     }
 }
 
+/// Sentinel pc meaning "no fault armed". The interpreter keeps the
+/// armed site pc in a plain `u32` compared against the current pc each
+/// iteration; lowered code is bounded far below `u32::MAX`, so the
+/// sentinel can never match a real pc. The threaded dispatcher also
+/// keys its hazard-window computation on this: an unarmed engine
+/// (`armed_pc == UNARMED_PC`) compiles the per-op pc compare out of
+/// the fast loop entirely.
+pub const UNARMED_PC: u32 = u32::MAX;
+
 /// A fault armed for one run: the `(site, seed, cycle)` triple that makes
 /// runtime injections replayable. `site` is an absolute pc into the
 /// module's lowered op stream (see [`crate::code::LoweredCode::ops`]);

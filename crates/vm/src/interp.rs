@@ -38,9 +38,9 @@
 //! by handler nesting, e.g. `qsort` calling an IR comparator).
 
 use crate::alloc::{AllocStats, Allocator, FreeOutcome};
-use crate::code::{LoadKind, LoweredCode, Op, Opnd, StoreKind};
+use crate::code::{LoadKind, LoweredCode, Op, OpCode, Opnd, StoreKind, OPCODE_COUNT};
 use crate::external::{Handler, Registry};
-use crate::fault::{fault_mix, ArmedFault, FaultModel};
+use crate::fault::{fault_mix, ArmedFault, FaultModel, UNARMED_PC};
 use crate::mem::{Mem, MemConfig, MemFault, MemSnapshot, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 use crate::telemetry::{Telemetry, TelemetryConfig, TraceEvent};
 use crate::value::{normalize_int, scalar_bytes, store_scalar, Value};
@@ -345,6 +345,14 @@ pub struct RunConfig {
     /// Telemetry collection (off by default; one branch per op when off,
     /// the same discipline as the fault hook — see [`crate::telemetry`]).
     pub telemetry: TelemetryConfig,
+    /// Force the checked per-op dispatch loop, never opening hazard
+    /// windows (see `Interp::dispatch`). The two engines are
+    /// bit-identical in every observable — outcomes, virtual cycles,
+    /// instruction counts, snapshots, telemetry — so this exists only
+    /// for differential testing and for measuring the threaded
+    /// dispatcher's win. Also settable process-wide with the
+    /// `DPMR_PLAIN_DISPATCH` environment variable (any value but `0`).
+    pub plain_dispatch: bool,
 }
 
 impl Default for RunConfig {
@@ -364,8 +372,19 @@ impl Default for RunConfig {
             max_depth: 1 << 17,
             fault: None,
             telemetry: TelemetryConfig::off(),
+            plain_dispatch: false,
         }
     }
+}
+
+/// Process-wide `DPMR_PLAIN_DISPATCH` override (read once): forces every
+/// interpreter onto the checked per-op loop, the differential-testing
+/// knob CI uses to prove the threaded engine changes nothing observable.
+fn plain_dispatch_env() -> bool {
+    static PLAIN: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PLAIN.get_or_init(|| {
+        std::env::var("DPMR_PLAIN_DISPATCH").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
 }
 
 /// Internal control-flow escape.
@@ -463,6 +482,35 @@ enum DispatchEnd {
     Paused,
 }
 
+/// How one hazard-window fast run ([`Interp::run_window`]) ended. Traps
+/// propagate as `Err` exactly as the slow loop's do; these are the
+/// non-trap exits.
+enum Window {
+    /// The base activation returned with this value.
+    Returned(Option<Value>),
+    /// The window closed on a boundary the dispatch-loop *top* settles
+    /// (checkpoint cadence due, pause budget reached): loop back to the
+    /// top so the checkpoint or pause lands at exactly the instruction
+    /// boundary the slow loop would give it, then reopen a window.
+    Hazard,
+    /// The window closed on a condition only a checked per-op iteration
+    /// can settle (instruction budget exhausted, a `BadBlock` pad, a pc
+    /// outside the op stream): execute exactly one slow iteration, then
+    /// return to the top. Distinct from [`Window::Hazard`] because the
+    /// top would clear nothing here — looping back without progress
+    /// would spin.
+    Fall,
+}
+
+/// Uniform signature of a threaded-dispatch op handler: the `match` arm
+/// of the former monolithic `step_op`, reachable through one indirect
+/// call via [`HANDLERS`].
+type OpHandler = for<'a, 'b, 'c, 'm> fn(
+    &'a mut Interp<'m>,
+    &'b mut [Option<Value>],
+    &'c Op,
+) -> Result<Flow, Trap>;
+
 /// The interpreter.
 pub struct Interp<'m> {
     /// Program being executed.
@@ -534,6 +582,9 @@ pub struct Interp<'m> {
     /// Collected telemetry data (all-empty when collection is off, so
     /// snapshot clones stay free).
     tele: Telemetry,
+    /// Never open hazard windows (config flag or `DPMR_PLAIN_DISPATCH`):
+    /// every op runs on the checked slow loop.
+    plain_dispatch: bool,
 }
 
 impl<'m> Interp<'m> {
@@ -560,6 +611,16 @@ impl<'m> Interp<'m> {
         cfg: &RunConfig,
         externals: Rc<Registry>,
     ) -> Self {
+        // Hand-built code (tests construct `LoweredCode` literals) may
+        // lack the dense opcode side-table; re-derive it so the threaded
+        // dispatcher can trust `opcodes[pc] == ops[pc].opcode()`.
+        let code = if code.opcodes.len() == code.ops.len() {
+            code
+        } else {
+            let mut c = (*code).clone();
+            c.rebuild_opcodes();
+            Rc::new(c)
+        };
         let mut mem = Mem::new(&cfg.mem);
         // Pass 1: allocate.
         let mut global_addrs = Vec::with_capacity(module.globals.len());
@@ -620,6 +681,7 @@ impl<'m> Interp<'m> {
             fault_hits: 0,
             tele_cfg: cfg.telemetry,
             tele: Telemetry::default(),
+            plain_dispatch: cfg.plain_dispatch || plain_dispatch_env(),
         };
         if it.tele_cfg.sites {
             it.tele.site_stats = vec![Default::default(); it.code.check_sites as usize];
@@ -1187,10 +1249,28 @@ impl<'m> Interp<'m> {
     /// `base`, or (top level only) the pause budget is reached. All
     /// simulated execution state stays in `self.frames`; the host stack
     /// does not grow with simulated call depth.
+    ///
+    /// # Fast/slow loop contract
+    ///
+    /// Per iteration the loop runs the top-of-boundary concerns
+    /// (checkpoint cadence, pause budget — top level only), then hands
+    /// execution to the **hazard-window fast loop**
+    /// ([`Interp::run_window`]) unless something per-op is live (pc
+    /// profiling, [`RunConfig::plain_dispatch`]). The fast loop executes
+    /// ops unchecked — pc, frame index, and registers cached in locals —
+    /// until the precomputed window closes, then either loops back here
+    /// ([`Window::Hazard`]) or requests exactly one checked iteration
+    /// ([`Window::Fall`]). The checked iteration below is the original
+    /// engine, byte-for-byte; both paths call the same [`HANDLERS`], so
+    /// every observable — instruction counts, virtual cycles, traps,
+    /// telemetry, snapshots — is bit-identical between them.
     fn dispatch(&mut self, base: usize) -> Result<DispatchEnd, Trap> {
         // The bytecode is behind an Rc so ops can be borrowed across the
         // `&mut self` op execution (the lowered code is immutable).
         let code = Rc::clone(&self.code);
+        // Per-op pc profiling is the one telemetry concern with work at
+        // every iteration; it pins execution to the checked loop.
+        let threaded = !self.plain_dispatch && !self.tele_cfg.per_op();
         loop {
             if base == 0 {
                 self.maybe_auto_checkpoint();
@@ -1198,6 +1278,20 @@ impl<'m> Interp<'m> {
                     if self.instrs >= limit {
                         return Ok(DispatchEnd::Paused);
                     }
+                }
+            }
+            if threaded {
+                // The armed-pc compare is compiled out of clean runs
+                // (the overwhelmingly common case) via the const.
+                let w = if self.armed_pc == UNARMED_PC {
+                    self.run_window::<false>(&code, base)
+                } else {
+                    self.run_window::<true>(&code, base)
+                }?;
+                match w {
+                    Window::Returned(v) => return Ok(DispatchEnd::Returned(v)),
+                    Window::Hazard => continue,
+                    Window::Fall => {}
                 }
             }
             let fi = self.frames.len() - 1;
@@ -1257,11 +1351,11 @@ impl<'m> Interp<'m> {
                         match val {
                             Some(v) => {
                                 let ci = self.frames.len() - 1;
-                                self.frames[ci].regs[d as usize] = Some(v);
+                                set_reg(&mut self.frames[ci].regs, d, v);
                             }
                             None => {
                                 self.unwind(base);
-                                return Err(Trap::Invalid("void call used as value".into()));
+                                return Err(void_call_value());
                             }
                         }
                     }
@@ -1274,15 +1368,177 @@ impl<'m> Interp<'m> {
         }
     }
 
+    /// The hazard-window fast loop. On entry it computes the window
+    /// bounds — the nearest instruction count and virtual cycle at which
+    /// anything non-plain can fire:
+    ///
+    /// * `instr_hazard` — the pause budget (top level only) and the
+    ///   instruction budget, whichever is nearer;
+    /// * `cycle_hazard` — the next checkpoint-cadence boundary (top
+    ///   level only; `u64::MAX` when cadence is off);
+    /// * the armed fault pc, compiled in per-op only when `ARMED` (the
+    ///   caller picks the instantiation, so clean runs carry no compare);
+    /// * per-op telemetry and `plain_dispatch` never reach here — the
+    ///   caller keeps those runs on the checked loop entirely.
+    ///
+    /// Until a bound is reached, ops execute with the frame index, pc,
+    /// and registers cached in locals: no checkpoint/pause/timeout
+    /// checks, no `BadBlock` discriminant test against the full op, no
+    /// per-frame pc store, no register-vector swap — one dense-opcode
+    /// fetch and one indirect call per op. Calls and returns re-cache
+    /// the locals; window closure parks pc/registers back into the frame
+    /// before returning, so the interpreter state a caller observes is
+    /// exactly a slow-loop instruction boundary (snapshots taken at the
+    /// dispatch top stay valid and portable).
+    #[inline(never)]
+    fn run_window<const ARMED: bool>(
+        &mut self,
+        code: &LoweredCode,
+        base: usize,
+    ) -> Result<Window, Trap> {
+        let instr_hazard = if base == 0 {
+            match self.pause_at {
+                Some(p) => p.min(self.max_instrs),
+                None => self.max_instrs,
+            }
+        } else {
+            self.max_instrs
+        };
+        let cycle_hazard = if base == 0 {
+            self.next_checkpoint
+        } else {
+            u64::MAX
+        };
+        let ops: &[Op] = &code.ops;
+        let opcodes: &[OpCode] = &code.opcodes;
+        let mut fi = self.frames.len() - 1;
+        let mut pc = self.frames[fi].pc;
+        let mut regs = std::mem::take(&mut self.frames[fi].regs);
+        loop {
+            if self.instrs >= instr_hazard || self.clock >= cycle_hazard {
+                self.frames[fi].pc = pc;
+                self.frames[fi].regs = regs;
+                return Ok(self.close_window(base));
+            }
+            let (op, oc) = match (ops.get(pc as usize), opcodes.get(pc as usize)) {
+                (Some(op), Some(&oc)) => (op, oc),
+                // A pc outside the op stream: park and let the checked
+                // loop reproduce the plain engine's behaviour exactly.
+                _ => {
+                    self.frames[fi].pc = pc;
+                    self.frames[fi].regs = regs;
+                    return Ok(Window::Fall);
+                }
+            };
+            if oc == OpCode::BadBlock {
+                // The pad traps uncounted and uncharged; only the
+                // checked loop knows how.
+                self.frames[fi].pc = pc;
+                self.frames[fi].regs = regs;
+                return Ok(Window::Fall);
+            }
+            self.instrs += 1;
+            if ARMED {
+                self.fault_pending = pc == self.armed_pc;
+            }
+            // Hot-op fast path: the opcodes that dominate every measured
+            // workload profile (simple ALU/address/branch/memory ops) are
+            // dispatched by direct — and therefore inlinable — calls;
+            // everything else takes the handler table's indirect call.
+            // Both routes run the *same* handler functions, so the split
+            // is invisible to semantics.
+            let step = match oc {
+                OpCode::Copy => h_copy(self, &mut regs, op),
+                OpCode::IndexAddr => h_index_addr(self, &mut regs, op),
+                OpCode::FieldAddr => h_field_addr(self, &mut regs, op),
+                OpCode::Bin => h_bin(self, &mut regs, op),
+                OpCode::Cmp => h_cmp(self, &mut regs, op),
+                OpCode::Jump => h_jump(self, &mut regs, op),
+                OpCode::CondJump => h_cond_jump(self, &mut regs, op),
+                OpCode::Load => h_load(self, &mut regs, op),
+                OpCode::Store => h_store(self, &mut regs, op),
+                _ => HANDLERS[oc as usize](self, &mut regs, op),
+            };
+            match step {
+                Ok(Flow::Next) => pc += 1,
+                Ok(Flow::Skip2) => pc += 2,
+                Ok(Flow::SkipN(n)) => pc += n,
+                Ok(Flow::Jump(target)) => pc = target,
+                Ok(Flow::Call { f, args, dst }) => {
+                    // Return lands on the op after the call.
+                    self.frames[fi].pc = pc + 1;
+                    self.frames[fi].regs = regs;
+                    if let Err(t) = self.push_frame(f, args, dst) {
+                        self.unwind(base);
+                        return Err(t);
+                    }
+                    fi = self.frames.len() - 1;
+                    pc = self.frames[fi].pc;
+                    regs = std::mem::take(&mut self.frames[fi].regs);
+                }
+                Ok(Flow::Ret(val)) => {
+                    let fr = self.frames.pop().expect("a frame is live");
+                    self.mem.stack_release(fr.stack_mark);
+                    if self.frames.len() == base {
+                        return Ok(Window::Returned(val));
+                    }
+                    fi = self.frames.len() - 1;
+                    pc = self.frames[fi].pc;
+                    regs = std::mem::take(&mut self.frames[fi].regs);
+                    if let Some(d) = fr.ret_dst {
+                        match val {
+                            Some(v) => set_reg(&mut regs, d, v),
+                            None => {
+                                self.unwind(base);
+                                return Err(void_call_value());
+                            }
+                        }
+                    }
+                }
+                Err(t) => {
+                    self.unwind(base);
+                    return Err(t);
+                }
+            }
+        }
+    }
+
+    /// Decides how a closed hazard window resumes (out of line: window
+    /// closure is orders of magnitude rarer than op execution).
+    #[cold]
+    #[inline(never)]
+    fn close_window(&self, base: usize) -> Window {
+        // Close reasons the dispatch top settles: loop back to it. The
+        // top is guaranteed to make progress (take the due checkpoint,
+        // deliver the due pause) before a window reopens.
+        let pause_due = base == 0 && self.pause_at.is_some_and(|p| self.instrs >= p);
+        let checkpoint_due = base == 0 && self.clock >= self.next_checkpoint;
+        if pause_due || checkpoint_due {
+            Window::Hazard
+        } else {
+            // Only the instruction budget remains: one checked
+            // iteration delivers the timeout with slow-loop ordering
+            // (a `BadBlock` pad still outranks it there).
+            Window::Fall
+        }
+    }
+
     /// Evaluates a pre-resolved operand: one slot read or an immediate.
+    /// Out-of-range slots and globals (impossible in lowered code, which
+    /// sizes both at compile time) trap as invalid execution — `get`
+    /// keeps panic edges out of the dispatch hot path (the PR-6 lesson).
     #[inline]
     fn eval(&self, regs: &[Option<Value>], o: &Opnd) -> Result<Value, Trap> {
         match *o {
-            Opnd::Reg(i) => {
-                regs[i as usize].ok_or_else(|| Trap::Invalid(format!("use of unset register r{i}")))
-            }
+            Opnd::Reg(i) => match regs.get(i as usize) {
+                Some(&Some(v)) => Ok(v),
+                _ => Err(unset_register(i)),
+            },
             Opnd::Imm(v) => Ok(v),
-            Opnd::Global(g) => Ok(Value::Ptr(self.global_addrs[g as usize])),
+            Opnd::Global(g) => match self.global_addrs.get(g as usize) {
+                Some(&a) => Ok(Value::Ptr(a)),
+                None => Err(unknown_global(g)),
+            },
         }
     }
 
@@ -1491,7 +1747,7 @@ impl<'m> Interp<'m> {
         self.clock += cost::MEM;
         self.touch(a);
         let v = self.load_kind(kind, a)?;
-        regs[dst as usize] = Some(forced.unwrap_or(v));
+        set_reg(regs, dst, forced.unwrap_or(v));
         Ok(())
     }
 
@@ -1660,7 +1916,7 @@ impl<'m> Interp<'m> {
                         self.store_kind(addr, *kind, vb)?;
                     }
                     if let Some((slot, _)) = a_reg {
-                        regs[*slot as usize] = Some(vb);
+                        set_reg(regs, *slot, vb);
                     }
                 }
                 TrapAction::Vote => {
@@ -1708,7 +1964,7 @@ impl<'m> Interp<'m> {
                             self.touch(addr);
                             self.store_kind(addr, *kind, winner)?;
                         }
-                        regs[*slot as usize] = Some(winner);
+                        set_reg(regs, *slot, winner);
                     }
                     let mut voted_out = 0u64;
                     for (i, v) in vreps.iter().enumerate() {
@@ -1741,334 +1997,597 @@ impl<'m> Interp<'m> {
         Ok(())
     }
 
-    /// Executes one op against the current frame's registers.
-    #[allow(clippy::too_many_lines)]
+    /// Executes one op against the current frame's registers: one
+    /// indirect call through the dense-opcode handler table. Shared by
+    /// the checked loop and fused-group member execution; the fast loop
+    /// indexes [`HANDLERS`] with the opcode side-table directly.
+    #[inline]
     fn step_op(&mut self, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
-        match op {
-            Op::Alloca { dst, count, size } => {
-                let n = match count {
-                    Some(o) => {
-                        let v = self.eval(regs, o)?.as_int();
-                        u64::try_from(v.max(0)).unwrap_or(0)
-                    }
-                    None => 1,
-                };
-                self.clock += cost::ALU + (size * n) / 64;
-                let addr = self.mem.stack_alloc(size * n)?;
-                regs[*dst as usize] = Some(Value::Ptr(addr));
-            }
-            Op::Malloc { dst, count, esize } => {
-                let n = self.eval(regs, count)?.as_int();
-                let n = u64::try_from(n.max(0)).unwrap_or(0);
-                let size = esize.saturating_mul(n);
-                self.clock += cost::MALLOC_BASE + size / 16;
-                let p = self.alloc.malloc(&mut self.mem, size)?;
-                self.alloc.stats.peak_brk = self.alloc.stats.peak_brk.max(self.mem.brk() as u64);
-                regs[*dst as usize] = Some(Value::Ptr(p));
-            }
-            Op::Free { ptr } => {
-                let p = self.eval(regs, ptr)?.as_ptr();
-                self.clock += cost::FREE;
-                match self.alloc.free(&mut self.mem, p) {
-                    FreeOutcome::Ok | FreeOutcome::SilentCorruption => {}
-                    FreeOutcome::Abort(m) => return Err(Trap::Alloc(m)),
+        HANDLERS[op.opcode() as usize](self, regs, op)
+    }
+}
+
+/// The threaded dispatch table, indexed by [`OpCode`] (dense, no holes:
+/// `HANDLERS[op.opcode() as usize]` never bounds-checks in optimized
+/// builds because the enum's range is known). Order must mirror the
+/// `OpCode` declaration exactly; `opcode_table_is_aligned` (tests below)
+/// locks the correspondence.
+static HANDLERS: [OpHandler; OPCODE_COUNT] = [
+    h_alloca,
+    h_malloc,
+    h_free,
+    h_load,
+    h_store,
+    h_field_addr,
+    h_index_addr,
+    h_cast,
+    h_bin,
+    h_cmp,
+    h_copy,
+    h_call_direct,
+    h_call_indirect,
+    h_call_external,
+    h_dpmr_check,
+    h_rand_int,
+    h_heap_buf_size,
+    h_output,
+    h_fi_marker,
+    h_abort,
+    h_jump,
+    h_cond_jump,
+    h_ret,
+    h_unreachable,
+    h_bad_block,
+    h_invalid,
+    h_check_elided,
+    h_load_elided,
+    h_fused_load_check,
+    h_fused_store_store,
+    h_fused_group,
+];
+
+/// Writes a register slot. Out-of-range destinations (impossible in
+/// lowered code, which sizes the register file per function) drop the
+/// write instead of panicking — no panic edges in the dispatch hot path.
+#[inline]
+fn set_reg(regs: &mut [Option<Value>], dst: u32, v: Value) {
+    if let Some(slot) = regs.get_mut(dst as usize) {
+        *slot = Some(v);
+    }
+}
+
+// Trap constructors, out of line and cold: the hot path keeps only a
+// compare-and-branch per failure mode, with formatting and allocation
+// behind a never-inlined call (the PR-6 `get_mut` lesson generalized).
+
+#[cold]
+#[inline(never)]
+fn unset_register(i: u32) -> Trap {
+    Trap::Invalid(format!("use of unset register r{i}"))
+}
+
+#[cold]
+#[inline(never)]
+fn unknown_global(g: u32) -> Trap {
+    Trap::Invalid(format!("use of unknown global g{g}"))
+}
+
+#[cold]
+#[inline(never)]
+fn void_call_value() -> Trap {
+    Trap::Invalid("void call used as value".into())
+}
+
+#[cold]
+#[inline(never)]
+fn bad_indirect_call(p: u64) -> Trap {
+    Trap::Invalid(format!("indirect call of non-function address {p:#x}"))
+}
+
+#[cold]
+#[inline(never)]
+fn div_by_zero() -> Trap {
+    Trap::Invalid("division by zero".into())
+}
+
+#[cold]
+#[inline(never)]
+fn rem_by_zero() -> Trap {
+    Trap::Invalid("remainder by zero".into())
+}
+
+/// An op whose payload does not match its handler: unreachable through
+/// lowered code (the opcode table is derived from the ops), kept as a
+/// trap so hand-built code cannot cause UB-adjacent surprises.
+#[cold]
+#[inline(never)]
+fn malformed_op() -> Trap {
+    Trap::Invalid("op/opcode mismatch in threaded dispatch".into())
+}
+
+// The op handlers: one per `OpCode`, each the former `step_op` match
+// arm. Free functions (not methods) so their `Interp` lifetime stays
+// late-bound and coerces to the HRTB `OpHandler` signature.
+
+fn h_alloca(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Alloca { dst, count, size } = op else {
+        return Err(malformed_op());
+    };
+    let n = match count {
+        Some(o) => {
+            let v = it.eval(regs, o)?.as_int();
+            u64::try_from(v.max(0)).unwrap_or(0)
+        }
+        None => 1,
+    };
+    it.clock += cost::ALU + (size * n) / 64;
+    let addr = it.mem.stack_alloc(size * n)?;
+    set_reg(regs, *dst, Value::Ptr(addr));
+    Ok(Flow::Next)
+}
+
+fn h_malloc(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Malloc { dst, count, esize } = op else {
+        return Err(malformed_op());
+    };
+    let n = it.eval(regs, count)?.as_int();
+    let n = u64::try_from(n.max(0)).unwrap_or(0);
+    let size = esize.saturating_mul(n);
+    it.clock += cost::MALLOC_BASE + size / 16;
+    let p = it.alloc.malloc(&mut it.mem, size)?;
+    it.alloc.stats.peak_brk = it.alloc.stats.peak_brk.max(it.mem.brk() as u64);
+    set_reg(regs, *dst, Value::Ptr(p));
+    Ok(Flow::Next)
+}
+
+fn h_free(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Free { ptr } = op else {
+        return Err(malformed_op());
+    };
+    let p = it.eval(regs, ptr)?.as_ptr();
+    it.clock += cost::FREE;
+    match it.alloc.free(&mut it.mem, p) {
+        FreeOutcome::Ok | FreeOutcome::SilentCorruption => Ok(Flow::Next),
+        FreeOutcome::Abort(m) => Err(Trap::Alloc(m)),
+    }
+}
+
+#[inline]
+fn h_load(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Load { dst, ptr, kind } = op else {
+        return Err(malformed_op());
+    };
+    it.exec_load(regs, *dst, ptr, *kind)?;
+    Ok(Flow::Next)
+}
+
+#[inline]
+fn h_store(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Store { ptr, value, kind } = op else {
+        return Err(malformed_op());
+    };
+    it.exec_store(regs, ptr, value, *kind)?;
+    Ok(Flow::Next)
+}
+
+#[inline]
+fn h_field_addr(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::FieldAddr { dst, base, off } = op else {
+        return Err(malformed_op());
+    };
+    let b = it.eval(regs, base)?.as_ptr();
+    it.clock += cost::ADDR;
+    set_reg(regs, *dst, Value::Ptr(b.wrapping_add(*off)));
+    Ok(Flow::Next)
+}
+
+#[inline]
+fn h_index_addr(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::IndexAddr {
+        dst,
+        base,
+        index,
+        esize,
+    } = op
+    else {
+        return Err(malformed_op());
+    };
+    let b = it.eval(regs, base)?.as_ptr();
+    let i = it.eval(regs, index)?.as_int();
+    it.clock += cost::ADDR;
+    set_reg(
+        regs,
+        *dst,
+        Value::Ptr(b.wrapping_add((*esize as i64).wrapping_mul(i) as u64)),
+    );
+    Ok(Flow::Next)
+}
+
+fn h_cast(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Cast {
+        dst,
+        op: cast,
+        src,
+        dbits,
+    } = op
+    else {
+        return Err(malformed_op());
+    };
+    let v = it.eval(regs, src)?;
+    let dbits = *dbits;
+    it.clock += cost::ALU;
+    let out = match cast {
+        CastOp::Bitcast => v,
+        CastOp::PtrToInt => Value::Int(normalize_int(v.to_bits() as i64, dbits)),
+        CastOp::IntToPtr => Value::Ptr(v.to_bits()),
+        CastOp::Trunc | CastOp::Zext | CastOp::Sext => {
+            let raw = v.as_int();
+            match cast {
+                CastOp::Trunc | CastOp::Sext => Value::Int(normalize_int(raw, dbits)),
+                _ => {
+                    // Zext: mask without sign extension, then
+                    // renormalize at destination width.
+                    let masked = if dbits == 64 {
+                        raw
+                    } else {
+                        raw & ((1i64 << dbits) - 1)
+                    };
+                    Value::Int(normalize_int(masked, dbits))
                 }
-            }
-            Op::Load { dst, ptr, kind } => {
-                self.exec_load(regs, *dst, ptr, *kind)?;
-            }
-            Op::Store { ptr, value, kind } => {
-                self.exec_store(regs, ptr, value, *kind)?;
-            }
-            Op::FieldAddr { dst, base, off } => {
-                let b = self.eval(regs, base)?.as_ptr();
-                self.clock += cost::ADDR;
-                regs[*dst as usize] = Some(Value::Ptr(b.wrapping_add(*off)));
-            }
-            Op::IndexAddr {
-                dst,
-                base,
-                index,
-                esize,
-            } => {
-                let b = self.eval(regs, base)?.as_ptr();
-                let i = self.eval(regs, index)?.as_int();
-                self.clock += cost::ADDR;
-                regs[*dst as usize] = Some(Value::Ptr(
-                    b.wrapping_add((*esize as i64).wrapping_mul(i) as u64),
-                ));
-            }
-            Op::Cast {
-                dst,
-                op,
-                src,
-                dbits,
-            } => {
-                let v = self.eval(regs, src)?;
-                let dbits = *dbits;
-                self.clock += cost::ALU;
-                let out = match op {
-                    CastOp::Bitcast => v,
-                    CastOp::PtrToInt => Value::Int(normalize_int(v.to_bits() as i64, dbits)),
-                    CastOp::IntToPtr => Value::Ptr(v.to_bits()),
-                    CastOp::Trunc | CastOp::Zext | CastOp::Sext => {
-                        let raw = v.as_int();
-                        match op {
-                            CastOp::Trunc | CastOp::Sext => Value::Int(normalize_int(raw, dbits)),
-                            _ => {
-                                // Zext: mask without sign extension, then
-                                // renormalize at destination width.
-                                let masked = if dbits == 64 {
-                                    raw
-                                } else {
-                                    raw & ((1i64 << dbits) - 1)
-                                };
-                                Value::Int(normalize_int(masked, dbits))
-                            }
-                        }
-                    }
-                    CastOp::FpToSi => Value::Int(normalize_int(v.as_float() as i64, dbits)),
-                    CastOp::SiToFp => Value::Float(v.as_int() as f64),
-                    CastOp::FpCast => {
-                        if dbits == 32 {
-                            Value::Float(f64::from(v.as_float() as f32))
-                        } else {
-                            Value::Float(v.as_float())
-                        }
-                    }
-                };
-                regs[*dst as usize] = Some(out);
-            }
-            Op::Bin {
-                dst,
-                op,
-                lhs,
-                rhs,
-                bits,
-                ptr_result,
-            } => {
-                let a = self.eval(regs, lhs)?;
-                let b = self.eval(regs, rhs)?;
-                self.clock += cost::ALU;
-                let out = binop(*op, a, b, *bits, *ptr_result)?;
-                regs[*dst as usize] = Some(out);
-            }
-            Op::Cmp {
-                dst,
-                pred,
-                lhs,
-                rhs,
-            } => {
-                let a = self.eval(regs, lhs)?;
-                let b = self.eval(regs, rhs)?;
-                self.clock += cost::ALU;
-                regs[*dst as usize] = Some(Value::Int(i64::from(cmp(*pred, a, b))));
-            }
-            Op::Copy { dst, src } => {
-                let v = self.eval(regs, src)?;
-                self.clock += cost::ALU;
-                regs[*dst as usize] = Some(v);
-            }
-            Op::CallDirect { dst, f, args } => {
-                let vals = self.eval_call_args(regs, args)?;
-                return Ok(Flow::Call {
-                    f: *f,
-                    args: vals,
-                    dst: *dst,
-                });
-            }
-            Op::CallIndirect { dst, target, args } => {
-                let vals = self.eval_call_args(regs, args)?;
-                let p = self.eval(regs, target)?.as_ptr();
-                let fid = self.resolve_fn_ptr(p).ok_or_else(|| {
-                    Trap::Invalid(format!("indirect call of non-function address {p:#x}"))
-                })?;
-                return Ok(Flow::Call {
-                    f: fid,
-                    args: vals,
-                    dst: *dst,
-                });
-            }
-            Op::CallExternal { dst, ext, args } => {
-                let vals = self.eval_call_args(regs, args)?;
-                let handler = match &self.ext_handlers[*ext as usize] {
-                    Some(h) => Rc::clone(h),
-                    None => {
-                        let name = &self.module.external(ExternalId(*ext)).name;
-                        return Err(Trap::Invalid(format!("unknown external {name}")));
-                    }
-                };
-                let ret = handler(self, &vals)?;
-                if let Some(d) = dst {
-                    regs[*d as usize] =
-                        Some(ret.ok_or_else(|| Trap::Invalid("void call used as value".into()))?);
-                }
-            }
-            Op::DpmrCheck {
-                a,
-                reps,
-                ptrs,
-                site,
-                a_reg,
-            } => {
-                self.exec_check(regs, a, reps, ptrs, *site, a_reg)?;
-            }
-            Op::CheckElided { site, reps, charge } => {
-                self.exec_check_elided(*site, *reps, *charge);
-            }
-            // A dropped site's replica load: no memory read, no register
-            // write, no virtual cost — the dispatch iteration (and its
-            // instruction count) is all that remains.
-            Op::LoadElided { .. } => {}
-            Op::FusedLoadCheck(f) => {
-                self.exec_load(regs, f.dst, &f.ptr, f.kind)?;
-                self.fused_boundary(f.pc2)?;
-                match &f.check {
-                    Op::DpmrCheck {
-                        a,
-                        reps,
-                        ptrs,
-                        site,
-                        a_reg,
-                    } => self.exec_check(regs, a, reps, ptrs, *site, a_reg)?,
-                    Op::CheckElided { site, reps, charge } => {
-                        self.exec_check_elided(*site, *reps, *charge);
-                    }
-                    _ => return Err(Trap::Invalid("malformed fused load+check".into())),
-                }
-                return Ok(Flow::Skip2);
-            }
-            Op::FusedStoreStore(f) => {
-                self.exec_store(regs, &f.ptr, &f.value, f.kind)?;
-                self.fused_boundary(f.pc2)?;
-                let Op::Store { ptr, value, kind } = &f.second else {
-                    return Err(Trap::Invalid("malformed fused store pair".into()));
-                };
-                self.exec_store(regs, ptr, value, *kind)?;
-                return Ok(Flow::Skip2);
-            }
-            Op::FusedGroup(g) => {
-                // Each member executes exactly as its unfused op would,
-                // with the inter-op boundary accounting replicated
-                // between members; only the dispatch-loop iterations
-                // collapse. The optimizer guarantees members are simple
-                // straight-line ops (every one steps `Flow::Next`).
-                let n = g.members.len() as u32;
-                // Fast path: when nothing per-boundary can fire inside
-                // this group — no pc profiling, no armed fault at an
-                // interior member, and the instruction budget cannot run
-                // out mid-group — batch the boundary accounting: clear
-                // the fault flag once and settle `instrs` in one add.
-                // The slow path below is bit-for-bit equivalent.
-                let armed_inside = self.armed_pc > g.base && self.armed_pc < g.base + n;
-                if !self.tele_cfg.profile
-                    && !armed_inside
-                    && self.instrs + u64::from(n - 1) <= self.max_instrs
-                {
-                    for (i, member) in g.members.iter().enumerate() {
-                        if i == 1 {
-                            self.fault_pending = false;
-                        }
-                        match self.step_op(regs, member) {
-                            Ok(Flow::Next) => {}
-                            Ok(_) => {
-                                self.instrs += i as u64;
-                                return Err(Trap::Invalid("malformed fused group".into()));
-                            }
-                            Err(t) => {
-                                // A member trapped: settle the boundary
-                                // increments its predecessors earned so
-                                // the outcome's instr count matches the
-                                // unfused execution exactly.
-                                self.instrs += i as u64;
-                                return Err(t);
-                            }
-                        }
-                    }
-                    self.instrs += u64::from(n - 1);
-                    return Ok(Flow::SkipN(n));
-                }
-                for (i, member) in g.members.iter().enumerate() {
-                    if i > 0 {
-                        self.fused_boundary(g.base + i as u32)?;
-                    }
-                    match self.step_op(regs, member)? {
-                        Flow::Next => {}
-                        _ => return Err(Trap::Invalid("malformed fused group".into())),
-                    }
-                }
-                return Ok(Flow::SkipN(n));
-            }
-            Op::RandInt {
-                dst,
-                lo,
-                hi,
-                stream,
-            } => {
-                let lo = self.eval(regs, lo)?.as_int();
-                let hi = self.eval(regs, hi)?.as_int();
-                self.clock += cost::RAND;
-                let v = self.rand_range_stream(*stream, lo, hi);
-                regs[*dst as usize] = Some(Value::Int(v));
-            }
-            Op::HeapBufSize { dst, ptr } => {
-                let p = self.eval(regs, ptr)?.as_ptr();
-                self.clock += cost::MEM;
-                self.touch(p);
-                let sz = self.alloc.buf_size(&self.mem, p)?;
-                regs[*dst as usize] = Some(Value::Int(sz as i64));
-            }
-            Op::Output { value } => {
-                let v = self.eval(regs, value)?;
-                self.clock += cost::OUTPUT;
-                self.output.push(v.to_bits());
-            }
-            Op::FiMarker { site } => {
-                if self.first_fi_cycle.is_none() {
-                    self.first_fi_cycle = Some(self.clock);
-                }
-                self.fi_sites_hit.insert(*site);
-            }
-            Op::Abort { code } => {
-                return Err(Trap::AppAbort(*code));
-            }
-            Op::Jump { target } => {
-                self.clock += cost::BRANCH;
-                return Ok(Flow::Jump(*target));
-            }
-            Op::CondJump {
-                cond,
-                then_pc,
-                else_pc,
-            } => {
-                self.clock += cost::BRANCH;
-                let c = self.eval(regs, cond)?;
-                return Ok(Flow::Jump(if c.is_zero() { *else_pc } else { *then_pc }));
-            }
-            Op::Ret { value } => {
-                self.clock += cost::BRANCH + cost::RET;
-                let val = match value {
-                    Some(o) => Some(self.eval(regs, o)?),
-                    None => None,
-                };
-                return Ok(Flow::Ret(val));
-            }
-            Op::Unreachable => {
-                self.clock += cost::BRANCH;
-                return Err(Trap::Invalid("executed unreachable".into()));
-            }
-            Op::BadBlock { .. } => unreachable!("handled by the dispatch loop"),
-            Op::Invalid { args, msg } => {
-                // Evaluate operands in order first: use-of-unset-register
-                // traps take precedence, exactly as under the tree walker.
-                for a in args.iter() {
-                    self.eval(regs, a)?;
-                }
-                return Err(Trap::Invalid(msg.to_string()));
             }
         }
-        Ok(Flow::Next)
+        CastOp::FpToSi => Value::Int(normalize_int(v.as_float() as i64, dbits)),
+        CastOp::SiToFp => Value::Float(v.as_int() as f64),
+        CastOp::FpCast => {
+            if dbits == 32 {
+                Value::Float(f64::from(v.as_float() as f32))
+            } else {
+                Value::Float(v.as_float())
+            }
+        }
+    };
+    set_reg(regs, *dst, out);
+    Ok(Flow::Next)
+}
+
+#[inline]
+fn h_bin(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Bin {
+        dst,
+        op: bin,
+        lhs,
+        rhs,
+        bits,
+        ptr_result,
+    } = op
+    else {
+        return Err(malformed_op());
+    };
+    let a = it.eval(regs, lhs)?;
+    let b = it.eval(regs, rhs)?;
+    it.clock += cost::ALU;
+    let out = binop(*bin, a, b, *bits, *ptr_result)?;
+    set_reg(regs, *dst, out);
+    Ok(Flow::Next)
+}
+
+#[inline]
+fn h_cmp(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Cmp {
+        dst,
+        pred,
+        lhs,
+        rhs,
+    } = op
+    else {
+        return Err(malformed_op());
+    };
+    let a = it.eval(regs, lhs)?;
+    let b = it.eval(regs, rhs)?;
+    it.clock += cost::ALU;
+    set_reg(regs, *dst, Value::Int(i64::from(cmp(*pred, a, b))));
+    Ok(Flow::Next)
+}
+
+#[inline]
+fn h_copy(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Copy { dst, src } = op else {
+        return Err(malformed_op());
+    };
+    let v = it.eval(regs, src)?;
+    it.clock += cost::ALU;
+    set_reg(regs, *dst, v);
+    Ok(Flow::Next)
+}
+
+fn h_call_direct(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::CallDirect { dst, f, args } = op else {
+        return Err(malformed_op());
+    };
+    let vals = it.eval_call_args(regs, args)?;
+    Ok(Flow::Call {
+        f: *f,
+        args: vals,
+        dst: *dst,
+    })
+}
+
+fn h_call_indirect(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::CallIndirect { dst, target, args } = op else {
+        return Err(malformed_op());
+    };
+    let vals = it.eval_call_args(regs, args)?;
+    let p = it.eval(regs, target)?.as_ptr();
+    let fid = it.resolve_fn_ptr(p).ok_or_else(|| bad_indirect_call(p))?;
+    Ok(Flow::Call {
+        f: fid,
+        args: vals,
+        dst: *dst,
+    })
+}
+
+fn h_call_external(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::CallExternal { dst, ext, args } = op else {
+        return Err(malformed_op());
+    };
+    let vals = it.eval_call_args(regs, args)?;
+    let handler = match it.ext_handlers.get(*ext as usize) {
+        Some(Some(h)) => Rc::clone(h),
+        // Declared but absent from the registry: the per-call name
+        // lookup's miss, preserved verbatim.
+        Some(None) => {
+            let name = &it.module.external(ExternalId(*ext)).name;
+            return Err(Trap::Invalid(format!("unknown external {name}")));
+        }
+        // An index outside the module's declarations (impossible in
+        // lowered code): trap rather than panic.
+        None => return Err(Trap::Invalid(format!("unknown external #{ext}"))),
+    };
+    let ret = handler(it, &vals)?;
+    if let Some(d) = dst {
+        set_reg(regs, *d, ret.ok_or_else(void_call_value)?);
     }
+    Ok(Flow::Next)
+}
+
+fn h_dpmr_check(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::DpmrCheck {
+        a,
+        reps,
+        ptrs,
+        site,
+        a_reg,
+    } = op
+    else {
+        return Err(malformed_op());
+    };
+    it.exec_check(regs, a, reps, ptrs, *site, a_reg)?;
+    Ok(Flow::Next)
+}
+
+fn h_rand_int(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::RandInt {
+        dst,
+        lo,
+        hi,
+        stream,
+    } = op
+    else {
+        return Err(malformed_op());
+    };
+    let lo = it.eval(regs, lo)?.as_int();
+    let hi = it.eval(regs, hi)?.as_int();
+    it.clock += cost::RAND;
+    let v = it.rand_range_stream(*stream, lo, hi);
+    set_reg(regs, *dst, Value::Int(v));
+    Ok(Flow::Next)
+}
+
+fn h_heap_buf_size(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::HeapBufSize { dst, ptr } = op else {
+        return Err(malformed_op());
+    };
+    let p = it.eval(regs, ptr)?.as_ptr();
+    it.clock += cost::MEM;
+    it.touch(p);
+    let sz = it.alloc.buf_size(&it.mem, p)?;
+    set_reg(regs, *dst, Value::Int(sz as i64));
+    Ok(Flow::Next)
+}
+
+fn h_output(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Output { value } = op else {
+        return Err(malformed_op());
+    };
+    let v = it.eval(regs, value)?;
+    it.clock += cost::OUTPUT;
+    it.output.push(v.to_bits());
+    Ok(Flow::Next)
+}
+
+fn h_fi_marker(it: &mut Interp, _regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::FiMarker { site } = op else {
+        return Err(malformed_op());
+    };
+    if it.first_fi_cycle.is_none() {
+        it.first_fi_cycle = Some(it.clock);
+    }
+    it.fi_sites_hit.insert(*site);
+    Ok(Flow::Next)
+}
+
+fn h_abort(_it: &mut Interp, _regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Abort { code } = op else {
+        return Err(malformed_op());
+    };
+    Err(Trap::AppAbort(*code))
+}
+
+#[inline]
+fn h_jump(it: &mut Interp, _regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Jump { target } = op else {
+        return Err(malformed_op());
+    };
+    it.clock += cost::BRANCH;
+    Ok(Flow::Jump(*target))
+}
+
+#[inline]
+fn h_cond_jump(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::CondJump {
+        cond,
+        then_pc,
+        else_pc,
+    } = op
+    else {
+        return Err(malformed_op());
+    };
+    it.clock += cost::BRANCH;
+    let c = it.eval(regs, cond)?;
+    Ok(Flow::Jump(if c.is_zero() { *else_pc } else { *then_pc }))
+}
+
+fn h_ret(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Ret { value } = op else {
+        return Err(malformed_op());
+    };
+    it.clock += cost::BRANCH + cost::RET;
+    let val = match value {
+        Some(o) => Some(it.eval(regs, o)?),
+        None => None,
+    };
+    Ok(Flow::Ret(val))
+}
+
+fn h_unreachable(it: &mut Interp, _regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Unreachable = op else {
+        return Err(malformed_op());
+    };
+    it.clock += cost::BRANCH;
+    Err(Trap::Invalid("executed unreachable".into()))
+}
+
+fn h_bad_block(_it: &mut Interp, _regs: &mut [Option<Value>], _op: &Op) -> Result<Flow, Trap> {
+    // Both loops settle `BadBlock` pads *before* dispatching (the trap
+    // is uncounted and uncharged); reaching the handler means a
+    // hand-built fused op smuggled one in.
+    unreachable!("BadBlock is settled by the dispatch loops before any handler runs")
+}
+
+fn h_invalid(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::Invalid { args, msg } = op else {
+        return Err(malformed_op());
+    };
+    // Evaluate operands in order first: use-of-unset-register
+    // traps take precedence, exactly as under the tree walker.
+    for a in args.iter() {
+        it.eval(regs, a)?;
+    }
+    Err(Trap::Invalid(msg.to_string()))
+}
+
+fn h_check_elided(it: &mut Interp, _regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::CheckElided { site, reps, charge } = op else {
+        return Err(malformed_op());
+    };
+    it.exec_check_elided(*site, *reps, *charge);
+    Ok(Flow::Next)
+}
+
+// A dropped site's replica load: no memory read, no register write, no
+// virtual cost — the dispatch iteration (and its instruction count) is
+// all that remains.
+fn h_load_elided(_it: &mut Interp, _regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::LoadElided { .. } = op else {
+        return Err(malformed_op());
+    };
+    Ok(Flow::Next)
+}
+
+fn h_fused_load_check(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::FusedLoadCheck(f) = op else {
+        return Err(malformed_op());
+    };
+    it.exec_load(regs, f.dst, &f.ptr, f.kind)?;
+    it.fused_boundary(f.pc2)?;
+    match &f.check {
+        Op::DpmrCheck {
+            a,
+            reps,
+            ptrs,
+            site,
+            a_reg,
+        } => it.exec_check(regs, a, reps, ptrs, *site, a_reg)?,
+        Op::CheckElided { site, reps, charge } => {
+            it.exec_check_elided(*site, *reps, *charge);
+        }
+        _ => return Err(Trap::Invalid("malformed fused load+check".into())),
+    }
+    Ok(Flow::Skip2)
+}
+
+fn h_fused_store_store(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::FusedStoreStore(f) = op else {
+        return Err(malformed_op());
+    };
+    it.exec_store(regs, &f.ptr, &f.value, f.kind)?;
+    it.fused_boundary(f.pc2)?;
+    let Op::Store { ptr, value, kind } = &f.second else {
+        return Err(Trap::Invalid("malformed fused store pair".into()));
+    };
+    it.exec_store(regs, ptr, value, *kind)?;
+    Ok(Flow::Skip2)
+}
+
+fn h_fused_group(it: &mut Interp, regs: &mut [Option<Value>], op: &Op) -> Result<Flow, Trap> {
+    let Op::FusedGroup(g) = op else {
+        return Err(malformed_op());
+    };
+    // Each member executes exactly as its unfused op would, with the
+    // inter-op boundary accounting replicated between members; only the
+    // dispatch-loop iterations collapse. The optimizer guarantees
+    // members are simple straight-line ops (every one steps
+    // `Flow::Next`).
+    let n = g.members.len() as u32;
+    // Fast path: when nothing per-boundary can fire inside this group —
+    // no pc profiling, no armed fault at an interior member, and the
+    // instruction budget cannot run out mid-group — batch the boundary
+    // accounting: clear the fault flag once and settle `instrs` in one
+    // add. The slow path below is bit-for-bit equivalent.
+    let armed_inside = it.armed_pc > g.base && it.armed_pc < g.base + n;
+    if !it.tele_cfg.profile && !armed_inside && it.instrs + u64::from(n - 1) <= it.max_instrs {
+        for (i, member) in g.members.iter().enumerate() {
+            if i == 1 {
+                it.fault_pending = false;
+            }
+            match it.step_op(regs, member) {
+                Ok(Flow::Next) => {}
+                Ok(_) => {
+                    it.instrs += i as u64;
+                    return Err(Trap::Invalid("malformed fused group".into()));
+                }
+                Err(t) => {
+                    // A member trapped: settle the boundary increments
+                    // its predecessors earned so the outcome's instr
+                    // count matches the unfused execution exactly.
+                    it.instrs += i as u64;
+                    return Err(t);
+                }
+            }
+        }
+        it.instrs += u64::from(n - 1);
+        return Ok(Flow::SkipN(n));
+    }
+    for (i, member) in g.members.iter().enumerate() {
+        if i > 0 {
+            it.fused_boundary(g.base + i as u32)?;
+        }
+        match it.step_op(regs, member)? {
+            Flow::Next => {}
+            _ => return Err(Trap::Invalid("malformed fused group".into())),
+        }
+    }
+    Ok(Flow::SkipN(n))
 }
 
 /// Bytes moved by a load of the given pre-resolved kind.
@@ -2122,25 +2641,25 @@ fn binop(op: BinOp, a: Value, b: Value, bits: u16, ptr_result: bool) -> Result<V
                 BinOp::Mul => ai.wrapping_mul(bi),
                 BinOp::SDiv => {
                     if bi == 0 {
-                        return Err(Trap::Invalid("division by zero".into()));
+                        return Err(div_by_zero());
                     }
                     ai.wrapping_div(bi)
                 }
                 BinOp::UDiv => {
                     if bi == 0 {
-                        return Err(Trap::Invalid("division by zero".into()));
+                        return Err(div_by_zero());
                     }
                     ((ai as u64) / (bi as u64)) as i64
                 }
                 BinOp::SRem => {
                     if bi == 0 {
-                        return Err(Trap::Invalid("remainder by zero".into()));
+                        return Err(rem_by_zero());
                     }
                     ai.wrapping_rem(bi)
                 }
                 BinOp::URem => {
                     if bi == 0 {
-                        return Err(Trap::Invalid("remainder by zero".into()));
+                        return Err(rem_by_zero());
                     }
                     ((ai as u64) % (bi as u64)) as i64
                 }
@@ -2220,3 +2739,189 @@ pub fn run_with_registry(module: &Module, cfg: &RunConfig, registry: Rc<Registry
 // `scalar_bytes` is re-exported for external handlers that size copies.
 pub use crate::value::scalar_bytes as scalar_width;
 const _: fn(&dpmr_ir::types::TypeTable, TypeId) -> usize = scalar_bytes;
+
+#[cfg(test)]
+mod dispatch_table_tests {
+    use super::*;
+
+    /// Every handler slot must match its `OpCode` index: build one op of
+    /// each shape, dispatch it through the table, and check the handler
+    /// accepted the payload (a misaligned table returns `malformed_op`
+    /// or panics the `BadBlock` sentinel instead).
+    #[test]
+    fn opcode_table_is_aligned() {
+        use dpmr_ir::instr::{BinOp, CastOp, CmpPred};
+        let imm = |v: i64| Opnd::Imm(Value::Int(v));
+        let p = |a: u64| Opnd::Imm(Value::Ptr(a));
+        let samples: Vec<Op> = vec![
+            Op::Alloca {
+                dst: 0,
+                count: None,
+                size: 8,
+            },
+            Op::Malloc {
+                dst: 0,
+                count: imm(1),
+                esize: 8,
+            },
+            Op::Free { ptr: p(0) },
+            Op::Load {
+                dst: 0,
+                ptr: p(0),
+                kind: LoadKind::Ptr,
+            },
+            Op::Store {
+                ptr: p(0),
+                value: imm(0),
+                kind: StoreKind::Raw(8),
+            },
+            Op::FieldAddr {
+                dst: 0,
+                base: p(0),
+                off: 0,
+            },
+            Op::IndexAddr {
+                dst: 0,
+                base: p(0),
+                index: imm(0),
+                esize: 8,
+            },
+            Op::Cast {
+                dst: 0,
+                op: CastOp::Bitcast,
+                src: imm(0),
+                dbits: 64,
+            },
+            Op::Bin {
+                dst: 0,
+                op: BinOp::Add,
+                lhs: imm(1),
+                rhs: imm(2),
+                bits: 64,
+                ptr_result: false,
+            },
+            Op::Cmp {
+                dst: 0,
+                pred: CmpPred::Eq,
+                lhs: imm(1),
+                rhs: imm(1),
+            },
+            Op::Copy {
+                dst: 0,
+                src: imm(1),
+            },
+            Op::CallDirect {
+                dst: None,
+                f: FuncId(0),
+                args: Box::new([]),
+            },
+            Op::CallIndirect {
+                dst: None,
+                target: p(0),
+                args: Box::new([]),
+            },
+            Op::CallExternal {
+                dst: None,
+                ext: 0,
+                args: Box::new([]),
+            },
+            Op::DpmrCheck {
+                a: imm(1),
+                reps: Box::new([imm(1)]),
+                ptrs: None,
+                site: 0,
+                a_reg: None,
+            },
+            Op::RandInt {
+                dst: 0,
+                lo: imm(0),
+                hi: imm(1),
+                stream: 0,
+            },
+            Op::HeapBufSize { dst: 0, ptr: p(0) },
+            Op::Output { value: imm(1) },
+            Op::FiMarker { site: 0 },
+            Op::Abort { code: 1 },
+            Op::Jump { target: 0 },
+            Op::CondJump {
+                cond: imm(1),
+                then_pc: 0,
+                else_pc: 0,
+            },
+            Op::Ret { value: None },
+            Op::Unreachable,
+            Op::BadBlock { block: 0 },
+            Op::Invalid {
+                args: Box::new([]),
+                msg: "x".into(),
+            },
+            Op::CheckElided {
+                site: 0,
+                reps: 1,
+                charge: true,
+            },
+            Op::LoadElided { dst: 0, site: 0 },
+            Op::FusedLoadCheck(Box::new(crate::code::FusedLoadCheck {
+                dst: 0,
+                ptr: p(0),
+                kind: LoadKind::Ptr,
+                pc2: 1,
+                check: Op::CheckElided {
+                    site: 0,
+                    reps: 1,
+                    charge: false,
+                },
+            })),
+            Op::FusedStoreStore(Box::new(crate::code::FusedStoreStore {
+                ptr: p(0),
+                value: imm(0),
+                kind: StoreKind::Raw(8),
+                pc2: 1,
+                second: Op::Store {
+                    ptr: p(0),
+                    value: imm(0),
+                    kind: StoreKind::Raw(8),
+                },
+            })),
+            Op::FusedGroup(Box::new(crate::code::FusedGroup {
+                base: 0,
+                members: Box::new([
+                    Op::Copy {
+                        dst: 0,
+                        src: imm(1),
+                    },
+                    Op::Copy {
+                        dst: 1,
+                        src: imm(2),
+                    },
+                    Op::Copy {
+                        dst: 2,
+                        src: imm(3),
+                    },
+                ]),
+            })),
+        ];
+        // One op per shape, and the opcodes cover 0..OPCODE_COUNT densely.
+        assert_eq!(samples.len(), OPCODE_COUNT);
+        let mut seen: Vec<usize> = samples.iter().map(|o| o.opcode() as usize).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..OPCODE_COUNT).collect::<Vec<_>>());
+        // Dispatch each through the table: no sample may be rejected as
+        // an op/opcode mismatch (BadBlock never reaches a handler and is
+        // asserted structurally above).
+        let module = Module::new();
+        let cfg = RunConfig::default();
+        let mut it = Interp::new(&module, &cfg, Rc::new(Registry::with_base()));
+        let mismatch = malformed_op();
+        for op in &samples {
+            if matches!(op, Op::BadBlock { .. }) {
+                continue;
+            }
+            let mut regs: Vec<Option<Value>> = vec![None; 8];
+            let got = it.step_op(&mut regs, op);
+            if let Err(t) = got {
+                assert_ne!(t, mismatch, "handler table misaligned at {op:?}");
+            }
+        }
+    }
+}

@@ -49,12 +49,14 @@ pub fn lower(module: &Module) -> LoweredCode {
         ops: Vec::with_capacity(module.static_instr_count()),
         func_entry: Vec::with_capacity(module.funcs.len()),
         check_sites: 0,
+        opcodes: Vec::new(),
     };
     for f in &module.funcs {
         let entry = lc.ops.len() as u32;
         lc.func_entry.push(entry);
         lower_function(module, f, entry, &mut lc);
     }
+    lc.rebuild_opcodes();
     lc
 }
 

@@ -285,6 +285,9 @@ pub fn optimize(code: &LoweredCode, cfg: &PassConfig) -> OptOutcome {
         out.fused_store_pairs = ss;
         out.fused_groups = groups;
     }
+    // Passes rewrite ops in place; refresh the dense discriminants the
+    // threaded dispatcher indexes by.
+    out.code.rebuild_opcodes();
     out
 }
 

@@ -31,11 +31,14 @@ fn checked_load(ops: &mut Vec<Op>, site: u32, app: u32, rep: u32, next_reg: &mut
 }
 
 fn code_of(ops: Vec<Op>, check_sites: u32) -> LoweredCode {
-    LoweredCode {
+    let mut lc = LoweredCode {
         ops,
         func_entry: vec![0],
         check_sites,
-    }
+        opcodes: Vec::new(),
+    };
+    lc.rebuild_opcodes();
+    lc
 }
 
 #[test]

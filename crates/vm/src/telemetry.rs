@@ -63,6 +63,17 @@ impl TelemetryConfig {
     pub fn any(self) -> bool {
         self.sites || self.profile || self.trace
     }
+
+    /// True when collection does work on *every* dispatched op (the pc
+    /// profile's counter bump). This is the one telemetry concern that
+    /// closes the threaded engine's hazard windows: profiled runs stay
+    /// on the checked slow loop so each op's bump lands exactly where
+    /// the plain engine's would. Site counters and the event trace hang
+    /// off specific op handlers (checks, traps, checkpoints), not the
+    /// dispatch loop, so they leave windows open.
+    pub fn per_op(self) -> bool {
+        self.profile
+    }
 }
 
 /// Counters for one `dpmr.check` site (keyed by the stable site id
@@ -406,11 +417,13 @@ mod tests {
     #[test]
     fn func_totals_rejects_profile_from_different_code() {
         use crate::code::{LoweredCode, Op};
-        let code = LoweredCode {
+        let mut code = LoweredCode {
             ops: vec![Op::Ret { value: None }, Op::Ret { value: None }],
             func_entry: vec![0],
             check_sites: 0,
+            opcodes: Vec::new(),
         };
+        code.rebuild_opcodes();
         // A profile of the wrong length (taken from different code) is a
         // checked error, not a panic or a silently wrong table.
         let mut t = Telemetry {

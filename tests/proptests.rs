@@ -327,6 +327,153 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Threaded vs plain dispatch differential
+// ---------------------------------------------------------------------
+
+/// A run configuration for the dispatch differential: the same seeds
+/// and limits on both sides, with per-site and trace telemetry on (the
+/// richest observation channels that still permit the threaded fast
+/// loop — per-op profiling deliberately pins execution to the plain
+/// loop, so it cannot differ by construction).
+fn dispatch_cfg(seed: u64, plain: bool) -> RunConfig {
+    let mut rc = RunConfig {
+        seed,
+        plain_dispatch: plain,
+        telemetry: TelemetryConfig {
+            sites: true,
+            trace: true,
+            ..TelemetryConfig::off()
+        },
+        ..RunConfig::default()
+    };
+    rc.mem.fill_seed = seed ^ 0x5a5a_1234;
+    rc
+}
+
+/// Everything observable about a finished run, as one comparable blob:
+/// the full outcome plus the telemetry (site stats and event trace).
+fn observe(it: &mut Interp, out: &RunOutcome) -> String {
+    format!("{out:?}|{:?}", it.telemetry())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// The threaded dispatcher (dense opcodes + hazard-window fast
+    /// loop) is observationally identical to the plain checked loop on
+    /// random transformed modules: same outcome, same virtual cycles,
+    /// same site stats, same event trace.
+    #[test]
+    fn threaded_dispatch_matches_plain_on_random_modules(
+        n in 2i64..20,
+        seed in 1u64..1_000,
+        prog in 0usize..3,
+        k in 1usize..3,
+    ) {
+        let m = match prog {
+            0 => micro::linked_list(n),
+            1 => micro::overflow_writer(n, n),
+            _ => micro::resize_victim(n, n),
+        };
+        let t = transform(&m, &DpmrConfig::sds().with_replicas(k))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let reg = Rc::new(registry_with_wrappers());
+        let mut plain = Interp::new(&t, &dispatch_cfg(seed, true), reg.clone());
+        let ref_out = plain.run(vec![]);
+        let mut thr = Interp::new(&t, &dispatch_cfg(seed, false), reg);
+        let thr_out = thr.run(vec![]);
+        prop_assert_eq!(observe(&mut plain, &ref_out), observe(&mut thr, &thr_out));
+    }
+
+    /// Pausing and resuming at arbitrary instruction boundaries cuts
+    /// hazard windows at arbitrary points; the parked interpreter state
+    /// (the whole snapshot, frames and registers included) and the
+    /// final outcome must match a plain engine paused at the very same
+    /// boundaries.
+    #[test]
+    fn pause_resume_cuts_are_invisible_to_the_threaded_engine(
+        n in 2i64..14,
+        seed in 1u64..500,
+        cuts in proptest::collection::vec(1u64..300, 1..6),
+    ) {
+        let m = micro::resize_victim(n, n);
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let reg = Rc::new(registry_with_wrappers());
+        let mut plain = Interp::new(&t, &dispatch_cfg(seed, true), reg.clone());
+        let mut thr = Interp::new(&t, &dispatch_cfg(seed, false), reg);
+        let mut plain_out = plain.run_steps(vec![], cuts[0]);
+        let mut thr_out = thr.run_steps(vec![], cuts[0]);
+        for c in &cuts[1..] {
+            prop_assert_eq!(plain_out.is_none(), thr_out.is_none());
+            if plain_out.is_some() {
+                break;
+            }
+            // Parked mid-run state is a slow-loop instruction boundary
+            // on both engines: snapshots must capture identical bytes.
+            prop_assert_eq!(
+                format!("{:?}", plain.snapshot()),
+                format!("{:?}", thr.snapshot())
+            );
+            plain_out = plain.resume_steps(*c);
+            thr_out = thr.resume_steps(*c);
+        }
+        let plain_fin = match plain_out {
+            Some(out) => out,
+            None => plain.resume(),
+        };
+        let thr_fin = match thr_out {
+            Some(out) => out,
+            None => thr.resume(),
+        };
+        prop_assert_eq!(observe(&mut plain, &plain_fin), observe(&mut thr, &thr_fin));
+    }
+
+    /// An armed runtime fault whose site pc lands in the middle of a
+    /// hazard window fires identically under both dispatchers: same
+    /// fault hits, same fire cycle, same detection evidence. (The
+    /// threaded engine compiles the armed-pc compare into the fast
+    /// loop via a const-generic instantiation; this is the test that
+    /// the instantiation is selected and wired correctly.)
+    #[test]
+    fn armed_faults_fire_identically_mid_window(
+        n in 2i64..14,
+        seed in 1u64..500,
+        fault_idx in 0usize..7,
+        site_sel in any::<u64>(),
+        arm in 0u64..2_000,
+    ) {
+        let m = micro::resize_victim(n, n);
+        let t = transform(&m, &DpmrConfig::sds())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let code = lower(&t);
+        let sites: Vec<u32> = code
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, Op::Load { .. } | Op::Store { .. }))
+            .map(|(pc, _)| pc as u32)
+            .collect();
+        prop_assert!(!sites.is_empty(), "workload has no load/store sites");
+        let fault = ArmedFault {
+            site: sites[(site_sel % sites.len() as u64) as usize],
+            fault: FaultModel::paper_set()[fault_idx],
+            seed: seed ^ 0x00ff_00ff,
+            arm_cycle: arm,
+        };
+        let reg = Rc::new(registry_with_wrappers());
+        let mut cfg_p = dispatch_cfg(seed, true);
+        cfg_p.fault = Some(fault);
+        let mut cfg_t = dispatch_cfg(seed, false);
+        cfg_t.fault = Some(fault);
+        let mut plain = Interp::new(&t, &cfg_p, reg.clone());
+        let ref_out = plain.run(vec![]);
+        let mut thr = Interp::new(&t, &cfg_t, reg);
+        let thr_out = thr.run(vec![]);
+        prop_assert_eq!(observe(&mut plain, &ref_out), observe(&mut thr, &thr_out));
+    }
+}
+
+// ---------------------------------------------------------------------
 // Printer/parser round-trip over random straight-line programs
 // ---------------------------------------------------------------------
 
